@@ -1,0 +1,115 @@
+//! Shared experiment fixtures: the SmartCIS catalog and canonical query.
+
+use aspen_catalog::{Catalog, DeviceClass, NetworkStats, SourceKind, SourceStats};
+use aspen_sql::plan::QueryGraph;
+use aspen_sql::{bind, parse, BoundQuery};
+use aspen_types::{DataType, Field, Schema, SimDuration};
+
+/// The paper's Figure-1 query, verbatim.
+pub const FIG1_QUERY: &str = r#"
+select p.id, ss.room, ss.desk, r.path
+from Person p, Route r, AreaSensors sa, SeatSensors ss, Machines m
+where r.start = p.room ^ r.end = sa.room ^ p.needed like m.software ^
+      sa.room = ss.room ^ m.desk = ss.desk ^ sa.status = "open" ^
+      ss.status = "free"
+order by p.id
+"#;
+
+/// A SmartCIS-shaped catalog with parametric fleet sizes and network
+/// statistics.
+pub fn smartcis_catalog(labs: u32, desks: u32, diameter: u32, loss: f64) -> Catalog {
+    let cat = Catalog::new();
+    let text = DataType::Text;
+    let int = DataType::Int;
+    let float = DataType::Float;
+    let table = |name: &str, cols: &[(&str, DataType)], rows: u64| {
+        let schema =
+            Schema::new(cols.iter().map(|(n, t)| Field::new(*n, *t)).collect::<Vec<_>>())
+                .into_ref();
+        cat.register_source(name, schema, SourceKind::Table, SourceStats::table(rows))
+            .unwrap();
+    };
+    table("Person", &[("id", int), ("room", text), ("needed", text)], 4);
+    table(
+        "Route",
+        &[("start", text), ("end", text), ("path", text), ("dist", float)],
+        (labs as u64 + 6) * (labs as u64 + 2),
+    );
+    table(
+        "Machines",
+        &[("room", text), ("desk", int), ("software", text)],
+        desks as u64,
+    );
+    let epoch = SimDuration::from_secs(10);
+    let area = Schema::new(vec![
+        Field::new("room", text),
+        Field::new("status", text),
+        Field::new("light", float),
+    ])
+    .into_ref();
+    cat.register_source(
+        "AreaSensors",
+        area,
+        SourceKind::Device(DeviceClass::new(&["light", "status"], epoch, labs)),
+        SourceStats::stream(labs as f64 / 10.0)
+            .with_distinct("room", labs as u64)
+            .with_distinct("status", 2),
+    )
+    .unwrap();
+    let seat = Schema::new(vec![
+        Field::new("room", text),
+        Field::new("desk", int),
+        Field::new("status", text),
+        Field::new("light", float),
+    ])
+    .into_ref();
+    cat.register_source(
+        "SeatSensors",
+        seat,
+        SourceKind::Device(DeviceClass::new(&["light", "status"], epoch, desks)),
+        SourceStats::stream(desks as f64 / 10.0)
+            .with_distinct("desk", desks as u64)
+            .with_distinct("status", 2),
+    )
+    .unwrap();
+    let temp = Schema::new(vec![
+        Field::new("room", text),
+        Field::new("desk", int),
+        Field::new("temp", float),
+    ])
+    .into_ref();
+    cat.register_source(
+        "TempSensors",
+        temp,
+        SourceKind::Device(DeviceClass::new(&["temp"], epoch, desks)),
+        SourceStats::stream(desks as f64 / 10.0).with_distinct("desk", desks as u64),
+    )
+    .unwrap();
+    cat.set_network_stats(NetworkStats {
+        node_count: labs + 2 * desks,
+        diameter_hops: diameter,
+        avg_link_loss: loss,
+        ..Default::default()
+    });
+    cat
+}
+
+/// Bind the Figure-1 query against a catalog.
+pub fn fig1_graph(cat: &Catalog) -> QueryGraph {
+    let BoundQuery::Select(b) = bind(&parse(FIG1_QUERY).unwrap(), cat).unwrap() else {
+        panic!("guidance is a SELECT")
+    };
+    b.graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_catalog_binds_fig1() {
+        let cat = smartcis_catalog(4, 32, 6, 0.05);
+        let g = fig1_graph(&cat);
+        assert_eq!(g.relations.len(), 5);
+    }
+}

@@ -1,0 +1,14 @@
+//! # aspen-bench
+//!
+//! Experiment implementations for every figure and experiment in
+//! `DESIGN.md` §4 / `EXPERIMENTS.md`. Each `e*`/`f*` function runs one
+//! experiment and returns printable rows; the `harness` binary renders
+//! them as tables, and the Criterion benches in `benches/` reuse the
+//! same code paths for timing.
+
+pub mod experiments;
+pub mod fixtures;
+pub mod table;
+
+pub use experiments::*;
+pub use table::TableBuilder;

@@ -1,0 +1,79 @@
+//! Minimal fixed-width table rendering for the harness output.
+
+/// Builds aligned text tables.
+pub struct TableBuilder {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    pub fn new(header: &[&str]) -> Self {
+        TableBuilder {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|", sep.join("-|-")));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format helper: fixed decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TableBuilder::new(&["name", "msgs"]);
+        t.row(&["base".into(), "1200".into()]);
+        t.row(&["in-network".into(), "75".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(text.contains("in-network"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        TableBuilder::new(&["a", "b"]).row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Device classes and in-network capabilities.
+//!
+//! The paper's sensor engine runs on heterogeneous motes (IRIS, iMote2)
+//! with different abilities; the federated optimizer must ask, per
+//! operator, "can this engine actually execute this?" (the Garlic
+//! protocol). A [`DeviceClass`] describes one fleet of motes backing a
+//! device stream and the operator set they support.
+
+use aspen_types::SimDuration;
+
+/// Which relational operators the motes of a class can evaluate
+/// in-network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCapabilities {
+    /// Constant-predicate selection (`ss.status = 'free'`, thresholds).
+    pub selection: bool,
+    /// Partial aggregation up the routing tree (TAG-style SUM/COUNT/MIN/
+    /// MAX/AVG decomposition).
+    pub partial_aggregation: bool,
+    /// Pairwise proximity/equi-join with a co-located or neighbouring
+    /// device stream (the paper's temperature ⋈ light-level example).
+    pub in_network_join: bool,
+}
+
+impl DeviceCapabilities {
+    /// Full-featured mote (an iMote2-class device).
+    pub fn full() -> Self {
+        DeviceCapabilities {
+            selection: true,
+            partial_aggregation: true,
+            in_network_join: true,
+        }
+    }
+
+    /// Sample-and-send only (a bare telosb-class device): every operator
+    /// must run PC-side.
+    pub fn dumb() -> Self {
+        DeviceCapabilities {
+            selection: false,
+            partial_aggregation: false,
+            in_network_join: false,
+        }
+    }
+}
+
+impl Default for DeviceCapabilities {
+    fn default() -> Self {
+        DeviceCapabilities::full()
+    }
+}
+
+/// A fleet of motes backing one device stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceClass {
+    /// Attribute names this device samples (e.g. `["temp"]`,
+    /// `["light"]`); the binder checks query columns against these.
+    pub attributes: Vec<String>,
+    /// Sampling epoch: one reading per device per period.
+    pub sample_period: SimDuration,
+    /// Number of physical devices in the fleet.
+    pub fleet_size: u32,
+    pub capabilities: DeviceCapabilities,
+}
+
+impl Default for DeviceClass {
+    fn default() -> Self {
+        DeviceClass {
+            attributes: vec![],
+            sample_period: SimDuration::from_secs(10),
+            fleet_size: 0,
+            capabilities: DeviceCapabilities::full(),
+        }
+    }
+}
+
+impl DeviceClass {
+    pub fn new(
+        attributes: &[&str],
+        sample_period: SimDuration,
+        fleet_size: u32,
+    ) -> Self {
+        DeviceClass {
+            attributes: attributes.iter().map(|s| s.to_string()).collect(),
+            sample_period,
+            fleet_size,
+            capabilities: DeviceCapabilities::full(),
+        }
+    }
+
+    pub fn with_capabilities(mut self, caps: DeviceCapabilities) -> Self {
+        self.capabilities = caps;
+        self
+    }
+
+    /// Aggregate sampling rate across the fleet, tuples/second.
+    pub fn fleet_rate_hz(&self) -> f64 {
+        if self.sample_period.as_micros() == 0 {
+            return 0.0;
+        }
+        self.fleet_size as f64 / self.sample_period.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_rate() {
+        let d = DeviceClass::new(&["temp"], SimDuration::from_secs(10), 50);
+        assert!((d.fleet_rate_hz() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_period_rate_is_zero() {
+        let d = DeviceClass::new(&["x"], SimDuration::ZERO, 10);
+        assert_eq!(d.fleet_rate_hz(), 0.0);
+    }
+
+    #[test]
+    fn capability_presets() {
+        assert!(DeviceCapabilities::full().in_network_join);
+        assert!(!DeviceCapabilities::dumb().selection);
+        let d = DeviceClass::new(&["light"], SimDuration::from_secs(1), 4)
+            .with_capabilities(DeviceCapabilities::dumb());
+        assert!(!d.capabilities.partial_aggregation);
+    }
+}

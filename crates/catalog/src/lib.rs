@@ -1,0 +1,33 @@
+//! # aspen-catalog
+//!
+//! The ASPEN **source & device catalog** (the box feeding the federated
+//! optimizer in the paper's Figure 1). It records, for every data source
+//! the system can query:
+//!
+//! * its **schema** and **kind** — static database table, PC-side stream,
+//!   sensor-device stream, or named view;
+//! * **statistics** — table cardinalities, stream rates, per-column
+//!   distinct counts — used for selectivity and cost estimation;
+//! * **device capabilities** — which operators the sensor engine can
+//!   evaluate in-network for a given device class (selection, partial
+//!   aggregation, pairwise join);
+//! * **network statistics** — diameter, loss, node count — which the
+//!   federated optimizer uses to convert the sensor engine's
+//!   message-count costs into the stream engine's latency currency
+//!   (the paper's "must convert everything to one model, in part by
+//!   making use of catalog information about the sensor network diameter,
+//!   sampling rates, etc.");
+//! * registered **displays** (`OUTPUT TO DISPLAY` targets) and **view
+//!   definitions** (SQL text, expanded by `aspen-sql`).
+
+pub mod cost;
+pub mod device;
+pub mod netstats;
+pub mod registry;
+pub mod source;
+
+pub use cost::{CostModelParams, NormalizedCost};
+pub use device::{DeviceCapabilities, DeviceClass};
+pub use netstats::NetworkStats;
+pub use registry::{Catalog, DisplayMeta, ViewDef};
+pub use source::{SourceKind, SourceMeta, SourceStats};

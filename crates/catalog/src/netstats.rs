@@ -1,0 +1,81 @@
+//! Network-level statistics recorded in the catalog.
+//!
+//! These are the numbers the paper says the federated optimizer consults
+//! to unify the engines' cost models: "catalog information about the
+//! sensor network diameter, sampling rates, etc."
+
+/// Summary statistics of the deployed sensor network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Number of motes (excluding the base station).
+    pub node_count: u32,
+    /// Maximum routing-tree depth from the base station, in hops.
+    pub diameter_hops: u32,
+    /// Average link-loss probability across in-range pairs.
+    pub avg_link_loss: f64,
+    /// Mean payload size of a sensor data message, bytes.
+    pub avg_msg_bytes: f64,
+    /// One-hop latency estimate, microseconds.
+    pub hop_latency_us: u64,
+}
+
+impl Default for NetworkStats {
+    fn default() -> Self {
+        NetworkStats {
+            node_count: 0,
+            diameter_hops: 1,
+            avg_link_loss: 0.05,
+            avg_msg_bytes: 16.0,
+            hop_latency_us: 3_000,
+        }
+    }
+}
+
+impl NetworkStats {
+    /// Expected number of transmissions (including retries driven by the
+    /// loss rate) to move one message one hop: `1 / (1 - loss)`.
+    pub fn expected_tx_per_hop(&self) -> f64 {
+        1.0 / (1.0 - self.avg_link_loss.clamp(0.0, 0.99))
+    }
+
+    /// Expected end-to-end latency for a message crossing the whole
+    /// network (diameter hops, each paying retries), microseconds.
+    pub fn expected_traverse_latency_us(&self) -> f64 {
+        self.diameter_hops as f64 * self.expected_tx_per_hop() * self.hop_latency_us as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retries_inflate_tx() {
+        let s = NetworkStats {
+            avg_link_loss: 0.5,
+            ..Default::default()
+        };
+        assert!((s.expected_tx_per_hop() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_is_clamped() {
+        let s = NetworkStats {
+            avg_link_loss: 1.5,
+            ..Default::default()
+        };
+        assert!(s.expected_tx_per_hop().is_finite());
+    }
+
+    #[test]
+    fn traverse_latency_scales_with_diameter() {
+        let mk = |d| NetworkStats {
+            diameter_hops: d,
+            avg_link_loss: 0.0,
+            hop_latency_us: 1000,
+            ..Default::default()
+        };
+        assert_eq!(mk(4).expected_traverse_latency_us(), 4_000.0);
+        assert!(mk(8).expected_traverse_latency_us() > mk(4).expected_traverse_latency_us());
+    }
+}

@@ -1,0 +1,338 @@
+//! The catalog registry: thread-safe name → metadata maps.
+//!
+//! One [`Catalog`] instance is shared (via `Arc`) by the parser/binder,
+//! the federated optimizer, both engines, and the wrappers that register
+//! their output streams at startup. Lookups are case-insensitive, like
+//! SQL identifiers.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use aspen_types::{AspenError, DisplayId, Point, Result, SchemaRef, SourceId};
+
+use crate::cost::CostModelParams;
+use crate::netstats::NetworkStats;
+use crate::source::{SourceKind, SourceMeta, SourceStats};
+
+/// A named view definition. The SQL text is stored verbatim; `aspen-sql`
+/// parses and inlines it at binding time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewDef {
+    pub name: String,
+    pub sql: String,
+    /// `CREATE RECURSIVE VIEW` — maintained incrementally by the stream
+    /// engine's recursive-view machinery.
+    pub recursive: bool,
+}
+
+/// A registered display endpoint (the paper's laptops "virtually mapped to
+/// positions in the building").
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisplayMeta {
+    pub id: DisplayId,
+    pub name: String,
+    /// Floorplan position of the display, for locality-aware routing of
+    /// results.
+    pub position: Point,
+}
+
+#[derive(Default)]
+struct Inner {
+    sources: BTreeMap<String, Arc<SourceMeta>>,
+    views: BTreeMap<String, ViewDef>,
+    displays: BTreeMap<String, DisplayMeta>,
+    network: NetworkStats,
+    cost_params: CostModelParams,
+    next_source: u32,
+    next_display: u32,
+}
+
+/// Thread-safe catalog of sources, views, displays, and statistics.
+pub struct Catalog {
+    inner: RwLock<Inner>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog {
+            inner: RwLock::new(Inner {
+                network: NetworkStats::default(),
+                cost_params: CostModelParams::default(),
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Convenience: a shareable handle.
+    pub fn shared() -> Arc<Catalog> {
+        Arc::new(Catalog::new())
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Register a source; errors on duplicate names (case-insensitive,
+    /// views and sources share the namespace).
+    pub fn register_source(
+        &self,
+        name: &str,
+        schema: SchemaRef,
+        kind: SourceKind,
+        stats: SourceStats,
+    ) -> Result<SourceId> {
+        let mut inner = self.inner.write();
+        let key = Self::key(name);
+        if inner.sources.contains_key(&key) || inner.views.contains_key(&key) {
+            return Err(AspenError::Catalog(format!(
+                "source '{name}' already registered"
+            )));
+        }
+        let id = SourceId(inner.next_source);
+        inner.next_source += 1;
+        let meta = SourceMeta::new(id, name, schema, kind, stats);
+        inner.sources.insert(key, meta);
+        Ok(id)
+    }
+
+    /// Register a named view (body parsed lazily by `aspen-sql`).
+    pub fn register_view(&self, name: &str, sql: &str, recursive: bool) -> Result<()> {
+        let mut inner = self.inner.write();
+        let key = Self::key(name);
+        if inner.sources.contains_key(&key) || inner.views.contains_key(&key) {
+            return Err(AspenError::Catalog(format!(
+                "view '{name}' collides with an existing name"
+            )));
+        }
+        inner.views.insert(
+            key,
+            ViewDef {
+                name: name.to_string(),
+                sql: sql.to_string(),
+                recursive,
+            },
+        );
+        Ok(())
+    }
+
+    /// Register a display endpoint.
+    pub fn register_display(&self, name: &str, position: Point) -> Result<DisplayId> {
+        let mut inner = self.inner.write();
+        let key = Self::key(name);
+        if inner.displays.contains_key(&key) {
+            return Err(AspenError::Catalog(format!(
+                "display '{name}' already registered"
+            )));
+        }
+        let id = DisplayId(inner.next_display);
+        inner.next_display += 1;
+        inner.displays.insert(
+            key,
+            DisplayMeta {
+                id,
+                name: name.to_string(),
+                position,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Resolve a source by name.
+    pub fn source(&self, name: &str) -> Result<Arc<SourceMeta>> {
+        self.inner
+            .read()
+            .sources
+            .get(&Self::key(name))
+            .cloned()
+            .ok_or_else(|| AspenError::Unresolved(format!("unknown source '{name}'")))
+    }
+
+    /// Resolve a view by name.
+    pub fn view(&self, name: &str) -> Result<ViewDef> {
+        self.inner
+            .read()
+            .views
+            .get(&Self::key(name))
+            .cloned()
+            .ok_or_else(|| AspenError::Unresolved(format!("unknown view '{name}'")))
+    }
+
+    /// Whether `name` denotes a view.
+    pub fn is_view(&self, name: &str) -> bool {
+        self.inner.read().views.contains_key(&Self::key(name))
+    }
+
+    /// Resolve a display by name.
+    pub fn display(&self, name: &str) -> Result<DisplayMeta> {
+        self.inner
+            .read()
+            .displays
+            .get(&Self::key(name))
+            .cloned()
+            .ok_or_else(|| AspenError::Unresolved(format!("unknown display '{name}'")))
+    }
+
+    /// All registered source names (canonical case, sorted).
+    pub fn source_names(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .sources
+            .values()
+            .map(|m| m.name.clone())
+            .collect()
+    }
+
+    /// All registered views.
+    pub fn views(&self) -> Vec<ViewDef> {
+        self.inner.read().views.values().cloned().collect()
+    }
+
+    /// Current network statistics snapshot.
+    pub fn network_stats(&self) -> NetworkStats {
+        self.inner.read().network.clone()
+    }
+
+    /// Install network statistics (the sensor engine publishes these
+    /// after tree formation).
+    pub fn set_network_stats(&self, stats: NetworkStats) {
+        self.inner.write().network = stats;
+    }
+
+    /// Current cost-model parameters snapshot.
+    pub fn cost_params(&self) -> CostModelParams {
+        self.inner.read().cost_params.clone()
+    }
+
+    /// Install cost-model parameters (e.g. the E9 ablation flips
+    /// `normalization_enabled`).
+    pub fn set_cost_params(&self, params: CostModelParams) {
+        self.inner.write().cost_params = params;
+    }
+
+    /// Update a source's statistics in place (wrappers refresh rates).
+    pub fn update_stats(&self, name: &str, stats: SourceStats) -> Result<()> {
+        let mut inner = self.inner.write();
+        let key = Self::key(name);
+        match inner.sources.get_mut(&key) {
+            Some(meta) => {
+                let mut m = (**meta).clone();
+                m.stats = stats;
+                *meta = Arc::new(m);
+                Ok(())
+            }
+            None => Err(AspenError::Unresolved(format!("unknown source '{name}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_types::{DataType, Field, Schema};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("room", DataType::Text),
+            Field::new("temp", DataType::Float),
+        ])
+        .into_ref()
+    }
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let cat = Catalog::new();
+        cat.register_source("TempSensors", schema(), SourceKind::Stream, SourceStats::stream(5.0))
+            .unwrap();
+        let m = cat.source("tempsensors").unwrap();
+        assert_eq!(m.name, "TempSensors");
+        assert_eq!(m.id, SourceId(0));
+    }
+
+    #[test]
+    fn duplicate_rejected_across_namespaces() {
+        let cat = Catalog::new();
+        cat.register_source("X", schema(), SourceKind::Table, SourceStats::table(1))
+            .unwrap();
+        assert_eq!(
+            cat.register_source("x", schema(), SourceKind::Table, SourceStats::table(1))
+                .unwrap_err()
+                .kind(),
+            "catalog"
+        );
+        assert_eq!(
+            cat.register_view("X", "select 1", false).unwrap_err().kind(),
+            "catalog"
+        );
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let cat = Catalog::new();
+        assert_eq!(cat.source("nope").unwrap_err().kind(), "unresolved");
+        assert_eq!(cat.view("nope").unwrap_err().kind(), "unresolved");
+        assert_eq!(cat.display("nope").unwrap_err().kind(), "unresolved");
+    }
+
+    #[test]
+    fn views_round_trip() {
+        let cat = Catalog::new();
+        cat.register_view("OpenMachineInfo", "select ss.room from ...", false)
+            .unwrap();
+        assert!(cat.is_view("openmachineinfo"));
+        let v = cat.view("OPENMACHINEINFO").unwrap();
+        assert_eq!(v.name, "OpenMachineInfo");
+        assert!(!v.recursive);
+    }
+
+    #[test]
+    fn displays_get_sequential_ids() {
+        let cat = Catalog::new();
+        let a = cat.register_display("lobby", Point::new(0.0, 0.0)).unwrap();
+        let b = cat.register_display("lab101", Point::new(50.0, 10.0)).unwrap();
+        assert_eq!(a, DisplayId(0));
+        assert_eq!(b, DisplayId(1));
+        assert_eq!(cat.display("LOBBY").unwrap().id, a);
+    }
+
+    #[test]
+    fn stats_update_in_place() {
+        let cat = Catalog::new();
+        cat.register_source("S", schema(), SourceKind::Stream, SourceStats::stream(1.0))
+            .unwrap();
+        cat.update_stats("s", SourceStats::stream(42.0)).unwrap();
+        assert_eq!(cat.source("S").unwrap().stats.rate_hz, Some(42.0));
+        assert!(cat.update_stats("missing", SourceStats::default()).is_err());
+    }
+
+    #[test]
+    fn network_and_cost_params_settable() {
+        let cat = Catalog::new();
+        let mut ns = cat.network_stats();
+        ns.diameter_hops = 9;
+        cat.set_network_stats(ns.clone());
+        assert_eq!(cat.network_stats().diameter_hops, 9);
+
+        let mut cp = cat.cost_params();
+        cp.normalization_enabled = false;
+        cat.set_cost_params(cp);
+        assert!(!cat.cost_params().normalization_enabled);
+    }
+
+    #[test]
+    fn source_names_sorted() {
+        let cat = Catalog::new();
+        cat.register_source("b", schema(), SourceKind::Table, SourceStats::default())
+            .unwrap();
+        cat.register_source("A", schema(), SourceKind::Table, SourceStats::default())
+            .unwrap();
+        assert_eq!(cat.source_names(), vec!["A".to_string(), "b".to_string()]);
+    }
+}

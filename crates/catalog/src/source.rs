@@ -1,0 +1,160 @@
+//! Source metadata: what a name in a `FROM` clause resolves to.
+
+use std::sync::Arc;
+
+use aspen_types::{SchemaRef, SourceId};
+
+use crate::device::DeviceClass;
+
+/// What category of source a catalog name denotes. The federated
+/// optimizer's partitioning rule keys off this: only subplans whose leaves
+/// are all [`SourceKind::Device`] may be pushed to the sensor engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceKind {
+    /// Static database table (e.g. `Machines`, `Route` routing points,
+    /// RFID detector coordinates).
+    Table,
+    /// PC-side stream fed by a wrapper (PDU power, machine soft sensors,
+    /// web sources).
+    Stream,
+    /// Sensor-network-resident stream: one logical relation whose tuples
+    /// originate on motes of the given device class (e.g. `SeatSensors`,
+    /// `TempSensors`, `AreaSensors`).
+    Device(DeviceClass),
+    /// Named view; body SQL is stored separately in the catalog.
+    View,
+}
+
+impl SourceKind {
+    pub fn is_device(&self) -> bool {
+        matches!(self, SourceKind::Device(_))
+    }
+    pub fn is_stream_like(&self) -> bool {
+        matches!(self, SourceKind::Stream | SourceKind::Device(_))
+    }
+}
+
+/// Optimizer-facing statistics for a source.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SourceStats {
+    /// Row count for tables; `None` for streams.
+    pub row_count: Option<u64>,
+    /// Tuple rate for streams (tuples/second across the whole relation);
+    /// `None` for tables.
+    pub rate_hz: Option<f64>,
+    /// Per-column distinct-value estimates, `(column_name, n_distinct)`,
+    /// used for equality-selectivity estimation (`1/n_distinct`).
+    pub distinct: Vec<(String, u64)>,
+}
+
+impl SourceStats {
+    pub fn table(rows: u64) -> Self {
+        SourceStats {
+            row_count: Some(rows),
+            ..Default::default()
+        }
+    }
+
+    pub fn stream(rate_hz: f64) -> Self {
+        SourceStats {
+            rate_hz: Some(rate_hz),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style distinct-count annotation.
+    pub fn with_distinct(mut self, column: &str, n: u64) -> Self {
+        self.distinct.push((column.to_string(), n));
+        self
+    }
+
+    /// Distinct count for a column, if recorded.
+    pub fn distinct_of(&self, column: &str) -> Option<u64> {
+        self.distinct
+            .iter()
+            .find(|(c, _)| c.eq_ignore_ascii_case(column))
+            .map(|(_, n)| *n)
+    }
+
+    /// Estimated selectivity of an equality predicate on `column`:
+    /// `1/n_distinct`, defaulting to 0.1 (the classic System R default)
+    /// when no statistic is recorded.
+    pub fn eq_selectivity(&self, column: &str) -> f64 {
+        match self.distinct_of(column) {
+            Some(n) if n > 0 => 1.0 / n as f64,
+            _ => 0.1,
+        }
+    }
+}
+
+/// Everything the rest of the system knows about one registered source.
+#[derive(Debug, Clone)]
+pub struct SourceMeta {
+    pub id: SourceId,
+    /// Canonical (registration-time) name, original case preserved.
+    pub name: String,
+    pub schema: SchemaRef,
+    pub kind: SourceKind,
+    pub stats: SourceStats,
+}
+
+impl SourceMeta {
+    pub fn new(
+        id: SourceId,
+        name: impl Into<String>,
+        schema: SchemaRef,
+        kind: SourceKind,
+        stats: SourceStats,
+    ) -> Arc<Self> {
+        Arc::new(SourceMeta {
+            id,
+            name: name.into(),
+            schema,
+            kind,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_types::{DataType, Field, Schema};
+
+    #[test]
+    fn kind_predicates() {
+        assert!(SourceKind::Device(DeviceClass::default()).is_device());
+        assert!(!SourceKind::Table.is_device());
+        assert!(SourceKind::Stream.is_stream_like());
+        assert!(SourceKind::Device(DeviceClass::default()).is_stream_like());
+        assert!(!SourceKind::Table.is_stream_like());
+    }
+
+    #[test]
+    fn eq_selectivity_uses_distincts() {
+        let s = SourceStats::table(100).with_distinct("room", 20);
+        assert!((s.eq_selectivity("room") - 0.05).abs() < 1e-12);
+        assert!((s.eq_selectivity("ROOM") - 0.05).abs() < 1e-12);
+        assert!((s.eq_selectivity("unknown") - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_distinct_falls_back_to_default() {
+        let s = SourceStats::table(10).with_distinct("c", 0);
+        assert!((s.eq_selectivity("c") - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meta_construction() {
+        let schema = Schema::new(vec![Field::new("watts", DataType::Float)]).into_ref();
+        let m = SourceMeta::new(
+            SourceId(1),
+            "PduPower",
+            schema,
+            SourceKind::Stream,
+            SourceStats::stream(0.1),
+        );
+        assert_eq!(m.name, "PduPower");
+        assert_eq!(m.stats.rate_hz, Some(0.1));
+    }
+}

@@ -1,0 +1,225 @@
+//! Wire-format codec for mote messages.
+//!
+//! Motes have tiny radios; the paper's sensor cost model counts *messages*
+//! but messages have a byte budget (TinyOS-era payloads are ~28 bytes).
+//! This module gives the sensor engine a realistic encoding of tuple data
+//! so message sizes — and therefore the packets-per-tuple accounting —
+//! are honest rather than guessed.
+//!
+//! Encoding: each value is a 1-byte tag followed by a fixed- or
+//! varint-width payload. Integers use LEB128-style varints so small ADC
+//! readings cost 2–3 bytes, matching real mote payloads.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use aspen_types::{AspenError, Result, Value};
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_TEXT: u8 = 5;
+const TAG_TIMESTAMP: u8 = 6;
+
+/// Encode a varint (LEB128, unsigned).
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64> {
+    let mut out: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(AspenError::Execution("truncated varint".into()));
+        }
+        let b = buf.get_u8();
+        out |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(AspenError::Execution("varint overflow".into()));
+        }
+    }
+}
+
+/// ZigZag encoding maps signed to unsigned so small negatives stay small.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encode a row of values into a fresh buffer.
+pub fn encode_row(values: &[Value]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(values.len() * 4 + 2);
+    put_varint(&mut buf, values.len() as u64);
+    for v in values {
+        match v {
+            Value::Null => buf.put_u8(TAG_NULL),
+            Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+            Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+            Value::Int(i) => {
+                buf.put_u8(TAG_INT);
+                put_varint(&mut buf, zigzag(*i));
+            }
+            Value::Float(f) => {
+                buf.put_u8(TAG_FLOAT);
+                buf.put_f64(*f);
+            }
+            Value::Text(s) => {
+                buf.put_u8(TAG_TEXT);
+                put_varint(&mut buf, s.len() as u64);
+                buf.put_slice(s.as_bytes());
+            }
+            Value::Timestamp(t) => {
+                buf.put_u8(TAG_TIMESTAMP);
+                put_varint(&mut buf, *t);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a row previously produced by [`encode_row`].
+pub fn decode_row(mut buf: Bytes) -> Result<Vec<Value>> {
+    let n = get_varint(&mut buf)? as usize;
+    if n > 1 << 20 {
+        return Err(AspenError::Execution(format!("absurd row arity {n}")));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if !buf.has_remaining() {
+            return Err(AspenError::Execution("truncated row".into()));
+        }
+        let tag = buf.get_u8();
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_BOOL_FALSE => Value::Bool(false),
+            TAG_BOOL_TRUE => Value::Bool(true),
+            TAG_INT => Value::Int(unzigzag(get_varint(&mut buf)?)),
+            TAG_FLOAT => {
+                if buf.remaining() < 8 {
+                    return Err(AspenError::Execution("truncated float".into()));
+                }
+                Value::Float(buf.get_f64())
+            }
+            TAG_TEXT => {
+                let len = get_varint(&mut buf)? as usize;
+                if buf.remaining() < len {
+                    return Err(AspenError::Execution("truncated text".into()));
+                }
+                let bytes = buf.copy_to_bytes(len);
+                let s = std::str::from_utf8(&bytes)
+                    .map_err(|_| AspenError::Execution("invalid utf8 in text".into()))?;
+                Value::Text(s.to_string())
+            }
+            TAG_TIMESTAMP => Value::Timestamp(get_varint(&mut buf)?),
+            other => {
+                return Err(AspenError::Execution(format!("unknown value tag {other}")))
+            }
+        };
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// The encoded size of a row, in bytes — the honest wire cost.
+pub fn wire_size(values: &[Value]) -> usize {
+    encode_row(values).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(vals: Vec<Value>) {
+        let enc = encode_row(&vals);
+        let dec = decode_row(enc).unwrap();
+        assert_eq!(dec, vals);
+    }
+
+    #[test]
+    fn round_trip_all_types() {
+        round_trip(vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Float(3.25),
+            Value::Float(f64::NAN),
+            Value::Text("Moore 100A".into()),
+            Value::Text(String::new()),
+            Value::Timestamp(123_456_789),
+        ]);
+    }
+
+    #[test]
+    fn round_trip_nan_is_nan() {
+        let enc = encode_row(&[Value::Float(f64::NAN)]);
+        match &decode_row(enc).unwrap()[0] {
+            Value::Float(f) => assert!(f.is_nan()),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_ints_are_small() {
+        // A typical mote reading: (node_id, adc_value) should fit well
+        // inside a TinyOS payload.
+        let sz = wire_size(&[Value::Int(17), Value::Int(512)]);
+        assert!(sz <= 6, "size={sz}");
+    }
+
+    #[test]
+    fn empty_row() {
+        round_trip(vec![]);
+        assert_eq!(wire_size(&[]), 1);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let enc = encode_row(&[Value::Text("hello".into())]);
+        let cut = enc.slice(0..enc.len() - 2);
+        assert!(decode_row(cut).is_err());
+    }
+
+    #[test]
+    fn garbage_tag_errors() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 1);
+        buf.put_u8(200);
+        assert!(decode_row(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [-3i64, -1, 0, 1, 2, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            assert_eq!(get_varint(&mut buf.freeze()).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Event types, the node-application trait, and the action context.
+//!
+//! Applications never mutate the simulator directly: each callback gets a
+//! [`Ctx`] into which it queues [`Action`]s (sends, timers, sleeps). The
+//! simulator drains the queue afterwards. This indirection is what keeps
+//! the event loop single-owner and the runs deterministic.
+
+use aspen_types::{NodeId, SimDuration, SimTime};
+
+/// Anything a node can transmit. `wire_bytes` is the honest encoded size
+/// used for energy and bandwidth accounting (see [`crate::codec`]).
+pub trait Payload: Clone + std::fmt::Debug {
+    fn wire_bytes(&self) -> usize;
+}
+
+/// Blanket impl so plain byte buffers work out of the box.
+impl Payload for bytes::Bytes {
+    fn wire_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A per-node program. One instance runs on each simulated mote / base
+/// station; the sensor engine's tree-formation and query protocols are
+/// implemented against this trait.
+pub trait NodeApp<M: Payload> {
+    /// Called once when the node boots (time 0 unless staggered).
+    fn on_start(&mut self, ctx: &mut Ctx<M>);
+    /// Called when a unicast or broadcast message is delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<M>, from: NodeId, msg: M);
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<M>, timer: u64);
+}
+
+/// Actions queued by an application during a callback.
+#[derive(Debug, Clone)]
+pub enum Action<M> {
+    /// Unicast to a radio neighbour. Out-of-range sends are charged TX
+    /// energy but never delivered (the radio doesn't know who hears it).
+    Send { to: NodeId, msg: M },
+    /// Local broadcast to every in-range neighbour; one TX, many RX.
+    Broadcast { msg: M },
+    /// Request an `on_timer(timer)` callback after `delay`.
+    SetTimer { delay: SimDuration, timer: u64 },
+}
+
+/// The capability handle passed to every [`NodeApp`] callback.
+pub struct Ctx<'a, M> {
+    pub(crate) node: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) neighbors: &'a [NodeId],
+    pub(crate) battery_j: f64,
+    pub(crate) actions: Vec<Action<M>>,
+}
+
+impl<'a, M: Payload> Ctx<'a, M> {
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Radio neighbours currently alive and in range. Real motes learn
+    /// this from beacons; we expose the ground truth because the
+    /// tree-formation protocol would discover exactly this set anyway and
+    /// the extra beacon traffic is charged separately by the experiments
+    /// that care (E10 runs with discovery enabled).
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Remaining battery, in joules.
+    pub fn battery(&self) -> f64 {
+        self.battery_j
+    }
+
+    /// Queue a unicast.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Queue a local broadcast.
+    pub fn broadcast(&mut self, msg: M) {
+        self.actions.push(Action::Broadcast { msg });
+    }
+
+    /// Queue a timer callback.
+    pub fn set_timer(&mut self, delay: SimDuration, timer: u64) {
+        self.actions.push(Action::SetTimer { delay, timer });
+    }
+}
+
+/// Internal event record ordered by `(time, seq)`.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    Boot(NodeId),
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, timer: u64 },
+    Kill(NodeId),
+}
+
+#[derive(Debug)]
+pub(crate) struct Event<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse so earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_ordering_is_time_then_seq() {
+        let a = Event::<bytes::Bytes> {
+            time: SimTime::from_micros(5),
+            seq: 2,
+            kind: EventKind::Kill(NodeId(0)),
+        };
+        let b = Event::<bytes::Bytes> {
+            time: SimTime::from_micros(5),
+            seq: 1,
+            kind: EventKind::Kill(NodeId(1)),
+        };
+        let c = Event::<bytes::Bytes> {
+            time: SimTime::from_micros(4),
+            seq: 9,
+            kind: EventKind::Kill(NodeId(2)),
+        };
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(a);
+        heap.push(b);
+        heap.push(c);
+        // Earliest time pops first; ties broken by lower seq.
+        let first = heap.pop().unwrap();
+        assert_eq!(first.time, SimTime::from_micros(4));
+        let second = heap.pop().unwrap();
+        assert_eq!(second.seq, 1);
+    }
+
+    #[test]
+    fn ctx_queues_actions() {
+        let neighbors = vec![NodeId(1), NodeId(2)];
+        let mut ctx: Ctx<'_, bytes::Bytes> = Ctx {
+            node: NodeId(0),
+            now: SimTime::from_secs(1),
+            neighbors: &neighbors,
+            battery_j: 100.0,
+            actions: vec![],
+        };
+        ctx.send(NodeId(1), bytes::Bytes::from_static(b"hi"));
+        ctx.broadcast(bytes::Bytes::from_static(b"yo"));
+        ctx.set_timer(SimDuration::from_secs(2), 7);
+        assert_eq!(ctx.actions.len(), 3);
+        assert_eq!(ctx.me(), NodeId(0));
+        assert_eq!(ctx.neighbors().len(), 2);
+        assert!(matches!(ctx.actions[2], Action::SetTimer { timer: 7, .. }));
+    }
+
+    #[test]
+    fn bytes_payload_wire_size() {
+        let b = bytes::Bytes::from_static(&[0u8; 28]);
+        assert_eq!(b.wire_bytes(), 28);
+    }
+}

@@ -1,0 +1,38 @@
+//! # aspen-netsim
+//!
+//! A deterministic discrete-event simulator for the wireless mote network
+//! that SmartCIS deploys through Penn's Moore building. This crate is the
+//! substitution for the paper's physical IRIS / iMote2 testbed (see
+//! `DESIGN.md` §2): the sensor-engine algorithms are defined purely over
+//! message exchanges between radio neighbours, so a message-level
+//! simulator with a lossy unit-disk radio exercises the same code paths
+//! and — crucially — lets us *count messages and joules*, which is exactly
+//! the cost model the paper's sensor optimizer minimizes.
+//!
+//! ## Model
+//!
+//! * **Nodes** sit at fixed floorplan coordinates (feet), carry a battery
+//!   (joules), and run an application implementing [`NodeApp`].
+//! * **Radio**: unit-disk connectivity with distance-dependent loss
+//!   probability and per-message TX/RX energy ([`RadioModel`]).
+//! * **Events** are totally ordered by `(SimTime, sequence)`; ties broken
+//!   by insertion order, so runs are bit-reproducible for a given seed.
+//! * **Failure injection**: nodes can be scheduled to die mid-run; dead
+//!   nodes neither send nor receive.
+//!
+//! The sensor engine (`aspen-sensor`) installs one [`NodeApp`] per mote and
+//! drives the simulation; `aspen-bench` reads the [`NetStats`] counters to
+//! regenerate experiments E3, E4, E8, and E10.
+
+pub mod codec;
+pub mod event;
+pub mod radio;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+
+pub use event::{Action, Ctx, NodeApp, Payload};
+pub use radio::RadioModel;
+pub use sim::Simulator;
+pub use stats::{NetStats, NodeStats};
+pub use topology::Topology;

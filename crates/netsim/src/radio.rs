@@ -1,0 +1,143 @@
+//! Radio propagation and energy model.
+//!
+//! The model is deliberately simple — unit-disk connectivity with a loss
+//! probability that grows with distance — because the paper's algorithms
+//! only depend on (a) who can hear whom and (b) how expensive a
+//! transmission is. Defaults approximate an IRIS-class 802.15.4 mote:
+//! ~100 ft indoor range, ~50 µJ per transmitted byte at 3 V / ~17 mA /
+//! 250 kbps, receive cost comparable to transmit.
+
+use aspen_types::Point;
+
+/// Parameters of the wireless channel and radio energy accounting.
+#[derive(Debug, Clone)]
+pub struct RadioModel {
+    /// Maximum communication range, feet (unit-disk radius).
+    pub range_ft: f64,
+    /// Loss probability at zero distance (environment noise floor).
+    pub base_loss: f64,
+    /// Additional loss at the edge of range; loss interpolates as
+    /// `base_loss + edge_loss * (d / range)^2`, clamped to [0, 1).
+    pub edge_loss: f64,
+    /// Per-message fixed header bytes charged on top of the payload
+    /// (preamble + MAC header; 802.15.4 uses ~11).
+    pub header_bytes: usize,
+    /// Transmit energy per byte, joules.
+    pub tx_j_per_byte: f64,
+    /// Receive energy per byte, joules.
+    pub rx_j_per_byte: f64,
+    /// Per-hop latency: media access + propagation, microseconds.
+    pub hop_latency_us: u64,
+    /// Radio bandwidth in bytes per microsecond (250 kbps ≈ 0.031).
+    pub bytes_per_us: f64,
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        RadioModel {
+            range_ft: 100.0,
+            base_loss: 0.02,
+            edge_loss: 0.25,
+            header_bytes: 11,
+            tx_j_per_byte: 50e-6,
+            rx_j_per_byte: 45e-6,
+            hop_latency_us: 3_000,
+            bytes_per_us: 0.031,
+        }
+    }
+}
+
+impl RadioModel {
+    /// A lossless variant for tests and for experiments that isolate
+    /// message *counts* from stochastic delivery.
+    pub fn lossless() -> Self {
+        RadioModel {
+            base_loss: 0.0,
+            edge_loss: 0.0,
+            ..RadioModel::default()
+        }
+    }
+
+    /// Whether two positions are within radio range.
+    pub fn in_range(&self, a: Point, b: Point) -> bool {
+        a.distance_sq(b) <= self.range_ft * self.range_ft
+    }
+
+    /// Loss probability for a transmission over distance `d_ft`;
+    /// 1.0 when out of range.
+    pub fn loss_probability(&self, d_ft: f64) -> f64 {
+        if d_ft > self.range_ft {
+            return 1.0;
+        }
+        let frac = d_ft / self.range_ft;
+        (self.base_loss + self.edge_loss * frac * frac).clamp(0.0, 0.999)
+    }
+
+    /// Total on-air bytes for a payload (header + body).
+    pub fn frame_bytes(&self, payload_bytes: usize) -> usize {
+        self.header_bytes + payload_bytes
+    }
+
+    /// Energy to transmit a payload of the given size, joules.
+    pub fn tx_energy(&self, payload_bytes: usize) -> f64 {
+        self.frame_bytes(payload_bytes) as f64 * self.tx_j_per_byte
+    }
+
+    /// Energy to receive a payload of the given size, joules.
+    pub fn rx_energy(&self, payload_bytes: usize) -> f64 {
+        self.frame_bytes(payload_bytes) as f64 * self.rx_j_per_byte
+    }
+
+    /// One-hop delivery latency for a payload, microseconds.
+    pub fn hop_latency(&self, payload_bytes: usize) -> u64 {
+        let serialization = (self.frame_bytes(payload_bytes) as f64 / self.bytes_per_us) as u64;
+        self.hop_latency_us + serialization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_is_symmetric_disk() {
+        let m = RadioModel::default();
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(99.0, 0.0);
+        let c = Point::new(101.0, 0.0);
+        assert!(m.in_range(a, b));
+        assert!(m.in_range(b, a));
+        assert!(!m.in_range(a, c));
+    }
+
+    #[test]
+    fn loss_grows_with_distance() {
+        let m = RadioModel::default();
+        assert!(m.loss_probability(10.0) < m.loss_probability(90.0));
+        assert_eq!(m.loss_probability(150.0), 1.0);
+        assert!(m.loss_probability(0.0) >= 0.0);
+    }
+
+    #[test]
+    fn lossless_has_zero_loss_in_range() {
+        let m = RadioModel::lossless();
+        assert_eq!(m.loss_probability(50.0), 0.0);
+        assert_eq!(m.loss_probability(500.0), 1.0); // still bounded by range
+    }
+
+    #[test]
+    fn energy_scales_with_size() {
+        let m = RadioModel::default();
+        assert!(m.tx_energy(100) > m.tx_energy(10));
+        // Header is charged even for empty payloads.
+        assert!(m.tx_energy(0) > 0.0);
+        assert!(m.rx_energy(0) > 0.0);
+    }
+
+    #[test]
+    fn latency_includes_serialization() {
+        let m = RadioModel::default();
+        assert!(m.hop_latency(28) > m.hop_latency_us);
+        assert!(m.hop_latency(100) > m.hop_latency(28));
+    }
+}

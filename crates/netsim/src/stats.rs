@@ -1,0 +1,98 @@
+//! Message and energy accounting.
+//!
+//! These counters are the *measurements* behind the sensor-side
+//! experiments: E3/E4 compare `msgs_sent` across strategies, E10 reads
+//! `msgs_dropped`, and the battery figures come from per-node `tx_j`/`rx_j`.
+
+use aspen_types::NodeId;
+
+/// Per-node radio counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeStats {
+    pub tx_msgs: u64,
+    pub rx_msgs: u64,
+    pub tx_bytes: u64,
+    pub rx_bytes: u64,
+    pub tx_j: f64,
+    pub rx_j: f64,
+}
+
+impl NodeStats {
+    pub fn total_energy_j(&self) -> f64 {
+        self.tx_j + self.rx_j
+    }
+}
+
+/// Network-wide counters plus the per-node breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    pub msgs_sent: u64,
+    pub msgs_delivered: u64,
+    pub msgs_dropped: u64,
+    pub bytes_sent: u64,
+    pub per_node: Vec<NodeStats>,
+}
+
+impl NetStats {
+    pub fn new(n_nodes: usize) -> Self {
+        NetStats {
+            per_node: vec![NodeStats::default(); n_nodes],
+            ..Default::default()
+        }
+    }
+
+    pub fn node(&self, id: NodeId) -> &NodeStats {
+        &self.per_node[id.index()]
+    }
+
+    /// Total energy drawn across the network, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.per_node.iter().map(NodeStats::total_energy_j).sum()
+    }
+
+    /// Fraction of sends that were delivered (1.0 when nothing sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.msgs_sent == 0 {
+            1.0
+        } else {
+            self.msgs_delivered as f64 / self.msgs_sent as f64
+        }
+    }
+
+    /// The busiest transmitter — in tree topologies this is the node
+    /// nearest the base and predicts which battery dies first.
+    pub fn max_tx_node(&self) -> Option<(NodeId, u64)> {
+        self.per_node
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.tx_msgs)
+            .map(|(i, s)| (NodeId(i as u32), s.tx_msgs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_handles_zero() {
+        let s = NetStats::new(3);
+        assert_eq!(s.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn totals_aggregate_nodes() {
+        let mut s = NetStats::new(2);
+        s.per_node[0].tx_j = 1.5;
+        s.per_node[1].rx_j = 0.5;
+        assert!((s.total_energy_j() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_tx_node_finds_busiest() {
+        let mut s = NetStats::new(3);
+        s.per_node[1].tx_msgs = 10;
+        s.per_node[2].tx_msgs = 4;
+        assert_eq!(s.max_tx_node(), Some((NodeId(1), 10)));
+    }
+}

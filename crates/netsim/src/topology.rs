@@ -1,0 +1,227 @@
+//! Deployment topologies.
+//!
+//! Generators for the node layouts the paper describes: hallway chains
+//! ("embedded in the hallways at major intersection points, and every 100
+//! feet"), per-desk grids in laboratories, and generic grid / random /
+//! star layouts for scaling experiments.
+
+use aspen_types::{NodeId, Point};
+use rand::Rng;
+
+use crate::radio::RadioModel;
+
+/// A set of node positions plus a designated base station.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    positions: Vec<Point>,
+    base: NodeId,
+}
+
+impl Topology {
+    /// Build from explicit positions; `base` indexes into `positions`.
+    pub fn from_positions(positions: Vec<Point>, base: NodeId) -> Self {
+        assert!(
+            base.index() < positions.len(),
+            "base station must be one of the nodes"
+        );
+        Topology { positions, base }
+    }
+
+    /// `nx × ny` grid with the given spacing (feet); base at node 0
+    /// (corner). This models one laboratory's desk motes.
+    pub fn grid(nx: usize, ny: usize, spacing_ft: f64) -> Self {
+        let mut positions = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                positions.push(Point::new(i as f64 * spacing_ft, j as f64 * spacing_ft));
+            }
+        }
+        Topology::from_positions(positions, NodeId(0))
+    }
+
+    /// A hallway: motes every `spacing_ft` along a line of `length_ft`,
+    /// base station at the start. Mirrors the paper's "every 100 feet".
+    pub fn hallway(length_ft: f64, spacing_ft: f64) -> Self {
+        let n = (length_ft / spacing_ft).floor() as usize + 1;
+        let positions = (0..n)
+            .map(|i| Point::new(i as f64 * spacing_ft, 0.0))
+            .collect();
+        Topology::from_positions(positions, NodeId(0))
+    }
+
+    /// `n` nodes uniform in a `side_ft × side_ft` square, base at center.
+    pub fn random(n: usize, side_ft: f64, rng: &mut impl Rng) -> Self {
+        assert!(n >= 1);
+        let mut positions = vec![Point::new(side_ft / 2.0, side_ft / 2.0)];
+        for _ in 1..n {
+            positions.push(Point::new(
+                rng.gen::<f64>() * side_ft,
+                rng.gen::<f64>() * side_ft,
+            ));
+        }
+        Topology::from_positions(positions, NodeId(0))
+    }
+
+    /// `n` leaves on a circle of `radius_ft` around a central base.
+    pub fn star(n: usize, radius_ft: f64) -> Self {
+        let mut positions = vec![Point::ORIGIN];
+        for i in 0..n {
+            let theta = (i as f64) * std::f64::consts::TAU / (n.max(1) as f64);
+            positions.push(Point::new(radius_ft * theta.cos(), radius_ft * theta.sin()));
+        }
+        Topology::from_positions(positions, NodeId(0))
+    }
+
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    pub fn base(&self) -> NodeId {
+        self.base
+    }
+
+    pub fn position(&self, node: NodeId) -> Point {
+        self.positions[node.index()]
+    }
+
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.positions.len()).map(NodeId::from)
+    }
+
+    /// Radio neighbours of `node` under `radio` (excludes self).
+    pub fn neighbors(&self, node: NodeId, radio: &RadioModel) -> Vec<NodeId> {
+        let p = self.position(node);
+        self.node_ids()
+            .filter(|&other| other != node && radio.in_range(p, self.position(other)))
+            .collect()
+    }
+
+    /// Full adjacency list under `radio`.
+    pub fn adjacency(&self, radio: &RadioModel) -> Vec<Vec<NodeId>> {
+        self.node_ids().map(|n| self.neighbors(n, radio)).collect()
+    }
+
+    /// BFS hop distance from the base to every node (`None` if
+    /// unreachable). The maximum is the *network diameter* statistic the
+    /// federated optimizer reads from the catalog.
+    pub fn hops_from_base(&self, radio: &RadioModel) -> Vec<Option<u32>> {
+        let adj = self.adjacency(radio);
+        let mut dist = vec![None; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[self.base.index()] = Some(0);
+        queue.push_back(self.base);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()].unwrap();
+            for &v in &adj[u.index()] {
+                if dist[v.index()].is_none() {
+                    dist[v.index()] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Network depth: max hops from base over reachable nodes.
+    pub fn depth(&self, radio: &RadioModel) -> u32 {
+        self.hops_from_base(radio)
+            .iter()
+            .filter_map(|d| *d)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every node can reach the base.
+    pub fn is_connected(&self, radio: &RadioModel) -> bool {
+        self.hops_from_base(radio).iter().all(Option::is_some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_types::rng::seeded;
+
+    #[test]
+    fn grid_layout_and_count() {
+        let t = Topology::grid(3, 2, 10.0);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.position(NodeId(0)), Point::new(0.0, 0.0));
+        assert_eq!(t.position(NodeId(5)), Point::new(20.0, 10.0));
+    }
+
+    #[test]
+    fn hallway_spacing_matches_paper() {
+        // 500 ft hallway, motes every 100 ft → 6 motes at 0..500.
+        let t = Topology::hallway(500.0, 100.0);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.position(NodeId(5)).x, 500.0);
+    }
+
+    #[test]
+    fn hallway_is_a_chain_at_exact_range() {
+        let t = Topology::hallway(500.0, 100.0);
+        let radio = RadioModel::default(); // 100 ft range
+        // Each interior mote hears exactly its two chain neighbours.
+        let n2 = t.neighbors(NodeId(2), &radio);
+        assert_eq!(n2, vec![NodeId(1), NodeId(3)]);
+        assert!(t.is_connected(&radio));
+        assert_eq!(t.depth(&radio), 5);
+    }
+
+    #[test]
+    fn disconnected_when_spacing_exceeds_range() {
+        let t = Topology::hallway(400.0, 200.0);
+        let radio = RadioModel::default();
+        assert!(!t.is_connected(&radio));
+        let hops = t.hops_from_base(&radio);
+        assert_eq!(hops[0], Some(0));
+        assert!(hops[1].is_none());
+    }
+
+    #[test]
+    fn star_neighbors_include_center() {
+        let t = Topology::star(8, 50.0);
+        let radio = RadioModel::default();
+        for i in 1..=8u32 {
+            assert!(t.neighbors(NodeId(i), &radio).contains(&NodeId(0)));
+        }
+        assert_eq!(t.depth(&radio), 1);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut r1 = seeded(7);
+        let mut r2 = seeded(7);
+        let a = Topology::random(20, 300.0, &mut r1);
+        let b = Topology::random(20, 300.0, &mut r2);
+        assert_eq!(a.positions(), b.positions());
+    }
+
+    #[test]
+    #[should_panic(expected = "base station")]
+    fn bad_base_panics() {
+        Topology::from_positions(vec![Point::ORIGIN], NodeId(3));
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let mut rng = seeded(11);
+        let t = Topology::random(30, 250.0, &mut rng);
+        let radio = RadioModel::default();
+        let adj = t.adjacency(&radio);
+        for (u, neigh) in adj.iter().enumerate() {
+            for v in neigh {
+                assert!(adj[v.index()].contains(&NodeId(u as u32)));
+            }
+        }
+    }
+}

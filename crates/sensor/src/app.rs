@@ -1,0 +1,481 @@
+//! The per-mote program: tree formation, sampling, in-network query
+//! execution.
+//!
+//! One [`SensorApp`] instance runs on every node of the simulated
+//! network. Behaviour is driven by the node's [`NodeRole`] and the
+//! installed [`QuerySpec`]; readings come from a precomputed per-epoch
+//! schedule so that results are identical across strategies (only the
+//! *message traffic* differs — which is exactly what the experiments
+//! measure).
+
+use std::collections::HashMap;
+
+use aspen_netsim::{Ctx, NodeApp};
+use aspen_sql::expr::PartialAgg;
+use aspen_types::{NodeId, SimDuration, SimTime, Value};
+
+use crate::config::{DeviceAttr, JoinStrategy, NodeRole, QuerySpec};
+use crate::message::SensorMsg;
+
+/// Timer kinds (low 4 bits); the epoch index rides in the high bits.
+const TIMER_SAMPLE: u64 = 1;
+const TIMER_AGG_SEND: u64 = 2;
+
+fn timer(kind: u64, epoch: u32) -> u64 {
+    kind | ((epoch as u64) << 4)
+}
+
+fn timer_kind(t: u64) -> u64 {
+    t & 0xF
+}
+
+fn timer_epoch(t: u64) -> u32 {
+    (t >> 4) as u32
+}
+
+/// Maximum tree depth assumed by the TAG transmission slotting.
+const DEPTH_CAP: u32 = 16;
+
+/// Per-node sensor program.
+pub struct SensorApp {
+    pub role: NodeRole,
+    pub spec: QuerySpec,
+    /// Epoch duration.
+    epoch: SimDuration,
+    /// Number of sampling epochs to run.
+    n_epochs: u32,
+    /// Sampling epochs start after one tree-formation epoch.
+    epoch0: SimTime,
+
+    // --- tree state ---
+    pub parent: Option<NodeId>,
+    pub hops: u32,
+    flooded: bool,
+    timers_started: bool,
+
+    // --- device state ---
+    /// Precomputed reading per epoch (`None` = this device does not
+    /// sample in that epoch).
+    pub schedule: Vec<Option<f64>>,
+    /// Latest value received from the desk partner (join probes).
+    latest_partner: Option<f64>,
+    /// Latest own reading (joined output needs both sides).
+    latest_own: Option<f64>,
+
+    // --- aggregation state (any node can be a merge point) ---
+    partials: HashMap<u32, PartialAgg>,
+
+    // --- base-station state ---
+    /// Node → sampled attribute, installed on the base for join routing.
+    pub base_attr_of: HashMap<NodeId, DeviceAttr>,
+    /// Raw or joined readings received at base: `(epoch, origin, values)`.
+    pub base_readings: Vec<(u32, NodeId, Vec<Value>)>,
+    /// Per-epoch aggregate results at base.
+    pub base_agg: HashMap<u32, PartialAgg>,
+    /// Base-side join state: latest light/temp per desk.
+    base_latest_light: HashMap<i64, f64>,
+    base_latest_temp: HashMap<i64, f64>,
+    /// Join outputs at base: `(epoch, desk, temp, light)`.
+    pub base_join_outputs: Vec<(u32, i64, f64, f64)>,
+}
+
+impl SensorApp {
+    pub fn new(
+        role: NodeRole,
+        spec: QuerySpec,
+        epoch: SimDuration,
+        n_epochs: u32,
+        schedule: Vec<Option<f64>>,
+    ) -> Self {
+        SensorApp {
+            role,
+            spec,
+            epoch,
+            n_epochs,
+            epoch0: SimTime::ZERO + epoch, // one epoch of tree formation
+            parent: None,
+            hops: u32::MAX,
+            flooded: false,
+            timers_started: false,
+            schedule,
+            latest_partner: None,
+            latest_own: None,
+            partials: HashMap::new(),
+            base_attr_of: HashMap::new(),
+            base_readings: Vec::new(),
+            base_agg: HashMap::new(),
+            base_latest_light: HashMap::new(),
+            base_latest_temp: HashMap::new(),
+            base_join_outputs: Vec::new(),
+        }
+    }
+
+    fn is_base(&self) -> bool {
+        matches!(self.role, NodeRole::Base)
+    }
+
+    /// Whether this node needs per-epoch timers under the current spec.
+    fn needs_epoch_timers(&self) -> bool {
+        match (&self.role, &self.spec) {
+            (NodeRole::Base, _) => false,
+            (NodeRole::Device { .. }, _) => true,
+            // Relays are merge points only during aggregation.
+            (NodeRole::Relay, QuerySpec::Aggregate { .. }) => true,
+            (NodeRole::Relay, _) => false,
+        }
+    }
+
+    fn start_epoch_timers(&mut self, ctx: &mut Ctx<SensorMsg>) {
+        if self.timers_started || !self.needs_epoch_timers() {
+            return;
+        }
+        self.timers_started = true;
+        self.schedule_epoch(ctx, 0);
+    }
+
+    fn schedule_epoch(&mut self, ctx: &mut Ctx<SensorMsg>, k: u32) {
+        if k >= self.n_epochs {
+            return;
+        }
+        let start = self.epoch0 + self.epoch.times(k as u64);
+        // Small per-node jitter keeps transmissions from landing on the
+        // same instant (no MAC modelled, but it keeps event order sane).
+        let jitter = SimDuration::from_micros((ctx.me().0 as u64 % 97) * 50);
+        let sample_at = start + jitter;
+        let delay = sample_at.since(ctx.now());
+        ctx.set_timer(delay, timer(TIMER_SAMPLE, k));
+
+        if matches!(self.spec, QuerySpec::Aggregate { .. }) && !self.is_base() {
+            // TAG slot: deeper nodes transmit earlier in the epoch's
+            // second half.
+            let depth = self.hops.min(DEPTH_CAP);
+            let step = SimDuration::from_micros(self.epoch.as_micros() / (2 * DEPTH_CAP as u64 + 2));
+            let send_at =
+                start + SimDuration::from_micros(self.epoch.as_micros() / 2)
+                    + step.times((DEPTH_CAP - depth) as u64)
+                    + jitter;
+            ctx.set_timer(send_at.since(ctx.now()), timer(TIMER_AGG_SEND, k));
+        }
+    }
+
+    fn sample(&mut self, ctx: &mut Ctx<SensorMsg>, k: u32) {
+        let NodeRole::Device {
+            desk,
+            attr,
+            partner,
+            ..
+        } = &self.role
+        else {
+            return;
+        };
+        let desk = *desk;
+        let attr = *attr;
+        let partner = *partner;
+        let Some(Some(value)) = self.schedule.get(k as usize).copied() else {
+            return; // not sampling this epoch
+        };
+        self.latest_own = Some(value);
+
+        match &self.spec {
+            QuerySpec::Collect {
+                attr: wanted,
+                selection,
+            } => {
+                if attr != *wanted {
+                    return;
+                }
+                let keep = match selection {
+                    None => true,
+                    // Selection pushdown: light keeps "dark" readings
+                    // (occupied seats), temp keeps hot readings.
+                    Some(s) => match attr {
+                        DeviceAttr::Light => value < *s,
+                        DeviceAttr::Temp => value > *s,
+                    },
+                };
+                if keep {
+                    if let Some(p) = self.parent {
+                        ctx.send(
+                            p,
+                            SensorMsg::Reading {
+                                origin: ctx.me(),
+                                epoch: k,
+                                values: vec![Value::Int(desk as i64), Value::Float(value)],
+                            },
+                        );
+                    }
+                }
+            }
+            QuerySpec::Aggregate { attr: wanted, .. } => {
+                if attr == *wanted {
+                    // Contribution is folded in at AGG_SEND time.
+                    self.partials
+                        .entry(k)
+                        .or_default()
+                        .merge(&PartialAgg::of(value));
+                }
+            }
+            QuerySpec::Join {
+                threshold,
+                placement,
+            } => {
+                let strategy = placement.get(&desk).copied().unwrap_or(JoinStrategy::AtBase);
+                let threshold = *threshold;
+                match (strategy, attr) {
+                    (JoinStrategy::AtBase, _) => {
+                        if let Some(p) = self.parent {
+                            ctx.send(
+                                p,
+                                SensorMsg::Reading {
+                                    origin: ctx.me(),
+                                    epoch: k,
+                                    values: vec![Value::Int(desk as i64), Value::Float(value)],
+                                },
+                            );
+                        }
+                    }
+                    (JoinStrategy::AtTemp, DeviceAttr::Light) => {
+                        if let Some(partner) = partner {
+                            ctx.send(
+                                partner,
+                                SensorMsg::Probe {
+                                    origin: ctx.me(),
+                                    epoch: k,
+                                    values: vec![Value::Float(value)],
+                                },
+                            );
+                        }
+                    }
+                    (JoinStrategy::AtTemp, DeviceAttr::Temp) => {
+                        if let Some(light) = self.latest_partner {
+                            if light < threshold {
+                                if let Some(p) = self.parent {
+                                    ctx.send(
+                                        p,
+                                        SensorMsg::Reading {
+                                            origin: ctx.me(),
+                                            epoch: k,
+                                            values: vec![
+                                                Value::Int(desk as i64),
+                                                Value::Float(value),
+                                                Value::Float(light),
+                                            ],
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    (JoinStrategy::AtLight, DeviceAttr::Temp) => {
+                        if let Some(partner) = partner {
+                            ctx.send(
+                                partner,
+                                SensorMsg::Probe {
+                                    origin: ctx.me(),
+                                    epoch: k,
+                                    values: vec![Value::Float(value)],
+                                },
+                            );
+                        }
+                    }
+                    (JoinStrategy::AtLight, DeviceAttr::Light) => {
+                        if value < threshold {
+                            if let Some(temp) = self.latest_partner {
+                                if let Some(p) = self.parent {
+                                    ctx.send(
+                                        p,
+                                        SensorMsg::Reading {
+                                            origin: ctx.me(),
+                                            epoch: k,
+                                            values: vec![
+                                                Value::Int(desk as i64),
+                                                Value::Float(temp),
+                                                Value::Float(value),
+                                            ],
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn agg_send(&mut self, ctx: &mut Ctx<SensorMsg>, k: u32) {
+        let Some(merged) = self.partials.remove(&k) else {
+            return; // nothing heard, nothing sampled: suppress
+        };
+        if merged.count == 0 {
+            return;
+        }
+        if let Some(p) = self.parent {
+            ctx.send(p, SensorMsg::Partial { epoch: k, agg: merged });
+        }
+    }
+
+    fn handle_base_reading(&mut self, epoch: u32, origin: NodeId, values: Vec<Value>) {
+        if let QuerySpec::Join { threshold, .. } = &self.spec {
+            let threshold = *threshold;
+            match values.as_slice() {
+                // Raw reading from an AtBase desk: [desk, value].
+                [Value::Int(desk), Value::Float(v)] => {
+                    match self.base_attr_of.get(&origin) {
+                        Some(DeviceAttr::Light) => {
+                            self.base_latest_light.insert(*desk, *v);
+                        }
+                        Some(DeviceAttr::Temp) => {
+                            self.base_latest_temp.insert(*desk, *v);
+                            // Join on temp arrival using the latest light.
+                            if let Some(light) = self.base_latest_light.get(desk) {
+                                if *light < threshold {
+                                    self.base_join_outputs.push((epoch, *desk, *v, *light));
+                                }
+                            }
+                        }
+                        None => {}
+                    }
+                }
+                // Pre-joined tuple from an in-network desk:
+                // [desk, temp, light].
+                [Value::Int(desk), Value::Float(temp), Value::Float(light)] => {
+                    self.base_join_outputs.push((epoch, *desk, *temp, *light));
+                }
+                _ => {}
+            }
+        }
+        self.base_readings.push((epoch, origin, values));
+    }
+}
+
+impl NodeApp<SensorMsg> for SensorApp {
+    fn on_start(&mut self, ctx: &mut Ctx<SensorMsg>) {
+        if self.is_base() {
+            self.hops = 0;
+            self.flooded = true;
+            ctx.broadcast(SensorMsg::Beacon { hops: 0 });
+            ctx.broadcast(SensorMsg::QueryFlood { query_id: 0 });
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<SensorMsg>, from: NodeId, msg: SensorMsg) {
+        match msg {
+            SensorMsg::Beacon { hops } => {
+                if hops + 1 < self.hops {
+                    self.hops = hops + 1;
+                    self.parent = Some(from);
+                    ctx.broadcast(SensorMsg::Beacon { hops: self.hops });
+                    self.start_epoch_timers(ctx);
+                }
+            }
+            SensorMsg::QueryFlood { query_id } => {
+                if !self.flooded {
+                    self.flooded = true;
+                    ctx.broadcast(SensorMsg::QueryFlood { query_id });
+                }
+            }
+            SensorMsg::Reading {
+                origin,
+                epoch,
+                values,
+            } => {
+                if self.is_base() {
+                    self.handle_base_reading(epoch, origin, values);
+                } else if let Some(p) = self.parent {
+                    // Tree routing toward the base.
+                    ctx.send(
+                        p,
+                        SensorMsg::Reading {
+                            origin,
+                            epoch,
+                            values,
+                        },
+                    );
+                }
+            }
+            SensorMsg::Partial { epoch, agg } => {
+                if self.is_base() {
+                    self.base_agg.entry(epoch).or_default().merge(&agg);
+                } else {
+                    self.partials.entry(epoch).or_default().merge(&agg);
+                }
+            }
+            SensorMsg::Probe { values, .. } => {
+                if let [Value::Float(v)] = values.as_slice() {
+                    self.latest_partner = Some(*v);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<SensorMsg>, t: u64) {
+        let k = timer_epoch(t);
+        match timer_kind(t) {
+            TIMER_SAMPLE => {
+                // Chain the next epoch first so sends happen in order.
+                self.schedule_epoch(ctx, k + 1);
+                self.sample(ctx, k);
+            }
+            TIMER_AGG_SEND => {
+                self.agg_send(ctx, k);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_encoding_round_trips() {
+        let t = timer(TIMER_AGG_SEND, 1234);
+        assert_eq!(timer_kind(t), TIMER_AGG_SEND);
+        assert_eq!(timer_epoch(t), 1234);
+    }
+
+    #[test]
+    fn needs_epoch_timers_by_role_and_spec() {
+        let dev = SensorApp::new(
+            NodeRole::Device {
+                room: "r".into(),
+                desk: 1,
+                attr: DeviceAttr::Light,
+                partner: None,
+                model: Default::default(),
+            },
+            QuerySpec::Collect {
+                attr: DeviceAttr::Light,
+                selection: None,
+            },
+            SimDuration::from_secs(10),
+            5,
+            vec![Some(1.0); 5],
+        );
+        assert!(dev.needs_epoch_timers());
+        let relay_collect = SensorApp::new(
+            NodeRole::Relay,
+            QuerySpec::Collect {
+                attr: DeviceAttr::Light,
+                selection: None,
+            },
+            SimDuration::from_secs(10),
+            5,
+            vec![],
+        );
+        assert!(!relay_collect.needs_epoch_timers());
+        let relay_agg = SensorApp::new(
+            NodeRole::Relay,
+            QuerySpec::Aggregate {
+                func: aspen_sql::expr::AggFunc::Avg,
+                attr: DeviceAttr::Temp,
+            },
+            SimDuration::from_secs(10),
+            5,
+            vec![],
+        );
+        assert!(relay_agg.needs_epoch_timers());
+    }
+}

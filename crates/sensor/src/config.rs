@@ -1,0 +1,153 @@
+//! Per-node configuration: roles, reading schedules, query specs.
+
+use std::collections::HashMap;
+
+use aspen_sql::expr::AggFunc;
+use aspen_types::NodeId;
+
+/// What a mote samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceAttr {
+    /// Seat light level (low = occupied, per the paper's chair sensors).
+    Light,
+    /// Machine temperature.
+    Temp,
+}
+
+/// How a desk's temperature ⋈ light join is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Both motes ship raw readings to the base station; join there.
+    AtBase,
+    /// Light mote ships to the temperature mote; the temp mote applies
+    /// the threshold and ships the joined tuple when it passes.
+    AtTemp,
+    /// Temperature mote ships to the light mote; join evaluated there.
+    AtLight,
+}
+
+/// Stochastic reading model for one device mote. All draws come from the
+/// node's own seeded generator, so runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct ReadingModel {
+    /// Probability the seat is occupied in any given light epoch (drives
+    /// join selectivity). Ignored for temperature motes.
+    pub occupancy: f64,
+    /// Mean temperature (Temp motes).
+    pub temp_mean: f64,
+    /// Uniform +- spread around the mean.
+    pub temp_spread: f64,
+    /// This device samples every `period_epochs` engine epochs (rate
+    /// asymmetry between light and temp streams is central to the
+    /// placement decision).
+    pub period_epochs: u32,
+}
+
+impl Default for ReadingModel {
+    fn default() -> Self {
+        ReadingModel {
+            occupancy: 0.3,
+            temp_mean: 75.0,
+            temp_spread: 10.0,
+            period_epochs: 1,
+        }
+    }
+}
+
+/// Light level emitted when a seat is occupied / free. The paper's
+/// convention: a person in the chair shadows the sensor, so occupied
+/// means LOW light.
+pub const LIGHT_OCCUPIED: f64 = 40.0;
+pub const LIGHT_FREE: f64 = 600.0;
+/// Threshold used by SmartCIS queries: occupied ⇔ `light < 100`.
+pub const LIGHT_THRESHOLD: f64 = 100.0;
+
+/// Role a node plays in the deployment.
+#[derive(Debug, Clone)]
+pub enum NodeRole {
+    /// The base station (tree root, result collector).
+    Base,
+    /// Hallway/relay mote: forwards traffic, participates in aggregation
+    /// as a merge point but samples nothing.
+    Relay,
+    /// A device mote at a desk.
+    Device {
+        room: String,
+        desk: u32,
+        attr: DeviceAttr,
+        /// The co-located partner mote (the other half of the desk pair).
+        partner: Option<NodeId>,
+        model: ReadingModel,
+    },
+}
+
+impl NodeRole {
+    pub fn is_device(&self) -> bool {
+        matches!(self, NodeRole::Device { .. })
+    }
+}
+
+/// The query installed on the network for one run.
+#[derive(Debug, Clone)]
+pub enum QuerySpec {
+    /// Ship every reading of `attr` to base (optionally only those whose
+    /// value passes `selection`: (value, keep-if-less-than) semantics for
+    /// Light, greater-than for Temp).
+    Collect {
+        attr: DeviceAttr,
+        selection: Option<f64>,
+    },
+    /// TAG aggregation of `attr` across the network, one result per epoch.
+    Aggregate { func: AggFunc, attr: DeviceAttr },
+    /// Per-desk temperature ⋈ light join with a light threshold; the
+    /// placement table assigns each desk its strategy.
+    Join {
+        threshold: f64,
+        placement: HashMap<u32, JoinStrategy>,
+    },
+}
+
+impl QuerySpec {
+    /// Default join spec with a uniform strategy for every desk.
+    pub fn uniform_join(threshold: f64, strategy: JoinStrategy, desks: &[u32]) -> QuerySpec {
+        QuerySpec::Join {
+            threshold,
+            placement: desks.iter().map(|&d| (d, strategy)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_join_covers_all_desks() {
+        let q = QuerySpec::uniform_join(100.0, JoinStrategy::AtTemp, &[1, 2, 3]);
+        let QuerySpec::Join { placement, .. } = q else {
+            panic!()
+        };
+        assert_eq!(placement.len(), 3);
+        assert!(placement.values().all(|s| *s == JoinStrategy::AtTemp));
+    }
+
+    #[test]
+    fn role_predicates() {
+        assert!(!NodeRole::Base.is_device());
+        assert!(!NodeRole::Relay.is_device());
+        let d = NodeRole::Device {
+            room: "r".into(),
+            desk: 1,
+            attr: DeviceAttr::Light,
+            partner: None,
+            model: ReadingModel::default(),
+        };
+        assert!(d.is_device());
+    }
+
+    #[test]
+    fn occupied_is_darker_than_free() {
+        assert!(LIGHT_OCCUPIED < LIGHT_THRESHOLD);
+        assert!(LIGHT_FREE > LIGHT_THRESHOLD);
+    }
+}

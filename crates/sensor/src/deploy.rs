@@ -1,0 +1,196 @@
+//! Deployment builder: the physical layout of a SmartCIS-style lab wing.
+//!
+//! Mirrors the paper's §2 description: a base station, hallway relay
+//! motes "at major intersection points, and every 100 feet", and per-desk
+//! device pairs — one light mote on the chair, one temperature mote on
+//! the machine — inside the labs hanging off the hallway.
+
+use aspen_netsim::{RadioModel, Topology};
+use aspen_types::{NodeId, Point};
+
+use crate::config::{DeviceAttr, NodeRole, ReadingModel};
+
+/// One desk's pair of motes.
+#[derive(Debug, Clone)]
+pub struct DeskBinding {
+    pub desk: u32,
+    pub room: String,
+    pub light: NodeId,
+    pub temp: NodeId,
+}
+
+/// A full physical deployment: topology + per-node roles + desk index.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    pub topology: Topology,
+    pub roles: Vec<NodeRole>,
+    pub desks: Vec<DeskBinding>,
+}
+
+impl Deployment {
+    /// Build a lab wing:
+    ///
+    /// * base station at the origin,
+    /// * `relays` hallway motes spaced `relay_spacing_ft` along +x,
+    /// * `desks` desks distributed round-robin across the relays; desk
+    ///   pairs sit `desk_offset_ft` off the hallway, light and temp motes
+    ///   2 ft apart (always within one radio hop of each other and of
+    ///   their relay).
+    pub fn lab_wing(relays: usize, desks: usize, relay_spacing_ft: f64) -> Deployment {
+        let desk_offset_ft = 30.0;
+        let mut positions = vec![Point::new(0.0, 0.0)];
+        let mut roles = vec![NodeRole::Base];
+
+        for i in 0..relays {
+            positions.push(Point::new((i + 1) as f64 * relay_spacing_ft, 0.0));
+            roles.push(NodeRole::Relay);
+        }
+
+        let mut desk_bindings = Vec::with_capacity(desks);
+        for d in 0..desks {
+            let relay_idx = d % relays.max(1);
+            let relay_x = (relay_idx + 1) as f64 * relay_spacing_ft;
+            // Stack multiple desks per relay at increasing y, alternating
+            // sides of the hallway.
+            let tier = (d / relays.max(1)) as f64;
+            let side = if d % 2 == 0 { 1.0 } else { -1.0 };
+            let y = side * (desk_offset_ft + tier * 8.0);
+            let x = relay_x + (tier * 3.0);
+
+            let light_id = NodeId(positions.len() as u32);
+            positions.push(Point::new(x, y));
+            let temp_id = NodeId(positions.len() as u32);
+            positions.push(Point::new(x + 2.0, y));
+
+            let room = format!("lab{}", relay_idx + 1);
+            let desk_no = d as u32 + 1;
+            roles.push(NodeRole::Device {
+                room: room.clone(),
+                desk: desk_no,
+                attr: DeviceAttr::Light,
+                partner: Some(temp_id),
+                model: ReadingModel::default(),
+            });
+            roles.push(NodeRole::Device {
+                room: room.clone(),
+                desk: desk_no,
+                attr: DeviceAttr::Temp,
+                partner: Some(light_id),
+                model: ReadingModel::default(),
+            });
+            desk_bindings.push(DeskBinding {
+                desk: desk_no,
+                room,
+                light: light_id,
+                temp: temp_id,
+            });
+        }
+
+        Deployment {
+            topology: Topology::from_positions(positions, NodeId(0)),
+            roles,
+            desks: desk_bindings,
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// Mutate a desk's reading model (occupancy, rates) — how the
+    /// experiments set up heterogeneous desks.
+    pub fn set_desk_model(
+        &mut self,
+        desk: u32,
+        occupancy: f64,
+        light_period_epochs: u32,
+        temp_period_epochs: u32,
+    ) {
+        let binding = self
+            .desks
+            .iter()
+            .find(|b| b.desk == desk)
+            .cloned()
+            .unwrap_or_else(|| panic!("unknown desk {desk}"));
+        for (node, period) in [
+            (binding.light, light_period_epochs),
+            (binding.temp, temp_period_epochs),
+        ] {
+            if let NodeRole::Device { model, .. } = &mut self.roles[node.index()] {
+                model.occupancy = occupancy;
+                model.period_epochs = period.max(1);
+            }
+        }
+    }
+
+    /// All desk numbers.
+    pub fn desk_ids(&self) -> Vec<u32> {
+        self.desks.iter().map(|b| b.desk).collect()
+    }
+
+    /// Verify the radio graph is connected under `radio` (sanity check
+    /// for experiment setups).
+    pub fn is_connected(&self, radio: &RadioModel) -> bool {
+        self.topology.is_connected(radio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_wing_shape() {
+        let d = Deployment::lab_wing(3, 6, 80.0);
+        // 1 base + 3 relays + 12 device motes
+        assert_eq!(d.node_count(), 16);
+        assert_eq!(d.desks.len(), 6);
+        assert!(matches!(d.roles[0], NodeRole::Base));
+        assert!(matches!(d.roles[1], NodeRole::Relay));
+        // Desk pairs are 2 ft apart.
+        let b = &d.desks[0];
+        let lp = d.topology.position(b.light);
+        let tp = d.topology.position(b.temp);
+        assert!((lp.distance(tp) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lab_wing_is_connected_with_default_radio() {
+        let d = Deployment::lab_wing(4, 16, 80.0);
+        assert!(d.is_connected(&RadioModel::default()));
+    }
+
+    #[test]
+    fn desk_pairs_reference_each_other() {
+        let d = Deployment::lab_wing(2, 4, 80.0);
+        for b in &d.desks {
+            let NodeRole::Device { partner, attr, .. } = &d.roles[b.light.index()] else {
+                panic!()
+            };
+            assert_eq!(*attr, DeviceAttr::Light);
+            assert_eq!(*partner, Some(b.temp));
+            let NodeRole::Device { partner, attr, .. } = &d.roles[b.temp.index()] else {
+                panic!()
+            };
+            assert_eq!(*attr, DeviceAttr::Temp);
+            assert_eq!(*partner, Some(b.light));
+        }
+    }
+
+    #[test]
+    fn set_desk_model_applies_to_both_motes() {
+        let mut d = Deployment::lab_wing(2, 2, 80.0);
+        d.set_desk_model(1, 0.9, 1, 3);
+        let b = d.desks.iter().find(|b| b.desk == 1).unwrap().clone();
+        for node in [b.light, b.temp] {
+            let NodeRole::Device { model, .. } = &d.roles[node.index()] else {
+                panic!()
+            };
+            assert!((model.occupancy - 0.9).abs() < 1e-12);
+        }
+        let NodeRole::Device { model, .. } = &d.roles[b.temp.index()] else {
+            panic!()
+        };
+        assert_eq!(model.period_epochs, 3);
+    }
+}

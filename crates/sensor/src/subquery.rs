@@ -1,0 +1,408 @@
+//! The Garlic-style engine interface for the federated optimizer.
+//!
+//! The federated optimizer proposes pushing a fragment of the query graph
+//! to the sensor network; [`admit`] answers *whether this engine can
+//! execute it* and classifies the fragment, and [`estimate_messages`]
+//! prices it in the engine's native cost unit — **radio messages per
+//! epoch** (the sensor optimizer "attempts to minimize message traffic").
+
+use aspen_catalog::{NetworkStats, SourceKind};
+use aspen_sql::ast::{CmpOp, Expr};
+use aspen_sql::expr::AggFunc;
+use aspen_sql::plan::QueryGraph;
+use aspen_types::{Result, Value};
+
+use crate::placement::{choose_placement, DeskStats};
+
+/// A sensor-executable fragment, classified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensorSubquery {
+    /// Single device relation, constant selections pushed to the motes.
+    CollectSelect {
+        relation: usize,
+        /// Estimated fraction of readings surviving the selections.
+        selectivity: f64,
+    },
+    /// Single device relation under a decomposable aggregate.
+    Aggregate { relation: usize, func: AggFunc },
+    /// Two co-located device relations joined on room/desk proximity
+    /// with constant selections (the temperature ⋈ light pattern).
+    PairJoin {
+        left: usize,
+        right: usize,
+        /// Estimated fraction of pairs surviving the threshold.
+        selectivity: f64,
+    },
+}
+
+/// Columns regarded as proximity keys: equality on these between two
+/// device relations means "the same desk/room", which co-located motes
+/// can evaluate without routing through the base.
+const PROXIMITY_COLS: &[&str] = &["room", "desk", "node"];
+
+fn is_device(graph: &QueryGraph, idx: usize) -> bool {
+    matches!(graph.relations[idx].meta.kind, SourceKind::Device(_))
+}
+
+fn device_caps(graph: &QueryGraph, idx: usize) -> Option<aspen_catalog::DeviceCapabilities> {
+    match &graph.relations[idx].meta.kind {
+        SourceKind::Device(d) => Some(d.capabilities),
+        _ => None,
+    }
+}
+
+/// Is `e` a constant-threshold predicate over a single relation
+/// (`col <op> literal`)? Returns the estimated selectivity.
+fn constant_selection(graph: &QueryGraph, e: &Expr, rel: usize) -> Option<f64> {
+    let (col, lit, _op) = match e {
+        Expr::Cmp { op, left, right } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Column { qualifier, name }, Expr::Literal(v)) => {
+                ((qualifier.clone(), name.clone()), v.clone(), *op)
+            }
+            (Expr::Literal(v), Expr::Column { qualifier, name }) => {
+                ((qualifier.clone(), name.clone()), v.clone(), op.flip())
+            }
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let mask = graph.relation_mask(e).ok()?;
+    if mask != 1u64 << rel {
+        return None;
+    }
+    let stats = &graph.relations[rel].meta.stats;
+    Some(match lit {
+        // Equality: use distinct counts.
+        _ if matches!(e, Expr::Cmp { op: CmpOp::Eq, .. }) => stats.eq_selectivity(&col.1),
+        // Range threshold: System R default 1/3.
+        Value::Int(_) | Value::Float(_) => 1.0 / 3.0,
+        _ => 0.5,
+    })
+}
+
+/// Is `e` an equality between proximity columns of exactly relations
+/// `a` and `b`?
+fn proximity_join(graph: &QueryGraph, e: &Expr, a: usize, b: usize) -> bool {
+    let Expr::Cmp {
+        op: CmpOp::Eq,
+        left,
+        right,
+    } = e
+    else {
+        return false;
+    };
+    let (Expr::Column { name: ln, .. }, Expr::Column { name: rn, .. }) =
+        (left.as_ref(), right.as_ref())
+    else {
+        return false;
+    };
+    let lnl = ln.to_ascii_lowercase();
+    let rnl = rn.to_ascii_lowercase();
+    if !PROXIMITY_COLS.contains(&lnl.as_str()) || !PROXIMITY_COLS.contains(&rnl.as_str()) {
+        return false;
+    }
+    match graph.relation_mask(e) {
+        Ok(mask) => mask == (1u64 << a) | (1u64 << b),
+        Err(_) => false,
+    }
+}
+
+/// Garlic protocol step 1: can the sensor engine execute the fragment of
+/// `graph` consisting of `rel_indices`?  Returns the classified subquery
+/// or `None` (the engine's "no").
+pub fn admit(graph: &QueryGraph, rel_indices: &[usize]) -> Result<Option<SensorSubquery>> {
+    // Every relation must be a device stream.
+    if rel_indices.is_empty() || rel_indices.len() > 2 {
+        return Ok(None);
+    }
+    if !rel_indices.iter().all(|&i| is_device(graph, i)) {
+        return Ok(None);
+    }
+    let in_fragment = |mask: u64| -> bool {
+        let frag: u64 = rel_indices.iter().map(|&i| 1u64 << i).sum();
+        mask & !frag == 0
+    };
+
+    // Classify the predicates touching only the fragment.
+    let mut selectivity = 1.0;
+    let mut has_proximity = false;
+    for p in &graph.predicates {
+        let mask = graph.relation_mask(p)?;
+        if !in_fragment(mask) || mask == 0 {
+            continue; // evaluated elsewhere (stream side)
+        }
+        if rel_indices.len() == 2
+            && proximity_join(graph, p, rel_indices[0], rel_indices[1])
+        {
+            has_proximity = true;
+            continue;
+        }
+        // Must be a constant selection on one fragment relation.
+        let mut matched = false;
+        for &r in rel_indices {
+            if let Some(s) = constant_selection(graph, p, r) {
+                if !device_caps(graph, r).is_some_and(|c| c.selection) {
+                    return Ok(None); // mote cannot filter
+                }
+                selectivity *= s;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Ok(None); // e.g. LIKE between devices — not mote-executable
+        }
+    }
+
+    match rel_indices {
+        [r] => {
+            // Aggregate fragment? Only if the whole query aggregates this
+            // single relation and the function decomposes.
+            let aggs = aspen_sql::plan::collect_aggregates(graph);
+            if graph.relations.len() == 1 && aggs.len() == 1 && graph.group_by.is_empty() {
+                if let Expr::Agg { func, .. } = &aggs[0] {
+                    if let Some(f) = AggFunc::by_name(func) {
+                        if device_caps(graph, *r).is_some_and(|c| c.partial_aggregation) {
+                            return Ok(Some(SensorSubquery::Aggregate {
+                                relation: *r,
+                                func: f,
+                            }));
+                        }
+                    }
+                }
+                return Ok(None);
+            }
+            Ok(Some(SensorSubquery::CollectSelect {
+                relation: *r,
+                selectivity,
+            }))
+        }
+        [a, b] => {
+            if !has_proximity {
+                return Ok(None); // cross product between fleets: refuse
+            }
+            if !device_caps(graph, *a).is_some_and(|c| c.in_network_join)
+                || !device_caps(graph, *b).is_some_and(|c| c.in_network_join)
+            {
+                return Ok(None);
+            }
+            Ok(Some(SensorSubquery::PairJoin {
+                left: *a,
+                right: *b,
+                selectivity,
+            }))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Garlic protocol step 2: price an admitted fragment in messages/epoch.
+pub fn estimate_messages(
+    graph: &QueryGraph,
+    subq: &SensorSubquery,
+    net: &NetworkStats,
+) -> f64 {
+    let fleet = |idx: usize| -> f64 {
+        match &graph.relations[idx].meta.kind {
+            SourceKind::Device(d) => d.fleet_size as f64,
+            _ => 0.0,
+        }
+    };
+    // Average path length ≈ half the diameter, with loss-driven retries.
+    let avg_hops = (net.diameter_hops as f64 / 2.0).max(1.0) * net.expected_tx_per_hop();
+    match subq {
+        SensorSubquery::CollectSelect {
+            relation,
+            selectivity,
+        } => fleet(*relation) * selectivity * avg_hops,
+        SensorSubquery::Aggregate { .. } => {
+            // TAG: one partial per node per epoch.
+            net.node_count as f64 * net.expected_tx_per_hop()
+        }
+        SensorSubquery::PairJoin {
+            left,
+            right,
+            selectivity,
+        } => {
+            // Price via the per-sensor placement model using fleet-level
+            // averages (per-desk refinement happens inside the engine).
+            let desks = fleet(*left).min(fleet(*right)).max(1.0);
+            let stats = DeskStats {
+                light_rate: 1.0,
+                temp_rate: 1.0,
+                sigma: *selectivity,
+                hops_light: (net.diameter_hops / 2).max(1),
+                hops_temp: (net.diameter_hops / 2).max(1),
+            };
+            desks * choose_placement(&stats).est_msgs_per_epoch * net.expected_tx_per_hop()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_catalog::{Catalog, DeviceCapabilities, DeviceClass, SourceStats};
+    use aspen_sql::{bind, parse, BoundQuery};
+    use aspen_types::{DataType, Field, Schema, SimDuration};
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        let area = Schema::new(vec![
+            Field::new("room", DataType::Text),
+            Field::new("status", DataType::Text),
+            Field::new("light", DataType::Float),
+        ])
+        .into_ref();
+        cat.register_source(
+            "AreaSensors",
+            area,
+            SourceKind::Device(DeviceClass::new(
+                &["light", "status"],
+                SimDuration::from_secs(10),
+                12,
+            )),
+            SourceStats::stream(1.2).with_distinct("status", 2),
+        )
+        .unwrap();
+        let seat = Schema::new(vec![
+            Field::new("room", DataType::Text),
+            Field::new("desk", DataType::Int),
+            Field::new("light", DataType::Float),
+        ])
+        .into_ref();
+        cat.register_source(
+            "SeatSensors",
+            seat,
+            SourceKind::Device(DeviceClass::new(
+                &["light"],
+                SimDuration::from_secs(10),
+                60,
+            )),
+            SourceStats::stream(6.0),
+        )
+        .unwrap();
+        let machines = Schema::new(vec![
+            Field::new("room", DataType::Text),
+            Field::new("desk", DataType::Int),
+            Field::new("software", DataType::Text),
+        ])
+        .into_ref();
+        cat.register_source("Machines", machines, SourceKind::Table, SourceStats::table(60))
+            .unwrap();
+        cat
+    }
+
+    fn graph(sql: &str) -> aspen_sql::plan::QueryGraph {
+        let cat = catalog();
+        let BoundQuery::Select(b) = bind(&parse(sql).unwrap(), &cat).unwrap() else {
+            panic!()
+        };
+        b.graph
+    }
+
+    #[test]
+    fn admits_single_device_selection() {
+        let g = graph("select s.desk from SeatSensors s where s.light < 100");
+        let sub = admit(&g, &[0]).unwrap().unwrap();
+        let SensorSubquery::CollectSelect { selectivity, .. } = sub else {
+            panic!("got {sub:?}")
+        };
+        assert!(selectivity < 1.0);
+    }
+
+    #[test]
+    fn admits_proximity_pair_join() {
+        let g = graph(
+            "select a.room from AreaSensors a, SeatSensors s \
+             where a.room = s.room ^ s.light < 100 ^ a.status = 'open'",
+        );
+        let sub = admit(&g, &[0, 1]).unwrap().unwrap();
+        assert!(matches!(sub, SensorSubquery::PairJoin { .. }));
+    }
+
+    #[test]
+    fn rejects_table_relations() {
+        let g = graph(
+            "select s.desk from SeatSensors s, Machines m where s.desk = m.desk",
+        );
+        assert!(admit(&g, &[0, 1]).unwrap().is_none());
+        // But the device half alone is admissible.
+        assert!(admit(&g, &[0]).unwrap().is_some());
+    }
+
+    #[test]
+    fn rejects_non_proximity_device_join() {
+        let g = graph(
+            "select a.room from AreaSensors a, SeatSensors s where a.light = s.light",
+        );
+        assert!(admit(&g, &[0, 1]).unwrap().is_none());
+    }
+
+    #[test]
+    fn admits_decomposable_aggregate() {
+        let g = graph("select avg(s.light) from SeatSensors s");
+        let sub = admit(&g, &[0]).unwrap().unwrap();
+        assert_eq!(
+            sub,
+            SensorSubquery::Aggregate {
+                relation: 0,
+                func: AggFunc::Avg
+            }
+        );
+    }
+
+    #[test]
+    fn dumb_devices_refuse_selection() {
+        let cat = catalog();
+        let dumb = Schema::new(vec![Field::new("v", DataType::Float)]).into_ref();
+        cat.register_source(
+            "Dumb",
+            dumb,
+            SourceKind::Device(
+                DeviceClass::new(&["v"], SimDuration::from_secs(10), 5)
+                    .with_capabilities(DeviceCapabilities::dumb()),
+            ),
+            SourceStats::stream(0.5),
+        )
+        .unwrap();
+        let BoundQuery::Select(b) = bind(
+            &parse("select d.v from Dumb d where d.v > 3").unwrap(),
+            &cat,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert!(admit(&b.graph, &[0]).unwrap().is_none());
+    }
+
+    #[test]
+    fn message_estimates_order_sensibly() {
+        let g_all = graph("select s.desk, s.light from SeatSensors s");
+        let g_sel = graph("select s.desk from SeatSensors s where s.light < 100");
+        let net = NetworkStats {
+            node_count: 60,
+            diameter_hops: 6,
+            avg_link_loss: 0.0,
+            ..Default::default()
+        };
+        let all = estimate_messages(
+            &g_all,
+            &admit(&g_all, &[0]).unwrap().unwrap(),
+            &net,
+        );
+        let sel = estimate_messages(
+            &g_sel,
+            &admit(&g_sel, &[0]).unwrap().unwrap(),
+            &net,
+        );
+        let agg_graph = graph("select avg(s.light) from SeatSensors s");
+        let agg = estimate_messages(
+            &agg_graph,
+            &admit(&agg_graph, &[0]).unwrap().unwrap(),
+            &net,
+        );
+        assert!(sel < all, "selection must cut messages");
+        assert!(agg <= all, "TAG must not exceed collection");
+    }
+}

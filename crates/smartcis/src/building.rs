@@ -1,0 +1,329 @@
+//! The building model.
+//!
+//! A parametric "Moore building wing": a straight hallway with routing
+//! points at fixed intervals (where the paper mounts its RFID-listening
+//! motes), labs and offices opening off the hallway, and desks with
+//! machines inside the labs. The model exports exactly the database
+//! tables §2 describes: routing points (path segments + distances), RFID
+//! detector coordinates, and machine configurations/locations.
+
+use aspen_types::Point;
+
+/// A room (lab or office) hanging off the hallway.
+#[derive(Debug, Clone)]
+pub struct Room {
+    pub name: String,
+    /// Axis-aligned bounds `(x0, y0, x1, y1)` in feet.
+    pub rect: (f64, f64, f64, f64),
+    /// Name of the routing point at this room's door.
+    pub door: String,
+    pub is_lab: bool,
+}
+
+impl Room {
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.rect.0 + self.rect.2) / 2.0,
+            (self.rect.1 + self.rect.3) / 2.0,
+        )
+    }
+
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.rect.0 && p.x <= self.rect.2 && p.y >= self.rect.1 && p.y <= self.rect.3
+    }
+}
+
+/// A desk with a machine.
+#[derive(Debug, Clone)]
+pub struct Desk {
+    pub desk: u32,
+    pub room: String,
+    pub pos: Point,
+    pub software: String,
+}
+
+/// A named waypoint in the hallway graph.
+#[derive(Debug, Clone)]
+pub struct RoutingPoint {
+    pub name: String,
+    pub pos: Point,
+}
+
+/// An undirected path segment between routing points.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    pub a: String,
+    pub b: String,
+    pub dist_ft: f64,
+}
+
+/// The full building wing.
+#[derive(Debug, Clone)]
+pub struct Building {
+    pub points: Vec<RoutingPoint>,
+    pub segments: Vec<Segment>,
+    pub rooms: Vec<Room>,
+    pub desks: Vec<Desk>,
+    /// Hallway length, feet.
+    pub hallway_len: f64,
+}
+
+/// Software images installed round-robin on machines.
+const SOFTWARE: &[&str] = &[
+    "Fedora Linux",
+    "Windows, Word",
+    "Fedora Linux, MATLAB",
+    "Ubuntu, Emacs",
+    "Windows, Excel",
+];
+
+impl Building {
+    /// Build a wing with `labs` labs (plus 2 offices), `desks_per_lab`
+    /// desks each, and hallway routing points every `rp_spacing_ft`
+    /// (the paper: "every 100 feet").
+    pub fn moore_wing(labs: usize, desks_per_lab: usize, rp_spacing_ft: f64) -> Building {
+        assert!(labs >= 1);
+        let hallway_len = rp_spacing_ft * (labs.max(2) as f64);
+        let mut points = vec![RoutingPoint {
+            name: "entrance".into(),
+            pos: Point::new(0.0, 0.0),
+        }];
+        let mut segments = Vec::new();
+        // Corridor chain.
+        let n_rp = (hallway_len / rp_spacing_ft) as usize;
+        for i in 1..=n_rp {
+            let name = format!("hall{i}");
+            points.push(RoutingPoint {
+                name: name.clone(),
+                pos: Point::new(i as f64 * rp_spacing_ft, 0.0),
+            });
+            let prev = if i == 1 {
+                "entrance".to_string()
+            } else {
+                format!("hall{}", i - 1)
+            };
+            segments.push(Segment {
+                a: prev,
+                b: name,
+                dist_ft: rp_spacing_ft,
+            });
+        }
+
+        let mut rooms = Vec::new();
+        let mut desks = Vec::new();
+        let mut desk_no = 0u32;
+        // Labs above the hallway, one per corridor point.
+        for l in 0..labs {
+            let name = format!("lab{}", l + 1);
+            let door_rp = format!("hall{}", (l % n_rp) + 1);
+            let cx = ((l % n_rp) + 1) as f64 * rp_spacing_ft;
+            let rect = (cx - 40.0, 15.0, cx + 40.0, 75.0);
+            // Door point just inside the room.
+            let door_name = format!("door_{name}");
+            points.push(RoutingPoint {
+                name: door_name.clone(),
+                pos: Point::new(cx, 15.0),
+            });
+            segments.push(Segment {
+                a: door_rp,
+                b: door_name.clone(),
+                dist_ft: 15.0,
+            });
+            rooms.push(Room {
+                name: name.clone(),
+                rect,
+                door: door_name,
+                is_lab: true,
+            });
+            for d in 0..desks_per_lab {
+                desk_no += 1;
+                let col = (d % 4) as f64;
+                let row = (d / 4) as f64;
+                desks.push(Desk {
+                    desk: desk_no,
+                    room: name.clone(),
+                    pos: Point::new(cx - 30.0 + col * 20.0, 25.0 + row * 15.0),
+                    software: SOFTWARE[(desk_no as usize - 1) % SOFTWARE.len()].to_string(),
+                });
+            }
+        }
+        // Two offices below the hallway.
+        for o in 0..2usize {
+            let name = format!("office{}", o + 1);
+            let rp = format!("hall{}", (o % n_rp) + 1);
+            let cx = ((o % n_rp) + 1) as f64 * rp_spacing_ft;
+            let door_name = format!("door_{name}");
+            points.push(RoutingPoint {
+                name: door_name.clone(),
+                pos: Point::new(cx, -15.0),
+            });
+            segments.push(Segment {
+                a: rp,
+                b: door_name.clone(),
+                dist_ft: 15.0,
+            });
+            rooms.push(Room {
+                name,
+                rect: (cx - 25.0, -60.0, cx + 25.0, -15.0),
+                door: door_name,
+                is_lab: false,
+            });
+        }
+
+        Building {
+            points,
+            segments,
+            rooms,
+            desks,
+            hallway_len,
+        }
+    }
+
+    pub fn point(&self, name: &str) -> Option<&RoutingPoint> {
+        self.points
+            .iter()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn room(&self, name: &str) -> Option<&Room> {
+        self.rooms
+            .iter()
+            .find(|r| r.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Which room (if any) contains a point.
+    pub fn room_at(&self, p: Point) -> Option<&Room> {
+        self.rooms.iter().find(|r| r.contains(p))
+    }
+
+    /// The routing point nearest to a position (the "where am I" anchor).
+    pub fn nearest_point(&self, p: Point) -> &RoutingPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                a.pos
+                    .distance_sq(p)
+                    .partial_cmp(&b.pos.distance_sq(p))
+                    .expect("finite")
+            })
+            .expect("building has points")
+    }
+
+    // ---- database-table exports (§2 "Databases and Web sources") -----
+
+    /// `RoutePoints(src, dst, dist)` — both directions of every segment.
+    pub fn routing_table_text(&self) -> String {
+        let mut out = String::from("src:text, dst:text, dist:float\n");
+        for s in &self.segments {
+            out.push_str(&format!("{}, {}, {}\n", s.a, s.b, s.dist_ft));
+            out.push_str(&format!("{}, {}, {}\n", s.b, s.a, s.dist_ft));
+        }
+        out
+    }
+
+    /// `Detectors(name, x, y)` — RFID detector (hallway mote) coordinates.
+    pub fn detectors_table_text(&self) -> String {
+        let mut out = String::from("name:text, x:float, y:float\n");
+        for p in &self.points {
+            if p.name.starts_with("hall") || p.name == "entrance" {
+                out.push_str(&format!("{}, {:.1}, {:.1}\n", p.name, p.pos.x, p.pos.y));
+            }
+        }
+        out
+    }
+
+    /// `Machines(room, desk, software)`.
+    pub fn machines_table_text(&self) -> String {
+        let mut out = String::from("room:text, desk:int, software:text\n");
+        for d in &self.desks {
+            // Commas inside the software list would break the loader;
+            // join capabilities with '+'.
+            let software = d.software.replace(", ", " + ");
+            out.push_str(&format!("{}, {}, {}\n", d.room, d.desk, software));
+        }
+        out
+    }
+
+    /// Hallway detector positions (for the localization experiment).
+    pub fn detector_positions(&self) -> Vec<(String, Point)> {
+        self.points
+            .iter()
+            .filter(|p| p.name.starts_with("hall") || p.name == "entrance")
+            .map(|p| (p.name.clone(), p.pos))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moore_wing_structure() {
+        let b = Building::moore_wing(3, 8, 100.0);
+        assert_eq!(b.rooms.len(), 5); // 3 labs + 2 offices
+        assert_eq!(b.desks.len(), 24);
+        assert!(b.point("entrance").is_some());
+        assert!(b.point("hall1").is_some());
+        assert!(b.room("lab2").is_some());
+        // Every room's door point exists and is connected.
+        for r in &b.rooms {
+            assert!(b.point(&r.door).is_some(), "missing door {}", r.door);
+            assert!(b
+                .segments
+                .iter()
+                .any(|s| s.a == r.door || s.b == r.door));
+        }
+    }
+
+    #[test]
+    fn rooms_contain_their_desks() {
+        let b = Building::moore_wing(2, 8, 100.0);
+        for d in &b.desks {
+            let room = b.room(&d.room).unwrap();
+            assert!(
+                room.contains(d.pos),
+                "desk {} at {} outside {}",
+                d.desk,
+                d.pos,
+                d.room
+            );
+        }
+    }
+
+    #[test]
+    fn room_lookup_by_point() {
+        let b = Building::moore_wing(2, 4, 100.0);
+        let lab1 = b.room("lab1").unwrap();
+        assert_eq!(b.room_at(lab1.center()).unwrap().name, "lab1");
+        assert!(b.room_at(Point::new(5.0, 0.0)).is_none()); // hallway
+    }
+
+    #[test]
+    fn nearest_point_snaps_to_hallway() {
+        let b = Building::moore_wing(2, 4, 100.0);
+        let p = b.nearest_point(Point::new(98.0, 3.0));
+        assert_eq!(p.name, "hall1");
+    }
+
+    #[test]
+    fn table_exports_parse() {
+        use aspen_wrappers::StaticTableLoader;
+        let b = Building::moore_wing(3, 6, 100.0);
+        let (schema, rows) = StaticTableLoader::parse(&b.routing_table_text()).unwrap();
+        assert_eq!(schema.len(), 3);
+        assert_eq!(rows.len(), b.segments.len() * 2);
+        let (_, rows) = StaticTableLoader::parse(&b.machines_table_text()).unwrap();
+        assert_eq!(rows.len(), 18);
+        let (_, rows) = StaticTableLoader::parse(&b.detectors_table_text()).unwrap();
+        assert!(rows.len() >= 4);
+    }
+
+    #[test]
+    fn software_has_no_commas_in_export() {
+        let b = Building::moore_wing(1, 5, 100.0);
+        for line in b.machines_table_text().lines().skip(1) {
+            assert_eq!(line.matches(',').count(), 2, "bad row: {line}");
+        }
+    }
+}

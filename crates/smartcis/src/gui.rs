@@ -1,0 +1,188 @@
+//! ASCII rendering of the SmartCIS GUI (the paper's Figure 2).
+//!
+//! The real demo showed "building layout, open and closed (shaded ...)
+//! labs, free and unavailable machines, and a path to and details about
+//! the nearest machine with Fedora Linux". This module renders the same
+//! information as a character canvas: labs as boxes (`OPEN`/`CLOSED`),
+//! desks as `F` (free) / `B` (busy) / `·` (unknown), the visitor as `@`,
+//! and the suggested route as `*` waypoints along the hallway, plus a
+//! details panel.
+
+use std::collections::HashMap;
+
+use aspen_types::Point;
+
+use crate::building::Building;
+
+/// Everything the GUI draws, decoupled from where it came from.
+#[derive(Debug, Default, Clone)]
+pub struct GuiState {
+    /// Lab name → open?
+    pub lab_open: HashMap<String, bool>,
+    /// Desk number → free?
+    pub desk_free: HashMap<u32, bool>,
+    /// Visitor position (feet), if localized.
+    pub visitor: Option<Point>,
+    /// Route waypoint names, in order.
+    pub route: Vec<String>,
+    /// Lines for the details panel (nearest machine, temps, ...).
+    pub details: Vec<String>,
+}
+
+const CELL_X: f64 = 5.0;
+const CELL_Y: f64 = 7.5;
+
+/// Render the floorplan + state as multi-line ASCII.
+pub fn render(building: &Building, state: &GuiState) -> String {
+    // Canvas bounds from the building geometry.
+    let (mut min_x, mut min_y, mut max_x, mut max_y) = (0.0f64, -70.0f64, 0.0f64, 85.0f64);
+    for r in &building.rooms {
+        min_x = min_x.min(r.rect.0 - 5.0);
+        max_x = max_x.max(r.rect.2 + 5.0);
+        min_y = min_y.min(r.rect.1 - 5.0);
+        max_y = max_y.max(r.rect.3 + 5.0);
+    }
+    max_x = max_x.max(building.hallway_len + 10.0);
+
+    let w = ((max_x - min_x) / CELL_X).ceil() as usize + 1;
+    let h = ((max_y - min_y) / CELL_Y).ceil() as usize + 1;
+    let mut grid = vec![vec![' '; w]; h];
+
+    // NOTE: canvas rows run top (max_y) to bottom (min_y).
+    let to_cell = |p: Point| -> (usize, usize) {
+        let cx = ((p.x - min_x) / CELL_X).round() as usize;
+        let cy = ((max_y - p.y) / CELL_Y).round() as usize;
+        (cx.min(w - 1), cy.min(h - 1))
+    };
+
+    // Hallway.
+    let (hx0, hy) = to_cell(Point::new(0.0, 0.0));
+    let (hx1, _) = to_cell(Point::new(building.hallway_len, 0.0));
+    for x in hx0..=hx1 {
+        grid[hy][x] = '=';
+    }
+
+    // Rooms as boxes.
+    for room in &building.rooms {
+        let (x0, y1) = to_cell(Point::new(room.rect.0, room.rect.1));
+        let (x1, y0) = to_cell(Point::new(room.rect.2, room.rect.3));
+        for x in x0..=x1 {
+            for y in y0..=y1 {
+                let border = x == x0 || x == x1 || y == y0 || y == y1;
+                if border {
+                    let closed = room.is_lab
+                        && !state.lab_open.get(&room.name).copied().unwrap_or(true);
+                    // Closed labs are "shaded with dashed lines" (Fig 2).
+                    grid[y][x] = if closed { '-' } else { '#' };
+                }
+            }
+        }
+        // Label.
+        let label: String = if room.is_lab {
+            let open = state.lab_open.get(&room.name).copied();
+            match open {
+                Some(true) => format!("{} OPEN", room.name),
+                Some(false) => format!("{} CLOSED", room.name),
+                None => room.name.clone(),
+            }
+        } else {
+            room.name.clone()
+        };
+        let (lx, ly) = to_cell(Point::new(room.rect.0 + 3.0, room.rect.3 - 3.0));
+        for (i, ch) in label.chars().enumerate() {
+            if lx + 1 + i < w - 1 {
+                grid[ly][lx + 1 + i] = ch;
+            }
+        }
+    }
+
+    // Desks.
+    for d in &building.desks {
+        let (x, y) = to_cell(d.pos);
+        grid[y][x] = match state.desk_free.get(&d.desk) {
+            Some(true) => 'F',
+            Some(false) => 'B',
+            None => '.',
+        };
+    }
+
+    // Route waypoints.
+    for name in &state.route {
+        if let Some(p) = building.point(name) {
+            let (x, y) = to_cell(p.pos);
+            grid[y][x] = '*';
+        }
+    }
+
+    // Visitor on top.
+    if let Some(v) = state.visitor {
+        let (x, y) = to_cell(v);
+        grid[y][x] = '@';
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "SmartCIS — Moore wing ({} labs, {} desks)\n",
+        building.rooms.iter().filter(|r| r.is_lab).count(),
+        building.desks.len()
+    ));
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    if !state.route.is_empty() {
+        out.push_str(&format!("route: {}\n", state.route.join(" -> ")));
+    }
+    for line in &state.details {
+        out.push_str(&format!("| {line}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> GuiState {
+        let mut s = GuiState::default();
+        s.lab_open.insert("lab1".into(), true);
+        s.lab_open.insert("lab2".into(), false);
+        s.desk_free.insert(1, true);
+        s.desk_free.insert(2, false);
+        s.visitor = Some(Point::new(50.0, 0.0));
+        s.route = vec!["entrance".into(), "hall1".into(), "door_lab1".into()];
+        s.details.push("nearest Fedora machine: lab1 desk 1".into());
+        s
+    }
+
+    #[test]
+    fn render_shows_everything() {
+        let b = Building::moore_wing(2, 4, 100.0);
+        let text = render(&b, &state());
+        assert!(text.contains("lab1 OPEN"), "{text}");
+        assert!(text.contains("lab2 CLOSED"), "{text}");
+        assert!(text.contains('@'), "visitor missing:\n{text}");
+        assert!(text.contains('*'), "route missing:\n{text}");
+        assert!(text.contains('F'), "free desk missing:\n{text}");
+        assert!(text.contains('B'), "busy desk missing:\n{text}");
+        assert!(text.contains("route: entrance -> hall1 -> door_lab1"));
+        assert!(text.contains("| nearest Fedora machine"));
+    }
+
+    #[test]
+    fn closed_labs_render_dashed() {
+        let b = Building::moore_wing(2, 4, 100.0);
+        let text = render(&b, &state());
+        // lab2 closed → its border uses dashes somewhere.
+        assert!(text.lines().any(|l| l.contains("----")), "{text}");
+    }
+
+    #[test]
+    fn unknown_desks_render_dots() {
+        let b = Building::moore_wing(1, 4, 100.0);
+        let text = render(&b, &GuiState::default());
+        assert!(text.contains('.'), "{text}");
+        assert!(!text.contains('@'));
+    }
+}

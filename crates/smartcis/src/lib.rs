@@ -1,0 +1,33 @@
+//! # smartcis-app
+//!
+//! The SmartCIS application itself: the showcase smart-building system
+//! of the paper, assembled on top of the ASPEN substrate.
+//!
+//! * [`building`] — the instrumented building wing (rooms, labs, desks,
+//!   hallway routing points with path segments and distances — the
+//!   database artifacts of §2 *Databases and Web sources*);
+//! * [`routes`] — route planning: a Dijkstra baseline plus the live
+//!   `Route` table generation, and the recursive-view reachability that
+//!   the stream engine maintains as corridors open and close;
+//! * [`localize`] — RFID-beacon localization from hallway motes (§2
+//!   *Detection of occupants*) with a simulated visitor walk;
+//! * [`queries`] — the paper's standing queries as Stream SQL text
+//!   (temperature alarms, per-user resource usage across machines, free
+//!   machines by capability, the Figure-1 visitor-guidance query);
+//! * [`gui`] — the ASCII rendering of Figure 2 (building layout, lab
+//!   status, free machines, the visitor's position and route);
+//! * [`app`] — the [`app::SmartCis`] facade wiring catalog, wrappers,
+//!   stream engine, sensor engine, and federated optimizer into one
+//!   tick-driven system.
+
+pub mod app;
+pub mod building;
+pub mod gui;
+pub mod localize;
+pub mod queries;
+pub mod routes;
+
+pub use app::SmartCis;
+pub use building::{Building, Desk, Room};
+pub use localize::{Localizer, VisitorWalk};
+pub use routes::RoutePlanner;

@@ -1,0 +1,353 @@
+//! Abstract syntax tree for Stream SQL.
+//!
+//! The AST is purely syntactic: names are unresolved strings and
+//! expressions are untyped. Binding against the catalog happens in
+//! [`crate::binder`].
+
+use aspen_types::{ArithOp, SimDuration, Value, WindowSpec};
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    /// `CREATE [RECURSIVE] VIEW name AS ( select [UNION select]* )`
+    CreateView {
+        name: String,
+        recursive: bool,
+        /// The branches of the union; a plain view has exactly one.
+        branches: Vec<SelectStmt>,
+    },
+}
+
+/// One `SELECT` block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    pub projections: Vec<Projection>,
+    pub from: Vec<TableRef>,
+    /// WHERE predicate, already split into top-level conjuncts
+    /// (`a ^ b ^ c` / `a AND b AND c` → three entries).
+    pub conjuncts: Vec<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    /// `(expr, ascending)` pairs.
+    pub order_by: Vec<(Expr, bool)>,
+    pub limit: Option<u64>,
+    /// `OUTPUT TO DISPLAY 'name'`.
+    pub output_display: Option<String>,
+    /// `SAMPLE EVERY <duration>` — requested device sampling epoch.
+    pub sample_every: Option<SimDuration>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A `FROM` item: `Name [alias] [window]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+    pub window: Option<WindowSpec>,
+}
+
+impl TableRef {
+    /// The name this relation binds in scope: the alias if present.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+}
+
+impl CmpOp {
+    pub fn render(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Lte => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Gte => ">=",
+        }
+    }
+
+    /// The operator with sides swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Lte => CmpOp::Gte,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Gte => CmpOp::Lte,
+            other => other,
+        }
+    }
+}
+
+/// Untyped syntactic expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `[qualifier.]name`
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Literal(Value),
+    Cmp {
+        op: CmpOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Like {
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Arith {
+        op: ArithOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    /// Aggregate call; `arg = None` means `COUNT(*)`.
+    Agg {
+        func: String,
+        arg: Option<Box<Expr>>,
+    },
+    /// Scalar function call (e.g. `abs(x)`).
+    Func { name: String, args: Vec<Expr> },
+}
+
+impl Expr {
+    pub fn col(qualifier: &str, name: &str) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.to_string()),
+            name: name.to_string(),
+        }
+    }
+
+    pub fn bare(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// All column references in this expression, as `(qualifier, name)`.
+    pub fn columns(&self) -> Vec<(Option<&str>, &str)> {
+        fn go<'a>(e: &'a Expr, out: &mut Vec<(Option<&'a str>, &'a str)>) {
+            match e {
+                Expr::Column { qualifier, name } => {
+                    out.push((qualifier.as_deref(), name.as_str()))
+                }
+                Expr::Literal(_) => {}
+                Expr::Cmp { left, right, .. }
+                | Expr::Like { left, right }
+                | Expr::Arith { left, right, .. }
+                | Expr::And(left, right)
+                | Expr::Or(left, right) => {
+                    go(left, out);
+                    go(right, out);
+                }
+                Expr::Not(inner) => go(inner, out),
+                Expr::Agg { arg, .. } => {
+                    if let Some(a) = arg {
+                        go(a, out);
+                    }
+                }
+                Expr::Func { args, .. } => {
+                    for a in args {
+                        go(a, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// Does this expression contain any aggregate call?
+    pub fn has_aggregate(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Agg { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Pre-order traversal.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Column { .. } | Expr::Literal(_) => {}
+            Expr::Cmp { left, right, .. }
+            | Expr::Like { left, right }
+            | Expr::Arith { left, right, .. }
+            | Expr::And(left, right)
+            | Expr::Or(left, right) => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Not(inner) => inner.walk(f),
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.walk(f);
+                }
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+        }
+    }
+
+    /// SQL-ish rendering for plan printing and error messages.
+    pub fn render(&self) -> String {
+        match self {
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.clone(),
+            },
+            Expr::Literal(Value::Text(s)) => format!("'{s}'"),
+            Expr::Literal(v) => v.render(),
+            Expr::Cmp { op, left, right } => {
+                format!("{} {} {}", left.render(), op.render(), right.render())
+            }
+            Expr::Like { left, right } => {
+                format!("{} LIKE {}", left.render(), right.render())
+            }
+            Expr::Arith { op, left, right } => {
+                format!("({} {} {})", left.render(), op, right.render())
+            }
+            Expr::And(l, r) => format!("{} AND {}", l.render(), r.render()),
+            Expr::Or(l, r) => format!("({} OR {})", l.render(), r.render()),
+            Expr::Not(e) => format!("NOT ({})", e.render()),
+            Expr::Agg { func, arg } => match arg {
+                Some(a) => format!("{}({})", func.to_uppercase(), a.render()),
+                None => format!("{}(*)", func.to_uppercase()),
+            },
+            Expr::Func { name, args } => {
+                let rendered: Vec<_> = args.iter().map(Expr::render).collect();
+                format!("{}({})", name, rendered.join(", "))
+            }
+        }
+    }
+}
+
+/// Split a predicate tree into top-level conjuncts.
+pub fn split_conjuncts(e: Expr) -> Vec<Expr> {
+    match e {
+        Expr::And(l, r) => {
+            let mut out = split_conjuncts(*l);
+            out.extend(split_conjuncts(*r));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_prefers_alias() {
+        let t = TableRef {
+            name: "Machines".into(),
+            alias: Some("m".into()),
+            window: None,
+        };
+        assert_eq!(t.binding(), "m");
+        let t2 = TableRef {
+            name: "Machines".into(),
+            alias: None,
+            window: None,
+        };
+        assert_eq!(t2.binding(), "Machines");
+    }
+
+    #[test]
+    fn split_conjuncts_flattens() {
+        let e = Expr::And(
+            Box::new(Expr::And(
+                Box::new(Expr::lit(true)),
+                Box::new(Expr::lit(false)),
+            )),
+            Box::new(Expr::lit(1i64)),
+        );
+        assert_eq!(split_conjuncts(e).len(), 3);
+    }
+
+    #[test]
+    fn columns_collects_all() {
+        let e = Expr::eq(Expr::col("sa", "room"), Expr::col("ss", "room"));
+        assert_eq!(
+            e.columns(),
+            vec![(Some("sa"), "room"), (Some("ss"), "room")]
+        );
+    }
+
+    #[test]
+    fn has_aggregate_detects_nesting() {
+        let e = Expr::Cmp {
+            op: CmpOp::Gt,
+            left: Box::new(Expr::Agg {
+                func: "avg".into(),
+                arg: Some(Box::new(Expr::bare("temp"))),
+            }),
+            right: Box::new(Expr::lit(90.0)),
+        };
+        assert!(e.has_aggregate());
+        assert!(!Expr::bare("x").has_aggregate());
+    }
+
+    #[test]
+    fn render_round_trips_readably() {
+        let e = Expr::Like {
+            left: Box::new(Expr::col("p", "needed")),
+            right: Box::new(Expr::col("m", "software")),
+        };
+        assert_eq!(e.render(), "p.needed LIKE m.software");
+        assert_eq!(
+            Expr::eq(Expr::col("ss", "status"), Expr::lit("free")).render(),
+            "ss.status = 'free'"
+        );
+    }
+
+    #[test]
+    fn cmp_flip() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert_eq!(CmpOp::Gte.flip(), CmpOp::Lte);
+    }
+}

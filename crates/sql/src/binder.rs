@@ -1,0 +1,861 @@
+//! Name and type binding against the catalog.
+//!
+//! Responsibilities:
+//!
+//! * resolve every `FROM` item to a catalog source (applying the default
+//!   windows: tables are unbounded, device streams default to one
+//!   sampling epoch, other streams to 30 s);
+//! * **flatten non-recursive views** referenced in `FROM` into the query
+//!   graph (re-aliasing their internals and substituting their projection
+//!   expressions into outer references) — this is what lets the federated
+//!   optimizer see through `OpenMachineInfo` to the device relations
+//!   underneath, exactly as the paper's Figure 1 partitioning requires;
+//! * expand `*` projections and name outputs;
+//! * bind `CREATE [RECURSIVE] VIEW` bodies, classifying branches into
+//!   base (no self-reference) and step (self-referencing) plans for the
+//!   stream engine's recursive-view maintenance.
+
+use std::sync::Arc;
+
+use aspen_catalog::{Catalog, SourceKind};
+use aspen_types::{AspenError, Result, SchemaRef, SimDuration, WindowSpec};
+
+use crate::ast::{Expr, Projection, SelectStmt, Statement, TableRef};
+use crate::parser::parse;
+use crate::plan::{assemble_left_deep, bind_expr, build_plan, Leaf, LogicalPlan, QueryGraph, Relation};
+
+/// Maximum view-inlining depth (guards against cyclic definitions).
+const MAX_VIEW_DEPTH: u32 = 16;
+
+/// Result of binding a statement.
+#[derive(Debug, Clone)]
+pub enum BoundQuery {
+    Select(BoundSelect),
+    View(BoundView),
+}
+
+/// A bound `SELECT`: the optimizer-facing graph plus the default plan
+/// (left-deep in `FROM` order).
+#[derive(Debug, Clone)]
+pub struct BoundSelect {
+    pub graph: QueryGraph,
+    pub plan: LogicalPlan,
+}
+
+/// A bound `CREATE [RECURSIVE] VIEW`.
+#[derive(Debug, Clone)]
+pub struct BoundView {
+    pub name: String,
+    pub recursive: bool,
+    /// Branches that do not reference the view itself.
+    pub bases: Vec<LogicalPlan>,
+    /// Self-referencing branches (empty for non-recursive views).
+    pub steps: Vec<LogicalPlan>,
+    /// Output schema (all branches must agree on arity and types).
+    pub schema: SchemaRef,
+}
+
+/// Bind a parsed statement against the catalog.
+pub fn bind(stmt: &Statement, catalog: &Catalog) -> Result<BoundQuery> {
+    match stmt {
+        Statement::Select(s) => {
+            let graph = bind_select_to_graph(s, catalog, 0)?;
+            let order: Vec<usize> = (0..graph.relations.len()).collect();
+            let plan = build_plan(&graph, &order)?;
+            Ok(BoundQuery::Select(BoundSelect { graph, plan }))
+        }
+        Statement::CreateView {
+            name,
+            recursive,
+            branches,
+        } => bind_view(name, *recursive, branches, catalog),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SELECT → QueryGraph
+// ---------------------------------------------------------------------------
+
+fn default_window(kind: &SourceKind) -> WindowSpec {
+    match kind {
+        SourceKind::Table => WindowSpec::Unbounded,
+        // One sampling epoch: the "current snapshot" of the device fleet.
+        SourceKind::Device(d) => WindowSpec::Range(d.sample_period),
+        SourceKind::Stream => WindowSpec::Range(SimDuration::from_secs(30)),
+        // Materialized views are maintained relations: unbounded.
+        SourceKind::View => WindowSpec::Unbounded,
+    }
+}
+
+fn bind_select_to_graph(
+    stmt: &SelectStmt,
+    catalog: &Catalog,
+    depth: u32,
+) -> Result<QueryGraph> {
+    if depth > MAX_VIEW_DEPTH {
+        return Err(AspenError::Unresolved(
+            "view nesting too deep (cyclic view definition?)".into(),
+        ));
+    }
+    if stmt.from.is_empty() {
+        return Err(AspenError::InvalidArgument(
+            "FROM clause must name at least one source".into(),
+        ));
+    }
+
+    let mut relations: Vec<Relation> = Vec::new();
+    let mut predicates: Vec<Expr> = Vec::new();
+    // Substitutions from flattened views: binding alias → (output column
+    // name → replacement expression).
+    let mut substitutions: Vec<(String, Vec<(String, Expr)>)> = Vec::new();
+
+    for item in &stmt.from {
+        if catalog.is_view(&item.name) && !catalog_has_source(catalog, &item.name) {
+            flatten_view(
+                item,
+                catalog,
+                depth,
+                &mut relations,
+                &mut predicates,
+                &mut substitutions,
+            )?;
+        } else {
+            let meta = catalog.source(&item.name)?;
+            let alias = item.binding().to_string();
+            if relations
+                .iter()
+                .any(|r| r.alias.eq_ignore_ascii_case(&alias))
+            {
+                return Err(AspenError::InvalidArgument(format!(
+                    "duplicate relation binding '{alias}'"
+                )));
+            }
+            let window = item.window.unwrap_or_else(|| default_window(&meta.kind));
+            let schema = Arc::new(meta.schema.with_qualifier(&alias));
+            relations.push(Relation {
+                meta,
+                alias,
+                window,
+                schema,
+            });
+        }
+    }
+
+    // Apply view substitutions to every outer expression.
+    let subst = |e: &Expr| -> Result<Expr> { substitute(e, &substitutions) };
+
+    for c in &stmt.conjuncts {
+        predicates.push(subst(c)?);
+    }
+
+    // Expand projections.
+    let mut projections: Vec<(Expr, String)> = Vec::new();
+    for p in &stmt.projections {
+        match p {
+            Projection::Wildcard => {
+                for rel in &relations {
+                    for f in rel.schema.fields() {
+                        projections.push((
+                            Expr::Column {
+                                qualifier: f.qualifier.clone(),
+                                name: f.name.clone(),
+                            },
+                            f.name.clone(),
+                        ));
+                    }
+                }
+            }
+            Projection::Expr { expr, alias } => {
+                let e = subst(expr)?;
+                let name = match alias {
+                    Some(a) => a.clone(),
+                    None => match &e {
+                        Expr::Column { name, .. } => name.clone(),
+                        other => other.render(),
+                    },
+                };
+                projections.push((e, name));
+            }
+        }
+    }
+    if projections.is_empty() {
+        return Err(AspenError::InvalidArgument(
+            "SELECT list must not be empty".into(),
+        ));
+    }
+
+    let group_by = stmt
+        .group_by
+        .iter()
+        .map(&subst)
+        .collect::<Result<Vec<_>>>()?;
+    let having = stmt.having.as_ref().map(&subst).transpose()?;
+    let order_by = stmt
+        .order_by
+        .iter()
+        .map(|(e, asc)| subst(e).map(|e| (e, *asc)))
+        .collect::<Result<Vec<_>>>()?;
+
+    let graph = QueryGraph {
+        relations,
+        predicates,
+        projections,
+        group_by,
+        having,
+        order_by,
+        limit: stmt.limit,
+        output_display: stmt.output_display.clone(),
+        sample_every: stmt.sample_every,
+    };
+
+    // Early validation: every predicate must reference known relations.
+    for p in &graph.predicates {
+        graph.relation_mask(p)?;
+    }
+    Ok(graph)
+}
+
+fn catalog_has_source(catalog: &Catalog, name: &str) -> bool {
+    catalog.source(name).is_ok()
+}
+
+/// Inline a non-recursive single-branch view into the enclosing graph.
+fn flatten_view(
+    item: &TableRef,
+    catalog: &Catalog,
+    depth: u32,
+    relations: &mut Vec<Relation>,
+    predicates: &mut Vec<Expr>,
+    substitutions: &mut Vec<(String, Vec<(String, Expr)>)>,
+) -> Result<()> {
+    let def = catalog.view(&item.name)?;
+    if def.recursive {
+        return Err(AspenError::NotExecutable(format!(
+            "recursive view '{}' must be materialized by the stream engine \
+             before it can be queried",
+            def.name
+        )));
+    }
+    let parsed = parse(&def.sql)?;
+    let body = match &parsed {
+        Statement::Select(s) => s.clone(),
+        Statement::CreateView { branches, .. } if branches.len() == 1 => branches[0].clone(),
+        _ => {
+            return Err(AspenError::NotExecutable(format!(
+                "view '{}' has a multi-branch body and must be materialized",
+                def.name
+            )))
+        }
+    };
+    if !body.group_by.is_empty()
+        || body.having.is_some()
+        || body
+            .projections
+            .iter()
+            .any(|p| matches!(p, Projection::Expr { expr, .. } if expr.has_aggregate()))
+    {
+        return Err(AspenError::NotExecutable(format!(
+            "aggregated view '{}' cannot be inlined; materialize it",
+            def.name
+        )));
+    }
+
+    let outer_alias = item.binding().to_string();
+    let inner = bind_select_to_graph(&body, catalog, depth + 1)?;
+
+    // Re-alias every inner relation under `outer__inner`.
+    let mut alias_map: Vec<(String, String)> = Vec::new();
+    for rel in inner.relations {
+        let new_alias = format!("{}__{}", outer_alias, rel.alias);
+        alias_map.push((rel.alias.clone(), new_alias.clone()));
+        let schema = Arc::new(rel.meta.schema.with_qualifier(&new_alias));
+        relations.push(Relation {
+            meta: rel.meta,
+            alias: new_alias,
+            window: rel.window,
+            schema,
+        });
+    }
+    // Inner predicates, requalified.
+    for p in inner.predicates {
+        predicates.push(requalify(&p, &alias_map));
+    }
+    // Build the outer-name → inner-expression substitution map.
+    let mut outputs: Vec<(String, Expr)> = Vec::new();
+    for (e, name) in inner.projections {
+        outputs.push((name, requalify(&e, &alias_map)));
+    }
+    substitutions.push((outer_alias, outputs));
+    Ok(())
+}
+
+/// Rewrite qualifiers through an alias map (old → new).
+fn requalify(e: &Expr, alias_map: &[(String, String)]) -> Expr {
+    let map_q = |q: &Option<String>| -> Option<String> {
+        q.as_ref().map(|q| {
+            alias_map
+                .iter()
+                .find(|(old, _)| old.eq_ignore_ascii_case(q))
+                .map(|(_, new)| new.clone())
+                .unwrap_or_else(|| q.clone())
+        })
+    };
+    transform(e, &|node| {
+        if let Expr::Column { qualifier, name } = node {
+            Some(Expr::Column {
+                qualifier: map_q(qualifier),
+                name: name.clone(),
+            })
+        } else {
+            None
+        }
+    })
+}
+
+/// Replace references to flattened-view outputs (`v.col`) with the view's
+/// defining expression for `col`.
+fn substitute(e: &Expr, subs: &[(String, Vec<(String, Expr)>)]) -> Result<Expr> {
+    let mut err: Option<AspenError> = None;
+    let out = transform(e, &|node| {
+        if let Expr::Column {
+            qualifier: Some(q),
+            name,
+        } = node
+        {
+            if let Some((_, outputs)) = subs.iter().find(|(a, _)| a.eq_ignore_ascii_case(q)) {
+                return match outputs
+                    .iter()
+                    .find(|(n, _)| n.eq_ignore_ascii_case(name))
+                {
+                    Some((_, replacement)) => Some(replacement.clone()),
+                    None => {
+                        // record the failure; transform has no Result path
+                        Some(Expr::Column {
+                            qualifier: Some(format!("__missing_{q}")),
+                            name: name.clone(),
+                        })
+                    }
+                };
+            }
+        }
+        None
+    });
+    // Detect the missing-column marker.
+    out.walk(&mut |node| {
+        if let Expr::Column {
+            qualifier: Some(q),
+            name,
+        } = node
+        {
+            if let Some(v) = q.strip_prefix("__missing_") {
+                err = Some(AspenError::Unresolved(format!(
+                    "view '{v}' has no output column '{name}'"
+                )));
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Bottom-up rewrite: `f` returns `Some(replacement)` to substitute a
+/// node, `None` to recurse into it.
+fn transform(e: &Expr, f: &dyn Fn(&Expr) -> Option<Expr>) -> Expr {
+    if let Some(rep) = f(e) {
+        return rep;
+    }
+    match e {
+        Expr::Column { .. } | Expr::Literal(_) => e.clone(),
+        Expr::Cmp { op, left, right } => Expr::Cmp {
+            op: *op,
+            left: Box::new(transform(left, f)),
+            right: Box::new(transform(right, f)),
+        },
+        Expr::Like { left, right } => Expr::Like {
+            left: Box::new(transform(left, f)),
+            right: Box::new(transform(right, f)),
+        },
+        Expr::Arith { op, left, right } => Expr::Arith {
+            op: *op,
+            left: Box::new(transform(left, f)),
+            right: Box::new(transform(right, f)),
+        },
+        Expr::And(l, r) => Expr::And(Box::new(transform(l, f)), Box::new(transform(r, f))),
+        Expr::Or(l, r) => Expr::Or(Box::new(transform(l, f)), Box::new(transform(r, f))),
+        Expr::Not(inner) => Expr::Not(Box::new(transform(inner, f))),
+        Expr::Agg { func, arg } => Expr::Agg {
+            func: func.clone(),
+            arg: arg.as_ref().map(|a| Box::new(transform(a, f))),
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(|a| transform(a, f)).collect(),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CREATE VIEW binding
+// ---------------------------------------------------------------------------
+
+fn bind_view(
+    name: &str,
+    recursive: bool,
+    branches: &[SelectStmt],
+    catalog: &Catalog,
+) -> Result<BoundQuery> {
+    if branches.is_empty() {
+        return Err(AspenError::InvalidArgument("view has no branches".into()));
+    }
+
+    // First pass: bind all non-self-referencing branches to establish the
+    // view schema.
+    let references_self = |s: &SelectStmt| {
+        s.from
+            .iter()
+            .any(|t| t.name.eq_ignore_ascii_case(name))
+    };
+
+    let mut bases = Vec::new();
+    let mut steps_src = Vec::new();
+    for b in branches {
+        if references_self(b) {
+            steps_src.push(b);
+        } else {
+            let graph = bind_select_to_graph(b, catalog, 0)?;
+            let order: Vec<usize> = (0..graph.relations.len()).collect();
+            bases.push(build_plan(&graph, &order)?);
+        }
+    }
+    if bases.is_empty() {
+        return Err(AspenError::InvalidArgument(format!(
+            "recursive view '{name}' needs at least one non-recursive branch"
+        )));
+    }
+    if !recursive && !steps_src.is_empty() {
+        return Err(AspenError::InvalidArgument(format!(
+            "view '{name}' references itself but is not declared RECURSIVE"
+        )));
+    }
+
+    let schema = bases[0].schema();
+    for (i, b) in bases.iter().enumerate().skip(1) {
+        check_union_compatible(&schema, &b.schema(), name, i)?;
+    }
+
+    // Second pass: bind step branches, with the self-reference resolving
+    // to a RecursiveRef leaf.
+    let mut steps = Vec::new();
+    for s in steps_src {
+        let plan = bind_step_branch(s, name, &schema, catalog)?;
+        check_union_compatible(&schema, &plan.schema(), name, usize::MAX)?;
+        steps.push(plan);
+    }
+
+    Ok(BoundQuery::View(BoundView {
+        name: name.to_string(),
+        recursive,
+        bases,
+        steps,
+        schema,
+    }))
+}
+
+fn check_union_compatible(
+    a: &SchemaRef,
+    b: &SchemaRef,
+    view: &str,
+    branch: usize,
+) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(AspenError::TypeMismatch(format!(
+            "view '{view}': branch {branch} has {} columns, expected {}",
+            b.len(),
+            a.len()
+        )));
+    }
+    for (fa, fb) in a.fields().iter().zip(b.fields()) {
+        if aspen_types::DataType::unify(fa.data_type, fb.data_type).is_none() {
+            return Err(AspenError::TypeMismatch(format!(
+                "view '{view}': column '{}' is {} in one branch, {} in another",
+                fa.name, fa.data_type, fb.data_type
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Bind one self-referencing branch of a recursive view: the view name in
+/// `FROM` becomes a [`LogicalPlan::RecursiveRef`] leaf.
+fn bind_step_branch(
+    stmt: &SelectStmt,
+    view_name: &str,
+    view_schema: &SchemaRef,
+    catalog: &Catalog,
+) -> Result<LogicalPlan> {
+    if !stmt.group_by.is_empty() || stmt.having.is_some() {
+        return Err(AspenError::NotExecutable(
+            "aggregation inside a recursive view step is not monotonic".into(),
+        ));
+    }
+    let mut leaves = Vec::new();
+    for item in &stmt.from {
+        let alias = item.binding().to_string();
+        if item.name.eq_ignore_ascii_case(view_name) {
+            let schema = Arc::new(view_schema.with_qualifier(&alias));
+            leaves.push(Leaf {
+                plan: LogicalPlan::RecursiveRef {
+                    name: view_name.to_string(),
+                    schema,
+                },
+                alias,
+            });
+        } else {
+            let meta = catalog.source(&item.name)?;
+            let window = item.window.unwrap_or_else(|| default_window(&meta.kind));
+            let schema = Arc::new(meta.schema.with_qualifier(&alias));
+            leaves.push(Leaf {
+                plan: LogicalPlan::Scan {
+                    rel: Relation {
+                        meta,
+                        alias: alias.clone(),
+                        window,
+                        schema,
+                    },
+                },
+                alias,
+            });
+        }
+    }
+    let joined = assemble_left_deep(leaves, &stmt.conjuncts)?;
+
+    // Projection layer (no aggregates permitted).
+    let in_schema = joined.schema();
+    let mut exprs = Vec::new();
+    let mut fields = Vec::new();
+    for p in &stmt.projections {
+        match p {
+            Projection::Wildcard => {
+                for (i, f) in in_schema.fields().iter().enumerate() {
+                    exprs.push(crate::expr::BoundExpr::col(i, f.data_type));
+                    fields.push(aspen_types::Field::new(f.name.clone(), f.data_type));
+                }
+            }
+            Projection::Expr { expr, alias } => {
+                if expr.has_aggregate() {
+                    return Err(AspenError::NotExecutable(
+                        "aggregates not allowed in recursive view steps".into(),
+                    ));
+                }
+                let b = bind_expr(expr, &in_schema)?;
+                let name = match alias {
+                    Some(a) => a.clone(),
+                    None => match expr {
+                        Expr::Column { name, .. } => name.clone(),
+                        other => other.render(),
+                    },
+                };
+                let dt = b.data_type().unwrap_or(aspen_types::DataType::Text);
+                fields.push(aspen_types::Field::new(name, dt));
+                exprs.push(b);
+            }
+        }
+    }
+    Ok(LogicalPlan::Project {
+        input: Box::new(joined),
+        exprs,
+        schema: aspen_types::Schema::new(fields).into_ref(),
+    })
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use aspen_catalog::{DeviceClass, SourceStats};
+    use aspen_types::{DataType, Field, Schema};
+
+    /// A catalog mirroring the SmartCIS sources of the paper's Figure 1.
+    pub fn smartcis_catalog() -> Catalog {
+        let cat = Catalog::new();
+        let text = DataType::Text;
+        let int = DataType::Int;
+        let float = DataType::Float;
+
+        let reg_table = |name: &str, cols: &[(&str, DataType)], rows: u64| {
+            let schema = Schema::new(
+                cols.iter().map(|(n, t)| Field::new(*n, *t)).collect::<Vec<_>>(),
+            )
+            .into_ref();
+            cat.register_source(name, schema, SourceKind::Table, SourceStats::table(rows))
+                .unwrap();
+        };
+        reg_table(
+            "Person",
+            &[("id", int), ("room", text), ("needed", text)],
+            10,
+        );
+        reg_table(
+            "Route",
+            &[
+                ("start", text),
+                ("end", text),
+                ("path", text),
+                ("dist", float),
+            ],
+            400,
+        );
+        reg_table(
+            "Machines",
+            &[
+                ("room", text),
+                ("desk", int),
+                ("software", text),
+            ],
+            60,
+        );
+
+        let dev = |attrs: &[&str], fleet: u32| {
+            SourceKind::Device(DeviceClass::new(attrs, SimDuration::from_secs(10), fleet))
+        };
+        let area_schema = Schema::new(vec![
+            Field::new("room", text),
+            Field::new("status", text),
+            Field::new("light", float),
+        ])
+        .into_ref();
+        cat.register_source(
+            "AreaSensors",
+            area_schema,
+            dev(&["light", "status"], 12),
+            SourceStats::stream(1.2).with_distinct("room", 12),
+        )
+        .unwrap();
+        let seat_schema = Schema::new(vec![
+            Field::new("room", text),
+            Field::new("desk", int),
+            Field::new("status", text),
+            Field::new("light", float),
+        ])
+        .into_ref();
+        cat.register_source(
+            "SeatSensors",
+            seat_schema,
+            dev(&["light", "status"], 60),
+            SourceStats::stream(6.0).with_distinct("desk", 60),
+        )
+        .unwrap();
+        let temp_schema = Schema::new(vec![
+            Field::new("room", text),
+            Field::new("desk", int),
+            Field::new("temp", float),
+        ])
+        .into_ref();
+        cat.register_source(
+            "TempSensors",
+            temp_schema,
+            dev(&["temp"], 60),
+            SourceStats::stream(6.0).with_distinct("desk", 60),
+        )
+        .unwrap();
+        cat
+    }
+
+    const FIG1: &str = r#"
+        select p.id, ss.room, ss.desk, r.path
+        from Person p, Route r, AreaSensors sa, SeatSensors ss, Machines m
+        where r.start = p.room ^ r.end = sa.room ^ p.needed like m.software ^
+              sa.room = ss.room ^ m.desk = ss.desk ^ sa.status = "open" ^
+              ss.status = "free"
+        order by p.id
+    "#;
+
+    #[test]
+    fn binds_fig1_query() {
+        let cat = smartcis_catalog();
+        let BoundQuery::Select(b) = bind(&parse(FIG1).unwrap(), &cat).unwrap() else {
+            panic!()
+        };
+        assert_eq!(b.graph.relations.len(), 5);
+        assert_eq!(b.graph.predicates.len(), 7);
+        // Device relations default to one sampling epoch.
+        let sa = &b.graph.relations[2];
+        assert_eq!(sa.alias, "sa");
+        assert_eq!(sa.window, WindowSpec::Range(SimDuration::from_secs(10)));
+        // Tables are unbounded.
+        assert_eq!(b.graph.relations[0].window, WindowSpec::Unbounded);
+        // Plan is executable end to end.
+        assert_eq!(b.plan.scans().len(), 5);
+        let out = b.plan.schema();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.field(0).name, "id");
+        assert_eq!(out.field(3).name, "path");
+    }
+
+    #[test]
+    fn flattens_openmachineinfo_view() {
+        let cat = smartcis_catalog();
+        cat.register_view(
+            "OpenMachineInfo",
+            "select ss.room, ss.desk from AreaSensors sa, SeatSensors ss \
+             where sa.room = ss.room ^ sa.status = 'open' ^ ss.status = 'free'",
+            false,
+        )
+        .unwrap();
+        let sql = r#"
+            select p.id, o.room, o.desk, r.path
+            from Person p, Route r, OpenMachineInfo o, Machines m
+            where o.room = m.room ^ o.desk = m.desk ^ p.needed like m.software ^
+                  r.start = p.room ^ r.end = o.room
+            order by p.id
+        "#;
+        let BoundQuery::Select(b) = bind(&parse(sql).unwrap(), &cat).unwrap() else {
+            panic!()
+        };
+        // p, r, m + the view's sa and ss = 5 base relations.
+        assert_eq!(b.graph.relations.len(), 5);
+        let aliases: Vec<_> = b.graph.relations.iter().map(|r| r.alias.as_str()).collect();
+        assert!(aliases.contains(&"o__sa"));
+        assert!(aliases.contains(&"o__ss"));
+        // 5 outer conjuncts + 3 inner = 8 predicates.
+        assert_eq!(b.graph.predicates.len(), 8);
+        // Output columns still named per the outer query.
+        let out = b.plan.schema();
+        assert_eq!(out.field(1).name, "room");
+    }
+
+    #[test]
+    fn view_with_unknown_output_column_errors() {
+        let cat = smartcis_catalog();
+        cat.register_view(
+            "V",
+            "select ss.room from SeatSensors ss",
+            false,
+        )
+        .unwrap();
+        let err = bind(
+            &parse("select v.desk from V v").unwrap(),
+            &cat,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "unresolved");
+        assert!(err.message().contains("no output column"));
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let cat = smartcis_catalog();
+        let err = bind(
+            &parse("select p.id from Person p, Machines p").unwrap(),
+            &cat,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "invalid_argument");
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let cat = smartcis_catalog();
+        assert!(bind(&parse("select x from Nothing").unwrap(), &cat).is_err());
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let cat = smartcis_catalog();
+        let BoundQuery::Select(b) =
+            bind(&parse("select * from Person p, Machines m").unwrap(), &cat).unwrap()
+        else {
+            panic!()
+        };
+        // 3 person cols + 3 machine cols
+        assert_eq!(b.graph.projections.len(), 6);
+    }
+
+    #[test]
+    fn binds_recursive_view() {
+        let cat = smartcis_catalog();
+        // Routing points base table.
+        let schema = Schema::new(vec![
+            Field::new("src", DataType::Text),
+            Field::new("dst", DataType::Text),
+            Field::new("dist", DataType::Float),
+        ])
+        .into_ref();
+        cat.register_source("RoutePoints", schema, SourceKind::Table, SourceStats::table(40))
+            .unwrap();
+        let sql = r#"
+            create recursive view Reach as (
+                select e.src, e.dst, e.dist from RoutePoints e
+                union
+                select r.src, e.dst, r.dist + e.dist
+                from Reach r, RoutePoints e
+                where r.dst = e.src
+            )
+        "#;
+        let BoundQuery::View(v) = bind(&parse(sql).unwrap(), &cat).unwrap() else {
+            panic!()
+        };
+        assert!(v.recursive);
+        assert_eq!(v.bases.len(), 1);
+        assert_eq!(v.steps.len(), 1);
+        assert_eq!(v.schema.len(), 3);
+        // The step contains a RecursiveRef leaf.
+        fn has_rref(p: &LogicalPlan) -> bool {
+            matches!(p, LogicalPlan::RecursiveRef { .. })
+                || p.children().iter().any(|c| has_rref(c))
+        }
+        assert!(has_rref(&v.steps[0]));
+        assert!(!has_rref(&v.bases[0]));
+    }
+
+    #[test]
+    fn self_reference_without_recursive_errors() {
+        let cat = smartcis_catalog();
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).into_ref();
+        cat.register_source("E", schema, SourceKind::Table, SourceStats::table(5))
+            .unwrap();
+        let sql = "create view V as (select e.x from E e union select v.x from V v, E e where v.x = e.x)";
+        let err = bind(&parse(sql).unwrap(), &cat).unwrap_err();
+        assert!(err.message().contains("RECURSIVE"));
+    }
+
+    #[test]
+    fn union_branch_arity_mismatch_errors() {
+        let cat = smartcis_catalog();
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("y", DataType::Int),
+        ])
+        .into_ref();
+        cat.register_source("E2", schema, SourceKind::Table, SourceStats::table(5))
+            .unwrap();
+        let sql = "create view V as (select e.x from E2 e union select e.x, e.y from E2 e)";
+        let err = bind(&parse(sql).unwrap(), &cat).unwrap_err();
+        assert_eq!(err.kind(), "type_mismatch");
+    }
+
+    #[test]
+    fn querying_unmaterialized_recursive_view_errors() {
+        let cat = smartcis_catalog();
+        cat.register_view("Routes", "select 1", true).unwrap();
+        let err = bind(&parse("select r.x from Routes r").unwrap(), &cat).unwrap_err();
+        assert_eq!(err.kind(), "not_executable");
+    }
+
+    #[test]
+    fn device_window_override() {
+        let cat = smartcis_catalog();
+        let BoundQuery::Select(b) = bind(
+            &parse("select t.temp from TempSensors t [range 60 seconds]").unwrap(),
+            &cat,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            b.graph.relations[0].window,
+            WindowSpec::Range(SimDuration::from_secs(60))
+        );
+    }
+}

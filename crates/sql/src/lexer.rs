@@ -1,0 +1,311 @@
+//! Tokenizer for Stream SQL.
+//!
+//! Case-insensitive keywords, `--` line comments, `^` as AND (the paper's
+//! Figure 1 notation), and both quote styles for string literals.
+
+use aspen_types::{AspenError, Result};
+
+/// One lexical token, with its source offset for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier — stored with original case; keyword checks
+    /// are case-insensitive.
+    Word(String),
+    /// String literal (quotes stripped, no escape processing beyond
+    /// doubled quotes).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Punctuation / operator.
+    Sym(Sym),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    Caret, // `^` — conjunction in the paper's syntax
+    Semicolon,
+}
+
+/// A token plus its byte offset in the source (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(AspenError::Parse(format!(
+                            "unterminated string starting at byte {start}"
+                        )));
+                    }
+                    let ch = bytes[i] as char;
+                    if ch == quote {
+                        // doubled quote = escaped quote
+                        if bytes.get(i + 1) == Some(&(quote as u8)) {
+                            s.push(quote);
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(ch);
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|_| {
+                        AspenError::Parse(format!("bad float literal '{text}'"))
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| {
+                        AspenError::Parse(format!("bad int literal '{text}'"))
+                    })?)
+                };
+                out.push(Spanned {
+                    token,
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Word(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            _ => {
+                let start = i;
+                let (sym, len) = match c {
+                    ',' => (Sym::Comma, 1),
+                    '.' => (Sym::Dot, 1),
+                    '*' => (Sym::Star, 1),
+                    '+' => (Sym::Plus, 1),
+                    '-' => (Sym::Minus, 1),
+                    '/' => (Sym::Slash, 1),
+                    '(' => (Sym::LParen, 1),
+                    ')' => (Sym::RParen, 1),
+                    '[' => (Sym::LBracket, 1),
+                    ']' => (Sym::RBracket, 1),
+                    ';' => (Sym::Semicolon, 1),
+                    '^' => (Sym::Caret, 1),
+                    '=' => (Sym::Eq, 1),
+                    '!' if bytes.get(i + 1) == Some(&b'=') => (Sym::Neq, 2),
+                    '<' => match bytes.get(i + 1) {
+                        Some(&b'=') => (Sym::Lte, 2),
+                        Some(&b'>') => (Sym::Neq, 2),
+                        _ => (Sym::Lt, 1),
+                    },
+                    '>' if bytes.get(i + 1) == Some(&b'=') => (Sym::Gte, 2),
+                    '>' => (Sym::Gt, 1),
+                    other => {
+                        return Err(AspenError::Parse(format!(
+                            "unexpected character '{other}' at byte {i}"
+                        )))
+                    }
+                };
+                out.push(Spanned {
+                    token: Token::Sym(sym),
+                    offset: start,
+                });
+                i += len;
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl Token {
+    /// Case-insensitive keyword test.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn words_numbers_strings() {
+        assert_eq!(
+            toks("select 42 3.5 'abc' \"def\""),
+            vec![
+                Token::Word("select".into()),
+                Token::Int(42),
+                Token::Float(3.5),
+                Token::Str("abc".into()),
+                Token::Str("def".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_figure1_fragment_lexes() {
+        // Verbatim fragment from the paper's Figure 1.
+        let ts = toks("where r.start = p.room ^ r.end = sa.room ^ sa.status = \"open\"");
+        assert!(ts.contains(&Token::Sym(Sym::Caret)));
+        assert!(ts.contains(&Token::Str("open".into())));
+        assert!(ts.contains(&Token::Sym(Sym::Dot)));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= > >= = != <>"),
+            vec![
+                Token::Sym(Sym::Lt),
+                Token::Sym(Sym::Lte),
+                Token::Sym(Sym::Gt),
+                Token::Sym(Sym::Gte),
+                Token::Sym(Sym::Eq),
+                Token::Sym(Sym::Neq),
+                Token::Sym(Sym::Neq),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("select -- the projection\n x"),
+            vec![Token::Word("select".into()), Token::Word("x".into())]
+        );
+    }
+
+    #[test]
+    fn doubled_quotes_escape() {
+        assert_eq!(toks("'it''s'"), vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let sp = lex("ab cd").unwrap();
+        assert_eq!(sp[0].offset, 0);
+        assert_eq!(sp[1].offset, 3);
+    }
+
+    #[test]
+    fn window_brackets() {
+        assert_eq!(
+            toks("[range 30 seconds]"),
+            vec![
+                Token::Sym(Sym::LBracket),
+                Token::Word("range".into()),
+                Token::Int(30),
+                Token::Word("seconds".into()),
+                Token::Sym(Sym::RBracket),
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        // A single minus is an operator; two are a comment.
+        assert_eq!(
+            toks("5 - 3"),
+            vec![Token::Int(5), Token::Sym(Sym::Minus), Token::Int(3)]
+        );
+        assert_eq!(toks("5 --3"), vec![Token::Int(5)]);
+    }
+
+    #[test]
+    fn keyword_check_ignores_case() {
+        assert!(Token::Word("SELECT".into()).is_kw("select"));
+        assert!(!Token::Word("selects".into()).is_kw("select"));
+    }
+
+    #[test]
+    fn dotted_float_without_leading_digit_after_dot() {
+        // `p.id` must lex as word dot word, not a float.
+        assert_eq!(
+            toks("p.id"),
+            vec![
+                Token::Word("p".into()),
+                Token::Sym(Sym::Dot),
+                Token::Word("id".into()),
+            ]
+        );
+        // And `1.` stays int-dot (trailing dot is not part of a float).
+        assert_eq!(
+            toks("1."),
+            vec![Token::Int(1), Token::Sym(Sym::Dot)]
+        );
+    }
+}

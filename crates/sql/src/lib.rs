@@ -1,0 +1,59 @@
+//! # aspen-sql
+//!
+//! ASPEN's **Stream SQL** front end: lexer, recursive-descent parser, AST,
+//! name/type binding against the catalog, bound (executable) expressions,
+//! and the logical plan representation shared by both engines and the
+//! federated optimizer.
+//!
+//! The dialect is the one visible in the paper's Figure 1, plus the
+//! extensions the text describes:
+//!
+//! * `^` as conjunction (alongside `AND`), double- or single-quoted string
+//!   literals;
+//! * CQL-style window clauses on stream sources:
+//!   `FROM TempSensors t [RANGE 30 SECONDS]`, `[ROWS 100]`,
+//!   `[TUMBLING 10 SECONDS]`;
+//! * `CREATE [RECURSIVE] VIEW v AS (SELECT ... UNION SELECT ...)` — the
+//!   recursive form drives the stream engine's transitive-closure views
+//!   (building routes);
+//! * `OUTPUT TO DISPLAY 'name'` for routing results to a registered
+//!   display ("query extensions ... for routing information to users");
+//! * `SAMPLE EVERY 10 SECONDS` to set the device sampling epoch.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! SQL text ──lex──▶ tokens ──parse──▶ ast::Statement
+//!          ──bind(catalog)──▶ BoundQuery { QueryGraph, LogicalPlan }
+//! ```
+//!
+//! The [`plan::QueryGraph`] (relations + conjunctive predicates) is what
+//! the federated optimizer enumerates over; [`plan::build_plan`] lowers
+//! any relation ordering of the graph into an executable left-deep
+//! [`plan::LogicalPlan`] with bound expressions.
+
+pub mod ast;
+pub mod binder;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod printer;
+
+pub use ast::{Expr, SelectStmt, Statement};
+pub use binder::{bind, BoundQuery};
+pub use expr::{AggFunc, BoundAgg, BoundExpr};
+pub use lexer::{lex, Token};
+pub use parser::parse;
+pub use plan::{build_plan, LogicalPlan, QueryGraph, Relation};
+pub use printer::explain;
+
+/// Parse and bind in one step — the common entry point for callers that
+/// just want a plan.
+pub fn compile(
+    sql: &str,
+    catalog: &aspen_catalog::Catalog,
+) -> aspen_types::Result<BoundQuery> {
+    let stmt = parse(sql)?;
+    bind(&stmt, catalog)
+}

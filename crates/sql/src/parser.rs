@@ -1,0 +1,783 @@
+//! Recursive-descent parser for Stream SQL.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! statement   := select | create_view
+//! create_view := CREATE [RECURSIVE] VIEW word AS '(' select (UNION select)* ')'
+//! select      := SELECT proj (',' proj)*
+//!                FROM table_ref (',' table_ref)*
+//!                [WHERE expr] [GROUP BY expr (',' expr)*] [HAVING expr]
+//!                [ORDER BY expr [ASC|DESC] (',' ...)*] [LIMIT int]
+//!                [OUTPUT TO DISPLAY str] [SAMPLE EVERY duration]
+//! table_ref   := word [word] ['[' window ']']
+//! window      := RANGE duration | ROWS int | TUMBLING duration | UNBOUNDED
+//! duration    := number (SECOND[S]|MILLISECOND[S]|MINUTE[S]|HOUR[S])
+//! expr        := or; or := and (OR and)*; and := not ((AND|'^') not)*
+//! not         := NOT not | cmp
+//! cmp         := add [(=|<>|!=|<|<=|>|>=|LIKE) add]
+//! add         := mul (('+'|'-') mul)*; mul := unary (('*'|'/') unary)*
+//! unary       := '-' unary | primary
+//! primary     := literal | word '(' args ')' | [word '.'] word | '(' expr ')'
+//! ```
+
+use aspen_types::{ArithOp, AspenError, Result, SimDuration, Value, WindowSpec};
+
+use crate::ast::{split_conjuncts, CmpOp, Expr, Projection, SelectStmt, Statement, TableRef};
+use crate::lexer::{lex, Spanned, Sym, Token};
+
+/// Parse a single statement (trailing semicolon optional).
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_sym(Sym::Semicolon); // optional
+    if !p.at_end() {
+        return Err(p.err_here("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: &str) -> AspenError {
+        match self.tokens.get(self.pos) {
+            Some(s) => AspenError::Parse(format!("{msg} at byte {} ({:?})", s.offset, s.token)),
+            None => AspenError::Parse(format!("{msg} at end of input")),
+        }
+    }
+
+    /// Consume a keyword (case-insensitive) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(t) if t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("expected {}", kw.to_uppercase())))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: Sym) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: Sym) -> Result<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("expected {sym:?}")))
+        }
+    }
+
+    fn expect_word(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token::Word(w)) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            _ => Err(self.err_here("expected identifier")),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64> {
+        match self.peek() {
+            Some(Token::Int(i)) => {
+                let i = *i;
+                self.pos += 1;
+                Ok(i)
+            }
+            _ => Err(self.err_here("expected integer")),
+        }
+    }
+
+    fn expect_str(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err_here("expected string literal")),
+        }
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("create") {
+            let recursive = self.eat_kw("recursive");
+            self.expect_kw("view")?;
+            let name = self.expect_word()?;
+            self.expect_kw("as")?;
+            self.expect_sym(Sym::LParen)?;
+            let mut branches = vec![self.select()?];
+            while self.eat_kw("union") {
+                // Optional ALL — stream views are bag-semantics anyway.
+                self.eat_kw("all");
+                branches.push(self.select()?);
+            }
+            self.expect_sym(Sym::RParen)?;
+            Ok(Statement::CreateView {
+                name,
+                recursive,
+                branches,
+            })
+        } else if matches!(self.peek(), Some(t) if t.is_kw("select")) {
+            Ok(Statement::Select(self.select()?))
+        } else {
+            Err(self.err_here("expected SELECT or CREATE VIEW"))
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("select")?;
+        let mut stmt = SelectStmt::default();
+
+        // projections
+        loop {
+            if self.eat_sym(Sym::Star) {
+                stmt.projections.push(Projection::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.expect_word()?)
+                } else {
+                    None
+                };
+                stmt.projections.push(Projection::Expr { expr, alias });
+            }
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+
+        self.expect_kw("from")?;
+        loop {
+            stmt.from.push(self.table_ref()?);
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+
+        if self.eat_kw("where") {
+            let pred = self.expr()?;
+            stmt.conjuncts = split_conjuncts(pred);
+        }
+
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                stmt.group_by.push(self.expr()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_kw("having") {
+            stmt.having = Some(self.expr()?);
+        }
+
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                stmt.order_by.push((e, asc));
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_kw("limit") {
+            let n = self.expect_int()?;
+            if n < 0 {
+                return Err(self.err_here("LIMIT must be non-negative"));
+            }
+            stmt.limit = Some(n as u64);
+        }
+
+        if self.eat_kw("output") {
+            self.expect_kw("to")?;
+            self.expect_kw("display")?;
+            stmt.output_display = Some(self.expect_str()?);
+        }
+
+        if self.eat_kw("sample") {
+            self.expect_kw("every")?;
+            stmt.sample_every = Some(self.duration()?);
+        }
+
+        Ok(stmt)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.expect_word()?;
+        // an alias is any following word that is not a clause keyword
+        const CLAUSES: &[&str] = &[
+            "where", "group", "having", "order", "limit", "output", "sample", "union", "on",
+            "as", "from", "select",
+        ];
+        let alias = match self.peek() {
+            Some(Token::Word(w)) if !CLAUSES.iter().any(|c| w.eq_ignore_ascii_case(c)) => {
+                Some(self.expect_word()?)
+            }
+            _ => None,
+        };
+        let window = if self.eat_sym(Sym::LBracket) {
+            let w = self.window()?;
+            self.expect_sym(Sym::RBracket)?;
+            Some(w)
+        } else {
+            None
+        };
+        Ok(TableRef {
+            name,
+            alias,
+            window,
+        })
+    }
+
+    fn window(&mut self) -> Result<WindowSpec> {
+        if self.eat_kw("range") {
+            Ok(WindowSpec::Range(self.duration()?))
+        } else if self.eat_kw("rows") {
+            let n = self.expect_int()?;
+            if n <= 0 {
+                return Err(self.err_here("ROWS window must be positive"));
+            }
+            Ok(WindowSpec::Rows(n as u64))
+        } else if self.eat_kw("tumbling") {
+            Ok(WindowSpec::Tumbling(self.duration()?))
+        } else if self.eat_kw("unbounded") {
+            Ok(WindowSpec::Unbounded)
+        } else {
+            Err(self.err_here("expected RANGE, ROWS, TUMBLING, or UNBOUNDED"))
+        }
+    }
+
+    fn duration(&mut self) -> Result<SimDuration> {
+        let n = match self.advance() {
+            Some(Token::Int(i)) if i >= 0 => i as u64,
+            Some(Token::Float(f)) if f >= 0.0 => {
+                // allow fractional seconds; convert below via micros
+                let unit = self.duration_unit()?;
+                return Ok(SimDuration::from_micros((f * unit as f64) as u64));
+            }
+            _ => return Err(self.err_here("expected duration magnitude")),
+        };
+        let unit = self.duration_unit()?;
+        Ok(SimDuration::from_micros(n * unit))
+    }
+
+    /// Returns microseconds per unit.
+    fn duration_unit(&mut self) -> Result<u64> {
+        let w = self.expect_word()?;
+        let lw = w.to_ascii_lowercase();
+        Ok(match lw.as_str() {
+            "us" | "microsecond" | "microseconds" => 1,
+            "ms" | "millisecond" | "milliseconds" => 1_000,
+            "s" | "sec" | "secs" | "second" | "seconds" => 1_000_000,
+            "min" | "mins" | "minute" | "minutes" => 60_000_000,
+            "h" | "hr" | "hrs" | "hour" | "hours" => 3_600_000_000,
+            _ => {
+                return Err(AspenError::Parse(format!(
+                    "unknown duration unit '{w}'"
+                )))
+            }
+        })
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        loop {
+            if self.eat_kw("and") || self.eat_sym(Sym::Caret) {
+                let right = self.not_expr()?;
+                left = Expr::And(Box::new(left), Box::new(right));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Sym(Sym::Eq)) => Some(CmpOp::Eq),
+            Some(Token::Sym(Sym::Neq)) => Some(CmpOp::Neq),
+            Some(Token::Sym(Sym::Lt)) => Some(CmpOp::Lt),
+            Some(Token::Sym(Sym::Lte)) => Some(CmpOp::Lte),
+            Some(Token::Sym(Sym::Gt)) => Some(CmpOp::Gt),
+            Some(Token::Sym(Sym::Gte)) => Some(CmpOp::Gte),
+            Some(t) if t.is_kw("like") => {
+                self.pos += 1;
+                let right = self.add_expr()?;
+                return Ok(Expr::Like {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                });
+            }
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let right = self.add_expr()?;
+                Ok(Expr::Cmp {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = if self.eat_sym(Sym::Plus) {
+                ArithOp::Add
+            } else if self.eat_sym(Sym::Minus) {
+                ArithOp::Sub
+            } else {
+                break;
+            };
+            let right = self.mul_expr()?;
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = if self.eat_sym(Sym::Star) {
+                ArithOp::Mul
+            } else if self.eat_sym(Sym::Slash) {
+                ArithOp::Div
+            } else {
+                break;
+            };
+            let right = self.unary_expr()?;
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat_sym(Sym::Minus) {
+            let inner = self.unary_expr()?;
+            // constant-fold negative literals for cleaner plans
+            return Ok(match inner {
+                Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+                Expr::Literal(Value::Float(f)) => Expr::Literal(Value::Float(-f)),
+                other => Expr::Arith {
+                    op: ArithOp::Sub,
+                    left: Box::new(Expr::lit(0i64)),
+                    right: Box::new(other),
+                },
+            });
+        }
+        self.primary()
+    }
+
+    const AGG_FUNCS: &'static [&'static str] = &["count", "sum", "avg", "min", "max"];
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.advance() {
+            Some(Token::Int(i)) => Ok(Expr::Literal(Value::Int(i))),
+            Some(Token::Float(f)) => Ok(Expr::Literal(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(Token::Sym(Sym::LParen)) => {
+                let e = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Word(w)) => {
+                if w.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if w.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                if w.eq_ignore_ascii_case("null") {
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                // function call?
+                if self.eat_sym(Sym::LParen) {
+                    let lw = w.to_ascii_lowercase();
+                    if Self::AGG_FUNCS.contains(&lw.as_str()) {
+                        if self.eat_sym(Sym::Star) {
+                            self.expect_sym(Sym::RParen)?;
+                            if lw != "count" {
+                                return Err(AspenError::Parse(format!(
+                                    "{w}(*) is only valid for COUNT"
+                                )));
+                            }
+                            return Ok(Expr::Agg {
+                                func: lw,
+                                arg: None,
+                            });
+                        }
+                        let arg = self.expr()?;
+                        self.expect_sym(Sym::RParen)?;
+                        return Ok(Expr::Agg {
+                            func: lw,
+                            arg: Some(Box::new(arg)),
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if !self.eat_sym(Sym::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_sym(Sym::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_sym(Sym::RParen)?;
+                    }
+                    return Ok(Expr::Func { name: lw, args });
+                }
+                // qualified column?
+                if self.eat_sym(Sym::Dot) {
+                    let name = self.expect_word()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(w),
+                        name,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name: w,
+                })
+            }
+            other => Err(AspenError::Parse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 federated query, verbatim (modulo whitespace).
+    pub const FIG1_QUERY: &str = r#"
+        select p.id, ss.room, ss.desk, r.path
+        from Person p, Route r, AreaSensors sa, SeatSensors ss, Machines m
+        where r.start = p.room ^ r.end = sa.room ^ p.needed like m.software ^
+              sa.room = ss.room ^ m.desk = ss.desk ^ sa.status = "open" ^
+              ss.status = "free"
+        order by p.id
+    "#;
+
+    /// The paper's Figure 1 view definition, verbatim.
+    pub const FIG1_VIEW: &str = r#"
+        create view OpenMachineInfo as (
+            select ss.room, ss.desk from AreaSensors sa, SeatSensors ss
+            where sa.room = ss.room ^ sa.status = "open" ^ ss.status = "free"
+        )
+    "#;
+
+    #[test]
+    fn parses_fig1_query() {
+        let stmt = parse(FIG1_QUERY).unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!("expected select");
+        };
+        assert_eq!(s.projections.len(), 4);
+        assert_eq!(s.from.len(), 5);
+        assert_eq!(s.conjuncts.len(), 7);
+        assert_eq!(s.order_by.len(), 1);
+        assert_eq!(s.from[2].binding(), "sa");
+        // the LIKE predicate survives
+        assert!(s
+            .conjuncts
+            .iter()
+            .any(|c| matches!(c, Expr::Like { .. })));
+    }
+
+    #[test]
+    fn parses_fig1_view() {
+        let stmt = parse(FIG1_VIEW).unwrap();
+        let Statement::CreateView {
+            name,
+            recursive,
+            branches,
+        } = stmt
+        else {
+            panic!("expected create view");
+        };
+        assert_eq!(name, "OpenMachineInfo");
+        assert!(!recursive);
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].conjuncts.len(), 3);
+    }
+
+    #[test]
+    fn parses_recursive_view_with_union() {
+        let sql = r#"
+            create recursive view Reach as (
+                select e.src, e.dst, e.dist from RoutePoints e
+                union
+                select r.src, e.dst, r.dist + e.dist
+                from Reach r, RoutePoints e
+                where r.dst = e.src
+            )
+        "#;
+        let Statement::CreateView {
+            recursive,
+            branches,
+            ..
+        } = parse(sql).unwrap()
+        else {
+            panic!()
+        };
+        assert!(recursive);
+        assert_eq!(branches.len(), 2);
+        // arithmetic in the step branch's projection
+        let Projection::Expr { expr, .. } = &branches[1].projections[2] else {
+            panic!()
+        };
+        assert!(matches!(expr, Expr::Arith { .. }));
+    }
+
+    #[test]
+    fn parses_windows() {
+        let sql = "select t.temp from TempSensors t [range 30 seconds] where t.temp > 90.5";
+        let Statement::Select(s) = parse(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            s.from[0].window,
+            Some(WindowSpec::Range(SimDuration::from_secs(30)))
+        );
+
+        let sql2 = "select * from S [rows 100]";
+        let Statement::Select(s2) = parse(sql2).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s2.from[0].window, Some(WindowSpec::Rows(100)));
+
+        let sql3 = "select * from S [tumbling 500 ms]";
+        let Statement::Select(s3) = parse(sql3).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            s3.from[0].window,
+            Some(WindowSpec::Tumbling(SimDuration::from_millis(500)))
+        );
+    }
+
+    #[test]
+    fn parses_aggregates_group_having() {
+        let sql = "select m.room, avg(t.temp), count(*) from Temps t, Machines m \
+                   where t.desk = m.desk group by m.room having avg(t.temp) > 85";
+        let Statement::Select(s) = parse(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert!(s.projections.iter().any(|p| matches!(
+            p,
+            Projection::Expr {
+                expr: Expr::Agg { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn parses_output_and_sample_clauses() {
+        let sql = "select t.temp from Temps t output to display 'lobby' sample every 10 seconds";
+        let Statement::Select(s) = parse(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.output_display.as_deref(), Some("lobby"));
+        assert_eq!(s.sample_every, Some(SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn parses_order_by_desc_and_limit() {
+        let sql = "select m.watts from Pdu m order by m.watts desc, m.id limit 5";
+        let Statement::Select(s) = parse(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.order_by.len(), 2);
+        assert!(!s.order_by[0].1);
+        assert!(s.order_by[1].1);
+        assert_eq!(s.limit, Some(5));
+    }
+
+    #[test]
+    fn and_caret_equivalence() {
+        let a = parse("select x from T where a = 1 ^ b = 2").unwrap();
+        let b = parse("select x from T where a = 1 and b = 2").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // 1 + 2 * 3 > 6 ⟹ (1 + (2*3)) > 6
+        let Statement::Select(s) = parse("select x from T where 1 + 2 * 3 > 6").unwrap() else {
+            panic!()
+        };
+        let Expr::Cmp { op, left, .. } = &s.conjuncts[0] else {
+            panic!()
+        };
+        assert_eq!(*op, CmpOp::Gt);
+        let Expr::Arith { op: add, right, .. } = left.as_ref() else {
+            panic!()
+        };
+        assert_eq!(*add, ArithOp::Add);
+        assert!(matches!(right.as_ref(), Expr::Arith { op: ArithOp::Mul, .. }));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let Statement::Select(s) = parse("select x from T where x > -5").unwrap() else {
+            panic!()
+        };
+        let Expr::Cmp { right, .. } = &s.conjuncts[0] else {
+            panic!()
+        };
+        assert_eq!(right.as_ref(), &Expr::Literal(Value::Int(-5)));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("select").is_err());
+        assert!(parse("select x").is_err()); // missing FROM
+        assert!(parse("select x from").is_err());
+        assert!(parse("select x from T where").is_err());
+        assert!(parse("select x from T [range 30 fortnights]").is_err());
+        assert!(parse("select sum(*) from T").is_err()); // only count(*)
+        assert!(parse("select x from T limit -1").is_err());
+        assert!(parse("select x from T extra junk, here").is_err());
+        assert!(parse("create view V as select 1").is_err()); // missing parens
+    }
+
+    #[test]
+    fn not_and_or_parse() {
+        let Statement::Select(s) =
+            parse("select x from T where not (a = 1) or b = 2").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(s.conjuncts.len(), 1);
+        assert!(matches!(s.conjuncts[0], Expr::Or(..)));
+    }
+
+    #[test]
+    fn scalar_function_call() {
+        let Statement::Select(s) = parse("select abs(x - 3) from T").unwrap() else {
+            panic!()
+        };
+        let Projection::Expr { expr, .. } = &s.projections[0] else {
+            panic!()
+        };
+        assert!(matches!(expr, Expr::Func { name, .. } if name == "abs"));
+    }
+
+    #[test]
+    fn semicolon_tolerated() {
+        assert!(parse("select x from T;").is_ok());
+    }
+
+    #[test]
+    fn alias_not_confused_with_keywords() {
+        let Statement::Select(s) = parse("select x from T where x = 1").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.from[0].alias, None);
+        let Statement::Select(s2) = parse("select x from T u where x = 1").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s2.from[0].alias.as_deref(), Some("u"));
+    }
+
+    #[test]
+    fn fractional_duration() {
+        let Statement::Select(s) = parse("select x from T [range 1.5 seconds]").unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            s.from[0].window,
+            Some(WindowSpec::Range(SimDuration::from_micros(1_500_000)))
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Signed tuple updates — the unit of incremental dataflow.
+
+use aspen_types::Tuple;
+
+/// An insertion (`sign = +1`) or retraction (`sign = -1`) of one tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    pub tuple: Tuple,
+    pub sign: i64,
+}
+
+impl Delta {
+    pub fn insert(tuple: Tuple) -> Self {
+        Delta { tuple, sign: 1 }
+    }
+
+    pub fn retract(tuple: Tuple) -> Self {
+        Delta { tuple, sign: -1 }
+    }
+
+    pub fn is_insert(&self) -> bool {
+        self.sign > 0
+    }
+
+    /// The same delta with flipped sign.
+    pub fn negate(&self) -> Delta {
+        Delta {
+            tuple: self.tuple.clone(),
+            sign: -self.sign,
+        }
+    }
+}
+
+/// Net effect of a delta sequence on a multiset, as `(tuple, net_count)`
+/// pairs with zero-net entries removed. Used by tests and by the sink's
+/// consolidation pass.
+pub fn consolidate(deltas: &[Delta]) -> Vec<(Tuple, i64)> {
+    let mut counts: std::collections::HashMap<Tuple, i64> = std::collections::HashMap::new();
+    for d in deltas {
+        *counts.entry(d.tuple.clone()).or_insert(0) += d.sign;
+    }
+    let mut out: Vec<(Tuple, i64)> = counts.into_iter().filter(|(_, c)| *c != 0).collect();
+    out.sort_by(|a, b| a.0.values().cmp(b.0.values()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_types::{SimTime, Value};
+
+    fn t(v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(v)], SimTime::ZERO)
+    }
+
+    #[test]
+    fn insert_retract_roundtrip() {
+        let d = Delta::insert(t(1));
+        assert!(d.is_insert());
+        let n = d.negate();
+        assert!(!n.is_insert());
+        assert_eq!(n.tuple, d.tuple);
+    }
+
+    #[test]
+    fn consolidate_cancels() {
+        let ds = vec![
+            Delta::insert(t(1)),
+            Delta::insert(t(2)),
+            Delta::retract(t(1)),
+            Delta::insert(t(2)),
+        ];
+        let c = consolidate(&ds);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].1, 2);
+        assert_eq!(c[0].0, t(2));
+    }
+
+    #[test]
+    fn consolidate_empty() {
+        assert!(consolidate(&[]).is_empty());
+        let ds = vec![Delta::insert(t(1)), Delta::retract(t(1))];
+        assert!(consolidate(&ds).is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Distributed execution model: stage placement and LAN accounting.
+//!
+//! The paper's stream engine runs "over PC-style servers and
+//! workstations". We model that as a set of named PC nodes joined by a
+//! LAN: each scan is homed on the node that hosts its wrapper, joins and
+//! aggregation run on an execution node, and the sink lives on the
+//! display's node. [`DistributedQuery`] tracks bytes and per-batch
+//! latency across those hops — the calibration source for the federated
+//! optimizer's stream-side cost model (E5) — while delegating actual
+//! delta processing to the local [`Pipeline`].
+//!
+//! `PartitionedJoin` additionally demonstrates hash-partitioned parallel
+//! join execution across N workers, used by the scaling bench.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use aspen_sql::plan::LogicalPlan;
+use aspen_types::{Result, SimDuration, SourceId, Tuple, Value};
+
+use crate::delta::Delta;
+use crate::operators::{DeltaOp, JoinOp};
+use crate::pipeline::Pipeline;
+use crate::sink::Sink;
+
+/// LAN link parameters between PC nodes.
+#[derive(Debug, Clone)]
+pub struct LanModel {
+    /// One-way per-message latency, microseconds.
+    pub latency_us: u64,
+    /// Throughput, bytes per microsecond (1 Gbps ≈ 125 B/µs).
+    pub bytes_per_us: f64,
+}
+
+impl Default for LanModel {
+    fn default() -> Self {
+        LanModel {
+            latency_us: 200,
+            bytes_per_us: 125.0,
+        }
+    }
+}
+
+impl LanModel {
+    /// Latency to ship a batch of the given size over one hop.
+    pub fn batch_latency(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros(self.latency_us + (bytes as f64 / self.bytes_per_us) as u64)
+    }
+}
+
+/// Rough wire size of a tuple on the LAN (binary encoding estimate:
+/// 1-byte tag + payload per value).
+pub fn tuple_lan_bytes(t: &Tuple) -> u64 {
+    let mut sz = 8u64; // batch framing share + timestamp
+    for v in t.values() {
+        sz += 1 + match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 8,
+            Value::Text(s) => 2 + s.len() as u64,
+        };
+    }
+    sz
+}
+
+/// Network accounting for one distributed query.
+#[derive(Debug, Clone, Default)]
+pub struct LanStats {
+    pub batches: u64,
+    pub tuples: u64,
+    pub bytes: u64,
+    /// Sum of per-batch shipping latencies (the queueing-free total).
+    pub total_latency: SimDuration,
+    /// Worst single-batch latency.
+    pub max_batch_latency: SimDuration,
+}
+
+/// A continuous query whose scans are homed on remote PC nodes.
+///
+/// Processing is identical to the local [`Pipeline`]; what this adds is
+/// *placement*: each source is assigned a home node, and every batch
+/// pushed from a remote home is charged a LAN hop before processing.
+pub struct DistributedQuery {
+    pipeline: Pipeline,
+    sink: Sink,
+    lan: LanModel,
+    /// Source → home node name. Sources absent from the map are local to
+    /// the execution node.
+    homes: HashMap<SourceId, String>,
+    exec_node: String,
+    pub stats: LanStats,
+}
+
+impl DistributedQuery {
+    pub fn new(plan: &LogicalPlan, lan: LanModel, exec_node: &str) -> Result<Self> {
+        let mut pipeline = Pipeline::compile(plan)?;
+        let mut sink = pipeline.make_sink();
+        pipeline.start(&mut sink)?;
+        Ok(DistributedQuery {
+            pipeline,
+            sink,
+            lan,
+            homes: HashMap::new(),
+            exec_node: exec_node.to_string(),
+            stats: LanStats::default(),
+        })
+    }
+
+    /// Declare that `source` is produced on `node`.
+    pub fn place_source(&mut self, source: SourceId, node: &str) {
+        self.homes.insert(source, node.to_string());
+    }
+
+    pub fn exec_node(&self) -> &str {
+        &self.exec_node
+    }
+
+    /// Push a batch from its home node, charging the LAN hop if remote.
+    pub fn push(&mut self, source: SourceId, tuples: &[Tuple]) -> Result<SimDuration> {
+        let mut ship = SimDuration::ZERO;
+        if let Some(home) = self.homes.get(&source) {
+            if *home != self.exec_node && !tuples.is_empty() {
+                let bytes: u64 = tuples.iter().map(tuple_lan_bytes).sum();
+                ship = self.lan.batch_latency(bytes);
+                self.stats.batches += 1;
+                self.stats.tuples += tuples.len() as u64;
+                self.stats.bytes += bytes;
+                self.stats.total_latency = self.stats.total_latency + ship;
+                if ship > self.stats.max_batch_latency {
+                    self.stats.max_batch_latency = ship;
+                }
+            }
+        }
+        self.pipeline.push_source(source, tuples, &mut self.sink)?;
+        Ok(ship)
+    }
+
+    pub fn advance_time(&mut self, now: aspen_types::SimTime) -> Result<()> {
+        self.pipeline.advance_time(now, &mut self.sink)
+    }
+
+    pub fn snapshot(&self) -> Result<Vec<Tuple>> {
+        self.sink.snapshot()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash-partitioned parallel join
+// ---------------------------------------------------------------------------
+
+/// N-way hash-partitioned symmetric join: each worker owns a key range
+/// (by hash), and tuples are routed to exactly one worker. Produces the
+/// same results as a single [`JoinOp`]; the bench compares state sizes
+/// and per-partition balance.
+pub struct PartitionedJoin {
+    workers: Vec<JoinOp>,
+    keys: Vec<(usize, usize)>,
+    /// Tuples routed to each worker, for balance accounting.
+    pub routed: Vec<u64>,
+}
+
+impl PartitionedJoin {
+    pub fn new(n_workers: usize, keys: Vec<(usize, usize)>) -> Self {
+        assert!(n_workers >= 1);
+        PartitionedJoin {
+            workers: (0..n_workers)
+                .map(|_| JoinOp::new(keys.clone(), None))
+                .collect(),
+            keys,
+            routed: vec![0; n_workers],
+        }
+    }
+
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn worker_of(&self, tuple: &Tuple, is_left: bool) -> usize {
+        let mut h = DefaultHasher::new();
+        for (l, r) in &self.keys {
+            let idx = if is_left { *l } else { *r };
+            tuple.get(idx).hash(&mut h);
+        }
+        (h.finish() % self.workers.len() as u64) as usize
+    }
+
+    /// Route one delta to its partition; returns join outputs.
+    pub fn process(&mut self, port: usize, delta: &Delta) -> Result<Vec<Delta>> {
+        let w = self.worker_of(&delta.tuple, port == 0);
+        self.routed[w] += 1;
+        self.workers[w].process(port, delta)
+    }
+
+    /// Largest / smallest partition routing ratio (1.0 = perfectly even).
+    pub fn skew(&self) -> f64 {
+        let max = *self.routed.iter().max().unwrap_or(&0) as f64;
+        let min = *self.routed.iter().min().unwrap_or(&0) as f64;
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_types::SimTime;
+
+    fn t(k: i64, v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(k), Value::Int(v)], SimTime::ZERO)
+    }
+
+    #[test]
+    fn lan_model_latency() {
+        let lan = LanModel::default();
+        let small = lan.batch_latency(125);
+        let big = lan.batch_latency(125_000);
+        assert_eq!(small, SimDuration::from_micros(201));
+        assert!(big > small);
+    }
+
+    #[test]
+    fn tuple_bytes_accounts_text() {
+        let a = tuple_lan_bytes(&t(1, 2));
+        let b = tuple_lan_bytes(&Tuple::new(
+            vec![Value::Text("a-long-room-name".into())],
+            SimTime::ZERO,
+        ));
+        assert!(a >= 18);
+        assert!(b > 16);
+    }
+
+    #[test]
+    fn partitioned_join_matches_monolithic() {
+        let mut mono = JoinOp::new(vec![(0, 0)], None);
+        let mut part = PartitionedJoin::new(4, vec![(0, 0)]);
+        let mut mono_out = Vec::new();
+        let mut part_out = Vec::new();
+        for k in 0..20i64 {
+            let l = Delta::insert(t(k % 5, k));
+            mono_out.extend(mono.process(0, &l).unwrap());
+            part_out.extend(part.process(0, &l).unwrap());
+        }
+        for k in 0..10i64 {
+            let r = Delta::insert(t(k % 5, 100 + k));
+            mono_out.extend(mono.process(1, &r).unwrap());
+            part_out.extend(part.process(1, &r).unwrap());
+        }
+        let canon = |mut v: Vec<Delta>| {
+            v.sort_by(|a, b| a.tuple.values().cmp(b.tuple.values()));
+            v
+        };
+        assert_eq!(canon(mono_out), canon(part_out));
+        // All routing went somewhere, and the counters add up.
+        assert_eq!(part.routed.iter().sum::<u64>(), 30);
+    }
+
+    #[test]
+    fn skew_metric() {
+        let mut p = PartitionedJoin::new(2, vec![(0, 0)]);
+        for _ in 0..10 {
+            p.process(0, &Delta::insert(t(1, 0))).unwrap(); // all same key
+        }
+        assert!(p.skew().is_infinite() || p.skew() >= 1.0);
+        assert_eq!(p.n_workers(), 2);
+    }
+}

@@ -1,0 +1,415 @@
+//! The stream-engine facade.
+//!
+//! A [`StreamEngine`] owns every continuous query and materialized
+//! recursive view on the PC side of ASPEN. Wrappers push source batches
+//! in; the engine routes them to query pipelines and to the views that
+//! read them, forwards view deltas to the queries that scan those views,
+//! and advances windows on heartbeats.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use aspen_catalog::{Catalog, SourceKind, SourceStats};
+use aspen_sql::binder::BoundView;
+use aspen_sql::plan::LogicalPlan;
+use aspen_sql::{bind, parse, BoundQuery};
+use aspen_types::{AspenError, QueryId, Result, SimTime, SourceId, Tuple};
+
+use crate::pipeline::Pipeline;
+use crate::recursive::RecursiveView;
+use crate::sink::Sink;
+
+/// Handle to a registered continuous query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryHandle(pub QueryId);
+
+struct QueryRuntime {
+    pipeline: Pipeline,
+    sink: Sink,
+}
+
+struct ViewRuntime {
+    view: RecursiveView,
+    out_source: SourceId,
+}
+
+/// PC-side query engine: continuous queries + materialized views.
+pub struct StreamEngine {
+    catalog: Arc<Catalog>,
+    queries: Vec<QueryRuntime>,
+    views: Vec<ViewRuntime>,
+    /// Retained contents of Table sources so late-registered queries can
+    /// replay them (streams are not replayed — standard semantics).
+    table_store: HashMap<SourceId, Vec<Tuple>>,
+    now: SimTime,
+}
+
+impl StreamEngine {
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        StreamEngine {
+            catalog,
+            queries: Vec::new(),
+            views: Vec::new(),
+            table_store: HashMap::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Compile and register a SQL statement. `SELECT` returns a query
+    /// handle; `CREATE VIEW` materializes the view and returns `None`.
+    pub fn register_sql(&mut self, sql: &str) -> Result<Option<QueryHandle>> {
+        match bind(&parse(sql)?, &self.catalog)? {
+            BoundQuery::Select(b) => Ok(Some(self.register_plan(&b.plan)?)),
+            BoundQuery::View(v) => {
+                self.register_view(&v)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Register an already-planned continuous query.
+    pub fn register_plan(&mut self, plan: &LogicalPlan) -> Result<QueryHandle> {
+        let mut pipeline = Pipeline::compile(plan)?;
+        let mut sink = pipeline.make_sink();
+        pipeline.start(&mut sink)?;
+
+        // Replay retained table contents and current view materializations
+        // so the query starts consistent.
+        let sources = pipeline.sources();
+        for src in sources {
+            if let Some(rows) = self.table_store.get(&src) {
+                let rows = rows.clone();
+                pipeline.push_source(src, &rows, &mut sink)?;
+            }
+            if let Some(vr) = self.views.iter().find(|v| v.out_source == src) {
+                let snapshot = vr.view.snapshot();
+                pipeline.push_source(src, &snapshot, &mut sink)?;
+            }
+        }
+
+        self.queries.push(QueryRuntime { pipeline, sink });
+        Ok(QueryHandle(QueryId((self.queries.len() - 1) as u32)))
+    }
+
+    /// Materialize a bound view. Registers the view's output as a catalog
+    /// source (kind `View`) so downstream queries can scan it.
+    pub fn register_view(&mut self, bound: &BoundView) -> Result<SourceId> {
+        let out_source = self.catalog.register_source(
+            &bound.name,
+            bound.schema.clone(),
+            SourceKind::View,
+            SourceStats::default(),
+        )?;
+        let mut view = RecursiveView::new(bound)?;
+
+        // Seed the view from any already-retained table contents.
+        let mut emitted = Vec::new();
+        for src in view.base_sources() {
+            if let Some(rows) = self.table_store.get(&src) {
+                let deltas: Vec<crate::delta::Delta> = rows
+                    .iter()
+                    .cloned()
+                    .map(crate::delta::Delta::insert)
+                    .collect();
+                emitted.extend(view.on_base_deltas(src, &deltas)?);
+            }
+        }
+        self.views.push(ViewRuntime { view, out_source });
+        if !emitted.is_empty() {
+            self.forward_view_deltas(out_source, &emitted)?;
+        }
+        Ok(out_source)
+    }
+
+    /// Ingest a batch of tuples for a named source. Routes to query
+    /// pipelines and to recursive views, then forwards any view deltas.
+    pub fn on_batch(&mut self, source_name: &str, tuples: &[Tuple]) -> Result<()> {
+        let meta = self.catalog.source(source_name)?;
+        let src = meta.id;
+        if let Some(max_ts) = tuples.iter().map(Tuple::timestamp).max() {
+            if max_ts > self.now {
+                self.now = max_ts;
+            }
+        }
+        // Retain table contents for replay.
+        if matches!(meta.kind, SourceKind::Table) {
+            self.table_store
+                .entry(src)
+                .or_default()
+                .extend(tuples.iter().cloned());
+        }
+        // Queries scanning this source directly.
+        for q in &mut self.queries {
+            q.pipeline.push_source(src, tuples, &mut q.sink)?;
+        }
+        // Views reading this source.
+        let deltas: Vec<crate::delta::Delta> = tuples
+            .iter()
+            .cloned()
+            .map(crate::delta::Delta::insert)
+            .collect();
+        self.apply_base_deltas(src, &deltas)
+    }
+
+    /// Ingest signed changes for a source (e.g. a table update/delete).
+    pub fn on_deltas(&mut self, source_name: &str, deltas: &[crate::delta::Delta]) -> Result<()> {
+        let meta = self.catalog.source(source_name)?;
+        let src = meta.id;
+        if matches!(meta.kind, SourceKind::Table) {
+            let store = self.table_store.entry(src).or_default();
+            for d in deltas {
+                if d.sign > 0 {
+                    store.push(d.tuple.clone());
+                } else if let Some(pos) = store.iter().position(|t| *t == d.tuple) {
+                    store.swap_remove(pos);
+                }
+            }
+        }
+        for q in &mut self.queries {
+            q.pipeline.push_deltas(src, deltas, &mut q.sink)?;
+        }
+        self.apply_base_deltas(src, deltas)
+    }
+
+    fn apply_base_deltas(&mut self, src: SourceId, deltas: &[crate::delta::Delta]) -> Result<()> {
+        let mut forwarded: Vec<(SourceId, Vec<crate::delta::Delta>)> = Vec::new();
+        for vr in &mut self.views {
+            if vr.view.reads(src) {
+                let out = vr.view.on_base_deltas(src, deltas)?;
+                if !out.is_empty() {
+                    forwarded.push((vr.out_source, out));
+                }
+            }
+        }
+        for (out_src, out) in forwarded {
+            self.forward_view_deltas(out_src, &out)?;
+        }
+        Ok(())
+    }
+
+    fn forward_view_deltas(
+        &mut self,
+        view_source: SourceId,
+        deltas: &[crate::delta::Delta],
+    ) -> Result<()> {
+        for q in &mut self.queries {
+            q.pipeline.push_deltas(view_source, deltas, &mut q.sink)?;
+        }
+        Ok(())
+    }
+
+    /// Advance simulated time: expire windows everywhere.
+    pub fn heartbeat(&mut self, now: SimTime) -> Result<()> {
+        if now > self.now {
+            self.now = now;
+        }
+        for q in &mut self.queries {
+            q.pipeline.advance_time(now, &mut q.sink)?;
+        }
+        Ok(())
+    }
+
+    fn runtime(&self, q: QueryHandle) -> Result<&QueryRuntime> {
+        self.queries
+            .get(q.0.index())
+            .ok_or_else(|| AspenError::InvalidArgument(format!("unknown query {}", q.0)))
+    }
+
+    /// Current results of a query (ORDER BY / LIMIT applied).
+    pub fn snapshot(&self, q: QueryHandle) -> Result<Vec<Tuple>> {
+        self.runtime(q)?.sink.snapshot()
+    }
+
+    /// The sink (for churn statistics and display metadata).
+    pub fn sink(&self, q: QueryHandle) -> Result<&Sink> {
+        Ok(&self.runtime(q)?.sink)
+    }
+
+    /// Total operator invocations across all pipelines (CPU-cost proxy).
+    pub fn total_ops_invoked(&self) -> u64 {
+        self.queries.iter().map(|q| q.pipeline.ops_invoked).sum()
+    }
+
+    /// Current materialization of a named view.
+    pub fn view_snapshot(&self, name: &str) -> Result<Vec<Tuple>> {
+        self.views
+            .iter()
+            .find(|v| v.view.name().eq_ignore_ascii_case(name))
+            .map(|v| v.view.snapshot())
+            .ok_or_else(|| AspenError::Unresolved(format!("no materialized view '{name}'")))
+    }
+
+    /// Maintenance statistics of a named view.
+    pub fn view_stats(&self, name: &str) -> Result<crate::recursive::ViewStats> {
+        self.views
+            .iter()
+            .find(|v| v.view.name().eq_ignore_ascii_case(name))
+            .map(|v| v.view.stats.clone())
+            .ok_or_else(|| AspenError::Unresolved(format!("no materialized view '{name}'")))
+    }
+
+    /// Snapshots of every query routed to the named display.
+    pub fn display_snapshot(&self, display: &str) -> Result<Vec<Vec<Tuple>>> {
+        let mut out = Vec::new();
+        for q in &self.queries {
+            if q.sink.display() == Some(display) {
+                out.push(q.sink.snapshot()?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_catalog::{DeviceClass, SourceKind, SourceStats};
+    use aspen_types::{DataType, Field, Schema, SimDuration, Value};
+
+    fn engine() -> StreamEngine {
+        let cat = Catalog::shared();
+        let edges = Schema::new(vec![
+            Field::new("src", DataType::Text),
+            Field::new("dst", DataType::Text),
+        ])
+        .into_ref();
+        cat.register_source("Edge", edges, SourceKind::Table, SourceStats::table(10))
+            .unwrap();
+        let temps = Schema::new(vec![
+            Field::new("desk", DataType::Int),
+            Field::new("temp", DataType::Float),
+        ])
+        .into_ref();
+        cat.register_source(
+            "Temps",
+            temps,
+            SourceKind::Device(DeviceClass::new(&["temp"], SimDuration::from_secs(10), 4)),
+            SourceStats::stream(0.4),
+        )
+        .unwrap();
+        StreamEngine::new(cat)
+    }
+
+    fn edge(a: &str, b: &str) -> Tuple {
+        Tuple::new(
+            vec![Value::Text(a.into()), Value::Text(b.into())],
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn sql_round_trip_with_heartbeat() {
+        let mut e = engine();
+        let q = e
+            .register_sql("select t.desk from Temps t where t.temp > 90")
+            .unwrap()
+            .unwrap();
+        e.on_batch(
+            "Temps",
+            &[Tuple::new(
+                vec![Value::Int(1), Value::Float(99.0)],
+                SimTime::from_secs(1),
+            )],
+        )
+        .unwrap();
+        assert_eq!(e.snapshot(q).unwrap().len(), 1);
+        e.heartbeat(SimTime::from_secs(20)).unwrap();
+        assert!(e.snapshot(q).unwrap().is_empty());
+        assert_eq!(e.now(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn recursive_view_feeds_downstream_query() {
+        let mut e = engine();
+        e.register_sql(
+            "create recursive view Reach as ( \
+               select e.src, e.dst from Edge e \
+               union \
+               select r.src, e.dst from Reach r, Edge e where r.dst = e.src )",
+        )
+        .unwrap();
+        let q = e
+            .register_sql("select r.dst from Reach r where r.src = 'a'")
+            .unwrap()
+            .unwrap();
+        e.on_batch("Edge", &[edge("a", "b"), edge("b", "c")]).unwrap();
+        let snap = e.snapshot(q).unwrap();
+        let dsts: Vec<_> = snap.iter().map(|t| t.get(0).clone()).collect();
+        assert_eq!(dsts, vec![Value::Text("b".into()), Value::Text("c".into())]);
+        // Delete the b→c edge: a→c must retract downstream too.
+        e.on_deltas("Edge", &[crate::delta::Delta::retract(edge("b", "c"))])
+            .unwrap();
+        let snap = e.snapshot(q).unwrap();
+        assert_eq!(snap.len(), 1);
+    }
+
+    #[test]
+    fn late_query_replays_tables_and_views() {
+        let mut e = engine();
+        e.register_sql(
+            "create recursive view Reach as ( \
+               select e.src, e.dst from Edge e \
+               union \
+               select r.src, e.dst from Reach r, Edge e where r.dst = e.src )",
+        )
+        .unwrap();
+        e.on_batch("Edge", &[edge("a", "b"), edge("b", "c")]).unwrap();
+        // Register AFTER the data arrived.
+        let q = e
+            .register_sql("select r.src, r.dst from Reach r")
+            .unwrap()
+            .unwrap();
+        assert_eq!(e.snapshot(q).unwrap().len(), 3);
+        let q2 = e.register_sql("select e.src from Edge e").unwrap().unwrap();
+        assert_eq!(e.snapshot(q2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn view_registered_after_table_data_seeds_itself() {
+        let mut e = engine();
+        e.on_batch("Edge", &[edge("a", "b"), edge("b", "c")]).unwrap();
+        e.register_sql(
+            "create recursive view Reach as ( \
+               select e.src, e.dst from Edge e \
+               union \
+               select r.src, e.dst from Reach r, Edge e where r.dst = e.src )",
+        )
+        .unwrap();
+        assert_eq!(e.view_snapshot("Reach").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn display_snapshot_routes() {
+        let mut e = engine();
+        let _ = e
+            .register_sql("select t.desk from Temps t output to display 'lobby'")
+            .unwrap()
+            .unwrap();
+        e.on_batch(
+            "Temps",
+            &[Tuple::new(
+                vec![Value::Int(7), Value::Float(50.0)],
+                SimTime::from_secs(1),
+            )],
+        )
+        .unwrap();
+        let views = e.display_snapshot("lobby").unwrap();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].len(), 1);
+        assert!(e.display_snapshot("nowhere").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_query_handle_errors() {
+        let e = engine();
+        assert!(e.snapshot(QueryHandle(QueryId(42))).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! # aspen-stream
+//!
+//! ASPEN's **distributed stream engine** — the PC-side query runtime of
+//! the paper (its §3 "distributed stream engine", detailed in ref [11]).
+//! It executes windowed Stream SQL plans incrementally and maintains
+//! **recursive stream views** (transitive closure) with provenance-backed
+//! deletion support, which is what computes SmartCIS's building routes in
+//! real time.
+//!
+//! ## Execution model
+//!
+//! Everything is a flow of signed [`Delta`]s (`+1` insert / `-1`
+//! retract). Window operators sit directly above scans and convert the
+//! passage of (simulated) time into retraction deltas; every downstream
+//! operator — filter, project, symmetric-hash join, grouped aggregate —
+//! is a pure delta processor over multiset state. A query's results live
+//! in a [`Sink`] that applies the presentation layer (ORDER BY / LIMIT /
+//! OUTPUT TO DISPLAY) to the maintained multiset.
+//!
+//! ```text
+//! wrapper batches ──▶ Scan ▶ Window ▶ Filter ▶ Join ▶ Agg ▶ Sink ▶ display
+//!        heartbeat(t) ──────┘ (expiry retractions)
+//! ```
+//!
+//! ## Recursive views
+//!
+//! [`recursive::RecursiveView`] materializes `CREATE RECURSIVE VIEW`
+//! definitions by semi-naïve fixpoint, maintains them under base-relation
+//! *insertions* incrementally, and under *deletions* via provenance-
+//! guided DRed (overdelete the tuples whose recorded derivation touched
+//! the deleted base facts, then rederive). Experiment E6 measures exactly
+//! this machinery against full recomputation.
+//!
+//! ## Distribution
+//!
+//! [`distributed`] partitions a plan across simulated PC nodes joined by
+//! a LAN model and accounts bytes and latency per stage — the numbers the
+//! federated optimizer's stream-side cost model is calibrated against.
+
+pub mod delta;
+pub mod distributed;
+pub mod engine;
+pub mod operators;
+pub mod pipeline;
+pub mod recursive;
+pub mod sink;
+pub mod state;
+pub mod window;
+
+pub use delta::Delta;
+pub use engine::{QueryHandle, StreamEngine};
+pub use recursive::RecursiveView;
+pub use sink::Sink;

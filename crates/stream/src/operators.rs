@@ -1,0 +1,457 @@
+//! Incremental relational operators.
+//!
+//! Every operator is a pure processor of signed deltas over private
+//! multiset state. Retractions follow exactly the same code path as
+//! insertions with the sign flipped — that symmetry is what makes window
+//! expiry and recursive-view deletion compose for free.
+
+use std::collections::HashMap;
+
+use aspen_sql::expr::{AggAccumulator, BoundAgg, BoundExpr};
+use aspen_types::{Result, SimTime, Tuple, Value};
+
+use crate::delta::Delta;
+use crate::state::KeyedState;
+
+/// A delta processor. `port` distinguishes the inputs of binary
+/// operators (0 = left, 1 = right).
+pub trait DeltaOp: std::fmt::Debug {
+    fn process(&mut self, port: usize, delta: &Delta) -> Result<Vec<Delta>>;
+
+    /// Deltas to emit when the pipeline starts (global aggregates emit
+    /// their empty-input row here).
+    fn initial(&mut self) -> Vec<Delta> {
+        vec![]
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Filter: passes deltas whose tuple satisfies the predicate.
+#[derive(Debug)]
+pub struct FilterOp {
+    pub predicate: BoundExpr,
+}
+
+impl DeltaOp for FilterOp {
+    fn process(&mut self, _port: usize, delta: &Delta) -> Result<Vec<Delta>> {
+        Ok(if self.predicate.eval_bool(&delta.tuple)? {
+            vec![delta.clone()]
+        } else {
+            vec![]
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Project: maps each tuple through the expression list.
+#[derive(Debug)]
+pub struct ProjectOp {
+    pub exprs: Vec<BoundExpr>,
+}
+
+impl DeltaOp for ProjectOp {
+    fn process(&mut self, _port: usize, delta: &Delta) -> Result<Vec<Delta>> {
+        let mut vals = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            vals.push(e.eval(&delta.tuple)?);
+        }
+        Ok(vec![Delta {
+            tuple: Tuple::new(vals, delta.tuple.timestamp()),
+            sign: delta.sign,
+        }])
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Symmetric hash join on equi-keys with an optional residual predicate
+/// over the concatenated tuple. With no keys this degenerates to a
+/// (windowed) cross product — both sides land in one bucket.
+#[derive(Debug)]
+pub struct JoinOp {
+    pub keys: Vec<(usize, usize)>,
+    pub residual: Option<BoundExpr>,
+    left: KeyedState,
+    right: KeyedState,
+}
+
+impl JoinOp {
+    pub fn new(keys: Vec<(usize, usize)>, residual: Option<BoundExpr>) -> Self {
+        JoinOp {
+            keys,
+            residual,
+            left: KeyedState::new(),
+            right: KeyedState::new(),
+        }
+    }
+
+    /// Gross state size, for memory accounting in the cost model.
+    pub fn state_size(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    fn key_of(&self, tuple: &Tuple, is_left: bool) -> Vec<Value> {
+        self.keys
+            .iter()
+            .map(|(l, r)| {
+                let idx = if is_left { *l } else { *r };
+                tuple.get(idx).clone()
+            })
+            .collect()
+    }
+}
+
+impl DeltaOp for JoinOp {
+    fn process(&mut self, port: usize, delta: &Delta) -> Result<Vec<Delta>> {
+        let is_left = port == 0;
+        let key = self.key_of(&delta.tuple, is_left);
+        // Update own side's state first so self-joins on the same batch
+        // behave like set-at-a-time semantics.
+        if is_left {
+            self.left.update(key.clone(), &delta.tuple, delta.sign);
+        } else {
+            self.right.update(key.clone(), &delta.tuple, delta.sign);
+        }
+        let other = if is_left { &self.right } else { &self.left };
+        let mut out = Vec::new();
+        for (match_tuple, mult) in other.get(&key) {
+            let joined = if is_left {
+                delta.tuple.join(match_tuple)
+            } else {
+                match_tuple.join(&delta.tuple)
+            };
+            if let Some(residual) = &self.residual {
+                if !residual.eval_bool(&joined)? {
+                    continue;
+                }
+            }
+            out.push(Delta {
+                tuple: joined,
+                sign: delta.sign * mult,
+            });
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Grouped aggregation with full retraction support. Each group change
+/// retracts the group's previous output row and inserts the new one.
+#[derive(Debug)]
+pub struct AggregateOp {
+    pub group: Vec<BoundExpr>,
+    pub aggs: Vec<BoundAgg>,
+    groups: HashMap<Vec<Value>, GroupState>,
+}
+
+#[derive(Debug)]
+struct GroupState {
+    accs: Vec<AggAccumulator>,
+    /// Gross multiplicity of live input rows in this group.
+    weight: i64,
+    last_output: Option<Tuple>,
+}
+
+impl AggregateOp {
+    pub fn new(group: Vec<BoundExpr>, aggs: Vec<BoundAgg>) -> Self {
+        AggregateOp {
+            group,
+            aggs,
+            groups: HashMap::new(),
+        }
+    }
+
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn fresh_accs(&self) -> Vec<AggAccumulator> {
+        self.aggs
+            .iter()
+            .map(|a| {
+                AggAccumulator::new(a.func, a.arg.as_ref().and_then(BoundExpr::data_type))
+            })
+            .collect()
+    }
+
+    fn output_tuple(
+        key: &[Value],
+        accs: &[AggAccumulator],
+        aggs: &[BoundAgg],
+        ts: SimTime,
+    ) -> Tuple {
+        let mut vals: Vec<Value> = key.to_vec();
+        for (acc, spec) in accs.iter().zip(aggs) {
+            vals.push(acc.value(spec.func));
+        }
+        Tuple::new(vals, ts)
+    }
+}
+
+impl DeltaOp for AggregateOp {
+    fn process(&mut self, _port: usize, delta: &Delta) -> Result<Vec<Delta>> {
+        let mut key = Vec::with_capacity(self.group.len());
+        for g in &self.group {
+            key.push(g.eval(&delta.tuple)?);
+        }
+        let fresh = self.fresh_accs();
+        let state = self.groups.entry(key.clone()).or_insert_with(|| GroupState {
+            accs: fresh,
+            weight: 0,
+            last_output: None,
+        });
+
+        let mut out = Vec::new();
+        if let Some(prev) = state.last_output.take() {
+            out.push(Delta::retract(prev));
+        }
+
+        // Apply |sign| repetitions of the update.
+        let reps = delta.sign.unsigned_abs();
+        for _ in 0..reps {
+            for (acc, spec) in state.accs.iter_mut().zip(&self.aggs) {
+                let v = match &spec.arg {
+                    Some(e) => e.eval(&delta.tuple)?,
+                    // COUNT(*): count every row regardless of content.
+                    None => Value::Int(1),
+                };
+                if delta.sign > 0 {
+                    acc.insert(&v)?;
+                } else {
+                    acc.retract(&v)?;
+                }
+            }
+        }
+        state.weight += delta.sign;
+
+        let is_global = self.group.is_empty();
+        if state.weight > 0 || is_global {
+            let tuple =
+                Self::output_tuple(&key, &state.accs, &self.aggs, delta.tuple.timestamp());
+            state.last_output = Some(tuple.clone());
+            out.push(Delta::insert(tuple));
+        } else {
+            // Group became empty: drop its state entirely.
+            self.groups.remove(&key);
+        }
+        Ok(out)
+    }
+
+    fn initial(&mut self) -> Vec<Delta> {
+        if !self.group.is_empty() {
+            return vec![];
+        }
+        // Global aggregate over an empty stream still has one row
+        // (COUNT = 0, SUM = NULL, ...), emitted at time zero.
+        let accs = self.fresh_accs();
+        let tuple = Self::output_tuple(&[], &accs, &self.aggs, SimTime::ZERO);
+        self.groups.insert(
+            vec![],
+            GroupState {
+                accs,
+                weight: 0,
+                last_output: Some(tuple.clone()),
+            },
+        );
+        vec![Delta::insert(tuple)]
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Bag union: deltas from every port pass through unchanged.
+#[derive(Debug, Default)]
+pub struct UnionOp;
+
+impl DeltaOp for UnionOp {
+    fn process(&mut self, _port: usize, delta: &Delta) -> Result<Vec<Delta>> {
+        Ok(vec![delta.clone()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_sql::expr::AggFunc;
+    use aspen_types::DataType;
+
+    fn t(vals: Vec<Value>, us: u64) -> Tuple {
+        Tuple::new(vals, SimTime::from_micros(us))
+    }
+
+    #[test]
+    fn filter_passes_inserts_and_retractions_symmetrically() {
+        let mut f = FilterOp {
+            predicate: BoundExpr::Cmp {
+                op: aspen_sql::ast::CmpOp::Gt,
+                left: Box::new(BoundExpr::col(0, DataType::Int)),
+                right: Box::new(BoundExpr::Lit(Value::Int(5))),
+            },
+        };
+        let keep = Delta::insert(t(vec![Value::Int(7)], 0));
+        let drop_ = Delta::insert(t(vec![Value::Int(3)], 0));
+        assert_eq!(f.process(0, &keep).unwrap().len(), 1);
+        assert_eq!(f.process(0, &drop_).unwrap().len(), 0);
+        let retract = keep.negate();
+        let out = f.process(0, &retract).unwrap();
+        assert_eq!(out[0].sign, -1);
+    }
+
+    #[test]
+    fn project_maps_values() {
+        let mut p = ProjectOp {
+            exprs: vec![
+                BoundExpr::col(1, DataType::Int),
+                BoundExpr::Lit(Value::Text("x".into())),
+            ],
+        };
+        let d = Delta::insert(t(vec![Value::Int(1), Value::Int(2)], 9));
+        let out = p.process(0, &d).unwrap();
+        assert_eq!(out[0].tuple.values(), &[Value::Int(2), Value::Text("x".into())]);
+        assert_eq!(out[0].tuple.timestamp(), SimTime::from_micros(9));
+    }
+
+    #[test]
+    fn join_matches_and_retracts() {
+        let mut j = JoinOp::new(vec![(0, 0)], None);
+        // left: (1, "a")
+        let l = Delta::insert(t(vec![Value::Int(1), Value::Text("a".into())], 1));
+        assert!(j.process(0, &l).unwrap().is_empty());
+        // right: (1, "b") → join output
+        let r = Delta::insert(t(vec![Value::Int(1), Value::Text("b".into())], 2));
+        let out = j.process(1, &r).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].tuple.values(),
+            &[
+                Value::Int(1),
+                Value::Text("a".into()),
+                Value::Int(1),
+                Value::Text("b".into())
+            ]
+        );
+        // retract left → retraction of the join output
+        let out = j.process(0, &l.negate()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sign, -1);
+        assert_eq!(j.state_size(), 1); // only right side remains
+    }
+
+    #[test]
+    fn join_respects_multiplicities() {
+        let mut j = JoinOp::new(vec![(0, 0)], None);
+        let l = Delta::insert(t(vec![Value::Int(1)], 0));
+        j.process(0, &l).unwrap();
+        j.process(0, &l).unwrap(); // same tuple twice
+        let r = Delta::insert(t(vec![Value::Int(1)], 1));
+        let out = j.process(1, &r).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sign, 2); // joins against multiplicity-2 state
+    }
+
+    #[test]
+    fn join_residual_prunes() {
+        // join on key, but require left col1 < right col1
+        let residual = BoundExpr::Cmp {
+            op: aspen_sql::ast::CmpOp::Lt,
+            left: Box::new(BoundExpr::col(1, DataType::Int)),
+            right: Box::new(BoundExpr::col(3, DataType::Int)),
+        };
+        let mut j = JoinOp::new(vec![(0, 0)], Some(residual));
+        j.process(0, &Delta::insert(t(vec![Value::Int(1), Value::Int(10)], 0)))
+            .unwrap();
+        let pass = j
+            .process(1, &Delta::insert(t(vec![Value::Int(1), Value::Int(20)], 1)))
+            .unwrap();
+        assert_eq!(pass.len(), 1);
+        let fail = j
+            .process(1, &Delta::insert(t(vec![Value::Int(1), Value::Int(5)], 2)))
+            .unwrap();
+        assert!(fail.is_empty());
+    }
+
+    #[test]
+    fn cross_join_without_keys() {
+        let mut j = JoinOp::new(vec![], None);
+        j.process(0, &Delta::insert(t(vec![Value::Int(1)], 0))).unwrap();
+        j.process(0, &Delta::insert(t(vec![Value::Int(2)], 0))).unwrap();
+        let out = j
+            .process(1, &Delta::insert(t(vec![Value::Int(9)], 1)))
+            .unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    fn avg_agg() -> AggregateOp {
+        AggregateOp::new(
+            vec![BoundExpr::col(0, DataType::Text)],
+            vec![BoundAgg {
+                func: AggFunc::Avg,
+                arg: Some(BoundExpr::col(1, DataType::Float)),
+                name: "AVG(v)".into(),
+            }],
+        )
+    }
+
+    #[test]
+    fn aggregate_updates_groups_incrementally() {
+        let mut a = avg_agg();
+        let d1 = Delta::insert(t(vec![Value::Text("lab1".into()), Value::Float(10.0)], 1));
+        let out = a.process(0, &d1).unwrap();
+        // First row of group: just an insert of (lab1, 10.0).
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tuple.values()[1], Value::Float(10.0));
+
+        let d2 = Delta::insert(t(vec![Value::Text("lab1".into()), Value::Float(20.0)], 2));
+        let out = a.process(0, &d2).unwrap();
+        // retract old avg 10.0, insert new avg 15.0
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].sign, -1);
+        assert_eq!(out[1].tuple.values()[1], Value::Float(15.0));
+
+        // Expire the first reading → avg returns to 20.0
+        let out = a.process(0, &d1.negate()).unwrap();
+        assert_eq!(out[1].tuple.values()[1], Value::Float(20.0));
+
+        // Expire the second → group disappears (retraction only).
+        let out = a.process(0, &d2.negate()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sign, -1);
+        assert_eq!(a.group_count(), 0);
+    }
+
+    #[test]
+    fn global_aggregate_emits_empty_row_initially() {
+        let mut a = AggregateOp::new(
+            vec![],
+            vec![BoundAgg {
+                func: AggFunc::Count,
+                arg: None,
+                name: "COUNT(*)".into(),
+            }],
+        );
+        let init = a.initial();
+        assert_eq!(init.len(), 1);
+        assert_eq!(init[0].tuple.values(), &[Value::Int(0)]);
+        let out = a
+            .process(0, &Delta::insert(t(vec![Value::Int(5)], 1)))
+            .unwrap();
+        assert_eq!(out.len(), 2); // retract 0, insert 1
+        assert_eq!(out[1].tuple.values(), &[Value::Int(1)]);
+        // Retracting back to empty keeps the zero row (global semantics).
+        let out = a
+            .process(0, &Delta::retract(t(vec![Value::Int(5)], 2)))
+            .unwrap();
+        assert_eq!(out[1].tuple.values(), &[Value::Int(0)]);
+    }
+
+    #[test]
+    fn union_passes_every_port() {
+        let mut u = UnionOp;
+        let d = Delta::insert(t(vec![Value::Int(1)], 0));
+        assert_eq!(u.process(0, &d).unwrap().len(), 1);
+        assert_eq!(u.process(1, &d).unwrap().len(), 1);
+    }
+}

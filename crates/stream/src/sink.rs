@@ -1,0 +1,179 @@
+//! Query result sinks.
+//!
+//! A [`Sink`] holds the maintained multiset of a continuous query's
+//! results and applies the presentation clauses — ORDER BY, LIMIT,
+//! OUTPUT TO DISPLAY — at snapshot time. Displays poll sinks; nothing is
+//! pushed to a UI thread.
+
+use std::collections::HashMap;
+
+use aspen_sql::expr::BoundExpr;
+use aspen_types::{Result, SchemaRef, Tuple};
+
+use crate::delta::Delta;
+
+/// Materialized result holder for one continuous query.
+#[derive(Debug)]
+pub struct Sink {
+    schema: SchemaRef,
+    sort_keys: Vec<(BoundExpr, bool)>,
+    limit: Option<u64>,
+    display: Option<String>,
+    state: HashMap<Tuple, i64>,
+    /// Monotone count of deltas applied — the "result churn" statistic
+    /// used by the end-to-end experiment.
+    pub deltas_applied: u64,
+}
+
+impl Sink {
+    pub fn new(
+        schema: SchemaRef,
+        sort_keys: Vec<(BoundExpr, bool)>,
+        limit: Option<u64>,
+        display: Option<String>,
+    ) -> Self {
+        Sink {
+            schema,
+            sort_keys,
+            limit,
+            display,
+            state: HashMap::new(),
+            deltas_applied: 0,
+        }
+    }
+
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    pub fn display(&self) -> Option<&str> {
+        self.display.as_deref()
+    }
+
+    /// Apply a batch of deltas to the materialized state.
+    pub fn apply(&mut self, deltas: &[Delta]) {
+        for d in deltas {
+            self.deltas_applied += 1;
+            let e = self.state.entry(d.tuple.clone()).or_insert(0);
+            *e += d.sign;
+            if *e == 0 {
+                self.state.remove(&d.tuple);
+            }
+        }
+    }
+
+    /// Number of distinct live result tuples.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Current results with ORDER BY / LIMIT applied. Multiplicities are
+    /// expanded (bag semantics) before limiting.
+    pub fn snapshot(&self) -> Result<Vec<Tuple>> {
+        let mut rows: Vec<Tuple> = Vec::new();
+        for (t, &c) in &self.state {
+            // Negative multiplicities can exist transiently when deltas
+            // arrive out of order; they are simply not shown.
+            for _ in 0..c.max(0) {
+                rows.push(t.clone());
+            }
+        }
+        if self.sort_keys.is_empty() {
+            // Deterministic default order: by value.
+            rows.sort_by(|a, b| a.values().cmp(b.values()));
+        } else {
+            // Precompute sort keys to keep comparator infallible.
+            let mut keyed: Vec<(Vec<aspen_types::Value>, Tuple)> = Vec::with_capacity(rows.len());
+            for r in rows {
+                let mut k = Vec::with_capacity(self.sort_keys.len());
+                for (e, _) in &self.sort_keys {
+                    k.push(e.eval(&r)?);
+                }
+                keyed.push((k, r));
+            }
+            let dirs: Vec<bool> = self.sort_keys.iter().map(|(_, asc)| *asc).collect();
+            keyed.sort_by(|(ka, ta), (kb, tb)| {
+                for (i, asc) in dirs.iter().enumerate() {
+                    let ord = ka[i].total_cmp(&kb[i]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                ta.values().cmp(tb.values())
+            });
+            rows = keyed.into_iter().map(|(_, t)| t).collect();
+        }
+        if let Some(n) = self.limit {
+            rows.truncate(n as usize);
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_types::{DataType, Field, Schema, SimTime, Value};
+
+    fn t(v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(v)], SimTime::ZERO)
+    }
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![Field::new("x", DataType::Int)]).into_ref()
+    }
+
+    #[test]
+    fn apply_and_snapshot_default_order() {
+        let mut s = Sink::new(schema(), vec![], None, None);
+        s.apply(&[Delta::insert(t(3)), Delta::insert(t(1)), Delta::insert(t(2))]);
+        let snap = s.snapshot().unwrap();
+        assert_eq!(
+            snap.iter().map(|t| t.values()[0].clone()).collect::<Vec<_>>(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+        s.apply(&[Delta::retract(t(2))]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn multiplicity_expansion() {
+        let mut s = Sink::new(schema(), vec![], None, None);
+        s.apply(&[Delta::insert(t(7)), Delta::insert(t(7))]);
+        assert_eq!(s.snapshot().unwrap().len(), 2);
+        assert_eq!(s.len(), 1); // one distinct
+    }
+
+    #[test]
+    fn sort_desc_and_limit() {
+        let keys = vec![(BoundExpr::col(0, DataType::Int), false)];
+        let mut s = Sink::new(schema(), keys, Some(2), Some("lobby".into()));
+        s.apply(&[Delta::insert(t(5)), Delta::insert(t(9)), Delta::insert(t(1))]);
+        let snap = s.snapshot().unwrap();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].values()[0], Value::Int(9));
+        assert_eq!(snap[1].values()[0], Value::Int(5));
+        assert_eq!(s.display(), Some("lobby"));
+    }
+
+    #[test]
+    fn negative_multiplicity_hidden() {
+        let mut s = Sink::new(schema(), vec![], None, None);
+        s.apply(&[Delta::retract(t(1))]);
+        assert!(s.snapshot().unwrap().is_empty());
+        s.apply(&[Delta::insert(t(1))]);
+        assert!(s.snapshot().unwrap().is_empty()); // net zero
+    }
+
+    #[test]
+    fn churn_counter() {
+        let mut s = Sink::new(schema(), vec![], None, None);
+        s.apply(&[Delta::insert(t(1)), Delta::retract(t(1))]);
+        assert_eq!(s.deltas_applied, 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Keyed multiset state shared by the stateful operators.
+//!
+//! A [`KeyedState`] maps a join/group key (a `Vec<Value>`) to the multiset
+//! of live tuples carrying that key. Multiplicity bookkeeping is what
+//! makes retraction exact: a tuple inserted twice must be retracted twice
+//! before it disappears.
+
+use std::collections::HashMap;
+
+use aspen_types::{Tuple, Value};
+
+/// Multiset of tuples, keyed.
+#[derive(Debug, Default, Clone)]
+pub struct KeyedState {
+    map: HashMap<Vec<Value>, HashMap<Tuple, i64>>,
+    live: usize,
+}
+
+impl KeyedState {
+    pub fn new() -> Self {
+        KeyedState::default()
+    }
+
+    /// Apply a signed update; returns the tuple's new multiplicity.
+    pub fn update(&mut self, key: Vec<Value>, tuple: &Tuple, sign: i64) -> i64 {
+        let bucket = self.map.entry(key).or_default();
+        let entry = bucket.entry(tuple.clone()).or_insert(0);
+        *entry += sign;
+        let now = *entry;
+        if now == 0 {
+            bucket.remove(tuple);
+        }
+        // `live` tracks gross tuple count (sum of positive multiplicities).
+        if sign > 0 {
+            self.live += sign as usize;
+        } else {
+            self.live = self.live.saturating_sub((-sign) as usize);
+        }
+        now
+    }
+
+    /// Iterate the live tuples under a key with their multiplicities.
+    pub fn get(&self, key: &[Value]) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.map
+            .get(key)
+            .into_iter()
+            .flat_map(|b| b.iter().map(|(t, c)| (t, *c)))
+    }
+
+    /// Iterate every `(key, tuple, multiplicity)` triple.
+    pub fn iter_all(&self) -> impl Iterator<Item = (&Vec<Value>, &Tuple, i64)> {
+        self.map
+            .iter()
+            .flat_map(|(k, b)| b.iter().map(move |(t, c)| (k, t, *c)))
+    }
+
+    /// Gross number of live tuples (counting multiplicity).
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of distinct keys currently populated.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_types::SimTime;
+
+    fn t(v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(v)], SimTime::ZERO)
+    }
+
+    #[test]
+    fn multiplicity_tracking() {
+        let mut s = KeyedState::new();
+        let k = vec![Value::Int(1)];
+        assert_eq!(s.update(k.clone(), &t(10), 1), 1);
+        assert_eq!(s.update(k.clone(), &t(10), 1), 2);
+        assert_eq!(s.update(k.clone(), &t(10), -1), 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.update(k.clone(), &t(10), -1), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.get(&k).count(), 0);
+    }
+
+    #[test]
+    fn separate_keys_are_independent() {
+        let mut s = KeyedState::new();
+        s.update(vec![Value::Int(1)], &t(10), 1);
+        s.update(vec![Value::Int(2)], &t(20), 1);
+        assert_eq!(s.key_count(), 2);
+        assert_eq!(s.get(&[Value::Int(1)]).count(), 1);
+        assert_eq!(s.get(&[Value::Int(3)]).count(), 0);
+        assert_eq!(s.iter_all().count(), 2);
+    }
+
+    #[test]
+    fn negative_multiplicity_is_representable() {
+        // Retraction arriving before its insertion (out-of-order deltas)
+        // must not panic; the multiset goes negative and heals later.
+        let mut s = KeyedState::new();
+        let k = vec![Value::Int(1)];
+        assert_eq!(s.update(k.clone(), &t(5), -1), -1);
+        assert_eq!(s.update(k.clone(), &t(5), 1), 0);
+        assert_eq!(s.get(&k).count(), 0);
+    }
+}

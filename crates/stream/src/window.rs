@@ -1,0 +1,205 @@
+//! Window maintenance: turning the clock into retraction deltas.
+//!
+//! A [`WindowOp`] sits immediately above each stream scan. Insertions
+//! pass through; as simulated time advances, expired tuples are emitted
+//! as retractions, so every downstream operator sees a coherent multiset
+//! view of "the window as of now". `ROWS n` windows retract eagerly on
+//! overflow instead.
+
+use std::collections::VecDeque;
+
+use aspen_types::{SimTime, Tuple, WindowSpec};
+
+use crate::delta::Delta;
+
+/// Stateful window maintenance for one scan.
+#[derive(Debug)]
+pub struct WindowOp {
+    spec: WindowSpec,
+    /// Live tuples in arrival order (timestamps are nondecreasing per
+    /// source, enforced by the engine).
+    buffer: VecDeque<Tuple>,
+    /// Current pane index for tumbling windows.
+    pane: Option<u64>,
+}
+
+impl WindowOp {
+    pub fn new(spec: WindowSpec) -> Self {
+        WindowOp {
+            spec,
+            buffer: VecDeque::new(),
+            pane: None,
+        }
+    }
+
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Number of live (buffered) tuples.
+    pub fn live(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Ingest one inserted tuple; returns the deltas to propagate
+    /// (the insertion itself plus any eager retractions).
+    pub fn insert(&mut self, tuple: Tuple, out: &mut Vec<Delta>) {
+        match self.spec {
+            WindowSpec::Unbounded => {
+                out.push(Delta::insert(tuple));
+            }
+            WindowSpec::Range(_) => {
+                self.buffer.push_back(tuple.clone());
+                out.push(Delta::insert(tuple));
+            }
+            WindowSpec::Rows(n) => {
+                self.buffer.push_back(tuple.clone());
+                out.push(Delta::insert(tuple));
+                while self.buffer.len() as u64 > n {
+                    let evicted = self.buffer.pop_front().expect("nonempty");
+                    out.push(Delta::retract(evicted));
+                }
+            }
+            WindowSpec::Tumbling(w) => {
+                let pane = if w.as_micros() == 0 {
+                    0
+                } else {
+                    tuple.timestamp().as_micros() / w.as_micros()
+                };
+                if let Some(current) = self.pane {
+                    if pane != current {
+                        // Pane rollover: retract the entire previous pane.
+                        while let Some(old) = self.buffer.pop_front() {
+                            out.push(Delta::retract(old));
+                        }
+                    }
+                }
+                self.pane = Some(pane);
+                self.buffer.push_back(tuple.clone());
+                out.push(Delta::insert(tuple));
+            }
+        }
+    }
+
+    /// Advance the clock; emits retractions for tuples that fell out of a
+    /// RANGE window (and pane rollovers for TUMBLING).
+    pub fn advance(&mut self, now: SimTime, out: &mut Vec<Delta>) {
+        match self.spec {
+            WindowSpec::Range(_) => {
+                while let Some(front) = self.buffer.front() {
+                    if self.spec.contains(front.timestamp(), now) {
+                        break;
+                    }
+                    let expired = self.buffer.pop_front().expect("nonempty");
+                    out.push(Delta::retract(expired));
+                }
+            }
+            WindowSpec::Tumbling(w) => {
+                if w.as_micros() == 0 {
+                    return;
+                }
+                let now_pane = now.as_micros() / w.as_micros();
+                if let Some(current) = self.pane {
+                    if now_pane > current {
+                        while let Some(old) = self.buffer.pop_front() {
+                            out.push(Delta::retract(old));
+                        }
+                        self.pane = Some(now_pane);
+                    }
+                }
+            }
+            WindowSpec::Unbounded | WindowSpec::Rows(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_types::{SimDuration, Value};
+
+    fn t(v: i64, secs: u64) -> Tuple {
+        Tuple::new(vec![Value::Int(v)], SimTime::from_secs(secs))
+    }
+
+    fn signs(ds: &[Delta]) -> Vec<i64> {
+        ds.iter().map(|d| d.sign).collect()
+    }
+
+    #[test]
+    fn range_window_expires_on_advance() {
+        let mut w = WindowOp::new(WindowSpec::Range(SimDuration::from_secs(10)));
+        let mut out = vec![];
+        w.insert(t(1, 0), &mut out);
+        w.insert(t(2, 5), &mut out);
+        assert_eq!(signs(&out), vec![1, 1]);
+        out.clear();
+        w.advance(SimTime::from_secs(11), &mut out);
+        // t=0 expired (11 - 10 = 1 > 0), t=5 still live.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], Delta::retract(t(1, 0)));
+        assert_eq!(w.live(), 1);
+        out.clear();
+        w.advance(SimTime::from_secs(16), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(w.live(), 0);
+    }
+
+    #[test]
+    fn rows_window_evicts_eagerly() {
+        let mut w = WindowOp::new(WindowSpec::Rows(2));
+        let mut out = vec![];
+        w.insert(t(1, 0), &mut out);
+        w.insert(t(2, 1), &mut out);
+        w.insert(t(3, 2), &mut out);
+        // inserts: +1 +2 +3, eviction: -1
+        assert_eq!(signs(&out), vec![1, 1, 1, -1]);
+        assert_eq!(out[3].tuple, t(1, 0));
+        assert_eq!(w.live(), 2);
+        // advance never expires ROWS windows
+        out.clear();
+        w.advance(SimTime::from_secs(100), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tumbling_window_rolls_over_on_insert_and_advance() {
+        let mut w = WindowOp::new(WindowSpec::Tumbling(SimDuration::from_secs(10)));
+        let mut out = vec![];
+        w.insert(t(1, 1), &mut out);
+        w.insert(t(2, 9), &mut out);
+        out.clear();
+        // Crossing into pane 1 by insert retracts pane 0 first.
+        w.insert(t(3, 12), &mut out);
+        assert_eq!(signs(&out), vec![-1, -1, 1]);
+        out.clear();
+        // Advancing to pane 2 drains pane 1.
+        w.advance(SimTime::from_secs(25), &mut out);
+        assert_eq!(signs(&out), vec![-1]);
+        assert_eq!(out[0].tuple, t(3, 12));
+        assert_eq!(w.live(), 0);
+    }
+
+    #[test]
+    fn unbounded_never_retracts() {
+        let mut w = WindowOp::new(WindowSpec::Unbounded);
+        let mut out = vec![];
+        w.insert(t(1, 0), &mut out);
+        w.advance(SimTime::from_secs(10_000), &mut out);
+        assert_eq!(signs(&out), vec![1]);
+    }
+
+    #[test]
+    fn advance_is_idempotent() {
+        let mut w = WindowOp::new(WindowSpec::Range(SimDuration::from_secs(5)));
+        let mut out = vec![];
+        w.insert(t(1, 0), &mut out);
+        out.clear();
+        w.advance(SimTime::from_secs(6), &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        w.advance(SimTime::from_secs(6), &mut out);
+        w.advance(SimTime::from_secs(7), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Unified error type for the ASPEN workspace.
+//!
+//! Every fallible public API in the workspace returns [`Result`]. The
+//! variants are deliberately coarse — one per subsystem boundary — so that
+//! callers can match on *where* something failed without the crates having
+//! to depend on each other's internals.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, AspenError>;
+
+/// The error type used across all ASPEN crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AspenError {
+    /// A SQL string failed to lex or parse. Carries position context.
+    Parse(String),
+    /// A name (stream, table, column, view, display) could not be resolved
+    /// against the catalog or an operator's input schema.
+    Unresolved(String),
+    /// Two values or schemas had incompatible types for the requested
+    /// operation.
+    TypeMismatch(String),
+    /// A plan (or subplan) was handed to an engine that cannot execute it.
+    /// The federated optimizer uses this as the Garlic-style "no" answer.
+    NotExecutable(String),
+    /// The catalog rejected a registration (duplicate name, bad schema).
+    Catalog(String),
+    /// A simulation invariant was violated (event in the past, unknown
+    /// node, message to a dead mote, ...).
+    Simulation(String),
+    /// Query execution failed at runtime (arithmetic on NULL where
+    /// forbidden, window misconfiguration, channel disconnect, ...).
+    Execution(String),
+    /// Generic invalid-argument error for public API misuse.
+    InvalidArgument(String),
+}
+
+impl AspenError {
+    /// Short machine-readable tag for the error category, used in logs and
+    /// in tests that assert on failure *kind* rather than message text.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AspenError::Parse(_) => "parse",
+            AspenError::Unresolved(_) => "unresolved",
+            AspenError::TypeMismatch(_) => "type_mismatch",
+            AspenError::NotExecutable(_) => "not_executable",
+            AspenError::Catalog(_) => "catalog",
+            AspenError::Simulation(_) => "simulation",
+            AspenError::Execution(_) => "execution",
+            AspenError::InvalidArgument(_) => "invalid_argument",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            AspenError::Parse(m)
+            | AspenError::Unresolved(m)
+            | AspenError::TypeMismatch(m)
+            | AspenError::NotExecutable(m)
+            | AspenError::Catalog(m)
+            | AspenError::Simulation(m)
+            | AspenError::Execution(m)
+            | AspenError::InvalidArgument(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for AspenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for AspenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_and_message_round_trip() {
+        let e = AspenError::Parse("unexpected token ','".into());
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token ','");
+        assert_eq!(e.to_string(), "parse: unexpected token ','");
+    }
+
+    #[test]
+    fn all_variants_have_distinct_kinds() {
+        let variants = [
+            AspenError::Parse(String::new()),
+            AspenError::Unresolved(String::new()),
+            AspenError::TypeMismatch(String::new()),
+            AspenError::NotExecutable(String::new()),
+            AspenError::Catalog(String::new()),
+            AspenError::Simulation(String::new()),
+            AspenError::Execution(String::new()),
+            AspenError::InvalidArgument(String::new()),
+        ];
+        let mut kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), variants.len());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&AspenError::Execution("boom".into()));
+    }
+}

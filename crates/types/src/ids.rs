@@ -1,0 +1,100 @@
+//! Strongly typed identifiers.
+//!
+//! Each subsystem addresses entities by small integer ids; newtypes keep a
+//! sensor-node id from being confused with a query id at compile time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A node in the simulated network — a mote, a PC, or the base station.
+    NodeId,
+    "n"
+);
+id_type!(
+    /// A registered data source (stream, device stream, or table).
+    SourceId,
+    "src"
+);
+id_type!(
+    /// A continuous query instance registered with an engine.
+    QueryId,
+    "q"
+);
+id_type!(
+    /// An operator within a physical plan.
+    OperatorId,
+    "op"
+);
+id_type!(
+    /// A registered display endpoint (the paper's `OUTPUT TO DISPLAY`).
+    DisplayId,
+    "disp"
+);
+id_type!(
+    /// A base edge in a recursive view's provenance (e.g. a routing-point
+    /// path segment).
+    EdgeId,
+    "e"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(QueryId(0).to_string(), "q0");
+        assert_eq!(DisplayId(7).to_string(), "disp7");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let n: NodeId = 5usize.into();
+        assert_eq!(n.index(), 5);
+        let m: NodeId = 9u32.into();
+        assert_eq!(m, NodeId(9));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(EdgeId(1) < EdgeId(2));
+    }
+}

@@ -1,0 +1,31 @@
+//! # aspen-types
+//!
+//! Core data model shared by every ASPEN component: dynamically typed
+//! [`Value`]s, [`Schema`]-described [`Tuple`]s, simulated time
+//! ([`SimTime`] / [`SimDuration`]), window specifications, stable
+//! identifiers, planar geometry for the building / radio models, and the
+//! crate-wide [`AspenError`] type.
+//!
+//! Everything in ASPEN is deterministic and single-clocked: tuples carry a
+//! [`SimTime`] timestamp assigned by the producing wrapper or sensor, and
+//! all engines order work by that clock. No wall-clock time is consulted
+//! anywhere in the workspace, which is what makes runs bit-reproducible.
+
+pub mod error;
+pub mod geom;
+pub mod ids;
+pub mod rng;
+pub mod schema;
+pub mod time;
+pub mod tuple;
+pub mod value;
+pub mod window;
+
+pub use error::{AspenError, Result};
+pub use geom::Point;
+pub use ids::{DisplayId, EdgeId, NodeId, OperatorId, QueryId, SourceId};
+pub use schema::{Field, Schema, SchemaRef};
+pub use time::{SimDuration, SimTime};
+pub use tuple::{Batch, Tuple};
+pub use value::{ArithOp, DataType, Value};
+pub use window::WindowSpec;

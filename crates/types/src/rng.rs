@@ -1,0 +1,75 @@
+//! Deterministic randomness helpers.
+//!
+//! Every stochastic component in the workspace (radio loss, soft-sensor
+//! load processes, visitor walks) derives its generator from a `u64` seed
+//! through these helpers, so a run is a pure function of its seeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Construct the workspace-standard seeded generator.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive an independent child seed from a parent seed and a stream label.
+///
+/// This is a splitmix64-style mix; it lets one experiment seed fan out to
+/// per-node / per-wrapper generators without correlation between streams.
+pub fn derive(seed: u64, label: u64) -> u64 {
+    let mut z = seed ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bernoulli draw helper used by the lossy-link model.
+pub fn chance(rng: &mut StdRng, p: f64) -> bool {
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn derive_separates_streams() {
+        assert_ne!(derive(1, 0), derive(1, 1));
+        assert_ne!(derive(1, 0), derive(2, 0));
+        // and is itself deterministic
+        assert_eq!(derive(7, 9), derive(7, 9));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = seeded(0);
+        assert!(!chance(&mut rng, 0.0));
+        assert!(chance(&mut rng, 1.0));
+        assert!(!chance(&mut rng, -0.5));
+        assert!(chance(&mut rng, 1.5));
+    }
+
+    #[test]
+    fn chance_roughly_matches_probability() {
+        let mut rng = seeded(1234);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| chance(&mut rng, 0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "frac={frac}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Relation schemas.
+//!
+//! A [`Schema`] is an ordered list of named, typed [`Field`]s, optionally
+//! qualified by the relation they came from (so a join of `AreaSensors sa`
+//! and `SeatSensors ss` can resolve both `sa.room` and `ss.room`).
+//! Schemas are immutable and shared via [`SchemaRef`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{AspenError, Result};
+use crate::value::DataType;
+
+/// One column of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Relation alias this field is qualified by, if any (`sa` in
+    /// `sa.room`). Join outputs preserve the qualifiers of both sides.
+    pub qualifier: Option<String>,
+    /// Column name (`room`).
+    pub name: String,
+    pub data_type: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            qualifier: None,
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    pub fn qualified(
+        qualifier: impl Into<String>,
+        name: impl Into<String>,
+        data_type: DataType,
+    ) -> Self {
+        Field {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    /// `qualifier.name` or bare `name`.
+    pub fn full_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Whether this field answers to `name` (optionally qualified).
+    /// `room` matches both `sa.room` and bare `room`; `sa.room` only
+    /// matches when the qualifier agrees.
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match (qualifier, &self.qualifier) {
+            (None, _) => true,
+            (Some(q), Some(fq)) => q.eq_ignore_ascii_case(fq),
+            (Some(_), None) => false,
+        }
+    }
+
+    /// Copy of this field re-qualified with `alias`.
+    pub fn with_qualifier(&self, alias: &str) -> Field {
+        Field {
+            qualifier: Some(alias.to_string()),
+            name: self.name.clone(),
+            data_type: self.data_type,
+        }
+    }
+}
+
+/// Shared, immutable schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+/// An ordered collection of [`Field`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Empty schema (zero columns); the output of `SELECT` with no
+    /// projections never occurs, but punctuation-only streams use this.
+    pub fn empty() -> Self {
+        Schema { fields: vec![] }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Resolve `[qualifier.]name` to a column index. Errors if the name is
+    /// unknown or ambiguous (matches more than one column).
+    pub fn index_of(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(qualifier, name) {
+                if let Some(prev) = found {
+                    return Err(AspenError::Unresolved(format!(
+                        "ambiguous column '{}': matches both {} and {}",
+                        name,
+                        self.fields[prev].full_name(),
+                        f.full_name()
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            let want = match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_string(),
+            };
+            AspenError::Unresolved(format!(
+                "unknown column '{}' (have: {})",
+                want,
+                self.fields
+                    .iter()
+                    .map(Field::full_name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+    }
+
+    /// Concatenation of two schemas — the output of a join.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(right.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Schema re-qualified under `alias` (a `FROM X alias` binding).
+    pub fn with_qualifier(&self, alias: &str) -> Schema {
+        Schema {
+            fields: self.fields.iter().map(|f| f.with_qualifier(alias)).collect(),
+        }
+    }
+
+    /// Projection of the listed column indices.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+
+    pub fn into_ref(self) -> SchemaRef {
+        Arc::new(self)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", field.full_name(), field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::qualified("sa", "room", DataType::Text),
+            Field::qualified("sa", "status", DataType::Text),
+            Field::qualified("ss", "room", DataType::Text),
+            Field::qualified("ss", "desk", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn qualified_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of(Some("sa"), "room").unwrap(), 0);
+        assert_eq!(s.index_of(Some("ss"), "room").unwrap(), 2);
+        assert_eq!(s.index_of(Some("ss"), "desk").unwrap(), 3);
+    }
+
+    #[test]
+    fn unqualified_ambiguous_lookup_errors() {
+        let s = sample();
+        let err = s.index_of(None, "room").unwrap_err();
+        assert_eq!(err.kind(), "unresolved");
+        assert!(err.message().contains("ambiguous"));
+    }
+
+    #[test]
+    fn unqualified_unique_lookup_succeeds() {
+        let s = sample();
+        assert_eq!(s.index_of(None, "desk").unwrap(), 3);
+    }
+
+    #[test]
+    fn unknown_column_lists_candidates() {
+        let s = sample();
+        let err = s.index_of(None, "floor").unwrap_err();
+        assert!(err.message().contains("sa.room"));
+    }
+
+    #[test]
+    fn case_insensitive_resolution() {
+        let s = sample();
+        assert_eq!(s.index_of(Some("SA"), "ROOM").unwrap(), 0);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let l = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let r = Schema::new(vec![Field::new("b", DataType::Text)]);
+        let j = l.join(&r);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.field(1).name, "b");
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = sample();
+        let p = s.project(&[3, 0]);
+        assert_eq!(p.field(0).name, "desk");
+        assert_eq!(p.field(1).full_name(), "sa.room");
+    }
+
+    #[test]
+    fn requalify_overwrites() {
+        let s = sample().with_qualifier("x");
+        assert_eq!(s.index_of(Some("x"), "desk").unwrap(), 3);
+        assert!(s.index_of(Some("ss"), "desk").is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Schema::new(vec![Field::qualified("m", "software", DataType::Text)]);
+        assert_eq!(s.to_string(), "(m.software TEXT)");
+    }
+}

@@ -1,0 +1,526 @@
+//! Dynamically typed scalar values and their type algebra.
+//!
+//! ASPEN integrates sources with heterogeneous native types (mote ADC
+//! readings, PDU wattages, database varchars), so tuples carry a small
+//! dynamic [`Value`]. The type lattice is deliberately tiny — the paper's
+//! queries only need booleans, integers, floats, and text — plus `Null`
+//! for outer joins and missing sensor readings.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{AspenError, Result};
+
+/// Static type of a [`Value`]. Schemas are vectors of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Text,
+    /// Simulated-clock timestamp (microseconds); stored as an `Int`-like
+    /// payload but kept distinct so displays format it as time.
+    Timestamp,
+}
+
+impl DataType {
+    /// Whether a value of type `from` may be used where `self` is expected
+    /// without an explicit cast. Int widens to Float; Timestamp and Int are
+    /// interchangeable at the storage level but not implicitly coerced.
+    pub fn accepts(self, from: DataType) -> bool {
+        self == from || (self == DataType::Float && from == DataType::Int)
+    }
+
+    /// The common supertype of two types for arithmetic/comparison, if any.
+    pub fn unify(a: DataType, b: DataType) -> Option<DataType> {
+        use DataType::*;
+        match (a, b) {
+            _ if a == b => Some(a),
+            (Int, Float) | (Float, Int) => Some(Float),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOL",
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Timestamp => "TIMESTAMP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed scalar.
+///
+/// `Float` wraps a finite-or-NaN `f64`; ordering treats NaN as greater than
+/// every other float (total order), which keeps sort-based operators
+/// deterministic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Timestamp(u64),
+}
+
+impl Value {
+    /// Runtime type of this value; `None` for `Null` (NULL inhabits every
+    /// type).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Text accessor; errors on non-text.
+    pub fn as_text(&self) -> Result<&str> {
+        match self {
+            Value::Text(s) => Ok(s),
+            other => Err(AspenError::TypeMismatch(format!(
+                "expected TEXT, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Integer accessor; errors on non-int.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(AspenError::TypeMismatch(format!(
+                "expected INT, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Boolean accessor; errors on non-bool.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(AspenError::TypeMismatch(format!(
+                "expected BOOL, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Numeric accessor with Int→Float widening; errors otherwise.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            Value::Timestamp(t) => Ok(*t as f64),
+            other => Err(AspenError::TypeMismatch(format!(
+                "expected numeric, got {other:?}"
+            ))),
+        }
+    }
+
+    /// SQL three-valued-logic equality: NULL = anything is unknown, which
+    /// callers treat as `false` in filter position. Numeric comparison
+    /// widens Int to Float.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(match (self, other) {
+            (Value::Int(a), Value::Float(b)) => (*a as f64) == *b,
+            (Value::Float(a), Value::Int(b)) => *a == (*b as f64),
+            (a, b) => a.total_cmp(b) == Ordering::Equal,
+        })
+    }
+
+    /// SQL comparison with NULL propagation; numeric widening as in
+    /// [`Value::sql_eq`]. Returns `None` when either side is NULL or the
+    /// types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Timestamp(a), Value::Timestamp(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total order over all values (NULL first, then by variant, floats
+    /// with NaN last). Used by sort operators and BTree-based state so the
+    /// engine never panics on exotic inputs.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) => 2,
+                Value::Float(_) => 3,
+                Value::Text(_) => 4,
+                Value::Timestamp(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Timestamp(a), Value::Timestamp(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// SQL `LIKE` with `%` (any run) and `_` (any char) wildcards.
+    /// SmartCIS uses this for software-capability matching
+    /// (`p.needed LIKE m.software`).
+    pub fn sql_like(&self, pattern: &Value) -> Option<bool> {
+        match (self, pattern) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Text(s), Value::Text(p)) => Some(like_match(s, p)),
+            _ => None,
+        }
+    }
+
+    /// Arithmetic with NULL propagation and Int→Float widening.
+    pub fn arith(&self, op: ArithOp, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => match op {
+                ArithOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
+                ArithOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+                ArithOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+                ArithOp::Div => {
+                    if *b == 0 {
+                        Ok(Value::Null)
+                    } else {
+                        Ok(Value::Int(a.wrapping_div(*b)))
+                    }
+                }
+            },
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                let out = match op {
+                    ArithOp::Add => a + b,
+                    ArithOp::Sub => a - b,
+                    ArithOp::Mul => a * b,
+                    ArithOp::Div => {
+                        if b == 0.0 {
+                            return Ok(Value::Null);
+                        }
+                        a / b
+                    }
+                };
+                Ok(Value::Float(out))
+            }
+        }
+    }
+
+    /// Render the value the way the GUI / harness tables print it.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "NULL".into(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{f:.1}")
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Text(s) => s.clone(),
+            Value::Timestamp(t) => format!("t+{}us", t),
+        }
+    }
+}
+
+/// Binary arithmetic operators supported by the expression evaluator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        })
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                3u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+            Value::Timestamp(t) => {
+                5u8.hash(state);
+                t.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+/// `LIKE`-pattern matcher over chars; iterative two-pointer algorithm with
+/// backtracking on the last `%`, O(len(s) * len(p)) worst case.
+fn like_match(s: &str, p: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = p.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, s idx)
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, si));
+            pi += 1;
+        } else if let Some((sp, ss)) = star {
+            pi = sp;
+            si = ss + 1;
+            star = Some((sp, ss + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_widens_int_to_float() {
+        assert_eq!(
+            DataType::unify(DataType::Int, DataType::Float),
+            Some(DataType::Float)
+        );
+        assert_eq!(DataType::unify(DataType::Text, DataType::Int), None);
+        assert_eq!(
+            DataType::unify(DataType::Bool, DataType::Bool),
+            Some(DataType::Bool)
+        );
+    }
+
+    #[test]
+    fn accepts_allows_widening_only_one_way() {
+        assert!(DataType::Float.accepts(DataType::Int));
+        assert!(!DataType::Int.accepts(DataType::Float));
+    }
+
+    #[test]
+    fn sql_eq_widens_numerics() {
+        assert_eq!(Value::Int(3).sql_eq(&Value::Float(3.0)), Some(true));
+        assert_eq!(Value::Float(2.5).sql_eq(&Value::Int(2)), Some(false));
+    }
+
+    #[test]
+    fn sql_eq_null_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_orders_text() {
+        assert_eq!(
+            Value::Text("abc".into()).sql_cmp(&Value::Text("abd".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn sql_cmp_incomparable_types() {
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_cmp_is_total_on_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        assert_eq!(Value::Float(1.0).total_cmp(&nan), Ordering::Less);
+    }
+
+    #[test]
+    fn arithmetic_int_and_widening() {
+        assert_eq!(
+            Value::Int(6).arith(ArithOp::Add, &Value::Int(4)).unwrap(),
+            Value::Int(10)
+        );
+        assert_eq!(
+            Value::Int(6).arith(ArithOp::Div, &Value::Float(4.0)).unwrap(),
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_yields_null() {
+        assert_eq!(
+            Value::Int(1).arith(ArithOp::Div, &Value::Int(0)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            Value::Float(1.0)
+                .arith(ArithOp::Div, &Value::Float(0.0))
+                .unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn arithmetic_propagates_null() {
+        assert_eq!(
+            Value::Null.arith(ArithOp::Mul, &Value::Int(3)).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn like_basics() {
+        let t = |s: &str, p: &str| Value::Text(s.into())
+            .sql_like(&Value::Text(p.into()))
+            .unwrap();
+        assert!(t("Fedora Linux", "%Fedora%"));
+        assert!(t("Fedora", "Fedora"));
+        assert!(t("Fedora", "F_dora"));
+        assert!(!t("Ubuntu", "%Fedora%"));
+        assert!(t("", "%"));
+        assert!(!t("", "_"));
+        assert!(t("abc", "%%c"));
+        assert!(t("Word, Fedora, Emacs", "%Fedora%"));
+    }
+
+    #[test]
+    fn like_backtracks_across_multiple_stars() {
+        let v = Value::Text("xayby".into());
+        assert_eq!(v.sql_like(&Value::Text("%a%y".into())), Some(true));
+        assert_eq!(v.sql_like(&Value::Text("%a%z".into())), Some(false));
+    }
+
+    #[test]
+    fn like_null_propagation() {
+        assert_eq!(Value::Null.sql_like(&Value::Text("%".into())), None);
+    }
+
+    #[test]
+    fn render_formats() {
+        assert_eq!(Value::Float(3.0).render(), "3.0");
+        assert_eq!(Value::Float(3.25).render(), "3.25");
+        assert_eq!(Value::Null.render(), "NULL");
+        assert_eq!(Value::Timestamp(10).render(), "t+10us");
+    }
+
+    #[test]
+    fn hash_eq_consistency_for_floats() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Float(1.5));
+        assert!(set.contains(&Value::Float(1.5)));
+        // NaN equals itself under total order, so it is usable as a key.
+        set.insert(Value::Float(f64::NAN));
+        assert!(set.contains(&Value::Float(f64::NAN)));
+    }
+}

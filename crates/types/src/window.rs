@@ -1,0 +1,133 @@
+//! Window specifications for Stream SQL.
+//!
+//! ASPEN's Stream SQL supports the two classic window families:
+//! time-based (`RANGE`) and count-based (`ROWS`), each either sliding
+//! (re-evaluated on every input) or tumbling (partitioned into disjoint
+//! panes). Sensor-side queries additionally sample on a fixed epoch; the
+//! epoch is carried in the catalog, not here.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// How an operator bounds the stream history it may consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WindowSpec {
+    /// Unbounded — only valid over static tables or monotonic views.
+    Unbounded,
+    /// Keep tuples with `timestamp > now - range` (sliding time window).
+    Range(SimDuration),
+    /// Keep the most recent `n` tuples (sliding count window).
+    Rows(u64),
+    /// Disjoint time panes of width `width`; results emitted at pane close.
+    Tumbling(SimDuration),
+}
+
+impl WindowSpec {
+    /// Whether a tuple stamped `ts` is still alive at clock `now`.
+    ///
+    /// `Rows` windows cannot be evaluated per-tuple (liveness depends on
+    /// what else arrived) and always report `true` here; the operator
+    /// maintaining the window enforces the row bound itself.
+    pub fn contains(&self, ts: SimTime, now: SimTime) -> bool {
+        match self {
+            WindowSpec::Unbounded => true,
+            WindowSpec::Range(d) => ts > now.saturating_sub(*d) || ts == now,
+            WindowSpec::Rows(_) => true,
+            WindowSpec::Tumbling(w) => {
+                if w.as_micros() == 0 {
+                    return false;
+                }
+                ts.as_micros() / w.as_micros() == now.as_micros() / w.as_micros()
+            }
+        }
+    }
+
+    /// Pane index for tumbling windows (`None` for other kinds).
+    pub fn pane_of(&self, ts: SimTime) -> Option<u64> {
+        match self {
+            WindowSpec::Tumbling(w) if w.as_micros() > 0 => {
+                Some(ts.as_micros() / w.as_micros())
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether results over this window can change retroactively (i.e.
+    /// tuples expire). Unbounded windows are append-only, which is what
+    /// lets the recursive view maintenance run semi-naïvely.
+    pub fn is_append_only(&self) -> bool {
+        matches!(self, WindowSpec::Unbounded)
+    }
+
+    /// Human-readable SQL-ish rendering (`[RANGE 30s]`).
+    pub fn render(&self) -> String {
+        match self {
+            WindowSpec::Unbounded => "[UNBOUNDED]".to_string(),
+            WindowSpec::Range(d) => format!("[RANGE {}]", d),
+            WindowSpec::Rows(n) => format!("[ROWS {}]", n),
+            WindowSpec::Tumbling(d) => format!("[TUMBLING {}]", d),
+        }
+    }
+}
+
+impl std::fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_window_liveness() {
+        let w = WindowSpec::Range(SimDuration::from_secs(10));
+        let now = SimTime::from_secs(100);
+        assert!(w.contains(SimTime::from_secs(95), now));
+        assert!(w.contains(now, now));
+        assert!(!w.contains(SimTime::from_secs(90), now)); // exactly at bound: expired
+        assert!(!w.contains(SimTime::from_secs(10), now));
+    }
+
+    #[test]
+    fn range_window_near_origin_saturates() {
+        let w = WindowSpec::Range(SimDuration::from_secs(1000));
+        assert!(w.contains(SimTime::from_secs(1), SimTime::from_secs(2)));
+        assert!(w.contains(SimTime::ZERO, SimTime::ZERO));
+    }
+
+    #[test]
+    fn tumbling_panes() {
+        let w = WindowSpec::Tumbling(SimDuration::from_secs(10));
+        assert_eq!(w.pane_of(SimTime::from_secs(5)), Some(0));
+        assert_eq!(w.pane_of(SimTime::from_secs(10)), Some(1));
+        assert_eq!(w.pane_of(SimTime::from_secs(25)), Some(2));
+        assert!(w.contains(SimTime::from_secs(12), SimTime::from_secs(19)));
+        assert!(!w.contains(SimTime::from_secs(9), SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn zero_width_tumbling_contains_nothing() {
+        let w = WindowSpec::Tumbling(SimDuration::ZERO);
+        assert!(!w.contains(SimTime::ZERO, SimTime::ZERO));
+        assert_eq!(w.pane_of(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn unbounded_is_append_only() {
+        assert!(WindowSpec::Unbounded.is_append_only());
+        assert!(!WindowSpec::Rows(5).is_append_only());
+        assert!(!WindowSpec::Range(SimDuration::from_secs(1)).is_append_only());
+    }
+
+    #[test]
+    fn render_matches_sql_flavor() {
+        assert_eq!(
+            WindowSpec::Range(SimDuration::from_secs(30)).render(),
+            "[RANGE 30.000s]"
+        );
+        assert_eq!(WindowSpec::Rows(50).render(), "[ROWS 50]");
+    }
+}

@@ -1,0 +1,190 @@
+//! The simulated machine fleet.
+//!
+//! Stands in for the real servers and workstations of the paper's
+//! deployment (DESIGN.md §2). Each machine's load evolves as a seeded
+//! mean-reverting process with occasional job arrivals/departures, so
+//! CPU, memory, user counts, Web requests, and power draw are correlated
+//! the way a real fleet's are (power tracks CPU; memory tracks jobs).
+
+use aspen_types::rng::{chance, derive, seeded};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Instantaneous state of one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineState {
+    pub machine_id: u32,
+    pub room: String,
+    pub desk: u32,
+    pub jobs: u32,
+    pub users: u32,
+    pub cpu_pct: f64,
+    pub mem_pct: f64,
+    pub web_requests: u32,
+    /// Instantaneous power draw, watts.
+    pub watts: f64,
+}
+
+struct MachineSim {
+    state: MachineState,
+    rng: StdRng,
+    /// Long-run utilization this machine reverts toward.
+    base_load: f64,
+}
+
+/// A fleet of simulated machines, stepped in lockstep.
+pub struct MachineFleet {
+    machines: Vec<MachineSim>,
+}
+
+/// Idle and per-% power coefficients (a small workstation: ~60 W idle,
+/// ~180 W flat out).
+const IDLE_WATTS: f64 = 60.0;
+const WATTS_PER_CPU_PCT: f64 = 1.2;
+
+impl MachineFleet {
+    /// Build `n` machines across `rooms`, with per-machine base loads
+    /// spread over [0.05, 0.8].
+    pub fn new(n: usize, rooms: &[&str], seed: u64) -> Self {
+        let machines = (0..n)
+            .map(|i| {
+                let mut rng = seeded(derive(seed, i as u64));
+                let base_load = 0.05 + 0.75 * rng.gen::<f64>();
+                let room = rooms[i % rooms.len().max(1)].to_string();
+                MachineSim {
+                    state: MachineState {
+                        machine_id: i as u32 + 1,
+                        room,
+                        desk: i as u32 + 1,
+                        jobs: 0,
+                        users: 0,
+                        cpu_pct: base_load * 100.0 * 0.5,
+                        mem_pct: 20.0,
+                        web_requests: 0,
+                        watts: IDLE_WATTS,
+                    },
+                    rng,
+                    base_load,
+                }
+            })
+            .collect();
+        MachineFleet { machines }
+    }
+
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Advance every machine by one tick (nominally 10 s of activity).
+    pub fn step(&mut self) {
+        for m in &mut self.machines {
+            let s = &mut m.state;
+            // Job arrivals/departures.
+            if chance(&mut m.rng, m.base_load * 0.4) {
+                s.jobs += 1;
+            }
+            if s.jobs > 0 && chance(&mut m.rng, 0.3) {
+                s.jobs -= 1;
+            }
+            // Users come and go slowly.
+            if chance(&mut m.rng, 0.05) {
+                s.users = (s.users + 1).min(4);
+            }
+            if s.users > 0 && chance(&mut m.rng, 0.04) {
+                s.users -= 1;
+            }
+            // CPU: mean-revert toward base load + job pressure + noise.
+            let target = (m.base_load * 100.0 + s.jobs as f64 * 8.0).min(100.0);
+            let noise = (m.rng.gen::<f64>() - 0.5) * 10.0;
+            s.cpu_pct = (s.cpu_pct * 0.7 + target * 0.3 + noise).clamp(0.0, 100.0);
+            // Memory tracks job count with inertia.
+            let mem_target = (15.0 + s.jobs as f64 * 12.0).min(95.0);
+            s.mem_pct = (s.mem_pct * 0.8 + mem_target * 0.2).clamp(0.0, 100.0);
+            // Web requests burst with users.
+            s.web_requests = m.rng.gen_range(0..=(5 + s.users * 20));
+            // Power tracks CPU.
+            s.watts = IDLE_WATTS + s.cpu_pct * WATTS_PER_CPU_PCT
+                + (m.rng.gen::<f64>() - 0.5) * 4.0;
+        }
+    }
+
+    pub fn states(&self) -> impl Iterator<Item = &MachineState> {
+        self.machines.iter().map(|m| &m.state)
+    }
+
+    pub fn state(&self, idx: usize) -> &MachineState {
+        &self.machines[idx].state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_is_deterministic_per_seed() {
+        let mut a = MachineFleet::new(5, &["lab1", "lab2"], 7);
+        let mut b = MachineFleet::new(5, &["lab1", "lab2"], 7);
+        for _ in 0..20 {
+            a.step();
+            b.step();
+        }
+        for (x, y) in a.states().zip(b.states()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = MachineFleet::new(3, &["l"], 1);
+        let mut b = MachineFleet::new(3, &["l"], 2);
+        for _ in 0..10 {
+            a.step();
+            b.step();
+        }
+        let same = a
+            .states()
+            .zip(b.states())
+            .all(|(x, y)| (x.cpu_pct - y.cpu_pct).abs() < 1e-12);
+        assert!(!same);
+    }
+
+    #[test]
+    fn values_stay_in_bounds() {
+        let mut f = MachineFleet::new(8, &["lab1"], 3);
+        for _ in 0..200 {
+            f.step();
+            for s in f.states() {
+                assert!((0.0..=100.0).contains(&s.cpu_pct));
+                assert!((0.0..=100.0).contains(&s.mem_pct));
+                assert!(s.watts >= IDLE_WATTS - 3.0);
+                assert!(s.watts <= IDLE_WATTS + 100.0 * WATTS_PER_CPU_PCT + 3.0);
+            }
+        }
+    }
+
+    #[test]
+    fn power_correlates_with_cpu() {
+        let mut f = MachineFleet::new(20, &["lab1"], 5);
+        for _ in 0..100 {
+            f.step();
+        }
+        // Pearson-ish check: machines with higher cpu draw more power.
+        let mut pairs: Vec<(f64, f64)> = f.states().map(|s| (s.cpu_pct, s.watts)).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let lo = pairs[..5].iter().map(|p| p.1).sum::<f64>() / 5.0;
+        let hi = pairs[pairs.len() - 5..].iter().map(|p| p.1).sum::<f64>() / 5.0;
+        assert!(hi > lo, "power should rise with load: lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn rooms_assigned_round_robin() {
+        let f = MachineFleet::new(4, &["a", "b"], 0);
+        let rooms: Vec<_> = f.states().map(|s| s.room.clone()).collect();
+        assert_eq!(rooms, vec!["a", "b", "a", "b"]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # aspen-wrappers
+//!
+//! Wrappers over non-sensor data sources — the bottom-right box of the
+//! paper's Figure 1 ("Wrappers: Machine state & data streams and
+//! tables"). Each wrapper adapts one external source into typed,
+//! timestamped tuple batches and registers its schema in the catalog:
+//!
+//! * [`pdu::PduWrapper`] — power distribution units with Web interfaces;
+//!   "a 'wrapper' periodically (every 10s) extracts this value and sends
+//!   it along a data stream" (§2);
+//! * [`machine::MachineStateWrapper`] — the paper's *soft sensors*: jobs
+//!   executing, users logged in, CPU utilization, memory, Web-server
+//!   request counts;
+//! * [`web::WebSourceWrapper`] — periodic Web data (weather forecasts,
+//!   calendars);
+//! * [`table::StaticTableLoader`] — database tables (machine
+//!   configurations, RFID detector coordinates, routing points).
+//!
+//! The physical machines and PDUs are simulated by seeded stochastic
+//! processes (see `DESIGN.md` §2 substitutions): the integration layer
+//! only ever sees `(schema, tuple batch)` pairs, so the wrapper protocol
+//! — poll period, schema, value dynamics — is what matters, and those
+//! match the paper's description.
+
+pub mod fleet;
+pub mod machine;
+pub mod pdu;
+pub mod table;
+pub mod web;
+
+pub use fleet::MachineFleet;
+pub use machine::MachineStateWrapper;
+pub use pdu::PduWrapper;
+pub use table::StaticTableLoader;
+pub use web::WebSourceWrapper;
+
+use aspen_types::{Batch, Result, SimTime};
+
+/// A wrapper produces batches when polled at its own cadence.
+pub trait Wrapper {
+    /// Name of the catalog source this wrapper feeds.
+    fn source_name(&self) -> &str;
+    /// Advance the wrapper's clock to `now`, returning every batch whose
+    /// poll time elapsed. Batches carry poll-time timestamps.
+    fn poll(&mut self, now: SimTime) -> Result<Vec<Batch>>;
+}

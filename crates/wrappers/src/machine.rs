@@ -1,0 +1,164 @@
+//! Machine-state "soft sensor" wrapper.
+//!
+//! "Servers and workstations run software that monitors machine
+//! activity: jobs executing, users logged in, CPU utilization, memory,
+//! number of requests being handled in a Web server application." (§2,
+//! *Machine-state monitoring*.)
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use aspen_catalog::{Catalog, SourceKind, SourceStats};
+use aspen_types::{
+    Batch, DataType, Field, Result, Schema, SchemaRef, SimDuration, SimTime, Tuple, Value,
+};
+
+use crate::fleet::MachineFleet;
+use crate::Wrapper;
+
+/// Emits `(machine_id, room, desk, jobs, users, cpu_pct, mem_pct,
+/// web_requests)` on the `MachineState` stream.
+pub struct MachineStateWrapper {
+    fleet: Rc<RefCell<MachineFleet>>,
+    schema: SchemaRef,
+    period: SimDuration,
+    next_poll: SimTime,
+    /// See [`crate::pdu::PduWrapper::drives_fleet`].
+    pub drives_fleet: bool,
+}
+
+impl MachineStateWrapper {
+    pub const SOURCE: &'static str = "MachineState";
+
+    pub fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("machine_id", DataType::Int),
+            Field::new("room", DataType::Text),
+            Field::new("desk", DataType::Int),
+            Field::new("jobs", DataType::Int),
+            Field::new("users", DataType::Int),
+            Field::new("cpu_pct", DataType::Float),
+            Field::new("mem_pct", DataType::Float),
+            Field::new("web_requests", DataType::Int),
+        ])
+        .into_ref()
+    }
+
+    pub fn register(
+        catalog: &Catalog,
+        fleet: Rc<RefCell<MachineFleet>>,
+        period: SimDuration,
+    ) -> Result<Self> {
+        let schema = Self::schema();
+        let n = fleet.borrow().len() as f64;
+        catalog.register_source(
+            Self::SOURCE,
+            schema.clone(),
+            SourceKind::Stream,
+            SourceStats::stream(n / period.as_secs_f64().max(1e-9))
+                .with_distinct("machine_id", n as u64)
+                .with_distinct("room", 4),
+        )?;
+        Ok(MachineStateWrapper {
+            fleet,
+            schema,
+            period,
+            next_poll: SimTime::ZERO + period,
+            drives_fleet: false,
+        })
+    }
+}
+
+impl Wrapper for MachineStateWrapper {
+    fn source_name(&self) -> &str {
+        Self::SOURCE
+    }
+
+    fn poll(&mut self, now: SimTime) -> Result<Vec<Batch>> {
+        let mut out = Vec::new();
+        while self.next_poll <= now {
+            if self.drives_fleet {
+                self.fleet.borrow_mut().step();
+            }
+            let ts = self.next_poll;
+            let tuples: Vec<Tuple> = self
+                .fleet
+                .borrow()
+                .states()
+                .map(|s| {
+                    Tuple::new(
+                        vec![
+                            Value::Int(s.machine_id as i64),
+                            Value::Text(s.room.clone()),
+                            Value::Int(s.desk as i64),
+                            Value::Int(s.jobs as i64),
+                            Value::Int(s.users as i64),
+                            Value::Float(s.cpu_pct),
+                            Value::Float(s.mem_pct),
+                            Value::Int(s.web_requests as i64),
+                        ],
+                        ts,
+                    )
+                })
+                .collect();
+            out.push(Batch::new(self.schema.clone(), tuples));
+            self.next_poll += self.period;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_all_soft_sensors() {
+        let s = MachineStateWrapper::schema();
+        for col in ["jobs", "users", "cpu_pct", "mem_pct", "web_requests"] {
+            assert!(s.index_of(None, col).is_ok(), "missing {col}");
+        }
+    }
+
+    #[test]
+    fn batches_align_with_fleet() {
+        let cat = Catalog::new();
+        let fleet = Rc::new(RefCell::new(MachineFleet::new(3, &["lab1"], 1)));
+        let mut w =
+            MachineStateWrapper::register(&cat, Rc::clone(&fleet), SimDuration::from_secs(10))
+                .unwrap();
+        w.drives_fleet = true;
+        let batches = w.poll(SimTime::from_secs(30)).unwrap();
+        assert_eq!(batches.len(), 3);
+        for b in &batches {
+            assert_eq!(b.len(), 3);
+            for t in &b.tuples {
+                assert!(t.get(5).as_f64().unwrap() <= 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_fleet_with_pdu_sees_same_state() {
+        // Both wrappers read one fleet; only one drives it. Power and
+        // CPU from the same poll instant must be consistent (correlated
+        // by construction).
+        use crate::pdu::PduWrapper;
+        let cat = Catalog::new();
+        let fleet = Rc::new(RefCell::new(MachineFleet::new(2, &["lab1"], 4)));
+        let mut pdu =
+            PduWrapper::register(&cat, Rc::clone(&fleet), SimDuration::from_secs(10)).unwrap();
+        let mut ms =
+            MachineStateWrapper::register(&cat, Rc::clone(&fleet), SimDuration::from_secs(10))
+                .unwrap();
+        // PDU drives; machine-state reads.
+        let pdu_batches = pdu.poll(SimTime::from_secs(10)).unwrap();
+        let ms_batches = ms.poll(SimTime::from_secs(10)).unwrap();
+        assert_eq!(pdu_batches.len(), 1);
+        assert_eq!(ms_batches.len(), 1);
+        let watts = pdu_batches[0].tuples[0].get(3).as_f64().unwrap();
+        let cpu = ms_batches[0].tuples[0].get(5).as_f64().unwrap();
+        // watts ≈ 60 + 1.2 * cpu ± noise
+        assert!((watts - (60.0 + 1.2 * cpu)).abs() < 10.0);
+    }
+}

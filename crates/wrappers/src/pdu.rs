@@ -1,0 +1,153 @@
+//! PDU power wrapper.
+//!
+//! "Servers and workstations are plugged into power distribution units
+//! (PDUs) with Web interfaces showing current power consumption. A
+//! 'wrapper' periodically (every 10s) extracts this value and sends it
+//! along a data stream." (§2, *Workstation monitoring*.)
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use aspen_catalog::{Catalog, SourceKind, SourceStats};
+use aspen_types::{
+    Batch, DataType, Field, Result, Schema, SchemaRef, SimDuration, SimTime, Tuple, Value,
+};
+
+use crate::fleet::MachineFleet;
+use crate::Wrapper;
+
+/// Polls the (simulated) PDUs every `period` and emits
+/// `(machine_id, room, desk, watts)` tuples on the `PduPower` stream.
+pub struct PduWrapper {
+    fleet: Rc<RefCell<MachineFleet>>,
+    schema: SchemaRef,
+    period: SimDuration,
+    next_poll: SimTime,
+    /// Whether this wrapper drives the fleet simulation forward on poll
+    /// (exactly one wrapper per fleet should).
+    pub drives_fleet: bool,
+}
+
+impl PduWrapper {
+    pub const SOURCE: &'static str = "PduPower";
+
+    pub fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("machine_id", DataType::Int),
+            Field::new("room", DataType::Text),
+            Field::new("desk", DataType::Int),
+            Field::new("watts", DataType::Float),
+        ])
+        .into_ref()
+    }
+
+    /// Create the wrapper and register its stream in the catalog.
+    pub fn register(
+        catalog: &Catalog,
+        fleet: Rc<RefCell<MachineFleet>>,
+        period: SimDuration,
+    ) -> Result<Self> {
+        let schema = Self::schema();
+        let n = fleet.borrow().len() as f64;
+        catalog.register_source(
+            Self::SOURCE,
+            schema.clone(),
+            SourceKind::Stream,
+            SourceStats::stream(n / period.as_secs_f64().max(1e-9))
+                .with_distinct("machine_id", n as u64)
+                .with_distinct("desk", n as u64),
+        )?;
+        Ok(PduWrapper {
+            fleet,
+            schema,
+            period,
+            next_poll: SimTime::ZERO + period,
+            drives_fleet: true,
+        })
+    }
+}
+
+impl Wrapper for PduWrapper {
+    fn source_name(&self) -> &str {
+        Self::SOURCE
+    }
+
+    fn poll(&mut self, now: SimTime) -> Result<Vec<Batch>> {
+        let mut out = Vec::new();
+        while self.next_poll <= now {
+            if self.drives_fleet {
+                self.fleet.borrow_mut().step();
+            }
+            let ts = self.next_poll;
+            let tuples: Vec<Tuple> = self
+                .fleet
+                .borrow()
+                .states()
+                .map(|s| {
+                    Tuple::new(
+                        vec![
+                            Value::Int(s.machine_id as i64),
+                            Value::Text(s.room.clone()),
+                            Value::Int(s.desk as i64),
+                            Value::Float(s.watts),
+                        ],
+                        ts,
+                    )
+                })
+                .collect();
+            out.push(Batch::new(self.schema.clone(), tuples));
+            self.next_poll += self.period;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Catalog, PduWrapper) {
+        let cat = Catalog::new();
+        let fleet = Rc::new(RefCell::new(MachineFleet::new(4, &["lab1"], 9)));
+        let w = PduWrapper::register(&cat, fleet, SimDuration::from_secs(10)).unwrap();
+        (cat, w)
+    }
+
+    #[test]
+    fn registers_schema_and_rate() {
+        let (cat, _w) = setup();
+        let meta = cat.source("PduPower").unwrap();
+        assert_eq!(meta.schema.len(), 4);
+        assert!((meta.stats.rate_hz.unwrap() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polls_every_period() {
+        let (_cat, mut w) = setup();
+        // Nothing before the first period elapses.
+        assert!(w.poll(SimTime::from_secs(5)).unwrap().is_empty());
+        // Two polls by t=20.
+        let batches = w.poll(SimTime::from_secs(20)).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(
+            batches[0].tuples[0].timestamp(),
+            SimTime::from_secs(10)
+        );
+        assert_eq!(batches[1].tuples[0].timestamp(), SimTime::from_secs(20));
+        // Idempotent once caught up.
+        assert!(w.poll(SimTime::from_secs(20)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn watts_are_plausible() {
+        let (_cat, mut w) = setup();
+        let batches = w.poll(SimTime::from_secs(100)).unwrap();
+        for b in &batches {
+            for t in &b.tuples {
+                let watts = t.get(3).as_f64().unwrap();
+                assert!((40.0..=250.0).contains(&watts), "watts={watts}");
+            }
+        }
+    }
+}

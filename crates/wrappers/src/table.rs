@@ -1,0 +1,144 @@
+//! Static database-table loader.
+//!
+//! "We incorporate database information specifying the coordinates on
+//! the map of each RFID detector ..., a list of machine configurations
+//! and locations in each laboratory, and a table of 'routing points'
+//! describing possible path segments and distances" (§2, *Databases and
+//! Web sources*). Tables are described in a tiny CSV-like text format so
+//! examples can ship fixtures in-repo without extra dependencies.
+
+use aspen_catalog::{Catalog, SourceKind, SourceStats};
+use aspen_types::{
+    AspenError, Batch, DataType, Field, Result, Schema, SchemaRef, Tuple, Value,
+};
+
+/// Loads and registers static tables.
+pub struct StaticTableLoader;
+
+impl StaticTableLoader {
+    /// Parse a table from text. First line: `name:type` pairs separated
+    /// by commas (`room:text,desk:int,...`); remaining lines are rows.
+    /// `#` starts a comment line; blank lines are skipped.
+    pub fn parse(text: &str) -> Result<(SchemaRef, Vec<Tuple>)> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        let header = lines
+            .next()
+            .ok_or_else(|| AspenError::InvalidArgument("empty table text".into()))?;
+        let mut fields = Vec::new();
+        for col in header.split(',') {
+            let (name, ty) = col.trim().split_once(':').ok_or_else(|| {
+                AspenError::Parse(format!("header column '{col}' is not name:type"))
+            })?;
+            let dt = match ty.trim().to_ascii_lowercase().as_str() {
+                "int" => DataType::Int,
+                "float" => DataType::Float,
+                "text" => DataType::Text,
+                "bool" => DataType::Bool,
+                other => {
+                    return Err(AspenError::Parse(format!("unknown column type '{other}'")))
+                }
+            };
+            fields.push(Field::new(name.trim(), dt));
+        }
+        let schema = Schema::new(fields).into_ref();
+
+        let mut tuples = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+            if cells.len() != schema.len() {
+                return Err(AspenError::Parse(format!(
+                    "row {} has {} cells, expected {}",
+                    lineno + 2,
+                    cells.len(),
+                    schema.len()
+                )));
+            }
+            let mut values = Vec::with_capacity(cells.len());
+            for (cell, field) in cells.iter().zip(schema.fields()) {
+                let v = match field.data_type {
+                    DataType::Int => Value::Int(cell.parse().map_err(|_| {
+                        AspenError::Parse(format!("bad int '{cell}' in row {}", lineno + 2))
+                    })?),
+                    DataType::Float => Value::Float(cell.parse().map_err(|_| {
+                        AspenError::Parse(format!("bad float '{cell}' in row {}", lineno + 2))
+                    })?),
+                    DataType::Bool => Value::Bool(cell.eq_ignore_ascii_case("true")),
+                    DataType::Text | DataType::Timestamp => Value::Text(cell.to_string()),
+                };
+                values.push(v);
+            }
+            tuples.push(Tuple::row(values));
+        }
+        Ok((schema, tuples))
+    }
+
+    /// Parse, register in the catalog (with per-column distinct stats),
+    /// and return the batch to feed into the stream engine.
+    pub fn register(catalog: &Catalog, name: &str, text: &str) -> Result<Batch> {
+        let (schema, tuples) = Self::parse(text)?;
+        let mut stats = SourceStats::table(tuples.len() as u64);
+        for (i, f) in schema.fields().iter().enumerate() {
+            let mut distinct: Vec<&Value> = tuples.iter().map(|t| t.get(i)).collect();
+            distinct.sort();
+            distinct.dedup();
+            stats = stats.with_distinct(&f.name, distinct.len() as u64);
+        }
+        catalog.register_source(name, schema.clone(), SourceKind::Table, stats)?;
+        Ok(Batch::new(schema, tuples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MACHINES: &str = "\
+        # machine configurations
+        room:text, desk:int, software:text
+        lab1, 1, Fedora Linux
+        lab1, 2, Windows + Word
+        lab2, 3, Fedora Linux
+    ";
+
+    #[test]
+    fn parses_schema_and_rows() {
+        let (schema, rows) = StaticTableLoader::parse(MACHINES).unwrap();
+        assert_eq!(schema.len(), 3);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get(0), &Value::Text("lab1".into()));
+        assert_eq!(rows[2].get(1), &Value::Int(3));
+    }
+
+    #[test]
+    fn register_records_distincts() {
+        let cat = Catalog::new();
+        let batch = StaticTableLoader::register(&cat, "Machines", MACHINES).unwrap();
+        assert_eq!(batch.len(), 3);
+        let meta = cat.source("Machines").unwrap();
+        assert_eq!(meta.stats.row_count, Some(3));
+        assert_eq!(meta.stats.distinct_of("room"), Some(2));
+        assert_eq!(meta.stats.distinct_of("software"), Some(2));
+        assert_eq!(meta.stats.distinct_of("desk"), Some(3));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(StaticTableLoader::parse("").is_err());
+        assert!(StaticTableLoader::parse("a:int\n1,2").is_err()); // arity
+        assert!(StaticTableLoader::parse("a:int\nxyz").is_err()); // bad int
+        assert!(StaticTableLoader::parse("a:widget\n1").is_err()); // bad type
+        assert!(StaticTableLoader::parse("a\n1").is_err()); // no type
+    }
+
+    #[test]
+    fn float_and_bool_cells() {
+        let (_, rows) =
+            StaticTableLoader::parse("d:float, b:bool\n1.5, true\n2.5, false").unwrap();
+        assert_eq!(rows[0].get(0), &Value::Float(1.5));
+        assert_eq!(rows[0].get(1), &Value::Bool(true));
+        assert_eq!(rows[1].get(1), &Value::Bool(false));
+    }
+}

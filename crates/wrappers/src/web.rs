@@ -1,0 +1,130 @@
+//! Web-source wrapper: weather forecasts and calendars.
+//!
+//! "...with data from the Web (e.g., weather forecasts, calendars)" (§1).
+//! The simulated feed produces a slowly varying outdoor temperature and
+//! an hourly meeting-count, the two signals SmartCIS's energy logic uses.
+
+use aspen_catalog::{Catalog, SourceKind, SourceStats};
+use aspen_types::rng::seeded;
+use aspen_types::{
+    Batch, DataType, Field, Result, Schema, SchemaRef, SimDuration, SimTime, Tuple, Value,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Wrapper;
+
+/// Emits `(kind, label, value)` rows on the `WebFeeds` stream:
+/// `("weather", "outdoor_temp_f", t)` and `("calendar",
+/// "meetings_this_hour", n)`.
+pub struct WebSourceWrapper {
+    schema: SchemaRef,
+    period: SimDuration,
+    next_poll: SimTime,
+    rng: StdRng,
+    outdoor_temp: f64,
+}
+
+impl WebSourceWrapper {
+    pub const SOURCE: &'static str = "WebFeeds";
+
+    pub fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("kind", DataType::Text),
+            Field::new("label", DataType::Text),
+            Field::new("value", DataType::Float),
+        ])
+        .into_ref()
+    }
+
+    pub fn register(catalog: &Catalog, period: SimDuration, seed: u64) -> Result<Self> {
+        let schema = Self::schema();
+        catalog.register_source(
+            Self::SOURCE,
+            schema.clone(),
+            SourceKind::Stream,
+            SourceStats::stream(2.0 / period.as_secs_f64().max(1e-9))
+                .with_distinct("kind", 2),
+        )?;
+        Ok(WebSourceWrapper {
+            schema,
+            period,
+            next_poll: SimTime::ZERO + period,
+            rng: seeded(seed),
+            outdoor_temp: 58.0,
+        })
+    }
+}
+
+impl Wrapper for WebSourceWrapper {
+    fn source_name(&self) -> &str {
+        Self::SOURCE
+    }
+
+    fn poll(&mut self, now: SimTime) -> Result<Vec<Batch>> {
+        let mut out = Vec::new();
+        while self.next_poll <= now {
+            let ts = self.next_poll;
+            // Random-walk weather, bounded to Philadelphia-plausible.
+            self.outdoor_temp =
+                (self.outdoor_temp + (self.rng.gen::<f64>() - 0.5) * 2.0).clamp(10.0, 100.0);
+            let meetings = self.rng.gen_range(0..6) as f64;
+            out.push(Batch::new(
+                self.schema.clone(),
+                vec![
+                    Tuple::new(
+                        vec![
+                            Value::Text("weather".into()),
+                            Value::Text("outdoor_temp_f".into()),
+                            Value::Float(self.outdoor_temp),
+                        ],
+                        ts,
+                    ),
+                    Tuple::new(
+                        vec![
+                            Value::Text("calendar".into()),
+                            Value::Text("meetings_this_hour".into()),
+                            Value::Float(meetings),
+                        ],
+                        ts,
+                    ),
+                ],
+            ));
+            self.next_poll += self.period;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_weather_and_calendar_rows() {
+        let cat = Catalog::new();
+        let mut w = WebSourceWrapper::register(&cat, SimDuration::from_secs(60), 2).unwrap();
+        let batches = w.poll(SimTime::from_secs(60)).unwrap();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 2);
+        let kinds: Vec<String> = batches[0]
+            .tuples
+            .iter()
+            .map(|t| t.get(0).as_text().unwrap().to_string())
+            .collect();
+        assert!(kinds.contains(&"weather".to_string()));
+        assert!(kinds.contains(&"calendar".to_string()));
+    }
+
+    #[test]
+    fn weather_walks_within_bounds() {
+        let cat = Catalog::new();
+        let mut w = WebSourceWrapper::register(&cat, SimDuration::from_secs(60), 3).unwrap();
+        let batches = w.poll(SimTime::from_secs(60 * 500)).unwrap();
+        assert_eq!(batches.len(), 500);
+        for b in &batches {
+            let temp = b.tuples[0].get(2).as_f64().unwrap();
+            assert!((10.0..=100.0).contains(&temp));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Energy-efficiency dashboard: the paper's "monitor the total resources
+//! used (energy, memory, CPU) ... even across machines" capability.
+//! Joins the PDU power stream with the machine soft sensors, aggregates
+//! per room, and raises temperature/load alarms.
+//!
+//! ```text
+//! cargo run --example energy_dashboard
+//! ```
+
+use smartcis::app::SmartCis;
+use smartcis::app::queries;
+
+fn main() -> smartcis::types::Result<()> {
+    let mut app = SmartCis::new(4, 8, 77)?;
+
+    // Standing queries from the paper (§2's query list).
+    let per_room = app.register_query(queries::ROOM_RESOURCES)?.expect("select");
+    let total = app.register_query(queries::TOTAL_POWER)?.expect("select");
+    let temp_alarm = app.register_query(queries::TEMP_ALARM)?.expect("select");
+    let load_alarm = app.register_query(queries::LOAD_ALARM)?.expect("select");
+
+    for minute in 1..=3 {
+        // Six 10-second epochs per displayed minute.
+        for _ in 0..6 {
+            app.tick()?;
+        }
+        println!("== minute {minute} ==");
+        for row in app.engine.snapshot(total)? {
+            println!("  building power: {} W", row.get(0).render());
+        }
+        println!("  per-room (room, ΣW, avg cpu%, Σjobs):");
+        for row in app.engine.snapshot(per_room)? {
+            println!("    {}", row.render());
+        }
+        let hot = app.engine.snapshot(temp_alarm)?;
+        if hot.is_empty() {
+            println!("  temperature alarms: none");
+        } else {
+            for row in hot {
+                println!("  !! HOT: {}", row.render());
+            }
+        }
+        for row in app.engine.snapshot(load_alarm)? {
+            println!("  !! OVERLOAD: {}", row.render());
+        }
+    }
+
+    // The 'lobby' display aggregates whatever queries were routed to it
+    // via OUTPUT TO DISPLAY.
+    let lobby = app.engine.display_snapshot("lobby")?;
+    println!("lobby display feeds: {} quer{}", lobby.len(), if lobby.len() == 1 { "y" } else { "ies" });
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! The paper's demonstration scenario (§4): a visitor walks into the
+//! building, asks for a free machine with Fedora, and SmartCIS plots a
+//! route — while the federated optimizer partitions the query between
+//! the sensor network and the stream engine (Figure 1) and the GUI shows
+//! the floorplan (Figure 2).
+//!
+//! ```text
+//! cargo run --example visitor_guide
+//! ```
+
+use smartcis::app::SmartCis;
+use smartcis::app as smartcis_app;
+
+fn main() -> smartcis::types::Result<()> {
+    let mut app = SmartCis::new(3, 6, 20090629)?; // SIGMOD'09 opened June 29
+
+    // Warm the building up: a few 10-second epochs of sensor readings,
+    // PDU polls, and soft-sensor updates.
+    for _ in 0..5 {
+        app.tick()?;
+    }
+
+    // The visitor arrives at the entrance and asks for Fedora.
+    app.set_visitor(1, "entrance", "Fedora")?;
+    let (plan, rows) = app.visitor_guidance()?;
+
+    println!("=== federated query plan (the paper's Figure 1) ===\n{plan}");
+    println!("=== guidance results ===");
+    for r in &rows {
+        println!(
+            "  person {} -> room {} desk {} via {}",
+            r.get(0).render(),
+            r.get(1).render(),
+            r.get(2).render(),
+            r.get(3).render()
+        );
+    }
+
+    // Figure 2: the GUI.
+    let mut state = app.gui_state();
+    if let Some(best) = rows.first() {
+        state.details.push(format!(
+            "nearest machine with Fedora: {} desk {}",
+            best.get(1).render(),
+            best.get(2).render()
+        ));
+    }
+    println!("\n=== GUI (the paper's Figure 2) ===");
+    println!("{}", smartcis_app::gui::render(&app.building, &state));
+
+    // The visitor walks; corridors close; routes adapt live.
+    println!("=== closing corridor hall1-hall2 (maintenance) ===");
+    app.close_corridor("hall1", "hall2")?;
+    app.tick()?;
+    let (_, rows) = app.visitor_guidance()?;
+    match rows.first() {
+        Some(r) => println!("new route: {}", r.get(3).render()),
+        None => println!("no reachable machine matches anymore"),
+    }
+    Ok(())
+}

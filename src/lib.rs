@@ -1,0 +1,27 @@
+//! # smartcis — umbrella crate
+//!
+//! Re-exports every crate in the SmartCIS / ASPEN reproduction so examples
+//! and downstream users can depend on a single package:
+//!
+//! * [`types`] — values, tuples, schemas, simulated time
+//! * [`netsim`] — discrete-event mote-network simulator
+//! * [`catalog`] — source & device catalog, cost-model parameters
+//! * [`sql`] — Stream SQL parser and logical algebra
+//! * [`stream`] — distributed stream engine (windows, joins, recursive views)
+//! * [`sensor`] — in-network sensor query engine
+//! * [`optimizer`] — federated query optimizer
+//! * [`wrappers`] — PDU / machine / web-source wrappers
+//! * [`app`] — the SmartCIS application itself (building model, GUI,
+//!   standing queries)
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use aspen_catalog as catalog;
+pub use aspen_netsim as netsim;
+pub use aspen_optimizer as optimizer;
+pub use aspen_sensor as sensor;
+pub use aspen_sql as sql;
+pub use aspen_stream as stream;
+pub use aspen_types as types;
+pub use aspen_wrappers as wrappers;
+pub use smartcis_app as app;

@@ -1,0 +1,244 @@
+//! Property-based tests over the core invariants (proptest).
+
+use proptest::prelude::*;
+
+use smartcis::netsim::codec;
+use smartcis::sql::expr::{AggAccumulator, AggFunc, PartialAgg};
+use smartcis::stream::delta::{consolidate, Delta};
+use smartcis::stream::operators::{DeltaOp, JoinOp};
+use smartcis::types::{DataType, SimDuration, SimTime, Tuple, Value, WindowSpec};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-zA-Z0-9 _%-]{0,24}".prop_map(Value::Text),
+        any::<u64>().prop_map(Value::Timestamp),
+    ]
+}
+
+proptest! {
+    /// The wire codec round-trips every representable row.
+    #[test]
+    fn codec_round_trips(values in prop::collection::vec(arb_value(), 0..12)) {
+        let encoded = codec::encode_row(&values);
+        let decoded = codec::decode_row(encoded).unwrap();
+        // NaN-aware equality comes from Value's total ordering.
+        prop_assert_eq!(decoded, values);
+    }
+
+    /// Value's total order is consistent: antisymmetric and transitive
+    /// on arbitrary triples (spot-checked by sorting stability).
+    #[test]
+    fn value_total_order_is_total(mut vs in prop::collection::vec(arb_value(), 2..20)) {
+        vs.sort_by(|a, b| a.total_cmp(b));
+        for w in vs.windows(2) {
+            prop_assert_ne!(w[0].total_cmp(&w[1]), std::cmp::Ordering::Greater);
+        }
+    }
+
+    /// LIKE never panics and respects NULL-propagation.
+    #[test]
+    fn like_is_null_safe(s in arb_value(), p in arb_value()) {
+        let r = s.sql_like(&p);
+        if s.is_null() || p.is_null() {
+            prop_assert_eq!(r, None);
+        }
+    }
+
+    /// TAG partial aggregation is order-insensitive: merging readings in
+    /// any order gives the same COUNT/SUM/MIN/MAX/AVG as a direct fold.
+    #[test]
+    fn partial_agg_merge_order_invariant(
+        mut readings in prop::collection::vec(-1e6f64..1e6, 1..24),
+        seed in 0u64..1000,
+    ) {
+        let mut forward = PartialAgg::default();
+        for r in &readings {
+            forward.merge(&PartialAgg::of(*r));
+        }
+        // Shuffle deterministically and merge as a tree.
+        use rand::seq::SliceRandom;
+        let mut rng = smartcis::types::rng::seeded(seed);
+        readings.shuffle(&mut rng);
+        let mut parts: Vec<PartialAgg> = readings.iter().map(|r| PartialAgg::of(*r)).collect();
+        while parts.len() > 1 {
+            let b = parts.pop().unwrap();
+            parts.last_mut().unwrap().merge(&b);
+        }
+        let tree = parts.pop().unwrap();
+        prop_assert_eq!(forward.finalize(AggFunc::Count), tree.finalize(AggFunc::Count));
+        prop_assert_eq!(forward.finalize(AggFunc::Min), tree.finalize(AggFunc::Min));
+        prop_assert_eq!(forward.finalize(AggFunc::Max), tree.finalize(AggFunc::Max));
+        let (Value::Float(a), Value::Float(b)) =
+            (forward.finalize(AggFunc::Sum), tree.finalize(AggFunc::Sum)) else {
+            return Err(TestCaseError::fail("sum not float"));
+        };
+        prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0));
+    }
+
+    /// Accumulator insert/retract is exact: inserting a multiset then
+    /// retracting a sub-multiset leaves the aggregate of the difference.
+    #[test]
+    fn accumulator_retraction_is_exact(
+        keep in prop::collection::vec(-1000i64..1000, 1..16),
+        gone in prop::collection::vec(-1000i64..1000, 0..16),
+    ) {
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+            let mut acc = AggAccumulator::new(func, Some(DataType::Int));
+            for v in keep.iter().chain(&gone) {
+                acc.insert(&Value::Int(*v)).unwrap();
+            }
+            for v in &gone {
+                acc.retract(&Value::Int(*v)).unwrap();
+            }
+            // Oracle: aggregate of `keep` alone.
+            let mut oracle = AggAccumulator::new(func, Some(DataType::Int));
+            for v in &keep {
+                oracle.insert(&Value::Int(*v)).unwrap();
+            }
+            prop_assert_eq!(acc.value(func), oracle.value(func));
+        }
+    }
+
+    /// Delta streams consolidate to the same multiset regardless of
+    /// interleaving.
+    #[test]
+    fn delta_consolidation_is_order_invariant(
+        ops in prop::collection::vec((0i64..20, any::<bool>()), 0..40),
+        seed in 0u64..100,
+    ) {
+        let deltas: Vec<Delta> = ops
+            .iter()
+            .map(|(v, ins)| {
+                let t = Tuple::new(vec![Value::Int(*v)], SimTime::ZERO);
+                if *ins { Delta::insert(t) } else { Delta::retract(t) }
+            })
+            .collect();
+        let a = consolidate(&deltas);
+        use rand::seq::SliceRandom;
+        let mut shuffled = deltas.clone();
+        let mut rng = smartcis::types::rng::seeded(seed);
+        shuffled.shuffle(&mut rng);
+        prop_assert_eq!(a, consolidate(&shuffled));
+    }
+
+    /// The symmetric hash join over arbitrary insert streams equals the
+    /// nested-loop oracle.
+    #[test]
+    fn hash_join_matches_nested_loop(
+        left in prop::collection::vec((0i64..8, -50i64..50), 0..24),
+        right in prop::collection::vec((0i64..8, -50i64..50), 0..24),
+    ) {
+        let mut join = JoinOp::new(vec![(0, 0)], None);
+        let mut outputs = 0usize;
+        for (k, v) in &left {
+            let t = Tuple::new(vec![Value::Int(*k), Value::Int(*v)], SimTime::ZERO);
+            outputs += join.process(0, &Delta::insert(t)).unwrap().iter()
+                .map(|d| d.sign.unsigned_abs() as usize).sum::<usize>();
+        }
+        for (k, v) in &right {
+            let t = Tuple::new(vec![Value::Int(*k), Value::Int(*v)], SimTime::ZERO);
+            outputs += join.process(1, &Delta::insert(t)).unwrap().iter()
+                .map(|d| d.sign.unsigned_abs() as usize).sum::<usize>();
+        }
+        let oracle: usize = left
+            .iter()
+            .map(|(lk, _)| right.iter().filter(|(rk, _)| rk == lk).count())
+            .sum();
+        prop_assert_eq!(outputs, oracle);
+    }
+
+    /// RANGE windows: a tuple is live iff its timestamp is within the
+    /// window of `now`, monotonic in `now`.
+    #[test]
+    fn range_window_liveness_monotone(
+        ts in 0u64..10_000,
+        width in 1u64..5_000,
+        now1 in 0u64..20_000,
+        extra in 0u64..5_000,
+    ) {
+        let w = WindowSpec::Range(SimDuration::from_micros(width));
+        let now2 = now1 + extra;
+        let t = SimTime::from_micros(ts);
+        let live1 = w.contains(t, SimTime::from_micros(now1));
+        let live2 = w.contains(t, SimTime::from_micros(now2));
+        // Once expired, never live again (for ts <= now).
+        if ts <= now1 && !live1 {
+            prop_assert!(!live2 || ts > now2);
+        }
+    }
+}
+
+/// Incremental transitive closure equals from-scratch recomputation
+/// under random insert/delete churn (the E6 oracle as a property).
+#[test]
+fn recursive_view_matches_recompute_under_churn() {
+    use smartcis::catalog::{Catalog, SourceKind, SourceStats};
+    use smartcis::sql::{bind, parse, BoundQuery};
+    use smartcis::stream::RecursiveView;
+    use smartcis::types::{Field, Schema};
+    use rand::Rng;
+
+    let cat = Catalog::new();
+    let schema = Schema::new(vec![
+        Field::new("src", DataType::Text),
+        Field::new("dst", DataType::Text),
+    ])
+    .into_ref();
+    cat.register_source("Edge", schema, SourceKind::Table, SourceStats::table(20))
+        .unwrap();
+    let sql = "create recursive view R as ( \
+               select e.src, e.dst from Edge e \
+               union \
+               select r.src, e.dst from R r, Edge e where r.dst = e.src )";
+    let BoundQuery::View(v) = bind(&parse(sql).unwrap(), &cat).unwrap() else {
+        panic!()
+    };
+    let src = cat.source("Edge").unwrap().id;
+    let nodes = ["a", "b", "c", "d", "e"];
+    let edge = |i: usize, j: usize| {
+        Tuple::new(
+            vec![
+                Value::Text(nodes[i].into()),
+                Value::Text(nodes[j].into()),
+            ],
+            SimTime::ZERO,
+        )
+    };
+
+    for seed in 0..15u64 {
+        let mut view = RecursiveView::new(&v).unwrap();
+        let mut rng = smartcis::types::rng::seeded(seed);
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..40 {
+            let i = rng.gen_range(0..nodes.len());
+            let j = rng.gen_range(0..nodes.len());
+            let d = if live.contains(&(i, j)) && rng.gen_bool(0.5) {
+                live.retain(|&p| p != (i, j));
+                Delta::retract(edge(i, j))
+            } else if !live.contains(&(i, j)) {
+                live.push((i, j));
+                Delta::insert(edge(i, j))
+            } else {
+                continue;
+            };
+            view.on_base_deltas(src, &[d]).unwrap();
+        }
+        // Oracle: recompute from the same base facts.
+        let incremental: std::collections::BTreeSet<Vec<Value>> = view
+            .snapshot()
+            .into_iter()
+            .map(|t| t.values().to_vec())
+            .collect();
+        view.recompute().unwrap();
+        let recomputed: std::collections::BTreeSet<Vec<Value>> = view
+            .snapshot()
+            .into_iter()
+            .map(|t| t.values().to_vec())
+            .collect();
+        assert_eq!(incremental, recomputed, "divergence at seed {seed}");
+    }
+}

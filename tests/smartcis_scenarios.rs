@@ -1,0 +1,131 @@
+//! Integration: the demonstration scenarios of §4, driven through the
+//! full SmartCIS application.
+
+use smartcis::app::queries;
+use smartcis::app::SmartCis;
+use smartcis::types::Value;
+
+#[test]
+fn demo_scenario_visitor_walks_and_is_guided() {
+    let mut app = SmartCis::new(3, 6, 4242).unwrap();
+    for _ in 0..3 {
+        app.tick().unwrap();
+    }
+    // Visitor enters, asks for a Fedora machine.
+    app.set_visitor(7, "entrance", "Fedora").unwrap();
+    let (_, rows) = app.visitor_guidance().unwrap();
+    assert!(!rows.is_empty());
+    for r in &rows {
+        assert_eq!(r.get(0), &Value::Int(7));
+        // The room must currently be an open lab with that desk free.
+        let room = r.get(1).as_text().unwrap();
+        let desk = r.get(2).as_int().unwrap() as u32;
+        assert!(app.lab_is_open(room), "{room} closed but suggested");
+        assert!(!app.desk_is_occupied(desk), "desk {desk} busy but suggested");
+        // And the route starts where the visitor stands.
+        assert!(r.get(3).as_text().unwrap().starts_with("entrance"));
+    }
+
+    // The visitor walks deeper into the building; routes now start there.
+    app.set_visitor(7, "hall2", "Fedora").unwrap();
+    let (_, rows) = app.visitor_guidance().unwrap();
+    assert!(rows
+        .iter()
+        .all(|r| r.get(3).as_text().unwrap().starts_with("hall2")));
+}
+
+#[test]
+fn guidance_respects_lab_closures_over_time() {
+    let mut app = SmartCis::new(3, 8, 99).unwrap();
+    app.set_visitor(1, "entrance", "Linux").unwrap();
+    // Over many ticks the rotating lab-closure schedule kicks in; the
+    // suggested rooms must always be open *at that tick*.
+    let mut suggestions = 0;
+    for _ in 0..40 {
+        app.tick().unwrap();
+        let (_, rows) = app.visitor_guidance().unwrap();
+        for r in &rows {
+            suggestions += 1;
+            let room = r.get(1).as_text().unwrap();
+            assert!(app.lab_is_open(room), "suggested closed {room}");
+        }
+    }
+    assert!(suggestions > 0, "the scenario never produced guidance");
+}
+
+#[test]
+fn alarms_and_dashboards_coexist_with_guidance() {
+    let mut app = SmartCis::new(2, 6, 5).unwrap();
+    let temp_q = app.register_query(queries::TEMP_ALARM).unwrap().unwrap();
+    let res_q = app.register_query(queries::ROOM_RESOURCES).unwrap().unwrap();
+    let free_q = app.register_query(queries::FREE_MACHINES).unwrap().unwrap();
+    for _ in 0..6 {
+        app.tick().unwrap();
+    }
+    // Resources: one row per lab, each with plausible sums.
+    let rows = app.engine.snapshot(res_q).unwrap();
+    assert_eq!(rows.len(), 2);
+    for r in &rows {
+        let watts = r.get(1).as_f64().unwrap();
+        // 6 machines per room at 60..190 W each.
+        assert!((300.0..=1300.0).contains(&watts), "ΣW={watts}");
+        let cpu = r.get(2).as_f64().unwrap();
+        assert!((0.0..=100.0).contains(&cpu));
+    }
+    // Temperature alarms only fire for genuinely hot readings.
+    for r in app.engine.snapshot(temp_q).unwrap() {
+        assert!(r.get(2).as_f64().unwrap() > 90.0);
+    }
+    // Free-machines agrees with ground truth.
+    for r in app.engine.snapshot(free_q).unwrap() {
+        let desk = r.get(1).as_int().unwrap() as u32;
+        assert!(!app.desk_is_occupied(desk));
+    }
+}
+
+#[test]
+fn corridor_closure_reroutes_guidance() {
+    let mut app = SmartCis::new(3, 6, 31).unwrap();
+    app.tick().unwrap();
+    app.set_visitor(1, "entrance", "%").unwrap(); // any machine
+    let (_, before) = app.visitor_guidance().unwrap();
+    assert!(!before.is_empty());
+    // Cut the hallway after hall1: only lab1 (and its desks) remain
+    // reachable from the entrance.
+    app.close_corridor("hall1", "hall2").unwrap();
+    app.tick().unwrap();
+    let (_, after) = app.visitor_guidance().unwrap();
+    for r in &after {
+        let path = r.get(3).as_text().unwrap();
+        assert!(
+            !path.contains("hall1 -> hall2"),
+            "route crosses the closed corridor: {path}"
+        );
+    }
+    // Reachability view agrees.
+    let reach = app.engine.view_snapshot("Reachable").unwrap();
+    assert!(!reach.iter().any(|t| {
+        t.get(0).as_text().unwrap() == "hall1" && t.get(1).as_text().unwrap() == "hall3"
+    }));
+}
+
+#[test]
+fn long_run_is_stable_and_deterministic() {
+    let run = |seed: u64| -> (usize, u64) {
+        let mut app = SmartCis::new(2, 4, seed).unwrap();
+        let q = app
+            .register_query("select s.room, count(*) from SeatSensors s where s.status = 'busy' group by s.room")
+            .unwrap()
+            .unwrap();
+        for _ in 0..50 {
+            app.tick().unwrap();
+        }
+        (
+            app.engine.snapshot(q).unwrap().len(),
+            app.engine.total_ops_invoked(),
+        )
+    };
+    let a = run(123);
+    let b = run(123);
+    assert_eq!(a, b, "same seed must reproduce exactly");
+}

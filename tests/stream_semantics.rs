@@ -1,0 +1,202 @@
+//! Integration: stream-engine semantics across crates — tumbling and
+//! row-count windows through full SQL pipelines, distributed placement
+//! accounting, and display routing.
+
+use std::sync::Arc;
+
+use smartcis::catalog::{Catalog, SourceKind, SourceStats};
+use smartcis::sql::{compile, BoundQuery};
+use smartcis::stream::distributed::{DistributedQuery, LanModel};
+use smartcis::stream::StreamEngine;
+use smartcis::types::{DataType, Field, Schema, SimTime, Tuple, Value};
+
+fn catalog() -> Arc<Catalog> {
+    let cat = Catalog::shared();
+    let readings = Schema::new(vec![
+        Field::new("sensor", DataType::Int),
+        Field::new("value", DataType::Float),
+    ])
+    .into_ref();
+    cat.register_source(
+        "Readings",
+        readings,
+        SourceKind::Stream,
+        SourceStats::stream(2.0).with_distinct("sensor", 4),
+    )
+    .unwrap();
+    cat
+}
+
+fn reading(sensor: i64, value: f64, sec: u64) -> Tuple {
+    Tuple::new(
+        vec![Value::Int(sensor), Value::Float(value)],
+        SimTime::from_secs(sec),
+    )
+}
+
+#[test]
+fn tumbling_window_aggregate_resets_per_pane() {
+    let cat = catalog();
+    let mut engine = StreamEngine::new(Arc::clone(&cat));
+    let q = engine
+        .register_sql(
+            "select sum(r.value) from Readings r [tumbling 10 seconds]",
+        )
+        .unwrap()
+        .unwrap();
+    // Pane 0: t in [0, 10).
+    engine
+        .on_batch("Readings", &[reading(1, 5.0, 2), reading(2, 7.0, 8)])
+        .unwrap();
+    assert_eq!(
+        engine.snapshot(q).unwrap()[0].values()[0],
+        Value::Float(12.0)
+    );
+    // Crossing into pane 1 retracts pane 0's contents.
+    engine.on_batch("Readings", &[reading(1, 100.0, 12)]).unwrap();
+    assert_eq!(
+        engine.snapshot(q).unwrap()[0].values()[0],
+        Value::Float(100.0)
+    );
+    // Advancing the clock past pane 1 empties the global aggregate
+    // back to its NULL (empty-sum) state.
+    engine.heartbeat(SimTime::from_secs(25)).unwrap();
+    assert_eq!(engine.snapshot(q).unwrap()[0].values()[0], Value::Null);
+}
+
+#[test]
+fn rows_window_keeps_exactly_n() {
+    let cat = catalog();
+    let mut engine = StreamEngine::new(Arc::clone(&cat));
+    let q = engine
+        .register_sql("select r.sensor, r.value from Readings r [rows 3]")
+        .unwrap()
+        .unwrap();
+    for i in 0..10 {
+        engine
+            .on_batch("Readings", &[reading(i, i as f64, i as u64)])
+            .unwrap();
+    }
+    let rows = engine.snapshot(q).unwrap();
+    assert_eq!(rows.len(), 3);
+    let sensors: Vec<i64> = rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+    assert_eq!(sensors, vec![7, 8, 9]);
+    // Row-count windows never expire with time.
+    engine.heartbeat(SimTime::from_secs(10_000)).unwrap();
+    assert_eq!(engine.snapshot(q).unwrap().len(), 3);
+}
+
+#[test]
+fn distributed_query_accounts_lan_traffic() {
+    let cat = catalog();
+    let BoundQuery::Select(b) = compile(
+        "select r.sensor, avg(r.value) from Readings r group by r.sensor",
+        &cat,
+    )
+    .unwrap() else {
+        panic!()
+    };
+    let mut dq = DistributedQuery::new(&b.plan, LanModel::default(), "server-1").unwrap();
+    let src = cat.source("Readings").unwrap().id;
+    // Remote wrapper host: every batch pays a LAN hop.
+    dq.place_source(src, "wrapper-host");
+    let mut total_ship = smartcis::types::SimDuration::ZERO;
+    for i in 0..20 {
+        let ship = dq
+            .push(src, &[reading(i % 4, i as f64, i as u64)])
+            .unwrap();
+        total_ship = total_ship + ship;
+    }
+    assert_eq!(dq.stats.batches, 20);
+    assert_eq!(dq.stats.tuples, 20);
+    assert!(dq.stats.bytes > 0);
+    assert!(total_ship.as_micros() >= 20 * 200); // ≥ base latency each
+    assert_eq!(dq.stats.total_latency, total_ship);
+    // Results are unaffected by the accounting.
+    assert_eq!(dq.snapshot().unwrap().len(), 4);
+
+    // A co-located source pays nothing.
+    let mut local = DistributedQuery::new(&b.plan, LanModel::default(), "server-1").unwrap();
+    local.place_source(src, "server-1");
+    local.push(src, &[reading(0, 1.0, 1)]).unwrap();
+    assert_eq!(local.stats.batches, 0);
+}
+
+#[test]
+fn multiple_displays_receive_their_own_queries() {
+    let cat = catalog();
+    let mut engine = StreamEngine::new(Arc::clone(&cat));
+    engine
+        .register_sql("select r.value from Readings r where r.value > 50 output to display 'lobby'")
+        .unwrap();
+    engine
+        .register_sql("select count(*) from Readings r output to display 'lab101'")
+        .unwrap();
+    engine
+        .on_batch("Readings", &[reading(1, 75.0, 1), reading(2, 25.0, 1)])
+        .unwrap();
+    let lobby = engine.display_snapshot("lobby").unwrap();
+    assert_eq!(lobby.len(), 1);
+    assert_eq!(lobby[0].len(), 1); // only the 75.0 reading
+    let lab = engine.display_snapshot("lab101").unwrap();
+    assert_eq!(lab[0][0].values()[0], Value::Int(2));
+}
+
+#[test]
+fn having_filters_groups_continuously() {
+    let cat = catalog();
+    let mut engine = StreamEngine::new(Arc::clone(&cat));
+    let q = engine
+        .register_sql(
+            "select r.sensor, count(*) from Readings r \
+             group by r.sensor having count(*) > 2",
+        )
+        .unwrap()
+        .unwrap();
+    // Sensor 1 gets 3 readings; sensor 2 gets 2.
+    engine
+        .on_batch(
+            "Readings",
+            &[
+                reading(1, 1.0, 1),
+                reading(1, 2.0, 2),
+                reading(1, 3.0, 3),
+                reading(2, 4.0, 4),
+                reading(2, 5.0, 5),
+            ],
+        )
+        .unwrap();
+    let rows = engine.snapshot(q).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].values()[0], Value::Int(1));
+    assert_eq!(rows[0].values()[1], Value::Int(3));
+    // Window expiry (default 30 s stream window) drops the group back
+    // below the HAVING threshold.
+    engine.heartbeat(SimTime::from_secs(33)).unwrap();
+    assert!(engine.snapshot(q).unwrap().is_empty());
+}
+
+#[test]
+fn arithmetic_and_scalar_functions_in_projection() {
+    let cat = catalog();
+    let mut engine = StreamEngine::new(Arc::clone(&cat));
+    let q = engine
+        .register_sql(
+            "select r.sensor, abs(r.value - 70) as delta from Readings r \
+             where abs(r.value - 70) > 10 order by abs(r.value - 70) desc",
+        )
+        .unwrap()
+        .unwrap();
+    engine
+        .on_batch(
+            "Readings",
+            &[reading(1, 95.0, 1), reading(2, 72.0, 1), reading(3, 40.0, 1)],
+        )
+        .unwrap();
+    let rows = engine.snapshot(q).unwrap();
+    assert_eq!(rows.len(), 2);
+    // Sorted by delta desc: sensor 3 (|40-70| = 30) before sensor 1 (25).
+    assert_eq!(rows[0].values()[0], Value::Int(3));
+    assert_eq!(rows[0].values()[1], Value::Float(30.0));
+    assert_eq!(rows[1].values()[0], Value::Int(1));
+}
