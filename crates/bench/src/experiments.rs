@@ -10,7 +10,7 @@ use aspen_sensor::placement::placement_table;
 use aspen_sensor::{Deployment, JoinStrategy, QuerySpec, SensorEngine};
 use aspen_sql::expr::AggFunc;
 use aspen_sql::{bind, parse, printer, BoundQuery};
-use aspen_stream::delta::Delta;
+use aspen_stream::delta::{Delta, DeltaBatch};
 use aspen_stream::RecursiveView;
 use aspen_types::rng::seeded;
 use aspen_types::{Point, SimTime, Tuple, Value};
@@ -66,9 +66,7 @@ pub fn f2() -> String {
             best.get(3).render()
         ));
     }
-    state
-        .details
-        .push(format!("guidance rows: {}", rows.len()));
+    state.details.push(format!("guidance rows: {}", rows.len()));
     let mut out = String::new();
     out.push_str("F2 — Figure 2 reproduction: SmartCIS GUI\n");
     out.push_str(&gui::render(&app.building, &state));
@@ -205,9 +203,8 @@ pub fn e4_run(desks: usize, epochs: u32, seed: u64) -> AggRun {
 }
 
 pub fn e4() -> String {
-    let mut out = String::from(
-        "E4 — TAG in-network aggregation vs. raw collection (AVG temp, 20 epochs)\n",
-    );
+    let mut out =
+        String::from("E4 — TAG in-network aggregation vs. raw collection (AVG temp, 20 epochs)\n");
     let mut t = TableBuilder::new(&["desks", "collect msgs", "TAG msgs", "savings"]);
     for desks in [8, 16, 32, 64] {
         let r = e4_run(desks, 20, 7);
@@ -227,9 +224,8 @@ pub fn e4() -> String {
 // ---------------------------------------------------------------------------
 
 pub fn e5() -> String {
-    let mut out = String::from(
-        "E5 — federated optimizer: partitioning decision vs. network shape\n",
-    );
+    let mut out =
+        String::from("E5 — federated optimizer: partitioning decision vs. network shape\n");
     let mut t = TableBuilder::new(&[
         "desks",
         "diameter",
@@ -321,7 +317,7 @@ pub fn e6_run(labs: usize, churn_ops: usize, seed: u64) -> E6Run {
     let src_id = cat.source("RoutePoints").unwrap().id;
 
     // Seed the full graph (both directions).
-    let mut inserts = Vec::new();
+    let mut inserts = DeltaBatch::new();
     for s in &building.segments {
         inserts.push(Delta::insert(edge_tuple(&s.a, &s.b)));
         inserts.push(Delta::insert(edge_tuple(&s.b, &s.a)));
@@ -335,17 +331,17 @@ pub fn e6_run(labs: usize, churn_ops: usize, seed: u64) -> E6Run {
     let mut recompute = 0.0;
     for _ in 0..churn_ops {
         let s = &building.segments[rng.gen_range(0..building.segments.len())];
-        let del = vec![
+        let del = DeltaBatch::from(vec![
             Delta::retract(edge_tuple(&s.a, &s.b)),
             Delta::retract(edge_tuple(&s.b, &s.a)),
-        ];
+        ]);
         let start = Instant::now();
         view.on_base_deltas(src_id, &del).unwrap();
         incremental += start.elapsed().as_secs_f64() * 1e3;
-        let ins = vec![
+        let ins = DeltaBatch::from(vec![
             Delta::insert(edge_tuple(&s.a, &s.b)),
             Delta::insert(edge_tuple(&s.b, &s.a)),
-        ];
+        ]);
         let start = Instant::now();
         view.on_base_deltas(src_id, &ins).unwrap();
         incremental += start.elapsed().as_secs_f64() * 1e3;
@@ -398,9 +394,8 @@ pub fn e6() -> String {
 // ---------------------------------------------------------------------------
 
 pub fn e7() -> String {
-    let mut out = String::from(
-        "E7 — end-to-end SmartCIS: visitor guidance refreshed every epoch\n",
-    );
+    let mut out =
+        String::from("E7 — end-to-end SmartCIS: visitor guidance refreshed every epoch\n");
     let mut t = TableBuilder::new(&[
         "labs",
         "desks",
@@ -461,10 +456,12 @@ pub fn e8() -> String {
         for loss in [0.0, 0.15, 0.4] {
             let labs = (450.0 / spacing) as usize;
             let building = Building::moore_wing(labs.max(2), 2, spacing);
-            let mut radio = RadioModel::default();
-            radio.range_ft = 160.0;
-            radio.base_loss = loss;
-            radio.edge_loss = 0.0;
+            let radio = RadioModel {
+                range_ft: 160.0,
+                base_loss: loss,
+                edge_loss: 0.0,
+                ..RadioModel::default()
+            };
             let mut loc = Localizer::new(&building, radio, 31);
             let mut errs = Vec::new();
             let mut missed = 0u32;
@@ -569,22 +566,32 @@ pub fn e9() -> String {
     // Candidate Y: 20 radio msgs/epoch, 50 ms latency.
     // At 1 unit/msg and 100 units/s, X = 200.1 vs Y = 25 → Y is correct
     // (an interactive display tolerates 50 ms; motes die of 200 msgs).
-    let x_n = normalized.from_messages(200.0).add(normalized.from_stream_cost(0.001, 0.0, 0.0));
-    let y_n = normalized.from_messages(20.0).add(normalized.from_stream_cost(0.050, 0.0, 0.0));
-    let x_a = ablated.from_messages(200.0).add(ablated.from_stream_cost(0.001, 0.0, 0.0));
-    let y_a = ablated.from_messages(20.0).add(ablated.from_stream_cost(0.050, 0.0, 0.0));
+    let x_n = normalized.from_messages(200.0) + normalized.from_stream_cost(0.001, 0.0, 0.0);
+    let y_n = normalized.from_messages(20.0) + normalized.from_stream_cost(0.050, 0.0, 0.0);
+    let x_a = ablated.from_messages(200.0) + ablated.from_stream_cost(0.001, 0.0, 0.0);
+    let y_a = ablated.from_messages(20.0) + ablated.from_stream_cost(0.050, 0.0, 0.0);
     let mut t2 = TableBuilder::new(&["model", "X (200msg,1ms)", "Y (20msg,50ms)", "picks"]);
     t2.row(&[
         "normalized".into(),
         f(x_n.units, 1),
         f(y_n.units, 1),
-        if y_n.units < x_n.units { "Y (correct)" } else { "X" }.into(),
+        if y_n.units < x_n.units {
+            "Y (correct)"
+        } else {
+            "X"
+        }
+        .into(),
     ]);
     t2.row(&[
         "ablated".into(),
         f(x_a.units, 1),
         f(y_a.units, 1),
-        if y_a.units < x_a.units { "Y" } else { "X (INVERTED)" }.into(),
+        if y_a.units < x_a.units {
+            "Y"
+        } else {
+            "X (INVERTED)"
+        }
+        .into(),
     ]);
     out.push_str(&t2.render());
     out
@@ -625,9 +632,11 @@ pub fn e10() -> String {
 fn e10_run(loss: f64, kill: usize, seed: u64) -> (u64, u64, f64, usize) {
     let deployment = Deployment::lab_wing(4, 32, 80.0);
     let desk_ids = deployment.desk_ids();
-    let mut radio = RadioModel::default();
-    radio.base_loss = loss;
-    radio.edge_loss = 0.0;
+    let radio = RadioModel {
+        base_loss: loss,
+        edge_loss: 0.0,
+        ..RadioModel::default()
+    };
     let mut engine = SensorEngine::new(deployment, radio, seed);
     // Uniform occupancy so outputs are comparable.
     for d in engine.deployment.desk_ids() {
@@ -640,7 +649,9 @@ fn e10_run(loss: f64, kill: usize, seed: u64) -> (u64, u64, f64, usize) {
     // desks' temp motes from sampling via occupancy 0 and light period
     // huge (they go silent).
     for d in engine.deployment.desk_ids().into_iter().take(kill) {
-        engine.deployment.set_desk_model(d, 0.0, 1_000_000, 1_000_000);
+        engine
+            .deployment
+            .set_desk_model(d, 0.0, 1_000_000, 1_000_000);
     }
     let r = engine.run(spec, 20).expect("run");
     (
@@ -669,6 +680,154 @@ fn e10_row(
 }
 
 // ---------------------------------------------------------------------------
+// E11 — batched delta dataflow: multi-query fan-out throughput
+// ---------------------------------------------------------------------------
+
+/// One fan-out throughput measurement: the same workload driven through
+/// the engine with real batches vs. degenerate single-tuple batches.
+#[derive(Debug, Clone)]
+pub struct E11Run {
+    pub queries: usize,
+    pub tuples: usize,
+    pub batch_size: usize,
+    pub batched_ms: f64,
+    pub per_tuple_ms: f64,
+    pub batched_tuples_per_sec: f64,
+    pub per_tuple_tuples_per_sec: f64,
+    /// per-tuple time / batched time (> 1 means batching wins).
+    pub speedup: f64,
+    pub batched_ops_invoked: u64,
+    pub per_tuple_ops_invoked: u64,
+}
+
+/// Build a fresh engine with `n` standing queries over a hot `Readings`
+/// stream plus `n / 2` queries over a cold `IdleTable` the workload never
+/// touches — the routing index must keep the cold queries free.
+fn e11_engine(n: usize) -> aspen_stream::StreamEngine {
+    use aspen_catalog::{Catalog, SourceKind, SourceStats};
+    use aspen_types::{DataType, Field, Schema};
+    let cat = Catalog::shared();
+    let readings = Schema::new(vec![
+        Field::new("sensor", DataType::Int),
+        Field::new("value", DataType::Float),
+    ])
+    .into_ref();
+    cat.register_source(
+        "Readings",
+        readings,
+        SourceKind::Stream,
+        SourceStats::stream(2.0).with_distinct("sensor", 32),
+    )
+    .unwrap();
+    let idle = Schema::new(vec![Field::new("x", DataType::Int)]).into_ref();
+    cat.register_source("IdleTable", idle, SourceKind::Table, SourceStats::table(4))
+        .unwrap();
+
+    let mut engine = aspen_stream::StreamEngine::new(cat);
+    for i in 0..n {
+        let sql = match i % 4 {
+            0 => format!(
+                "select r.sensor, r.value from Readings r where r.value > {}",
+                (i % 10) * 10
+            ),
+            1 => "select r.sensor, avg(r.value) from Readings r group by r.sensor".to_string(),
+            2 => "select count(*) from Readings r".to_string(),
+            _ => format!("select r.value from Readings r where r.sensor = {}", i % 32),
+        };
+        engine.register_sql(&sql).unwrap().unwrap();
+    }
+    for _ in 0..n / 2 {
+        engine
+            .register_sql("select t.x from IdleTable t")
+            .unwrap()
+            .unwrap();
+    }
+    engine
+}
+
+/// Deterministic reading stream: `sensor = i mod 32`, sawtooth values,
+/// timestamps advancing one second every 10 tuples (so the default
+/// stream window expires during the run).
+fn e11_tuple(i: usize) -> Tuple {
+    Tuple::new(
+        vec![
+            Value::Int((i % 32) as i64),
+            Value::Float((i % 97) as f64 + (i % 7) as f64 * 0.5),
+        ],
+        SimTime::from_secs((i / 10) as u64),
+    )
+}
+
+/// Drive `tuples` readings through a fresh `queries`-query engine in
+/// batches of `chunk`, returning elapsed milliseconds and the cost-model
+/// counter.
+fn e11_drive(queries: usize, tuples: usize, chunk: usize) -> (f64, u64) {
+    let mut engine = e11_engine(queries);
+    let rows: Vec<Tuple> = (0..tuples).map(e11_tuple).collect();
+    let start = Instant::now();
+    for batch in rows.chunks(chunk) {
+        engine.on_batch("Readings", batch).unwrap();
+    }
+    (
+        start.elapsed().as_secs_f64() * 1e3,
+        engine.total_ops_invoked(),
+    )
+}
+
+/// Measure batched vs. per-tuple ingest over an identical workload.
+pub fn e11_run(queries: usize, tuples: usize, batch_size: usize) -> E11Run {
+    let (batched_ms, batched_ops) = e11_drive(queries, tuples, batch_size);
+    let (per_tuple_ms, per_tuple_ops) = e11_drive(queries, tuples, 1);
+    E11Run {
+        queries,
+        tuples,
+        batch_size,
+        batched_ms,
+        per_tuple_ms,
+        batched_tuples_per_sec: tuples as f64 / (batched_ms / 1e3).max(1e-9),
+        per_tuple_tuples_per_sec: tuples as f64 / (per_tuple_ms / 1e3).max(1e-9),
+        speedup: per_tuple_ms / batched_ms.max(1e-9),
+        batched_ops_invoked: batched_ops,
+        per_tuple_ops_invoked: per_tuple_ops,
+    }
+}
+
+/// E11 table: end-to-end delta throughput through a standing-query
+/// fan-out, batched vs. per-tuple — the perf baseline for the batch-first
+/// dataflow.
+pub fn e11() -> String {
+    let mut out = String::from(
+        "E11 — batched delta dataflow: tuples/sec through a standing-query fan-out\n\
+         (one hot stream source; idle-table queries ride the routing index for free)\n",
+    );
+    let mut t = TableBuilder::new(&[
+        "queries",
+        "tuples",
+        "batch",
+        "batched ms",
+        "per-tuple ms",
+        "batched tup/s",
+        "per-tuple tup/s",
+        "speedup",
+    ]);
+    for (queries, batch_size) in [(10usize, 64usize), (50, 64), (50, 256)] {
+        let r = e11_run(queries, 20_000, batch_size);
+        t.row(&[
+            r.queries.to_string(),
+            r.tuples.to_string(),
+            r.batch_size.to_string(),
+            f(r.batched_ms, 1),
+            f(r.per_tuple_ms, 1),
+            f(r.batched_tuples_per_sec, 0),
+            f(r.per_tuple_tuples_per_sec, 0),
+            f(r.speedup, 2),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+// ---------------------------------------------------------------------------
 
 /// Run every experiment, concatenated (the full harness output).
 pub fn run_all() -> String {
@@ -683,6 +842,7 @@ pub fn run_all() -> String {
         e8(),
         e9(),
         e10(),
+        e11(),
     ];
     let mut out = String::new();
     for s in sections {
@@ -705,6 +865,7 @@ pub fn by_name(name: &str) -> Option<String> {
         "e8" => e8(),
         "e9" => e9(),
         "e10" => e10(),
+        "e11" => e11(),
         "all" => run_all(),
         _ => return None,
     })
@@ -713,6 +874,42 @@ pub fn by_name(name: &str) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e11_batched_fanout_beats_per_tuple_and_agrees() {
+        use aspen_types::QueryId;
+        // 50-query fan-out: the batched path must outrun degenerate
+        // 1-tuple batches AND produce identical query results.
+        let n = 50;
+        let tuples = 4_000;
+        let mut batched = e11_engine(n);
+        let mut per_tuple = e11_engine(n);
+        let rows: Vec<Tuple> = (0..tuples).map(e11_tuple).collect();
+        for chunk in rows.chunks(128) {
+            batched.on_batch("Readings", chunk).unwrap();
+        }
+        for row in &rows {
+            per_tuple
+                .on_batch("Readings", std::slice::from_ref(row))
+                .unwrap();
+        }
+        let value_rows = |rows: Vec<Tuple>| -> Vec<Vec<Value>> {
+            rows.into_iter().map(|t| t.values().to_vec()).collect()
+        };
+        for i in 0..(n + n / 2) {
+            let q = aspen_stream::QueryHandle(QueryId(i as u32));
+            assert_eq!(
+                value_rows(batched.snapshot(q).unwrap()),
+                value_rows(per_tuple.snapshot(q).unwrap()),
+                "query {i} diverged between batched and per-tuple ingest"
+            );
+        }
+        // The cost model only ever shrinks under batching (consolidation
+        // removes cancelled work before operators see it). The wall-clock
+        // speedup itself is asserted nowhere in unit tests — it depends on
+        // the machine; `harness e11` / `cargo bench` are the perf gate.
+        assert!(batched.total_ops_invoked() <= per_tuple.total_ops_invoked());
+    }
 
     #[test]
     fn e3_in_network_beats_base_at_low_occupancy() {

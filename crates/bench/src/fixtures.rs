@@ -23,16 +23,28 @@ pub fn smartcis_catalog(labs: u32, desks: u32, diameter: u32, loss: f64) -> Cata
     let int = DataType::Int;
     let float = DataType::Float;
     let table = |name: &str, cols: &[(&str, DataType)], rows: u64| {
-        let schema =
-            Schema::new(cols.iter().map(|(n, t)| Field::new(*n, *t)).collect::<Vec<_>>())
-                .into_ref();
+        let schema = Schema::new(
+            cols.iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+        .into_ref();
         cat.register_source(name, schema, SourceKind::Table, SourceStats::table(rows))
             .unwrap();
     };
-    table("Person", &[("id", int), ("room", text), ("needed", text)], 4);
+    table(
+        "Person",
+        &[("id", int), ("room", text), ("needed", text)],
+        4,
+    );
     table(
         "Route",
-        &[("start", text), ("end", text), ("path", text), ("dist", float)],
+        &[
+            ("start", text),
+            ("end", text),
+            ("path", text),
+            ("dist", float),
+        ],
         (labs as u64 + 6) * (labs as u64 + 2),
     );
     table(

@@ -62,8 +62,12 @@ impl NormalizedCost {
     pub fn new(units: f64) -> Self {
         NormalizedCost { units }
     }
+}
 
-    pub fn add(self, other: NormalizedCost) -> NormalizedCost {
+impl std::ops::Add for NormalizedCost {
+    type Output = NormalizedCost;
+
+    fn add(self, other: NormalizedCost) -> NormalizedCost {
         NormalizedCost {
             units: self.units + other.units,
         }
@@ -137,7 +141,7 @@ mod tests {
     fn costs_add() {
         let a = NormalizedCost::new(1.5);
         let b = NormalizedCost::new(2.5);
-        assert!((a.add(b).units - 4.0).abs() < 1e-12);
+        assert!(((a + b).units - 4.0).abs() < 1e-12);
         assert_eq!(NormalizedCost::ZERO.units, 0.0);
     }
 }

@@ -74,11 +74,7 @@ impl Default for DeviceClass {
 }
 
 impl DeviceClass {
-    pub fn new(
-        attributes: &[&str],
-        sample_period: SimDuration,
-        fleet_size: u32,
-    ) -> Self {
+    pub fn new(attributes: &[&str], sample_period: SimDuration, fleet_size: u32) -> Self {
         DeviceClass {
             attributes: attributes.iter().map(|s| s.to_string()).collect(),
             sample_period,

@@ -249,8 +249,13 @@ mod tests {
     #[test]
     fn register_and_lookup_case_insensitive() {
         let cat = Catalog::new();
-        cat.register_source("TempSensors", schema(), SourceKind::Stream, SourceStats::stream(5.0))
-            .unwrap();
+        cat.register_source(
+            "TempSensors",
+            schema(),
+            SourceKind::Stream,
+            SourceStats::stream(5.0),
+        )
+        .unwrap();
         let m = cat.source("tempsensors").unwrap();
         assert_eq!(m.name, "TempSensors");
         assert_eq!(m.id, SourceId(0));
@@ -268,7 +273,9 @@ mod tests {
             "catalog"
         );
         assert_eq!(
-            cat.register_view("X", "select 1", false).unwrap_err().kind(),
+            cat.register_view("X", "select 1", false)
+                .unwrap_err()
+                .kind(),
             "catalog"
         );
     }
@@ -296,7 +303,9 @@ mod tests {
     fn displays_get_sequential_ids() {
         let cat = Catalog::new();
         let a = cat.register_display("lobby", Point::new(0.0, 0.0)).unwrap();
-        let b = cat.register_display("lab101", Point::new(50.0, 10.0)).unwrap();
+        let b = cat
+            .register_display("lab101", Point::new(50.0, 10.0))
+            .unwrap();
         assert_eq!(a, DisplayId(0));
         assert_eq!(b, DisplayId(1));
         assert_eq!(cat.display("LOBBY").unwrap().id, a);

@@ -128,9 +128,7 @@ pub fn decode_row(mut buf: Bytes) -> Result<Vec<Value>> {
                 Value::Text(s.to_string())
             }
             TAG_TIMESTAMP => Value::Timestamp(get_varint(&mut buf)?),
-            other => {
-                return Err(AspenError::Execution(format!("unknown value tag {other}")))
-            }
+            other => return Err(AspenError::Execution(format!("unknown value tag {other}"))),
         };
         out.push(v);
     }

@@ -210,11 +210,7 @@ impl<M: Payload, A: NodeApp<M>> Simulator<M, A> {
 
     /// Invoke an app callback with a freshly built context; returns the
     /// queued actions.
-    fn call(
-        &mut self,
-        node: NodeId,
-        f: impl FnOnce(&mut A, &mut Ctx<M>),
-    ) -> Vec<Action<M>> {
+    fn call(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Ctx<M>)) -> Vec<Action<M>> {
         let neighbors = self.live_neighbors(node);
         let mut ctx = Ctx {
             node,
@@ -264,7 +260,10 @@ impl<M: Payload, A: NodeApp<M>> Simulator<M, A> {
                 let dst = self.topology.position(to);
                 let lost = !self.radio.in_range(src, dst)
                     || !self.alive[to.index()]
-                    || chance(&mut self.rng, self.radio.loss_probability(src.distance(dst)));
+                    || chance(
+                        &mut self.rng,
+                        self.radio.loss_probability(src.distance(dst)),
+                    );
                 if lost {
                     self.stats.msgs_dropped += 1;
                 } else {
@@ -372,8 +371,10 @@ mod tests {
             let n = topo.len();
             let mut apps = vec![Echo::new(true)];
             apps.extend((1..n).map(|_| Echo::new(false)));
-            let mut radio = RadioModel::default();
-            radio.base_loss = 0.3; // heavy loss to exercise the RNG
+            let radio = RadioModel {
+                base_loss: 0.3, // heavy loss to exercise the RNG
+                ..RadioModel::default()
+            };
             let mut sim = Simulator::new(topo, radio, apps, seed).unwrap();
             sim.run_to_quiescence().unwrap();
             (

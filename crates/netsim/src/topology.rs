@@ -170,7 +170,7 @@ mod tests {
     fn hallway_is_a_chain_at_exact_range() {
         let t = Topology::hallway(500.0, 100.0);
         let radio = RadioModel::default(); // 100 ft range
-        // Each interior mote hears exactly its two chain neighbours.
+                                           // Each interior mote hears exactly its two chain neighbours.
         let n2 = t.neighbors(NodeId(2), &radio);
         assert_eq!(n2, vec![NodeId(1), NodeId(3)]);
         assert!(t.is_connected(&radio));

@@ -22,9 +22,7 @@ use aspen_catalog::{Catalog, NormalizedCost, SourceKind, SourceMeta, SourceStats
 use aspen_sensor::subquery::{admit, estimate_messages, SensorSubquery};
 use aspen_sql::ast::{CmpOp, Expr};
 use aspen_sql::plan::{build_plan, LogicalPlan, QueryGraph, Relation};
-use aspen_types::{
-    AspenError, DataType, Field, Result, Schema, SimDuration, SourceId, WindowSpec,
-};
+use aspen_types::{AspenError, DataType, Field, Result, Schema, SimDuration, SourceId, WindowSpec};
 
 use crate::stream_cost::{estimate_plan, StreamCost};
 
@@ -173,9 +171,8 @@ pub fn optimize_named(
         };
 
         // Normalize and sum.
-        let total = params
-            .from_messages(sensor_msgs)
-            .add(params.from_stream_cost(scost.latency_sec, scost.cpu_ops, scost.lan_bytes));
+        let total = params.from_messages(sensor_msgs)
+            + params.from_stream_cost(scost.latency_sec, scost.cpu_ops, scost.lan_bytes);
 
         candidates.push(CandidateSummary {
             fragment: aliases,
@@ -216,9 +213,8 @@ pub fn optimize_named(
         }
     }
 
-    let (best_units, mut plan) = best.ok_or_else(|| {
-        AspenError::NotExecutable("no executable partitioning found".into())
-    })?;
+    let (best_units, mut plan) =
+        best.ok_or_else(|| AspenError::NotExecutable("no executable partitioning found".into()))?;
     for c in &mut candidates {
         c.chosen = (c.total_units - best_units).abs() < 1e-12
             && c.fragment
@@ -238,26 +234,25 @@ pub fn optimize_named(
 }
 
 /// Exhaustively enumerate join orders (n ≤ 7) and return the cheapest.
-fn best_stream_order(
-    graph: &QueryGraph,
-) -> Result<Option<(Vec<usize>, LogicalPlan, StreamCost)>> {
+fn best_stream_order(graph: &QueryGraph) -> Result<Option<(Vec<usize>, LogicalPlan, StreamCost)>> {
     let n = graph.relations.len();
     let mut best: Option<(f64, Vec<usize>, LogicalPlan, StreamCost)> = None;
-    let consider = |order: &[usize], best: &mut Option<(f64, Vec<usize>, LogicalPlan, StreamCost)>| {
-        if let Ok(plan) = build_plan(graph, order) {
-            let cost = estimate_plan(&plan);
-            // The stream engine minimizes latency, with CPU work as the
-            // tiebreaker.
-            let metric = cost.latency_sec * 1e6 + cost.cpu_ops * 1e-3;
-            let better = match best {
-                None => true,
-                Some((b, ..)) => metric < *b,
-            };
-            if better {
-                *best = Some((metric, order.to_vec(), plan, cost));
+    let consider =
+        |order: &[usize], best: &mut Option<(f64, Vec<usize>, LogicalPlan, StreamCost)>| {
+            if let Ok(plan) = build_plan(graph, order) {
+                let cost = estimate_plan(&plan);
+                // The stream engine minimizes latency, with CPU work as the
+                // tiebreaker.
+                let metric = cost.latency_sec * 1e6 + cost.cpu_ops * 1e-3;
+                let better = match best {
+                    None => true,
+                    Some((b, ..)) => metric < *b,
+                };
+                if better {
+                    *best = Some((metric, order.to_vec(), plan, cost));
+                }
             }
-        }
-    };
+        };
     if n <= 7 {
         let mut order: Vec<usize> = (0..n).collect();
         permute(&mut order, 0, &mut |o| consider(o, &mut best));
@@ -553,7 +548,14 @@ fn make_stream_graph(
 
     // Rewrite an expression's fragment references to the view alias.
     let rewrite = |e: &Expr| -> Expr {
-        rewrite_expr(e, graph, fragment, &classes_lookup(&representative), &out_names, &view_alias)
+        rewrite_expr(
+            e,
+            graph,
+            fragment,
+            &classes_lookup(&representative),
+            &out_names,
+            &view_alias,
+        )
     };
 
     let mut relations: Vec<Relation> = Vec::new();
@@ -576,8 +578,8 @@ fn make_stream_graph(
         .iter()
         .map(|(e, n)| (rewrite(e), n.clone()))
         .collect();
-    let group_by = graph.group_by.iter().map(|e| rewrite(e)).collect();
-    let having = graph.having.as_ref().map(|e| rewrite(e));
+    let group_by = graph.group_by.iter().map(&rewrite).collect();
+    let having = graph.having.as_ref().map(&rewrite);
     let order_by = graph
         .order_by
         .iter()
@@ -623,10 +625,7 @@ fn rewrite_expr(
         Expr::Column { qualifier, name } => {
             if let Some(owner) = owner_of(graph, fragment, qualifier.as_deref(), name) {
                 let cr = rep(&(owner, name.to_ascii_lowercase()));
-                let out = out_names
-                    .get(&cr)
-                    .cloned()
-                    .unwrap_or_else(|| cr.1.clone());
+                let out = out_names.get(&cr).cloned().unwrap_or_else(|| cr.1.clone());
                 return Expr::Column {
                     qualifier: Some(view_alias.to_string()),
                     name: out,
@@ -637,17 +636,29 @@ fn rewrite_expr(
         Expr::Literal(_) => e.clone(),
         Expr::Cmp { op, left, right } => Expr::Cmp {
             op: *op,
-            left: Box::new(rewrite_expr(left, graph, fragment, rep, out_names, view_alias)),
-            right: Box::new(rewrite_expr(right, graph, fragment, rep, out_names, view_alias)),
+            left: Box::new(rewrite_expr(
+                left, graph, fragment, rep, out_names, view_alias,
+            )),
+            right: Box::new(rewrite_expr(
+                right, graph, fragment, rep, out_names, view_alias,
+            )),
         },
         Expr::Like { left, right } => Expr::Like {
-            left: Box::new(rewrite_expr(left, graph, fragment, rep, out_names, view_alias)),
-            right: Box::new(rewrite_expr(right, graph, fragment, rep, out_names, view_alias)),
+            left: Box::new(rewrite_expr(
+                left, graph, fragment, rep, out_names, view_alias,
+            )),
+            right: Box::new(rewrite_expr(
+                right, graph, fragment, rep, out_names, view_alias,
+            )),
         },
         Expr::Arith { op, left, right } => Expr::Arith {
             op: *op,
-            left: Box::new(rewrite_expr(left, graph, fragment, rep, out_names, view_alias)),
-            right: Box::new(rewrite_expr(right, graph, fragment, rep, out_names, view_alias)),
+            left: Box::new(rewrite_expr(
+                left, graph, fragment, rep, out_names, view_alias,
+            )),
+            right: Box::new(rewrite_expr(
+                right, graph, fragment, rep, out_names, view_alias,
+            )),
         },
         Expr::And(l, r) => Expr::And(
             Box::new(rewrite_expr(l, graph, fragment, rep, out_names, view_alias)),
@@ -664,9 +675,10 @@ fn rewrite_expr(
             // An aggregate fully pushed to the sensors becomes a plain
             // column of the synthetic relation.
             if let Some(a) = arg {
-                let all_inside = a.columns().iter().all(|(q, n)| {
-                    owner_of(graph, fragment, *q, n).is_some()
-                });
+                let all_inside = a
+                    .columns()
+                    .iter()
+                    .all(|(q, n)| owner_of(graph, fragment, *q, n).is_some());
                 if all_inside && !fragment.is_empty() {
                     return Expr::Column {
                         qualifier: Some(view_alias.to_string()),
@@ -676,9 +688,9 @@ fn rewrite_expr(
             }
             Expr::Agg {
                 func: func.clone(),
-                arg: arg
-                    .as_ref()
-                    .map(|a| Box::new(rewrite_expr(a, graph, fragment, rep, out_names, view_alias))),
+                arg: arg.as_ref().map(|a| {
+                    Box::new(rewrite_expr(a, graph, fragment, rep, out_names, view_alias))
+                }),
             }
         }
         Expr::Func { name, args } => Expr::Func {
@@ -884,16 +896,27 @@ mod tests {
         let float = DataType::Float;
         let table = |name: &str, cols: &[(&str, DataType)], rows: u64| {
             let schema = Schema::new(
-                cols.iter().map(|(n, t)| Field::new(*n, *t)).collect::<Vec<_>>(),
+                cols.iter()
+                    .map(|(n, t)| Field::new(*n, *t))
+                    .collect::<Vec<_>>(),
             )
             .into_ref();
             cat.register_source(name, schema, SourceKind::Table, SourceStats::table(rows))
                 .unwrap();
         };
-        table("Person", &[("id", int), ("room", text), ("needed", text)], 8);
+        table(
+            "Person",
+            &[("id", int), ("room", text), ("needed", text)],
+            8,
+        );
         table(
             "Route",
-            &[("start", text), ("end", text), ("path", text), ("dist", float)],
+            &[
+                ("start", text),
+                ("end", text),
+                ("path", text),
+                ("dist", float),
+            ],
             300,
         );
         table(
@@ -1043,7 +1066,7 @@ mod tests {
     }
 
     #[test]
-    fn high_latency_weight_forces_push(){
+    fn high_latency_weight_forces_push() {
         // When latency is priced sky-high, pushing (which shrinks the
         // stream side) must win over no-push.
         let cat = catalog();

@@ -149,11 +149,12 @@ impl SensorApp {
             // TAG slot: deeper nodes transmit earlier in the epoch's
             // second half.
             let depth = self.hops.min(DEPTH_CAP);
-            let step = SimDuration::from_micros(self.epoch.as_micros() / (2 * DEPTH_CAP as u64 + 2));
-            let send_at =
-                start + SimDuration::from_micros(self.epoch.as_micros() / 2)
-                    + step.times((DEPTH_CAP - depth) as u64)
-                    + jitter;
+            let step =
+                SimDuration::from_micros(self.epoch.as_micros() / (2 * DEPTH_CAP as u64 + 2));
+            let send_at = start
+                + SimDuration::from_micros(self.epoch.as_micros() / 2)
+                + step.times((DEPTH_CAP - depth) as u64)
+                + jitter;
             ctx.set_timer(send_at.since(ctx.now()), timer(TIMER_AGG_SEND, k));
         }
     }
@@ -219,7 +220,10 @@ impl SensorApp {
                 threshold,
                 placement,
             } => {
-                let strategy = placement.get(&desk).copied().unwrap_or(JoinStrategy::AtBase);
+                let strategy = placement
+                    .get(&desk)
+                    .copied()
+                    .unwrap_or(JoinStrategy::AtBase);
                 let threshold = *threshold;
                 match (strategy, attr) {
                     (JoinStrategy::AtBase, _) => {
@@ -311,7 +315,13 @@ impl SensorApp {
             return;
         }
         if let Some(p) = self.parent {
-            ctx.send(p, SensorMsg::Partial { epoch: k, agg: merged });
+            ctx.send(
+                p,
+                SensorMsg::Partial {
+                    epoch: k,
+                    agg: merged,
+                },
+            );
         }
     }
 

@@ -146,6 +146,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn occupied_is_darker_than_free() {
         assert!(LIGHT_OCCUPIED < LIGHT_THRESHOLD);
         assert!(LIGHT_FREE > LIGHT_THRESHOLD);

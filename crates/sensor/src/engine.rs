@@ -17,9 +17,7 @@ use aspen_types::{AspenError, Result, SimDuration, SimTime, Tuple, Value};
 use rand::Rng;
 
 use crate::app::SensorApp;
-use crate::config::{
-    DeviceAttr, NodeRole, QuerySpec, LIGHT_FREE, LIGHT_OCCUPIED, LIGHT_THRESHOLD,
-};
+use crate::config::{DeviceAttr, NodeRole, QuerySpec, LIGHT_FREE, LIGHT_OCCUPIED, LIGHT_THRESHOLD};
 use crate::deploy::Deployment;
 use crate::placement::DeskStats;
 
@@ -95,7 +93,9 @@ impl SensorEngine {
     /// Execute one query over the network.
     pub fn run(&self, spec: QuerySpec, n_epochs: u32) -> Result<SensorRunResult> {
         if n_epochs == 0 {
-            return Err(AspenError::InvalidArgument("need at least one epoch".into()));
+            return Err(AspenError::InvalidArgument(
+                "need at least one epoch".into(),
+            ));
         }
         let schedules = self.schedules(n_epochs);
         let mut apps: Vec<SensorApp> = self
@@ -116,7 +116,9 @@ impl SensorEngine {
         // Teach the base which mote samples what (join routing).
         let base_idx = self.deployment.topology.base().index();
         for b in &self.deployment.desks {
-            apps[base_idx].base_attr_of.insert(b.light, DeviceAttr::Light);
+            apps[base_idx]
+                .base_attr_of
+                .insert(b.light, DeviceAttr::Light);
             apps[base_idx].base_attr_of.insert(b.temp, DeviceAttr::Temp);
         }
 
@@ -269,7 +271,11 @@ impl SensorEngine {
         NetworkStats {
             node_count: (topo.len() - 1) as u32,
             diameter_hops: depth.max(1),
-            avg_link_loss: if pairs == 0 { 0.0 } else { loss_sum / pairs as f64 },
+            avg_link_loss: if pairs == 0 {
+                0.0
+            } else {
+                loss_sum / pairs as f64
+            },
             avg_msg_bytes: 18.0,
             hop_latency_us: self.radio.hop_latency_us,
         }
@@ -333,7 +339,10 @@ mod tests {
         assert!(filtered.tuples.len() < all.tuples.len());
         assert!(filtered.stats.msgs_sent < all.stats.msgs_sent);
         // Identical schedules: the filtered outputs are a subset.
-        assert!(filtered.tuples.iter().all(|t| t.get(2).as_f64().unwrap() < LIGHT_THRESHOLD));
+        assert!(filtered
+            .tuples
+            .iter()
+            .all(|t| t.get(2).as_f64().unwrap() < LIGHT_THRESHOLD));
     }
 
     #[test]
@@ -411,13 +420,21 @@ mod tests {
         let e = SensorEngine::new(d, RadioModel::lossless(), 3);
         let base = e
             .run(
-                QuerySpec::uniform_join(LIGHT_THRESHOLD, JoinStrategy::AtBase, &e.deployment.desk_ids()),
+                QuerySpec::uniform_join(
+                    LIGHT_THRESHOLD,
+                    JoinStrategy::AtBase,
+                    &e.deployment.desk_ids(),
+                ),
                 6,
             )
             .unwrap();
         let attemp = e
             .run(
-                QuerySpec::uniform_join(LIGHT_THRESHOLD, JoinStrategy::AtTemp, &e.deployment.desk_ids()),
+                QuerySpec::uniform_join(
+                    LIGHT_THRESHOLD,
+                    JoinStrategy::AtTemp,
+                    &e.deployment.desk_ids(),
+                ),
                 6,
             )
             .unwrap();
@@ -441,10 +458,16 @@ mod tests {
         let e = SensorEngine::new(d, RadioModel::lossless(), 11);
         let desks = e.deployment.desk_ids();
         let base = e
-            .run(QuerySpec::uniform_join(LIGHT_THRESHOLD, JoinStrategy::AtBase, &desks), 8)
+            .run(
+                QuerySpec::uniform_join(LIGHT_THRESHOLD, JoinStrategy::AtBase, &desks),
+                8,
+            )
             .unwrap();
         let innet = e
-            .run(QuerySpec::uniform_join(LIGHT_THRESHOLD, JoinStrategy::AtTemp, &desks), 8)
+            .run(
+                QuerySpec::uniform_join(LIGHT_THRESHOLD, JoinStrategy::AtTemp, &desks),
+                8,
+            )
             .unwrap();
         // The paper's claim: only route temperature data when the light
         // threshold is met → big message savings at low occupancy.

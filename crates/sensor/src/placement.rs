@@ -213,9 +213,12 @@ mod tests {
         );
         let adaptive = placement_table(&stats);
         let adaptive_cost = estimate_total(&stats, &adaptive);
-        for uniform in [JoinStrategy::AtBase, JoinStrategy::AtTemp, JoinStrategy::AtLight] {
-            let table: HashMap<u32, JoinStrategy> =
-                stats.keys().map(|d| (*d, uniform)).collect();
+        for uniform in [
+            JoinStrategy::AtBase,
+            JoinStrategy::AtTemp,
+            JoinStrategy::AtLight,
+        ] {
+            let table: HashMap<u32, JoinStrategy> = stats.keys().map(|d| (*d, uniform)).collect();
             let c = estimate_total(&stats, &table);
             assert!(
                 adaptive_cost <= c + 1e-12,
@@ -223,14 +226,17 @@ mod tests {
             );
         }
         // And strictly better than every uniform choice here.
-        let best_uniform = [JoinStrategy::AtBase, JoinStrategy::AtTemp, JoinStrategy::AtLight]
-            .into_iter()
-            .map(|u| {
-                let table: HashMap<u32, JoinStrategy> =
-                    stats.keys().map(|d| (*d, u)).collect();
-                estimate_total(&stats, &table)
-            })
-            .fold(f64::INFINITY, f64::min);
+        let best_uniform = [
+            JoinStrategy::AtBase,
+            JoinStrategy::AtTemp,
+            JoinStrategy::AtLight,
+        ]
+        .into_iter()
+        .map(|u| {
+            let table: HashMap<u32, JoinStrategy> = stats.keys().map(|d| (*d, u)).collect();
+            estimate_total(&stats, &table)
+        })
+        .fold(f64::INFINITY, f64::min);
         assert!(adaptive_cost < best_uniform);
     }
 }

@@ -131,9 +131,7 @@ pub fn admit(graph: &QueryGraph, rel_indices: &[usize]) -> Result<Option<SensorS
         if !in_fragment(mask) || mask == 0 {
             continue; // evaluated elsewhere (stream side)
         }
-        if rel_indices.len() == 2
-            && proximity_join(graph, p, rel_indices[0], rel_indices[1])
-        {
+        if rel_indices.len() == 2 && proximity_join(graph, p, rel_indices[0], rel_indices[1]) {
             has_proximity = true;
             continue;
         }
@@ -197,11 +195,7 @@ pub fn admit(graph: &QueryGraph, rel_indices: &[usize]) -> Result<Option<SensorS
 }
 
 /// Garlic protocol step 2: price an admitted fragment in messages/epoch.
-pub fn estimate_messages(
-    graph: &QueryGraph,
-    subq: &SensorSubquery,
-    net: &NetworkStats,
-) -> f64 {
+pub fn estimate_messages(graph: &QueryGraph, subq: &SensorSubquery, net: &NetworkStats) -> f64 {
     let fleet = |idx: usize| -> f64 {
         match &graph.relations[idx].meta.kind {
             SourceKind::Device(d) => d.fleet_size as f64,
@@ -274,11 +268,7 @@ mod tests {
         cat.register_source(
             "SeatSensors",
             seat,
-            SourceKind::Device(DeviceClass::new(
-                &["light"],
-                SimDuration::from_secs(10),
-                60,
-            )),
+            SourceKind::Device(DeviceClass::new(&["light"], SimDuration::from_secs(10), 60)),
             SourceStats::stream(6.0),
         )
         .unwrap();
@@ -288,8 +278,13 @@ mod tests {
             Field::new("software", DataType::Text),
         ])
         .into_ref();
-        cat.register_source("Machines", machines, SourceKind::Table, SourceStats::table(60))
-            .unwrap();
+        cat.register_source(
+            "Machines",
+            machines,
+            SourceKind::Table,
+            SourceStats::table(60),
+        )
+        .unwrap();
         cat
     }
 
@@ -323,9 +318,7 @@ mod tests {
 
     #[test]
     fn rejects_table_relations() {
-        let g = graph(
-            "select s.desk from SeatSensors s, Machines m where s.desk = m.desk",
-        );
+        let g = graph("select s.desk from SeatSensors s, Machines m where s.desk = m.desk");
         assert!(admit(&g, &[0, 1]).unwrap().is_none());
         // But the device half alone is admissible.
         assert!(admit(&g, &[0]).unwrap().is_some());
@@ -333,9 +326,7 @@ mod tests {
 
     #[test]
     fn rejects_non_proximity_device_join() {
-        let g = graph(
-            "select a.room from AreaSensors a, SeatSensors s where a.light = s.light",
-        );
+        let g = graph("select a.room from AreaSensors a, SeatSensors s where a.light = s.light");
         assert!(admit(&g, &[0, 1]).unwrap().is_none());
     }
 
@@ -386,22 +377,10 @@ mod tests {
             avg_link_loss: 0.0,
             ..Default::default()
         };
-        let all = estimate_messages(
-            &g_all,
-            &admit(&g_all, &[0]).unwrap().unwrap(),
-            &net,
-        );
-        let sel = estimate_messages(
-            &g_sel,
-            &admit(&g_sel, &[0]).unwrap().unwrap(),
-            &net,
-        );
+        let all = estimate_messages(&g_all, &admit(&g_all, &[0]).unwrap().unwrap(), &net);
+        let sel = estimate_messages(&g_sel, &admit(&g_sel, &[0]).unwrap().unwrap(), &net);
         let agg_graph = graph("select avg(s.light) from SeatSensors s");
-        let agg = estimate_messages(
-            &agg_graph,
-            &admit(&agg_graph, &[0]).unwrap().unwrap(),
-            &net,
-        );
+        let agg = estimate_messages(&agg_graph, &admit(&agg_graph, &[0]).unwrap().unwrap(), &net);
         assert!(sel < all, "selection must cut messages");
         assert!(agg <= all, "TAG must not exceed collection");
     }

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the surface the netsim wire codec consumes:
+//! [`Bytes`] (cheaply cloneable read view with an internal cursor for the
+//! [`Buf`] methods), [`BytesMut`] (append-only builder with the
+//! [`BufMut`] methods), and `freeze`/`slice`/`from_static`. Multi-byte
+//! integers are big-endian, matching the real crate.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Shared, immutable byte buffer. `Buf` reads advance an internal cursor;
+/// `Deref`/`len` expose only the unread remainder, which is how the codec
+/// (and its tests) use the type.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Sub-view over the unread remainder (indices relative to it).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && self.start + range.end <= self.end);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Reader methods (a subset of the real `Buf` trait).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_f64(&mut self) -> f64;
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.start < self.end, "get_u8 past end of buffer");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        assert!(self.remaining() >= 8, "get_f64 past end of buffer");
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.data[self.start..self.start + 8]);
+        self.start += 8;
+        f64::from_be_bytes(raw)
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "copy_to_bytes past end of buffer");
+        let out = self.slice(0..len);
+        self.start += len;
+        out
+    }
+}
+
+/// Growable builder buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Writer methods (a subset of the real `BufMut` trait).
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_f64(&mut self, v: f64);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(7);
+        b.put_f64(1.5);
+        b.put_slice(b"abc");
+        let mut r = b.freeze();
+        assert_eq!(r.len(), 12);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_f64(), 1.5);
+        let tail = r.copy_to_bytes(3);
+        assert_eq!(&*tail, b"abc");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_is_relative_to_cursor() {
+        let mut r = Bytes::from(vec![1, 2, 3, 4, 5]);
+        r.get_u8();
+        let s = r.slice(0..2);
+        assert_eq!(&*s, &[2, 3]);
+        assert_eq!(r.remaining(), 4);
+    }
+
+    #[test]
+    fn equality_ignores_consumed_prefix() {
+        let mut a = Bytes::from(vec![9, 1, 2]);
+        a.get_u8();
+        assert_eq!(a, Bytes::from(vec![1, 2]));
+    }
+}

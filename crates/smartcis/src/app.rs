@@ -15,7 +15,7 @@ use std::sync::Arc;
 use aspen_catalog::{Catalog, DeviceClass, NetworkStats, SourceKind, SourceStats};
 use aspen_optimizer::{optimize_named, FederatedPlan};
 use aspen_sql::{bind, parse, BoundQuery};
-use aspen_stream::delta::Delta;
+use aspen_stream::delta::{Delta, DeltaBatch};
 use aspen_stream::{QueryHandle, StreamEngine};
 use aspen_types::rng::{chance, seeded};
 use aspen_types::{
@@ -127,11 +127,8 @@ impl SmartCis {
             StaticTableLoader::register(&catalog, "RoutePoints", &building.routing_table_text())?;
         let machines_batch =
             StaticTableLoader::register(&catalog, "Machines", &building.machines_table_text())?;
-        let detectors_batch = StaticTableLoader::register(
-            &catalog,
-            "Detectors",
-            &building.detectors_table_text(),
-        )?;
+        let detectors_batch =
+            StaticTableLoader::register(&catalog, "Detectors", &building.detectors_table_text())?;
         // Person table, initially empty.
         let person_schema = Schema::new(vec![
             Field::new("id", DataType::Int),
@@ -283,7 +280,8 @@ impl SmartCis {
                 .on_batch(MachineStateWrapper::SOURCE, &batch.tuples)?;
         }
         for batch in self.web.poll(now)? {
-            self.engine.on_batch(WebSourceWrapper::SOURCE, &batch.tuples)?;
+            self.engine
+                .on_batch(WebSourceWrapper::SOURCE, &batch.tuples)?;
         }
 
         // Device streams from the ground-truth simulator.
@@ -350,7 +348,7 @@ impl SmartCis {
             ],
             self.now,
         );
-        let mut deltas = Vec::new();
+        let mut deltas = DeltaBatch::new();
         if let Some(old) = self.visitor_row.take() {
             deltas.push(Delta::retract(old));
         }
@@ -368,8 +366,7 @@ impl SmartCis {
             ));
         }
         if self.guidance_query.is_none() {
-            let BoundQuery::Select(b) =
-                bind(&parse(queries::VISITOR_GUIDANCE)?, &self.catalog)?
+            let BoundQuery::Select(b) = bind(&parse(queries::VISITOR_GUIDANCE)?, &self.catalog)?
             else {
                 unreachable!("guidance is a SELECT")
             };
@@ -394,10 +391,7 @@ impl SmartCis {
                 for d in self.building.desks.iter().filter(|d| d.room == room.name) {
                     if !self.sim.occupied[&d.desk] {
                         rows.push(Tuple::new(
-                            vec![
-                                Value::Text(room.name.clone()),
-                                Value::Int(d.desk as i64),
-                            ],
+                            vec![Value::Text(room.name.clone()), Value::Int(d.desk as i64)],
                             self.now,
                         ));
                     }
@@ -425,7 +419,7 @@ impl SmartCis {
             return Ok(false);
         }
         // Retract both directed RoutePoints rows.
-        let mut deltas = Vec::new();
+        let mut deltas = DeltaBatch::new();
         let dist = self
             .building
             .segments
@@ -459,7 +453,7 @@ impl SmartCis {
                 ])
             })
             .collect();
-        let mut diff = Vec::new();
+        let mut diff = DeltaBatch::new();
         for old in &self.route_rows {
             if !new_rows.contains(old) {
                 diff.push(Delta::retract(old.clone()));
@@ -478,7 +472,12 @@ impl SmartCis {
     /// Current GUI state (Figure 2's ingredients).
     pub fn gui_state(&self) -> GuiState {
         let mut s = GuiState {
-            lab_open: self.sim.lab_open.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            lab_open: self
+                .sim
+                .lab_open
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
             visitor: self.visitor_pos,
             route: self.last_route.clone(),
             ..Default::default()
@@ -534,9 +533,7 @@ mod tests {
     fn ticks_feed_standing_queries() {
         let mut a = app();
         let q = a
-            .register_query(
-                "select t.room, t.desk, t.temp from TempSensors t where t.temp > 60",
-            )
+            .register_query("select t.room, t.desk, t.temp from TempSensors t where t.temp > 60")
             .unwrap()
             .unwrap();
         for _ in 0..3 {
@@ -582,7 +579,10 @@ mod tests {
         let before = a.engine.view_snapshot("Reachable").unwrap().len();
         assert!(a.close_corridor("hall2", "hall3").unwrap());
         let after = a.engine.view_snapshot("Reachable").unwrap().len();
-        assert!(after < before, "reachability must shrink: {before} -> {after}");
+        assert!(
+            after < before,
+            "reachability must shrink: {before} -> {after}"
+        );
         // Closing again is a no-op.
         assert!(!a.close_corridor("hall2", "hall3").unwrap());
         // Route to lab3 should now fail in the planner.

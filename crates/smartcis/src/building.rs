@@ -269,10 +269,7 @@ mod tests {
         // Every room's door point exists and is connected.
         for r in &b.rooms {
             assert!(b.point(&r.door).is_some(), "missing door {}", r.door);
-            assert!(b
-                .segments
-                .iter()
-                .any(|s| s.a == r.door || s.b == r.door));
+            assert!(b.segments.iter().any(|s| s.a == r.door || s.b == r.door));
         }
     }
 

@@ -33,6 +33,9 @@ const CELL_X: f64 = 5.0;
 const CELL_Y: f64 = 7.5;
 
 /// Render the floorplan + state as multi-line ASCII.
+// Border drawing indexes `grid[y][x]` while comparing x/y against the box
+// edges; an iterator rewrite would obscure that symmetry.
+#[allow(clippy::needless_range_loop)]
 pub fn render(building: &Building, state: &GuiState) -> String {
     // Canvas bounds from the building geometry.
     let (mut min_x, mut min_y, mut max_x, mut max_y) = (0.0f64, -70.0f64, 0.0f64, 85.0f64);
@@ -58,8 +61,8 @@ pub fn render(building: &Building, state: &GuiState) -> String {
     // Hallway.
     let (hx0, hy) = to_cell(Point::new(0.0, 0.0));
     let (hx1, _) = to_cell(Point::new(building.hallway_len, 0.0));
-    for x in hx0..=hx1 {
-        grid[hy][x] = '=';
+    for cell in &mut grid[hy][hx0..=hx1] {
+        *cell = '=';
     }
 
     // Rooms as boxes.
@@ -70,8 +73,8 @@ pub fn render(building: &Building, state: &GuiState) -> String {
             for y in y0..=y1 {
                 let border = x == x0 || x == x1 || y == y0 || y == y1;
                 if border {
-                    let closed = room.is_lab
-                        && !state.lab_open.get(&room.name).copied().unwrap_or(true);
+                    let closed =
+                        room.is_lab && !state.lab_open.get(&room.name).copied().unwrap_or(true);
                     // Closed labs are "shaded with dashed lines" (Fig 2).
                     grid[y][x] = if closed { '-' } else { '#' };
                 }

@@ -141,10 +141,7 @@ impl VisitorWalk {
 
     /// Total walk length, feet.
     pub fn length(&self) -> f64 {
-        self.waypoints
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum()
+        self.waypoints.windows(2).map(|w| w[0].distance(w[1])).sum()
     }
 
     /// Ground-truth position after walking for `t` seconds (clamps at the

@@ -275,8 +275,7 @@ mod tests {
         use aspen_wrappers::StaticTableLoader;
         let (b, p) = planner();
         let cat = Catalog::new();
-        let batch =
-            StaticTableLoader::register(&cat, "Route", &p.route_table_text(&b)).unwrap();
+        let batch = StaticTableLoader::register(&cat, "Route", &p.route_table_text(&b)).unwrap();
         assert!(batch.len() > 10);
         let meta = cat.source("Route").unwrap();
         assert_eq!(meta.schema.len(), 4);
@@ -286,7 +285,9 @@ mod tests {
     fn room_routes_end_at_room_names() {
         let (b, p) = planner();
         let routes = p.room_routes(&b);
-        assert!(routes.iter().any(|r| r.start == "entrance" && r.end == "lab2"));
+        assert!(routes
+            .iter()
+            .any(|r| r.start == "entrance" && r.end == "lab2"));
         // The path still walks through the door point.
         let r = routes
             .iter()

@@ -129,7 +129,10 @@ pub enum Expr {
         arg: Option<Box<Expr>>,
     },
     /// Scalar function call (e.g. `abs(x)`).
-    Func { name: String, args: Vec<Expr> },
+    Func {
+        name: String,
+        args: Vec<Expr>,
+    },
 }
 
 impl Expr {
@@ -163,9 +166,7 @@ impl Expr {
     pub fn columns(&self) -> Vec<(Option<&str>, &str)> {
         fn go<'a>(e: &'a Expr, out: &mut Vec<(Option<&'a str>, &'a str)>) {
             match e {
-                Expr::Column { qualifier, name } => {
-                    out.push((qualifier.as_deref(), name.as_str()))
-                }
+                Expr::Column { qualifier, name } => out.push((qualifier.as_deref(), name.as_str())),
                 Expr::Literal(_) => {}
                 Expr::Cmp { left, right, .. }
                 | Expr::Like { left, right }

@@ -22,12 +22,17 @@ use aspen_types::{AspenError, Result, SchemaRef, SimDuration, WindowSpec};
 
 use crate::ast::{Expr, Projection, SelectStmt, Statement, TableRef};
 use crate::parser::parse;
-use crate::plan::{assemble_left_deep, bind_expr, build_plan, Leaf, LogicalPlan, QueryGraph, Relation};
+use crate::plan::{
+    assemble_left_deep, bind_expr, build_plan, Leaf, LogicalPlan, QueryGraph, Relation,
+};
 
 /// Maximum view-inlining depth (guards against cyclic definitions).
 const MAX_VIEW_DEPTH: u32 = 16;
 
 /// Result of binding a statement.
+// The variants are intentionally unboxed: a BoundQuery is created once
+// per statement and immediately destructured, never stored in bulk.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum BoundQuery {
     Select(BoundSelect),
@@ -87,11 +92,7 @@ fn default_window(kind: &SourceKind) -> WindowSpec {
     }
 }
 
-fn bind_select_to_graph(
-    stmt: &SelectStmt,
-    catalog: &Catalog,
-    depth: u32,
-) -> Result<QueryGraph> {
+fn bind_select_to_graph(stmt: &SelectStmt, catalog: &Catalog, depth: u32) -> Result<QueryGraph> {
     if depth > MAX_VIEW_DEPTH {
         return Err(AspenError::Unresolved(
             "view nesting too deep (cyclic view definition?)".into(),
@@ -323,10 +324,7 @@ fn substitute(e: &Expr, subs: &[(String, Vec<(String, Expr)>)]) -> Result<Expr> 
         } = node
         {
             if let Some((_, outputs)) = subs.iter().find(|(a, _)| a.eq_ignore_ascii_case(q)) {
-                return match outputs
-                    .iter()
-                    .find(|(n, _)| n.eq_ignore_ascii_case(name))
-                {
+                return match outputs.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)) {
                     Some((_, replacement)) => Some(replacement.clone()),
                     None => {
                         // record the failure; transform has no Result path
@@ -412,11 +410,7 @@ fn bind_view(
 
     // First pass: bind all non-self-referencing branches to establish the
     // view schema.
-    let references_self = |s: &SelectStmt| {
-        s.from
-            .iter()
-            .any(|t| t.name.eq_ignore_ascii_case(name))
-    };
+    let references_self = |s: &SelectStmt| s.from.iter().any(|t| t.name.eq_ignore_ascii_case(name));
 
     let mut bases = Vec::new();
     let mut steps_src = Vec::new();
@@ -463,12 +457,7 @@ fn bind_view(
     }))
 }
 
-fn check_union_compatible(
-    a: &SchemaRef,
-    b: &SchemaRef,
-    view: &str,
-    branch: usize,
-) -> Result<()> {
+fn check_union_compatible(a: &SchemaRef, b: &SchemaRef, view: &str, branch: usize) -> Result<()> {
     if a.len() != b.len() {
         return Err(AspenError::TypeMismatch(format!(
             "view '{view}': branch {branch} has {} columns, expected {}",
@@ -585,7 +574,9 @@ pub(crate) mod tests {
 
         let reg_table = |name: &str, cols: &[(&str, DataType)], rows: u64| {
             let schema = Schema::new(
-                cols.iter().map(|(n, t)| Field::new(*n, *t)).collect::<Vec<_>>(),
+                cols.iter()
+                    .map(|(n, t)| Field::new(*n, *t))
+                    .collect::<Vec<_>>(),
             )
             .into_ref();
             cat.register_source(name, schema, SourceKind::Table, SourceStats::table(rows))
@@ -608,11 +599,7 @@ pub(crate) mod tests {
         );
         reg_table(
             "Machines",
-            &[
-                ("room", text),
-                ("desk", int),
-                ("software", text),
-            ],
+            &[("room", text), ("desk", int), ("software", text)],
             60,
         );
 
@@ -728,17 +715,9 @@ pub(crate) mod tests {
     #[test]
     fn view_with_unknown_output_column_errors() {
         let cat = smartcis_catalog();
-        cat.register_view(
-            "V",
-            "select ss.room from SeatSensors ss",
-            false,
-        )
-        .unwrap();
-        let err = bind(
-            &parse("select v.desk from V v").unwrap(),
-            &cat,
-        )
-        .unwrap_err();
+        cat.register_view("V", "select ss.room from SeatSensors ss", false)
+            .unwrap();
+        let err = bind(&parse("select v.desk from V v").unwrap(), &cat).unwrap_err();
         assert_eq!(err.kind(), "unresolved");
         assert!(err.message().contains("no output column"));
     }
@@ -782,8 +761,13 @@ pub(crate) mod tests {
             Field::new("dist", DataType::Float),
         ])
         .into_ref();
-        cat.register_source("RoutePoints", schema, SourceKind::Table, SourceStats::table(40))
-            .unwrap();
+        cat.register_source(
+            "RoutePoints",
+            schema,
+            SourceKind::Table,
+            SourceStats::table(40),
+        )
+        .unwrap();
         let sql = r#"
             create recursive view Reach as (
                 select e.src, e.dst, e.dist from RoutePoints e
@@ -815,7 +799,8 @@ pub(crate) mod tests {
         let schema = Schema::new(vec![Field::new("x", DataType::Int)]).into_ref();
         cat.register_source("E", schema, SourceKind::Table, SourceStats::table(5))
             .unwrap();
-        let sql = "create view V as (select e.x from E e union select v.x from V v, E e where v.x = e.x)";
+        let sql =
+            "create view V as (select e.x from E e union select v.x from V v, E e where v.x = e.x)";
         let err = bind(&parse(sql).unwrap(), &cat).unwrap_err();
         assert!(err.message().contains("RECURSIVE"));
     }

@@ -55,9 +55,7 @@ impl ScalarFunc {
     }
 
     fn apply(self, args: &[Value]) -> Result<Value> {
-        let arity_err = || {
-            AspenError::TypeMismatch(format!("{} expects 1 argument", self.name()))
-        };
+        let arity_err = || AspenError::TypeMismatch(format!("{} expects 1 argument", self.name()));
         let a = args.first().ok_or_else(arity_err)?;
         if args.len() != 1 {
             return Err(arity_err());
@@ -91,7 +89,10 @@ impl ScalarFunc {
 #[derive(Debug, Clone, PartialEq)]
 pub enum BoundExpr {
     /// Column ordinal in the input tuple, with its static type.
-    Col { index: usize, data_type: DataType },
+    Col {
+        index: usize,
+        data_type: DataType,
+    },
     Lit(Value),
     Cmp {
         op: CmpOp,
@@ -124,14 +125,12 @@ impl BoundExpr {
     /// Evaluate against a tuple.
     pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
         match self {
-            BoundExpr::Col { index, .. } => {
-                tuple.values().get(*index).cloned().ok_or_else(|| {
-                    AspenError::Execution(format!(
-                        "column ordinal {index} out of range for arity {}",
-                        tuple.len()
-                    ))
-                })
-            }
+            BoundExpr::Col { index, .. } => tuple.values().get(*index).cloned().ok_or_else(|| {
+                AspenError::Execution(format!(
+                    "column ordinal {index} out of range for arity {}",
+                    tuple.len()
+                ))
+            }),
             BoundExpr::Lit(v) => Ok(v.clone()),
             BoundExpr::Cmp { op, left, right } => {
                 let l = left.eval(tuple)?;
@@ -226,12 +225,10 @@ impl BoundExpr {
             | BoundExpr::And(..)
             | BoundExpr::Or(..)
             | BoundExpr::Not(_) => Some(DataType::Bool),
-            BoundExpr::Arith { left, right, .. } => {
-                match (left.data_type(), right.data_type()) {
-                    (Some(a), Some(b)) => DataType::unify(a, b),
-                    _ => None,
-                }
-            }
+            BoundExpr::Arith { left, right, .. } => match (left.data_type(), right.data_type()) {
+                (Some(a), Some(b)) => DataType::unify(a, b),
+                _ => None,
+            },
             BoundExpr::Func { func, args } => {
                 func.return_type(args.first().and_then(BoundExpr::data_type))
             }
@@ -292,12 +289,8 @@ impl BoundExpr {
                 left: Box::new(left.remap(map)),
                 right: Box::new(right.remap(map)),
             },
-            BoundExpr::And(l, r) => {
-                BoundExpr::And(Box::new(l.remap(map)), Box::new(r.remap(map)))
-            }
-            BoundExpr::Or(l, r) => {
-                BoundExpr::Or(Box::new(l.remap(map)), Box::new(r.remap(map)))
-            }
+            BoundExpr::And(l, r) => BoundExpr::And(Box::new(l.remap(map)), Box::new(r.remap(map))),
+            BoundExpr::Or(l, r) => BoundExpr::Or(Box::new(l.remap(map)), Box::new(r.remap(map))),
             BoundExpr::Not(e) => BoundExpr::Not(Box::new(e.remap(map))),
             BoundExpr::Func { func, args } => BoundExpr::Func {
                 func: *func,
@@ -443,7 +436,11 @@ impl PartialAgg {
 pub enum AggAccumulator {
     Count(i64),
     /// `(sum, count)` — count tracks NULL-skipped cardinality for AVG.
-    Sum { sum: f64, count: i64, int_input: bool },
+    Sum {
+        sum: f64,
+        count: i64,
+        int_input: bool,
+    },
     MinMax {
         is_min: bool,
         multiset: BTreeMap<Value, usize>,
@@ -542,7 +539,14 @@ impl AggAccumulator {
     pub fn value(&self, func: AggFunc) -> Value {
         match (self, func) {
             (AggAccumulator::Count(c), AggFunc::Count) => Value::Int(*c),
-            (AggAccumulator::Sum { sum, count, int_input }, AggFunc::Sum) => {
+            (
+                AggAccumulator::Sum {
+                    sum,
+                    count,
+                    int_input,
+                },
+                AggFunc::Sum,
+            ) => {
                 if *count == 0 {
                     Value::Null
                 } else if *int_input {
@@ -636,7 +640,8 @@ mod tests {
         };
         assert_eq!(e.data_type(), Some(DataType::Float));
         assert_eq!(
-            e.eval(&tup(vec![Value::Int(2), Value::Float(0.5)])).unwrap(),
+            e.eval(&tup(vec![Value::Int(2), Value::Float(0.5)]))
+                .unwrap(),
             Value::Float(2.5)
         );
     }
@@ -652,10 +657,7 @@ mod tests {
             func: ScalarFunc::Upper,
             args: vec![BoundExpr::Lit(Value::Text("fedora".into()))],
         };
-        assert_eq!(
-            u.eval(&tup(vec![])).unwrap(),
-            Value::Text("FEDORA".into())
-        );
+        assert_eq!(u.eval(&tup(vec![])).unwrap(), Value::Text("FEDORA".into()));
         assert_eq!(u.data_type(), Some(DataType::Text));
     }
 
@@ -752,15 +754,15 @@ mod tests {
     #[test]
     fn agg_return_types() {
         assert_eq!(AggFunc::Count.return_type(None), DataType::Int);
-        assert_eq!(
-            AggFunc::Sum.return_type(Some(DataType::Int)),
-            DataType::Int
-        );
+        assert_eq!(AggFunc::Sum.return_type(Some(DataType::Int)), DataType::Int);
         assert_eq!(
             AggFunc::Sum.return_type(Some(DataType::Float)),
             DataType::Float
         );
-        assert_eq!(AggFunc::Avg.return_type(Some(DataType::Int)), DataType::Float);
+        assert_eq!(
+            AggFunc::Avg.return_type(Some(DataType::Int)),
+            DataType::Float
+        );
         assert_eq!(
             AggFunc::Min.return_type(Some(DataType::Text)),
             DataType::Text

@@ -116,13 +116,16 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                 }
                 let text = &input[start..i];
                 let token = if is_float {
-                    Token::Float(text.parse().map_err(|_| {
-                        AspenError::Parse(format!("bad float literal '{text}'"))
-                    })?)
+                    Token::Float(
+                        text.parse().map_err(|_| {
+                            AspenError::Parse(format!("bad float literal '{text}'"))
+                        })?,
+                    )
                 } else {
-                    Token::Int(text.parse().map_err(|_| {
-                        AspenError::Parse(format!("bad int literal '{text}'"))
-                    })?)
+                    Token::Int(
+                        text.parse()
+                            .map_err(|_| AspenError::Parse(format!("bad int literal '{text}'")))?,
+                    )
                 };
                 out.push(Spanned {
                     token,
@@ -303,9 +306,6 @@ mod tests {
             ]
         );
         // And `1.` stays int-dot (trailing dot is not part of a float).
-        assert_eq!(
-            toks("1."),
-            vec![Token::Int(1), Token::Sym(Sym::Dot)]
-        );
+        assert_eq!(toks("1."), vec![Token::Int(1), Token::Sym(Sym::Dot)]);
     }
 }

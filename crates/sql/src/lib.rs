@@ -50,10 +50,7 @@ pub use printer::explain;
 
 /// Parse and bind in one step — the common entry point for callers that
 /// just want a plan.
-pub fn compile(
-    sql: &str,
-    catalog: &aspen_catalog::Catalog,
-) -> aspen_types::Result<BoundQuery> {
+pub fn compile(sql: &str, catalog: &aspen_catalog::Catalog) -> aspen_types::Result<BoundQuery> {
     let stmt = parse(sql)?;
     bind(&stmt, catalog)
 }

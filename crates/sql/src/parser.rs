@@ -255,8 +255,8 @@ impl Parser {
         let name = self.expect_word()?;
         // an alias is any following word that is not a clause keyword
         const CLAUSES: &[&str] = &[
-            "where", "group", "having", "order", "limit", "output", "sample", "union", "on",
-            "as", "from", "select",
+            "where", "group", "having", "order", "limit", "output", "sample", "union", "on", "as",
+            "from", "select",
         ];
         let alias = match self.peek() {
             Some(Token::Word(w)) if !CLAUSES.iter().any(|c| w.eq_ignore_ascii_case(c)) => {
@@ -320,11 +320,7 @@ impl Parser {
             "s" | "sec" | "secs" | "second" | "seconds" => 1_000_000,
             "min" | "mins" | "minute" | "minutes" => 60_000_000,
             "h" | "hr" | "hrs" | "hour" | "hours" => 3_600_000_000,
-            _ => {
-                return Err(AspenError::Parse(format!(
-                    "unknown duration unit '{w}'"
-                )))
-            }
+            _ => return Err(AspenError::Parse(format!("unknown duration unit '{w}'"))),
         })
     }
 
@@ -565,10 +561,7 @@ mod tests {
         assert_eq!(s.order_by.len(), 1);
         assert_eq!(s.from[2].binding(), "sa");
         // the LIKE predicate survives
-        assert!(s
-            .conjuncts
-            .iter()
-            .any(|c| matches!(c, Expr::Like { .. })));
+        assert!(s.conjuncts.iter().any(|c| matches!(c, Expr::Like { .. })));
     }
 
     #[test]
@@ -704,7 +697,13 @@ mod tests {
             panic!()
         };
         assert_eq!(*add, ArithOp::Add);
-        assert!(matches!(right.as_ref(), Expr::Arith { op: ArithOp::Mul, .. }));
+        assert!(matches!(
+            right.as_ref(),
+            Expr::Arith {
+                op: ArithOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -733,8 +732,7 @@ mod tests {
 
     #[test]
     fn not_and_or_parse() {
-        let Statement::Select(s) =
-            parse("select x from T where not (a = 1) or b = 2").unwrap()
+        let Statement::Select(s) = parse("select x from T where not (a = 1) or b = 2").unwrap()
         else {
             panic!()
         };

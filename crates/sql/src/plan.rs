@@ -121,7 +121,9 @@ impl QueryGraph {
 #[derive(Debug, Clone)]
 pub enum LogicalPlan {
     /// Leaf: scan one relation (its window applies to engine state).
-    Scan { rel: Relation },
+    Scan {
+        rel: Relation,
+    },
     Filter {
         input: Box<LogicalPlan>,
         predicate: BoundExpr,
@@ -162,7 +164,10 @@ pub enum LogicalPlan {
     },
     /// Reference to the recursive view currently being defined (appears
     /// only inside a recursive view's step branches).
-    RecursiveRef { name: String, schema: SchemaRef },
+    RecursiveRef {
+        name: String,
+        schema: SchemaRef,
+    },
     /// Route results to a registered display.
     Output {
         input: Box<LogicalPlan>,
@@ -296,9 +301,8 @@ pub fn bind_expr(expr: &Expr, schema: &Schema) -> Result<BoundExpr> {
             "aggregate {func}() not allowed in this clause"
         ))),
         Expr::Func { name, args } => {
-            let func = ScalarFunc::by_name(name).ok_or_else(|| {
-                AspenError::Unresolved(format!("unknown function '{name}'"))
-            })?;
+            let func = ScalarFunc::by_name(name)
+                .ok_or_else(|| AspenError::Unresolved(format!("unknown function '{name}'")))?;
             let mut bound = Vec::with_capacity(args.len());
             for a in args {
                 bound.push(bind_expr(a, schema)?);
@@ -425,10 +429,7 @@ pub fn assemble_left_deep(leaves: Vec<Leaf>, conjuncts: &[Expr]) -> Result<Logic
 }
 
 /// Pull out and apply every conjunct that is fully evaluable over `plan`.
-fn apply_local<'a>(
-    plan: LogicalPlan,
-    remaining: &mut Vec<&'a Expr>,
-) -> Result<LogicalPlan> {
+fn apply_local(plan: LogicalPlan, remaining: &mut Vec<&Expr>) -> Result<LogicalPlan> {
     let schema = plan.schema();
     let mut local: Vec<BoundExpr> = Vec::new();
     let mut keep: Vec<&Expr> = Vec::new();
@@ -455,9 +456,7 @@ fn combine_and(mut exprs: Vec<BoundExpr>) -> Option<BoundExpr> {
         _ => {
             let mut it = exprs.into_iter();
             let first = it.next().expect("nonempty");
-            Some(it.fold(first, |acc, e| {
-                BoundExpr::And(Box::new(acc), Box::new(e))
-            }))
+            Some(it.fold(first, |acc, e| BoundExpr::And(Box::new(acc), Box::new(e))))
         }
     }
 }
@@ -489,10 +488,7 @@ pub fn build_plan(graph: &QueryGraph, order: &[usize]) -> Result<LogicalPlan> {
     let mut plan = assemble_left_deep(leaves, &graph.predicates)?;
 
     // Aggregation layer.
-    let has_aggs = graph
-        .projections
-        .iter()
-        .any(|(e, _)| e.has_aggregate())
+    let has_aggs = graph.projections.iter().any(|(e, _)| e.has_aggregate())
         || graph.having.is_some()
         || !graph.group_by.is_empty();
     if has_aggs {
@@ -506,7 +502,7 @@ pub fn build_plan(graph: &QueryGraph, order: &[usize]) -> Result<LogicalPlan> {
         let schema = plan.schema();
         for (e, asc) in &graph.order_by {
             let bound = if has_aggs {
-                bind_after_agg(e, graph, &schema)?
+                bind_after_agg(e, &schema)?
             } else {
                 bind_expr(e, &schema)?
             };
@@ -520,7 +516,7 @@ pub fn build_plan(graph: &QueryGraph, order: &[usize]) -> Result<LogicalPlan> {
     let mut fields = Vec::with_capacity(graph.projections.len());
     for (e, name) in &graph.projections {
         let bound = if has_aggs {
-            bind_after_agg(e, graph, &schema)?
+            bind_after_agg(e, &schema)?
         } else {
             bind_expr(e, &schema)?
         };
@@ -644,9 +640,8 @@ fn lower_aggregate(graph: &QueryGraph, input: LogicalPlan) -> Result<LogicalPlan
         let Expr::Agg { func, arg } = a else {
             unreachable!("collect_aggregates returns Agg nodes");
         };
-        let f = AggFunc::by_name(func).ok_or_else(|| {
-            AspenError::Unresolved(format!("unknown aggregate '{func}'"))
-        })?;
+        let f = AggFunc::by_name(func)
+            .ok_or_else(|| AspenError::Unresolved(format!("unknown aggregate '{func}'")))?;
         let bound_arg = match arg {
             Some(e) => Some(bind_expr(e, &in_schema)?),
             None => None,
@@ -670,7 +665,7 @@ fn lower_aggregate(graph: &QueryGraph, input: LogicalPlan) -> Result<LogicalPlan
     };
 
     if let Some(h) = &graph.having {
-        let pred = bind_after_agg(h, graph, &schema)?;
+        let pred = bind_after_agg(h, &schema)?;
         plan = LogicalPlan::Filter {
             input: Box::new(plan),
             predicate: pred,
@@ -682,14 +677,12 @@ fn lower_aggregate(graph: &QueryGraph, input: LogicalPlan) -> Result<LogicalPlan
 /// Bind an expression against the *output* of the aggregate operator:
 /// aggregate calls resolve to their output columns (by rendered name);
 /// plain columns must be group keys.
-fn bind_after_agg(expr: &Expr, graph: &QueryGraph, agg_schema: &Schema) -> Result<BoundExpr> {
+fn bind_after_agg(expr: &Expr, agg_schema: &Schema) -> Result<BoundExpr> {
     match expr {
         Expr::Agg { .. } => {
             let name = expr.render();
             let idx = agg_schema.index_of(None, &name).map_err(|_| {
-                AspenError::Unresolved(format!(
-                    "aggregate '{name}' not computed by this query"
-                ))
+                AspenError::Unresolved(format!("aggregate '{name}' not computed by this query"))
             })?;
             Ok(BoundExpr::col(idx, agg_schema.field(idx).data_type))
         }
@@ -707,36 +700,33 @@ fn bind_after_agg(expr: &Expr, graph: &QueryGraph, agg_schema: &Schema) -> Resul
         Expr::Literal(v) => Ok(BoundExpr::Lit(v.clone())),
         Expr::Cmp { op, left, right } => Ok(BoundExpr::Cmp {
             op: *op,
-            left: Box::new(bind_after_agg(left, graph, agg_schema)?),
-            right: Box::new(bind_after_agg(right, graph, agg_schema)?),
+            left: Box::new(bind_after_agg(left, agg_schema)?),
+            right: Box::new(bind_after_agg(right, agg_schema)?),
         }),
         Expr::Like { left, right } => Ok(BoundExpr::Like {
-            left: Box::new(bind_after_agg(left, graph, agg_schema)?),
-            right: Box::new(bind_after_agg(right, graph, agg_schema)?),
+            left: Box::new(bind_after_agg(left, agg_schema)?),
+            right: Box::new(bind_after_agg(right, agg_schema)?),
         }),
         Expr::Arith { op, left, right } => Ok(BoundExpr::Arith {
             op: *op,
-            left: Box::new(bind_after_agg(left, graph, agg_schema)?),
-            right: Box::new(bind_after_agg(right, graph, agg_schema)?),
+            left: Box::new(bind_after_agg(left, agg_schema)?),
+            right: Box::new(bind_after_agg(right, agg_schema)?),
         }),
         Expr::And(l, r) => Ok(BoundExpr::And(
-            Box::new(bind_after_agg(l, graph, agg_schema)?),
-            Box::new(bind_after_agg(r, graph, agg_schema)?),
+            Box::new(bind_after_agg(l, agg_schema)?),
+            Box::new(bind_after_agg(r, agg_schema)?),
         )),
         Expr::Or(l, r) => Ok(BoundExpr::Or(
-            Box::new(bind_after_agg(l, graph, agg_schema)?),
-            Box::new(bind_after_agg(r, graph, agg_schema)?),
+            Box::new(bind_after_agg(l, agg_schema)?),
+            Box::new(bind_after_agg(r, agg_schema)?),
         )),
-        Expr::Not(e) => Ok(BoundExpr::Not(Box::new(bind_after_agg(
-            e, graph, agg_schema,
-        )?))),
+        Expr::Not(e) => Ok(BoundExpr::Not(Box::new(bind_after_agg(e, agg_schema)?))),
         Expr::Func { name, args } => {
-            let func = ScalarFunc::by_name(name).ok_or_else(|| {
-                AspenError::Unresolved(format!("unknown function '{name}'"))
-            })?;
+            let func = ScalarFunc::by_name(name)
+                .ok_or_else(|| AspenError::Unresolved(format!("unknown function '{name}'")))?;
             let mut bound = Vec::with_capacity(args.len());
             for a in args {
-                bound.push(bind_after_agg(a, graph, agg_schema)?);
+                bound.push(bind_after_agg(a, agg_schema)?);
             }
             Ok(BoundExpr::Func { func, args: bound })
         }
@@ -869,7 +859,8 @@ mod tests {
     #[test]
     fn unplaceable_predicate_errors() {
         let mut g = graph2();
-        g.predicates.push(Expr::eq(Expr::col("c", "w"), Expr::lit(1i64)));
+        g.predicates
+            .push(Expr::eq(Expr::col("c", "w"), Expr::lit(1i64)));
         assert!(build_plan(&g, &[0, 1]).is_err());
     }
 
@@ -903,7 +894,13 @@ mod tests {
         let LogicalPlan::Filter { input: agg, .. } = input.as_ref() else {
             panic!("expected HAVING filter, got {input:?}")
         };
-        let LogicalPlan::Aggregate { group, aggs, schema, .. } = agg.as_ref() else {
+        let LogicalPlan::Aggregate {
+            group,
+            aggs,
+            schema,
+            ..
+        } = agg.as_ref()
+        else {
             panic!()
         };
         assert_eq!(group.len(), 1);

@@ -65,10 +65,7 @@ fn render(plan: &LogicalPlan, depth: usize, out: &mut String) {
             render(right, depth + 1, out);
         }
         LogicalPlan::Aggregate {
-            input,
-            group,
-            aggs,
-            ..
+            input, group, aggs, ..
         } => {
             let names: Vec<_> = aggs.iter().map(|a| a.name.clone()).collect();
             let _ = writeln!(

@@ -1,8 +1,18 @@
-//! Signed tuple updates — the unit of incremental dataflow.
+//! Signed tuple updates — the unit of incremental dataflow — and the
+//! batches of them that move through the operator DAG.
+//!
+//! The engine is *batch-first*: wrappers hand the engine whole source
+//! batches, every operator processes a [`DeltaBatch`] per invocation, and
+//! retraction/insertion pairs that cancel inside a batch are consolidated
+//! away before they are propagated downstream. Tuples inside a batch are
+//! cheap to share: a [`Tuple`]'s value row is `Arc`-backed, so cloning a
+//! delta copies a pointer, not the row.
 
 use aspen_types::Tuple;
 
-/// An insertion (`sign = +1`) or retraction (`sign = -1`) of one tuple.
+/// An insertion (`sign > 0`) or retraction (`sign < 0`) of one tuple.
+/// `|sign| > 1` encodes multiplicity — a consolidated batch carries one
+/// delta per distinct tuple with the net count in `sign`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Delta {
     pub tuple: Tuple,
@@ -28,6 +38,155 @@ impl Delta {
             tuple: self.tuple.clone(),
             sign: -self.sign,
         }
+    }
+}
+
+/// An ordered batch of signed deltas — what operators exchange.
+///
+/// Order inside a batch is meaningful to stateful operators (a self-join
+/// sees earlier deltas of the same batch in its state), but any two
+/// batches with the same [consolidation](DeltaBatch::consolidate) are
+/// interchangeable one hop downstream: every operator is a multiset
+/// homomorphism.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaBatch {
+    deltas: Vec<Delta>,
+}
+
+impl DeltaBatch {
+    pub fn new() -> Self {
+        DeltaBatch::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        DeltaBatch {
+            deltas: Vec::with_capacity(n),
+        }
+    }
+
+    /// A batch inserting every tuple of a source batch, in order.
+    pub fn inserts<I: IntoIterator<Item = Tuple>>(tuples: I) -> Self {
+        DeltaBatch {
+            deltas: tuples.into_iter().map(Delta::insert).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    pub fn push(&mut self, delta: Delta) {
+        self.deltas.push(delta);
+    }
+
+    pub fn push_insert(&mut self, tuple: Tuple) {
+        self.deltas.push(Delta::insert(tuple));
+    }
+
+    pub fn push_retract(&mut self, tuple: Tuple) {
+        self.deltas.push(Delta::retract(tuple));
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Delta> {
+        self.deltas.iter()
+    }
+
+    pub fn as_slice(&self) -> &[Delta] {
+        &self.deltas
+    }
+
+    pub fn into_vec(self) -> Vec<Delta> {
+        self.deltas
+    }
+
+    pub fn clear(&mut self) {
+        self.deltas.clear();
+    }
+
+    /// Every delta with its sign flipped (order preserved).
+    pub fn negated(&self) -> DeltaBatch {
+        DeltaBatch {
+            deltas: self.deltas.iter().map(Delta::negate).collect(),
+        }
+    }
+
+    /// Net effect on a multiset: `(tuple, net_count)` with zero-net
+    /// entries removed, sorted by tuple values for determinism.
+    pub fn consolidate(&self) -> Vec<(Tuple, i64)> {
+        consolidate(&self.deltas)
+    }
+
+    /// The batch reduced to one delta per distinct tuple carrying the net
+    /// sign (at its first-occurrence position), with cancelled pairs
+    /// removed. This is what the pipeline propagates: downstream
+    /// operators then pay one invocation per net change instead of one
+    /// per raw delta.
+    ///
+    /// Consolidation preserves the multiset a batch denotes, but not the
+    /// per-delta arrival order of duplicates — so an aggregate's output
+    /// *timestamps* (taken from the last delta touching a group) may
+    /// differ between batch granularities. Result **values** are always
+    /// identical; see the batch/per-tuple equivalence property test.
+    pub fn consolidated(self) -> DeltaBatch {
+        if self.deltas.len() <= 1 {
+            return self;
+        }
+        let mut index: std::collections::HashMap<Tuple, usize> =
+            std::collections::HashMap::with_capacity(self.deltas.len());
+        let mut out: Vec<Delta> = Vec::with_capacity(self.deltas.len());
+        for d in self.deltas {
+            match index.entry(d.tuple.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    out[*e.get()].sign += d.sign;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(out.len());
+                    out.push(d);
+                }
+            }
+        }
+        out.retain(|d| d.sign != 0);
+        DeltaBatch { deltas: out }
+    }
+}
+
+impl From<Vec<Delta>> for DeltaBatch {
+    fn from(deltas: Vec<Delta>) -> Self {
+        DeltaBatch { deltas }
+    }
+}
+
+impl FromIterator<Delta> for DeltaBatch {
+    fn from_iter<I: IntoIterator<Item = Delta>>(iter: I) -> Self {
+        DeltaBatch {
+            deltas: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Delta> for DeltaBatch {
+    fn extend<I: IntoIterator<Item = Delta>>(&mut self, iter: I) {
+        self.deltas.extend(iter);
+    }
+}
+
+impl IntoIterator for DeltaBatch {
+    type Item = Delta;
+    type IntoIter = std::vec::IntoIter<Delta>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.deltas.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a DeltaBatch {
+    type Item = &'a Delta;
+    type IntoIter = std::slice::Iter<'a, Delta>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.deltas.iter()
     }
 }
 
@@ -81,5 +240,52 @@ mod tests {
         assert!(consolidate(&[]).is_empty());
         let ds = vec![Delta::insert(t(1)), Delta::retract(t(1))];
         assert!(consolidate(&ds).is_empty());
+    }
+
+    #[test]
+    fn batch_consolidated_merges_signs() {
+        let b: DeltaBatch = vec![
+            Delta::insert(t(3)),
+            Delta::insert(t(3)),
+            Delta::insert(t(1)),
+            Delta::retract(t(1)),
+        ]
+        .into();
+        let c = b.consolidated();
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.as_slice()[0],
+            Delta {
+                tuple: t(3),
+                sign: 2
+            }
+        );
+    }
+
+    #[test]
+    fn batch_inserts_and_negated() {
+        let b = DeltaBatch::inserts([t(1), t(2)]);
+        assert_eq!(b.len(), 2);
+        assert!(b.iter().all(Delta::is_insert));
+        let n = b.negated();
+        assert!(n.iter().all(|d| !d.is_insert()));
+        assert!(b
+            .consolidated()
+            .negated()
+            .consolidate()
+            .iter()
+            .all(|(_, c)| *c == -1));
+    }
+
+    #[test]
+    fn batch_collects_and_extends() {
+        let mut b: DeltaBatch = [Delta::insert(t(1))].into_iter().collect();
+        b.extend([Delta::retract(t(1))]);
+        b.push_insert(t(5));
+        b.push_retract(t(6));
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.clone().consolidated().len(), 2);
+        b.clear();
+        assert!(b.is_empty());
     }
 }

@@ -19,7 +19,7 @@ use std::hash::{Hash, Hasher};
 use aspen_sql::plan::LogicalPlan;
 use aspen_types::{Result, SimDuration, SourceId, Tuple, Value};
 
-use crate::delta::Delta;
+use crate::delta::{Delta, DeltaBatch};
 use crate::operators::{DeltaOp, JoinOp};
 use crate::pipeline::Pipeline;
 use crate::sink::Sink;
@@ -192,6 +192,26 @@ impl PartitionedJoin {
         self.workers[w].process(port, delta)
     }
 
+    /// Route a whole batch: deltas are scattered to their partitions and
+    /// each worker processes its share as one sub-batch. Output order is
+    /// per-worker, which is fine — cross-partition deltas never share a
+    /// key, so no consumer can observe the interleaving.
+    pub fn process_batch(&mut self, port: usize, batch: &DeltaBatch) -> Result<DeltaBatch> {
+        let mut shares: Vec<DeltaBatch> = vec![DeltaBatch::new(); self.workers.len()];
+        for delta in batch {
+            let w = self.worker_of(&delta.tuple, port == 0);
+            self.routed[w] += 1;
+            shares[w].push(delta.clone());
+        }
+        let mut out = DeltaBatch::new();
+        for (w, share) in shares.iter().enumerate() {
+            if !share.is_empty() {
+                out.extend(self.workers[w].process_batch(port, share)?);
+            }
+        }
+        Ok(out)
+    }
+
     /// Largest / smallest partition routing ratio (1.0 = perfectly even).
     pub fn skew(&self) -> f64 {
         let max = *self.routed.iter().max().unwrap_or(&0) as f64;
@@ -256,6 +276,32 @@ mod tests {
         assert_eq!(canon(mono_out), canon(part_out));
         // All routing went somewhere, and the counters add up.
         assert_eq!(part.routed.iter().sum::<u64>(), 30);
+    }
+
+    #[test]
+    fn partitioned_batch_matches_per_delta() {
+        let mut per_delta = PartitionedJoin::new(4, vec![(0, 0)]);
+        let mut batched = PartitionedJoin::new(4, vec![(0, 0)]);
+        let left: Vec<Delta> = (0..20i64).map(|k| Delta::insert(t(k % 5, k))).collect();
+        let right: Vec<Delta> = (0..10i64)
+            .map(|k| Delta::insert(t(k % 5, 100 + k)))
+            .collect();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for d in &left {
+            a.extend(per_delta.process(0, d).unwrap());
+        }
+        for d in &right {
+            a.extend(per_delta.process(1, d).unwrap());
+        }
+        b.extend(batched.process_batch(0, &DeltaBatch::from(left)).unwrap());
+        b.extend(batched.process_batch(1, &DeltaBatch::from(right)).unwrap());
+        let canon = |mut v: Vec<Delta>| {
+            v.sort_by(|x, y| x.tuple.values().cmp(y.tuple.values()));
+            v
+        };
+        assert_eq!(canon(a), canon(b.into_iter().collect()));
+        assert_eq!(per_delta.routed, batched.routed);
     }
 
     #[test]

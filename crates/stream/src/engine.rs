@@ -2,9 +2,12 @@
 //!
 //! A [`StreamEngine`] owns every continuous query and materialized
 //! recursive view on the PC side of ASPEN. Wrappers push source batches
-//! in; the engine routes them to query pipelines and to the views that
-//! read them, forwards view deltas to the queries that scan those views,
-//! and advances windows on heartbeats.
+//! in; a **routing index** (`SourceId` → subscriber lists, built at
+//! registration time) sends each batch only to the query pipelines and
+//! recursive views that actually scan that source — ingest cost scales
+//! with the *subscribers of the source*, not with the total number of
+//! registered queries. Heartbeats likewise touch only the pipelines
+//! whose windows react to time.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -15,9 +18,11 @@ use aspen_sql::plan::LogicalPlan;
 use aspen_sql::{bind, parse, BoundQuery};
 use aspen_types::{AspenError, QueryId, Result, SimTime, SourceId, Tuple};
 
+use crate::delta::DeltaBatch;
 use crate::pipeline::Pipeline;
 use crate::recursive::RecursiveView;
 use crate::sink::Sink;
+use crate::state::BagState;
 
 /// Handle to a registered continuous query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,9 +43,15 @@ pub struct StreamEngine {
     catalog: Arc<Catalog>,
     queries: Vec<QueryRuntime>,
     views: Vec<ViewRuntime>,
+    /// Routing index: source → queries whose pipelines scan it.
+    query_subs: HashMap<SourceId, Vec<usize>>,
+    /// Routing index: source → views that read it as a base relation.
+    view_subs: HashMap<SourceId, Vec<usize>>,
+    /// Queries whose windows react to the clock (heartbeat fan-out set).
+    clock_subs: Vec<usize>,
     /// Retained contents of Table sources so late-registered queries can
     /// replay them (streams are not replayed — standard semantics).
-    table_store: HashMap<SourceId, Vec<Tuple>>,
+    table_store: HashMap<SourceId, BagState>,
     now: SimTime,
 }
 
@@ -50,6 +61,9 @@ impl StreamEngine {
             catalog,
             queries: Vec::new(),
             views: Vec::new(),
+            query_subs: HashMap::new(),
+            view_subs: HashMap::new(),
+            clock_subs: Vec::new(),
             table_store: HashMap::new(),
             now: SimTime::ZERO,
         }
@@ -61,6 +75,12 @@ impl StreamEngine {
 
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Number of queries subscribed to a source (routing-index fan-out;
+    /// exposed for tests and the fan-out bench).
+    pub fn subscriber_count(&self, source: SourceId) -> usize {
+        self.query_subs.get(&source).map_or(0, Vec::len)
     }
 
     /// Compile and register a SQL statement. `SELECT` returns a query
@@ -82,11 +102,14 @@ impl StreamEngine {
         pipeline.start(&mut sink)?;
 
         // Replay retained table contents and current view materializations
-        // so the query starts consistent.
+        // so the query starts consistent. `Pipeline::sources()` is
+        // deduplicated: a source scanned under several aliases is
+        // replayed exactly once (push_source feeds every scan bound to
+        // it), so rows are not multiplied by the alias count.
         let sources = pipeline.sources();
-        for src in sources {
+        for &src in &sources {
             if let Some(rows) = self.table_store.get(&src) {
-                let rows = rows.clone();
+                let rows = rows.snapshot();
                 pipeline.push_source(src, &rows, &mut sink)?;
             }
             if let Some(vr) = self.views.iter().find(|v| v.out_source == src) {
@@ -95,8 +118,17 @@ impl StreamEngine {
             }
         }
 
+        // Wire the routing index before the query goes live.
+        let idx = self.queries.len();
+        for src in sources {
+            self.query_subs.entry(src).or_default().push(idx);
+        }
+        if pipeline.needs_clock() {
+            self.clock_subs.push(idx);
+        }
+
         self.queries.push(QueryRuntime { pipeline, sink });
-        Ok(QueryHandle(QueryId((self.queries.len() - 1) as u32)))
+        Ok(QueryHandle(QueryId(idx as u32)))
     }
 
     /// Materialize a bound view. Registers the view's output as a catalog
@@ -111,16 +143,17 @@ impl StreamEngine {
         let mut view = RecursiveView::new(bound)?;
 
         // Seed the view from any already-retained table contents.
-        let mut emitted = Vec::new();
+        let mut emitted = DeltaBatch::new();
         for src in view.base_sources() {
             if let Some(rows) = self.table_store.get(&src) {
-                let deltas: Vec<crate::delta::Delta> = rows
-                    .iter()
-                    .cloned()
-                    .map(crate::delta::Delta::insert)
-                    .collect();
+                let deltas = DeltaBatch::inserts(rows.snapshot());
                 emitted.extend(view.on_base_deltas(src, &deltas)?);
             }
+        }
+
+        let idx = self.views.len();
+        for src in view.base_sources() {
+            self.view_subs.entry(src).or_default().push(idx);
         }
         self.views.push(ViewRuntime { view, out_source });
         if !emitted.is_empty() {
@@ -129,8 +162,9 @@ impl StreamEngine {
         Ok(out_source)
     }
 
-    /// Ingest a batch of tuples for a named source. Routes to query
-    /// pipelines and to recursive views, then forwards any view deltas.
+    /// Ingest a batch of tuples for a named source. The routing index
+    /// fans it out to exactly the subscribing query pipelines and
+    /// recursive views, then forwards any view deltas the same way.
     pub fn on_batch(&mut self, source_name: &str, tuples: &[Tuple]) -> Result<()> {
         let meta = self.catalog.source(source_name)?;
         let src = meta.id;
@@ -141,52 +175,53 @@ impl StreamEngine {
         }
         // Retain table contents for replay.
         if matches!(meta.kind, SourceKind::Table) {
-            self.table_store
-                .entry(src)
-                .or_default()
-                .extend(tuples.iter().cloned());
+            self.table_store.entry(src).or_default().insert_all(tuples);
         }
         // Queries scanning this source directly.
-        for q in &mut self.queries {
-            q.pipeline.push_source(src, tuples, &mut q.sink)?;
+        if let Some(subs) = self.query_subs.get(&src) {
+            for &i in subs {
+                let q = &mut self.queries[i];
+                q.pipeline.push_source(src, tuples, &mut q.sink)?;
+            }
         }
-        // Views reading this source.
-        let deltas: Vec<crate::delta::Delta> = tuples
-            .iter()
-            .cloned()
-            .map(crate::delta::Delta::insert)
-            .collect();
-        self.apply_base_deltas(src, &deltas)
+        // Views reading this source (skip building the delta batch when
+        // no view subscribes).
+        if self.view_subs.contains_key(&src) {
+            let deltas = DeltaBatch::inserts(tuples.iter().cloned());
+            self.apply_base_deltas(src, &deltas)?;
+        }
+        Ok(())
     }
 
     /// Ingest signed changes for a source (e.g. a table update/delete).
-    pub fn on_deltas(&mut self, source_name: &str, deltas: &[crate::delta::Delta]) -> Result<()> {
+    pub fn on_deltas(&mut self, source_name: &str, deltas: &DeltaBatch) -> Result<()> {
         let meta = self.catalog.source(source_name)?;
         let src = meta.id;
         if matches!(meta.kind, SourceKind::Table) {
-            let store = self.table_store.entry(src).or_default();
-            for d in deltas {
-                if d.sign > 0 {
-                    store.push(d.tuple.clone());
-                } else if let Some(pos) = store.iter().position(|t| *t == d.tuple) {
-                    store.swap_remove(pos);
-                }
+            self.table_store.entry(src).or_default().apply(deltas);
+        }
+        if let Some(subs) = self.query_subs.get(&src) {
+            for &i in subs {
+                let q = &mut self.queries[i];
+                q.pipeline.push_deltas(src, deltas, &mut q.sink)?;
             }
         }
-        for q in &mut self.queries {
-            q.pipeline.push_deltas(src, deltas, &mut q.sink)?;
+        if self.view_subs.contains_key(&src) {
+            self.apply_base_deltas(src, deltas)?;
         }
-        self.apply_base_deltas(src, deltas)
+        Ok(())
     }
 
-    fn apply_base_deltas(&mut self, src: SourceId, deltas: &[crate::delta::Delta]) -> Result<()> {
-        let mut forwarded: Vec<(SourceId, Vec<crate::delta::Delta>)> = Vec::new();
-        for vr in &mut self.views {
-            if vr.view.reads(src) {
-                let out = vr.view.on_base_deltas(src, deltas)?;
-                if !out.is_empty() {
-                    forwarded.push((vr.out_source, out));
-                }
+    fn apply_base_deltas(&mut self, src: SourceId, deltas: &DeltaBatch) -> Result<()> {
+        let Some(view_idxs) = self.view_subs.get(&src) else {
+            return Ok(());
+        };
+        let mut forwarded: Vec<(SourceId, DeltaBatch)> = Vec::new();
+        for &i in view_idxs {
+            let vr = &mut self.views[i];
+            let out = vr.view.on_base_deltas(src, deltas)?;
+            if !out.is_empty() {
+                forwarded.push((vr.out_source, out));
             }
         }
         for (out_src, out) in forwarded {
@@ -195,23 +230,26 @@ impl StreamEngine {
         Ok(())
     }
 
-    fn forward_view_deltas(
-        &mut self,
-        view_source: SourceId,
-        deltas: &[crate::delta::Delta],
-    ) -> Result<()> {
-        for q in &mut self.queries {
+    fn forward_view_deltas(&mut self, view_source: SourceId, deltas: &DeltaBatch) -> Result<()> {
+        let Some(subs) = self.query_subs.get(&view_source) else {
+            return Ok(());
+        };
+        for &i in subs {
+            let q = &mut self.queries[i];
             q.pipeline.push_deltas(view_source, deltas, &mut q.sink)?;
         }
         Ok(())
     }
 
-    /// Advance simulated time: expire windows everywhere.
+    /// Advance simulated time: expire windows in every clock-sensitive
+    /// pipeline (pipelines over unbounded / row-count windows are never
+    /// touched).
     pub fn heartbeat(&mut self, now: SimTime) -> Result<()> {
         if now > self.now {
             self.now = now;
         }
-        for q in &mut self.queries {
+        for &i in &self.clock_subs {
+            let q = &mut self.queries[i];
             q.pipeline.advance_time(now, &mut q.sink)?;
         }
         Ok(())
@@ -271,6 +309,7 @@ impl StreamEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::delta::Delta;
     use aspen_catalog::{DeviceClass, SourceKind, SourceStats};
     use aspen_types::{DataType, Field, Schema, SimDuration, Value};
 
@@ -340,13 +379,17 @@ mod tests {
             .register_sql("select r.dst from Reach r where r.src = 'a'")
             .unwrap()
             .unwrap();
-        e.on_batch("Edge", &[edge("a", "b"), edge("b", "c")]).unwrap();
+        e.on_batch("Edge", &[edge("a", "b"), edge("b", "c")])
+            .unwrap();
         let snap = e.snapshot(q).unwrap();
         let dsts: Vec<_> = snap.iter().map(|t| t.get(0).clone()).collect();
         assert_eq!(dsts, vec![Value::Text("b".into()), Value::Text("c".into())]);
         // Delete the b→c edge: a→c must retract downstream too.
-        e.on_deltas("Edge", &[crate::delta::Delta::retract(edge("b", "c"))])
-            .unwrap();
+        e.on_deltas(
+            "Edge",
+            &DeltaBatch::from(vec![Delta::retract(edge("b", "c"))]),
+        )
+        .unwrap();
         let snap = e.snapshot(q).unwrap();
         assert_eq!(snap.len(), 1);
     }
@@ -361,7 +404,8 @@ mod tests {
                select r.src, e.dst from Reach r, Edge e where r.dst = e.src )",
         )
         .unwrap();
-        e.on_batch("Edge", &[edge("a", "b"), edge("b", "c")]).unwrap();
+        e.on_batch("Edge", &[edge("a", "b"), edge("b", "c")])
+            .unwrap();
         // Register AFTER the data arrived.
         let q = e
             .register_sql("select r.src, r.dst from Reach r")
@@ -373,9 +417,56 @@ mod tests {
     }
 
     #[test]
+    fn late_self_join_query_replays_table_once() {
+        // `Edge` is scanned under TWO aliases; the retained rows must be
+        // replayed once per source, not once per alias — otherwise every
+        // row appears squared.
+        let mut e = engine();
+        e.on_batch("Edge", &[edge("a", "b"), edge("b", "c")])
+            .unwrap();
+        let q = e
+            .register_sql("select x.src, y.dst from Edge x, Edge y where x.dst = y.src")
+            .unwrap()
+            .unwrap();
+        // Exactly one path a→b→c.
+        let snap = e.snapshot(q).unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(
+            snap[0].values(),
+            &[Value::Text("a".into()), Value::Text("c".into())]
+        );
+    }
+
+    #[test]
+    fn late_rows_window_query_replays_in_arrival_order() {
+        // A ROWS window is order-sensitive: a query registered after the
+        // data arrived must retain the same (latest-arrived) rows as one
+        // that was live during ingestion.
+        let mut live = engine();
+        let mut late = engine();
+        let rows = [edge("x9", "a"), edge("x1", "b"), edge("x2", "c")];
+        let sql = "select e.src from Edge e [rows 2]";
+        let q_live = live.register_sql(sql).unwrap().unwrap();
+        live.on_batch("Edge", &rows).unwrap();
+        late.on_batch("Edge", &rows).unwrap();
+        let q_late = late.register_sql(sql).unwrap().unwrap();
+        let srcs =
+            |snap: Vec<Tuple>| -> Vec<Value> { snap.iter().map(|t| t.get(0).clone()).collect() };
+        assert_eq!(
+            srcs(live.snapshot(q_live).unwrap()),
+            srcs(late.snapshot(q_late).unwrap())
+        );
+        assert_eq!(
+            srcs(late.snapshot(q_late).unwrap()),
+            vec![Value::Text("x1".into()), Value::Text("x2".into())]
+        );
+    }
+
+    #[test]
     fn view_registered_after_table_data_seeds_itself() {
         let mut e = engine();
-        e.on_batch("Edge", &[edge("a", "b"), edge("b", "c")]).unwrap();
+        e.on_batch("Edge", &[edge("a", "b"), edge("b", "c")])
+            .unwrap();
         e.register_sql(
             "create recursive view Reach as ( \
                select e.src, e.dst from Edge e \
@@ -405,6 +496,25 @@ mod tests {
         assert_eq!(views.len(), 1);
         assert_eq!(views[0].len(), 1);
         assert!(e.display_snapshot("nowhere").unwrap().is_empty());
+    }
+
+    #[test]
+    fn routing_index_tracks_subscribers() {
+        let mut e = engine();
+        let temps_id = e.catalog().source("Temps").unwrap().id;
+        let edge_id = e.catalog().source("Edge").unwrap().id;
+        assert_eq!(e.subscriber_count(temps_id), 0);
+        e.register_sql("select t.desk from Temps t").unwrap();
+        e.register_sql("select t.temp from Temps t").unwrap();
+        e.register_sql("select e.src from Edge e").unwrap();
+        assert_eq!(e.subscriber_count(temps_id), 2);
+        assert_eq!(e.subscriber_count(edge_id), 1);
+        // Batches to Edge must not grow Temps queries' cost counters.
+        let before = e.total_ops_invoked();
+        e.on_batch("Edge", &[edge("a", "b")]).unwrap();
+        let after = e.total_ops_invoked();
+        // Only the Edge query (one Project node) ran.
+        assert_eq!(after - before, 1);
     }
 
     #[test]

@@ -1,27 +1,43 @@
-//! Incremental relational operators.
+//! Incremental relational operators — batch-first.
 //!
-//! Every operator is a pure processor of signed deltas over private
-//! multiset state. Retractions follow exactly the same code path as
-//! insertions with the sign flipped — that symmetry is what makes window
-//! expiry and recursive-view deletion compose for free.
+//! Every operator is a pure processor of signed delta *batches* over
+//! private multiset state. Retractions follow exactly the same code path
+//! as insertions with the sign flipped — that symmetry is what makes
+//! window expiry and recursive-view deletion compose for free. Batch
+//! processing amortizes per-invocation overhead (virtual dispatch, output
+//! allocation, group lookups): an aggregate touched by a thousand-delta
+//! batch emits one retract/insert pair per *group*, not per delta.
 
 use std::collections::HashMap;
 
 use aspen_sql::expr::{AggAccumulator, BoundAgg, BoundExpr};
 use aspen_types::{Result, SimTime, Tuple, Value};
 
-use crate::delta::Delta;
+use crate::delta::{Delta, DeltaBatch};
 use crate::state::KeyedState;
 
-/// A delta processor. `port` distinguishes the inputs of binary
+/// A delta-batch processor. `port` distinguishes the inputs of binary
 /// operators (0 = left, 1 = right).
 pub trait DeltaOp: std::fmt::Debug {
-    fn process(&mut self, port: usize, delta: &Delta) -> Result<Vec<Delta>>;
+    /// Process one batch arriving on `port`; returns the output batch.
+    /// Deltas must be applied in batch order (stateful operators see
+    /// earlier deltas of the same batch in their state).
+    fn process_batch(&mut self, port: usize, batch: &DeltaBatch) -> Result<DeltaBatch>;
 
     /// Deltas to emit when the pipeline starts (global aggregates emit
     /// their empty-input row here).
-    fn initial(&mut self) -> Vec<Delta> {
-        vec![]
+    fn initial(&mut self) -> DeltaBatch {
+        DeltaBatch::new()
+    }
+
+    /// Single-delta convenience over [`DeltaOp::process_batch`], for
+    /// tests and callers that genuinely have one delta in hand.
+    fn process(&mut self, port: usize, delta: &Delta) -> Result<Vec<Delta>>
+    where
+        Self: Sized,
+    {
+        let batch = DeltaBatch::from(vec![delta.clone()]);
+        Ok(self.process_batch(port, &batch)?.into_vec())
     }
 }
 
@@ -34,12 +50,14 @@ pub struct FilterOp {
 }
 
 impl DeltaOp for FilterOp {
-    fn process(&mut self, _port: usize, delta: &Delta) -> Result<Vec<Delta>> {
-        Ok(if self.predicate.eval_bool(&delta.tuple)? {
-            vec![delta.clone()]
-        } else {
-            vec![]
-        })
+    fn process_batch(&mut self, _port: usize, batch: &DeltaBatch) -> Result<DeltaBatch> {
+        let mut out = DeltaBatch::with_capacity(batch.len());
+        for d in batch {
+            if self.predicate.eval_bool(&d.tuple)? {
+                out.push(d.clone());
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -52,15 +70,19 @@ pub struct ProjectOp {
 }
 
 impl DeltaOp for ProjectOp {
-    fn process(&mut self, _port: usize, delta: &Delta) -> Result<Vec<Delta>> {
-        let mut vals = Vec::with_capacity(self.exprs.len());
-        for e in &self.exprs {
-            vals.push(e.eval(&delta.tuple)?);
+    fn process_batch(&mut self, _port: usize, batch: &DeltaBatch) -> Result<DeltaBatch> {
+        let mut out = DeltaBatch::with_capacity(batch.len());
+        for d in batch {
+            let mut vals = Vec::with_capacity(self.exprs.len());
+            for e in &self.exprs {
+                vals.push(e.eval(&d.tuple)?);
+            }
+            out.push(Delta {
+                tuple: Tuple::new(vals, d.tuple.timestamp()),
+                sign: d.sign,
+            });
         }
-        Ok(vec![Delta {
-            tuple: Tuple::new(vals, delta.tuple.timestamp()),
-            sign: delta.sign,
-        }])
+        Ok(out)
     }
 }
 
@@ -104,33 +126,35 @@ impl JoinOp {
 }
 
 impl DeltaOp for JoinOp {
-    fn process(&mut self, port: usize, delta: &Delta) -> Result<Vec<Delta>> {
+    fn process_batch(&mut self, port: usize, batch: &DeltaBatch) -> Result<DeltaBatch> {
         let is_left = port == 0;
-        let key = self.key_of(&delta.tuple, is_left);
-        // Update own side's state first so self-joins on the same batch
-        // behave like set-at-a-time semantics.
-        if is_left {
-            self.left.update(key.clone(), &delta.tuple, delta.sign);
-        } else {
-            self.right.update(key.clone(), &delta.tuple, delta.sign);
-        }
-        let other = if is_left { &self.right } else { &self.left };
-        let mut out = Vec::new();
-        for (match_tuple, mult) in other.get(&key) {
-            let joined = if is_left {
-                delta.tuple.join(match_tuple)
+        let mut out = DeltaBatch::with_capacity(batch.len());
+        for delta in batch {
+            let key = self.key_of(&delta.tuple, is_left);
+            // Update own side's state first so self-joins on the same
+            // batch behave like set-at-a-time semantics.
+            if is_left {
+                self.left.update(key.clone(), &delta.tuple, delta.sign);
             } else {
-                match_tuple.join(&delta.tuple)
-            };
-            if let Some(residual) = &self.residual {
-                if !residual.eval_bool(&joined)? {
-                    continue;
-                }
+                self.right.update(key.clone(), &delta.tuple, delta.sign);
             }
-            out.push(Delta {
-                tuple: joined,
-                sign: delta.sign * mult,
-            });
+            let other = if is_left { &self.right } else { &self.left };
+            for (match_tuple, mult) in other.get(&key) {
+                let joined = if is_left {
+                    delta.tuple.join(match_tuple)
+                } else {
+                    match_tuple.join(&delta.tuple)
+                };
+                if let Some(residual) = &self.residual {
+                    if !residual.eval_bool(&joined)? {
+                        continue;
+                    }
+                }
+                out.push(Delta {
+                    tuple: joined,
+                    sign: delta.sign * mult,
+                });
+            }
         }
         Ok(out)
     }
@@ -138,8 +162,10 @@ impl DeltaOp for JoinOp {
 
 // ---------------------------------------------------------------------------
 
-/// Grouped aggregation with full retraction support. Each group change
-/// retracts the group's previous output row and inserts the new one.
+/// Grouped aggregation with full retraction support. Per batch, every
+/// touched group retracts its previous output row and inserts the new
+/// one — intermediate states that only existed mid-batch are never
+/// emitted, which is the batch path's consolidation win.
 #[derive(Debug)]
 pub struct AggregateOp {
     pub group: Vec<BoundExpr>,
@@ -171,9 +197,7 @@ impl AggregateOp {
     fn fresh_accs(&self) -> Vec<AggAccumulator> {
         self.aggs
             .iter()
-            .map(|a| {
-                AggAccumulator::new(a.func, a.arg.as_ref().and_then(BoundExpr::data_type))
-            })
+            .map(|a| AggAccumulator::new(a.func, a.arg.as_ref().and_then(BoundExpr::data_type)))
             .collect()
     }
 
@@ -191,58 +215,111 @@ impl AggregateOp {
     }
 }
 
+/// Per-batch bookkeeping for one touched group: the key, its output row
+/// as of *before* the batch, and the timestamp of the last delta that
+/// hit it (which times its new output row).
+struct Touch {
+    key: Vec<Value>,
+    prev_output: Option<Tuple>,
+    last_ts: SimTime,
+}
+
 impl DeltaOp for AggregateOp {
-    fn process(&mut self, _port: usize, delta: &Delta) -> Result<Vec<Delta>> {
-        let mut key = Vec::with_capacity(self.group.len());
-        for g in &self.group {
-            key.push(g.eval(&delta.tuple)?);
-        }
-        let fresh = self.fresh_accs();
-        let state = self.groups.entry(key.clone()).or_insert_with(|| GroupState {
-            accs: fresh,
-            weight: 0,
-            last_output: None,
-        });
+    fn process_batch(&mut self, _port: usize, batch: &DeltaBatch) -> Result<DeltaBatch> {
+        let is_global = self.group.is_empty();
+        // Pass 1: apply every delta to its group's accumulators, tracking
+        // touched groups in first-touch order. A non-global group whose
+        // weight drops to zero or below is dropped *immediately* — exactly
+        // as single-delta delivery would — so a later delta in the same
+        // batch rebuilds it from fresh accumulators rather than reviving
+        // a poisoned one (negative weights arise from out-of-order
+        // retractions and must not leak accumulator state).
+        let mut touched: Vec<Touch> = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for delta in batch {
+            let mut key = Vec::with_capacity(self.group.len());
+            for g in &self.group {
+                key.push(g.eval(&delta.tuple)?);
+            }
+            let fresh = self.fresh_accs();
+            let state = self
+                .groups
+                .entry(key.clone())
+                .or_insert_with(|| GroupState {
+                    accs: fresh,
+                    weight: 0,
+                    last_output: None,
+                });
 
-        let mut out = Vec::new();
-        if let Some(prev) = state.last_output.take() {
-            out.push(Delta::retract(prev));
-        }
+            let slot = match index.entry(key) {
+                std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let slot = touched.len();
+                    touched.push(Touch {
+                        key: v.key().clone(),
+                        prev_output: state.last_output.clone(),
+                        last_ts: SimTime::ZERO,
+                    });
+                    v.insert(slot);
+                    slot
+                }
+            };
+            touched[slot].last_ts = delta.tuple.timestamp();
 
-        // Apply |sign| repetitions of the update.
-        let reps = delta.sign.unsigned_abs();
-        for _ in 0..reps {
-            for (acc, spec) in state.accs.iter_mut().zip(&self.aggs) {
-                let v = match &spec.arg {
-                    Some(e) => e.eval(&delta.tuple)?,
-                    // COUNT(*): count every row regardless of content.
-                    None => Value::Int(1),
-                };
-                if delta.sign > 0 {
-                    acc.insert(&v)?;
-                } else {
-                    acc.retract(&v)?;
+            // Apply |sign| repetitions of the update.
+            let reps = delta.sign.unsigned_abs();
+            for _ in 0..reps {
+                for (acc, spec) in state.accs.iter_mut().zip(&self.aggs) {
+                    let v = match &spec.arg {
+                        Some(e) => e.eval(&delta.tuple)?,
+                        // COUNT(*): count every row regardless of content.
+                        None => Value::Int(1),
+                    };
+                    if delta.sign > 0 {
+                        acc.insert(&v)?;
+                    } else {
+                        acc.retract(&v)?;
+                    }
                 }
             }
+            state.weight += delta.sign;
+            let dead = !is_global && state.weight <= 0;
+            if dead {
+                self.groups.remove(&touched[slot].key);
+            }
         }
-        state.weight += delta.sign;
 
-        let is_global = self.group.is_empty();
-        if state.weight > 0 || is_global {
-            let tuple =
-                Self::output_tuple(&key, &state.accs, &self.aggs, delta.tuple.timestamp());
-            state.last_output = Some(tuple.clone());
-            out.push(Delta::insert(tuple));
-        } else {
-            // Group became empty: drop its state entirely.
-            self.groups.remove(&key);
+        // Pass 2: one retract/insert pair per touched group, diffing the
+        // group's final state against its pre-batch output row.
+        let mut out = DeltaBatch::with_capacity(touched.len() * 2);
+        for touch in touched {
+            match self.groups.get_mut(&touch.key) {
+                Some(state) if state.weight > 0 || is_global => {
+                    let tuple =
+                        Self::output_tuple(&touch.key, &state.accs, &self.aggs, touch.last_ts);
+                    if touch.prev_output.as_ref() != Some(&tuple) {
+                        if let Some(prev) = touch.prev_output {
+                            out.push_retract(prev);
+                        }
+                        out.push_insert(tuple.clone());
+                    }
+                    state.last_output = Some(tuple);
+                }
+                // Group died during the batch (and was not rebuilt):
+                // retract whatever it showed before the batch.
+                _ => {
+                    if let Some(prev) = touch.prev_output {
+                        out.push_retract(prev);
+                    }
+                }
+            }
         }
         Ok(out)
     }
 
-    fn initial(&mut self) -> Vec<Delta> {
+    fn initial(&mut self) -> DeltaBatch {
         if !self.group.is_empty() {
-            return vec![];
+            return DeltaBatch::new();
         }
         // Global aggregate over an empty stream still has one row
         // (COUNT = 0, SUM = NULL, ...), emitted at time zero.
@@ -256,7 +333,7 @@ impl DeltaOp for AggregateOp {
                 last_output: Some(tuple.clone()),
             },
         );
-        vec![Delta::insert(tuple)]
+        DeltaBatch::from(vec![Delta::insert(tuple)])
     }
 }
 
@@ -267,8 +344,8 @@ impl DeltaOp for AggregateOp {
 pub struct UnionOp;
 
 impl DeltaOp for UnionOp {
-    fn process(&mut self, _port: usize, delta: &Delta) -> Result<Vec<Delta>> {
-        Ok(vec![delta.clone()])
+    fn process_batch(&mut self, _port: usize, batch: &DeltaBatch) -> Result<DeltaBatch> {
+        Ok(batch.clone())
     }
 }
 
@@ -301,6 +378,22 @@ mod tests {
     }
 
     #[test]
+    fn filter_batch_keeps_only_matches() {
+        let mut f = FilterOp {
+            predicate: BoundExpr::Cmp {
+                op: aspen_sql::ast::CmpOp::Gt,
+                left: Box::new(BoundExpr::col(0, DataType::Int)),
+                right: Box::new(BoundExpr::Lit(Value::Int(5))),
+            },
+        };
+        let batch: DeltaBatch = (0..10i64)
+            .map(|v| Delta::insert(t(vec![Value::Int(v)], 0)))
+            .collect();
+        let out = f.process_batch(0, &batch).unwrap();
+        assert_eq!(out.len(), 4); // 6, 7, 8, 9
+    }
+
+    #[test]
     fn project_maps_values() {
         let mut p = ProjectOp {
             exprs: vec![
@@ -310,7 +403,10 @@ mod tests {
         };
         let d = Delta::insert(t(vec![Value::Int(1), Value::Int(2)], 9));
         let out = p.process(0, &d).unwrap();
-        assert_eq!(out[0].tuple.values(), &[Value::Int(2), Value::Text("x".into())]);
+        assert_eq!(
+            out[0].tuple.values(),
+            &[Value::Int(2), Value::Text("x".into())]
+        );
         assert_eq!(out[0].tuple.timestamp(), SimTime::from_micros(9));
     }
 
@@ -353,6 +449,22 @@ mod tests {
     }
 
     #[test]
+    fn join_batch_sees_own_batch_prefix() {
+        // Both sides of a self-joinable batch arrive as one batch per
+        // port; the left deltas must already be in state when the right
+        // side of the same push probes.
+        let mut j = JoinOp::new(vec![(0, 0)], None);
+        let left: DeltaBatch = DeltaBatch::inserts([
+            t(vec![Value::Int(1), Value::Int(10)], 0),
+            t(vec![Value::Int(1), Value::Int(11)], 0),
+        ]);
+        assert!(j.process_batch(0, &left).unwrap().is_empty());
+        let right = DeltaBatch::inserts([t(vec![Value::Int(1), Value::Int(20)], 1)]);
+        let out = j.process_batch(1, &right).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
     fn join_residual_prunes() {
         // join on key, but require left col1 < right col1
         let residual = BoundExpr::Cmp {
@@ -376,8 +488,10 @@ mod tests {
     #[test]
     fn cross_join_without_keys() {
         let mut j = JoinOp::new(vec![], None);
-        j.process(0, &Delta::insert(t(vec![Value::Int(1)], 0))).unwrap();
-        j.process(0, &Delta::insert(t(vec![Value::Int(2)], 0))).unwrap();
+        j.process(0, &Delta::insert(t(vec![Value::Int(1)], 0)))
+            .unwrap();
+        j.process(0, &Delta::insert(t(vec![Value::Int(2)], 0)))
+            .unwrap();
         let out = j
             .process(1, &Delta::insert(t(vec![Value::Int(9)], 1)))
             .unwrap();
@@ -423,6 +537,97 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_batch_emits_one_pair_per_group() {
+        let mut a = avg_agg();
+        // 100 readings across two rooms arrive as ONE batch: output is
+        // one insert per group, not 100 retract/insert pairs.
+        let batch: DeltaBatch = (0..100i64)
+            .map(|i| {
+                let room = if i % 2 == 0 { "lab1" } else { "lab2" };
+                Delta::insert(t(
+                    vec![Value::Text(room.into()), Value::Float(i as f64)],
+                    i as u64,
+                ))
+            })
+            .collect();
+        let out = a.process_batch(0, &batch).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(Delta::is_insert));
+        assert_eq!(a.group_count(), 2);
+
+        // A follow-up batch touching one group: retract + insert for it only.
+        let out = a
+            .process_batch(
+                0,
+                &DeltaBatch::inserts([t(
+                    vec![Value::Text("lab1".into()), Value::Float(1000.0)],
+                    200,
+                )]),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.as_slice()[0].sign, -1);
+        assert_eq!(out.as_slice()[1].sign, 1);
+    }
+
+    #[test]
+    fn aggregate_batch_cancelling_deltas_emit_nothing() {
+        let mut a = avg_agg();
+        let row = t(vec![Value::Text("lab1".into()), Value::Float(10.0)], 1);
+        a.process(0, &Delta::insert(row.clone())).unwrap();
+        // Insert + retract of the same reading inside one batch leaves
+        // the group's aggregate untouched → no output deltas at all.
+        // (Same timestamp as the live reading: the output row's timestamp
+        // tracks the last delta touching the group, and tuple equality
+        // includes it.)
+        let batch: DeltaBatch = vec![
+            Delta::insert(t(vec![Value::Text("lab1".into()), Value::Float(30.0)], 1)),
+            Delta::retract(t(vec![Value::Text("lab1".into()), Value::Float(30.0)], 1)),
+        ]
+        .into();
+        let out = a.process_batch(0, &batch).unwrap();
+        assert!(out.is_empty(), "got {out:?}");
+    }
+
+    #[test]
+    fn aggregate_batch_negative_weight_group_resets_like_per_tuple() {
+        // An out-of-order retraction drives a group's weight negative;
+        // per-tuple delivery drops the group (poisoned accumulators and
+        // all) and the following inserts rebuild it fresh. The batch path
+        // must do the same, not keep accumulating on the poisoned state.
+        fn sum_agg() -> AggregateOp {
+            AggregateOp::new(
+                vec![BoundExpr::col(0, DataType::Text)],
+                vec![BoundAgg {
+                    func: AggFunc::Sum,
+                    arg: Some(BoundExpr::col(1, DataType::Float)),
+                    name: "SUM(v)".into(),
+                }],
+            )
+        }
+        let row = |v: f64| t(vec![Value::Text("g".into()), Value::Float(v)], 1);
+        let deltas = vec![
+            Delta::retract(row(10.0)),
+            Delta::insert(row(1.0)),
+            Delta::insert(row(2.0)),
+        ];
+
+        let mut per_tuple = sum_agg();
+        let mut per_tuple_out = Vec::new();
+        for d in &deltas {
+            per_tuple_out.extend(per_tuple.process(0, d).unwrap());
+        }
+        let mut batched = sum_agg();
+        let batched_out = batched.process_batch(0, &DeltaBatch::from(deltas)).unwrap();
+
+        let net = |ds: &[Delta]| crate::delta::consolidate(ds);
+        assert_eq!(net(&per_tuple_out), net(batched_out.as_slice()));
+        let final_rows = net(batched_out.as_slice());
+        assert_eq!(final_rows.len(), 1);
+        assert_eq!(final_rows[0].0.values()[1], Value::Float(3.0));
+    }
+
+    #[test]
     fn global_aggregate_emits_empty_row_initially() {
         let mut a = AggregateOp::new(
             vec![],
@@ -434,7 +639,7 @@ mod tests {
         );
         let init = a.initial();
         assert_eq!(init.len(), 1);
-        assert_eq!(init[0].tuple.values(), &[Value::Int(0)]);
+        assert_eq!(init.as_slice()[0].tuple.values(), &[Value::Int(0)]);
         let out = a
             .process(0, &Delta::insert(t(vec![Value::Int(5)], 1)))
             .unwrap();

@@ -10,7 +10,7 @@ use aspen_sql::expr::BoundExpr;
 use aspen_sql::plan::LogicalPlan;
 use aspen_types::{AspenError, Result, SchemaRef, SimTime, SourceId, Tuple};
 
-use crate::delta::Delta;
+use crate::delta::DeltaBatch;
 use crate::operators::{AggregateOp, DeltaOp, FilterOp, JoinOp, ProjectOp, UnionOp};
 use crate::sink::Sink;
 use crate::window::WindowOp;
@@ -114,10 +114,21 @@ impl Pipeline {
         )
     }
 
-    /// Source ids scanned by this pipeline (with duplicates if a source
-    /// appears under several aliases).
+    /// Distinct source ids scanned by this pipeline. A source scanned
+    /// under several aliases appears once: `push_source` already feeds
+    /// every scan bound to it, so callers replaying retained data must
+    /// push per *source*, not per scan.
     pub fn sources(&self) -> Vec<SourceId> {
-        self.scans.iter().map(|s| s.source).collect()
+        let mut out: Vec<SourceId> = self.scans.iter().map(|s| s.source).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether any scan's window reacts to the passage of time. The
+    /// engine skips heartbeats for pipelines that don't.
+    pub fn needs_clock(&self) -> bool {
+        self.scans.iter().any(|s| s.window.needs_clock())
     }
 
     fn build(&mut self, plan: &LogicalPlan, parent: Attach) -> Result<()> {
@@ -208,7 +219,7 @@ impl Pipeline {
     }
 
     /// Feed newly arrived tuples from `source` through every scan bound
-    /// to it.
+    /// to it, as one batch per scan.
     pub fn push_source(
         &mut self,
         source: SourceId,
@@ -219,22 +230,21 @@ impl Pipeline {
             if self.scans[i].source != source {
                 continue;
             }
-            let mut deltas = Vec::new();
-            for t in tuples {
-                self.scans[i].window.insert(t.clone(), &mut deltas);
-            }
+            let mut batch = DeltaBatch::with_capacity(tuples.len());
+            self.scans[i].window.insert_batch(tuples, &mut batch);
             let attach = self.scans[i].attach;
-            self.propagate(attach, deltas, sink)?;
+            self.propagate(attach, batch, sink)?;
         }
         Ok(())
     }
 
-    /// Feed signed deltas (view maintenance output) from `source`.
-    /// Retractions bypass window buffering — view sources are unbounded.
+    /// Feed a signed batch (view maintenance output, table updates) from
+    /// `source`. Retractions bypass window buffering — view sources are
+    /// unbounded.
     pub fn push_deltas(
         &mut self,
         source: SourceId,
-        deltas: &[Delta],
+        deltas: &DeltaBatch,
         sink: &mut Sink,
     ) -> Result<()> {
         for i in 0..self.scans.len() {
@@ -242,7 +252,7 @@ impl Pipeline {
                 continue;
             }
             let attach = self.scans[i].attach;
-            self.propagate(attach, deltas.to_vec(), sink)?;
+            self.propagate(attach, deltas.clone(), sink)?;
         }
         Ok(())
     }
@@ -250,34 +260,40 @@ impl Pipeline {
     /// Advance the clock: expire windows and propagate retractions.
     pub fn advance_time(&mut self, now: SimTime, sink: &mut Sink) -> Result<()> {
         for i in 0..self.scans.len() {
-            let mut deltas = Vec::new();
-            self.scans[i].window.advance(now, &mut deltas);
-            if !deltas.is_empty() {
+            let mut batch = DeltaBatch::new();
+            self.scans[i].window.advance(now, &mut batch);
+            if !batch.is_empty() {
                 let attach = self.scans[i].attach;
-                self.propagate(attach, deltas, sink)?;
+                self.propagate(attach, batch, sink)?;
             }
         }
         Ok(())
     }
 
-    fn propagate(&mut self, start: Attach, mut deltas: Vec<Delta>, sink: &mut Sink) -> Result<()> {
+    /// Move one batch up the operator chain from `start` to the sink.
+    ///
+    /// The batch is consolidated on entry — insert/retract pairs that
+    /// cancel within a push (e.g. a tuple that arrives and is evicted by
+    /// the same window rollover) never touch an operator — and every
+    /// operator invocation processes the whole surviving batch at once.
+    /// `ops_invoked` still counts one unit per *delta* per operator, so
+    /// the optimizer's CPU-cost calibration is unchanged by batching;
+    /// consolidation only ever shrinks it.
+    fn propagate(&mut self, start: Attach, batch: DeltaBatch, sink: &mut Sink) -> Result<()> {
+        let mut batch = batch.consolidated();
         let mut attach = start;
         loop {
-            if deltas.is_empty() {
+            if batch.is_empty() {
                 return Ok(());
             }
             match attach {
                 None => {
-                    sink.apply(&deltas);
+                    sink.apply(&batch);
                     return Ok(());
                 }
                 Some((idx, port)) => {
-                    let mut out = Vec::new();
-                    for d in &deltas {
-                        self.ops_invoked += 1;
-                        out.extend(self.nodes[idx].op.process(port, d)?);
-                    }
-                    deltas = out;
+                    self.ops_invoked += batch.len() as u64;
+                    batch = self.nodes[idx].op.process_batch(port, &batch)?;
                     attach = self.nodes[idx].parent;
                 }
             }
@@ -307,11 +323,7 @@ mod tests {
         cat.register_source(
             "TempSensors",
             temp,
-            SourceKind::Device(DeviceClass::new(
-                &["temp"],
-                SimDuration::from_secs(10),
-                4,
-            )),
+            SourceKind::Device(DeviceClass::new(&["temp"], SimDuration::from_secs(10), 4)),
             SourceStats::stream(0.4),
         )
         .unwrap();
@@ -333,7 +345,11 @@ mod tests {
 
     fn row(room: &str, desk: i64, temp: f64, secs: u64) -> Tuple {
         Tuple::new(
-            vec![Value::Text(room.into()), Value::Int(desk), Value::Float(temp)],
+            vec![
+                Value::Text(room.into()),
+                Value::Int(desk),
+                Value::Float(temp),
+            ],
             SimTime::from_secs(secs),
         )
     }
@@ -376,8 +392,10 @@ mod tests {
         p.start(&mut sink).unwrap();
         let src = cat.source("TempSensors").unwrap().id;
         // Device window defaults to 10 s (one epoch).
-        p.push_source(src, &[row("lab", 1, 80.0, 1)], &mut sink).unwrap();
-        p.push_source(src, &[row("lab", 2, 100.0, 5)], &mut sink).unwrap();
+        p.push_source(src, &[row("lab", 1, 80.0, 1)], &mut sink)
+            .unwrap();
+        p.push_source(src, &[row("lab", 2, 100.0, 5)], &mut sink)
+            .unwrap();
         let snap = sink.snapshot().unwrap();
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].values()[1], Value::Float(90.0));
@@ -418,7 +436,8 @@ mod tests {
         p.push_source(mach_id, &[m], &mut sink).unwrap();
         assert!(sink.snapshot().unwrap().is_empty());
         // Hot reading on desk 1 joins.
-        p.push_source(temp_id, &[row("lab", 1, 99.0, 2)], &mut sink).unwrap();
+        p.push_source(temp_id, &[row("lab", 1, 99.0, 2)], &mut sink)
+            .unwrap();
         let snap = sink.snapshot().unwrap();
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].values(), &[Value::Text("Fedora".into())]);
@@ -430,8 +449,7 @@ mod tests {
     #[test]
     fn global_count_starts_at_zero() {
         let cat = catalog();
-        let BoundQuery::Select(b) =
-            compile("select count(*) from TempSensors t", &cat).unwrap()
+        let BoundQuery::Select(b) = compile("select count(*) from TempSensors t", &cat).unwrap()
         else {
             panic!()
         };
@@ -442,7 +460,8 @@ mod tests {
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].values(), &[Value::Int(0)]);
         let src = cat.source("TempSensors").unwrap().id;
-        p.push_source(src, &[row("a", 1, 50.0, 1)], &mut sink).unwrap();
+        p.push_source(src, &[row("a", 1, 50.0, 1)], &mut sink)
+            .unwrap();
         assert_eq!(sink.snapshot().unwrap()[0].values(), &[Value::Int(1)]);
     }
 

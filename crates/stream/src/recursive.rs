@@ -26,7 +26,7 @@ use aspen_sql::expr::BoundExpr;
 use aspen_sql::plan::LogicalPlan;
 use aspen_types::{AspenError, Result, SourceId, Tuple, Value};
 
-use crate::delta::Delta;
+use crate::delta::DeltaBatch;
 
 /// Sorted set of base-fact ids supporting one derivation.
 pub type Prov = Vec<u64>;
@@ -150,10 +150,10 @@ impl RecursiveView {
     }
 
     /// Apply a batch of base-fact changes from one source; returns the
-    /// net view deltas.
-    pub fn on_base_deltas(&mut self, source: SourceId, deltas: &[Delta]) -> Result<Vec<Delta>> {
+    /// net view deltas as one batch.
+    pub fn on_base_deltas(&mut self, source: SourceId, deltas: &DeltaBatch) -> Result<DeltaBatch> {
         if !self.base_states.contains_key(&source) {
-            return Ok(vec![]);
+            return Ok(DeltaBatch::new());
         }
         let mut inserted: Vec<Tuple> = Vec::new();
         let mut deleted_ids: HashSet<u64> = HashSet::new();
@@ -179,7 +179,7 @@ impl RecursiveView {
             }
         }
 
-        let mut out = Vec::new();
+        let mut out = DeltaBatch::new();
         if !deleted_ids.is_empty() {
             out.extend(self.delete_pass(&deleted_ids)?);
         }
@@ -195,7 +195,7 @@ impl RecursiveView {
     /// materialization (base branches read small relations — routing
     /// tables — so this is cheap and exact even for self-joins), then
     /// close under the step branches starting from the fresh tuples.
-    fn insert_pass(&mut self) -> Result<Vec<Delta>> {
+    fn insert_pass(&mut self) -> Result<DeltaBatch> {
         let mut fresh: Vec<(Tuple, Prov)> = Vec::new();
         for b in &self.bases {
             for (t, p) in self.eval(b, &[])? {
@@ -215,10 +215,10 @@ impl RecursiveView {
             .collect();
         seed.extend(fresh.iter().cloned());
 
-        let mut emitted = Vec::new();
+        let mut emitted = DeltaBatch::new();
         for (t, p) in &fresh {
             self.state.insert(t.clone(), p.clone());
-            emitted.push(Delta::insert(t.clone()));
+            emitted.push_insert(t.clone());
         }
 
         let mut delta_set = seed;
@@ -237,16 +237,14 @@ impl RecursiveView {
             for s in &self.steps.clone() {
                 for (t, p) in self.eval(s, &delta_set)? {
                     self.stats.derivations_computed += 1;
-                    if !self.state.contains_key(&t)
-                        && !next.iter().any(|(nt, _)| *nt == t)
-                    {
+                    if !self.state.contains_key(&t) && !next.iter().any(|(nt, _)| *nt == t) {
                         next.push((t, p));
                     }
                 }
             }
             for (t, p) in &next {
                 self.state.insert(t.clone(), p.clone());
-                emitted.push(Delta::insert(t.clone()));
+                emitted.push_insert(t.clone());
             }
             delta_set = next;
         }
@@ -254,7 +252,7 @@ impl RecursiveView {
     }
 
     /// Provenance-guided DRed.
-    fn delete_pass(&mut self, dead: &HashSet<u64>) -> Result<Vec<Delta>> {
+    fn delete_pass(&mut self, dead: &HashSet<u64>) -> Result<DeltaBatch> {
         // 1. Over-delete: every tuple whose recorded derivation used a
         //    dead base fact.
         let overdeleted: Vec<Tuple> = self
@@ -293,7 +291,7 @@ impl RecursiveView {
         self.stats.tuples_rederived += rescued.len() as u64;
 
         // 3. Close over the rescued tuples semi-naïvely.
-        let mut emitted: Vec<Delta> = Vec::new();
+        let mut emitted = DeltaBatch::new();
         let mut delta_set = rescued.clone();
         for (t, p) in rescued {
             self.state.insert(t.clone(), p);
@@ -312,9 +310,7 @@ impl RecursiveView {
             for s in &self.steps.clone() {
                 for (t, p) in self.eval(s, &delta_set)? {
                     self.stats.derivations_computed += 1;
-                    if !self.state.contains_key(&t)
-                        && !next.iter().any(|(nt, _)| *nt == t)
-                    {
+                    if !self.state.contains_key(&t) && !next.iter().any(|(nt, _)| *nt == t) {
                         next.push((t, p));
                     }
                 }
@@ -328,7 +324,7 @@ impl RecursiveView {
         // Net deltas: over-deleted tuples that did not come back.
         for t in overdeleted {
             if !self.state.contains_key(&t) {
-                emitted.push(Delta::retract(t));
+                emitted.push_retract(t);
             }
         }
         Ok(emitted)
@@ -361,8 +357,8 @@ impl RecursiveView {
             let mut changed = false;
             for s in &self.steps.clone() {
                 for (t, p) in self.eval(s, &current)? {
-                    if !self.state.contains_key(&t) {
-                        self.state.insert(t, p);
+                    if let std::collections::hash_map::Entry::Vacant(e) = self.state.entry(t) {
+                        e.insert(p);
                         changed = true;
                     }
                 }
@@ -480,6 +476,7 @@ impl RecursiveView {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::delta::Delta;
     use aspen_catalog::{Catalog, SourceKind, SourceStats};
     use aspen_sql::{bind, parse, BoundQuery};
     use aspen_types::{DataType, Field, Schema, SimTime};
@@ -534,7 +531,7 @@ mod tests {
         let cat = edge_catalog();
         let mut v = tc_view(&cat);
         let src = cat.source("Edge").unwrap().id;
-        let deltas: Vec<Delta> = [("a", "b"), ("b", "c"), ("c", "d")]
+        let deltas: DeltaBatch = [("a", "b"), ("b", "c"), ("c", "d")]
             .iter()
             .map(|(a, b)| Delta::insert(edge(a, b)))
             .collect();
@@ -550,10 +547,13 @@ mod tests {
         let cat = edge_catalog();
         let mut v = tc_view(&cat);
         let src = cat.source("Edge").unwrap().id;
-        v.on_base_deltas(src, &[Delta::insert(edge("a", "b"))]).unwrap();
+        v.on_base_deltas(src, &DeltaBatch::from(vec![Delta::insert(edge("a", "b"))]))
+            .unwrap();
         assert_eq!(v.len(), 1);
         // Adding b→c must also derive a→c.
-        let out = v.on_base_deltas(src, &[Delta::insert(edge("b", "c"))]).unwrap();
+        let out = v
+            .on_base_deltas(src, &DeltaBatch::from(vec![Delta::insert(edge("b", "c"))]))
+            .unwrap();
         let inserted: HashSet<_> = out
             .iter()
             .filter(|d| d.is_insert())
@@ -571,17 +571,17 @@ mod tests {
         let src = cat.source("Edge").unwrap().id;
         v.on_base_deltas(
             src,
-            &[
+            &DeltaBatch::from(vec![
                 Delta::insert(edge("a", "b")),
                 Delta::insert(edge("b", "c")),
                 Delta::insert(edge("c", "d")),
-            ],
+            ]),
         )
         .unwrap();
         assert_eq!(v.len(), 6);
         // Remove b→c: closure should shrink to {ab, cd}.
         let out = v
-            .on_base_deltas(src, &[Delta::retract(edge("b", "c"))])
+            .on_base_deltas(src, &DeltaBatch::from(vec![Delta::retract(edge("b", "c"))]))
             .unwrap();
         let retracted: HashSet<_> = out
             .iter()
@@ -605,17 +605,17 @@ mod tests {
         // Two routes a→c: direct and via b.
         v.on_base_deltas(
             src,
-            &[
+            &DeltaBatch::from(vec![
                 Delta::insert(edge("a", "b")),
                 Delta::insert(edge("b", "c")),
                 Delta::insert(edge("a", "c")),
-            ],
+            ]),
         )
         .unwrap();
         assert_eq!(v.len(), 3);
         // Deleting a→b: a→c must SURVIVE via the direct edge.
         let out = v
-            .on_base_deltas(src, &[Delta::retract(edge("a", "b"))])
+            .on_base_deltas(src, &DeltaBatch::from(vec![Delta::retract(edge("a", "b"))]))
             .unwrap();
         assert_eq!(v.len(), 2);
         let retracted: Vec<_> = out.iter().filter(|d| !d.is_insert()).collect();
@@ -632,16 +632,17 @@ mod tests {
         let src = cat.source("Edge").unwrap().id;
         v.on_base_deltas(
             src,
-            &[
+            &DeltaBatch::from(vec![
                 Delta::insert(edge("a", "b")),
                 Delta::insert(edge("b", "a")),
-            ],
+            ]),
         )
         .unwrap();
         // Closure of a 2-cycle: aa, ab, ba, bb.
         assert_eq!(v.len(), 4);
         // Deleting one edge of the cycle leaves just the other edge.
-        v.on_base_deltas(src, &[Delta::retract(edge("a", "b"))]).unwrap();
+        v.on_base_deltas(src, &DeltaBatch::from(vec![Delta::retract(edge("a", "b"))]))
+            .unwrap();
         assert_eq!(v.len(), 1);
         assert!(pairs(&v).contains(&("b".into(), "a".into())));
     }
@@ -665,9 +666,10 @@ mod tests {
             let d = if insert {
                 live.push((i, j));
                 Delta::insert(e)
-            } else if let Some(pos) = live.iter().position(|&(a, b)| {
-                edge(nodes[a], nodes[b]) == e
-            }) {
+            } else if let Some(pos) = live
+                .iter()
+                .position(|&(a, b)| edge(nodes[a], nodes[b]) == e)
+            {
                 live.remove(pos);
                 Delta::retract(e)
             } else if !live.is_empty() {
@@ -677,13 +679,13 @@ mod tests {
             } else {
                 continue;
             };
-            v.on_base_deltas(src, &[d]).unwrap();
+            v.on_base_deltas(src, &DeltaBatch::from(vec![d])).unwrap();
 
             if step % 10 == 9 {
                 // Compare against a fresh recompute on the same bases.
                 let incremental = pairs(&v);
                 let mut oracle = tc_view(&cat);
-                let deltas: Vec<Delta> = live
+                let deltas: DeltaBatch = live
                     .iter()
                     .map(|&(a, b)| Delta::insert(edge(nodes[a], nodes[b])))
                     .collect();
@@ -700,10 +702,10 @@ mod tests {
         let src = cat.source("Edge").unwrap().id;
         v.on_base_deltas(
             src,
-            &[
+            &DeltaBatch::from(vec![
                 Delta::insert(edge("a", "b")),
                 Delta::insert(edge("b", "c")),
-            ],
+            ]),
         )
         .unwrap();
         let before = pairs(&v);
@@ -718,7 +720,10 @@ mod tests {
         let cat = edge_catalog();
         let mut v = tc_view(&cat);
         let out = v
-            .on_base_deltas(SourceId(999), &[Delta::insert(edge("x", "y"))])
+            .on_base_deltas(
+                SourceId(999),
+                &DeltaBatch::from(vec![Delta::insert(edge("x", "y"))]),
+            )
             .unwrap();
         assert!(out.is_empty());
         assert!(v.is_empty());

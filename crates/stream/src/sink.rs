@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use aspen_sql::expr::BoundExpr;
 use aspen_types::{Result, SchemaRef, Tuple};
 
-use crate::delta::Delta;
+use crate::delta::DeltaBatch;
 
 /// Materialized result holder for one continuous query.
 #[derive(Debug)]
@@ -51,7 +51,7 @@ impl Sink {
     }
 
     /// Apply a batch of deltas to the materialized state.
-    pub fn apply(&mut self, deltas: &[Delta]) {
+    pub fn apply(&mut self, deltas: &DeltaBatch) {
         for d in deltas {
             self.deltas_applied += 1;
             let e = self.state.entry(d.tuple.clone()).or_insert(0);
@@ -83,8 +83,13 @@ impl Sink {
             }
         }
         if self.sort_keys.is_empty() {
-            // Deterministic default order: by value.
-            rows.sort_by(|a, b| a.values().cmp(b.values()));
+            // Deterministic default order: by value, then timestamp (two
+            // result rows can differ only in timestamp).
+            rows.sort_by(|a, b| {
+                a.values()
+                    .cmp(b.values())
+                    .then_with(|| a.timestamp().cmp(&b.timestamp()))
+            });
         } else {
             // Precompute sort keys to keep comparator infallible.
             let mut keyed: Vec<(Vec<aspen_types::Value>, Tuple)> = Vec::with_capacity(rows.len());
@@ -104,7 +109,9 @@ impl Sink {
                         return ord;
                     }
                 }
-                ta.values().cmp(tb.values())
+                ta.values()
+                    .cmp(tb.values())
+                    .then_with(|| ta.timestamp().cmp(&tb.timestamp()))
             });
             rows = keyed.into_iter().map(|(_, t)| t).collect();
         }
@@ -118,10 +125,15 @@ impl Sink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::delta::Delta;
     use aspen_types::{DataType, Field, Schema, SimTime, Value};
 
     fn t(v: i64) -> Tuple {
         Tuple::new(vec![Value::Int(v)], SimTime::ZERO)
+    }
+
+    fn batch(ds: Vec<crate::delta::Delta>) -> DeltaBatch {
+        DeltaBatch::from(ds)
     }
 
     fn schema() -> SchemaRef {
@@ -131,20 +143,26 @@ mod tests {
     #[test]
     fn apply_and_snapshot_default_order() {
         let mut s = Sink::new(schema(), vec![], None, None);
-        s.apply(&[Delta::insert(t(3)), Delta::insert(t(1)), Delta::insert(t(2))]);
+        s.apply(&batch(vec![
+            Delta::insert(t(3)),
+            Delta::insert(t(1)),
+            Delta::insert(t(2)),
+        ]));
         let snap = s.snapshot().unwrap();
         assert_eq!(
-            snap.iter().map(|t| t.values()[0].clone()).collect::<Vec<_>>(),
+            snap.iter()
+                .map(|t| t.values()[0].clone())
+                .collect::<Vec<_>>(),
             vec![Value::Int(1), Value::Int(2), Value::Int(3)]
         );
-        s.apply(&[Delta::retract(t(2))]);
+        s.apply(&batch(vec![Delta::retract(t(2))]));
         assert_eq!(s.len(), 2);
     }
 
     #[test]
     fn multiplicity_expansion() {
         let mut s = Sink::new(schema(), vec![], None, None);
-        s.apply(&[Delta::insert(t(7)), Delta::insert(t(7))]);
+        s.apply(&batch(vec![Delta::insert(t(7)), Delta::insert(t(7))]));
         assert_eq!(s.snapshot().unwrap().len(), 2);
         assert_eq!(s.len(), 1); // one distinct
     }
@@ -153,7 +171,11 @@ mod tests {
     fn sort_desc_and_limit() {
         let keys = vec![(BoundExpr::col(0, DataType::Int), false)];
         let mut s = Sink::new(schema(), keys, Some(2), Some("lobby".into()));
-        s.apply(&[Delta::insert(t(5)), Delta::insert(t(9)), Delta::insert(t(1))]);
+        s.apply(&batch(vec![
+            Delta::insert(t(5)),
+            Delta::insert(t(9)),
+            Delta::insert(t(1)),
+        ]));
         let snap = s.snapshot().unwrap();
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0].values()[0], Value::Int(9));
@@ -164,16 +186,16 @@ mod tests {
     #[test]
     fn negative_multiplicity_hidden() {
         let mut s = Sink::new(schema(), vec![], None, None);
-        s.apply(&[Delta::retract(t(1))]);
+        s.apply(&batch(vec![Delta::retract(t(1))]));
         assert!(s.snapshot().unwrap().is_empty());
-        s.apply(&[Delta::insert(t(1))]);
+        s.apply(&batch(vec![Delta::insert(t(1))]));
         assert!(s.snapshot().unwrap().is_empty()); // net zero
     }
 
     #[test]
     fn churn_counter() {
         let mut s = Sink::new(schema(), vec![], None, None);
-        s.apply(&[Delta::insert(t(1)), Delta::retract(t(1))]);
+        s.apply(&batch(vec![Delta::insert(t(1)), Delta::retract(t(1))]));
         assert_eq!(s.deltas_applied, 2);
     }
 }

@@ -9,6 +9,8 @@ use std::collections::HashMap;
 
 use aspen_types::{Tuple, Value};
 
+use crate::delta::{Delta, DeltaBatch};
+
 /// Multiset of tuples, keyed.
 #[derive(Debug, Default, Clone)]
 pub struct KeyedState {
@@ -69,6 +71,81 @@ impl KeyedState {
     }
 }
 
+/// Unkeyed tuple multiset maintained by delta batches — the engine's
+/// retained-table state. `apply` is O(batch), unlike the Vec-scan it
+/// replaced, and `snapshot` replays tuples in *arrival order* (first
+/// insertion of each distinct tuple), because late-registered queries
+/// with order-sensitive `ROWS n` windows must retain the same rows a
+/// query that was live during ingestion retained. Duplicate rows are
+/// grouped at their first arrival position; a tuple fully retracted and
+/// re-inserted counts as newly arrived.
+#[derive(Debug, Default, Clone)]
+pub struct BagState {
+    counts: HashMap<Tuple, (i64, u64)>,
+    next_seq: u64,
+}
+
+impl BagState {
+    pub fn new() -> Self {
+        BagState::default()
+    }
+
+    /// Apply a whole batch of signed changes.
+    pub fn apply(&mut self, batch: &DeltaBatch) {
+        for d in batch {
+            self.apply_delta(d);
+        }
+    }
+
+    pub fn apply_delta(&mut self, delta: &Delta) {
+        let e = self
+            .counts
+            .entry(delta.tuple.clone())
+            .or_insert((0, self.next_seq));
+        e.0 += delta.sign;
+        if e.0 == 0 {
+            self.counts.remove(&delta.tuple);
+        } else {
+            self.next_seq += 1;
+        }
+    }
+
+    pub fn insert_all(&mut self, tuples: &[Tuple]) {
+        for t in tuples {
+            let e = self.counts.entry(t.clone()).or_insert((0, self.next_seq));
+            e.0 += 1;
+            self.next_seq += 1;
+        }
+    }
+
+    /// Distinct live tuples.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Live tuples with positive multiplicity expanded, in arrival order.
+    pub fn snapshot(&self) -> Vec<Tuple> {
+        let mut live: Vec<(u64, &Tuple, i64)> = self
+            .counts
+            .iter()
+            .filter(|(_, &(c, _))| c > 0)
+            .map(|(t, &(c, seq))| (seq, t, c))
+            .collect();
+        live.sort_unstable_by_key(|&(seq, _, _)| seq);
+        let mut out = Vec::new();
+        for (_, t, c) in live {
+            for _ in 0..c {
+                out.push(t.clone());
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +177,27 @@ mod tests {
         assert_eq!(s.get(&[Value::Int(1)]).count(), 1);
         assert_eq!(s.get(&[Value::Int(3)]).count(), 0);
         assert_eq!(s.iter_all().count(), 2);
+    }
+
+    #[test]
+    fn bag_state_batch_apply_and_snapshot() {
+        let mut b = BagState::new();
+        b.insert_all(&[t(1), t(2), t(2)]);
+        assert_eq!(b.distinct(), 2);
+        assert_eq!(b.snapshot().len(), 3);
+        let batch: DeltaBatch = vec![Delta::retract(t(2)), Delta::insert(t(3))].into();
+        b.apply(&batch);
+        let snap = b.snapshot();
+        assert_eq!(snap.len(), 3);
+        // Deterministic order: value-sorted.
+        assert_eq!(snap[0], t(1));
+        assert_eq!(snap[2], t(3));
+        b.apply(&DeltaBatch::from(vec![
+            Delta::retract(t(1)),
+            Delta::retract(t(2)),
+            Delta::retract(t(3)),
+        ]));
+        assert!(b.is_empty());
     }
 
     #[test]

@@ -4,13 +4,14 @@
 //! pass through; as simulated time advances, expired tuples are emitted
 //! as retractions, so every downstream operator sees a coherent multiset
 //! view of "the window as of now". `ROWS n` windows retract eagerly on
-//! overflow instead.
+//! overflow instead. Ingest is batch-oriented: a whole source batch is
+//! folded into one output [`DeltaBatch`] before anything propagates.
 
 use std::collections::VecDeque;
 
 use aspen_types::{SimTime, Tuple, WindowSpec};
 
-use crate::delta::Delta;
+use crate::delta::DeltaBatch;
 
 /// Stateful window maintenance for one scan.
 #[derive(Debug)]
@@ -41,23 +42,38 @@ impl WindowOp {
         self.buffer.len()
     }
 
-    /// Ingest one inserted tuple; returns the deltas to propagate
-    /// (the insertion itself plus any eager retractions).
-    pub fn insert(&mut self, tuple: Tuple, out: &mut Vec<Delta>) {
+    /// Whether this window reacts to the passage of time (i.e. whether
+    /// `advance` can ever emit retractions). The engine uses this to
+    /// route heartbeats only to clock-sensitive pipelines.
+    pub fn needs_clock(&self) -> bool {
+        matches!(self.spec, WindowSpec::Range(_) | WindowSpec::Tumbling(_))
+    }
+
+    /// Ingest a whole source batch; appends the deltas to propagate
+    /// (the insertions plus any eager retractions) to `out`.
+    pub fn insert_batch(&mut self, tuples: &[Tuple], out: &mut DeltaBatch) {
+        for t in tuples {
+            self.insert(t.clone(), out);
+        }
+    }
+
+    /// Ingest one inserted tuple; appends the deltas to propagate to
+    /// `out`.
+    pub fn insert(&mut self, tuple: Tuple, out: &mut DeltaBatch) {
         match self.spec {
             WindowSpec::Unbounded => {
-                out.push(Delta::insert(tuple));
+                out.push_insert(tuple);
             }
             WindowSpec::Range(_) => {
                 self.buffer.push_back(tuple.clone());
-                out.push(Delta::insert(tuple));
+                out.push_insert(tuple);
             }
             WindowSpec::Rows(n) => {
                 self.buffer.push_back(tuple.clone());
-                out.push(Delta::insert(tuple));
+                out.push_insert(tuple);
                 while self.buffer.len() as u64 > n {
                     let evicted = self.buffer.pop_front().expect("nonempty");
-                    out.push(Delta::retract(evicted));
+                    out.push_retract(evicted);
                 }
             }
             WindowSpec::Tumbling(w) => {
@@ -70,20 +86,20 @@ impl WindowOp {
                     if pane != current {
                         // Pane rollover: retract the entire previous pane.
                         while let Some(old) = self.buffer.pop_front() {
-                            out.push(Delta::retract(old));
+                            out.push_retract(old);
                         }
                     }
                 }
                 self.pane = Some(pane);
                 self.buffer.push_back(tuple.clone());
-                out.push(Delta::insert(tuple));
+                out.push_insert(tuple);
             }
         }
     }
 
-    /// Advance the clock; emits retractions for tuples that fell out of a
-    /// RANGE window (and pane rollovers for TUMBLING).
-    pub fn advance(&mut self, now: SimTime, out: &mut Vec<Delta>) {
+    /// Advance the clock; appends retractions for tuples that fell out of
+    /// a RANGE window (and pane rollovers for TUMBLING).
+    pub fn advance(&mut self, now: SimTime, out: &mut DeltaBatch) {
         match self.spec {
             WindowSpec::Range(_) => {
                 while let Some(front) = self.buffer.front() {
@@ -91,7 +107,7 @@ impl WindowOp {
                         break;
                     }
                     let expired = self.buffer.pop_front().expect("nonempty");
-                    out.push(Delta::retract(expired));
+                    out.push_retract(expired);
                 }
             }
             WindowSpec::Tumbling(w) => {
@@ -102,7 +118,7 @@ impl WindowOp {
                 if let Some(current) = self.pane {
                     if now_pane > current {
                         while let Some(old) = self.buffer.pop_front() {
-                            out.push(Delta::retract(old));
+                            out.push_retract(old);
                         }
                         self.pane = Some(now_pane);
                     }
@@ -116,28 +132,28 @@ impl WindowOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::delta::Delta;
     use aspen_types::{SimDuration, Value};
 
     fn t(v: i64, secs: u64) -> Tuple {
         Tuple::new(vec![Value::Int(v)], SimTime::from_secs(secs))
     }
 
-    fn signs(ds: &[Delta]) -> Vec<i64> {
+    fn signs(ds: &DeltaBatch) -> Vec<i64> {
         ds.iter().map(|d| d.sign).collect()
     }
 
     #[test]
     fn range_window_expires_on_advance() {
         let mut w = WindowOp::new(WindowSpec::Range(SimDuration::from_secs(10)));
-        let mut out = vec![];
-        w.insert(t(1, 0), &mut out);
-        w.insert(t(2, 5), &mut out);
+        let mut out = DeltaBatch::new();
+        w.insert_batch(&[t(1, 0), t(2, 5)], &mut out);
         assert_eq!(signs(&out), vec![1, 1]);
         out.clear();
         w.advance(SimTime::from_secs(11), &mut out);
         // t=0 expired (11 - 10 = 1 > 0), t=5 still live.
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0], Delta::retract(t(1, 0)));
+        assert_eq!(out.as_slice()[0], Delta::retract(t(1, 0)));
         assert_eq!(w.live(), 1);
         out.clear();
         w.advance(SimTime::from_secs(16), &mut out);
@@ -148,13 +164,13 @@ mod tests {
     #[test]
     fn rows_window_evicts_eagerly() {
         let mut w = WindowOp::new(WindowSpec::Rows(2));
-        let mut out = vec![];
+        let mut out = DeltaBatch::new();
         w.insert(t(1, 0), &mut out);
         w.insert(t(2, 1), &mut out);
         w.insert(t(3, 2), &mut out);
         // inserts: +1 +2 +3, eviction: -1
         assert_eq!(signs(&out), vec![1, 1, 1, -1]);
-        assert_eq!(out[3].tuple, t(1, 0));
+        assert_eq!(out.as_slice()[3].tuple, t(1, 0));
         assert_eq!(w.live(), 2);
         // advance never expires ROWS windows
         out.clear();
@@ -165,7 +181,7 @@ mod tests {
     #[test]
     fn tumbling_window_rolls_over_on_insert_and_advance() {
         let mut w = WindowOp::new(WindowSpec::Tumbling(SimDuration::from_secs(10)));
-        let mut out = vec![];
+        let mut out = DeltaBatch::new();
         w.insert(t(1, 1), &mut out);
         w.insert(t(2, 9), &mut out);
         out.clear();
@@ -176,23 +192,32 @@ mod tests {
         // Advancing to pane 2 drains pane 1.
         w.advance(SimTime::from_secs(25), &mut out);
         assert_eq!(signs(&out), vec![-1]);
-        assert_eq!(out[0].tuple, t(3, 12));
+        assert_eq!(out.as_slice()[0].tuple, t(3, 12));
         assert_eq!(w.live(), 0);
     }
 
     #[test]
     fn unbounded_never_retracts() {
         let mut w = WindowOp::new(WindowSpec::Unbounded);
-        let mut out = vec![];
+        let mut out = DeltaBatch::new();
         w.insert(t(1, 0), &mut out);
         w.advance(SimTime::from_secs(10_000), &mut out);
         assert_eq!(signs(&out), vec![1]);
+        assert!(!w.needs_clock());
+    }
+
+    #[test]
+    fn clock_sensitivity_by_spec() {
+        assert!(WindowOp::new(WindowSpec::Range(SimDuration::from_secs(1))).needs_clock());
+        assert!(WindowOp::new(WindowSpec::Tumbling(SimDuration::from_secs(1))).needs_clock());
+        assert!(!WindowOp::new(WindowSpec::Rows(3)).needs_clock());
+        assert!(!WindowOp::new(WindowSpec::Unbounded).needs_clock());
     }
 
     #[test]
     fn advance_is_idempotent() {
         let mut w = WindowOp::new(WindowSpec::Range(SimDuration::from_secs(5)));
-        let mut out = vec![];
+        let mut out = DeltaBatch::new();
         w.insert(t(1, 0), &mut out);
         out.clear();
         w.advance(SimTime::from_secs(6), &mut out);

@@ -3,10 +3,8 @@
 //! The paper's deployment is described in feet ("sensors ... every 100
 //! feet"); we keep all coordinates in feet as `f64`.
 
-use serde::{Deserialize, Serialize};
-
 /// A point on the building floorplan, in feet.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     pub x: f64,
     pub y: f64,

@@ -8,13 +8,11 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{AspenError, Result};
 use crate::value::DataType;
 
 /// One column of a relation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Field {
     /// Relation alias this field is qualified by, if any (`sa` in
     /// `sa.room`). Join outputs preserve the qualifiers of both sides.
@@ -81,7 +79,7 @@ impl Field {
 pub type SchemaRef = Arc<Schema>;
 
 /// An ordered collection of [`Field`]s.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     fields: Vec<Field>,
 }
@@ -157,7 +155,11 @@ impl Schema {
     /// Schema re-qualified under `alias` (a `FROM X alias` binding).
     pub fn with_qualifier(&self, alias: &str) -> Schema {
         Schema {
-            fields: self.fields.iter().map(|f| f.with_qualifier(alias)).collect(),
+            fields: self
+                .fields
+                .iter()
+                .map(|f| f.with_qualifier(alias))
+                .collect(),
         }
     }
 

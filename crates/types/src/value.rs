@@ -9,12 +9,10 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{AspenError, Result};
 
 /// Static type of a [`Value`]. Schemas are vectors of these.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Bool,
     Int,
@@ -62,7 +60,7 @@ impl fmt::Display for DataType {
 /// `Float` wraps a finite-or-NaN `f64`; ordering treats NaN as greater than
 /// every other float (total order), which keeps sort-based operators
 /// deterministic.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),
@@ -258,7 +256,7 @@ impl Value {
 }
 
 /// Binary arithmetic operators supported by the expression evaluator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArithOp {
     Add,
     Sub,
@@ -286,7 +284,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 impl Ord for Value {
@@ -451,7 +449,9 @@ mod tests {
             Value::Int(10)
         );
         assert_eq!(
-            Value::Int(6).arith(ArithOp::Div, &Value::Float(4.0)).unwrap(),
+            Value::Int(6)
+                .arith(ArithOp::Div, &Value::Float(4.0))
+                .unwrap(),
             Value::Float(1.5)
         );
     }
@@ -480,9 +480,11 @@ mod tests {
 
     #[test]
     fn like_basics() {
-        let t = |s: &str, p: &str| Value::Text(s.into())
-            .sql_like(&Value::Text(p.into()))
-            .unwrap();
+        let t = |s: &str, p: &str| {
+            Value::Text(s.into())
+                .sql_like(&Value::Text(p.into()))
+                .unwrap()
+        };
         assert!(t("Fedora Linux", "%Fedora%"));
         assert!(t("Fedora", "Fedora"));
         assert!(t("Fedora", "F_dora"));

@@ -6,12 +6,10 @@
 //! panes). Sensor-side queries additionally sample on a fixed epoch; the
 //! epoch is carried in the catalog, not here.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{SimDuration, SimTime};
 
 /// How an operator bounds the stream history it may consult.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WindowSpec {
     /// Unbounded — only valid over static tables or monotonic views.
     Unbounded,
@@ -46,9 +44,7 @@ impl WindowSpec {
     /// Pane index for tumbling windows (`None` for other kinds).
     pub fn pane_of(&self, ts: SimTime) -> Option<u64> {
         match self {
-            WindowSpec::Tumbling(w) if w.as_micros() > 0 => {
-                Some(ts.as_micros() / w.as_micros())
-            }
+            WindowSpec::Tumbling(w) if w.as_micros() > 0 => Some(ts.as_micros() / w.as_micros()),
             _ => None,
         }
     }

@@ -107,8 +107,7 @@ impl MachineFleet {
             // Web requests burst with users.
             s.web_requests = m.rng.gen_range(0..=(5 + s.users * 20));
             // Power tracks CPU.
-            s.watts = IDLE_WATTS + s.cpu_pct * WATTS_PER_CPU_PCT
-                + (m.rng.gen::<f64>() - 0.5) * 4.0;
+            s.watts = IDLE_WATTS + s.cpu_pct * WATTS_PER_CPU_PCT + (m.rng.gen::<f64>() - 0.5) * 4.0;
         }
     }
 

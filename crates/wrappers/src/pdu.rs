@@ -130,10 +130,7 @@ mod tests {
         let batches = w.poll(SimTime::from_secs(20)).unwrap();
         assert_eq!(batches.len(), 2);
         assert_eq!(batches[0].len(), 4);
-        assert_eq!(
-            batches[0].tuples[0].timestamp(),
-            SimTime::from_secs(10)
-        );
+        assert_eq!(batches[0].tuples[0].timestamp(), SimTime::from_secs(10));
         assert_eq!(batches[1].tuples[0].timestamp(), SimTime::from_secs(20));
         // Idempotent once caught up.
         assert!(w.poll(SimTime::from_secs(20)).unwrap().is_empty());

@@ -8,9 +8,7 @@
 //! examples can ship fixtures in-repo without extra dependencies.
 
 use aspen_catalog::{Catalog, SourceKind, SourceStats};
-use aspen_types::{
-    AspenError, Batch, DataType, Field, Result, Schema, SchemaRef, Tuple, Value,
-};
+use aspen_types::{AspenError, Batch, DataType, Field, Result, Schema, SchemaRef, Tuple, Value};
 
 /// Loads and registers static tables.
 pub struct StaticTableLoader;
@@ -37,9 +35,7 @@ impl StaticTableLoader {
                 "float" => DataType::Float,
                 "text" => DataType::Text,
                 "bool" => DataType::Bool,
-                other => {
-                    return Err(AspenError::Parse(format!("unknown column type '{other}'")))
-                }
+                other => return Err(AspenError::Parse(format!("unknown column type '{other}'"))),
             };
             fields.push(Field::new(name.trim(), dt));
         }
@@ -135,8 +131,7 @@ mod tests {
 
     #[test]
     fn float_and_bool_cells() {
-        let (_, rows) =
-            StaticTableLoader::parse("d:float, b:bool\n1.5, true\n2.5, false").unwrap();
+        let (_, rows) = StaticTableLoader::parse("d:float, b:bool\n1.5, true\n2.5, false").unwrap();
         assert_eq!(rows[0].get(0), &Value::Float(1.5));
         assert_eq!(rows[0].get(1), &Value::Bool(true));
         assert_eq!(rows[1].get(1), &Value::Bool(false));

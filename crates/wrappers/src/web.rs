@@ -43,8 +43,7 @@ impl WebSourceWrapper {
             Self::SOURCE,
             schema.clone(),
             SourceKind::Stream,
-            SourceStats::stream(2.0 / period.as_secs_f64().max(1e-9))
-                .with_distinct("kind", 2),
+            SourceStats::stream(2.0 / period.as_secs_f64().max(1e-9)).with_distinct("kind", 2),
         )?;
         Ok(WebSourceWrapper {
             schema,

@@ -7,14 +7,16 @@
 //! cargo run --example energy_dashboard
 //! ```
 
-use smartcis::app::SmartCis;
 use smartcis::app::queries;
+use smartcis::app::SmartCis;
 
 fn main() -> smartcis::types::Result<()> {
     let mut app = SmartCis::new(4, 8, 77)?;
 
     // Standing queries from the paper (§2's query list).
-    let per_room = app.register_query(queries::ROOM_RESOURCES)?.expect("select");
+    let per_room = app
+        .register_query(queries::ROOM_RESOURCES)?
+        .expect("select");
     let total = app.register_query(queries::TOTAL_POWER)?.expect("select");
     let temp_alarm = app.register_query(queries::TEMP_ALARM)?.expect("select");
     let load_alarm = app.register_query(queries::LOAD_ALARM)?.expect("select");
@@ -48,6 +50,10 @@ fn main() -> smartcis::types::Result<()> {
     // The 'lobby' display aggregates whatever queries were routed to it
     // via OUTPUT TO DISPLAY.
     let lobby = app.engine.display_snapshot("lobby")?;
-    println!("lobby display feeds: {} quer{}", lobby.len(), if lobby.len() == 1 { "y" } else { "ies" });
+    println!(
+        "lobby display feeds: {} quer{}",
+        lobby.len(),
+        if lobby.len() == 1 { "y" } else { "ies" }
+    );
     Ok(())
 }

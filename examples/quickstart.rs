@@ -62,7 +62,11 @@ fn main() -> smartcis::types::Result<()> {
     };
     engine.on_batch(
         "TempSensors",
-        &[reading(1, 97.5, 1), reading(2, 72.0, 1), reading(3, 93.0, 1)],
+        &[
+            reading(1, 97.5, 1),
+            reading(2, 72.0, 1),
+            reading(3, 93.0, 1),
+        ],
     )?;
     println!("t = 1s — machines running hot:");
     for row in engine.snapshot(query)? {
@@ -71,6 +75,9 @@ fn main() -> smartcis::types::Result<()> {
 
     // 4. Windows expire: ten seconds later the readings age out.
     engine.heartbeat(SimTime::from_secs(12))?;
-    println!("t = 12s — after window expiry: {} rows", engine.snapshot(query)?.len());
+    println!(
+        "t = 12s — after window expiry: {} rows",
+        engine.snapshot(query)?.len()
+    );
     Ok(())
 }

@@ -37,7 +37,10 @@ fn main() -> smartcis::types::Result<()> {
         },
         10,
     )?;
-    println!("\nTAG AVG(temp) over 10 epochs: {} msgs", agg.stats.msgs_sent);
+    println!(
+        "\nTAG AVG(temp) over 10 epochs: {} msgs",
+        agg.stats.msgs_sent
+    );
     for (epoch, v) in agg.agg_per_epoch.iter().take(3) {
         println!("  epoch {epoch}: avg temp = {v}");
     }

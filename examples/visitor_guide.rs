@@ -8,8 +8,8 @@
 //! cargo run --example visitor_guide
 //! ```
 
-use smartcis::app::SmartCis;
 use smartcis::app as smartcis_app;
+use smartcis::app::SmartCis;
 
 fn main() -> smartcis::types::Result<()> {
     let mut app = SmartCis::new(3, 6, 20090629)?; // SIGMOD'09 opened June 29

@@ -1,67 +1,117 @@
-//! Property-based tests over the core invariants (proptest).
+//! Property-style tests over the core invariants.
+//!
+//! The build environment has no crates.io access, so instead of proptest
+//! these properties are exercised with a seeded generator: every case is
+//! deterministic per seed, and each property runs across many seeds. The
+//! invariants checked are the same as the original proptest suite.
 
-use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::Rng;
 
 use smartcis::netsim::codec;
 use smartcis::sql::expr::{AggAccumulator, AggFunc, PartialAgg};
-use smartcis::stream::delta::{consolidate, Delta};
+use smartcis::stream::delta::{consolidate, Delta, DeltaBatch};
 use smartcis::stream::operators::{DeltaOp, JoinOp};
+use smartcis::types::rng::seeded;
 use smartcis::types::{DataType, SimDuration, SimTime, Tuple, Value, WindowSpec};
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_map(Value::Float),
-        "[a-zA-Z0-9 _%-]{0,24}".prop_map(Value::Text),
-        any::<u64>().prop_map(Value::Timestamp),
-    ]
+/// Draw an arbitrary `Value` covering every variant, including NaN floats
+/// and empty / pattern-charactered strings.
+fn arb_value(rng: &mut rand::rngs::StdRng) -> Value {
+    match rng.gen_range(0..7u32) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen::<bool>()),
+        2 => Value::Int(rng.gen::<i64>()),
+        3 => {
+            let f = match rng.gen_range(0..4u32) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => -0.0,
+                _ => (rng.gen::<f64>() - 0.5) * 1e9,
+            };
+            Value::Float(f)
+        }
+        4 => {
+            let alphabet: &[u8] = b"abcXYZ019 _%-";
+            let len = rng.gen_range(0..24usize);
+            let s: String = (0..len)
+                .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+                .collect();
+            Value::Text(s)
+        }
+        5 => Value::Timestamp(rng.gen::<u64>()),
+        _ => Value::Int(rng.gen_range(-100..100i64)),
+    }
 }
 
-proptest! {
-    /// The wire codec round-trips every representable row.
-    #[test]
-    fn codec_round_trips(values in prop::collection::vec(arb_value(), 0..12)) {
+/// The wire codec round-trips every representable row.
+#[test]
+fn codec_round_trips() {
+    for seed in 0..200u64 {
+        let mut rng = seeded(seed);
+        let n = rng.gen_range(0..12usize);
+        let values: Vec<Value> = (0..n).map(|_| arb_value(&mut rng)).collect();
         let encoded = codec::encode_row(&values);
         let decoded = codec::decode_row(encoded).unwrap();
         // NaN-aware equality comes from Value's total ordering.
-        prop_assert_eq!(decoded, values);
+        assert_eq!(decoded.len(), values.len(), "arity mismatch at seed {seed}");
+        for (d, v) in decoded.iter().zip(&values) {
+            assert_eq!(
+                d.total_cmp(v),
+                std::cmp::Ordering::Equal,
+                "seed {seed}: {d:?} != {v:?}"
+            );
+        }
     }
+}
 
-    /// Value's total order is consistent: antisymmetric and transitive
-    /// on arbitrary triples (spot-checked by sorting stability).
-    #[test]
-    fn value_total_order_is_total(mut vs in prop::collection::vec(arb_value(), 2..20)) {
+/// Value's total order is consistent: sorting never produces an
+/// out-of-order adjacent pair.
+#[test]
+fn value_total_order_is_total() {
+    for seed in 0..200u64 {
+        let mut rng = seeded(seed);
+        let n = rng.gen_range(2..20usize);
+        let mut vs: Vec<Value> = (0..n).map(|_| arb_value(&mut rng)).collect();
         vs.sort_by(|a, b| a.total_cmp(b));
         for w in vs.windows(2) {
-            prop_assert_ne!(w[0].total_cmp(&w[1]), std::cmp::Ordering::Greater);
+            assert_ne!(
+                w[0].total_cmp(&w[1]),
+                std::cmp::Ordering::Greater,
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// LIKE never panics and respects NULL-propagation.
-    #[test]
-    fn like_is_null_safe(s in arb_value(), p in arb_value()) {
+/// LIKE never panics and respects NULL-propagation.
+#[test]
+fn like_is_null_safe() {
+    for seed in 0..300u64 {
+        let mut rng = seeded(seed);
+        let s = arb_value(&mut rng);
+        let p = arb_value(&mut rng);
         let r = s.sql_like(&p);
         if s.is_null() || p.is_null() {
-            prop_assert_eq!(r, None);
+            assert_eq!(r, None, "seed {seed}");
         }
     }
+}
 
-    /// TAG partial aggregation is order-insensitive: merging readings in
-    /// any order gives the same COUNT/SUM/MIN/MAX/AVG as a direct fold.
-    #[test]
-    fn partial_agg_merge_order_invariant(
-        mut readings in prop::collection::vec(-1e6f64..1e6, 1..24),
-        seed in 0u64..1000,
-    ) {
+/// TAG partial aggregation is order-insensitive: merging readings in any
+/// order gives the same COUNT/SUM/MIN/MAX as a direct fold.
+#[test]
+fn partial_agg_merge_order_invariant() {
+    for seed in 0..100u64 {
+        let mut rng = seeded(seed);
+        let n = rng.gen_range(1..24usize);
+        let mut readings: Vec<f64> = (0..n).map(|_| (rng.gen::<f64>() - 0.5) * 2e6).collect();
+
         let mut forward = PartialAgg::default();
         for r in &readings {
             forward.merge(&PartialAgg::of(*r));
         }
         // Shuffle deterministically and merge as a tree.
-        use rand::seq::SliceRandom;
-        let mut rng = smartcis::types::rng::seeded(seed);
         readings.shuffle(&mut rng);
         let mut parts: Vec<PartialAgg> = readings.iter().map(|r| PartialAgg::of(*r)).collect();
         while parts.len() > 1 {
@@ -69,23 +119,36 @@ proptest! {
             parts.last_mut().unwrap().merge(&b);
         }
         let tree = parts.pop().unwrap();
-        prop_assert_eq!(forward.finalize(AggFunc::Count), tree.finalize(AggFunc::Count));
-        prop_assert_eq!(forward.finalize(AggFunc::Min), tree.finalize(AggFunc::Min));
-        prop_assert_eq!(forward.finalize(AggFunc::Max), tree.finalize(AggFunc::Max));
+        assert_eq!(
+            forward.finalize(AggFunc::Count),
+            tree.finalize(AggFunc::Count)
+        );
+        assert_eq!(forward.finalize(AggFunc::Min), tree.finalize(AggFunc::Min));
+        assert_eq!(forward.finalize(AggFunc::Max), tree.finalize(AggFunc::Max));
         let (Value::Float(a), Value::Float(b)) =
-            (forward.finalize(AggFunc::Sum), tree.finalize(AggFunc::Sum)) else {
-            return Err(TestCaseError::fail("sum not float"));
+            (forward.finalize(AggFunc::Sum), tree.finalize(AggFunc::Sum))
+        else {
+            panic!("sum not float");
         };
-        prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0));
+        assert!(
+            (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+            "seed {seed}: {a} vs {b}"
+        );
     }
+}
 
-    /// Accumulator insert/retract is exact: inserting a multiset then
-    /// retracting a sub-multiset leaves the aggregate of the difference.
-    #[test]
-    fn accumulator_retraction_is_exact(
-        keep in prop::collection::vec(-1000i64..1000, 1..16),
-        gone in prop::collection::vec(-1000i64..1000, 0..16),
-    ) {
+/// Accumulator insert/retract is exact: inserting a multiset then
+/// retracting a sub-multiset leaves the aggregate of the difference.
+#[test]
+fn accumulator_retraction_is_exact() {
+    for seed in 0..100u64 {
+        let mut rng = seeded(seed);
+        let keep: Vec<i64> = (0..rng.gen_range(1..16usize))
+            .map(|_| rng.gen_range(-1000..1000i64))
+            .collect();
+        let gone: Vec<i64> = (0..rng.gen_range(0..16usize))
+            .map(|_| rng.gen_range(-1000..1000i64))
+            .collect();
         for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
             let mut acc = AggAccumulator::new(func, Some(DataType::Int));
             for v in keep.iter().chain(&gone) {
@@ -99,75 +162,94 @@ proptest! {
             for v in &keep {
                 oracle.insert(&Value::Int(*v)).unwrap();
             }
-            prop_assert_eq!(acc.value(func), oracle.value(func));
+            assert_eq!(acc.value(func), oracle.value(func), "seed {seed} {func:?}");
         }
     }
+}
 
-    /// Delta streams consolidate to the same multiset regardless of
-    /// interleaving.
-    #[test]
-    fn delta_consolidation_is_order_invariant(
-        ops in prop::collection::vec((0i64..20, any::<bool>()), 0..40),
-        seed in 0u64..100,
-    ) {
-        let deltas: Vec<Delta> = ops
-            .iter()
-            .map(|(v, ins)| {
-                let t = Tuple::new(vec![Value::Int(*v)], SimTime::ZERO);
-                if *ins { Delta::insert(t) } else { Delta::retract(t) }
+/// Delta streams consolidate to the same multiset regardless of
+/// interleaving.
+#[test]
+fn delta_consolidation_is_order_invariant() {
+    for seed in 0..100u64 {
+        let mut rng = seeded(seed);
+        let n = rng.gen_range(0..40usize);
+        let deltas: Vec<Delta> = (0..n)
+            .map(|_| {
+                let t = Tuple::new(vec![Value::Int(rng.gen_range(0..20i64))], SimTime::ZERO);
+                if rng.gen_bool(0.5) {
+                    Delta::insert(t)
+                } else {
+                    Delta::retract(t)
+                }
             })
             .collect();
         let a = consolidate(&deltas);
-        use rand::seq::SliceRandom;
         let mut shuffled = deltas.clone();
-        let mut rng = smartcis::types::rng::seeded(seed);
         shuffled.shuffle(&mut rng);
-        prop_assert_eq!(a, consolidate(&shuffled));
+        assert_eq!(a, consolidate(&shuffled), "seed {seed}");
     }
+}
 
-    /// The symmetric hash join over arbitrary insert streams equals the
-    /// nested-loop oracle.
-    #[test]
-    fn hash_join_matches_nested_loop(
-        left in prop::collection::vec((0i64..8, -50i64..50), 0..24),
-        right in prop::collection::vec((0i64..8, -50i64..50), 0..24),
-    ) {
+/// The symmetric hash join over arbitrary insert streams equals the
+/// nested-loop oracle.
+#[test]
+fn hash_join_matches_nested_loop() {
+    for seed in 0..60u64 {
+        let mut rng = seeded(seed);
+        let side = |rng: &mut rand::rngs::StdRng| -> Vec<(i64, i64)> {
+            (0..rng.gen_range(0..24usize))
+                .map(|_| (rng.gen_range(0..8i64), rng.gen_range(-50..50i64)))
+                .collect()
+        };
+        let left = side(&mut rng);
+        let right = side(&mut rng);
+
         let mut join = JoinOp::new(vec![(0, 0)], None);
         let mut outputs = 0usize;
         for (k, v) in &left {
             let t = Tuple::new(vec![Value::Int(*k), Value::Int(*v)], SimTime::ZERO);
-            outputs += join.process(0, &Delta::insert(t)).unwrap().iter()
-                .map(|d| d.sign.unsigned_abs() as usize).sum::<usize>();
+            outputs += join
+                .process(0, &Delta::insert(t))
+                .unwrap()
+                .iter()
+                .map(|d| d.sign.unsigned_abs() as usize)
+                .sum::<usize>();
         }
         for (k, v) in &right {
             let t = Tuple::new(vec![Value::Int(*k), Value::Int(*v)], SimTime::ZERO);
-            outputs += join.process(1, &Delta::insert(t)).unwrap().iter()
-                .map(|d| d.sign.unsigned_abs() as usize).sum::<usize>();
+            outputs += join
+                .process(1, &Delta::insert(t))
+                .unwrap()
+                .iter()
+                .map(|d| d.sign.unsigned_abs() as usize)
+                .sum::<usize>();
         }
         let oracle: usize = left
             .iter()
             .map(|(lk, _)| right.iter().filter(|(rk, _)| rk == lk).count())
             .sum();
-        prop_assert_eq!(outputs, oracle);
+        assert_eq!(outputs, oracle, "seed {seed}");
     }
+}
 
-    /// RANGE windows: a tuple is live iff its timestamp is within the
-    /// window of `now`, monotonic in `now`.
-    #[test]
-    fn range_window_liveness_monotone(
-        ts in 0u64..10_000,
-        width in 1u64..5_000,
-        now1 in 0u64..20_000,
-        extra in 0u64..5_000,
-    ) {
+/// RANGE windows: once a tuple has expired it can never become live again
+/// as `now` advances.
+#[test]
+fn range_window_liveness_monotone() {
+    for seed in 0..300u64 {
+        let mut rng = seeded(seed);
+        let ts = rng.gen_range(0..10_000u64);
+        let width = rng.gen_range(1..5_000u64);
+        let now1 = rng.gen_range(0..20_000u64);
+        let extra = rng.gen_range(0..5_000u64);
         let w = WindowSpec::Range(SimDuration::from_micros(width));
         let now2 = now1 + extra;
         let t = SimTime::from_micros(ts);
         let live1 = w.contains(t, SimTime::from_micros(now1));
         let live2 = w.contains(t, SimTime::from_micros(now2));
-        // Once expired, never live again (for ts <= now).
         if ts <= now1 && !live1 {
-            prop_assert!(!live2 || ts > now2);
+            assert!(!live2 || ts > now2, "seed {seed}");
         }
     }
 }
@@ -180,7 +262,6 @@ fn recursive_view_matches_recompute_under_churn() {
     use smartcis::sql::{bind, parse, BoundQuery};
     use smartcis::stream::RecursiveView;
     use smartcis::types::{Field, Schema};
-    use rand::Rng;
 
     let cat = Catalog::new();
     let schema = Schema::new(vec![
@@ -201,17 +282,14 @@ fn recursive_view_matches_recompute_under_churn() {
     let nodes = ["a", "b", "c", "d", "e"];
     let edge = |i: usize, j: usize| {
         Tuple::new(
-            vec![
-                Value::Text(nodes[i].into()),
-                Value::Text(nodes[j].into()),
-            ],
+            vec![Value::Text(nodes[i].into()), Value::Text(nodes[j].into())],
             SimTime::ZERO,
         )
     };
 
     for seed in 0..15u64 {
         let mut view = RecursiveView::new(&v).unwrap();
-        let mut rng = smartcis::types::rng::seeded(seed);
+        let mut rng = seeded(seed);
         let mut live: Vec<(usize, usize)> = Vec::new();
         for _ in 0..40 {
             let i = rng.gen_range(0..nodes.len());
@@ -225,7 +303,8 @@ fn recursive_view_matches_recompute_under_churn() {
             } else {
                 continue;
             };
-            view.on_base_deltas(src, &[d]).unwrap();
+            view.on_base_deltas(src, &DeltaBatch::from(vec![d]))
+                .unwrap();
         }
         // Oracle: recompute from the same base facts.
         let incremental: std::collections::BTreeSet<Vec<Value>> = view

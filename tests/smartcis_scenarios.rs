@@ -21,7 +21,10 @@ fn demo_scenario_visitor_walks_and_is_guided() {
         let room = r.get(1).as_text().unwrap();
         let desk = r.get(2).as_int().unwrap() as u32;
         assert!(app.lab_is_open(room), "{room} closed but suggested");
-        assert!(!app.desk_is_occupied(desk), "desk {desk} busy but suggested");
+        assert!(
+            !app.desk_is_occupied(desk),
+            "desk {desk} busy but suggested"
+        );
         // And the route starts where the visitor stands.
         assert!(r.get(3).as_text().unwrap().starts_with("entrance"));
     }
@@ -57,7 +60,10 @@ fn guidance_respects_lab_closures_over_time() {
 fn alarms_and_dashboards_coexist_with_guidance() {
     let mut app = SmartCis::new(2, 6, 5).unwrap();
     let temp_q = app.register_query(queries::TEMP_ALARM).unwrap().unwrap();
-    let res_q = app.register_query(queries::ROOM_RESOURCES).unwrap().unwrap();
+    let res_q = app
+        .register_query(queries::ROOM_RESOURCES)
+        .unwrap()
+        .unwrap();
     let free_q = app.register_query(queries::FREE_MACHINES).unwrap().unwrap();
     for _ in 0..6 {
         app.tick().unwrap();

@@ -1,6 +1,7 @@
 //! Integration: stream-engine semantics across crates — tumbling and
-//! row-count windows through full SQL pipelines, distributed placement
-//! accounting, and display routing.
+//! row-count windows through full SQL pipelines, batch/per-tuple
+//! equivalence of the delta dataflow, distributed placement accounting,
+//! and display routing.
 
 use std::sync::Arc;
 
@@ -39,9 +40,7 @@ fn tumbling_window_aggregate_resets_per_pane() {
     let cat = catalog();
     let mut engine = StreamEngine::new(Arc::clone(&cat));
     let q = engine
-        .register_sql(
-            "select sum(r.value) from Readings r [tumbling 10 seconds]",
-        )
+        .register_sql("select sum(r.value) from Readings r [tumbling 10 seconds]")
         .unwrap()
         .unwrap();
     // Pane 0: t in [0, 10).
@@ -53,7 +52,9 @@ fn tumbling_window_aggregate_resets_per_pane() {
         Value::Float(12.0)
     );
     // Crossing into pane 1 retracts pane 0's contents.
-    engine.on_batch("Readings", &[reading(1, 100.0, 12)]).unwrap();
+    engine
+        .on_batch("Readings", &[reading(1, 100.0, 12)])
+        .unwrap();
     assert_eq!(
         engine.snapshot(q).unwrap()[0].values()[0],
         Value::Float(100.0)
@@ -86,6 +87,99 @@ fn rows_window_keeps_exactly_n() {
     assert_eq!(engine.snapshot(q).unwrap().len(), 3);
 }
 
+/// Property: pushing a workload as whole batches produces exactly the
+/// same consolidated result multiset as pushing it tuple-by-tuple, for
+/// filter, join, aggregate, and window-expiry plans — and the batched
+/// path never costs more operator invocations than the per-tuple path.
+///
+/// Result rows are compared by *values*: batch consolidation merges
+/// duplicate deltas, so an aggregate output row's timestamp (taken from
+/// the last delta touching its group) is a per-granularity presentation
+/// detail, not part of the equivalence contract.
+#[test]
+fn batched_pipeline_equivalent_to_per_tuple() {
+    use rand::Rng;
+    use smartcis::types::rng::seeded;
+
+    fn value_rows(rows: &[Tuple]) -> Vec<Vec<Value>> {
+        rows.iter().map(|t| t.values().to_vec()).collect()
+    }
+
+    let plans = [
+        "select r.sensor, r.value from Readings r where r.value > 40",
+        "select r.sensor, avg(r.value) from Readings r group by r.sensor",
+        "select count(*) from Readings r",
+        "select a.value, b.value from Readings a, Readings b \
+         where a.sensor = b.sensor ^ a.value < b.value",
+        "select sum(r.value) from Readings r [tumbling 10 seconds]",
+        "select r.sensor, r.value from Readings r [rows 5]",
+    ];
+    for seed in 0..5u64 {
+        let mut rng = seeded(seed);
+        // Random workload: tuple batches interleaved with heartbeats,
+        // timestamps nondecreasing so windows expire mid-run.
+        let mut now = 0u64;
+        let mut events: Vec<(Vec<Tuple>, Option<u64>)> = Vec::new();
+        for _ in 0..30 {
+            let n = rng.gen_range(1..12usize);
+            let batch: Vec<Tuple> = (0..n)
+                .map(|_| {
+                    reading(
+                        rng.gen_range(0..4i64),
+                        rng.gen_range(0..100i64) as f64,
+                        now + rng.gen_range(0..2u64),
+                    )
+                })
+                .collect();
+            let hb = if rng.gen_bool(0.3) {
+                now += rng.gen_range(1..20u64);
+                Some(now)
+            } else {
+                now += 1;
+                None
+            };
+            events.push((batch, hb));
+        }
+
+        for sql in plans {
+            let cat = catalog();
+            let mut batched = StreamEngine::new(Arc::clone(&cat));
+            let mut per_tuple = StreamEngine::new(Arc::clone(&cat));
+            let qb = batched.register_sql(sql).unwrap().unwrap();
+            let qp = per_tuple.register_sql(sql).unwrap().unwrap();
+
+            let mut prev_batched_ops = 0;
+            for (batch, hb) in &events {
+                batched.on_batch("Readings", batch).unwrap();
+                for t in batch {
+                    per_tuple
+                        .on_batch("Readings", std::slice::from_ref(t))
+                        .unwrap();
+                }
+                if let Some(hb) = hb {
+                    batched.heartbeat(SimTime::from_secs(*hb)).unwrap();
+                    per_tuple.heartbeat(SimTime::from_secs(*hb)).unwrap();
+                }
+                // ops_invoked is monotone along the run...
+                let ops = batched.total_ops_invoked();
+                assert!(ops >= prev_batched_ops, "ops_invoked went backwards");
+                prev_batched_ops = ops;
+                // ...and the result multisets agree after every event.
+                assert_eq!(
+                    value_rows(&batched.snapshot(qb).unwrap()),
+                    value_rows(&per_tuple.snapshot(qp).unwrap()),
+                    "divergence for '{sql}' at seed {seed}"
+                );
+            }
+            // Batching only ever consolidates work away.
+            assert!(
+                batched.total_ops_invoked() <= per_tuple.total_ops_invoked(),
+                "batched path cost more CPU units for '{sql}'"
+            );
+        }
+    }
+}
+
 #[test]
 fn distributed_query_accounts_lan_traffic() {
     let cat = catalog();
@@ -102,9 +196,7 @@ fn distributed_query_accounts_lan_traffic() {
     dq.place_source(src, "wrapper-host");
     let mut total_ship = smartcis::types::SimDuration::ZERO;
     for i in 0..20 {
-        let ship = dq
-            .push(src, &[reading(i % 4, i as f64, i as u64)])
-            .unwrap();
+        let ship = dq.push(src, &[reading(i % 4, i as f64, i as u64)]).unwrap();
         total_ship = total_ship + ship;
     }
     assert_eq!(dq.stats.batches, 20);
@@ -190,7 +282,11 @@ fn arithmetic_and_scalar_functions_in_projection() {
     engine
         .on_batch(
             "Readings",
-            &[reading(1, 95.0, 1), reading(2, 72.0, 1), reading(3, 40.0, 1)],
+            &[
+                reading(1, 95.0, 1),
+                reading(2, 72.0, 1),
+                reading(3, 40.0, 1),
+            ],
         )
         .unwrap();
     let rows = engine.snapshot(q).unwrap();
