@@ -1,0 +1,41 @@
+//! Throwaway review check: late ROWS-window replay with duplicate rows.
+
+use std::sync::Arc;
+
+use smartcis::catalog::{Catalog, SourceKind, SourceStats};
+use smartcis::stream::StreamEngine;
+use smartcis::types::{DataType, Field, Schema, SimTime, Tuple, Value};
+
+fn catalog() -> Arc<Catalog> {
+    let cat = Catalog::shared();
+    let s = Schema::new(vec![Field::new("v", DataType::Int)]).into_ref();
+    cat.register_source("T", s, SourceKind::Table, SourceStats::table(10))
+        .unwrap();
+    cat
+}
+
+fn row(v: i64) -> Tuple {
+    Tuple::new(vec![Value::Int(v)], SimTime::from_secs(1))
+}
+
+#[test]
+fn late_rows_replay_with_duplicate_rows() {
+    let rows = [row(7), row(1), row(7), row(2)];
+    let sql = "select t.v from T t [rows 2]";
+
+    let mut live = StreamEngine::new(catalog());
+    let q_live = live.register_sql(sql).unwrap().unwrap();
+    live.on_batch("T", &rows).unwrap();
+
+    let mut late = StreamEngine::new(catalog());
+    late.on_batch("T", &rows).unwrap();
+    let q_late = late.register_sql(sql).unwrap().unwrap();
+
+    let vals = |snap: Vec<Tuple>| -> Vec<Value> {
+        snap.iter().map(|t| t.get(0).clone()).collect()
+    };
+    assert_eq!(
+        vals(live.snapshot(q_live).unwrap()),
+        vals(late.snapshot(q_late).unwrap())
+    );
+}
