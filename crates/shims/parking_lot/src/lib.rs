@@ -1,12 +1,17 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
 //! Wraps `std::sync` primitives behind parking_lot's guard-returning API
-//! (`read()`/`write()`/`lock()` with no `Result`). Poisoned locks panic,
-//! which matches parking_lot's effective behavior for this workspace:
-//! nothing here recovers from a panicking critical section.
+//! (`read()`/`write()`/`lock()` with no `Result`). parking_lot locks do
+//! not poison: a lock held by a panicking thread is simply released and
+//! the next `lock()` succeeds. The shim matches that by recovering from
+//! `std`'s poisoning (`PoisonError::into_inner`) instead of panicking —
+//! callers that can observe a panicked critical section (e.g. the
+//! sharded engine's fan-out, which maps worker panics to an `Err`) stay
+//! able to lock afterwards, exactly as with the real crate.
 
 use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+    Mutex as StdMutex, MutexGuard, PoisonError, RwLock as StdRwLock, RwLockReadGuard,
+    RwLockWriteGuard,
 };
 
 #[derive(Debug, Default)]
@@ -22,15 +27,17 @@ impl<T> RwLock<T> {
     }
 
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().expect("rwlock poisoned")
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().expect("rwlock poisoned")
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().expect("rwlock poisoned")
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -47,11 +54,13 @@ impl<T> Mutex<T> {
     }
 
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().expect("mutex poisoned")
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().expect("mutex poisoned")
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -72,5 +81,34 @@ mod tests {
         let m = Mutex::new(vec![1]);
         m.lock().push(2);
         assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn mutex_survives_panicked_holder() {
+        // parking_lot has no poisoning: a panic inside the critical
+        // section must not brick the lock for everyone else.
+        let m = std::sync::Arc::new(Mutex::new(7));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("holder dies");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+        *m.lock() = 8;
+        let m = std::sync::Arc::try_unwrap(m).expect("sole owner");
+        assert_eq!(m.into_inner(), 8);
+    }
+
+    #[test]
+    fn rwlock_survives_panicked_writer() {
+        let l = std::sync::Arc::new(RwLock::new(1));
+        let l2 = std::sync::Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("writer dies");
+        })
+        .join();
+        assert_eq!(*l.read(), 1);
     }
 }

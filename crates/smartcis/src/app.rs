@@ -114,7 +114,21 @@ pub struct SmartCis {
 
 impl SmartCis {
     /// Build the full system: `labs` labs with `desks_per_lab` desks.
+    /// The stream engine runs unsharded (shard count 1); use
+    /// [`SmartCis::with_shards`] to spread the standing-query set across
+    /// worker shards.
     pub fn new(labs: usize, desks_per_lab: usize, seed: u64) -> Result<SmartCis> {
+        SmartCis::with_shards(labs, desks_per_lab, seed, 1)
+    }
+
+    /// Build the full system with the stream engine's pipelines and
+    /// routing index partitioned across `shards` worker shards.
+    pub fn with_shards(
+        labs: usize,
+        desks_per_lab: usize,
+        seed: u64,
+        shards: usize,
+    ) -> Result<SmartCis> {
         let building = Building::moore_wing(labs, desks_per_lab, 100.0);
         let planner = RoutePlanner::new(&building);
         let catalog = Catalog::shared();
@@ -228,7 +242,7 @@ impl SmartCis {
         let web = WebSourceWrapper::register(&catalog, SimDuration::from_secs(60), seed ^ 1)?;
 
         // --- engines ---
-        let mut engine = StreamEngine::new(Arc::clone(&catalog));
+        let mut engine = StreamEngine::with_shards(Arc::clone(&catalog), shards);
         engine.on_batch("Route", &route_batch.tuples)?;
         engine.on_batch("RoutePoints", &points_batch.tuples)?;
         engine.on_batch("Machines", &machines_batch.tuples)?;
@@ -602,6 +616,39 @@ mod tests {
         assert!(s.visitor.is_some());
         let text = crate::gui::render(&a.building, &s);
         assert!(text.contains('@'));
+    }
+
+    #[test]
+    fn sharded_app_matches_unsharded() {
+        // The whole demo stack on a 3-shard engine: every standing query
+        // and the guidance pipeline must behave exactly as at shard
+        // count 1.
+        let mut flat = SmartCis::new(3, 6, 77).unwrap();
+        let mut sharded = SmartCis::with_shards(3, 6, 77, 3).unwrap();
+        assert_eq!(sharded.engine.shard_count(), 3);
+        let sql = "select t.room, t.desk from TempSensors t where t.temp > 60";
+        let qf = flat.register_query(sql).unwrap().unwrap();
+        let qs = sharded.register_query(sql).unwrap().unwrap();
+        for _ in 0..3 {
+            flat.tick().unwrap();
+            sharded.tick().unwrap();
+        }
+        let vals = |rows: Vec<Tuple>| -> Vec<Vec<Value>> {
+            rows.into_iter().map(|t| t.values().to_vec()).collect()
+        };
+        assert_eq!(
+            vals(flat.engine.snapshot(qf).unwrap()),
+            vals(sharded.engine.snapshot(qs).unwrap())
+        );
+        flat.set_visitor(1, "entrance", "Fedora").unwrap();
+        sharded.set_visitor(1, "entrance", "Fedora").unwrap();
+        let (_, rf) = flat.visitor_guidance().unwrap();
+        let (_, rs) = sharded.visitor_guidance().unwrap();
+        assert_eq!(vals(rf), vals(rs));
+        assert_eq!(
+            flat.engine.view_snapshot("Reachable").unwrap().len(),
+            sharded.engine.view_snapshot("Reachable").unwrap().len()
+        );
     }
 
     #[test]

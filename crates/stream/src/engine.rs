@@ -1,308 +1,146 @@
 //! The stream-engine facade.
 //!
 //! A [`StreamEngine`] owns every continuous query and materialized
-//! recursive view on the PC side of ASPEN. Wrappers push source batches
-//! in; a **routing index** (`SourceId` → subscriber lists, built at
-//! registration time) sends each batch only to the query pipelines and
-//! recursive views that actually scan that source — ingest cost scales
-//! with the *subscribers of the source*, not with the total number of
-//! registered queries. Heartbeats likewise touch only the pipelines
-//! whose windows react to time.
+//! recursive view on the PC side of ASPEN. Since the sharding refactor
+//! it is a thin facade over [`ShardedEngine`]: `StreamEngine::new` is a
+//! one-shard engine (identical behavior and cost to the pre-shard
+//! engine — one shard owns every query and the whole `SourceId` →
+//! subscriber routing index), and [`StreamEngine::with_shards`] spreads
+//! the pipeline set across N worker shards hashed by `QueryId`.
+//! Wrappers push source batches in; the routing index sends each batch
+//! only to the query pipelines and recursive views that actually scan
+//! that source — ingest cost scales with the *subscribers of the
+//! source*, not with the total number of registered queries. Heartbeats
+//! likewise touch only the pipelines (and time-windowed views) that
+//! react to time.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use aspen_catalog::{Catalog, SourceKind, SourceStats};
+use aspen_catalog::Catalog;
 use aspen_sql::binder::BoundView;
 use aspen_sql::plan::LogicalPlan;
-use aspen_sql::{bind, parse, BoundQuery};
-use aspen_types::{AspenError, QueryId, Result, SimTime, SourceId, Tuple};
+use aspen_types::{Result, SimTime, SourceId, Tuple};
 
 use crate::delta::DeltaBatch;
-use crate::pipeline::Pipeline;
-use crate::recursive::RecursiveView;
-use crate::sink::Sink;
-use crate::state::BagState;
+use crate::shard::ShardedEngine;
 
-/// Handle to a registered continuous query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct QueryHandle(pub QueryId);
-
-struct QueryRuntime {
-    pipeline: Pipeline,
-    sink: Sink,
-}
-
-struct ViewRuntime {
-    view: RecursiveView,
-    out_source: SourceId,
-}
+pub use crate::shard::QueryHandle;
 
 /// PC-side query engine: continuous queries + materialized views.
 pub struct StreamEngine {
-    catalog: Arc<Catalog>,
-    queries: Vec<QueryRuntime>,
-    views: Vec<ViewRuntime>,
-    /// Routing index: source → queries whose pipelines scan it.
-    query_subs: HashMap<SourceId, Vec<usize>>,
-    /// Routing index: source → views that read it as a base relation.
-    view_subs: HashMap<SourceId, Vec<usize>>,
-    /// Queries whose windows react to the clock (heartbeat fan-out set).
-    clock_subs: Vec<usize>,
-    /// Retained contents of Table sources so late-registered queries can
-    /// replay them (streams are not replayed — standard semantics).
-    table_store: HashMap<SourceId, BagState>,
-    now: SimTime,
+    inner: ShardedEngine,
 }
 
 impl StreamEngine {
+    /// Single-shard engine — the default for interactive use and for
+    /// every caller that predates the shard layer.
     pub fn new(catalog: Arc<Catalog>) -> Self {
         StreamEngine {
-            catalog,
-            queries: Vec::new(),
-            views: Vec::new(),
-            query_subs: HashMap::new(),
-            view_subs: HashMap::new(),
-            clock_subs: Vec::new(),
-            table_store: HashMap::new(),
-            now: SimTime::ZERO,
+            inner: ShardedEngine::new(catalog, 1),
         }
     }
 
+    /// Engine whose queries and routing index are partitioned across
+    /// `shards` worker shards (hash-placed by `QueryId`).
+    pub fn with_shards(catalog: Arc<Catalog>, shards: usize) -> Self {
+        StreamEngine {
+            inner: ShardedEngine::new(catalog, shards),
+        }
+    }
+
+    /// The sharded core, for callers that need shard-level introspection
+    /// (placement balance, per-shard busy time and ops counters).
+    pub fn sharded(&self) -> &ShardedEngine {
+        &self.inner
+    }
+
+    /// Force the shard fan-out onto scoped worker threads, or back to
+    /// the sequential loop (identical results either way). Benches pin
+    /// this so per-shard busy accounting is free of thread-scheduling
+    /// noise.
+    pub fn set_parallel_ingest(&mut self, on: bool) {
+        self.inner.set_parallel_ingest(on);
+    }
+
     pub fn catalog(&self) -> &Arc<Catalog> {
-        &self.catalog
+        self.inner.catalog()
     }
 
     pub fn now(&self) -> SimTime {
-        self.now
+        self.inner.now()
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
     }
 
     /// Number of queries subscribed to a source (routing-index fan-out;
     /// exposed for tests and the fan-out bench).
     pub fn subscriber_count(&self, source: SourceId) -> usize {
-        self.query_subs.get(&source).map_or(0, Vec::len)
+        self.inner.subscriber_count(source)
     }
 
     /// Compile and register a SQL statement. `SELECT` returns a query
     /// handle; `CREATE VIEW` materializes the view and returns `None`.
     pub fn register_sql(&mut self, sql: &str) -> Result<Option<QueryHandle>> {
-        match bind(&parse(sql)?, &self.catalog)? {
-            BoundQuery::Select(b) => Ok(Some(self.register_plan(&b.plan)?)),
-            BoundQuery::View(v) => {
-                self.register_view(&v)?;
-                Ok(None)
-            }
-        }
+        self.inner.register_sql(sql)
     }
 
     /// Register an already-planned continuous query.
     pub fn register_plan(&mut self, plan: &LogicalPlan) -> Result<QueryHandle> {
-        let mut pipeline = Pipeline::compile(plan)?;
-        let mut sink = pipeline.make_sink();
-        pipeline.start(&mut sink)?;
-
-        // Replay retained table contents and current view materializations
-        // so the query starts consistent. `Pipeline::sources()` is
-        // deduplicated: a source scanned under several aliases is
-        // replayed exactly once (push_source feeds every scan bound to
-        // it), so rows are not multiplied by the alias count.
-        let sources = pipeline.sources();
-        for &src in &sources {
-            if let Some(rows) = self.table_store.get(&src) {
-                let rows = rows.snapshot();
-                pipeline.push_source(src, &rows, &mut sink)?;
-            }
-            if let Some(vr) = self.views.iter().find(|v| v.out_source == src) {
-                let snapshot = vr.view.snapshot();
-                pipeline.push_source(src, &snapshot, &mut sink)?;
-            }
-        }
-
-        // Wire the routing index before the query goes live.
-        let idx = self.queries.len();
-        for src in sources {
-            self.query_subs.entry(src).or_default().push(idx);
-        }
-        if pipeline.needs_clock() {
-            self.clock_subs.push(idx);
-        }
-
-        self.queries.push(QueryRuntime { pipeline, sink });
-        Ok(QueryHandle(QueryId(idx as u32)))
+        self.inner.register_plan(plan)
     }
 
     /// Materialize a bound view. Registers the view's output as a catalog
     /// source (kind `View`) so downstream queries can scan it.
     pub fn register_view(&mut self, bound: &BoundView) -> Result<SourceId> {
-        let out_source = self.catalog.register_source(
-            &bound.name,
-            bound.schema.clone(),
-            SourceKind::View,
-            SourceStats::default(),
-        )?;
-        let mut view = RecursiveView::new(bound)?;
-
-        // Seed the view from any already-retained table contents.
-        let mut emitted = DeltaBatch::new();
-        for src in view.base_sources() {
-            if let Some(rows) = self.table_store.get(&src) {
-                let deltas = DeltaBatch::inserts(rows.snapshot());
-                emitted.extend(view.on_base_deltas(src, &deltas)?);
-            }
-        }
-
-        let idx = self.views.len();
-        for src in view.base_sources() {
-            self.view_subs.entry(src).or_default().push(idx);
-        }
-        self.views.push(ViewRuntime { view, out_source });
-        if !emitted.is_empty() {
-            self.forward_view_deltas(out_source, &emitted)?;
-        }
-        Ok(out_source)
+        self.inner.register_view(bound)
     }
 
-    /// Ingest a batch of tuples for a named source. The routing index
-    /// fans it out to exactly the subscribing query pipelines and
-    /// recursive views, then forwards any view deltas the same way.
+    /// Ingest a batch of tuples for a named source.
     pub fn on_batch(&mut self, source_name: &str, tuples: &[Tuple]) -> Result<()> {
-        let meta = self.catalog.source(source_name)?;
-        let src = meta.id;
-        if let Some(max_ts) = tuples.iter().map(Tuple::timestamp).max() {
-            if max_ts > self.now {
-                self.now = max_ts;
-            }
-        }
-        // Retain table contents for replay.
-        if matches!(meta.kind, SourceKind::Table) {
-            self.table_store.entry(src).or_default().insert_all(tuples);
-        }
-        // Queries scanning this source directly.
-        if let Some(subs) = self.query_subs.get(&src) {
-            for &i in subs {
-                let q = &mut self.queries[i];
-                q.pipeline.push_source(src, tuples, &mut q.sink)?;
-            }
-        }
-        // Views reading this source (skip building the delta batch when
-        // no view subscribes).
-        if self.view_subs.contains_key(&src) {
-            let deltas = DeltaBatch::inserts(tuples.iter().cloned());
-            self.apply_base_deltas(src, &deltas)?;
-        }
-        Ok(())
+        self.inner.on_batch(source_name, tuples)
     }
 
     /// Ingest signed changes for a source (e.g. a table update/delete).
     pub fn on_deltas(&mut self, source_name: &str, deltas: &DeltaBatch) -> Result<()> {
-        let meta = self.catalog.source(source_name)?;
-        let src = meta.id;
-        if matches!(meta.kind, SourceKind::Table) {
-            self.table_store.entry(src).or_default().apply(deltas);
-        }
-        if let Some(subs) = self.query_subs.get(&src) {
-            for &i in subs {
-                let q = &mut self.queries[i];
-                q.pipeline.push_deltas(src, deltas, &mut q.sink)?;
-            }
-        }
-        if self.view_subs.contains_key(&src) {
-            self.apply_base_deltas(src, deltas)?;
-        }
-        Ok(())
-    }
-
-    fn apply_base_deltas(&mut self, src: SourceId, deltas: &DeltaBatch) -> Result<()> {
-        let Some(view_idxs) = self.view_subs.get(&src) else {
-            return Ok(());
-        };
-        let mut forwarded: Vec<(SourceId, DeltaBatch)> = Vec::new();
-        for &i in view_idxs {
-            let vr = &mut self.views[i];
-            let out = vr.view.on_base_deltas(src, deltas)?;
-            if !out.is_empty() {
-                forwarded.push((vr.out_source, out));
-            }
-        }
-        for (out_src, out) in forwarded {
-            self.forward_view_deltas(out_src, &out)?;
-        }
-        Ok(())
-    }
-
-    fn forward_view_deltas(&mut self, view_source: SourceId, deltas: &DeltaBatch) -> Result<()> {
-        let Some(subs) = self.query_subs.get(&view_source) else {
-            return Ok(());
-        };
-        for &i in subs {
-            let q = &mut self.queries[i];
-            q.pipeline.push_deltas(view_source, deltas, &mut q.sink)?;
-        }
-        Ok(())
+        self.inner.on_deltas(source_name, deltas)
     }
 
     /// Advance simulated time: expire windows in every clock-sensitive
-    /// pipeline (pipelines over unbounded / row-count windows are never
-    /// touched).
+    /// pipeline and time-windowed view.
     pub fn heartbeat(&mut self, now: SimTime) -> Result<()> {
-        if now > self.now {
-            self.now = now;
-        }
-        for &i in &self.clock_subs {
-            let q = &mut self.queries[i];
-            q.pipeline.advance_time(now, &mut q.sink)?;
-        }
-        Ok(())
-    }
-
-    fn runtime(&self, q: QueryHandle) -> Result<&QueryRuntime> {
-        self.queries
-            .get(q.0.index())
-            .ok_or_else(|| AspenError::InvalidArgument(format!("unknown query {}", q.0)))
+        self.inner.heartbeat(now)
     }
 
     /// Current results of a query (ORDER BY / LIMIT applied).
     pub fn snapshot(&self, q: QueryHandle) -> Result<Vec<Tuple>> {
-        self.runtime(q)?.sink.snapshot()
+        self.inner.snapshot(q)
     }
 
-    /// The sink (for churn statistics and display metadata).
-    pub fn sink(&self, q: QueryHandle) -> Result<&Sink> {
-        Ok(&self.runtime(q)?.sink)
+    /// Result-churn statistic of a query's sink (deltas applied so far).
+    pub fn deltas_applied(&self, q: QueryHandle) -> Result<u64> {
+        self.inner.deltas_applied(q)
     }
 
     /// Total operator invocations across all pipelines (CPU-cost proxy).
     pub fn total_ops_invoked(&self) -> u64 {
-        self.queries.iter().map(|q| q.pipeline.ops_invoked).sum()
+        self.inner.total_ops_invoked()
     }
 
     /// Current materialization of a named view.
     pub fn view_snapshot(&self, name: &str) -> Result<Vec<Tuple>> {
-        self.views
-            .iter()
-            .find(|v| v.view.name().eq_ignore_ascii_case(name))
-            .map(|v| v.view.snapshot())
-            .ok_or_else(|| AspenError::Unresolved(format!("no materialized view '{name}'")))
+        self.inner.view_snapshot(name)
     }
 
     /// Maintenance statistics of a named view.
     pub fn view_stats(&self, name: &str) -> Result<crate::recursive::ViewStats> {
-        self.views
-            .iter()
-            .find(|v| v.view.name().eq_ignore_ascii_case(name))
-            .map(|v| v.view.stats.clone())
-            .ok_or_else(|| AspenError::Unresolved(format!("no materialized view '{name}'")))
+        self.inner.view_stats(name)
     }
 
     /// Snapshots of every query routed to the named display.
     pub fn display_snapshot(&self, display: &str) -> Result<Vec<Vec<Tuple>>> {
-        let mut out = Vec::new();
-        for q in &self.queries {
-            if q.sink.display() == Some(display) {
-                out.push(q.sink.snapshot()?);
-            }
-        }
-        Ok(out)
+        self.inner.display_snapshot(display)
     }
 }
 
@@ -311,7 +149,7 @@ mod tests {
     use super::*;
     use crate::delta::Delta;
     use aspen_catalog::{DeviceClass, SourceKind, SourceStats};
-    use aspen_types::{DataType, Field, Schema, SimDuration, Value};
+    use aspen_types::{DataType, Field, QueryId, Schema, SimDuration, Value};
 
     fn engine() -> StreamEngine {
         let cat = Catalog::shared();
@@ -363,6 +201,33 @@ mod tests {
         e.heartbeat(SimTime::from_secs(20)).unwrap();
         assert!(e.snapshot(q).unwrap().is_empty());
         assert_eq!(e.now(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn delta_ingest_advances_clock_like_batch_ingest() {
+        // Regression: `on_deltas` used to leave `now()` stale while
+        // `on_batch` advanced it — delta-only workloads then saw no time
+        // pass at all. Both paths share the clock rule now.
+        let mut e = engine();
+        e.on_deltas(
+            "Edge",
+            &DeltaBatch::from(vec![Delta::insert(Tuple::new(
+                vec![Value::Text("a".into()), Value::Text("b".into())],
+                SimTime::from_secs(9),
+            ))]),
+        )
+        .unwrap();
+        assert_eq!(e.now(), SimTime::from_secs(9));
+        // Older deltas never move the clock backwards.
+        e.on_deltas(
+            "Edge",
+            &DeltaBatch::from(vec![Delta::retract(Tuple::new(
+                vec![Value::Text("a".into()), Value::Text("b".into())],
+                SimTime::from_secs(2),
+            ))]),
+        )
+        .unwrap();
+        assert_eq!(e.now(), SimTime::from_secs(9));
     }
 
     #[test]

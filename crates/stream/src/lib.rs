@@ -35,16 +35,37 @@
 //! delta per operator, so the optimizer's calibration is unchanged by
 //! batching — consolidation only ever lowers it.
 //!
-//! ## Source-routed subscriptions
+//! ## Source-routed subscriptions, sharded
 //!
-//! [`StreamEngine`] keeps a routing index from `SourceId` to the queries
-//! and recursive views that actually scan that source, built at
+//! The engine keeps a routing index from `SourceId` to the queries and
+//! recursive views that actually scan that source, built at
 //! registration time. `on_batch` / `on_deltas` touch only subscribers —
 //! ingest cost scales with a source's fan-out, not with the total number
-//! of registered queries — and `heartbeat` visits only pipelines whose
-//! windows react to time. This is what lets one building-wide sensor
-//! feed serve many concurrent dashboards (the E11 bench drives a
-//! 50-query fan-out through this path).
+//! of registered queries — and `heartbeat` visits only pipelines (and
+//! time-windowed views) that react to time. This is what lets one
+//! building-wide sensor feed serve many concurrent dashboards (the E11
+//! bench drives a 50-query fan-out through this path).
+//!
+//! Since the sharding refactor that index and the pipeline set are
+//! *partitioned*: [`shard::ShardedEngine`] hash-places every query on
+//! one of N worker shards by `QueryId`, and each shard owns its queries
+//! plus the slice of the routing index that targets them. Ingest
+//! consults a coordinator-level `SourceId → shard` route table and fans
+//! out only to the involved shards; shards live behind the
+//! `parking_lot` shim and run on scoped worker threads when the host
+//! has multiple cores (sequentially, with identical results, when it
+//! does not). The clock, the retained table store, and recursive views
+//! stay on the coordinator — view output deltas fan into the shards
+//! like any other source. [`StreamEngine`] is the shard-count-1 facade
+//! (`StreamEngine::with_shards` exposes the rest); `harness e12`
+//! measures the 50-query fan-out at 1/2/4/8 shards against E11, and the
+//! shard-count invariance property is tested in `tests/sharding.rs`.
+//!
+//! What remains for the ROADMAP's async step: the per-shard mutexes
+//! already serialize exactly the state one worker touches, so moving
+//! `EngineShard` processing onto a task pool only needs the fan-out's
+//! scoped joins replaced with awaited tasks and the coordinator's
+//! view/table updates kept on the ingest task.
 //!
 //! ## Recursive views
 //!
@@ -67,6 +88,7 @@ pub mod engine;
 pub mod operators;
 pub mod pipeline;
 pub mod recursive;
+pub mod shard;
 pub mod sink;
 pub mod state;
 pub mod window;
@@ -74,4 +96,5 @@ pub mod window;
 pub use delta::{Delta, DeltaBatch};
 pub use engine::{QueryHandle, StreamEngine};
 pub use recursive::RecursiveView;
+pub use shard::ShardedEngine;
 pub use sink::Sink;

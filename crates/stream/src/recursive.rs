@@ -24,9 +24,9 @@ use std::collections::{HashMap, HashSet};
 use aspen_sql::binder::BoundView;
 use aspen_sql::expr::BoundExpr;
 use aspen_sql::plan::LogicalPlan;
-use aspen_types::{AspenError, Result, SourceId, Tuple, Value};
+use aspen_types::{AspenError, Result, SimTime, SourceId, Tuple, Value, WindowSpec};
 
-use crate::delta::DeltaBatch;
+use crate::delta::{Delta, DeltaBatch};
 
 /// Sorted set of base-fact ids supporting one derivation.
 pub type Prov = Vec<u64>;
@@ -80,6 +80,17 @@ pub struct RecursiveView {
     /// Materialization: tuple → provenance of its recorded derivation.
     state: HashMap<Tuple, Prov>,
     base_states: HashMap<SourceId, BaseState>,
+    /// Window each base relation is scanned under. Time windows make the
+    /// view clock-sensitive: `advance_time` expires base facts that fell
+    /// out and runs the ordinary deletion pass over them.
+    windows: HashMap<SourceId, WindowSpec>,
+    /// Tumbling sources: the current pane — pane of the last insertion,
+    /// exactly like `WindowOp`'s `pane` field.
+    panes: HashMap<SourceId, u64>,
+    /// Range sources: lower bound on live fact timestamps (lazily
+    /// tightened), so heartbeats skip the expiry scan entirely when
+    /// nothing can have expired.
+    oldest: HashMap<SourceId, SimTime>,
     next_fact_id: u64,
     /// Iteration cap: a fixpoint that runs longer than this aborts
     /// (guards against non-terminating value-generating recursion, e.g.
@@ -103,11 +114,28 @@ impl std::fmt::Debug for RecursiveView {
 impl RecursiveView {
     pub fn new(bound: &BoundView) -> Result<Self> {
         let mut base_sources = HashMap::new();
+        let mut windows: HashMap<SourceId, WindowSpec> = HashMap::new();
         for plan in bound.bases.iter().chain(&bound.steps) {
             for rel in plan.scans() {
                 base_sources
                     .entry(rel.meta.id)
                     .or_insert_with(BaseState::default);
+                // One base relation must be scanned under ONE window:
+                // branches declaring different windows over the same
+                // source (unbounded vs range, range 10 vs range 60, …)
+                // would silently expire with whichever spec won, so
+                // reject outright instead of guessing.
+                let w = windows.entry(rel.meta.id).or_insert(rel.window);
+                if *w != rel.window {
+                    return Err(AspenError::NotExecutable(format!(
+                        "view '{}' scans {} under both {} and {}; a base \
+                         relation must use one window across all branches",
+                        bound.name,
+                        rel.meta.name,
+                        w.render(),
+                        rel.window.render()
+                    )));
+                }
             }
         }
         Ok(RecursiveView {
@@ -116,6 +144,9 @@ impl RecursiveView {
             steps: bound.steps.clone(),
             state: HashMap::new(),
             base_states: base_sources,
+            windows,
+            panes: HashMap::new(),
+            oldest: HashMap::new(),
             next_fact_id: 0,
             max_rounds: 1_000,
             stats: ViewStats::default(),
@@ -149,12 +180,162 @@ impl RecursiveView {
         self.base_states.contains_key(&source)
     }
 
+    fn clock_sensitive(w: WindowSpec) -> bool {
+        matches!(w, WindowSpec::Range(_) | WindowSpec::Tumbling(_))
+    }
+
+    /// Whether any base relation is scanned under a time window, i.e.
+    /// whether `advance_time` can ever change the materialization. The
+    /// engine routes heartbeats only to clock-sensitive views.
+    pub fn needs_clock(&self) -> bool {
+        self.windows.values().any(|w| Self::clock_sensitive(*w))
+    }
+
+    /// Advance the clock, mirroring `WindowOp::advance`: range windows
+    /// retract facts that aged out; tumbling windows roll only *forward*
+    /// (`now` in a newer pane than the current one drains it — a lagging
+    /// heartbeat never touches live facts). Expired facts go through the
+    /// ordinary deletion pass (DRed), so derived tuples whose support
+    /// expired disappear too. Returns the net view deltas to forward
+    /// downstream.
+    pub fn advance_time(&mut self, now: SimTime) -> Result<DeltaBatch> {
+        let mut out = DeltaBatch::new();
+        let clocked: Vec<(SourceId, WindowSpec)> = self
+            .windows
+            .iter()
+            .filter(|(_, w)| Self::clock_sensitive(**w))
+            .map(|(s, w)| (*s, *w))
+            .collect();
+        for (src, spec) in clocked {
+            match spec {
+                WindowSpec::Tumbling(_) => {
+                    let (Some(now_pane), Some(&current)) =
+                        (spec.pane_of(now), self.panes.get(&src))
+                    else {
+                        continue;
+                    };
+                    if now_pane > current {
+                        self.panes.insert(src, now_pane);
+                        out.extend(
+                            self.expire_where(src, |ts| spec.pane_of(ts) != Some(now_pane))?,
+                        );
+                    }
+                }
+                WindowSpec::Range(_) => {
+                    // O(1) fast path: if the oldest live fact is still in
+                    // the window, so is everything else.
+                    let Some(&oldest) = self.oldest.get(&src) else {
+                        continue;
+                    };
+                    if spec.contains(oldest, now) {
+                        continue;
+                    }
+                    out.extend(self.expire_where(src, |ts| !spec.contains(ts, now))?);
+                    match self.base_states[&src]
+                        .facts
+                        .keys()
+                        .map(Tuple::timestamp)
+                        .min()
+                    {
+                        Some(min_ts) => self.oldest.insert(src, min_ts),
+                        None => self.oldest.remove(&src),
+                    };
+                }
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+
+    /// Retract every live base fact of `src` matching `dead`, running
+    /// the ordinary deletion pass over them.
+    fn expire_tuples_where<F: Fn(&Tuple) -> bool>(
+        &mut self,
+        src: SourceId,
+        dead: F,
+    ) -> Result<DeltaBatch> {
+        let expired: DeltaBatch = self.base_states[&src]
+            .facts
+            .keys()
+            .filter(|t| dead(t))
+            .cloned()
+            .map(Delta::retract)
+            .collect();
+        if expired.is_empty() {
+            return Ok(DeltaBatch::new());
+        }
+        self.apply_base_deltas_inner(src, &expired)
+    }
+
+    /// Retract every live base fact of `src` whose *timestamp* matches
+    /// `dead`.
+    fn expire_where<F: Fn(SimTime) -> bool>(
+        &mut self,
+        src: SourceId,
+        dead: F,
+    ) -> Result<DeltaBatch> {
+        self.expire_tuples_where(src, |t| dead(t.timestamp()))
+    }
+
     /// Apply a batch of base-fact changes from one source; returns the
     /// net view deltas as one batch.
+    ///
+    /// Tumbling-windowed base scans roll panes *eagerly*, exactly like
+    /// the pipeline `WindowOp`'s per-tuple rollover: the batch's
+    /// insertions are replayed in arrival order, each pane *transition*
+    /// drains everything buffered so far (pre-existing facts and
+    /// earlier same-batch inserts alike — even when a stray
+    /// out-of-order tuple transitions backwards or re-enters a pane
+    /// seen earlier in the batch), so only the insertions since the
+    /// last transition survive. (Retract-then-insert vs insert-then-
+    /// retract differ only transiently; downstream consolidation sees
+    /// the same net batch either way.)
     pub fn on_base_deltas(&mut self, source: SourceId, deltas: &DeltaBatch) -> Result<DeltaBatch> {
         if !self.base_states.contains_key(&source) {
             return Ok(DeltaBatch::new());
         }
+        let mut out = self.apply_base_deltas_inner(source, deltas)?;
+        let mut inserts = deltas.iter().filter(|d| d.is_insert()).peekable();
+        match self.windows.get(&source).copied() {
+            Some(spec @ WindowSpec::Tumbling(_)) if inserts.peek().is_some() => {
+                // Replay WindowOp's buffer over the batch: survivors are
+                // the inserts since the last pane transition.
+                let mut pane = self.panes.get(&source).copied();
+                let mut rolled = false;
+                let mut survivors: HashSet<&Tuple> = HashSet::new();
+                for d in inserts {
+                    let p = spec.pane_of(d.tuple.timestamp());
+                    if p.is_some() && p != pane {
+                        survivors.clear();
+                        rolled = true;
+                        pane = p;
+                    }
+                    survivors.insert(&d.tuple);
+                }
+                if let Some(p) = pane {
+                    self.panes.insert(source, p);
+                }
+                if rolled {
+                    let survivors: HashSet<Tuple> = survivors.into_iter().cloned().collect();
+                    out.extend(self.expire_tuples_where(source, |t| !survivors.contains(t))?);
+                }
+            }
+            Some(WindowSpec::Range(_)) => {
+                if let Some(min_ts) = inserts.map(|d| d.tuple.timestamp()).min() {
+                    let bound = self.oldest.entry(source).or_insert(min_ts);
+                    *bound = (*bound).min(min_ts);
+                }
+            }
+            _ => {}
+        }
+        Ok(out)
+    }
+
+    fn apply_base_deltas_inner(
+        &mut self,
+        source: SourceId,
+        deltas: &DeltaBatch,
+    ) -> Result<DeltaBatch> {
         let mut inserted: Vec<Tuple> = Vec::new();
         let mut deleted_ids: HashSet<u64> = HashSet::new();
         {
@@ -713,6 +894,246 @@ mod tests {
         assert!(rounds >= 1);
         assert_eq!(pairs(&v), before);
         assert_eq!(v.stats.full_recomputes, 1);
+    }
+
+    #[test]
+    fn table_scans_are_clock_insensitive() {
+        let cat = edge_catalog();
+        let mut v = tc_view(&cat);
+        let src = cat.source("Edge").unwrap().id;
+        assert!(!v.needs_clock());
+        v.on_base_deltas(src, &DeltaBatch::from(vec![Delta::insert(edge("a", "b"))]))
+            .unwrap();
+        let out = v.advance_time(SimTime::from_secs(1_000_000)).unwrap();
+        assert!(out.is_empty(), "unbounded base facts never expire");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn time_windowed_base_facts_expire_on_advance() {
+        // Same closure view, but the base relation is scanned under a
+        // 10-second range window: facts age out and their derived tuples
+        // must die with them.
+        let cat = edge_catalog();
+        let sql = r#"
+            create recursive view Reach as (
+                select e.src, e.dst from Edge e [range 10 seconds]
+                union
+                select r.src, e.dst from Reach r, Edge e [range 10 seconds] where r.dst = e.src
+            )
+        "#;
+        let BoundQuery::View(bv) = bind(&parse(sql).unwrap(), &cat).unwrap() else {
+            panic!()
+        };
+        let mut v = RecursiveView::new(&bv).unwrap();
+        assert!(v.needs_clock());
+        let src = cat.source("Edge").unwrap().id;
+        let stamped = |a: &str, b: &str, sec: u64| {
+            Tuple::new(
+                vec![Value::Text(a.into()), Value::Text(b.into())],
+                SimTime::from_secs(sec),
+            )
+        };
+        v.on_base_deltas(
+            src,
+            &DeltaBatch::from(vec![
+                Delta::insert(stamped("a", "b", 1)),
+                Delta::insert(stamped("b", "c", 8)),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(v.len(), 3); // ab, bc, ac
+
+        // t=12: the a→b fact (stamped 1) left the 10 s window; a→c loses
+        // its support and must be retracted too. b→c (stamped 8) lives.
+        let out = v.advance_time(SimTime::from_secs(12)).unwrap();
+        let retracted: HashSet<_> = out
+            .iter()
+            .filter(|d| !d.is_insert())
+            .map(|d| d.tuple.values().to_vec())
+            .collect();
+        assert_eq!(v.len(), 1);
+        assert!(retracted.contains(stamped("a", "b", 1).values()));
+        assert!(retracted.contains(stamped("a", "c", 8).values()));
+        assert!(pairs(&v).contains(&("b".into(), "c".into())));
+        // Idempotent: a second advance at the same clock emits nothing.
+        assert!(v.advance_time(SimTime::from_secs(12)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tumbling_view_base_rolls_panes_eagerly_on_insert() {
+        // The pipeline WindowOp retracts the previous pane the moment a
+        // newer-pane tuple arrives — a tumbling-windowed view base must
+        // do the same, without waiting for a heartbeat.
+        let cat = edge_catalog();
+        let sql = r#"
+            create recursive view Reach as (
+                select e.src, e.dst from Edge e [tumbling 10 seconds]
+                union
+                select r.src, e.dst from Reach r, Edge e [tumbling 10 seconds] where r.dst = e.src
+            )
+        "#;
+        let BoundQuery::View(bv) = bind(&parse(sql).unwrap(), &cat).unwrap() else {
+            panic!()
+        };
+        let mut v = RecursiveView::new(&bv).unwrap();
+        let src = cat.source("Edge").unwrap().id;
+        let stamped = |a: &str, b: &str, sec: u64| {
+            Tuple::new(
+                vec![Value::Text(a.into()), Value::Text(b.into())],
+                SimTime::from_secs(sec),
+            )
+        };
+        v.on_base_deltas(
+            src,
+            &DeltaBatch::from(vec![Delta::insert(stamped("a", "b", 5))]),
+        )
+        .unwrap();
+        assert_eq!(v.len(), 1);
+        // t=15 lands in the next pane: the t=5 fact must be retracted in
+        // the same call, exactly like WindowOp's insert-time rollover.
+        let out = v
+            .on_base_deltas(
+                src,
+                &DeltaBatch::from(vec![Delta::insert(stamped("b", "c", 15))]),
+            )
+            .unwrap();
+        assert_eq!(v.len(), 1, "old pane must be gone: {:?}", v.snapshot());
+        assert!(pairs(&v).contains(&("b".into(), "c".into())));
+        assert!(
+            out.iter().any(|d| !d.is_insert()),
+            "rollover emits retractions"
+        );
+        // Heartbeat-driven rollover still works for the remaining pane.
+        let out = v.advance_time(SimTime::from_secs(25)).unwrap();
+        assert!(v.is_empty());
+        assert_eq!(out.iter().filter(|d| !d.is_insert()).count(), 1);
+
+        // A single batch spanning a pane boundary must also roll: only
+        // the newest pane's facts survive, exactly like WindowOp's
+        // per-tuple rollover.
+        let out = v
+            .on_base_deltas(
+                src,
+                &DeltaBatch::from(vec![
+                    Delta::insert(stamped("a", "b", 31)),
+                    Delta::insert(stamped("c", "d", 45)),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(
+            v.len(),
+            1,
+            "old pane in same batch must roll: {:?}",
+            v.snapshot()
+        );
+        assert!(pairs(&v).contains(&("c".into(), "d".into())));
+        // The emitted batch nets out to just the surviving insert.
+        let net = out.consolidate();
+        assert_eq!(net.len(), 1);
+        assert_eq!(net[0].0.values(), stamped("c", "d", 45).values());
+
+        // A heartbeat lagging behind ingested timestamps must not touch
+        // future-pane facts (WindowOp only ever rolls forward).
+        assert!(v.advance_time(SimTime::from_secs(12)).unwrap().is_empty());
+        assert_eq!(v.len(), 1, "lagging heartbeat must not expire live facts");
+
+        // An out-of-order OLDER-pane insert rolls too: WindowOp drains
+        // its buffer on ANY pane change, so the late pane-4 fact (c,d,45)
+        // must die when a stray pane-0 tuple arrives — the current pane
+        // is the pane of the last insertion, wherever it lands.
+        v.on_base_deltas(
+            src,
+            &DeltaBatch::from(vec![Delta::insert(stamped("x", "y", 3))]),
+        )
+        .unwrap();
+        assert_eq!(
+            v.len(),
+            1,
+            "backward pane change must roll: {:?}",
+            v.snapshot()
+        );
+        assert!(pairs(&v).contains(&("x".into(), "y".into())));
+    }
+
+    #[test]
+    fn mixed_time_windows_over_one_base_are_rejected() {
+        let cat = edge_catalog();
+        let sql = r#"
+            create recursive view Reach as (
+                select e.src, e.dst from Edge e [range 10 seconds]
+                union
+                select r.src, e.dst from Reach r, Edge e [range 60 seconds] where r.dst = e.src
+            )
+        "#;
+        let BoundQuery::View(bv) = bind(&parse(sql).unwrap(), &cat).unwrap() else {
+            panic!()
+        };
+        let err = RecursiveView::new(&bv).unwrap_err();
+        assert!(
+            err.to_string().contains("one window"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn unbounded_and_windowed_scans_of_one_base_are_rejected() {
+        // The unbounded branch's facts must not silently inherit the
+        // other branch's expiry.
+        let cat = edge_catalog();
+        let sql = r#"
+            create recursive view Reach as (
+                select e.src, e.dst from Edge e
+                union
+                select r.src, e.dst from Reach r, Edge e [range 10 seconds] where r.dst = e.src
+            )
+        "#;
+        let BoundQuery::View(bv) = bind(&parse(sql).unwrap(), &cat).unwrap() else {
+            panic!()
+        };
+        assert!(RecursiveView::new(&bv).is_err());
+    }
+
+    #[test]
+    fn intra_batch_pane_transitions_match_windowop_replay() {
+        // Insert panes 1, 2, 1 in ONE batch: WindowOp's per-tuple
+        // rollover drains the buffer at each transition, so only the
+        // final t=18 tuple survives — not the earlier same-pane t=15.
+        let cat = edge_catalog();
+        let sql = r#"
+            create recursive view Reach as (
+                select e.src, e.dst from Edge e [tumbling 10 seconds]
+                union
+                select r.src, e.dst from Reach r, Edge e [tumbling 10 seconds] where r.dst = e.src
+            )
+        "#;
+        let BoundQuery::View(bv) = bind(&parse(sql).unwrap(), &cat).unwrap() else {
+            panic!()
+        };
+        let mut v = RecursiveView::new(&bv).unwrap();
+        let src = cat.source("Edge").unwrap().id;
+        let stamped = |a: &str, b: &str, sec: u64| {
+            Tuple::new(
+                vec![Value::Text(a.into()), Value::Text(b.into())],
+                SimTime::from_secs(sec),
+            )
+        };
+        v.on_base_deltas(
+            src,
+            &DeltaBatch::from(vec![
+                Delta::insert(stamped("a", "b", 15)),
+                Delta::insert(stamped("c", "d", 25)),
+                Delta::insert(stamped("e", "f", 18)),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(
+            v.len(),
+            1,
+            "only the last transition's suffix lives: {:?}",
+            v.snapshot()
+        );
+        assert!(pairs(&v).contains(&("e".into(), "f".into())));
     }
 
     #[test]

@@ -1,0 +1,695 @@
+//! Sharded pipeline execution: the engine core partitioned across
+//! worker shards.
+//!
+//! [`ShardedEngine`] lifts the per-operator partitioning idea of
+//! [`crate::distributed::PartitionedJoin`] to *whole pipelines*: every
+//! registered continuous query is placed on exactly one of N worker
+//! shards by hashing its [`QueryId`], and each shard owns the disjoint
+//! set of [`QueryRuntime`]s placed on it **plus the slice of the
+//! `SourceId → subscriber` routing index that targets them**. Ingest
+//! (`on_batch` / `on_deltas`) and heartbeats consult a coordinator-level
+//! `SourceId → shard` route table and fan out to the involved shards
+//! only; each shard then walks its local subscriber list exactly like
+//! the unsharded engine did.
+//!
+//! Shards live behind the `parking_lot` shim ([`Mutex<EngineShard>`]):
+//! shard state is `Send`, cross-shard work is disjoint by construction
+//! (a query's pipeline, sink, and routing entries live on one shard),
+//! and when the host has more than one core the fan-out runs each
+//! shard's slice on its own scoped worker thread. On a single-core host
+//! the fan-out degrades to a sequential loop over the same shard slices
+//! — results are identical either way (shard-count invariance is
+//! property-tested in `tests/sharding.rs`).
+//!
+//! What stays on the coordinator: the catalog, the retained table store
+//! (replay for late-registered queries), recursive views (their outputs
+//! fan *into* shards like any other source), and the engine clock. The
+//! per-shard `busy` accounting measures the wall time each shard spends
+//! inside its slice of the work; the E12 bench derives critical-path
+//! (max-shard) throughput from it — the number an N-core deployment
+//! would see.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aspen_catalog::{Catalog, SourceKind, SourceStats};
+use aspen_sql::binder::BoundView;
+use aspen_sql::plan::LogicalPlan;
+use aspen_sql::{bind, parse, BoundQuery};
+use aspen_types::{AspenError, QueryId, Result, SimTime, SourceId, Tuple};
+use parking_lot::Mutex;
+
+use crate::delta::DeltaBatch;
+use crate::pipeline::Pipeline;
+use crate::recursive::RecursiveView;
+use crate::sink::Sink;
+use crate::state::BagState;
+
+/// Handle to a registered continuous query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryHandle(pub QueryId);
+
+/// One placed continuous query: its operator pipeline plus result sink.
+pub(crate) struct QueryRuntime {
+    pub(crate) pipeline: Pipeline,
+    pub(crate) sink: Sink,
+}
+
+pub(crate) struct ViewRuntime {
+    pub(crate) view: RecursiveView,
+    pub(crate) out_source: SourceId,
+}
+
+/// One worker shard: a disjoint set of query runtimes plus the slice of
+/// the routing index that targets them. All indices are shard-local.
+#[derive(Default)]
+pub(crate) struct EngineShard {
+    queries: Vec<QueryRuntime>,
+    /// Routing-index slice: source → local queries scanning it.
+    subs: HashMap<SourceId, Vec<usize>>,
+    /// Local queries whose windows react to the clock.
+    clock_subs: Vec<usize>,
+    /// Wall time spent processing this shard's slice of the work.
+    busy: Duration,
+}
+
+impl EngineShard {
+    fn push_batch(&mut self, src: SourceId, tuples: &[Tuple]) -> Result<()> {
+        if let Some(subs) = self.subs.get(&src) {
+            for &i in subs {
+                let q = &mut self.queries[i];
+                q.pipeline.push_source(src, tuples, &mut q.sink)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn push_deltas(&mut self, src: SourceId, deltas: &DeltaBatch) -> Result<()> {
+        if let Some(subs) = self.subs.get(&src) {
+            for &i in subs {
+                let q = &mut self.queries[i];
+                q.pipeline.push_deltas(src, deltas, &mut q.sink)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn advance_time(&mut self, now: SimTime) -> Result<()> {
+        for &i in &self.clock_subs {
+            let q = &mut self.queries[i];
+            q.pipeline.advance_time(now, &mut q.sink)?;
+        }
+        Ok(())
+    }
+}
+
+/// PC-side query engine partitioned across N worker shards.
+pub struct ShardedEngine {
+    catalog: Arc<Catalog>,
+    shards: Vec<Mutex<EngineShard>>,
+    /// Global `QueryId` (dense, registration order) → (shard, local idx).
+    placements: Vec<(usize, usize)>,
+    /// Coordinator route table: source → shards with ≥ 1 subscriber.
+    source_routes: HashMap<SourceId, Vec<usize>>,
+    /// Shards with ≥ 1 clock-sensitive query (heartbeat fan-out set).
+    clock_routes: Vec<usize>,
+    views: Vec<ViewRuntime>,
+    /// Routing index: source → views that read it as a base relation.
+    view_subs: HashMap<SourceId, Vec<usize>>,
+    /// Views with clock-sensitive (time-windowed) base scans.
+    clock_views: Vec<usize>,
+    /// Retained contents of Table sources so late-registered queries can
+    /// replay them (streams are not replayed — standard semantics).
+    table_store: HashMap<SourceId, BagState>,
+    now: SimTime,
+    /// Run involved shards on scoped worker threads. Off when the host
+    /// has a single core (fan-out then loops over the same slices).
+    parallel: bool,
+}
+
+impl ShardedEngine {
+    /// Engine with `shards` worker shards (clamped to ≥ 1). Shard count 1
+    /// is exactly the unsharded engine: one shard owning every query and
+    /// the whole routing index.
+    pub fn new(catalog: Arc<Catalog>, shards: usize) -> Self {
+        let n = shards.max(1);
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        ShardedEngine {
+            catalog,
+            shards: (0..n).map(|_| Mutex::new(EngineShard::default())).collect(),
+            placements: Vec::new(),
+            source_routes: HashMap::new(),
+            clock_routes: Vec::new(),
+            views: Vec::new(),
+            view_subs: HashMap::new(),
+            clock_views: Vec::new(),
+            table_store: HashMap::new(),
+            now: SimTime::ZERO,
+            parallel: n > 1 && cores > 1,
+        }
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Force the fan-out onto scoped worker threads (or back to the
+    /// sequential loop) regardless of the detected core count. Results
+    /// are identical either way; tests use this to exercise the threaded
+    /// path, benches to pin a mode.
+    pub fn set_parallel_ingest(&mut self, on: bool) {
+        self.parallel = on && self.shards.len() > 1;
+    }
+
+    /// Queries placed on each shard (placement balance, for tests/bench).
+    pub fn shard_query_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().queries.len()).collect()
+    }
+
+    /// Wall seconds each shard has spent processing its slice of the
+    /// ingest/heartbeat work. `max` over shards is the critical path a
+    /// fully parallel deployment would pay.
+    pub fn shard_busy_seconds(&self) -> Vec<f64> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().busy.as_secs_f64())
+            .collect()
+    }
+
+    /// Operator invocations per shard — the deterministic (wall-clock
+    /// free) view of how evenly hash placement spread the work.
+    pub fn shard_ops_invoked(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .queries
+                    .iter()
+                    .map(|q| q.pipeline.ops_invoked)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Number of queries subscribed to a source across all shards
+    /// (routing-index fan-out; exposed for tests and the fan-out bench).
+    pub fn subscriber_count(&self, source: SourceId) -> usize {
+        self.source_routes.get(&source).map_or(0, |shards| {
+            shards
+                .iter()
+                .map(|&i| self.shards[i].lock().subs.get(&source).map_or(0, Vec::len))
+                .sum()
+        })
+    }
+
+    /// Which shard a query id hashes to.
+    pub fn shard_of(&self, qid: QueryId) -> usize {
+        let mut h = DefaultHasher::new();
+        qid.0.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Compile and register a SQL statement. `SELECT` returns a query
+    /// handle; `CREATE VIEW` materializes the view and returns `None`.
+    pub fn register_sql(&mut self, sql: &str) -> Result<Option<QueryHandle>> {
+        match bind(&parse(sql)?, &self.catalog)? {
+            BoundQuery::Select(b) => Ok(Some(self.register_plan(&b.plan)?)),
+            BoundQuery::View(v) => {
+                self.register_view(&v)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Register an already-planned continuous query: compile, replay
+    /// retained state, then place it on `hash(QueryId) % shards`.
+    pub fn register_plan(&mut self, plan: &LogicalPlan) -> Result<QueryHandle> {
+        let mut pipeline = Pipeline::compile(plan)?;
+        let mut sink = pipeline.make_sink();
+        pipeline.start(&mut sink)?;
+
+        // Replay retained table contents and current view materializations
+        // so the query starts consistent. `Pipeline::sources()` is
+        // deduplicated: a source scanned under several aliases is
+        // replayed exactly once (push_source feeds every scan bound to
+        // it), so rows are not multiplied by the alias count.
+        let sources = pipeline.sources();
+        for &src in &sources {
+            if let Some(rows) = self.table_store.get(&src) {
+                let rows = rows.snapshot();
+                pipeline.push_source(src, &rows, &mut sink)?;
+            }
+            if let Some(vr) = self.views.iter().find(|v| v.out_source == src) {
+                let snapshot = vr.view.snapshot();
+                pipeline.push_source(src, &snapshot, &mut sink)?;
+            }
+        }
+
+        // Place the query and wire both index levels (coordinator route
+        // table + the owning shard's slice) before it goes live.
+        let qid = QueryId(self.placements.len() as u32);
+        let shard_idx = self.shard_of(qid);
+        let needs_clock = pipeline.needs_clock();
+        {
+            let mut shard = self.shards[shard_idx].lock();
+            let local = shard.queries.len();
+            for &src in &sources {
+                shard.subs.entry(src).or_default().push(local);
+            }
+            if needs_clock {
+                shard.clock_subs.push(local);
+            }
+            shard.queries.push(QueryRuntime { pipeline, sink });
+            self.placements.push((shard_idx, local));
+        }
+        for src in sources {
+            let routes = self.source_routes.entry(src).or_default();
+            if !routes.contains(&shard_idx) {
+                routes.push(shard_idx);
+            }
+        }
+        if needs_clock && !self.clock_routes.contains(&shard_idx) {
+            self.clock_routes.push(shard_idx);
+        }
+        Ok(QueryHandle(qid))
+    }
+
+    /// Materialize a bound view. Views stay on the coordinator: their
+    /// output deltas fan into the shards like any other source.
+    pub fn register_view(&mut self, bound: &BoundView) -> Result<SourceId> {
+        let out_source = self.catalog.register_source(
+            &bound.name,
+            bound.schema.clone(),
+            SourceKind::View,
+            SourceStats::default(),
+        )?;
+        let mut view = RecursiveView::new(bound)?;
+
+        // Seed the view from any already-retained table contents.
+        let mut emitted = DeltaBatch::new();
+        for src in view.base_sources() {
+            if let Some(rows) = self.table_store.get(&src) {
+                let deltas = DeltaBatch::inserts(rows.snapshot());
+                emitted.extend(view.on_base_deltas(src, &deltas)?);
+            }
+        }
+
+        let idx = self.views.len();
+        for src in view.base_sources() {
+            self.view_subs.entry(src).or_default().push(idx);
+        }
+        if view.needs_clock() {
+            self.clock_views.push(idx);
+        }
+        self.views.push(ViewRuntime { view, out_source });
+        if !emitted.is_empty() {
+            self.forward_view_deltas(out_source, &emitted)?;
+        }
+        Ok(out_source)
+    }
+
+    /// Advance the engine clock to the latest observed event timestamp.
+    /// Both ingest paths go through here, so batch-only, delta-only, and
+    /// mixed workloads all keep `now()` fresh.
+    fn observe_timestamps<I: IntoIterator<Item = SimTime>>(&mut self, stamps: I) {
+        if let Some(max_ts) = stamps.into_iter().max() {
+            if max_ts > self.now {
+                self.now = max_ts;
+            }
+        }
+    }
+
+    /// Ingest a batch of tuples for a named source. The route table fans
+    /// it out to exactly the shards with subscribing pipelines, then to
+    /// the recursive views, forwarding any view deltas the same way.
+    pub fn on_batch(&mut self, source_name: &str, tuples: &[Tuple]) -> Result<()> {
+        let meta = self.catalog.source(source_name)?;
+        let src = meta.id;
+        self.observe_timestamps(tuples.iter().map(Tuple::timestamp));
+        // Retain table contents for replay.
+        if matches!(meta.kind, SourceKind::Table) {
+            self.table_store.entry(src).or_default().insert_all(tuples);
+        }
+        if let Some(routes) = self.source_routes.get(&src) {
+            fan_out(
+                &self.shards,
+                routes,
+                self.parallel,
+                |shard: &mut EngineShard| shard.push_batch(src, tuples),
+            )?;
+        }
+        // Views reading this source (skip building the delta batch when
+        // no view subscribes).
+        if self.view_subs.contains_key(&src) {
+            let deltas = DeltaBatch::inserts(tuples.iter().cloned());
+            self.apply_base_deltas(src, &deltas)?;
+        }
+        Ok(())
+    }
+
+    /// Ingest signed changes for a source (e.g. a table update/delete).
+    /// Advances the clock exactly like `on_batch` — delta-only ingest
+    /// must not leave the engine clock stale.
+    pub fn on_deltas(&mut self, source_name: &str, deltas: &DeltaBatch) -> Result<()> {
+        let meta = self.catalog.source(source_name)?;
+        let src = meta.id;
+        self.observe_timestamps(deltas.iter().map(|d| d.tuple.timestamp()));
+        if matches!(meta.kind, SourceKind::Table) {
+            self.table_store.entry(src).or_default().apply(deltas);
+        }
+        if let Some(routes) = self.source_routes.get(&src) {
+            fan_out(
+                &self.shards,
+                routes,
+                self.parallel,
+                |shard: &mut EngineShard| shard.push_deltas(src, deltas),
+            )?;
+        }
+        if self.view_subs.contains_key(&src) {
+            self.apply_base_deltas(src, deltas)?;
+        }
+        Ok(())
+    }
+
+    fn apply_base_deltas(&mut self, src: SourceId, deltas: &DeltaBatch) -> Result<()> {
+        let Some(view_idxs) = self.view_subs.get(&src) else {
+            return Ok(());
+        };
+        let mut forwarded: Vec<(SourceId, DeltaBatch)> = Vec::new();
+        for &i in view_idxs {
+            let vr = &mut self.views[i];
+            let out = vr.view.on_base_deltas(src, deltas)?;
+            if !out.is_empty() {
+                forwarded.push((vr.out_source, out));
+            }
+        }
+        for (out_src, out) in forwarded {
+            self.forward_view_deltas(out_src, &out)?;
+        }
+        Ok(())
+    }
+
+    fn forward_view_deltas(&self, view_source: SourceId, deltas: &DeltaBatch) -> Result<()> {
+        if let Some(routes) = self.source_routes.get(&view_source) {
+            fan_out(
+                &self.shards,
+                routes,
+                self.parallel,
+                |shard: &mut EngineShard| shard.push_deltas(view_source, deltas),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Advance simulated time: expire windows in every clock-sensitive
+    /// pipeline *and every time-windowed recursive view* (pipelines and
+    /// views over unbounded / row-count windows are never touched).
+    pub fn heartbeat(&mut self, now: SimTime) -> Result<()> {
+        if now > self.now {
+            self.now = now;
+        }
+        fan_out(
+            &self.shards,
+            &self.clock_routes,
+            self.parallel,
+            |shard: &mut EngineShard| shard.advance_time(now),
+        )?;
+        // Time-windowed view state expires too, and the resulting view
+        // deltas reach downstream queries like any other maintenance.
+        let mut forwarded: Vec<(SourceId, DeltaBatch)> = Vec::new();
+        for &i in &self.clock_views {
+            let vr = &mut self.views[i];
+            let out = vr.view.advance_time(now)?;
+            if !out.is_empty() {
+                forwarded.push((vr.out_source, out));
+            }
+        }
+        for (out_src, out) in forwarded {
+            self.forward_view_deltas(out_src, &out)?;
+        }
+        Ok(())
+    }
+
+    fn placement(&self, q: QueryHandle) -> Result<(usize, usize)> {
+        self.placements
+            .get(q.0.index())
+            .copied()
+            .ok_or_else(|| AspenError::InvalidArgument(format!("unknown query {}", q.0)))
+    }
+
+    /// Current results of a query (ORDER BY / LIMIT applied).
+    pub fn snapshot(&self, q: QueryHandle) -> Result<Vec<Tuple>> {
+        let (s, l) = self.placement(q)?;
+        self.shards[s].lock().queries[l].sink.snapshot()
+    }
+
+    /// Result-churn statistic of a query's sink.
+    pub fn deltas_applied(&self, q: QueryHandle) -> Result<u64> {
+        let (s, l) = self.placement(q)?;
+        Ok(self.shards[s].lock().queries[l].sink.deltas_applied)
+    }
+
+    /// Total operator invocations across all pipelines (CPU-cost proxy).
+    pub fn total_ops_invoked(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .queries
+                    .iter()
+                    .map(|q| q.pipeline.ops_invoked)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Current materialization of a named view.
+    pub fn view_snapshot(&self, name: &str) -> Result<Vec<Tuple>> {
+        self.views
+            .iter()
+            .find(|v| v.view.name().eq_ignore_ascii_case(name))
+            .map(|v| v.view.snapshot())
+            .ok_or_else(|| AspenError::Unresolved(format!("no materialized view '{name}'")))
+    }
+
+    /// Maintenance statistics of a named view.
+    pub fn view_stats(&self, name: &str) -> Result<crate::recursive::ViewStats> {
+        self.views
+            .iter()
+            .find(|v| v.view.name().eq_ignore_ascii_case(name))
+            .map(|v| v.view.stats.clone())
+            .ok_or_else(|| AspenError::Unresolved(format!("no materialized view '{name}'")))
+    }
+
+    /// Snapshots of every query routed to the named display, in
+    /// registration order (placement does not reorder displays).
+    pub fn display_snapshot(&self, display: &str) -> Result<Vec<Vec<Tuple>>> {
+        let mut out = Vec::new();
+        for &(s, l) in &self.placements {
+            let shard = self.shards[s].lock();
+            let q = &shard.queries[l];
+            if q.sink.display() == Some(display) {
+                out.push(q.sink.snapshot()?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Run `f` over each involved shard's slice, timing each shard's work.
+/// With `parallel`, every shard gets its own scoped worker thread (the
+/// slices are disjoint, so the only synchronization is the shard mutex);
+/// otherwise the same slices run as a sequential loop.
+fn fan_out<F>(shards: &[Mutex<EngineShard>], involved: &[usize], parallel: bool, f: F) -> Result<()>
+where
+    F: Fn(&mut EngineShard) -> Result<()> + Send + Sync,
+{
+    match involved {
+        [] => Ok(()),
+        [i] => run_shard(&shards[*i], &f),
+        _ if !parallel => involved.iter().try_for_each(|&i| run_shard(&shards[i], &f)),
+        _ => std::thread::scope(|scope| {
+            let handles: Vec<_> = involved
+                .iter()
+                .map(|&i| {
+                    let shard = &shards[i];
+                    let f = &f;
+                    scope.spawn(move || run_shard(shard, f))
+                })
+                .collect();
+            // A panicking worker becomes an Err, not a propagated panic.
+            // The parking_lot shim does not poison (matching the real
+            // crate), so the engine stays lockable afterwards — but the
+            // panicking shard's slice may be partially applied, like any
+            // mid-batch operator error.
+            let mut first_err = None;
+            for h in handles {
+                let joined = h
+                    .join()
+                    .map_err(|_| AspenError::Execution("shard worker panicked".into()));
+                if let Err(e) = joined.and_then(|r| r) {
+                    first_err.get_or_insert(e);
+                }
+            }
+            first_err.map_or(Ok(()), Err)
+        }),
+    }
+}
+
+fn run_shard<F>(shard: &Mutex<EngineShard>, f: &F) -> Result<()>
+where
+    F: Fn(&mut EngineShard) -> Result<()>,
+{
+    let mut guard = shard.lock();
+    let start = Instant::now();
+    let result = f(&mut guard);
+    guard.busy += start.elapsed();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_catalog::{DeviceClass, SourceKind, SourceStats};
+    use aspen_types::{DataType, Field, Schema, SimDuration, Value};
+
+    fn catalog() -> Arc<Catalog> {
+        let cat = Catalog::shared();
+        let readings = Schema::new(vec![
+            Field::new("sensor", DataType::Int),
+            Field::new("value", DataType::Float),
+        ])
+        .into_ref();
+        cat.register_source(
+            "Readings",
+            readings,
+            SourceKind::Device(DeviceClass::new(&["value"], SimDuration::from_secs(10), 8)),
+            SourceStats::stream(1.0).with_distinct("sensor", 8),
+        )
+        .unwrap();
+        let edges = Schema::new(vec![
+            Field::new("src", DataType::Text),
+            Field::new("dst", DataType::Text),
+        ])
+        .into_ref();
+        cat.register_source("Edge", edges, SourceKind::Table, SourceStats::table(10))
+            .unwrap();
+        cat
+    }
+
+    fn reading(sensor: i64, value: f64, sec: u64) -> Tuple {
+        Tuple::new(
+            vec![Value::Int(sensor), Value::Float(value)],
+            SimTime::from_secs(sec),
+        )
+    }
+
+    #[test]
+    fn placement_is_disjoint_and_total() {
+        let mut e = ShardedEngine::new(catalog(), 4);
+        let mut handles = Vec::new();
+        for i in 0..12 {
+            let h = e
+                .register_sql(&format!(
+                    "select r.value from Readings r where r.sensor = {i}"
+                ))
+                .unwrap()
+                .unwrap();
+            handles.push(h);
+        }
+        assert_eq!(e.shard_query_counts().iter().sum::<usize>(), 12);
+        // Every handle resolves, and its placement matches the hash.
+        for h in handles {
+            assert_eq!(e.placements[h.0.index()].0, e.shard_of(h.0));
+            e.snapshot(h).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_shard_is_the_unsharded_engine() {
+        let e = ShardedEngine::new(catalog(), 1);
+        assert_eq!(e.shard_count(), 1);
+        let e0 = ShardedEngine::new(catalog(), 0);
+        assert_eq!(e0.shard_count(), 1, "shard count clamps to >= 1");
+    }
+
+    #[test]
+    fn fan_out_routes_only_to_subscribing_shards() {
+        let mut e = ShardedEngine::new(catalog(), 4);
+        let q = e
+            .register_sql("select r.sensor from Readings r where r.value > 10")
+            .unwrap()
+            .unwrap();
+        let src = e.catalog().source("Readings").unwrap().id;
+        assert_eq!(e.subscriber_count(src), 1);
+        e.on_batch("Readings", &[reading(1, 50.0, 1)]).unwrap();
+        assert_eq!(e.snapshot(q).unwrap().len(), 1);
+        // Only the owning shard accumulated busy time from the ingest.
+        let busy = e.shard_busy_seconds();
+        let owner = e.placements[q.0.index()].0;
+        for (i, b) in busy.iter().enumerate() {
+            if i != owner {
+                assert_eq!(*b, 0.0, "shard {i} should never have been touched");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_matches_sequential() {
+        let run = |parallel: bool| -> Vec<Vec<Value>> {
+            let mut e = ShardedEngine::new(catalog(), 4);
+            let mut handles = Vec::new();
+            for i in 0..8 {
+                let sql = match i % 3 {
+                    0 => format!("select r.value from Readings r where r.sensor = {i}"),
+                    1 => "select r.sensor, avg(r.value) from Readings r group by r.sensor"
+                        .to_string(),
+                    _ => "select count(*) from Readings r".to_string(),
+                };
+                handles.push(e.register_sql(&sql).unwrap().unwrap());
+            }
+            e.set_parallel_ingest(parallel);
+            for i in 0..40 {
+                e.on_batch("Readings", &[reading(i % 8, (i * 3 % 50) as f64, i as u64)])
+                    .unwrap();
+            }
+            e.heartbeat(SimTime::from_secs(60)).unwrap();
+            handles
+                .iter()
+                .flat_map(|&h| {
+                    e.snapshot(h)
+                        .unwrap()
+                        .into_iter()
+                        .map(|t| t.values().to_vec())
+                })
+                .collect()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn on_deltas_advances_clock_and_feeds_shards() {
+        use crate::delta::Delta;
+        let mut e = ShardedEngine::new(catalog(), 2);
+        let q = e.register_sql("select e.src from Edge e").unwrap().unwrap();
+        let edge = Tuple::new(
+            vec![Value::Text("a".into()), Value::Text("b".into())],
+            SimTime::from_secs(7),
+        );
+        e.on_deltas("Edge", &DeltaBatch::from(vec![Delta::insert(edge)]))
+            .unwrap();
+        assert_eq!(e.now(), SimTime::from_secs(7), "delta ingest moves clock");
+        assert_eq!(e.snapshot(q).unwrap().len(), 1);
+    }
+}

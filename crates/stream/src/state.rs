@@ -5,7 +5,7 @@
 //! makes retraction exact: a tuple inserted twice must be retracted twice
 //! before it disappears.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use aspen_types::{Tuple, Value};
 
@@ -72,16 +72,23 @@ impl KeyedState {
 }
 
 /// Unkeyed tuple multiset maintained by delta batches — the engine's
-/// retained-table state. `apply` is O(batch), unlike the Vec-scan it
-/// replaced, and `snapshot` replays tuples in *arrival order* (first
-/// insertion of each distinct tuple), because late-registered queries
-/// with order-sensitive `ROWS n` windows must retain the same rows a
-/// query that was live during ingestion retained. Duplicate rows are
-/// grouped at their first arrival position; a tuple fully retracted and
-/// re-inserted counts as newly arrived.
+/// retained-table state. `apply` is O(batch), and `snapshot` replays
+/// tuples in *per-occurrence arrival order*, because late-registered
+/// queries with order-sensitive `ROWS n` windows must retain the same
+/// rows a query that was live during ingestion retained. Every
+/// insertion gets its own sequence number — a duplicate row replays at
+/// the position it actually arrived at, not grouped with its first
+/// occurrence (a regression test drives this: `[7, 1, 7, 2]` under
+/// `ROWS 2` must retain `[7, 2]`, not `[1, 2]`). A retraction removes
+/// the *oldest* live occurrence of its tuple; a retraction arriving
+/// before its insertion is held as debt the next insertion cancels.
 #[derive(Debug, Default, Clone)]
 pub struct BagState {
-    counts: HashMap<Tuple, (i64, u64)>,
+    /// Tuple → arrival sequence of each live occurrence (ascending).
+    /// Keys with no live occurrences are removed.
+    occurrences: HashMap<Tuple, VecDeque<u64>>,
+    /// Transient over-retractions (out-of-order deltas), per tuple.
+    debts: HashMap<Tuple, u64>,
     next_seq: u64,
 }
 
@@ -98,51 +105,73 @@ impl BagState {
     }
 
     pub fn apply_delta(&mut self, delta: &Delta) {
-        let e = self
-            .counts
-            .entry(delta.tuple.clone())
-            .or_insert((0, self.next_seq));
-        e.0 += delta.sign;
-        if e.0 == 0 {
-            self.counts.remove(&delta.tuple);
+        if delta.sign > 0 {
+            for _ in 0..delta.sign {
+                self.insert_one(&delta.tuple);
+            }
         } else {
-            self.next_seq += 1;
+            for _ in 0..-delta.sign {
+                self.retract_one(&delta.tuple);
+            }
+        }
+    }
+
+    fn insert_one(&mut self, tuple: &Tuple) {
+        // An insertion first heals any over-retraction instead of
+        // becoming a live occurrence.
+        if let Some(debt) = self.debts.get_mut(tuple) {
+            *debt -= 1;
+            if *debt == 0 {
+                self.debts.remove(tuple);
+            }
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.occurrences
+            .entry(tuple.clone())
+            .or_default()
+            .push_back(seq);
+    }
+
+    fn retract_one(&mut self, tuple: &Tuple) {
+        match self.occurrences.get_mut(tuple) {
+            Some(seqs) if !seqs.is_empty() => {
+                seqs.pop_front(); // oldest occurrence leaves first
+                if seqs.is_empty() {
+                    self.occurrences.remove(tuple);
+                }
+            }
+            _ => {
+                *self.debts.entry(tuple.clone()).or_insert(0) += 1;
+            }
         }
     }
 
     pub fn insert_all(&mut self, tuples: &[Tuple]) {
         for t in tuples {
-            let e = self.counts.entry(t.clone()).or_insert((0, self.next_seq));
-            e.0 += 1;
-            self.next_seq += 1;
+            self.insert_one(t);
         }
     }
 
     /// Distinct live tuples.
     pub fn distinct(&self) -> usize {
-        self.counts.len()
+        self.occurrences.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.occurrences.is_empty()
     }
 
-    /// Live tuples with positive multiplicity expanded, in arrival order.
+    /// Live occurrences in arrival order.
     pub fn snapshot(&self) -> Vec<Tuple> {
-        let mut live: Vec<(u64, &Tuple, i64)> = self
-            .counts
+        let mut live: Vec<(u64, &Tuple)> = self
+            .occurrences
             .iter()
-            .filter(|(_, &(c, _))| c > 0)
-            .map(|(t, &(c, seq))| (seq, t, c))
+            .flat_map(|(t, seqs)| seqs.iter().map(move |&s| (s, t)))
             .collect();
-        live.sort_unstable_by_key(|&(seq, _, _)| seq);
-        let mut out = Vec::new();
-        for (_, t, c) in live {
-            for _ in 0..c {
-                out.push(t.clone());
-            }
-        }
-        out
+        live.sort_unstable_by_key(|&(seq, _)| seq);
+        live.into_iter().map(|(_, t)| t.clone()).collect()
     }
 }
 
@@ -198,6 +227,34 @@ mod tests {
             Delta::retract(t(3)),
         ]));
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn bag_state_replays_duplicates_at_their_own_positions() {
+        // Regression: grouping duplicates at their first arrival position
+        // made a late-registered `ROWS 2` query over [7, 1, 7, 2] retain
+        // [1, 2] where a live one retained [7, 2].
+        let mut b = BagState::new();
+        b.insert_all(&[t(7), t(1), t(7), t(2)]);
+        assert_eq!(b.snapshot(), vec![t(7), t(1), t(7), t(2)]);
+        assert_eq!(b.distinct(), 3);
+        // A retraction removes the OLDEST occurrence: the later 7 stays
+        // at its own (third) position.
+        b.apply(&DeltaBatch::from(vec![Delta::retract(t(7))]));
+        assert_eq!(b.snapshot(), vec![t(1), t(7), t(2)]);
+    }
+
+    #[test]
+    fn bag_state_over_retraction_heals() {
+        let mut b = BagState::new();
+        b.apply(&DeltaBatch::from(vec![Delta::retract(t(5))]));
+        assert!(b.is_empty());
+        // The first insertion cancels the debt instead of going live...
+        b.apply(&DeltaBatch::from(vec![Delta::insert(t(5))]));
+        assert!(b.snapshot().is_empty());
+        // ...and the next one is a genuinely new arrival.
+        b.apply(&DeltaBatch::from(vec![Delta::insert(t(5))]));
+        assert_eq!(b.snapshot(), vec![t(5)]);
     }
 
     #[test]

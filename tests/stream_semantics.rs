@@ -180,6 +180,98 @@ fn batched_pipeline_equivalent_to_per_tuple() {
     }
 }
 
+/// Regression (PR 1 review): a query with an order-sensitive ROWS window
+/// registered *after* duplicate rows arrived must retain exactly the
+/// rows a live query retained — the retained-table replay has to put
+/// every duplicate at its own arrival position (grouping duplicates at
+/// their first position was the PR 1 bug: `[7, 1, 7, 2]` under `ROWS 2`
+/// replayed as `[1, 2]` where a live query held `[7, 2]`).
+#[test]
+fn late_rows_replay_with_duplicate_rows() {
+    let cat = Catalog::shared();
+    let s = Schema::new(vec![Field::new("v", DataType::Int)]).into_ref();
+    cat.register_source("T", s, SourceKind::Table, SourceStats::table(10))
+        .unwrap();
+    let row = |v: i64| Tuple::new(vec![Value::Int(v)], SimTime::from_secs(1));
+    let rows = [row(7), row(1), row(7), row(2)];
+    let sql = "select t.v from T t [rows 2]";
+
+    let mut live = StreamEngine::new(Arc::clone(&cat));
+    let q_live = live.register_sql(sql).unwrap().unwrap();
+    live.on_batch("T", &rows).unwrap();
+
+    let mut late = StreamEngine::new(Arc::clone(&cat));
+    late.on_batch("T", &rows).unwrap();
+    let q_late = late.register_sql(sql).unwrap().unwrap();
+
+    let vals = |snap: Vec<Tuple>| -> Vec<Value> { snap.iter().map(|t| t.get(0).clone()).collect() };
+    assert_eq!(
+        vals(live.snapshot(q_live).unwrap()),
+        vals(late.snapshot(q_late).unwrap())
+    );
+}
+
+/// Regression: `on_deltas` used to skip the clock advancement `on_batch`
+/// performed, so delta-only ingest left `now()` stale forever.
+#[test]
+fn delta_only_ingest_advances_engine_clock() {
+    use smartcis::stream::{Delta, DeltaBatch};
+    let cat = Catalog::shared();
+    let s = Schema::new(vec![Field::new("v", DataType::Int)]).into_ref();
+    cat.register_source("T", s, SourceKind::Table, SourceStats::table(10))
+        .unwrap();
+    let mut engine = StreamEngine::new(cat);
+    assert_eq!(engine.now(), SimTime::ZERO);
+    let row = Tuple::new(vec![Value::Int(1)], SimTime::from_secs(42));
+    engine
+        .on_deltas("T", &DeltaBatch::from(vec![Delta::insert(row)]))
+        .unwrap();
+    assert_eq!(
+        engine.now(),
+        SimTime::from_secs(42),
+        "delta ingest must advance the engine clock exactly like on_batch"
+    );
+}
+
+/// Regression: heartbeats used to fan out only to query pipelines, so a
+/// view over a time-windowed stream scan accumulated state forever. Time
+/// must now reach views, expire their windowed base facts, and retract
+/// the derived rows downstream.
+#[test]
+fn heartbeat_expires_time_windowed_view_state() {
+    let cat = catalog();
+    let mut engine = StreamEngine::new(Arc::clone(&cat));
+    // Stream scans default to a 30 s range window: the view is
+    // clock-sensitive even without an explicit window clause.
+    engine
+        .register_sql(
+            "create view Hot as (select r.sensor, r.value from Readings r where r.value > 50)",
+        )
+        .unwrap();
+    let q = engine
+        .register_sql("select h.sensor from Hot h")
+        .unwrap()
+        .unwrap();
+    engine
+        .on_batch("Readings", &[reading(1, 80.0, 5), reading(2, 40.0, 5)])
+        .unwrap();
+    assert_eq!(engine.view_snapshot("Hot").unwrap().len(), 1);
+    assert_eq!(engine.snapshot(q).unwrap().len(), 1);
+    // Within the window nothing expires...
+    engine.heartbeat(SimTime::from_secs(20)).unwrap();
+    assert_eq!(engine.snapshot(q).unwrap().len(), 1);
+    // ...past it the view empties and the downstream query follows.
+    engine.heartbeat(SimTime::from_secs(40)).unwrap();
+    assert!(
+        engine.view_snapshot("Hot").unwrap().is_empty(),
+        "view state must expire with its base scan's window"
+    );
+    assert!(
+        engine.snapshot(q).unwrap().is_empty(),
+        "expired view rows must retract from downstream queries"
+    );
+}
+
 #[test]
 fn distributed_query_accounts_lan_traffic() {
     let cat = catalog();
