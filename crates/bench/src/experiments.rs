@@ -708,8 +708,25 @@ fn e11_engine(n: usize) -> aspen_stream::StreamEngine {
 }
 
 /// The same fan-out fixture with the pipeline set partitioned across
-/// `shards` worker shards (E12).
-fn fanout_engine(n: usize, shards: usize) -> aspen_stream::StreamEngine {
+/// `shards` worker shards (E12). `parallel` pins the fan-out mode at
+/// construction (sequential keeps per-shard busy accounting free of
+/// thread-scheduling noise).
+fn fanout_engine_with(n: usize, shards: usize, parallel: bool) -> aspen_stream::StreamEngine {
+    use aspen_stream::EngineConfig;
+    let mut engine = aspen_stream::StreamEngine::with_config(
+        fanout_catalog(),
+        EngineConfig::new().shards(shards).parallel_ingest(parallel),
+    );
+    for sql in fanout_sqls(n) {
+        engine.register_sql(&sql).unwrap().expect_query();
+    }
+    engine
+}
+
+/// The fan-out fixture's catalog: one hot `Readings` stream and one cold
+/// `IdleTable`, shared by E11/E12/E13 so all three measure the same
+/// workload shape.
+fn fanout_catalog() -> std::sync::Arc<aspen_catalog::Catalog> {
     use aspen_catalog::{Catalog, SourceKind, SourceStats};
     use aspen_types::{DataType, Field, Schema};
     let cat = Catalog::shared();
@@ -728,10 +745,18 @@ fn fanout_engine(n: usize, shards: usize) -> aspen_stream::StreamEngine {
     let idle = Schema::new(vec![Field::new("x", DataType::Int)]).into_ref();
     cat.register_source("IdleTable", idle, SourceKind::Table, SourceStats::table(4))
         .unwrap();
+    cat
+}
 
-    let mut engine = aspen_stream::StreamEngine::with_shards(cat, shards);
-    for i in 0..n {
-        let sql = match i % 4 {
+fn fanout_engine(n: usize, shards: usize) -> aspen_stream::StreamEngine {
+    fanout_engine_with(n, shards, false)
+}
+
+/// The mixed standing-query set of the fan-out fixture: `n` queries over
+/// the hot `Readings` stream plus `n / 2` over the cold `IdleTable`.
+fn fanout_sqls(n: usize) -> Vec<String> {
+    let mut sqls: Vec<String> = (0..n)
+        .map(|i| match i % 4 {
             0 => format!(
                 "select r.sensor, r.value from Readings r where r.value > {}",
                 (i % 10) * 10
@@ -739,16 +764,10 @@ fn fanout_engine(n: usize, shards: usize) -> aspen_stream::StreamEngine {
             1 => "select r.sensor, avg(r.value) from Readings r group by r.sensor".to_string(),
             2 => "select count(*) from Readings r".to_string(),
             _ => format!("select r.value from Readings r where r.sensor = {}", i % 32),
-        };
-        engine.register_sql(&sql).unwrap().unwrap();
-    }
-    for _ in 0..n / 2 {
-        engine
-            .register_sql("select t.x from IdleTable t")
-            .unwrap()
-            .unwrap();
-    }
-    engine
+        })
+        .collect();
+    sqls.extend((0..n / 2).map(|_| "select t.x from IdleTable t".to_string()));
+    sqls
 }
 
 /// Deterministic reading stream: `sensor = i mod 32`, sawtooth values,
@@ -864,7 +883,6 @@ pub struct E12Run {
 /// oversubscribed host happened to schedule worker threads.
 pub fn e12_run(shards: usize, queries: usize, tuples: usize, batch_size: usize) -> E12Run {
     let mut engine = fanout_engine(queries, shards);
-    engine.set_parallel_ingest(false);
     let rows: Vec<Tuple> = (0..tuples).map(e11_tuple).collect();
     let start = Instant::now();
     for batch in rows.chunks(batch_size) {
@@ -955,6 +973,234 @@ pub fn e12_json() -> String {
 }
 
 // ---------------------------------------------------------------------------
+// E13 — session API: push vs. poll delivery, register/deregister churn
+// ---------------------------------------------------------------------------
+
+/// One delivery-mode measurement on the 50-query fan-out. `delivered`
+/// counts what crossed the client boundary: polled result rows in poll
+/// mode, pushed deltas in push modes (`batches` is poll calls resp.
+/// delivered batches).
+#[derive(Debug, Clone)]
+pub struct E13Run {
+    pub mode: &'static str,
+    pub queries: usize,
+    pub tuples: usize,
+    pub batch_size: usize,
+    pub wall_ms: f64,
+    pub tuples_per_sec: f64,
+    pub batches: u64,
+    pub delivered: u64,
+}
+
+/// Register/deregister churn throughput against a standing fan-out.
+#[derive(Debug, Clone)]
+pub struct E13Churn {
+    pub standing: usize,
+    pub cycles: usize,
+    pub wall_ms: f64,
+    pub cycles_per_sec: f64,
+}
+
+/// The fan-out fixture with handles exposed, each query registered
+/// through a caller-shaped `QuerySpec` (delivery mode, micro-batch
+/// knobs).
+fn e13_engine<F>(n: usize, spec: F) -> (aspen_stream::StreamEngine, Vec<aspen_stream::QueryHandle>)
+where
+    F: Fn(aspen_stream::QuerySpec) -> aspen_stream::QuerySpec,
+{
+    let mut engine = aspen_stream::StreamEngine::new(fanout_catalog());
+    let handles = fanout_sqls(n)
+        .iter()
+        .map(|sql| {
+            engine
+                .register(spec(aspen_stream::QuerySpec::sql(sql)))
+                .unwrap()
+                .expect_query()
+        })
+        .collect();
+    (engine, handles)
+}
+
+/// Drive the E11 workload and deliver results continuously in one of
+/// three modes: `poll` snapshots every query at every batch boundary
+/// (the pre-session API's only option), `push` drains subscriptions at
+/// every boundary, `push coalesced` adds a 5 s `max_delay` so churn
+/// cancels before delivery.
+pub fn e13_delivery_run(mode: &'static str, queries: usize, tuples: usize, batch: usize) -> E13Run {
+    use aspen_types::SimDuration;
+    let coalesce = SimDuration::from_secs(5);
+    let (mut engine, handles) = match mode {
+        "poll" => e13_engine(queries, |s| s),
+        "push" => e13_engine(queries, aspen_stream::QuerySpec::push),
+        "push 5s coalesce" => e13_engine(queries, |s| s.push().max_delay(coalesce)),
+        other => panic!("unknown E13 delivery mode '{other}'"),
+    };
+    let subs: Vec<_> = if mode == "poll" {
+        Vec::new()
+    } else {
+        handles
+            .iter()
+            .map(|&h| engine.subscribe(h).unwrap())
+            .collect()
+    };
+    let rows: Vec<Tuple> = (0..tuples).map(e11_tuple).collect();
+    let mut batches = 0u64;
+    let mut delivered = 0u64;
+    let start = Instant::now();
+    for chunk in rows.chunks(batch) {
+        engine.on_batch("Readings", chunk).unwrap();
+        if mode == "poll" {
+            for &h in &handles {
+                delivered += engine.snapshot(h).unwrap().len() as u64;
+                batches += 1;
+            }
+        } else {
+            for sub in &subs {
+                for b in sub.drain() {
+                    delivered += b.len() as u64;
+                    batches += 1;
+                }
+            }
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    E13Run {
+        mode,
+        queries,
+        tuples,
+        batch_size: batch,
+        wall_ms,
+        tuples_per_sec: tuples as f64 / (wall_ms / 1e3).max(1e-9),
+        batches,
+        delivered,
+    }
+}
+
+/// Register/deregister churn against `standing` live queries: each
+/// cycle registers a fresh filter query and retires it again — the
+/// routing index, route table, and clock sets unwind every time.
+pub fn e13_churn_run(standing: usize, cycles: usize) -> E13Churn {
+    let (mut engine, _) = e13_engine(standing, |s| s);
+    // Retained table rows make every registration replay real state
+    // (streams are never replayed — only Table sources are retained).
+    let table_rows: Vec<Tuple> = (0..200)
+        .map(|i| Tuple::new(vec![Value::Int(i)], SimTime::from_secs(1)))
+        .collect();
+    engine.on_batch("IdleTable", &table_rows).unwrap();
+    let readings = engine.catalog().source("Readings").unwrap().id;
+    let idle = engine.catalog().source("IdleTable").unwrap().id;
+    let before = (
+        engine.subscriber_count(readings),
+        engine.subscriber_count(idle),
+    );
+    let start = Instant::now();
+    for i in 0..cycles {
+        // Alternate a stream query (index/route churn) with a table
+        // query (replay churn).
+        let sql = if i % 2 == 0 {
+            format!("select r.value from Readings r where r.value > {}", i % 90)
+        } else {
+            format!("select t.x from IdleTable t where t.x > {}", i % 100)
+        };
+        let h = engine.register_sql(&sql).unwrap().expect_query();
+        engine.deregister(h).unwrap();
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        (
+            engine.subscriber_count(readings),
+            engine.subscriber_count(idle)
+        ),
+        before,
+        "churn must leave the routing index exactly where it started"
+    );
+    E13Churn {
+        standing,
+        cycles,
+        wall_ms,
+        cycles_per_sec: cycles as f64 / (wall_ms / 1e3).max(1e-9),
+    }
+}
+
+/// The E13 sweep: three delivery modes on the 50-query fan-out, plus
+/// lifecycle churn.
+pub fn e13_runs() -> (Vec<E13Run>, E13Churn) {
+    let runs = ["poll", "push", "push 5s coalesce"]
+        .into_iter()
+        .map(|mode| e13_delivery_run(mode, 50, 20_000, 256))
+        .collect();
+    (runs, e13_churn_run(50, 400))
+}
+
+/// E13 table: session-API delivery overhead and lifecycle churn.
+pub fn e13() -> String {
+    let (runs, churn) = e13_runs();
+    let mut out = String::from(
+        "E13 — session API: push vs. poll delivery on the 50-query fan-out,\n\
+         plus register/deregister churn throughput\n\
+         (poll = snapshot every query at every batch boundary; push = drain\n\
+         subscriptions; coalesce = 5 s max_delay micro-batching knob)\n",
+    );
+    let mut t = TableBuilder::new(&[
+        "mode",
+        "tuples",
+        "batch",
+        "wall ms",
+        "tup/s",
+        "deliveries",
+        "rows/deltas out",
+    ]);
+    for r in &runs {
+        t.row(&[
+            r.mode.to_string(),
+            r.tuples.to_string(),
+            r.batch_size.to_string(),
+            f(r.wall_ms, 1),
+            f(r.tuples_per_sec, 0),
+            r.batches.to_string(),
+            r.delivered.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "register/deregister churn vs {} standing queries: {} cycles in {} ms \
+         ({} cycles/s)\n",
+        churn.standing,
+        churn.cycles,
+        f(churn.wall_ms, 1),
+        f(churn.cycles_per_sec, 0),
+    ));
+    out
+}
+
+/// E13 results as JSON (written to `BENCH_E13.json` by CI so the perf
+/// trajectory tracks delivery overhead and churn across commits).
+pub fn e13_json() -> String {
+    let (runs, churn) = e13_runs();
+    let mut out = String::from(
+        "{\n  \"experiment\": \"e13\",\n  \"workload\": \"50-query fan-out, 20000 tuples, batch 256\",\n  \"delivery\": [\n",
+    );
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"wall_ms\": {:.2}, \"tuples_per_sec\": {:.0}, \
+             \"deliveries\": {}, \"delivered\": {}}}{}\n",
+            r.mode,
+            r.wall_ms,
+            r.tuples_per_sec,
+            r.batches,
+            r.delivered,
+            if i + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"churn\": {{\"standing\": {}, \"cycles\": {}, \"wall_ms\": {:.2}, \
+         \"cycles_per_sec\": {:.0}}}\n}}\n",
+        churn.standing, churn.cycles, churn.wall_ms, churn.cycles_per_sec,
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
 
 /// Run every experiment, concatenated (the full harness output).
 pub fn run_all() -> String {
@@ -971,6 +1217,7 @@ pub fn run_all() -> String {
         e10(),
         e11(),
         e12(),
+        e13(),
     ];
     let mut out = String::new();
     for s in sections {
@@ -996,6 +1243,8 @@ pub fn by_name(name: &str) -> Option<String> {
         "e11" => e11(),
         "e12" => e12(),
         "e12json" => e12_json(),
+        "e13" => e13(),
+        "e13json" => e13_json(),
         "all" => run_all(),
         _ => return None,
     })
@@ -1090,6 +1339,31 @@ mod tests {
             four_max < one_ops * 3 / 4,
             "busiest shard {four_max} ops !< 75% of single-shard {one_ops} ops ({four_ops:?})"
         );
+    }
+
+    #[test]
+    fn e13_coalescing_reduces_deliveries_and_churn_unwinds() {
+        // Deterministic slice of E13 (wall-clock numbers are the bench's
+        // job): coalesced push must deliver no more deltas than eager
+        // push — consolidation across boundaries only cancels work — in
+        // strictly fewer batches, and churn must leave the routing index
+        // where it started (asserted inside e13_churn_run).
+        let push = e13_delivery_run("push", 20, 4_000, 128);
+        let held = e13_delivery_run("push 5s coalesce", 20, 4_000, 128);
+        assert!(
+            held.delivered <= push.delivered,
+            "coalesced {} !<= eager {}",
+            held.delivered,
+            push.delivered
+        );
+        assert!(
+            held.batches < push.batches,
+            "coalesced {} batches !< eager {}",
+            held.batches,
+            push.batches
+        );
+        let churn = e13_churn_run(20, 50);
+        assert_eq!(churn.cycles, 50);
     }
 
     #[test]

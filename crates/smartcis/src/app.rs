@@ -16,7 +16,9 @@ use aspen_catalog::{Catalog, DeviceClass, NetworkStats, SourceKind, SourceStats}
 use aspen_optimizer::{optimize_named, FederatedPlan};
 use aspen_sql::{bind, parse, BoundQuery};
 use aspen_stream::delta::{Delta, DeltaBatch};
-use aspen_stream::{QueryHandle, StreamEngine};
+use aspen_stream::{
+    EngineConfig, QueryHandle, QuerySpec, Registration, ResultSubscription, SessionId, StreamEngine,
+};
 use aspen_types::rng::{chance, seeded};
 use aspen_types::{
     AspenError, DataType, Field, Point, Result, Schema, SimDuration, SimTime, Tuple, Value,
@@ -115,19 +117,20 @@ pub struct SmartCis {
 impl SmartCis {
     /// Build the full system: `labs` labs with `desks_per_lab` desks.
     /// The stream engine runs unsharded (shard count 1); use
-    /// [`SmartCis::with_shards`] to spread the standing-query set across
+    /// [`SmartCis::with_config`] to spread the standing-query set across
     /// worker shards.
     pub fn new(labs: usize, desks_per_lab: usize, seed: u64) -> Result<SmartCis> {
-        SmartCis::with_shards(labs, desks_per_lab, seed, 1)
+        SmartCis::with_config(labs, desks_per_lab, seed, EngineConfig::new())
     }
 
-    /// Build the full system with the stream engine's pipelines and
-    /// routing index partitioned across `shards` worker shards.
-    pub fn with_shards(
+    /// Build the full system with the stream engine constructed from
+    /// `config` (shard count, fan-out mode — fixed for the engine's
+    /// lifetime).
+    pub fn with_config(
         labs: usize,
         desks_per_lab: usize,
         seed: u64,
-        shards: usize,
+        config: EngineConfig,
     ) -> Result<SmartCis> {
         let building = Building::moore_wing(labs, desks_per_lab, 100.0);
         let planner = RoutePlanner::new(&building);
@@ -242,7 +245,7 @@ impl SmartCis {
         let web = WebSourceWrapper::register(&catalog, SimDuration::from_secs(60), seed ^ 1)?;
 
         // --- engines ---
-        let mut engine = StreamEngine::with_shards(Arc::clone(&catalog), shards);
+        let mut engine = StreamEngine::with_config(Arc::clone(&catalog), config);
         engine.on_batch("Route", &route_batch.tuples)?;
         engine.on_batch("RoutePoints", &points_batch.tuples)?;
         engine.on_batch("Machines", &machines_batch.tuples)?;
@@ -276,8 +279,49 @@ impl SmartCis {
     }
 
     /// Register any standing query (SQL) with the stream engine.
-    pub fn register_query(&mut self, sql: &str) -> Result<Option<QueryHandle>> {
+    pub fn register_query(&mut self, sql: &str) -> Result<Registration> {
         self.engine.register_sql(sql)
+    }
+
+    /// Register a full [`QuerySpec`] (delivery mode, micro-batch knobs).
+    pub fn register(&mut self, spec: QuerySpec) -> Result<Registration> {
+        self.engine.register(spec)
+    }
+
+    /// Open a client session on the stream engine; closing it retires
+    /// every query the client registered through it.
+    pub fn open_session(&mut self) -> SessionId {
+        self.engine.open_session()
+    }
+
+    /// Register a spec inside a client session.
+    pub fn register_in(&mut self, session: SessionId, spec: QuerySpec) -> Result<Registration> {
+        self.engine.register_in(session, spec)
+    }
+
+    /// Retire every query still registered in `session`.
+    pub fn close_session(&mut self, session: SessionId) -> Result<usize> {
+        self.engine.close_session(session)
+    }
+
+    /// Attach (or re-fetch) the push subscription of a standing query.
+    pub fn subscribe(&mut self, q: QueryHandle) -> Result<ResultSubscription> {
+        self.engine.subscribe(q)
+    }
+
+    /// Retire a standing query.
+    pub fn deregister(&mut self, q: QueryHandle) -> Result<()> {
+        self.engine.deregister(q)
+    }
+
+    /// Freeze a standing query (no deltas until resumed).
+    pub fn pause_query(&mut self, q: QueryHandle) -> Result<()> {
+        self.engine.pause(q)
+    }
+
+    /// Reattach a paused standing query via the replay path.
+    pub fn resume_query(&mut self, q: QueryHandle) -> Result<()> {
+        self.engine.resume(q)
     }
 
     /// Advance one epoch: poll wrappers, emit device readings, expire
@@ -499,6 +543,10 @@ impl SmartCis {
         for d in &self.building.desks {
             s.desk_free.insert(d.desk, !self.sim.occupied[&d.desk]);
         }
+        // The service view: how many standing queries the engine is
+        // currently maintaining for its clients.
+        s.details
+            .push(format!("standing queries: {}", self.engine.query_count()));
         s
     }
 
@@ -549,7 +597,7 @@ mod tests {
         let q = a
             .register_query("select t.room, t.desk, t.temp from TempSensors t where t.temp > 60")
             .unwrap()
-            .unwrap();
+            .expect_query();
         for _ in 0..3 {
             a.tick().unwrap();
         }
@@ -624,11 +672,11 @@ mod tests {
         // and the guidance pipeline must behave exactly as at shard
         // count 1.
         let mut flat = SmartCis::new(3, 6, 77).unwrap();
-        let mut sharded = SmartCis::with_shards(3, 6, 77, 3).unwrap();
+        let mut sharded = SmartCis::with_config(3, 6, 77, EngineConfig::new().shards(3)).unwrap();
         assert_eq!(sharded.engine.shard_count(), 3);
         let sql = "select t.room, t.desk from TempSensors t where t.temp > 60";
-        let qf = flat.register_query(sql).unwrap().unwrap();
-        let qs = sharded.register_query(sql).unwrap().unwrap();
+        let qf = flat.register_query(sql).unwrap().expect_query();
+        let qs = sharded.register_query(sql).unwrap().expect_query();
         for _ in 0..3 {
             flat.tick().unwrap();
             sharded.tick().unwrap();
@@ -660,7 +708,7 @@ mod tests {
         let q = a
             .register_query("select p.room from Person p")
             .unwrap()
-            .unwrap();
+            .expect_query();
         let rows = a.engine.snapshot(q).unwrap();
         assert_eq!(rows.len(), 1, "old visitor row must be retracted");
         assert_eq!(rows[0].get(0), &Value::Text("hall2".into()));

@@ -5,14 +5,22 @@
 //! it is a thin facade over [`ShardedEngine`]: `StreamEngine::new` is a
 //! one-shard engine (identical behavior and cost to the pre-shard
 //! engine — one shard owns every query and the whole `SourceId` →
-//! subscriber routing index), and [`StreamEngine::with_shards`] spreads
-//! the pipeline set across N worker shards hashed by `QueryId`.
-//! Wrappers push source batches in; the routing index sends each batch
-//! only to the query pipelines and recursive views that actually scan
-//! that source — ingest cost scales with the *subscribers of the
-//! source*, not with the total number of registered queries. Heartbeats
-//! likewise touch only the pipelines (and time-windowed views) that
-//! react to time.
+//! subscriber routing index), and [`StreamEngine::with_config`] takes an
+//! [`EngineConfig`] that spreads the pipeline set across N worker shards
+//! hashed by `QueryId`. Wrappers push source batches in; the routing
+//! index sends each batch only to the query pipelines and recursive
+//! views that actually scan that source — ingest cost scales with the
+//! *live subscribers of the source*, not with the total number of
+//! queries ever registered. Heartbeats likewise touch only the pipelines
+//! (and time-windowed views) that react to time.
+//!
+//! Clients interact through the session API: [`QuerySpec`] describes
+//! what to register (SQL or plan, delivery mode, micro-batch knobs),
+//! registration returns a typed [`Registration`], results arrive by
+//! snapshot polling or through a push [`ResultSubscription`], and the
+//! full lifecycle — [`StreamEngine::deregister`], [`StreamEngine::pause`],
+//! [`StreamEngine::resume`], per-client sessions — unwinds or suspends a
+//! query's routing so ingest cost always tracks live fan-out.
 
 use std::sync::Arc;
 
@@ -22,6 +30,7 @@ use aspen_sql::plan::LogicalPlan;
 use aspen_types::{Result, SimTime, SourceId, Tuple};
 
 use crate::delta::DeltaBatch;
+use crate::session::{EngineConfig, QuerySpec, Registration, ResultSubscription, SessionId};
 use crate::shard::ShardedEngine;
 
 pub use crate::shard::QueryHandle;
@@ -36,15 +45,16 @@ impl StreamEngine {
     /// every caller that predates the shard layer.
     pub fn new(catalog: Arc<Catalog>) -> Self {
         StreamEngine {
-            inner: ShardedEngine::new(catalog, 1),
+            inner: ShardedEngine::with_config(catalog, EngineConfig::new()),
         }
     }
 
-    /// Engine whose queries and routing index are partitioned across
-    /// `shards` worker shards (hash-placed by `QueryId`).
-    pub fn with_shards(catalog: Arc<Catalog>, shards: usize) -> Self {
+    /// Engine built from an [`EngineConfig`]: shard count and fan-out
+    /// mode are fixed at construction (there are no runtime-mutable
+    /// engine toggles).
+    pub fn with_config(catalog: Arc<Catalog>, config: EngineConfig) -> Self {
         StreamEngine {
-            inner: ShardedEngine::new(catalog, shards),
+            inner: ShardedEngine::with_config(catalog, config),
         }
     }
 
@@ -52,14 +62,6 @@ impl StreamEngine {
     /// (placement balance, per-shard busy time and ops counters).
     pub fn sharded(&self) -> &ShardedEngine {
         &self.inner
-    }
-
-    /// Force the shard fan-out onto scoped worker threads, or back to
-    /// the sequential loop (identical results either way). Benches pin
-    /// this so per-shard busy accounting is free of thread-scheduling
-    /// noise.
-    pub fn set_parallel_ingest(&mut self, on: bool) {
-        self.inner.set_parallel_ingest(on);
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
@@ -74,15 +76,44 @@ impl StreamEngine {
         self.inner.shard_count()
     }
 
-    /// Number of queries subscribed to a source (routing-index fan-out;
-    /// exposed for tests and the fan-out bench).
+    /// Registered queries (live + paused).
+    pub fn query_count(&self) -> usize {
+        self.inner.query_count()
+    }
+
+    /// Number of live queries subscribed to a source (routing-index
+    /// fan-out; exposed for tests and the fan-out benches).
     pub fn subscriber_count(&self, source: SourceId) -> usize {
         self.inner.subscriber_count(source)
     }
 
-    /// Compile and register a SQL statement. `SELECT` returns a query
-    /// handle; `CREATE VIEW` materializes the view and returns `None`.
-    pub fn register_sql(&mut self, sql: &str) -> Result<Option<QueryHandle>> {
+    /// Open a client session; close it to retire all of its queries at
+    /// once.
+    pub fn open_session(&mut self) -> SessionId {
+        self.inner.open_session()
+    }
+
+    /// Deregister every query still registered in `session`; returns how
+    /// many were retired.
+    pub fn close_session(&mut self, session: SessionId) -> Result<usize> {
+        self.inner.close_session(session)
+    }
+
+    /// Register a [`QuerySpec`] (SQL or bound plan, delivery mode,
+    /// micro-batch knobs) outside any session.
+    pub fn register(&mut self, spec: QuerySpec) -> Result<Registration> {
+        self.inner.register(spec)
+    }
+
+    /// Register a [`QuerySpec`] in a client session.
+    pub fn register_in(&mut self, session: SessionId, spec: QuerySpec) -> Result<Registration> {
+        self.inner.register_in(session, spec)
+    }
+
+    /// Compile and register a SQL statement with default (poll)
+    /// delivery: `SELECT` yields [`Registration::Query`], `CREATE VIEW`
+    /// yields [`Registration::View`].
+    pub fn register_sql(&mut self, sql: &str) -> Result<Registration> {
         self.inner.register_sql(sql)
     }
 
@@ -95,6 +126,34 @@ impl StreamEngine {
     /// source (kind `View`) so downstream queries can scan it.
     pub fn register_view(&mut self, bound: &BoundView) -> Result<SourceId> {
         self.inner.register_view(bound)
+    }
+
+    /// Retire a query, unwinding its runtime, routing entries, and
+    /// session membership.
+    pub fn deregister(&mut self, q: QueryHandle) -> Result<()> {
+        self.inner.deregister(q)
+    }
+
+    /// Detach a query from routing, freezing its sink; see
+    /// [`ShardedEngine::pause`].
+    pub fn pause(&mut self, q: QueryHandle) -> Result<()> {
+        self.inner.pause(q)
+    }
+
+    /// Reattach a paused query through the replay path; see
+    /// [`ShardedEngine::resume`].
+    pub fn resume(&mut self, q: QueryHandle) -> Result<()> {
+        self.inner.resume(q)
+    }
+
+    /// Whether a registered query is currently paused.
+    pub fn is_paused(&self, q: QueryHandle) -> Result<bool> {
+        self.inner.is_paused(q)
+    }
+
+    /// Attach (or re-fetch) the push subscription of a query.
+    pub fn subscribe(&mut self, q: QueryHandle) -> Result<ResultSubscription> {
+        self.inner.subscribe(q)
     }
 
     /// Ingest a batch of tuples for a named source.
@@ -188,7 +247,7 @@ mod tests {
         let q = e
             .register_sql("select t.desk from Temps t where t.temp > 90")
             .unwrap()
-            .unwrap();
+            .expect_query();
         e.on_batch(
             "Temps",
             &[Tuple::new(
@@ -243,7 +302,7 @@ mod tests {
         let q = e
             .register_sql("select r.dst from Reach r where r.src = 'a'")
             .unwrap()
-            .unwrap();
+            .expect_query();
         e.on_batch("Edge", &[edge("a", "b"), edge("b", "c")])
             .unwrap();
         let snap = e.snapshot(q).unwrap();
@@ -275,9 +334,12 @@ mod tests {
         let q = e
             .register_sql("select r.src, r.dst from Reach r")
             .unwrap()
-            .unwrap();
+            .expect_query();
         assert_eq!(e.snapshot(q).unwrap().len(), 3);
-        let q2 = e.register_sql("select e.src from Edge e").unwrap().unwrap();
+        let q2 = e
+            .register_sql("select e.src from Edge e")
+            .unwrap()
+            .expect_query();
         assert_eq!(e.snapshot(q2).unwrap().len(), 2);
     }
 
@@ -292,7 +354,7 @@ mod tests {
         let q = e
             .register_sql("select x.src, y.dst from Edge x, Edge y where x.dst = y.src")
             .unwrap()
-            .unwrap();
+            .expect_query();
         // Exactly one path a→b→c.
         let snap = e.snapshot(q).unwrap();
         assert_eq!(snap.len(), 1);
@@ -311,10 +373,10 @@ mod tests {
         let mut late = engine();
         let rows = [edge("x9", "a"), edge("x1", "b"), edge("x2", "c")];
         let sql = "select e.src from Edge e [rows 2]";
-        let q_live = live.register_sql(sql).unwrap().unwrap();
+        let q_live = live.register_sql(sql).unwrap().expect_query();
         live.on_batch("Edge", &rows).unwrap();
         late.on_batch("Edge", &rows).unwrap();
-        let q_late = late.register_sql(sql).unwrap().unwrap();
+        let q_late = late.register_sql(sql).unwrap().expect_query();
         let srcs =
             |snap: Vec<Tuple>| -> Vec<Value> { snap.iter().map(|t| t.get(0).clone()).collect() };
         assert_eq!(
@@ -348,7 +410,7 @@ mod tests {
         let _ = e
             .register_sql("select t.desk from Temps t output to display 'lobby'")
             .unwrap()
-            .unwrap();
+            .expect_query();
         e.on_batch(
             "Temps",
             &[Tuple::new(

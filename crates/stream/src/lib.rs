@@ -35,16 +35,50 @@
 //! delta per operator, so the optimizer's calibration is unchanged by
 //! batching — consolidation only ever lowers it.
 //!
+//! ## Sessions, registration, and the query lifecycle
+//!
+//! The engine is a *service*: clients open a [`session::SessionId`],
+//! register [`session::QuerySpec`]s (SQL text or a bound plan, a
+//! [`session::Delivery`] mode, and per-query micro-batch knobs), and
+//! retire queries when they leave. Registration returns a typed
+//! [`session::Registration`] — `Query(QueryHandle)` for a continuous
+//! `SELECT`, `View(SourceId)` for a `CREATE VIEW`. A query is live until
+//! `deregister` unwinds its runtime, its routing-index entries, and its
+//! clock-sensitive set memberships, or `pause` detaches it (sink frozen
+//! but readable) until `resume` rebuilds it through the same
+//! retained-table/view replay path a late registration uses. Closing a
+//! session retires every query it still owns. Ingest cost therefore
+//! tracks **live** fan-out, never the historical registration count.
+//!
+//! ## Delivery: snapshot polling and push subscriptions
+//!
+//! Every query supports snapshot polling (`snapshot` re-applies ORDER
+//! BY / LIMIT over the maintained result multiset). A query registered
+//! with [`session::QuerySpec::push`] — or subscribed later via
+//! `subscribe` — additionally owns a [`session::ResultSubscription`]:
+//! at every batch boundary (ingest or heartbeat) the engine appends the
+//! consolidated output deltas of that boundary to the subscription
+//! queue, and the client drains whole `DeltaBatch`es at its own pace.
+//! Accumulating every drained delta reconstructs exactly the polled
+//! snapshot multiset; late subscription, pause, and resume keep that
+//! invariant by delivering consolidated catch-up diffs. The per-query
+//! micro-batch knobs shape this stream: `max_delay` holds output deltas
+//! across boundaries (coalescing cancels churn before it is ever
+//! delivered) until they age past the delay, and `max_batch` both
+//! releases a hold early and caps the size of each delivered batch. The
+//! E13 bench (`harness e13`) measures push vs. poll delivery overhead
+//! and register/deregister churn throughput on the 50-query fan-out.
+//!
 //! ## Source-routed subscriptions, sharded
 //!
-//! The engine keeps a routing index from `SourceId` to the queries and
-//! recursive views that actually scan that source, built at
-//! registration time. `on_batch` / `on_deltas` touch only subscribers —
-//! ingest cost scales with a source's fan-out, not with the total number
-//! of registered queries — and `heartbeat` visits only pipelines (and
-//! time-windowed views) that react to time. This is what lets one
-//! building-wide sensor feed serve many concurrent dashboards (the E11
-//! bench drives a 50-query fan-out through this path).
+//! The engine keeps a routing index from `SourceId` to the live queries
+//! and recursive views that actually scan that source, maintained at
+//! every lifecycle transition. `on_batch` / `on_deltas` touch only
+//! subscribers — ingest cost scales with a source's fan-out, not with
+//! the total number of registered queries — and `heartbeat` visits only
+//! pipelines (and time-windowed views) that react to time. This is what
+//! lets one building-wide sensor feed serve many concurrent dashboards
+//! (the E11 bench drives a 50-query fan-out through this path).
 //!
 //! Since the sharding refactor that index and the pipeline set are
 //! *partitioned*: [`shard::ShardedEngine`] hash-places every query on
@@ -52,14 +86,17 @@
 //! plus the slice of the routing index that targets them. Ingest
 //! consults a coordinator-level `SourceId → shard` route table and fans
 //! out only to the involved shards; shards live behind the
-//! `parking_lot` shim and run on scoped worker threads when the host
-//! has multiple cores (sequentially, with identical results, when it
-//! does not). The clock, the retained table store, and recursive views
-//! stay on the coordinator — view output deltas fan into the shards
-//! like any other source. [`StreamEngine`] is the shard-count-1 facade
-//! (`StreamEngine::with_shards` exposes the rest); `harness e12`
-//! measures the 50-query fan-out at 1/2/4/8 shards against E11, and the
-//! shard-count invariance property is tested in `tests/sharding.rs`.
+//! `parking_lot` shim and run on scoped worker threads or a sequential
+//! loop with identical results — the mode is fixed at construction by
+//! [`session::EngineConfig`], which also carries the shard count (there
+//! are no runtime-mutable engine toggles). The clock, the retained
+//! table store, sessions, and recursive views stay on the coordinator —
+//! view output deltas fan into the shards like any other source.
+//! [`StreamEngine`] is the facade (`StreamEngine::with_config` exposes
+//! sharding); `harness e12` measures the 50-query fan-out at 1/2/4/8
+//! shards against E11, and the shard-count invariance property —
+//! including under interleaved register/deregister/pause churn with
+//! push subscriptions attached — is tested in `tests/sharding.rs`.
 //!
 //! What remains for the ROADMAP's async step: the per-shard mutexes
 //! already serialize exactly the state one worker touches, so moving
@@ -88,6 +125,7 @@ pub mod engine;
 pub mod operators;
 pub mod pipeline;
 pub mod recursive;
+pub mod session;
 pub mod shard;
 pub mod sink;
 pub mod state;
@@ -96,5 +134,6 @@ pub mod window;
 pub use delta::{Delta, DeltaBatch};
 pub use engine::{QueryHandle, StreamEngine};
 pub use recursive::RecursiveView;
+pub use session::{Delivery, EngineConfig, QuerySpec, Registration, ResultSubscription, SessionId};
 pub use shard::ShardedEngine;
 pub use sink::Sink;

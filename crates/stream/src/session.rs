@@ -1,0 +1,333 @@
+//! The client-facing query API: engine configuration, query specs,
+//! registrations, sessions, and push subscriptions.
+//!
+//! SmartCIS is a *service*: clients come and go, each posing continuous
+//! queries over the physical/digital space and consuming live results
+//! until they retire them. This module is the vocabulary of that
+//! contract:
+//!
+//! * [`EngineConfig`] — construction-time engine knobs (shard count,
+//!   parallel-ingest mode). There are no runtime-mutable engine toggles;
+//!   everything is fixed when the engine is built.
+//! * [`QuerySpec`] — a builder carrying what to run (SQL text or a bound
+//!   [`LogicalPlan`]), how results leave the engine ([`Delivery`]), and
+//!   per-query micro-batch knobs ([`QuerySpec::max_batch`] /
+//!   [`QuerySpec::max_delay`]) that the delivery path honors by
+//!   coalescing output deltas across batch boundaries.
+//! * [`Registration`] — the typed result of registering a spec: a
+//!   continuous `SELECT` yields a [`Registration::Query`] handle, a
+//!   `CREATE VIEW` yields the view's output [`Registration::View`]
+//!   source.
+//! * [`SessionId`] — groups registrations so a departing client's whole
+//!   query set can be retired with one `close_session` call.
+//! * [`ResultSubscription`] — the consumer half of push delivery: the
+//!   engine appends consolidated output [`DeltaBatch`]es at batch
+//!   boundaries; the client drains them at its own pace.
+
+use std::sync::Arc;
+
+use aspen_sql::plan::LogicalPlan;
+use aspen_types::{QueryId, SimDuration, SourceId};
+use parking_lot::Mutex;
+
+use crate::delta::DeltaBatch;
+use crate::shard::QueryHandle;
+
+/// Construction-time engine configuration. Replaces the old pattern of
+/// building an engine and then mutating toggles (`set_parallel_ingest`)
+/// at runtime — the shard layout and fan-out mode are fixed for the
+/// engine's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    shards: usize,
+    /// `None` = auto-detect (threads when shards > 1 and the host is
+    /// multicore); `Some(on)` pins the fan-out mode.
+    parallel_ingest: Option<bool>,
+}
+
+impl EngineConfig {
+    pub fn new() -> Self {
+        EngineConfig::default()
+    }
+
+    /// Number of worker shards the pipeline set is hash-partitioned
+    /// across (clamped to ≥ 1 at construction).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Pin the shard fan-out onto scoped worker threads (`true`) or the
+    /// sequential loop (`false`) — results are identical either way.
+    /// Benches pin this so per-shard busy accounting is free of
+    /// thread-scheduling noise; unset, the engine decides from the core
+    /// count.
+    pub fn parallel_ingest(mut self, on: bool) -> Self {
+        self.parallel_ingest = Some(on);
+        self
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.max(1)
+    }
+
+    pub(crate) fn resolve_parallel(&self, cores: usize) -> bool {
+        let n = self.shard_count();
+        match self.parallel_ingest {
+            Some(on) => on && n > 1,
+            None => n > 1 && cores > 1,
+        }
+    }
+}
+
+/// Identifies a group of registrations made by one client. Closing the
+/// session deregisters every query still live in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(pub u32);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sess{}", self.0)
+    }
+}
+
+/// How a query's results leave the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Delivery {
+    /// Results are read by snapshot polling only (the default).
+    #[default]
+    Poll,
+    /// A [`ResultSubscription`] is attached at registration: output
+    /// deltas are pushed at batch boundaries (snapshot polling still
+    /// works too).
+    Push,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum QueryText {
+    Sql(String),
+    Plan(LogicalPlan),
+}
+
+/// Declarative spec for one registration: what to run, how results are
+/// delivered, and how output deltas are micro-batched on the way out.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    pub(crate) text: QueryText,
+    pub(crate) delivery: Delivery,
+    pub(crate) max_batch: Option<usize>,
+    pub(crate) max_delay: Option<SimDuration>,
+}
+
+impl QuerySpec {
+    /// A spec from Stream SQL text (`SELECT` or `CREATE VIEW`).
+    pub fn sql(sql: impl Into<String>) -> Self {
+        QuerySpec {
+            text: QueryText::Sql(sql.into()),
+            delivery: Delivery::Poll,
+            max_batch: None,
+            max_delay: None,
+        }
+    }
+
+    /// A spec from an already-bound continuous-query plan (e.g. the
+    /// stream half of a federated plan).
+    pub fn plan(plan: LogicalPlan) -> Self {
+        QuerySpec {
+            text: QueryText::Plan(plan),
+            delivery: Delivery::Poll,
+            max_batch: None,
+            max_delay: None,
+        }
+    }
+
+    /// Deliver results by push: a subscription channel is attached at
+    /// registration time, so no output delta is ever missed.
+    pub fn push(mut self) -> Self {
+        self.delivery = Delivery::Push;
+        self
+    }
+
+    /// Cap a delivered batch at `n` consolidated deltas. A pending
+    /// buffer that reaches `n` is flushed even inside a `max_delay`
+    /// hold; larger flushes are split into chunks of at most `n`.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = Some(n.max(1));
+        self
+    }
+
+    /// Coalesce output deltas across batch boundaries for up to `d` of
+    /// simulated time before delivering them (latency traded for fewer,
+    /// denser batches). Without this knob every non-empty boundary
+    /// flushes immediately.
+    pub fn max_delay(mut self, d: SimDuration) -> Self {
+        self.max_delay = Some(d);
+        self
+    }
+}
+
+/// The typed result of registering a [`QuerySpec`]: what kind of object
+/// now lives in the engine. Replaces the old `Result<Option<QueryHandle>>`
+/// contract where `None` silently meant "that was a view".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Registration {
+    /// A continuous `SELECT`: poll it, subscribe to it, pause it,
+    /// deregister it.
+    Query(QueryHandle),
+    /// A materialized `CREATE VIEW`: downstream queries scan its output
+    /// source.
+    View(SourceId),
+}
+
+impl Registration {
+    /// The query handle, if this registration was a `SELECT`.
+    pub fn query(self) -> Option<QueryHandle> {
+        match self {
+            Registration::Query(h) => Some(h),
+            Registration::View(_) => None,
+        }
+    }
+
+    /// The view output source, if this registration was a `CREATE VIEW`.
+    pub fn view(self) -> Option<SourceId> {
+        match self {
+            Registration::Query(_) => None,
+            Registration::View(s) => Some(s),
+        }
+    }
+
+    /// The query handle; panics if the statement was a view. For callers
+    /// that know their SQL is a `SELECT` (tests, examples).
+    #[track_caller]
+    pub fn expect_query(self) -> QueryHandle {
+        match self {
+            Registration::Query(h) => h,
+            Registration::View(s) => {
+                panic!("registration produced view source {s}, not a query handle")
+            }
+        }
+    }
+}
+
+/// Producer/consumer state shared between a query's sink and its
+/// [`ResultSubscription`] handles.
+#[derive(Debug, Default)]
+pub(crate) struct SubscriptionQueue {
+    pub(crate) batches: Vec<DeltaBatch>,
+    /// Total batches ever enqueued (monotone; survives draining).
+    pub(crate) delivered: u64,
+}
+
+pub(crate) type SharedQueue = Arc<Mutex<SubscriptionQueue>>;
+
+/// The consumer half of push delivery for one query.
+///
+/// The engine appends consolidated output delta batches at batch
+/// boundaries (ingest and heartbeats); [`ResultSubscription::drain`]
+/// removes and returns everything delivered so far. Accumulating every
+/// drained delta yields exactly the multiset a snapshot poll would
+/// return once all pending deltas have been flushed (subscribing late,
+/// pausing, and resuming all deliver consolidated catch-up batches to
+/// keep that invariant).
+///
+/// Clones share one queue: this is a single-consumer channel handed to
+/// one client, not a broadcast.
+#[derive(Debug, Clone)]
+pub struct ResultSubscription {
+    pub(crate) queue: SharedQueue,
+    pub(crate) query: QueryId,
+}
+
+impl ResultSubscription {
+    /// The query this subscription delivers for.
+    pub fn query(&self) -> QueryHandle {
+        QueryHandle(self.query)
+    }
+
+    /// Remove and return every batch delivered since the last drain.
+    pub fn drain(&self) -> Vec<DeltaBatch> {
+        std::mem::take(&mut self.queue.lock().batches)
+    }
+
+    /// Batches currently waiting to be drained.
+    pub fn pending_batches(&self) -> usize {
+        self.queue.lock().batches.len()
+    }
+
+    /// Total batches ever delivered through this subscription (monotone
+    /// across drains).
+    pub fn batches_delivered(&self) -> u64 {
+        self.queue.lock().delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_types::{SimTime, Tuple, Value};
+
+    #[test]
+    fn config_resolves_parallel_mode() {
+        assert_eq!(EngineConfig::new().shard_count(), 1);
+        assert_eq!(EngineConfig::new().shards(0).shard_count(), 1);
+        // Auto: threads only when both shards and cores are plural.
+        assert!(!EngineConfig::new().shards(4).resolve_parallel(1));
+        assert!(EngineConfig::new().shards(4).resolve_parallel(8));
+        assert!(!EngineConfig::new().resolve_parallel(8));
+        // Pinned: forced off on multicore, and on never exceeds shards.
+        assert!(!EngineConfig::new()
+            .shards(4)
+            .parallel_ingest(false)
+            .resolve_parallel(8));
+        assert!(!EngineConfig::new()
+            .parallel_ingest(true)
+            .resolve_parallel(8));
+    }
+
+    #[test]
+    fn spec_builder_carries_knobs() {
+        let s = QuerySpec::sql("select r.x from R r")
+            .push()
+            .max_batch(0)
+            .max_delay(SimDuration::from_secs(5));
+        assert_eq!(s.delivery, Delivery::Push);
+        assert_eq!(s.max_batch, Some(1), "max_batch clamps to >= 1");
+        assert_eq!(s.max_delay, Some(SimDuration::from_secs(5)));
+    }
+
+    #[test]
+    fn registration_accessors() {
+        let q = Registration::Query(QueryHandle(QueryId(3)));
+        assert_eq!(q.query(), Some(QueryHandle(QueryId(3))));
+        assert_eq!(q.view(), None);
+        assert_eq!(q.expect_query(), QueryHandle(QueryId(3)));
+        let v = Registration::View(SourceId(7));
+        assert_eq!(v.query(), None);
+        assert_eq!(v.view(), Some(SourceId(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a query handle")]
+    fn expect_query_panics_on_view() {
+        Registration::View(SourceId(1)).expect_query();
+    }
+
+    #[test]
+    fn subscription_drains_once() {
+        let queue: SharedQueue = Arc::new(Mutex::new(SubscriptionQueue::default()));
+        let sub = ResultSubscription {
+            queue: Arc::clone(&queue),
+            query: QueryId(0),
+        };
+        let batch = DeltaBatch::inserts([Tuple::new(vec![Value::Int(1)], SimTime::ZERO)]);
+        {
+            let mut q = queue.lock();
+            q.batches.push(batch.clone());
+            q.delivered += 1;
+        }
+        assert_eq!(sub.pending_batches(), 1);
+        assert_eq!(sub.drain(), vec![batch]);
+        assert!(sub.drain().is_empty());
+        assert_eq!(sub.batches_delivered(), 1, "monotone across drains");
+    }
+}

@@ -1,5 +1,5 @@
 //! Sharded pipeline execution: the engine core partitioned across
-//! worker shards.
+//! worker shards, with full query lifecycle.
 //!
 //! [`ShardedEngine`] lifts the per-operator partitioning idea of
 //! [`crate::distributed::PartitionedJoin`] to *whole pipelines*: every
@@ -12,22 +12,35 @@
 //! only; each shard then walks its local subscriber list exactly like
 //! the unsharded engine did.
 //!
+//! Queries are *not* permanent: [`ShardedEngine::deregister`] unwinds a
+//! query's runtime from its shard, its entries in the sharded routing
+//! slices, the coordinator route table, and the clock-sensitive sets, so
+//! per-source ingest cost always tracks **live** fan-out.
+//! [`ShardedEngine::pause`] detaches a query from routing while keeping
+//! its sink readable (frozen); [`ShardedEngine::resume`] rebuilds the
+//! runtime from the stored plan through the same replay path a
+//! late-registered query uses, so the resumed snapshot is exactly what a
+//! fresh registration would see. Push subscriptions
+//! ([`ShardedEngine::subscribe`]) survive pause/resume: the channel is
+//! carried over and a consolidated catch-up diff is delivered.
+//!
 //! Shards live behind the `parking_lot` shim ([`Mutex<EngineShard>`]):
 //! shard state is `Send`, cross-shard work is disjoint by construction
 //! (a query's pipeline, sink, and routing entries live on one shard),
-//! and when the host has more than one core the fan-out runs each
-//! shard's slice on its own scoped worker thread. On a single-core host
-//! the fan-out degrades to a sequential loop over the same shard slices
-//! — results are identical either way (shard-count invariance is
-//! property-tested in `tests/sharding.rs`).
+//! and when configured for parallel ingest the fan-out runs each shard's
+//! slice on its own scoped worker thread; otherwise it degrades to a
+//! sequential loop over the same slices — results are identical either
+//! way (shard-count invariance is property-tested in
+//! `tests/sharding.rs`, including under register/deregister/pause
+//! churn).
 //!
 //! What stays on the coordinator: the catalog, the retained table store
-//! (replay for late-registered queries), recursive views (their outputs
-//! fan *into* shards like any other source), and the engine clock. The
-//! per-shard `busy` accounting measures the wall time each shard spends
-//! inside its slice of the work; the E12 bench derives critical-path
-//! (max-shard) throughput from it — the number an N-core deployment
-//! would see.
+//! (replay for late-registered and resumed queries), recursive views
+//! (their outputs fan *into* shards like any other source), sessions,
+//! and the engine clock. The per-shard `busy` accounting measures the
+//! wall time each shard spends inside its slice of the work; the E12
+//! bench derives critical-path (max-shard) throughput from it — the
+//! number an N-core deployment would see.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -39,12 +52,16 @@ use aspen_catalog::{Catalog, SourceKind, SourceStats};
 use aspen_sql::binder::BoundView;
 use aspen_sql::plan::LogicalPlan;
 use aspen_sql::{bind, parse, BoundQuery};
-use aspen_types::{AspenError, QueryId, Result, SimTime, SourceId, Tuple};
+use aspen_types::{AspenError, QueryId, Result, SimDuration, SimTime, SourceId, Tuple};
 use parking_lot::Mutex;
 
 use crate::delta::DeltaBatch;
 use crate::pipeline::Pipeline;
 use crate::recursive::RecursiveView;
+use crate::session::{
+    Delivery, EngineConfig, QuerySpec, QueryText, Registration, ResultSubscription, SessionId,
+    SharedQueue, SubscriptionQueue,
+};
 use crate::sink::Sink;
 use crate::state::BagState;
 
@@ -63,15 +80,37 @@ pub(crate) struct ViewRuntime {
     pub(crate) out_source: SourceId,
 }
 
+/// Coordinator-side record of one registered query: where it lives, what
+/// it scans, and everything needed to detach it cleanly or rebuild it on
+/// resume.
+struct QueryMeta {
+    shard: usize,
+    sources: Vec<SourceId>,
+    needs_clock: bool,
+    paused: bool,
+    /// The bound plan, kept for the resume replay path.
+    plan: LogicalPlan,
+    session: Option<SessionId>,
+    max_batch: Option<usize>,
+    max_delay: Option<SimDuration>,
+    /// Whether a push subscription channel is attached to the sink.
+    push: bool,
+}
+
 /// One worker shard: a disjoint set of query runtimes plus the slice of
-/// the routing index that targets them. All indices are shard-local.
+/// the routing index that targets them. All indices are shard-local and
+/// keyed by the global `QueryId`, so queries can be detached without
+/// renumbering their neighbors.
 #[derive(Default)]
 pub(crate) struct EngineShard {
-    queries: Vec<QueryRuntime>,
-    /// Routing-index slice: source → local queries scanning it.
-    subs: HashMap<SourceId, Vec<usize>>,
+    queries: HashMap<QueryId, QueryRuntime>,
+    /// Routing-index slice: source → local queries scanning it, in
+    /// registration order.
+    subs: HashMap<SourceId, Vec<QueryId>>,
     /// Local queries whose windows react to the clock.
-    clock_subs: Vec<usize>,
+    clock_subs: Vec<QueryId>,
+    /// Local live queries with a push subscription attached (flush set).
+    push_subs: Vec<QueryId>,
     /// Wall time spent processing this shard's slice of the work.
     busy: Duration,
 }
@@ -79,8 +118,8 @@ pub(crate) struct EngineShard {
 impl EngineShard {
     fn push_batch(&mut self, src: SourceId, tuples: &[Tuple]) -> Result<()> {
         if let Some(subs) = self.subs.get(&src) {
-            for &i in subs {
-                let q = &mut self.queries[i];
+            for qid in subs {
+                let q = self.queries.get_mut(qid).expect("routed query is local");
                 q.pipeline.push_source(src, tuples, &mut q.sink)?;
             }
         }
@@ -89,8 +128,8 @@ impl EngineShard {
 
     fn push_deltas(&mut self, src: SourceId, deltas: &DeltaBatch) -> Result<()> {
         if let Some(subs) = self.subs.get(&src) {
-            for &i in subs {
-                let q = &mut self.queries[i];
+            for qid in subs {
+                let q = self.queries.get_mut(qid).expect("routed query is local");
                 q.pipeline.push_deltas(src, deltas, &mut q.sink)?;
             }
         }
@@ -98,11 +137,52 @@ impl EngineShard {
     }
 
     fn advance_time(&mut self, now: SimTime) -> Result<()> {
-        for &i in &self.clock_subs {
-            let q = &mut self.queries[i];
+        for qid in &self.clock_subs {
+            let q = self.queries.get_mut(qid).expect("clocked query is local");
             q.pipeline.advance_time(now, &mut q.sink)?;
         }
         Ok(())
+    }
+
+    /// Deliver pending push batches for every live subscribed sink
+    /// (only queries in the push set are touched).
+    fn flush_push(&mut self, now: SimTime) {
+        for qid in &self.push_subs {
+            let q = self.queries.get_mut(qid).expect("push query is local");
+            q.sink.flush_push(now, false);
+        }
+    }
+
+    /// Mark a live local query as push-subscribed (idempotent).
+    fn mark_push(&mut self, qid: QueryId) {
+        if !self.push_subs.contains(&qid) {
+            self.push_subs.push(qid);
+        }
+    }
+
+    /// Wire a query into this shard's routing slice.
+    fn attach(&mut self, qid: QueryId, sources: &[SourceId], needs_clock: bool) {
+        for &src in sources {
+            self.subs.entry(src).or_default().push(qid);
+        }
+        if needs_clock {
+            self.clock_subs.push(qid);
+        }
+    }
+
+    /// Remove a query from this shard's routing slice (its runtime, if
+    /// any, stays — pause keeps the sink readable).
+    fn detach(&mut self, qid: QueryId, sources: &[SourceId]) {
+        for src in sources {
+            if let Some(subs) = self.subs.get_mut(src) {
+                subs.retain(|&q| q != qid);
+                if subs.is_empty() {
+                    self.subs.remove(src);
+                }
+            }
+        }
+        self.clock_subs.retain(|&q| q != qid);
+        self.push_subs.retain(|&q| q != qid);
     }
 }
 
@@ -110,45 +190,65 @@ impl EngineShard {
 pub struct ShardedEngine {
     catalog: Arc<Catalog>,
     shards: Vec<Mutex<EngineShard>>,
-    /// Global `QueryId` (dense, registration order) → (shard, local idx).
-    placements: Vec<(usize, usize)>,
-    /// Coordinator route table: source → shards with ≥ 1 subscriber.
+    /// Every registered query (live and paused), by id.
+    queries: HashMap<QueryId, QueryMeta>,
+    /// Registration order of currently registered queries (drives
+    /// deterministic route rebuilds and display iteration).
+    order: Vec<QueryId>,
+    next_query: u32,
+    sessions: HashMap<SessionId, Vec<QueryId>>,
+    next_session: u32,
+    /// Coordinator route table: source → shards with ≥ 1 live subscriber.
     source_routes: HashMap<SourceId, Vec<usize>>,
-    /// Shards with ≥ 1 clock-sensitive query (heartbeat fan-out set).
+    /// Shards with ≥ 1 live clock-sensitive query (heartbeat fan-out set).
     clock_routes: Vec<usize>,
+    /// Shards with ≥ 1 live push-subscribed query (flush fan-out set).
+    push_routes: Vec<usize>,
     views: Vec<ViewRuntime>,
     /// Routing index: source → views that read it as a base relation.
     view_subs: HashMap<SourceId, Vec<usize>>,
     /// Views with clock-sensitive (time-windowed) base scans.
     clock_views: Vec<usize>,
-    /// Retained contents of Table sources so late-registered queries can
-    /// replay them (streams are not replayed — standard semantics).
+    /// Retained contents of Table sources so late-registered (and
+    /// resumed) queries can replay them (streams are not replayed —
+    /// standard semantics).
     table_store: HashMap<SourceId, BagState>,
     now: SimTime,
-    /// Run involved shards on scoped worker threads. Off when the host
-    /// has a single core (fan-out then loops over the same slices).
+    /// Run involved shards on scoped worker threads (fixed at
+    /// construction by [`EngineConfig`]).
     parallel: bool,
 }
 
 impl ShardedEngine {
-    /// Engine with `shards` worker shards (clamped to ≥ 1). Shard count 1
-    /// is exactly the unsharded engine: one shard owning every query and
-    /// the whole routing index.
+    /// Engine with `shards` worker shards and default settings. Shard
+    /// count 1 is exactly the unsharded engine: one shard owning every
+    /// query and the whole routing index.
     pub fn new(catalog: Arc<Catalog>, shards: usize) -> Self {
-        let n = shards.max(1);
+        ShardedEngine::with_config(catalog, EngineConfig::new().shards(shards))
+    }
+
+    /// Engine built from an [`EngineConfig`] — shard count and fan-out
+    /// mode are fixed for the engine's lifetime.
+    pub fn with_config(catalog: Arc<Catalog>, config: EngineConfig) -> Self {
+        let n = config.shard_count();
         let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
         ShardedEngine {
             catalog,
             shards: (0..n).map(|_| Mutex::new(EngineShard::default())).collect(),
-            placements: Vec::new(),
+            queries: HashMap::new(),
+            order: Vec::new(),
+            next_query: 0,
+            sessions: HashMap::new(),
+            next_session: 0,
             source_routes: HashMap::new(),
             clock_routes: Vec::new(),
+            push_routes: Vec::new(),
             views: Vec::new(),
             view_subs: HashMap::new(),
             clock_views: Vec::new(),
             table_store: HashMap::new(),
             now: SimTime::ZERO,
-            parallel: n > 1 && cores > 1,
+            parallel: config.resolve_parallel(cores),
         }
     }
 
@@ -164,12 +264,9 @@ impl ShardedEngine {
         self.shards.len()
     }
 
-    /// Force the fan-out onto scoped worker threads (or back to the
-    /// sequential loop) regardless of the detected core count. Results
-    /// are identical either way; tests use this to exercise the threaded
-    /// path, benches to pin a mode.
-    pub fn set_parallel_ingest(&mut self, on: bool) {
-        self.parallel = on && self.shards.len() > 1;
+    /// Registered queries (live + paused).
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
     }
 
     /// Queries placed on each shard (placement balance, for tests/bench).
@@ -195,15 +292,16 @@ impl ShardedEngine {
             .map(|s| {
                 s.lock()
                     .queries
-                    .iter()
+                    .values()
                     .map(|q| q.pipeline.ops_invoked)
                     .sum()
             })
             .collect()
     }
 
-    /// Number of queries subscribed to a source across all shards
-    /// (routing-index fan-out; exposed for tests and the fan-out bench).
+    /// Number of *live* queries subscribed to a source across all shards
+    /// (routing-index fan-out; paused and deregistered queries do not
+    /// count — exposed for tests and the fan-out benches).
     pub fn subscriber_count(&self, source: SourceId) -> usize {
         self.source_routes.get(&source).map_or(0, |shards| {
             shards
@@ -220,69 +318,238 @@ impl ShardedEngine {
         (h.finish() % self.shards.len() as u64) as usize
     }
 
-    /// Compile and register a SQL statement. `SELECT` returns a query
-    /// handle; `CREATE VIEW` materializes the view and returns `None`.
-    pub fn register_sql(&mut self, sql: &str) -> Result<Option<QueryHandle>> {
-        match bind(&parse(sql)?, &self.catalog)? {
-            BoundQuery::Select(b) => Ok(Some(self.register_plan(&b.plan)?)),
-            BoundQuery::View(v) => {
-                self.register_view(&v)?;
-                Ok(None)
+    // -----------------------------------------------------------------
+    // Sessions
+    // -----------------------------------------------------------------
+
+    /// Open a client session. Registrations made through it are retired
+    /// together by [`ShardedEngine::close_session`].
+    pub fn open_session(&mut self) -> SessionId {
+        let sid = SessionId(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(sid, Vec::new());
+        sid
+    }
+
+    /// Deregister every *query* still registered in `session` and forget
+    /// the session. Returns how many queries were retired. Views created
+    /// through the session are shared catalog objects (other clients'
+    /// queries may scan them) and deliberately survive it.
+    pub fn close_session(&mut self, session: SessionId) -> Result<usize> {
+        let qids = self
+            .sessions
+            .remove(&session)
+            .ok_or_else(|| AspenError::InvalidArgument(format!("unknown session {session}")))?;
+        let mut removed: Vec<QueryId> = Vec::new();
+        for qid in qids {
+            // A query may already have been deregistered individually.
+            if self.queries.contains_key(&qid) {
+                self.remove_query_inner(qid, false);
+                removed.push(qid);
+            }
+        }
+        // One order prune and one route rebuild for the whole batch, not
+        // one per query.
+        self.order.retain(|q| !removed.contains(q));
+        self.rebuild_routes();
+        Ok(removed.len())
+    }
+
+    // -----------------------------------------------------------------
+    // Registration
+    // -----------------------------------------------------------------
+
+    /// Register a [`QuerySpec`] outside any session.
+    pub fn register(&mut self, spec: QuerySpec) -> Result<Registration> {
+        self.do_register(None, spec)
+    }
+
+    /// Register a [`QuerySpec`] in a client session.
+    pub fn register_in(&mut self, session: SessionId, spec: QuerySpec) -> Result<Registration> {
+        if !self.sessions.contains_key(&session) {
+            return Err(AspenError::InvalidArgument(format!(
+                "unknown session {session}"
+            )));
+        }
+        self.do_register(Some(session), spec)
+    }
+
+    /// Compile and register a SQL statement with default delivery.
+    pub fn register_sql(&mut self, sql: &str) -> Result<Registration> {
+        self.register(QuerySpec::sql(sql))
+    }
+
+    /// Register an already-planned continuous query with default
+    /// delivery.
+    pub fn register_plan(&mut self, plan: &LogicalPlan) -> Result<QueryHandle> {
+        match self.register(QuerySpec::plan(plan.clone()))? {
+            Registration::Query(h) => Ok(h),
+            Registration::View(_) => unreachable!("plan specs register queries"),
+        }
+    }
+
+    fn do_register(&mut self, session: Option<SessionId>, spec: QuerySpec) -> Result<Registration> {
+        let QuerySpec {
+            text,
+            delivery,
+            max_batch,
+            max_delay,
+        } = spec;
+        let plan = match text {
+            QueryText::Plan(plan) => plan,
+            QueryText::Sql(sql) => match bind(&parse(&sql)?, &self.catalog)? {
+                BoundQuery::Select(b) => b.plan,
+                BoundQuery::View(v) => {
+                    // Views are shared, catalog-named infrastructure —
+                    // they have no sink to subscribe to and are not
+                    // retired with a client session, so a spec that asks
+                    // for query-only features must fail loudly instead
+                    // of dropping them.
+                    if delivery == Delivery::Push || max_batch.is_some() || max_delay.is_some() {
+                        return Err(AspenError::InvalidArgument(format!(
+                            "view '{}' cannot take push delivery or micro-batch knobs; \
+                             they apply to continuous queries only",
+                            v.name
+                        )));
+                    }
+                    return Ok(Registration::View(self.register_view(&v)?));
+                }
+            },
+        };
+        let handle = self.place_query(plan, session, delivery, max_batch, max_delay)?;
+        Ok(Registration::Query(handle))
+    }
+
+    /// Compile a plan, replay retained state, place the runtime on
+    /// `hash(QueryId) % shards`, and wire both index levels (coordinator
+    /// route table + the owning shard's slice) before it goes live.
+    fn place_query(
+        &mut self,
+        plan: LogicalPlan,
+        session: Option<SessionId>,
+        delivery: Delivery,
+        max_batch: Option<usize>,
+        max_delay: Option<SimDuration>,
+    ) -> Result<QueryHandle> {
+        let mut pipeline = Pipeline::compile(&plan)?;
+        if delivery == Delivery::Push {
+            Self::check_push_compatible(&pipeline)?;
+        }
+        let mut sink = pipeline.make_sink();
+        // Attach push delivery before the first delta can flow, so the
+        // subscription sees everything from the initial aggregate rows
+        // onward.
+        if delivery == Delivery::Push {
+            let queue: SharedQueue = Arc::new(Mutex::new(SubscriptionQueue::default()));
+            sink.attach_push(queue, HashMap::new(), max_batch, max_delay);
+        }
+        pipeline.start(&mut sink)?;
+        let sources = pipeline.sources();
+        self.seed_pipeline(&mut pipeline, &sources, &mut sink)?;
+
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+        let shard_idx = self.shard_of(qid);
+        let needs_clock = pipeline.needs_clock();
+        // Registration itself is a batch boundary: deliver the replayed
+        // state now so a push subscription is immediately consistent
+        // with a snapshot poll.
+        sink.flush_push(self.now, true);
+        {
+            let mut shard = self.shards[shard_idx].lock();
+            shard.attach(qid, &sources, needs_clock);
+            if delivery == Delivery::Push {
+                shard.mark_push(qid);
+            }
+            shard.queries.insert(qid, QueryRuntime { pipeline, sink });
+        }
+        self.queries.insert(
+            qid,
+            QueryMeta {
+                shard: shard_idx,
+                sources,
+                needs_clock,
+                paused: false,
+                plan,
+                session,
+                max_batch,
+                max_delay,
+                push: delivery == Delivery::Push,
+            },
+        );
+        self.order.push(qid);
+        if let Some(sid) = session {
+            self.sessions
+                .get_mut(&sid)
+                .expect("session validated by caller")
+                .push(qid);
+        }
+        self.add_routes(qid);
+        Ok(QueryHandle(qid))
+    }
+
+    /// Unwind one query everywhere except the coordinator route tables
+    /// and (optionally) the registration-order list — callers batch
+    /// those: `deregister` prunes and rebuilds once per call,
+    /// `close_session` once per batch.
+    fn remove_query_inner(&mut self, qid: QueryId, prune_order: bool) {
+        let meta = self.queries.remove(&qid).expect("caller checked");
+        {
+            let mut shard = self.shards[meta.shard].lock();
+            shard.detach(qid, &meta.sources);
+            shard.queries.remove(&qid);
+        }
+        if prune_order {
+            self.order.retain(|&q| q != qid);
+        }
+        if let Some(sid) = meta.session {
+            if let Some(qids) = self.sessions.get_mut(&sid) {
+                qids.retain(|&q| q != qid);
             }
         }
     }
 
-    /// Register an already-planned continuous query: compile, replay
-    /// retained state, then place it on `hash(QueryId) % shards`.
-    pub fn register_plan(&mut self, plan: &LogicalPlan) -> Result<QueryHandle> {
-        let mut pipeline = Pipeline::compile(plan)?;
-        let mut sink = pipeline.make_sink();
-        pipeline.start(&mut sink)?;
+    /// Push delivery exposes the maintained result *multiset* — exactly
+    /// what accumulating the delivered deltas reconstructs. LIMIT is a
+    /// snapshot-time truncation with no incremental counterpart (top-k
+    /// maintenance would need retraction-aware ranking), so subscribing
+    /// to a LIMIT query would silently break the accumulate-equals-poll
+    /// contract; refuse instead. ORDER BY alone is fine — it does not
+    /// change the multiset.
+    fn check_push_compatible(pipeline: &Pipeline) -> Result<()> {
+        if pipeline.sink_spec().limit.is_some() {
+            return Err(AspenError::InvalidArgument(
+                "queries with LIMIT cannot use push delivery: the limit is applied \
+                 per snapshot, so delivered deltas would not reconstruct the polled \
+                 result; poll this query instead"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
 
-        // Replay retained table contents and current view materializations
-        // so the query starts consistent. `Pipeline::sources()` is
-        // deduplicated: a source scanned under several aliases is
-        // replayed exactly once (push_source feeds every scan bound to
-        // it), so rows are not multiplied by the alias count.
-        let sources = pipeline.sources();
-        for &src in &sources {
+    /// Replay retained table contents and current view materializations
+    /// so the query starts consistent. `Pipeline::sources()` is
+    /// deduplicated: a source scanned under several aliases is replayed
+    /// exactly once (push_source feeds every scan bound to it), so rows
+    /// are not multiplied by the alias count.
+    fn seed_pipeline(
+        &self,
+        pipeline: &mut Pipeline,
+        sources: &[SourceId],
+        sink: &mut Sink,
+    ) -> Result<()> {
+        for &src in sources {
             if let Some(rows) = self.table_store.get(&src) {
                 let rows = rows.snapshot();
-                pipeline.push_source(src, &rows, &mut sink)?;
+                pipeline.push_source(src, &rows, sink)?;
             }
             if let Some(vr) = self.views.iter().find(|v| v.out_source == src) {
                 let snapshot = vr.view.snapshot();
-                pipeline.push_source(src, &snapshot, &mut sink)?;
+                pipeline.push_source(src, &snapshot, sink)?;
             }
         }
-
-        // Place the query and wire both index levels (coordinator route
-        // table + the owning shard's slice) before it goes live.
-        let qid = QueryId(self.placements.len() as u32);
-        let shard_idx = self.shard_of(qid);
-        let needs_clock = pipeline.needs_clock();
-        {
-            let mut shard = self.shards[shard_idx].lock();
-            let local = shard.queries.len();
-            for &src in &sources {
-                shard.subs.entry(src).or_default().push(local);
-            }
-            if needs_clock {
-                shard.clock_subs.push(local);
-            }
-            shard.queries.push(QueryRuntime { pipeline, sink });
-            self.placements.push((shard_idx, local));
-        }
-        for src in sources {
-            let routes = self.source_routes.entry(src).or_default();
-            if !routes.contains(&shard_idx) {
-                routes.push(shard_idx);
-            }
-        }
-        if needs_clock && !self.clock_routes.contains(&shard_idx) {
-            self.clock_routes.push(shard_idx);
-        }
-        Ok(QueryHandle(qid))
+        Ok(())
     }
 
     /// Materialize a bound view. Views stay on the coordinator: their
@@ -319,6 +586,223 @@ impl ShardedEngine {
         Ok(out_source)
     }
 
+    // -----------------------------------------------------------------
+    // Lifecycle
+    // -----------------------------------------------------------------
+
+    fn meta(&self, q: QueryHandle) -> Result<&QueryMeta> {
+        self.queries
+            .get(&q.0)
+            .ok_or_else(|| AspenError::InvalidArgument(format!("unknown query {}", q.0)))
+    }
+
+    /// Whether a registered query is currently paused.
+    pub fn is_paused(&self, q: QueryHandle) -> Result<bool> {
+        Ok(self.meta(q)?.paused)
+    }
+
+    /// Retire a query: its runtime leaves its shard, its entries leave
+    /// the sharded routing slices, the coordinator route table, the
+    /// clock-sensitive sets, and its session — per-source ingest cost
+    /// drops back to the remaining live fan-out. Any push subscription
+    /// stops receiving batches (already-delivered batches stay
+    /// drainable).
+    pub fn deregister(&mut self, q: QueryHandle) -> Result<()> {
+        if !self.queries.contains_key(&q.0) {
+            return Err(AspenError::InvalidArgument(format!(
+                "unknown query {}",
+                q.0
+            )));
+        }
+        self.remove_query_inner(q.0, true);
+        self.rebuild_routes();
+        Ok(())
+    }
+
+    /// Detach a query from routing without retiring it: it receives no
+    /// batches, deltas, or heartbeats while paused, but its sink stays
+    /// readable (frozen at the pause-time state). Pending push deltas
+    /// are delivered first, so a subscription is consistent with the
+    /// frozen snapshot for the whole pause.
+    pub fn pause(&mut self, q: QueryHandle) -> Result<()> {
+        let meta = self.meta(q)?;
+        if meta.paused {
+            return Err(AspenError::InvalidArgument(format!(
+                "query {} is already paused",
+                q.0
+            )));
+        }
+        let (shard_idx, sources) = (meta.shard, meta.sources.clone());
+        {
+            let mut shard = self.shards[shard_idx].lock();
+            shard.detach(q.0, &sources);
+            if let Some(rt) = shard.queries.get_mut(&q.0) {
+                rt.sink.flush_push(self.now, true);
+            }
+        }
+        self.queries.get_mut(&q.0).expect("meta checked").paused = true;
+        self.rebuild_routes();
+        Ok(())
+    }
+
+    /// Reattach a paused query through the replay path: the pipeline is
+    /// recompiled from the stored plan and seeded from the retained
+    /// table store and current view materializations — exactly what a
+    /// fresh registration of the same plan would see (stream windows
+    /// restart empty; streams are not replayed). A push subscription
+    /// carries over and receives one consolidated catch-up diff.
+    pub fn resume(&mut self, q: QueryHandle) -> Result<()> {
+        let meta = self.meta(q)?;
+        if !meta.paused {
+            return Err(AspenError::InvalidArgument(format!(
+                "query {} is not paused",
+                q.0
+            )));
+        }
+        let (shard_idx, plan) = (meta.shard, meta.plan.clone());
+        let (max_batch, max_delay) = (meta.max_batch, meta.max_delay);
+
+        // All fallible work happens before the shard is touched, so a
+        // failed resume (compile/replay error) leaves the query paused
+        // and fully intact rather than half-rebuilt.
+        let mut pipeline = Pipeline::compile(&plan)?;
+        let mut sink = pipeline.make_sink();
+        pipeline.start(&mut sink)?;
+        let sources = pipeline.sources();
+        self.seed_pipeline(&mut pipeline, &sources, &mut sink)?;
+
+        let mut shard = self.shards[shard_idx].lock();
+        let mut old = shard
+            .queries
+            .remove(&q.0)
+            .expect("paused query keeps its runtime");
+        if let Some((queue, delivered)) = old.sink.take_push() {
+            // Transfer the channel: attaching against the replayed state
+            // seeds the pending buffer with exactly the diff between
+            // what was already delivered and the state after resume.
+            sink.attach_push(queue, delivered, max_batch, max_delay);
+            sink.flush_push(self.now, true);
+        }
+        let needs_clock = pipeline.needs_clock();
+        shard.attach(q.0, &sources, needs_clock);
+        if sink.push_queue().is_some() {
+            shard.mark_push(q.0);
+        }
+        shard.queries.insert(q.0, QueryRuntime { pipeline, sink });
+        drop(shard);
+
+        let meta = self.queries.get_mut(&q.0).expect("meta checked");
+        meta.paused = false;
+        meta.needs_clock = needs_clock;
+        meta.sources = sources;
+        self.add_routes(q.0);
+        Ok(())
+    }
+
+    /// Attach (or re-fetch) the push subscription of a query. Queries
+    /// registered with [`Delivery::Push`] already have a channel — this
+    /// returns another handle to it. For poll-registered queries a
+    /// channel is attached now and seeded with the current snapshot as
+    /// inserts, so accumulated deltas always reconstruct the polled
+    /// state.
+    pub fn subscribe(&mut self, q: QueryHandle) -> Result<ResultSubscription> {
+        let meta = self.meta(q)?;
+        let (shard_idx, paused) = (meta.shard, meta.paused);
+        let (max_batch, max_delay) = (meta.max_batch, meta.max_delay);
+        let queue = {
+            let mut shard = self.shards[shard_idx].lock();
+            let rt = shard
+                .queries
+                .get_mut(&q.0)
+                .expect("registered query keeps a runtime");
+            let queue = match rt.sink.push_queue() {
+                Some(queue) => queue,
+                None => {
+                    Self::check_push_compatible(&rt.pipeline)?;
+                    let queue: SharedQueue = Arc::new(Mutex::new(SubscriptionQueue::default()));
+                    rt.sink
+                        .attach_push(Arc::clone(&queue), HashMap::new(), max_batch, max_delay);
+                    // Subscribing is a batch boundary: deliver the
+                    // current state immediately.
+                    rt.sink.flush_push(self.now, true);
+                    queue
+                }
+            };
+            if !paused {
+                // A paused query enters the flush set when it resumes.
+                shard.mark_push(q.0);
+            }
+            queue
+        };
+        self.queries.get_mut(&q.0).expect("meta checked").push = true;
+        self.add_routes(q.0);
+        Ok(ResultSubscription { queue, query: q.0 })
+    }
+
+    /// Add one live query's shard to the coordinator fan-out sets
+    /// (source routes, clock routes, push-flush routes). Additions are
+    /// incremental — a new query can only ever *add* its own shard to a
+    /// route — so registration, subscription, and resume stay O(this
+    /// query), not O(all queries).
+    fn add_routes(&mut self, qid: QueryId) {
+        let meta = &self.queries[&qid];
+        if meta.paused {
+            // E.g. subscribing to a paused query: its routes return when
+            // it resumes.
+            return;
+        }
+        let (shard, sources, needs_clock, push) = (
+            meta.shard,
+            meta.sources.clone(),
+            meta.needs_clock,
+            meta.push,
+        );
+        for src in sources {
+            let routes = self.source_routes.entry(src).or_default();
+            if !routes.contains(&shard) {
+                routes.push(shard);
+            }
+        }
+        if needs_clock && !self.clock_routes.contains(&shard) {
+            self.clock_routes.push(shard);
+        }
+        if push && !self.push_routes.contains(&shard) {
+            self.push_routes.push(shard);
+        }
+    }
+
+    /// Recompute the coordinator fan-out sets from the live query metas.
+    /// Needed after removals (deregister, pause) — dropping a query may
+    /// empty a route no remaining query justifies. Iteration follows
+    /// registration order so the rebuilt route vectors are deterministic.
+    fn rebuild_routes(&mut self) {
+        self.source_routes.clear();
+        self.clock_routes.clear();
+        self.push_routes.clear();
+        for qid in &self.order {
+            let meta = &self.queries[qid];
+            if meta.paused {
+                continue;
+            }
+            for &src in &meta.sources {
+                let routes = self.source_routes.entry(src).or_default();
+                if !routes.contains(&meta.shard) {
+                    routes.push(meta.shard);
+                }
+            }
+            if meta.needs_clock && !self.clock_routes.contains(&meta.shard) {
+                self.clock_routes.push(meta.shard);
+            }
+            if meta.push && !self.push_routes.contains(&meta.shard) {
+                self.push_routes.push(meta.shard);
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Ingest
+    // -----------------------------------------------------------------
+
     /// Advance the engine clock to the latest observed event timestamp.
     /// Both ingest paths go through here, so batch-only, delta-only, and
     /// mixed workloads all keep `now()` fresh.
@@ -332,7 +816,9 @@ impl ShardedEngine {
 
     /// Ingest a batch of tuples for a named source. The route table fans
     /// it out to exactly the shards with subscribing pipelines, then to
-    /// the recursive views, forwarding any view deltas the same way.
+    /// the recursive views, forwarding any view deltas the same way;
+    /// finally, push subscriptions are flushed — every ingest is a batch
+    /// boundary.
     pub fn on_batch(&mut self, source_name: &str, tuples: &[Tuple]) -> Result<()> {
         let meta = self.catalog.source(source_name)?;
         let src = meta.id;
@@ -355,7 +841,7 @@ impl ShardedEngine {
             let deltas = DeltaBatch::inserts(tuples.iter().cloned());
             self.apply_base_deltas(src, &deltas)?;
         }
-        Ok(())
+        self.flush_push()
     }
 
     /// Ingest signed changes for a source (e.g. a table update/delete).
@@ -379,7 +865,7 @@ impl ShardedEngine {
         if self.view_subs.contains_key(&src) {
             self.apply_base_deltas(src, deltas)?;
         }
-        Ok(())
+        self.flush_push()
     }
 
     fn apply_base_deltas(&mut self, src: SourceId, deltas: &DeltaBatch) -> Result<()> {
@@ -414,7 +900,9 @@ impl ShardedEngine {
 
     /// Advance simulated time: expire windows in every clock-sensitive
     /// pipeline *and every time-windowed recursive view* (pipelines and
-    /// views over unbounded / row-count windows are never touched).
+    /// views over unbounded / row-count windows are never touched), then
+    /// flush push subscriptions — a heartbeat is a batch boundary, and
+    /// the one that releases `max_delay` holds.
     pub fn heartbeat(&mut self, now: SimTime) -> Result<()> {
         if now > self.now {
             self.now = now;
@@ -438,36 +926,55 @@ impl ShardedEngine {
         for (out_src, out) in forwarded {
             self.forward_view_deltas(out_src, &out)?;
         }
-        Ok(())
+        self.flush_push()
     }
 
-    fn placement(&self, q: QueryHandle) -> Result<(usize, usize)> {
-        self.placements
-            .get(q.0.index())
-            .copied()
-            .ok_or_else(|| AspenError::InvalidArgument(format!("unknown query {}", q.0)))
+    /// Deliver pending push batches on every shard with a live
+    /// subscribed query (no-op when nothing is subscribed).
+    fn flush_push(&mut self) -> Result<()> {
+        if self.push_routes.is_empty() {
+            return Ok(());
+        }
+        let now = self.now;
+        fan_out(
+            &self.shards,
+            &self.push_routes,
+            self.parallel,
+            |shard: &mut EngineShard| {
+                shard.flush_push(now);
+                Ok(())
+            },
+        )
     }
 
-    /// Current results of a query (ORDER BY / LIMIT applied).
+    // -----------------------------------------------------------------
+    // Introspection
+    // -----------------------------------------------------------------
+
+    /// Current results of a query (ORDER BY / LIMIT applied). Works for
+    /// paused queries too — the sink is frozen at the pause-time state.
     pub fn snapshot(&self, q: QueryHandle) -> Result<Vec<Tuple>> {
-        let (s, l) = self.placement(q)?;
-        self.shards[s].lock().queries[l].sink.snapshot()
+        let meta = self.meta(q)?;
+        self.shards[meta.shard].lock().queries[&q.0].sink.snapshot()
     }
 
     /// Result-churn statistic of a query's sink.
     pub fn deltas_applied(&self, q: QueryHandle) -> Result<u64> {
-        let (s, l) = self.placement(q)?;
-        Ok(self.shards[s].lock().queries[l].sink.deltas_applied)
+        let meta = self.meta(q)?;
+        Ok(self.shards[meta.shard].lock().queries[&q.0]
+            .sink
+            .deltas_applied)
     }
 
-    /// Total operator invocations across all pipelines (CPU-cost proxy).
+    /// Total operator invocations across all registered pipelines
+    /// (CPU-cost proxy; deregistered queries' work leaves the total).
     pub fn total_ops_invoked(&self) -> u64 {
         self.shards
             .iter()
             .map(|s| {
                 s.lock()
                     .queries
-                    .iter()
+                    .values()
                     .map(|q| q.pipeline.ops_invoked)
                     .sum::<u64>()
             })
@@ -493,12 +1000,14 @@ impl ShardedEngine {
     }
 
     /// Snapshots of every query routed to the named display, in
-    /// registration order (placement does not reorder displays).
+    /// registration order (placement does not reorder displays; paused
+    /// queries keep their frozen snapshot on screen).
     pub fn display_snapshot(&self, display: &str) -> Result<Vec<Vec<Tuple>>> {
         let mut out = Vec::new();
-        for &(s, l) in &self.placements {
-            let shard = self.shards[s].lock();
-            let q = &shard.queries[l];
+        for qid in &self.order {
+            let meta = &self.queries[qid];
+            let shard = self.shards[meta.shard].lock();
+            let q = &shard.queries[qid];
             if q.sink.display() == Some(display) {
                 out.push(q.sink.snapshot()?);
             }
@@ -605,13 +1114,13 @@ mod tests {
                     "select r.value from Readings r where r.sensor = {i}"
                 ))
                 .unwrap()
-                .unwrap();
+                .expect_query();
             handles.push(h);
         }
         assert_eq!(e.shard_query_counts().iter().sum::<usize>(), 12);
         // Every handle resolves, and its placement matches the hash.
         for h in handles {
-            assert_eq!(e.placements[h.0.index()].0, e.shard_of(h.0));
+            assert_eq!(e.queries[&h.0].shard, e.shard_of(h.0));
             e.snapshot(h).unwrap();
         }
     }
@@ -630,14 +1139,14 @@ mod tests {
         let q = e
             .register_sql("select r.sensor from Readings r where r.value > 10")
             .unwrap()
-            .unwrap();
+            .expect_query();
         let src = e.catalog().source("Readings").unwrap().id;
         assert_eq!(e.subscriber_count(src), 1);
         e.on_batch("Readings", &[reading(1, 50.0, 1)]).unwrap();
         assert_eq!(e.snapshot(q).unwrap().len(), 1);
         // Only the owning shard accumulated busy time from the ingest.
         let busy = e.shard_busy_seconds();
-        let owner = e.placements[q.0.index()].0;
+        let owner = e.queries[&q.0].shard;
         for (i, b) in busy.iter().enumerate() {
             if i != owner {
                 assert_eq!(*b, 0.0, "shard {i} should never have been touched");
@@ -648,7 +1157,10 @@ mod tests {
     #[test]
     fn parallel_ingest_matches_sequential() {
         let run = |parallel: bool| -> Vec<Vec<Value>> {
-            let mut e = ShardedEngine::new(catalog(), 4);
+            let mut e = ShardedEngine::with_config(
+                catalog(),
+                EngineConfig::new().shards(4).parallel_ingest(parallel),
+            );
             let mut handles = Vec::new();
             for i in 0..8 {
                 let sql = match i % 3 {
@@ -657,9 +1169,8 @@ mod tests {
                         .to_string(),
                     _ => "select count(*) from Readings r".to_string(),
                 };
-                handles.push(e.register_sql(&sql).unwrap().unwrap());
+                handles.push(e.register_sql(&sql).unwrap().expect_query());
             }
-            e.set_parallel_ingest(parallel);
             for i in 0..40 {
                 e.on_batch("Readings", &[reading(i % 8, (i * 3 % 50) as f64, i as u64)])
                     .unwrap();
@@ -682,7 +1193,10 @@ mod tests {
     fn on_deltas_advances_clock_and_feeds_shards() {
         use crate::delta::Delta;
         let mut e = ShardedEngine::new(catalog(), 2);
-        let q = e.register_sql("select e.src from Edge e").unwrap().unwrap();
+        let q = e
+            .register_sql("select e.src from Edge e")
+            .unwrap()
+            .expect_query();
         let edge = Tuple::new(
             vec![Value::Text("a".into()), Value::Text("b".into())],
             SimTime::from_secs(7),
@@ -691,5 +1205,68 @@ mod tests {
             .unwrap();
         assert_eq!(e.now(), SimTime::from_secs(7), "delta ingest moves clock");
         assert_eq!(e.snapshot(q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn deregister_unwinds_routing_and_placement() {
+        let mut e = ShardedEngine::new(catalog(), 4);
+        let src = e.catalog().source("Readings").unwrap().id;
+        let keep = e
+            .register_sql("select r.sensor from Readings r")
+            .unwrap()
+            .expect_query();
+        let drop = e
+            .register_sql("select r.value from Readings r where r.value > 50")
+            .unwrap()
+            .expect_query();
+        assert_eq!(e.subscriber_count(src), 2);
+        e.deregister(drop).unwrap();
+        assert_eq!(e.subscriber_count(src), 1);
+        assert_eq!(e.query_count(), 1);
+        assert_eq!(e.shard_query_counts().iter().sum::<usize>(), 1);
+        assert!(e.snapshot(drop).is_err(), "handle is dead");
+        assert!(e.deregister(drop).is_err(), "double deregister errors");
+        // The survivor still works, and re-registration gets a fresh id.
+        e.on_batch("Readings", &[reading(1, 60.0, 1)]).unwrap();
+        assert_eq!(e.snapshot(keep).unwrap().len(), 1);
+        let again = e
+            .register_sql("select r.value from Readings r where r.value > 50")
+            .unwrap()
+            .expect_query();
+        assert_ne!(again, drop, "query ids are never reused");
+        assert_eq!(e.subscriber_count(src), 2);
+    }
+
+    #[test]
+    fn session_close_retires_all_of_its_queries() {
+        let mut e = ShardedEngine::new(catalog(), 2);
+        let src = e.catalog().source("Readings").unwrap().id;
+        let sid = e.open_session();
+        let q1 = e
+            .register_in(sid, QuerySpec::sql("select r.sensor from Readings r"))
+            .unwrap()
+            .expect_query();
+        e.register_in(sid, QuerySpec::sql("select count(*) from Readings r"))
+            .unwrap()
+            .expect_query();
+        let outside = e
+            .register_sql("select r.value from Readings r")
+            .unwrap()
+            .expect_query();
+        // One session query deregistered individually first.
+        e.deregister(q1).unwrap();
+        assert_eq!(e.close_session(sid).unwrap(), 1);
+        assert!(e.close_session(sid).is_err(), "session is gone");
+        assert_eq!(e.subscriber_count(src), 1, "only the outsider remains");
+        assert!(e.snapshot(outside).is_ok());
+        assert!(e
+            .register_in(sid, QuerySpec::sql("select r.sensor from Readings r"))
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_query_handle_errors() {
+        let e = ShardedEngine::new(catalog(), 1);
+        assert!(e.snapshot(QueryHandle(QueryId(42))).is_err());
     }
 }

@@ -2,15 +2,39 @@
 //!
 //! A [`Sink`] holds the maintained multiset of a continuous query's
 //! results and applies the presentation clauses — ORDER BY, LIMIT,
-//! OUTPUT TO DISPLAY — at snapshot time. Displays poll sinks; nothing is
-//! pushed to a UI thread.
+//! OUTPUT TO DISPLAY — at snapshot time. A sink can additionally carry a
+//! [`PushState`]: the producer half of a
+//! [`ResultSubscription`](crate::session::ResultSubscription), through
+//! which output deltas are delivered at batch boundaries, coalesced
+//! according to the query's micro-batch knobs.
 
 use std::collections::HashMap;
 
 use aspen_sql::expr::BoundExpr;
-use aspen_types::{Result, SchemaRef, Tuple};
+use aspen_types::{Result, SchemaRef, SimDuration, SimTime, Tuple};
 
-use crate::delta::DeltaBatch;
+use crate::delta::{Delta, DeltaBatch};
+use crate::session::SharedQueue;
+
+/// Push-delivery state owned by a subscribed query's sink.
+///
+/// Output deltas accumulate in `pending` as they are applied; the engine
+/// calls [`Sink::flush_push`] at every batch boundary (ingest and
+/// heartbeat). `max_delay` holds a flush until the pending deltas have
+/// aged past the delay (coalescing across boundaries); `max_batch` both
+/// overrides the hold when the buffer grows past the cap and chunks what
+/// is delivered. `delivered` tracks the net multiset pushed so far, so
+/// late subscription and pause/resume can emit exact catch-up diffs.
+#[derive(Debug)]
+pub(crate) struct PushState {
+    queue: SharedQueue,
+    pending: DeltaBatch,
+    /// Boundary at which the oldest pending delta was first seen.
+    pending_since: Option<SimTime>,
+    delivered: HashMap<Tuple, i64>,
+    max_batch: Option<usize>,
+    max_delay: Option<SimDuration>,
+}
 
 /// Materialized result holder for one continuous query.
 #[derive(Debug)]
@@ -20,6 +44,7 @@ pub struct Sink {
     limit: Option<u64>,
     display: Option<String>,
     state: HashMap<Tuple, i64>,
+    push: Option<PushState>,
     /// Monotone count of deltas applied — the "result churn" statistic
     /// used by the end-to-end experiment.
     pub deltas_applied: u64,
@@ -38,6 +63,7 @@ impl Sink {
             limit,
             display,
             state: HashMap::new(),
+            push: None,
             deltas_applied: 0,
         }
     }
@@ -50,7 +76,8 @@ impl Sink {
         self.display.as_deref()
     }
 
-    /// Apply a batch of deltas to the materialized state.
+    /// Apply a batch of deltas to the materialized state (and stage them
+    /// for push delivery when a subscription is attached).
     pub fn apply(&mut self, deltas: &DeltaBatch) {
         for d in deltas {
             self.deltas_applied += 1;
@@ -58,6 +85,125 @@ impl Sink {
             *e += d.sign;
             if *e == 0 {
                 self.state.remove(&d.tuple);
+            }
+        }
+        if let Some(p) = &mut self.push {
+            p.pending.extend(deltas.iter().cloned());
+        }
+    }
+
+    /// Attach the producer half of a push subscription.
+    ///
+    /// `delivered` is the net multiset already pushed through `queue`
+    /// (empty for a fresh channel). The pending buffer is seeded with
+    /// `current state − delivered`, so the very first flush delivers a
+    /// consolidated catch-up batch: a late subscriber gets the snapshot
+    /// as inserts, a resumed query's channel gets exactly the diff
+    /// between its pre-pause deliveries and the replayed state, and a
+    /// fresh registration (empty state, empty history) gets nothing.
+    pub(crate) fn attach_push(
+        &mut self,
+        queue: SharedQueue,
+        delivered: HashMap<Tuple, i64>,
+        max_batch: Option<usize>,
+        max_delay: Option<SimDuration>,
+    ) {
+        // Seed deltas in the deterministic snapshot order (value, then
+        // timestamp) — the catch-up batch a client drains must not vary
+        // with HashMap iteration order between runs.
+        let ordered = |m: &HashMap<Tuple, i64>, flip: i64| -> Vec<Delta> {
+            let mut ds: Vec<Delta> = m
+                .iter()
+                .map(|(t, &c)| Delta {
+                    tuple: t.clone(),
+                    sign: c * flip,
+                })
+                .collect();
+            ds.sort_by(|a, b| {
+                a.tuple
+                    .values()
+                    .cmp(b.tuple.values())
+                    .then_with(|| a.tuple.timestamp().cmp(&b.tuple.timestamp()))
+            });
+            ds
+        };
+        let mut pending = DeltaBatch::new();
+        pending.extend(ordered(&self.state, 1));
+        pending.extend(ordered(&delivered, -1));
+        self.push = Some(PushState {
+            queue,
+            pending,
+            pending_since: None,
+            delivered,
+            max_batch,
+            max_delay,
+        });
+    }
+
+    /// Detach and return the push channel plus its delivered multiset
+    /// (for transfer onto a replacement sink at resume).
+    pub(crate) fn take_push(&mut self) -> Option<(SharedQueue, HashMap<Tuple, i64>)> {
+        self.push.take().map(|p| (p.queue, p.delivered))
+    }
+
+    /// The subscription channel, if one is attached.
+    pub(crate) fn push_queue(&self) -> Option<SharedQueue> {
+        self.push.as_ref().map(|p| SharedQueue::clone(&p.queue))
+    }
+
+    /// Deliver pending output deltas through the subscription, honoring
+    /// the micro-batch knobs. Called by the engine at every batch
+    /// boundary; `force` bypasses the `max_delay` hold (registration
+    /// catch-up, pause).
+    pub fn flush_push(&mut self, now: SimTime, force: bool) {
+        let Some(p) = &mut self.push else {
+            return;
+        };
+        if p.pending.is_empty() {
+            p.pending_since = None;
+            return;
+        }
+        let pending = std::mem::take(&mut p.pending).consolidated();
+        if pending.is_empty() {
+            // Everything cancelled within the coalescing window.
+            p.pending_since = None;
+            return;
+        }
+        let since = *p.pending_since.get_or_insert(now);
+        let size_due = p.max_batch.is_some_and(|n| pending.len() >= n);
+        let delay_due = p.max_delay.is_none_or(|d| now >= since + d);
+        if !(force || size_due || delay_due) {
+            // Keep coalescing: hold the (consolidated) buffer.
+            p.pending = pending;
+            return;
+        }
+        for d in &pending {
+            let e = p.delivered.entry(d.tuple.clone()).or_insert(0);
+            *e += d.sign;
+            if *e == 0 {
+                p.delivered.remove(&d.tuple);
+            }
+        }
+        p.pending_since = None;
+        let mut q = p.queue.lock();
+        match p.max_batch {
+            Some(n) => {
+                let mut chunk = DeltaBatch::with_capacity(n);
+                for d in pending {
+                    chunk.push(d);
+                    if chunk.len() == n {
+                        q.batches.push(std::mem::take(&mut chunk));
+                        q.delivered += 1;
+                    }
+                }
+                if !chunk.is_empty() {
+                    q.batches.push(chunk);
+                    q.delivered += 1;
+                }
+            }
+            None => {
+                q.batches.push(pending);
+                q.delivered += 1;
             }
         }
     }
@@ -197,5 +343,114 @@ mod tests {
         let mut s = Sink::new(schema(), vec![], None, None);
         s.apply(&batch(vec![Delta::insert(t(1)), Delta::retract(t(1))]));
         assert_eq!(s.deltas_applied, 2);
+    }
+
+    fn shared_queue() -> crate::session::SharedQueue {
+        std::sync::Arc::new(parking_lot::Mutex::new(
+            crate::session::SubscriptionQueue::default(),
+        ))
+    }
+
+    #[test]
+    fn push_flushes_consolidated_batches_at_boundaries() {
+        let mut s = Sink::new(schema(), vec![], None, None);
+        let q = shared_queue();
+        s.attach_push(std::sync::Arc::clone(&q), HashMap::new(), None, None);
+        s.apply(&batch(vec![
+            Delta::insert(t(1)),
+            Delta::insert(t(2)),
+            Delta::retract(t(1)),
+        ]));
+        s.flush_push(SimTime::from_secs(1), false);
+        let batches = std::mem::take(&mut q.lock().batches);
+        assert_eq!(batches.len(), 1);
+        // The cancelled 1 never reaches the subscriber.
+        assert_eq!(batches[0].consolidate(), vec![(t(2), 1)]);
+        // Empty boundaries deliver nothing.
+        s.flush_push(SimTime::from_secs(2), false);
+        assert!(q.lock().batches.is_empty());
+    }
+
+    #[test]
+    fn push_late_attach_seeds_snapshot() {
+        let mut s = Sink::new(schema(), vec![], None, None);
+        s.apply(&batch(vec![Delta::insert(t(1)), Delta::insert(t(1))]));
+        let q = shared_queue();
+        s.attach_push(std::sync::Arc::clone(&q), HashMap::new(), None, None);
+        s.flush_push(SimTime::ZERO, true);
+        let batches = std::mem::take(&mut q.lock().batches);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].consolidate(), vec![(t(1), 2)]);
+    }
+
+    #[test]
+    fn max_delay_holds_then_releases() {
+        let mut s = Sink::new(schema(), vec![], None, None);
+        let q = shared_queue();
+        s.attach_push(
+            std::sync::Arc::clone(&q),
+            HashMap::new(),
+            None,
+            Some(SimDuration::from_secs(10)),
+        );
+        s.apply(&batch(vec![Delta::insert(t(1))]));
+        s.flush_push(SimTime::from_secs(1), false);
+        assert!(q.lock().batches.is_empty(), "held inside the delay window");
+        // More churn coalesces into the held buffer.
+        s.apply(&batch(vec![Delta::retract(t(1)), Delta::insert(t(2))]));
+        s.flush_push(SimTime::from_secs(5), false);
+        assert!(q.lock().batches.is_empty());
+        s.flush_push(SimTime::from_secs(11), false);
+        let batches = std::mem::take(&mut q.lock().batches);
+        assert_eq!(batches.len(), 1);
+        // The insert/retract of 1 cancelled inside the hold.
+        assert_eq!(batches[0].consolidate(), vec![(t(2), 1)]);
+    }
+
+    #[test]
+    fn max_batch_releases_hold_and_chunks() {
+        let mut s = Sink::new(schema(), vec![], None, None);
+        let q = shared_queue();
+        s.attach_push(
+            std::sync::Arc::clone(&q),
+            HashMap::new(),
+            Some(2),
+            Some(SimDuration::from_secs(100)),
+        );
+        s.apply(&batch(vec![Delta::insert(t(1))]));
+        s.flush_push(SimTime::from_secs(1), false);
+        assert!(q.lock().batches.is_empty(), "one pending delta: held");
+        s.apply(&batch(vec![
+            Delta::insert(t(2)),
+            Delta::insert(t(3)),
+            Delta::insert(t(4)),
+        ]));
+        s.flush_push(SimTime::from_secs(2), false);
+        let batches = std::mem::take(&mut q.lock().batches);
+        assert_eq!(batches.len(), 2, "4 pending deltas chunk into 2+2");
+        assert!(batches.iter().all(|b| b.len() <= 2));
+    }
+
+    #[test]
+    fn push_transfer_preserves_delivered_diff() {
+        // Simulates resume: the old sink delivered {1}, the new sink's
+        // replayed state is {2}; the transferred channel must see the
+        // diff (-1, +2) and nothing else.
+        let mut old = Sink::new(schema(), vec![], None, None);
+        let q = shared_queue();
+        old.attach_push(std::sync::Arc::clone(&q), HashMap::new(), None, None);
+        old.apply(&batch(vec![Delta::insert(t(1))]));
+        old.flush_push(SimTime::ZERO, true);
+        q.lock().batches.clear();
+        let (queue, delivered) = old.take_push().unwrap();
+        assert!(old.push_queue().is_none());
+
+        let mut new = Sink::new(schema(), vec![], None, None);
+        new.attach_push(queue, delivered, None, None);
+        new.apply(&batch(vec![Delta::insert(t(2))]));
+        new.flush_push(SimTime::ZERO, true);
+        let batches = std::mem::take(&mut q.lock().batches);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].consolidate(), vec![(t(1), -1), (t(2), 1)]);
     }
 }

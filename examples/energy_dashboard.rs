@@ -9,17 +9,36 @@
 
 use smartcis::app::queries;
 use smartcis::app::SmartCis;
+use smartcis::stream::QuerySpec;
 
 fn main() -> smartcis::types::Result<()> {
     let mut app = SmartCis::new(4, 8, 77)?;
 
-    // Standing queries from the paper (§2's query list).
+    // The dashboard is one client of the SmartCIS service: its standing
+    // queries (the paper's §2 query list) live in one session and are
+    // retired together when it disconnects.
+    let dashboard = app.open_session();
     let per_room = app
-        .register_query(queries::ROOM_RESOURCES)?
-        .expect("select");
-    let total = app.register_query(queries::TOTAL_POWER)?.expect("select");
-    let temp_alarm = app.register_query(queries::TEMP_ALARM)?.expect("select");
-    let load_alarm = app.register_query(queries::LOAD_ALARM)?.expect("select");
+        .register_in(dashboard, QuerySpec::sql(queries::ROOM_RESOURCES))?
+        .expect_query();
+    let total = app
+        .register_in(dashboard, QuerySpec::sql(queries::TOTAL_POWER))?
+        .expect_query();
+    let load_alarm = app
+        .register_in(dashboard, QuerySpec::sql(queries::LOAD_ALARM))?
+        .expect_query();
+    // Alarms arrive by push: the engine delivers output deltas at batch
+    // boundaries, coalesced for up to 30 s of simulated time so one
+    // delivered batch covers several epochs of churn.
+    let temp_alarm = app
+        .register_in(
+            dashboard,
+            QuerySpec::sql(queries::TEMP_ALARM)
+                .push()
+                .max_delay(smartcis::types::SimDuration::from_secs(30)),
+        )?
+        .expect_query();
+    let alarms = app.subscribe(temp_alarm)?;
 
     for minute in 1..=3 {
         // Six 10-second epochs per displayed minute.
@@ -34,13 +53,15 @@ fn main() -> smartcis::types::Result<()> {
         for row in app.engine.snapshot(per_room)? {
             println!("    {}", row.render());
         }
-        let hot = app.engine.snapshot(temp_alarm)?;
-        if hot.is_empty() {
-            println!("  temperature alarms: none");
-        } else {
-            for row in hot {
-                println!("  !! HOT: {}", row.render());
-            }
+        let pushed = alarms.drain();
+        let churn: usize = pushed.iter().map(|b| b.len()).sum();
+        println!(
+            "  temperature alarm feed: {} pushed batch(es), {} delta(s)",
+            pushed.len(),
+            churn
+        );
+        for row in app.engine.snapshot(temp_alarm)? {
+            println!("  !! HOT: {}", row.render());
         }
         for row in app.engine.snapshot(load_alarm)? {
             println!("  !! OVERLOAD: {}", row.render());
@@ -55,5 +76,10 @@ fn main() -> smartcis::types::Result<()> {
         lobby.len(),
         if lobby.len() == 1 { "y" } else { "ies" }
     );
+
+    // The dashboard disconnects: its whole query set is retired in one
+    // call and the sensor feeds stop paying for its fan-out.
+    let retired = app.close_session(dashboard)?;
+    println!("dashboard session closed: {retired} queries retired");
     Ok(())
 }

@@ -51,7 +51,7 @@ fn main() -> smartcis::types::Result<()> {
             "select m.owner, t.temp from TempSensors t, Machines m \
              where t.desk = m.desk ^ t.temp > 90 order by t.temp desc",
         )?
-        .expect("SELECT yields a handle");
+        .expect_query();
 
     // 3. Feed sensor readings and watch the result evolve.
     let reading = |desk: i64, temp: f64, sec: u64| {

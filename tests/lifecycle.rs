@@ -1,0 +1,376 @@
+//! Integration: the session-based query lifecycle — registration
+//! through `QuerySpec`, push subscriptions, pause/resume via the replay
+//! path, deregistration unwinding the routing index, and per-client
+//! sessions — at the `StreamEngine` facade and through the SmartCIS
+//! app.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use smartcis::app::{queries, SmartCis};
+use smartcis::catalog::{Catalog, SourceKind, SourceStats};
+use smartcis::stream::{Delta, DeltaBatch, EngineConfig, QuerySpec, StreamEngine};
+use smartcis::types::{DataType, Field, Schema, SimDuration, SimTime, Tuple, Value};
+
+fn catalog() -> Arc<Catalog> {
+    let cat = Catalog::shared();
+    let readings = Schema::new(vec![
+        Field::new("sensor", DataType::Int),
+        Field::new("value", DataType::Float),
+    ])
+    .into_ref();
+    cat.register_source(
+        "Readings",
+        readings,
+        SourceKind::Stream,
+        SourceStats::stream(2.0).with_distinct("sensor", 4),
+    )
+    .unwrap();
+    let facts = Schema::new(vec![
+        Field::new("key", DataType::Text),
+        Field::new("val", DataType::Int),
+    ])
+    .into_ref();
+    cat.register_source("Facts", facts, SourceKind::Table, SourceStats::table(8))
+        .unwrap();
+    cat
+}
+
+fn reading(sensor: i64, value: f64, sec: u64) -> Tuple {
+    Tuple::new(
+        vec![Value::Int(sensor), Value::Float(value)],
+        SimTime::from_secs(sec),
+    )
+}
+
+fn fact(key: &str, val: i64, sec: u64) -> Tuple {
+    Tuple::new(
+        vec![Value::Text(key.into()), Value::Int(val)],
+        SimTime::from_secs(sec),
+    )
+}
+
+fn values(rows: &[Tuple]) -> Vec<Vec<Value>> {
+    rows.iter().map(|t| t.values().to_vec()).collect()
+}
+
+/// ISSUE 3 satellite: after `deregister`, `subscriber_count` for the
+/// query's sources returns to pre-registration values, and the source
+/// can be re-subscribed by a fresh registration — on a sharded engine.
+#[test]
+fn deregister_restores_subscriber_counts_and_allows_reregistration() {
+    let cat = catalog();
+    let mut e = StreamEngine::with_config(Arc::clone(&cat), EngineConfig::new().shards(4));
+    let readings = cat.source("Readings").unwrap().id;
+    let facts = cat.source("Facts").unwrap().id;
+
+    let baseline_readings = e.subscriber_count(readings);
+    let baseline_facts = e.subscriber_count(facts);
+    let q1 = e
+        .register_sql("select r.sensor from Readings r where r.value > 10")
+        .unwrap()
+        .expect_query();
+    let q2 = e
+        .register_sql("select r.value, f.val from Readings r, Facts f where r.sensor = f.val")
+        .unwrap()
+        .expect_query();
+    assert_eq!(e.subscriber_count(readings), baseline_readings + 2);
+    assert_eq!(e.subscriber_count(facts), baseline_facts + 1);
+
+    e.deregister(q2).unwrap();
+    assert_eq!(e.subscriber_count(readings), baseline_readings + 1);
+    assert_eq!(e.subscriber_count(facts), baseline_facts);
+    e.deregister(q1).unwrap();
+    assert_eq!(e.subscriber_count(readings), baseline_readings);
+
+    // Ingest with zero subscribers must be free at the pipeline level.
+    let before = e.total_ops_invoked();
+    e.on_batch("Readings", &[reading(1, 50.0, 1)]).unwrap();
+    assert_eq!(e.total_ops_invoked(), before);
+
+    // Re-registration works and sees fresh stream state.
+    let q3 = e
+        .register_sql("select r.sensor from Readings r where r.value > 10")
+        .unwrap()
+        .expect_query();
+    assert_eq!(e.subscriber_count(readings), baseline_readings + 1);
+    e.on_batch("Readings", &[reading(2, 60.0, 2)]).unwrap();
+    assert_eq!(e.snapshot(q3).unwrap().len(), 1, "only the new reading");
+}
+
+/// ISSUE 3 satellite: a paused query receives no deltas (its snapshot
+/// freezes) but resumes with a correct snapshot via the replay path —
+/// table changes made during the pause are reflected after resume.
+#[test]
+fn paused_query_freezes_then_resumes_with_replayed_state() {
+    let mut e = StreamEngine::with_config(catalog(), EngineConfig::new().shards(2));
+    let q = e
+        .register_sql("select f.key, f.val from Facts f")
+        .unwrap()
+        .expect_query();
+    e.on_batch("Facts", &[fact("a", 1, 1), fact("b", 2, 1)])
+        .unwrap();
+    assert_eq!(e.snapshot(q).unwrap().len(), 2);
+
+    e.pause(q).unwrap();
+    assert!(e.is_paused(q).unwrap());
+    // Table churn during the pause: one insert, one delete.
+    e.on_batch("Facts", &[fact("c", 3, 2)]).unwrap();
+    e.on_deltas(
+        "Facts",
+        &DeltaBatch::from(vec![Delta::retract(fact("a", 1, 1))]),
+    )
+    .unwrap();
+    let frozen = e.snapshot(q).unwrap();
+    assert_eq!(values(&frozen).len(), 2, "paused sink is frozen");
+    // Paused queries also ignore heartbeats.
+    e.heartbeat(SimTime::from_secs(100)).unwrap();
+    assert_eq!(e.snapshot(q).unwrap().len(), 2);
+
+    e.resume(q).unwrap();
+    assert!(!e.is_paused(q).unwrap());
+    let resumed = e.snapshot(q).unwrap();
+    let mut keys: Vec<String> = resumed
+        .iter()
+        .map(|t| t.get(0).as_text().unwrap().to_string())
+        .collect();
+    keys.sort();
+    assert_eq!(keys, ["b", "c"], "resume replays the *current* table");
+
+    // Double-resume and double-pause are errors; pause/resume of a
+    // deregistered handle too.
+    assert!(e.resume(q).is_err());
+    e.pause(q).unwrap();
+    assert!(e.pause(q).is_err());
+    e.deregister(q).unwrap();
+    assert!(e.pause(q).is_err());
+    assert!(e.resume(q).is_err());
+}
+
+/// Push subscriptions survive pause/resume: the channel carries over
+/// and delivers one consolidated catch-up diff, so accumulated deltas
+/// always reconstruct the polled snapshot.
+#[test]
+fn push_subscription_survives_pause_resume_with_catchup_diff() {
+    let mut e = StreamEngine::new(catalog());
+    let q = e
+        .register(QuerySpec::sql("select f.key from Facts f").push())
+        .unwrap()
+        .expect_query();
+    let sub = e.subscribe(q).unwrap();
+    e.on_batch("Facts", &[fact("a", 1, 1), fact("b", 2, 1)])
+        .unwrap();
+    let mut accum: HashMap<Tuple, i64> = HashMap::new();
+    let fold = |accum: &mut HashMap<Tuple, i64>, batches: Vec<DeltaBatch>| {
+        for b in batches {
+            for d in &b {
+                let e = accum.entry(d.tuple.clone()).or_insert(0);
+                *e += d.sign;
+                if *e == 0 {
+                    accum.remove(&d.tuple);
+                }
+            }
+        }
+    };
+    fold(&mut accum, sub.drain());
+    assert_eq!(accum.len(), 2);
+
+    e.pause(q).unwrap();
+    e.on_batch("Facts", &[fact("c", 3, 2)]).unwrap();
+    assert!(sub.drain().is_empty(), "no pushes while paused");
+    e.resume(q).unwrap();
+    let catchup = sub.drain();
+    assert_eq!(catchup.len(), 1, "one consolidated catch-up batch");
+    fold(&mut accum, catchup);
+    let snapshot: Vec<Tuple> = e.snapshot(q).unwrap();
+    assert_eq!(accum.len(), snapshot.len());
+    for t in &snapshot {
+        assert_eq!(accum.get(t), Some(&1), "accumulation matches snapshot");
+    }
+}
+
+/// The micro-batch knobs shape push delivery: `max_delay` coalesces
+/// churn across boundaries (fewer delivered batches, cancelled deltas
+/// never delivered), `max_batch` caps delivered batch size.
+#[test]
+fn micro_batch_knobs_coalesce_and_chunk_push_delivery() {
+    let run = |spec: QuerySpec| -> (u64, usize, Vec<usize>) {
+        let mut e = StreamEngine::new(catalog());
+        let q = e.register(spec).unwrap().expect_query();
+        let sub = e.subscribe(q).unwrap();
+        // Ten boundaries of churn inside one 10 s window: same fact
+        // inserted and deleted repeatedly.
+        for i in 0..10u64 {
+            let mut churn = vec![Delta::insert(fact("hot", i as i64, i))];
+            if i > 0 {
+                churn.push(Delta::retract(fact("hot", i as i64 - 1, i - 1)));
+            }
+            e.on_deltas("Facts", &DeltaBatch::from(churn)).unwrap();
+        }
+        // Push time past any delay so held buffers release.
+        e.heartbeat(SimTime::from_secs(60)).unwrap();
+        let batches = sub.drain();
+        let sizes: Vec<usize> = batches.iter().map(DeltaBatch::len).collect();
+        let total: usize = sizes.iter().sum();
+        (sub.batches_delivered(), total, sizes)
+    };
+
+    let sql = "select f.key, f.val from Facts f";
+    let (eager_batches, eager_deltas, _) = run(QuerySpec::sql(sql).push());
+    let (held_batches, held_deltas, _) = run(QuerySpec::sql(sql)
+        .push()
+        .max_delay(SimDuration::from_secs(60)));
+    assert!(
+        held_batches < eager_batches,
+        "delay must coalesce: {held_batches} !< {eager_batches}"
+    );
+    assert!(
+        held_deltas < eager_deltas,
+        "cancelled churn must never be delivered: {held_deltas} !< {eager_deltas}"
+    );
+    // With the whole run coalesced, only the final net fact remains.
+    assert_eq!(held_deltas, 1);
+
+    let (_, _, sizes) = run(QuerySpec::sql(sql).push().max_batch(1));
+    assert!(sizes.iter().all(|&n| n <= 1), "max_batch caps chunks");
+}
+
+/// A resume that fails (the replay hits a malformed retained row) must
+/// leave the query paused and fully intact — snapshot still answers,
+/// and nothing panics afterwards.
+#[test]
+fn failed_resume_leaves_query_paused_and_readable() {
+    let mut e = StreamEngine::new(catalog());
+    let q = e
+        .register_sql("select f.key from Facts f where f.val > 0")
+        .unwrap()
+        .expect_query();
+    e.on_batch("Facts", &[fact("a", 1, 1)]).unwrap();
+    e.pause(q).unwrap();
+    // A wrong-arity row sneaks into the retained table while the query
+    // is detached; the resume replay's predicate evaluation fails.
+    e.on_batch(
+        "Facts",
+        &[Tuple::new(
+            vec![Value::Text("short".into())],
+            SimTime::from_secs(2),
+        )],
+    )
+    .unwrap();
+    assert!(e.resume(q).is_err(), "replay over the bad row must fail");
+    assert!(
+        e.is_paused(q).unwrap(),
+        "query stays paused after the error"
+    );
+    assert_eq!(e.snapshot(q).unwrap().len(), 1, "frozen sink still reads");
+    e.deregister(q).unwrap();
+}
+
+/// LIMIT is a snapshot-time truncation with no incremental counterpart:
+/// push registration and late subscription must both refuse it rather
+/// than silently break the accumulate-equals-poll contract.
+#[test]
+fn limit_queries_reject_push_delivery() {
+    let mut e = StreamEngine::new(catalog());
+    let sql = "select f.key, f.val from Facts f order by f.val desc limit 2";
+    assert!(e.register(QuerySpec::sql(sql).push()).is_err());
+    // Poll registration is fine; subscribing to it later is not.
+    let q = e.register_sql(sql).unwrap().expect_query();
+    assert!(e.subscribe(q).is_err());
+    e.on_batch(
+        "Facts",
+        &[fact("a", 1, 1), fact("b", 2, 1), fact("c", 3, 1)],
+    )
+    .unwrap();
+    assert_eq!(e.snapshot(q).unwrap().len(), 2, "polling still works");
+    // ORDER BY without LIMIT keeps the multiset intact and may push.
+    let ordered = e
+        .register(QuerySpec::sql("select f.key from Facts f order by f.key").push())
+        .unwrap()
+        .expect_query();
+    let sub = e.subscribe(ordered).unwrap();
+    assert_eq!(sub.drain().len(), 1, "snapshot seed delivered");
+}
+
+/// View specs reject query-only features instead of dropping them.
+#[test]
+fn view_spec_rejects_push_and_knobs() {
+    let mut e = StreamEngine::new(catalog());
+    let view_sql = "create recursive view Chain as ( \
+                    select f.key, f.val from Facts f \
+                    union \
+                    select c.key, f.val from Chain c, Facts f where c.val = f.val )";
+    assert!(e.register(QuerySpec::sql(view_sql).push()).is_err());
+    assert!(e
+        .register(QuerySpec::sql(view_sql).max_delay(SimDuration::from_secs(1)))
+        .is_err());
+    // The plain spec still materializes the view.
+    let reg = e.register(QuerySpec::sql(view_sql)).unwrap();
+    assert!(reg.view().is_some());
+}
+
+/// Late subscription to a poll-registered query seeds the channel with
+/// the current snapshot, keeping accumulate == poll from that point on.
+#[test]
+fn late_subscription_starts_from_snapshot() {
+    let mut e = StreamEngine::new(catalog());
+    let q = e
+        .register_sql("select f.key from Facts f")
+        .unwrap()
+        .expect_query();
+    e.on_batch("Facts", &[fact("a", 1, 1), fact("b", 2, 1)])
+        .unwrap();
+    let sub = e.subscribe(q).unwrap();
+    let seed = sub.drain();
+    assert_eq!(seed.len(), 1);
+    assert_eq!(seed[0].len(), 2, "snapshot arrives as inserts");
+    // A second subscribe returns the same channel, not a reseed.
+    let again = e.subscribe(q).unwrap();
+    assert_eq!(again.pending_batches(), 0);
+}
+
+/// Sessions group queries at the app level: closing the dashboard's
+/// session retires its whole query set and the per-source fan-out drops
+/// back to the pre-registration cost.
+#[test]
+fn app_session_lifecycle_end_to_end() {
+    let mut app = SmartCis::new(2, 4, 99).unwrap();
+    let temp_src = app.catalog.source("TempSensors").unwrap().id;
+    let before = app.engine.subscriber_count(temp_src);
+    let before_queries = app.engine.query_count();
+
+    let dash = app.open_session();
+    let alarm = app
+        .register_in(dash, QuerySpec::sql(queries::TEMP_ALARM).push())
+        .unwrap()
+        .expect_query();
+    app.register_in(dash, QuerySpec::sql(queries::FREE_MACHINES))
+        .unwrap()
+        .expect_query();
+    let sub = app.subscribe(alarm).unwrap();
+    assert_eq!(app.engine.subscriber_count(temp_src), before + 1);
+
+    for _ in 0..3 {
+        app.tick().unwrap();
+    }
+    // Push accumulation equals the polled snapshot of the alarm query.
+    let mut accum: HashMap<Tuple, i64> = HashMap::new();
+    for b in sub.drain() {
+        for d in &b {
+            *accum.entry(d.tuple.clone()).or_insert(0) += d.sign;
+        }
+    }
+    accum.retain(|_, c| *c != 0);
+    let mut snap: HashMap<Tuple, i64> = HashMap::new();
+    for t in app.engine.snapshot(alarm).unwrap() {
+        *snap.entry(t).or_insert(0) += 1;
+    }
+    assert_eq!(accum, snap);
+
+    assert_eq!(app.close_session(dash).unwrap(), 2);
+    assert_eq!(app.engine.subscriber_count(temp_src), before);
+    assert_eq!(app.engine.query_count(), before_queries);
+    assert!(app.engine.snapshot(alarm).is_err(), "alarm is retired");
+    // The rest of the app keeps running.
+    app.tick().unwrap();
+}

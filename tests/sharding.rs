@@ -1,12 +1,17 @@
 //! Integration: sharded pipeline execution. The shard layer is a pure
 //! placement decision — N-shard engines must be observationally
-//! identical to the unsharded engine on any workload — and the scoped
-//! worker-thread fan-out must agree with the sequential fan-out.
+//! identical to the unsharded engine on any workload, including one
+//! that churns the query set through register / deregister / pause /
+//! resume — and the scoped worker-thread fan-out must agree with the
+//! sequential fan-out. Push subscriptions ride along: at every batch
+//! boundary the deltas accumulated through a subscription must
+//! reconstruct exactly the polled snapshot.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use smartcis::catalog::{Catalog, SourceKind, SourceStats};
-use smartcis::stream::{ShardedEngine, StreamEngine};
+use smartcis::stream::{EngineConfig, QueryHandle, QuerySpec, ShardedEngine, StreamEngine};
 use smartcis::types::{DataType, Field, Schema, SimTime, Tuple, Value};
 
 fn catalog() -> Arc<Catalog> {
@@ -94,9 +99,9 @@ fn shard_count_invariance_property() {
         let mut base_handles = Vec::new();
         let mut shard_handles: Vec<Vec<_>> = vec![Vec::new(); sharded.len()];
         for sql in PLANS {
-            base_handles.push(baseline.register_sql(sql).unwrap().unwrap());
+            base_handles.push(baseline.register_sql(sql).unwrap().expect_query());
             for (e, handles) in sharded.iter_mut().zip(&mut shard_handles) {
-                handles.push(e.register_sql(sql).unwrap().unwrap());
+                handles.push(e.register_sql(sql).unwrap().expect_query());
             }
         }
 
@@ -130,17 +135,225 @@ fn shard_count_invariance_property() {
     }
 }
 
+/// One engine under the lifecycle property: the engine itself plus the
+/// per-query client state (handle, push subscription, accumulated
+/// delta multiset).
+struct Client {
+    engine: ShardedEngine,
+    /// Slot-indexed: `queries[i]` is this engine's instance of logical
+    /// query slot i (all engines register/retire the same slots in the
+    /// same order).
+    queries: Vec<Option<ClientQuery>>,
+}
+
+struct ClientQuery {
+    handle: QueryHandle,
+    sub: smartcis::stream::ResultSubscription,
+    /// Net multiset accumulated from every drained push delta.
+    accum: HashMap<Tuple, i64>,
+}
+
+impl Client {
+    fn new(shards: usize) -> Client {
+        Client {
+            engine: ShardedEngine::new(catalog(), shards),
+            queries: Vec::new(),
+        }
+    }
+
+    fn register(&mut self, sql: &str) {
+        let handle = self
+            .engine
+            .register(QuerySpec::sql(sql).push())
+            .unwrap()
+            .expect_query();
+        let sub = self.engine.subscribe(handle).unwrap();
+        self.queries.push(Some(ClientQuery {
+            handle,
+            sub,
+            accum: HashMap::new(),
+        }));
+    }
+
+    /// Drain all subscriptions and fold the deltas into each query's
+    /// accumulated multiset.
+    fn drain(&mut self) {
+        for q in self.queries.iter_mut().flatten() {
+            for batch in q.sub.drain() {
+                for d in &batch {
+                    let e = q.accum.entry(d.tuple.clone()).or_insert(0);
+                    *e += d.sign;
+                    if *e == 0 {
+                        q.accum.remove(&d.tuple);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every live/paused query's accumulated push multiset must equal
+    /// its polled snapshot multiset.
+    fn check_push_matches_poll(&mut self, ctx: &str) {
+        self.drain();
+        for (slot, q) in self.queries.iter().enumerate() {
+            let Some(q) = q else { continue };
+            let mut snap: HashMap<Tuple, i64> = HashMap::new();
+            for t in self.engine.snapshot(q.handle).unwrap() {
+                *snap.entry(t).or_insert(0) += 1;
+            }
+            assert_eq!(
+                q.accum,
+                snap,
+                "push accumulation != polled snapshot (slot {slot}, {} shards, {ctx})",
+                self.engine.shard_count()
+            );
+        }
+    }
+}
+
+/// Property (ISSUE 3 acceptance): shard-count invariance holds on a
+/// workload with interleaved register / deregister / pause / resume,
+/// and every push subscription's accumulated deltas reconstruct the
+/// polled snapshot multiset at every batch boundary, for N ∈ {1, 2, 4}.
+#[test]
+fn lifecycle_churn_shard_invariance_with_push_subscriptions() {
+    use rand::Rng;
+    use smartcis::types::rng::seeded;
+
+    for seed in 0..3u64 {
+        let mut rng = seeded(0xC1A0 ^ seed);
+        let mut clients: Vec<Client> = [1usize, 2, 4].into_iter().map(Client::new).collect();
+        // Start with the full mixed plan set live everywhere.
+        for sql in PLANS {
+            for c in &mut clients {
+                c.register(sql);
+            }
+        }
+
+        let mut now = 0u64;
+        for step in 0..60 {
+            let ctx = format!("seed {seed}, step {step}");
+            // Pick one action; every engine performs the same one.
+            let slots: Vec<usize> = clients[0]
+                .queries
+                .iter()
+                .enumerate()
+                .filter_map(|(i, q)| q.as_ref().map(|_| i))
+                .collect();
+            match rng.gen_range(0..10u32) {
+                // Ingest (most common).
+                0..=4 => {
+                    let n = rng.gen_range(1..8usize);
+                    let batch: Vec<Tuple> = (0..n)
+                        .map(|_| {
+                            reading(
+                                rng.gen_range(0..4i64),
+                                rng.gen_range(0..100i64) as f64,
+                                now + rng.gen_range(0..2u64),
+                            )
+                        })
+                        .collect();
+                    now += 1;
+                    for c in &mut clients {
+                        c.engine.on_batch("Readings", &batch).unwrap();
+                    }
+                }
+                // Heartbeat.
+                5 | 6 => {
+                    now += rng.gen_range(1..15u64);
+                    for c in &mut clients {
+                        c.engine.heartbeat(SimTime::from_secs(now)).unwrap();
+                    }
+                }
+                // Register a fresh query from the plan set.
+                7 => {
+                    let sql = PLANS[rng.gen_range(0..PLANS.len())];
+                    for c in &mut clients {
+                        c.register(sql);
+                    }
+                }
+                // Deregister a random live slot.
+                8 => {
+                    if !slots.is_empty() {
+                        let slot = slots[rng.gen_range(0..slots.len())];
+                        for c in &mut clients {
+                            let q = c.queries[slot].take().unwrap();
+                            c.engine.deregister(q.handle).unwrap();
+                        }
+                    }
+                }
+                // Toggle pause/resume on a random slot.
+                _ => {
+                    if !slots.is_empty() {
+                        let slot = slots[rng.gen_range(0..slots.len())];
+                        for c in &mut clients {
+                            let h = c.queries[slot].as_ref().unwrap().handle;
+                            if c.engine.is_paused(h).unwrap() {
+                                c.engine.resume(h).unwrap();
+                            } else {
+                                c.engine.pause(h).unwrap();
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Invariants after every event: engines agree snapshot-for-
+            // snapshot, and push accumulation equals polling.
+            for c in &mut clients {
+                c.check_push_matches_poll(&ctx);
+            }
+            let (base, rest) = clients.split_first().expect("three clients");
+            for c in rest {
+                assert_eq!(c.engine.now(), base.engine.now(), "clock diverged ({ctx})");
+                assert_eq!(
+                    c.engine.query_count(),
+                    base.engine.query_count(),
+                    "query set diverged ({ctx})"
+                );
+                for (slot, (bq, cq)) in base.queries.iter().zip(&c.queries).enumerate() {
+                    let (Some(bq), Some(cq)) = (bq, cq) else {
+                        continue;
+                    };
+                    assert_eq!(
+                        value_rows(&c.engine.snapshot(cq.handle).unwrap()),
+                        value_rows(&base.engine.snapshot(bq.handle).unwrap()),
+                        "slot {slot} diverged at {} shards ({ctx})",
+                        c.engine.shard_count(),
+                    );
+                    assert_eq!(
+                        c.engine.is_paused(cq.handle).unwrap(),
+                        base.engine.is_paused(bq.handle).unwrap()
+                    );
+                }
+            }
+        }
+        // Lifecycle churn relocates work but never changes its total.
+        let totals: Vec<u64> = clients
+            .iter()
+            .map(|c| c.engine.total_ops_invoked())
+            .collect();
+        assert!(
+            totals.windows(2).all(|w| w[0] == w[1]),
+            "ops diverged across shard counts: {totals:?} (seed {seed})"
+        );
+    }
+}
+
 /// The threaded fan-out path (scoped worker per shard) must agree with
-/// the sequential loop — same shards, same slices, same results.
+/// the sequential loop — same shards, same slices, same results. The
+/// mode is fixed at construction via `EngineConfig`.
 #[test]
 fn parallel_fan_out_matches_sequential() {
     let run = |parallel: bool| -> Vec<Vec<Vec<Value>>> {
-        let mut e = ShardedEngine::new(catalog(), 4);
+        let mut e = ShardedEngine::with_config(
+            catalog(),
+            EngineConfig::new().shards(4).parallel_ingest(parallel),
+        );
         let handles: Vec<_> = PLANS
             .iter()
-            .map(|sql| e.register_sql(sql).unwrap().unwrap())
+            .map(|sql| e.register_sql(sql).unwrap().expect_query())
             .collect();
-        e.set_parallel_ingest(parallel);
         for i in 0..60u64 {
             e.on_batch(
                 "Readings",

@@ -59,12 +59,18 @@ fn guidance_respects_lab_closures_over_time() {
 #[test]
 fn alarms_and_dashboards_coexist_with_guidance() {
     let mut app = SmartCis::new(2, 6, 5).unwrap();
-    let temp_q = app.register_query(queries::TEMP_ALARM).unwrap().unwrap();
+    let temp_q = app
+        .register_query(queries::TEMP_ALARM)
+        .unwrap()
+        .expect_query();
     let res_q = app
         .register_query(queries::ROOM_RESOURCES)
         .unwrap()
-        .unwrap();
-    let free_q = app.register_query(queries::FREE_MACHINES).unwrap().unwrap();
+        .expect_query();
+    let free_q = app
+        .register_query(queries::FREE_MACHINES)
+        .unwrap()
+        .expect_query();
     for _ in 0..6 {
         app.tick().unwrap();
     }
@@ -122,7 +128,7 @@ fn long_run_is_stable_and_deterministic() {
         let q = app
             .register_query("select s.room, count(*) from SeatSensors s where s.status = 'busy' group by s.room")
             .unwrap()
-            .unwrap();
+            .expect_query();
         for _ in 0..50 {
             app.tick().unwrap();
         }

@@ -42,7 +42,7 @@ fn tumbling_window_aggregate_resets_per_pane() {
     let q = engine
         .register_sql("select sum(r.value) from Readings r [tumbling 10 seconds]")
         .unwrap()
-        .unwrap();
+        .expect_query();
     // Pane 0: t in [0, 10).
     engine
         .on_batch("Readings", &[reading(1, 5.0, 2), reading(2, 7.0, 8)])
@@ -72,7 +72,7 @@ fn rows_window_keeps_exactly_n() {
     let q = engine
         .register_sql("select r.sensor, r.value from Readings r [rows 3]")
         .unwrap()
-        .unwrap();
+        .expect_query();
     for i in 0..10 {
         engine
             .on_batch("Readings", &[reading(i, i as f64, i as u64)])
@@ -145,8 +145,8 @@ fn batched_pipeline_equivalent_to_per_tuple() {
             let cat = catalog();
             let mut batched = StreamEngine::new(Arc::clone(&cat));
             let mut per_tuple = StreamEngine::new(Arc::clone(&cat));
-            let qb = batched.register_sql(sql).unwrap().unwrap();
-            let qp = per_tuple.register_sql(sql).unwrap().unwrap();
+            let qb = batched.register_sql(sql).unwrap().expect_query();
+            let qp = per_tuple.register_sql(sql).unwrap().expect_query();
 
             let mut prev_batched_ops = 0;
             for (batch, hb) in &events {
@@ -197,12 +197,12 @@ fn late_rows_replay_with_duplicate_rows() {
     let sql = "select t.v from T t [rows 2]";
 
     let mut live = StreamEngine::new(Arc::clone(&cat));
-    let q_live = live.register_sql(sql).unwrap().unwrap();
+    let q_live = live.register_sql(sql).unwrap().expect_query();
     live.on_batch("T", &rows).unwrap();
 
     let mut late = StreamEngine::new(Arc::clone(&cat));
     late.on_batch("T", &rows).unwrap();
-    let q_late = late.register_sql(sql).unwrap().unwrap();
+    let q_late = late.register_sql(sql).unwrap().expect_query();
 
     let vals = |snap: Vec<Tuple>| -> Vec<Value> { snap.iter().map(|t| t.get(0).clone()).collect() };
     assert_eq!(
@@ -251,7 +251,7 @@ fn heartbeat_expires_time_windowed_view_state() {
     let q = engine
         .register_sql("select h.sensor from Hot h")
         .unwrap()
-        .unwrap();
+        .expect_query();
     engine
         .on_batch("Readings", &[reading(1, 80.0, 5), reading(2, 40.0, 5)])
         .unwrap();
@@ -336,7 +336,7 @@ fn having_filters_groups_continuously() {
              group by r.sensor having count(*) > 2",
         )
         .unwrap()
-        .unwrap();
+        .expect_query();
     // Sensor 1 gets 3 readings; sensor 2 gets 2.
     engine
         .on_batch(
@@ -370,7 +370,7 @@ fn arithmetic_and_scalar_functions_in_projection() {
              where abs(r.value - 70) > 10 order by abs(r.value - 70) desc",
         )
         .unwrap()
-        .unwrap();
+        .expect_query();
     engine
         .on_batch(
             "Readings",
