@@ -21,7 +21,8 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown experiment '{name}' — expected one of: \
-                     f1 f2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e12json e13 e13json all"
+                     f1 f2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e12json e13 e13json \
+                     e14 e14json all"
                 );
                 std::process::exit(2);
             }

@@ -217,6 +217,23 @@ impl Catalog {
         self.inner.write().cost_params = params;
     }
 
+    /// Publish a telemetry-measured tuple rate for a source (by id — the
+    /// engine routes on ids, not names). The observed rate overrides the
+    /// declared `rate_hz` in cost estimation via
+    /// [`SourceStats::effective_rate_hz`].
+    pub fn record_observed_rate(&self, id: SourceId, rate_hz: f64) -> Result<()> {
+        let mut inner = self.inner.write();
+        match inner.sources.values_mut().find(|m| m.id == id) {
+            Some(meta) => {
+                let mut m = (**meta).clone();
+                m.stats.observed_rate_hz = Some(rate_hz);
+                *meta = Arc::new(m);
+                Ok(())
+            }
+            None => Err(AspenError::Unresolved(format!("unknown source id {id}"))),
+        }
+    }
+
     /// Update a source's statistics in place (wrappers refresh rates).
     pub fn update_stats(&self, name: &str, stats: SourceStats) -> Result<()> {
         let mut inner = self.inner.write();
@@ -309,6 +326,23 @@ mod tests {
         assert_eq!(a, DisplayId(0));
         assert_eq!(b, DisplayId(1));
         assert_eq!(cat.display("LOBBY").unwrap().id, a);
+    }
+
+    #[test]
+    fn observed_rate_overrides_declared() {
+        let cat = Catalog::new();
+        let id = cat
+            .register_source("S", schema(), SourceKind::Stream, SourceStats::stream(1.0))
+            .unwrap();
+        assert_eq!(
+            cat.source("S").unwrap().stats.effective_rate_hz(),
+            Some(1.0)
+        );
+        cat.record_observed_rate(id, 9.5).unwrap();
+        let stats = &cat.source("S").unwrap().stats;
+        assert_eq!(stats.rate_hz, Some(1.0), "declared rate untouched");
+        assert_eq!(stats.effective_rate_hz(), Some(9.5));
+        assert!(cat.record_observed_rate(SourceId(99), 1.0).is_err());
     }
 
     #[test]

@@ -39,9 +39,14 @@ impl SourceKind {
 pub struct SourceStats {
     /// Row count for tables; `None` for streams.
     pub row_count: Option<u64>,
-    /// Tuple rate for streams (tuples/second across the whole relation);
-    /// `None` for tables.
+    /// Declared tuple rate for streams (tuples/second across the whole
+    /// relation); `None` for tables.
     pub rate_hz: Option<f64>,
+    /// Rate actually measured by the stream engine's telemetry, published
+    /// back into the catalog by the running system. When present it
+    /// overrides `rate_hz` in cost estimation — live load beats the
+    /// registration-time guess.
+    pub observed_rate_hz: Option<f64>,
     /// Per-column distinct-value estimates, `(column_name, n_distinct)`,
     /// used for equality-selectivity estimation (`1/n_distinct`).
     pub distinct: Vec<(String, u64)>,
@@ -66,6 +71,13 @@ impl SourceStats {
     pub fn with_distinct(mut self, column: &str, n: u64) -> Self {
         self.distinct.push((column.to_string(), n));
         self
+    }
+
+    /// The rate the optimizer should plan with: the telemetry-observed
+    /// rate when the running engine has published one, else the declared
+    /// rate.
+    pub fn effective_rate_hz(&self) -> Option<f64> {
+        self.observed_rate_hz.or(self.rate_hz)
     }
 
     /// Distinct count for a column, if recorded.

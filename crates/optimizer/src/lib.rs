@@ -20,4 +20,7 @@ pub mod federated;
 pub mod stream_cost;
 
 pub use federated::{optimize, optimize_named, CandidateSummary, FederatedPlan, SensorPart};
-pub use stream_cost::{estimate_cardinality, estimate_plan, StreamCost};
+pub use stream_cost::{
+    choose_knobs, delivery_overhead_ops, estimate_cardinality, estimate_output_rate, estimate_plan,
+    estimate_plan_with_delivery, DeliverySpec, StreamCost,
+};

@@ -21,7 +21,8 @@ use aspen_stream::{
 };
 use aspen_types::rng::{chance, seeded};
 use aspen_types::{
-    AspenError, DataType, Field, Point, Result, Schema, SimDuration, SimTime, Tuple, Value,
+    AspenError, DataType, Field, Point, Result, Schema, SimDuration, SimTime, SourceId, Tuple,
+    Value,
 };
 use aspen_wrappers::{
     MachineFleet, MachineStateWrapper, PduWrapper, StaticTableLoader, WebSourceWrapper, Wrapper,
@@ -112,6 +113,9 @@ pub struct SmartCis {
     guidance_query: Option<(FederatedPlan, QueryHandle)>,
     /// Current Route-table rows (diffed on corridor changes).
     route_rows: Vec<Tuple>,
+    /// Per-source ingest-counter marks from the previous autotune pass,
+    /// so published observed rates are windowed, not lifetime averages.
+    rate_marks: BTreeMap<SourceId, (u64, SimTime)>,
 }
 
 impl SmartCis {
@@ -275,6 +279,7 @@ impl SmartCis {
             visitor_pos: None,
             guidance_query: None,
             route_rows: route_batch.tuples,
+            rate_marks: BTreeMap::new(),
         })
     }
 
@@ -387,7 +392,75 @@ impl SmartCis {
         self.engine.on_batch("TempSensors", &temps)?;
 
         self.engine.heartbeat(now)?;
+        // Once a simulated minute, fold the engine's own telemetry back
+        // into the planning layer: observed source rates into the
+        // catalog, measured output rates into the micro-batch knobs.
+        if (now.as_micros() / self.epoch.as_micros()).is_multiple_of(6) {
+            self.autotune()?;
+        }
         Ok(())
+    }
+
+    /// Close the telemetry → optimizer loop.
+    ///
+    /// Publishes the engine's measured per-source ingest rates into the
+    /// catalog (so the federated optimizer's cardinality estimates track
+    /// observed reality instead of registration-time guesses), then lets
+    /// the calibrated cost model pick `max_batch` / `max_delay` for
+    /// every query registered with [`QuerySpec::auto_knobs`], using one
+    /// epoch as the latency budget — interactive displays tolerate about
+    /// one refresh of staleness. Returns how many queries were retuned.
+    /// Runs automatically every sixth [`SmartCis::tick`].
+    ///
+    /// Rates are *windowed*: each call measures tuples since the
+    /// previous call, so a workload shift converges within one autotune
+    /// interval instead of being diluted by the lifetime average.
+    pub fn autotune(&mut self) -> Result<usize> {
+        let now = self.now;
+        if now <= SimTime::ZERO {
+            return Ok(0);
+        }
+        for name in self.catalog.source_names() {
+            let meta = self.catalog.source(&name)?;
+            if !meta.kind.is_stream_like() {
+                continue;
+            }
+            let seen = self.engine.sharded().source_tuples_in(meta.id);
+            let (mark_seen, mark_time) = self
+                .rate_marks
+                .get(&meta.id)
+                .copied()
+                .unwrap_or((0, SimTime::ZERO));
+            let dt = now.since(mark_time).as_secs_f64();
+            if dt <= 0.0 {
+                continue;
+            }
+            self.rate_marks.insert(meta.id, (seen, now));
+            let window = seen.saturating_sub(mark_seen);
+            if window == 0 && mark_seen == 0 {
+                // Never seen traffic: leave the declared rate in charge.
+                continue;
+            }
+            // Exponentially smoothed: a bursty source's rate decays
+            // geometrically across idle windows instead of snapping to
+            // a hard zero (which would collapse its window-cardinality
+            // estimates right before the next burst).
+            let measured = window as f64 / dt;
+            let rate = match meta.stats.observed_rate_hz {
+                Some(prev) => 0.5 * measured + 0.5 * prev,
+                None => measured,
+            };
+            self.catalog.record_observed_rate(meta.id, rate)?;
+        }
+        let budget = self.epoch.as_secs_f64();
+        Ok(self.engine.auto_tune(|out_rate, boundary_hz| {
+            let (max_batch, max_delay) =
+                aspen_optimizer::choose_knobs(out_rate, boundary_hz, budget);
+            (
+                max_batch,
+                max_delay.map(|s| SimDuration::from_micros((s * 1e6) as u64)),
+            )
+        }))
     }
 
     /// Place (or move) the visitor: updates the Person table and the
@@ -544,9 +617,20 @@ impl SmartCis {
             s.desk_free.insert(d.desk, !self.sim.occupied[&d.desk]);
         }
         // The service view: how many standing queries the engine is
-        // currently maintaining for its clients.
+        // currently maintaining for its clients, and how the load is
+        // spread across worker shards (the telemetry the rebalancer
+        // watches).
         s.details
             .push(format!("standing queries: {}", self.engine.query_count()));
+        // Cumulative totals, labeled as such — a windowed balance figure
+        // would need two reports to diff (that is the rebalancer's job).
+        let report = self.engine.telemetry();
+        for shard in &report.shards {
+            s.details.push(format!(
+                "shard {}: {} queries, {} tuples in, {} ops",
+                shard.shard, shard.queries, shard.tuples_in, shard.ops_invoked
+            ));
+        }
         s
     }
 
@@ -662,6 +746,12 @@ mod tests {
         assert_eq!(s.lab_open.len(), 3);
         assert_eq!(s.desk_free.len(), 18);
         assert!(s.visitor.is_some());
+        // The details panel shows the engine's per-shard load meters.
+        assert!(
+            s.details.iter().any(|l| l.starts_with("shard 0:")),
+            "{:?}",
+            s.details
+        );
         let text = crate::gui::render(&a.building, &s);
         assert!(text.contains('@'));
     }
@@ -697,6 +787,34 @@ mod tests {
             flat.engine.view_snapshot("Reachable").unwrap().len(),
             sharded.engine.view_snapshot("Reachable").unwrap().len()
         );
+    }
+
+    #[test]
+    fn autotune_publishes_rates_and_retunes_auto_queries() {
+        let mut a = app();
+        let q = a
+            .register(
+                QuerySpec::sql("select t.desk from TempSensors t")
+                    .push()
+                    .auto_knobs(),
+            )
+            .unwrap()
+            .expect_query();
+        let sub = a.subscribe(q).unwrap();
+        for _ in 0..7 {
+            a.tick().unwrap();
+        }
+        // The 6th tick ran autotune: measured source rates reached the
+        // catalog and now drive cardinality estimation.
+        let temps = a.catalog.source("TempSensors").unwrap();
+        let observed = temps.stats.observed_rate_hz.expect("rate published");
+        assert!(observed > 0.0);
+        assert_eq!(temps.stats.effective_rate_hz(), Some(observed));
+        // The auto query is optimizer-owned: a manual pass retunes it
+        // from the last measurement window (one tick of new data).
+        assert_eq!(a.autotune().unwrap(), 1);
+        // Deliveries kept flowing throughout.
+        assert!(sub.batches_delivered() > 0);
     }
 
     #[test]

@@ -27,11 +27,12 @@ use std::sync::Arc;
 use aspen_catalog::Catalog;
 use aspen_sql::binder::BoundView;
 use aspen_sql::plan::LogicalPlan;
-use aspen_types::{Result, SimTime, SourceId, Tuple};
+use aspen_types::{Result, SimDuration, SimTime, SourceId, Tuple};
 
 use crate::delta::DeltaBatch;
 use crate::session::{EngineConfig, QuerySpec, Registration, ResultSubscription, SessionId};
 use crate::shard::ShardedEngine;
+use crate::telemetry::TelemetryReport;
 
 pub use crate::shard::QueryHandle;
 
@@ -154,6 +155,43 @@ impl StreamEngine {
     /// Attach (or re-fetch) the push subscription of a query.
     pub fn subscribe(&mut self, q: QueryHandle) -> Result<ResultSubscription> {
         self.inner.subscribe(q)
+    }
+
+    /// One coherent load snapshot of the engine (per-shard and per-query
+    /// meters); see [`ShardedEngine::telemetry`].
+    pub fn telemetry(&self) -> TelemetryReport {
+        self.inner.telemetry()
+    }
+
+    /// Live-migrate a query's runtime to another shard; see
+    /// [`ShardedEngine::migrate`].
+    pub fn migrate(&mut self, q: QueryHandle, to: usize) -> Result<()> {
+        self.inner.migrate(q, to)
+    }
+
+    /// Observe telemetry and apply any migrations the rebalance
+    /// controller plans; see [`ShardedEngine::rebalance_now`].
+    pub fn rebalance_now(&mut self) -> usize {
+        self.inner.rebalance_now()
+    }
+
+    /// Retune a query's micro-batch knobs at runtime.
+    pub fn tune_query(
+        &mut self,
+        q: QueryHandle,
+        max_batch: Option<usize>,
+        max_delay: Option<SimDuration>,
+    ) -> Result<()> {
+        self.inner.tune_query(q, max_batch, max_delay)
+    }
+
+    /// Retune every `auto_knobs` query from measured rates; see
+    /// [`ShardedEngine::auto_tune`].
+    pub fn auto_tune<F>(&mut self, chooser: F) -> usize
+    where
+        F: FnMut(f64, f64) -> (Option<usize>, Option<SimDuration>),
+    {
+        self.inner.auto_tune(chooser)
     }
 
     /// Ingest a batch of tuples for a named source.

@@ -104,6 +104,41 @@
 //! scoped joins replaced with awaited tasks and the coordinator's
 //! view/table updates kept on the ingest task.
 //!
+//! ## Telemetry and adaptive rebalancing
+//!
+//! The engine meters itself continuously: each shard keeps lock-local
+//! counters (tuples in, slices run, busy wall time) and each query's
+//! pipeline/sink carry their own (`tuples_in`, `ops_invoked`, output
+//! deltas, push batches) — metering is plain integer adds on paths the
+//! shard already owns, bounded at < 2% of the E11 baseline by the E14
+//! bench. [`shard::ShardedEngine::telemetry`] assembles one coherent
+//! [`telemetry::TelemetryReport`]; it is the *single* metering surface
+//! (the old per-accessor statistics folded into it).
+//!
+//! Two control loops close over those meters:
+//!
+//! * **Placement** — hash placement spreads query counts, not cost.
+//!   [`rebalance::RebalanceController`] diffs successive reports into
+//!   windowed per-query loads and, on sustained skew, plans greedy
+//!   migrations; [`shard::ShardedEngine::migrate`] executes them by
+//!   *moving the live runtime* (pipeline state, sink, push subscription)
+//!   between shards — the resume attach path with the runtime carried
+//!   over instead of rebuilt, so snapshots, push accumulation, and ops
+//!   totals are provably unchanged (property-tested in
+//!   `tests/sharding.rs` under interleaved lifecycle churn and forced
+//!   migrations). Enable with [`session::EngineConfig::rebalance`];
+//!   `harness e14` measures the skewed fan-out at 1/2/4/8 shards with
+//!   the controller off vs on.
+//! * **Micro-batch knobs** — a query registered with
+//!   [`session::QuerySpec::auto_knobs`] hands its `max_batch` /
+//!   `max_delay` to the optimizer: `auto_tune` measures the query's
+//!   output-delta rate and the boundary rate, asks a chooser calibrated
+//!   on the E13 delivery measurements (`aspen-optimizer`'s
+//!   `choose_knobs`), and retunes the live sink through `tune_query`.
+//!   The app layer also publishes measured per-source ingest rates back
+//!   into the catalog, so the optimizer's cardinality estimates track
+//!   observed reality instead of registration-time guesses.
+//!
 //! ## Recursive views
 //!
 //! [`recursive::RecursiveView`] materializes `CREATE RECURSIVE VIEW`
@@ -124,16 +159,20 @@ pub mod distributed;
 pub mod engine;
 pub mod operators;
 pub mod pipeline;
+pub mod rebalance;
 pub mod recursive;
 pub mod session;
 pub mod shard;
 pub mod sink;
 pub mod state;
+pub mod telemetry;
 pub mod window;
 
 pub use delta::{Delta, DeltaBatch};
 pub use engine::{QueryHandle, StreamEngine};
+pub use rebalance::{Migration, RebalanceConfig, RebalanceController};
 pub use recursive::RecursiveView;
 pub use session::{Delivery, EngineConfig, QuerySpec, Registration, ResultSubscription, SessionId};
 pub use shard::ShardedEngine;
 pub use sink::Sink;
+pub use telemetry::{LoadWindow, QueryLoad, ShardLoad, TelemetryReport, WindowedQueryLoad};

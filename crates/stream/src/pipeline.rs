@@ -56,6 +56,10 @@ pub struct Pipeline {
     /// Operator invocations — the CPU-cost proxy used by the stream
     /// optimizer's calibration (E5).
     pub ops_invoked: u64,
+    /// Tuples / signed deltas that entered this pipeline's window stages
+    /// (telemetry: the query's share of ingest volume). Lives here so a
+    /// migrated query carries its history with it.
+    pub tuples_in: u64,
 }
 
 impl Pipeline {
@@ -95,6 +99,7 @@ impl Pipeline {
                 display,
             },
             ops_invoked: 0,
+            tuples_in: 0,
         };
         pipeline.build(core, None)?;
         Ok(pipeline)
@@ -230,6 +235,7 @@ impl Pipeline {
             if self.scans[i].source != source {
                 continue;
             }
+            self.tuples_in += tuples.len() as u64;
             let mut batch = DeltaBatch::with_capacity(tuples.len());
             self.scans[i].window.insert_batch(tuples, &mut batch);
             let attach = self.scans[i].attach;
@@ -251,6 +257,7 @@ impl Pipeline {
             if self.scans[i].source != source {
                 continue;
             }
+            self.tuples_in += deltas.len() as u64;
             let attach = self.scans[i].attach;
             self.propagate(attach, deltas.clone(), sink)?;
         }

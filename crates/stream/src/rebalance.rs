@@ -1,0 +1,281 @@
+//! Adaptive shard rebalancing: closing the loop from telemetry back
+//! into placement.
+//!
+//! Hash placement spreads *query counts* evenly but knows nothing about
+//! per-query cost — the E12 bench records ~1.3× hot-shard imbalance on
+//! the standard fan-out, and a deliberately skewed workload is worse.
+//! The [`RebalanceController`] watches successive [`TelemetryReport`]s,
+//! diffs per-query `ops_invoked` into a *windowed* load (so a query
+//! that was hot an hour ago but is idle now carries no weight), and
+//! when the windowed balance ratio stays above the threshold for
+//! `patience` consecutive observations it plans greedy migrations:
+//! repeatedly move the heaviest movable query from the hottest shard to
+//! the coolest one, as long as the move shrinks the hot/cool gap.
+//!
+//! The controller only *plans*; `ShardedEngine::migrate` executes. A
+//! migration moves the live `QueryRuntime` — pipeline state, sink, push
+//! subscription and all — between shards, so snapshots, push
+//! accumulation, and the ops total are provably unchanged (the property
+//! test in `tests/sharding.rs` interleaves forced migrations with
+//! ingest and lifecycle churn to pin this down). Windowed per-query
+//! loads are keyed by `QueryId`, which makes the diff robust to the
+//! migrations the controller itself caused.
+
+use std::collections::HashMap;
+
+use aspen_types::QueryId;
+
+use crate::telemetry::TelemetryReport;
+
+/// Tuning knobs of the skew detector. The defaults favor stability:
+/// act only on sustained, clearly-skewed load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceConfig {
+    /// Windowed balance ratio (hottest shard over ideal even share)
+    /// above which an observation counts as skewed.
+    pub threshold: f64,
+    /// Consecutive skewed observations required before migrating —
+    /// one-batch spikes never trigger a move.
+    pub patience: u32,
+    /// Most queries migrated per rebalance round.
+    pub max_moves: usize,
+    /// When auto-rebalancing is enabled on the engine, observe every
+    /// this many batch boundaries.
+    pub interval_boundaries: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            threshold: 1.15,
+            patience: 2,
+            max_moves: 4,
+            interval_boundaries: 32,
+        }
+    }
+}
+
+/// One planned move: relocate `query` from shard `from` to shard `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    pub query: QueryId,
+    pub from: usize,
+    pub to: usize,
+}
+
+/// Skew detector and migration planner over successive telemetry
+/// reports.
+#[derive(Debug, Default)]
+pub struct RebalanceController {
+    config: RebalanceConfig,
+    /// Per-query ops marks from the previous observation — the baseline
+    /// the next window diffs against (all `window_since_marks` needs,
+    /// so whole reports are never retained).
+    last: Option<HashMap<QueryId, u64>>,
+    skewed_streak: u32,
+    /// Total migrations planned over the controller's lifetime.
+    pub migrations_planned: u64,
+}
+
+impl RebalanceController {
+    pub fn new(config: RebalanceConfig) -> Self {
+        RebalanceController {
+            config,
+            ..Default::default()
+        }
+    }
+
+    pub fn config(&self) -> &RebalanceConfig {
+        &self.config
+    }
+
+    /// Feed one telemetry observation; returns the migrations to apply
+    /// (empty while balanced, inside the patience window, or before the
+    /// first diffable window exists).
+    pub fn observe(&mut self, report: &TelemetryReport) -> Vec<Migration> {
+        let prev = self.last.replace(report.ops_marks());
+        let Some(prev) = prev else {
+            // First observation: no window to judge yet.
+            return Vec::new();
+        };
+
+        let n = report.shards.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        // One windowing implementation for every skew judge: the shared
+        // per-query diff (migration-aware, saturating on counter
+        // resets).
+        let window = report.window_since_marks(&prev);
+        if window.total_ops() == 0 {
+            self.skewed_streak = 0;
+            return Vec::new();
+        }
+        if window.balance_ratio() <= self.config.threshold {
+            self.skewed_streak = 0;
+            return Vec::new();
+        }
+        self.skewed_streak += 1;
+        if self.skewed_streak < self.config.patience {
+            return Vec::new();
+        }
+        self.skewed_streak = 0;
+
+        // Greedy planning: heaviest movable query off the hottest shard
+        // onto the coolest, while each move strictly shrinks the
+        // hot/cool gap. Paused queries carry no load and stay put.
+        let mut loads = window.shard_loads.clone();
+        let mut movable: Vec<(QueryId, usize, u64)> = window
+            .queries
+            .iter()
+            .filter(|q| !q.paused && q.ops > 0)
+            .map(|q| (q.query, q.shard, q.ops))
+            .collect();
+        movable.sort_by(|a, b| b.2.cmp(&a.2).then(a.0 .0.cmp(&b.0 .0)));
+        let mut moves = Vec::new();
+        for _ in 0..self.config.max_moves {
+            let hot = (0..n).max_by_key(|&i| loads[i]).expect("n >= 2");
+            let cool = (0..n).min_by_key(|&i| loads[i]).expect("n >= 2");
+            let gap = loads[hot] - loads[cool];
+            // Only moves of at most half the gap are taken: the donor
+            // stays at least as loaded as the recipient, so the gap
+            // shrinks monotonically and the plan cannot ping-pong a
+            // query between two shards.
+            let Some(pick) = movable
+                .iter_mut()
+                .find(|(_, shard, w)| *shard == hot && *w * 2 <= gap)
+            else {
+                break;
+            };
+            loads[hot] -= pick.2;
+            loads[cool] += pick.2;
+            pick.1 = cool;
+            moves.push(Migration {
+                query: pick.0,
+                from: hot,
+                to: cool,
+            });
+        }
+        self.migrations_planned += moves.len() as u64;
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::telemetry::report_from_rows as report;
+
+    fn eager() -> RebalanceController {
+        RebalanceController::new(RebalanceConfig {
+            threshold: 1.05,
+            patience: 1,
+            max_moves: 4,
+            interval_boundaries: 1,
+        })
+    }
+
+    #[test]
+    fn first_observation_never_migrates() {
+        let mut c = eager();
+        assert!(c.observe(&report(&[(0, 0, 1000), (1, 1, 10)])).is_empty());
+    }
+
+    #[test]
+    fn sustained_skew_plans_improving_moves() {
+        let mut c = eager();
+        c.observe(&report(&[(0, 0, 0), (1, 0, 0), (2, 1, 0)]));
+        // Window: q0 = 600, q1 = 300 on shard 0; q2 = 100 on shard 1.
+        let moves = c.observe(&report(&[(0, 0, 600), (1, 0, 300), (2, 1, 100)]));
+        // Gap is 800; q0 (600) exceeds half of it, so the planner moves
+        // q1 (300), landing at 600/400.
+        assert_eq!(
+            moves,
+            vec![Migration {
+                query: QueryId(1),
+                from: 0,
+                to: 1
+            }]
+        );
+        assert_eq!(c.migrations_planned, 1);
+    }
+
+    #[test]
+    fn balanced_load_resets_streak() {
+        let mut c = RebalanceController::new(RebalanceConfig {
+            threshold: 1.05,
+            patience: 2,
+            max_moves: 4,
+            interval_boundaries: 1,
+        });
+        c.observe(&report(&[(0, 0, 0), (1, 0, 0), (2, 0, 0), (3, 1, 0)]));
+        // Skewed once (streak 1 of 2): no action yet.
+        assert!(c
+            .observe(&report(&[
+                (0, 0, 200),
+                (1, 0, 200),
+                (2, 0, 200),
+                (3, 1, 20)
+            ]))
+            .is_empty());
+        // Balanced window resets the streak.
+        assert!(c
+            .observe(&report(&[
+                (0, 0, 234),
+                (1, 0, 233),
+                (2, 0, 233),
+                (3, 1, 120)
+            ]))
+            .is_empty());
+        // Skewed again: still only streak 1.
+        assert!(c
+            .observe(&report(&[
+                (0, 0, 434),
+                (1, 0, 433),
+                (2, 0, 433),
+                (3, 1, 140)
+            ]))
+            .is_empty());
+        // Second consecutive skewed window acts.
+        assert!(!c
+            .observe(&report(&[
+                (0, 0, 634),
+                (1, 0, 633),
+                (2, 0, 633),
+                (3, 1, 160)
+            ]))
+            .is_empty());
+    }
+
+    #[test]
+    fn counter_reset_reads_as_zero_not_underflow() {
+        // A pause/resume cycle rebuilds the pipeline, restarting its
+        // cumulative counter below the controller's recorded mark. The
+        // window must saturate to zero — not panic in debug or wrap to
+        // a near-u64::MAX "infinitely hot" load in release.
+        let mut c = eager();
+        c.observe(&report(&[(0, 0, 5000), (1, 1, 100)]));
+        let moves = c.observe(&report(&[(0, 0, 40), (1, 1, 5100)]));
+        // q0's window is 0 (reset), q1's is 5000: the hot shard is 1,
+        // but its only query carries the whole load — no move possible.
+        assert!(moves.is_empty(), "{moves:?}");
+    }
+
+    #[test]
+    fn single_shard_never_migrates() {
+        let mut c = eager();
+        c.observe(&report(&[(0, 0, 0)]));
+        assert!(c.observe(&report(&[(0, 0, 1000)])).is_empty());
+    }
+
+    #[test]
+    fn an_unsplittable_hot_query_stays_put() {
+        let mut c = eager();
+        c.observe(&report(&[(0, 0, 0), (1, 1, 0)]));
+        // One huge query is the whole hot load: moving it would just
+        // swap the hot shard, so the planner must do nothing.
+        let moves = c.observe(&report(&[(0, 0, 1000), (1, 1, 100)]));
+        assert!(moves.is_empty(), "{moves:?}");
+    }
+}

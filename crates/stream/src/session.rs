@@ -31,6 +31,7 @@ use aspen_types::{QueryId, SimDuration, SourceId};
 use parking_lot::Mutex;
 
 use crate::delta::DeltaBatch;
+use crate::rebalance::RebalanceConfig;
 use crate::shard::QueryHandle;
 
 /// Construction-time engine configuration. Replaces the old pattern of
@@ -43,6 +44,10 @@ pub struct EngineConfig {
     /// `None` = auto-detect (threads when shards > 1 and the host is
     /// multicore); `Some(on)` pins the fan-out mode.
     parallel_ingest: Option<bool>,
+    /// Adaptive shard rebalancing: when set, the engine observes its own
+    /// telemetry every `interval_boundaries` batch boundaries and
+    /// live-migrates queries off sustained hot shards.
+    rebalance: Option<RebalanceConfig>,
 }
 
 impl EngineConfig {
@@ -67,8 +72,22 @@ impl EngineConfig {
         self
     }
 
+    /// Enable adaptive rebalancing: the engine watches per-shard load
+    /// through its telemetry meters and live-migrates queries between
+    /// shards when skew is sustained. Results are unaffected — migration
+    /// moves the running pipeline and sink intact — only placement (and
+    /// therefore the critical path) changes.
+    pub fn rebalance(mut self, config: RebalanceConfig) -> Self {
+        self.rebalance = Some(config);
+        self
+    }
+
     pub(crate) fn shard_count(&self) -> usize {
         self.shards.max(1)
+    }
+
+    pub(crate) fn rebalance_config(&self) -> Option<RebalanceConfig> {
+        self.rebalance.clone()
     }
 
     pub(crate) fn resolve_parallel(&self, cores: usize) -> bool {
@@ -117,6 +136,9 @@ pub struct QuerySpec {
     pub(crate) delivery: Delivery,
     pub(crate) max_batch: Option<usize>,
     pub(crate) max_delay: Option<SimDuration>,
+    /// Optimizer-driven knob mode: when set, the engine's `auto_tune`
+    /// pass may overwrite `max_batch` / `max_delay` from measured rates.
+    pub(crate) auto: bool,
 }
 
 impl QuerySpec {
@@ -127,6 +149,7 @@ impl QuerySpec {
             delivery: Delivery::Poll,
             max_batch: None,
             max_delay: None,
+            auto: false,
         }
     }
 
@@ -138,6 +161,7 @@ impl QuerySpec {
             delivery: Delivery::Poll,
             max_batch: None,
             max_delay: None,
+            auto: false,
         }
     }
 
@@ -162,6 +186,17 @@ impl QuerySpec {
     /// flushes immediately.
     pub fn max_delay(mut self, d: SimDuration) -> Self {
         self.max_delay = Some(d);
+        self
+    }
+
+    /// Let the optimizer pick the micro-batch knobs: the engine's
+    /// `auto_tune` pass measures this query's output rate and the batch-
+    /// boundary rate, and sets `max_batch` / `max_delay` from the cost
+    /// model instead of leaving them to the client. Any knobs set
+    /// explicitly on the spec serve as the initial values until the
+    /// first measurement window closes.
+    pub fn auto_knobs(mut self) -> Self {
+        self.auto = true;
         self
     }
 }
@@ -293,6 +328,8 @@ mod tests {
         assert_eq!(s.delivery, Delivery::Push);
         assert_eq!(s.max_batch, Some(1), "max_batch clamps to >= 1");
         assert_eq!(s.max_delay, Some(SimDuration::from_secs(5)));
+        assert!(!s.auto, "knobs stay client-owned unless requested");
+        assert!(s.auto_knobs().auto);
     }
 
     #[test]

@@ -46,7 +46,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use aspen_catalog::{Catalog, SourceKind, SourceStats};
 use aspen_sql::binder::BoundView;
@@ -57,6 +57,7 @@ use parking_lot::Mutex;
 
 use crate::delta::DeltaBatch;
 use crate::pipeline::Pipeline;
+use crate::rebalance::RebalanceController;
 use crate::recursive::RecursiveView;
 use crate::session::{
     Delivery, EngineConfig, QuerySpec, QueryText, Registration, ResultSubscription, SessionId,
@@ -64,6 +65,7 @@ use crate::session::{
 };
 use crate::sink::Sink;
 use crate::state::BagState;
+use crate::telemetry::{QueryLoad, ShardLoad, ShardMeters, TelemetryReport};
 
 /// Handle to a registered continuous query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +97,12 @@ struct QueryMeta {
     max_delay: Option<SimDuration>,
     /// Whether a push subscription channel is attached to the sink.
     push: bool,
+    /// Knobs are optimizer-owned: `auto_tune` may overwrite them.
+    auto: bool,
+    /// Measurement mark of the last knob tune: (sink deltas applied,
+    /// engine boundaries, engine clock) — the window the next
+    /// output-rate and boundary-rate estimates span.
+    tune_mark: (u64, u64, SimTime),
 }
 
 /// One worker shard: a disjoint set of query runtimes plus the slice of
@@ -111,13 +119,14 @@ pub(crate) struct EngineShard {
     clock_subs: Vec<QueryId>,
     /// Local live queries with a push subscription attached (flush set).
     push_subs: Vec<QueryId>,
-    /// Wall time spent processing this shard's slice of the work.
-    busy: Duration,
+    /// Lock-local telemetry counters (tuples in, slices run, busy time).
+    meters: ShardMeters,
 }
 
 impl EngineShard {
     fn push_batch(&mut self, src: SourceId, tuples: &[Tuple]) -> Result<()> {
         if let Some(subs) = self.subs.get(&src) {
+            self.meters.tuples_in += tuples.len() as u64;
             for qid in subs {
                 let q = self.queries.get_mut(qid).expect("routed query is local");
                 q.pipeline.push_source(src, tuples, &mut q.sink)?;
@@ -128,6 +137,7 @@ impl EngineShard {
 
     fn push_deltas(&mut self, src: SourceId, deltas: &DeltaBatch) -> Result<()> {
         if let Some(subs) = self.subs.get(&src) {
+            self.meters.tuples_in += deltas.len() as u64;
             for qid in subs {
                 let q = self.queries.get_mut(qid).expect("routed query is local");
                 q.pipeline.push_deltas(src, deltas, &mut q.sink)?;
@@ -217,6 +227,15 @@ pub struct ShardedEngine {
     /// Run involved shards on scoped worker threads (fixed at
     /// construction by [`EngineConfig`]).
     parallel: bool,
+    /// Batch boundaries processed so far (ingest calls + heartbeats).
+    boundaries: u64,
+    /// Cumulative tuples/deltas ingested per source (coordinator-side;
+    /// the app publishes these as observed rates into the catalog).
+    source_tuples: HashMap<SourceId, u64>,
+    /// Adaptive rebalancing, when enabled by [`EngineConfig::rebalance`].
+    rebalancer: Option<RebalanceController>,
+    /// Queries live-migrated between shards so far.
+    migrations: u64,
 }
 
 impl ShardedEngine {
@@ -249,6 +268,10 @@ impl ShardedEngine {
             table_store: HashMap::new(),
             now: SimTime::ZERO,
             parallel: config.resolve_parallel(cores),
+            boundaries: 0,
+            source_tuples: HashMap::new(),
+            rebalancer: config.rebalance_config().map(RebalanceController::new),
+            migrations: 0,
         }
     }
 
@@ -269,34 +292,66 @@ impl ShardedEngine {
         self.queries.len()
     }
 
-    /// Queries placed on each shard (placement balance, for tests/bench).
-    pub fn shard_query_counts(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.lock().queries.len()).collect()
+    /// One coherent load snapshot of the whole engine: per-shard meters
+    /// (tuples in, operator invocations, slices run, busy wall time) and
+    /// per-query meters (tuples in, ops, output deltas, push batches) in
+    /// registration order. This is the single metering surface — the
+    /// rebalancer, the knob auto-tuner, the benches, and the GUI all
+    /// read it; the old `shard_busy_seconds` / `shard_ops_invoked` /
+    /// `shard_query_counts` accessors folded into it.
+    pub fn telemetry(&self) -> TelemetryReport {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut queries = vec![None; self.order.len()];
+        let slot: HashMap<QueryId, usize> = self
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (q, i))
+            .collect();
+        for (i, s) in self.shards.iter().enumerate() {
+            let shard = s.lock();
+            let mut ops = 0u64;
+            for (qid, rt) in &shard.queries {
+                ops += rt.pipeline.ops_invoked;
+                if let Some(&j) = slot.get(qid) {
+                    let meta = &self.queries[qid];
+                    queries[j] = Some(QueryLoad {
+                        query: *qid,
+                        shard: i,
+                        paused: meta.paused,
+                        tuples_in: rt.pipeline.tuples_in,
+                        ops_invoked: rt.pipeline.ops_invoked,
+                        output_deltas: rt.sink.deltas_applied,
+                        push_batches: rt.sink.push_batches_delivered(),
+                    });
+                }
+            }
+            shards.push(ShardLoad {
+                shard: i,
+                queries: shard.queries.len(),
+                tuples_in: shard.meters.tuples_in,
+                ops_invoked: ops,
+                batches: shard.meters.batches,
+                busy_seconds: shard.meters.busy.as_secs_f64(),
+            });
+        }
+        TelemetryReport {
+            shards,
+            queries: queries.into_iter().flatten().collect(),
+            boundaries: self.boundaries,
+            now_secs: self.now.as_secs_f64(),
+        }
     }
 
-    /// Wall seconds each shard has spent processing its slice of the
-    /// ingest/heartbeat work. `max` over shards is the critical path a
-    /// fully parallel deployment would pay.
-    pub fn shard_busy_seconds(&self) -> Vec<f64> {
-        self.shards
-            .iter()
-            .map(|s| s.lock().busy.as_secs_f64())
-            .collect()
+    /// Queries live-migrated between shards so far (forced + adaptive).
+    pub fn migration_count(&self) -> u64 {
+        self.migrations
     }
 
-    /// Operator invocations per shard — the deterministic (wall-clock
-    /// free) view of how evenly hash placement spread the work.
-    pub fn shard_ops_invoked(&self) -> Vec<u64> {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .queries
-                    .values()
-                    .map(|q| q.pipeline.ops_invoked)
-                    .sum()
-            })
-            .collect()
+    /// Cumulative tuples/deltas ingested for a source — the measured
+    /// counterpart of the catalog's declared `rate_hz`.
+    pub fn source_tuples_in(&self, src: SourceId) -> u64 {
+        self.source_tuples.get(&src).copied().unwrap_or(0)
     }
 
     /// Number of *live* queries subscribed to a source across all shards
@@ -394,6 +449,7 @@ impl ShardedEngine {
             delivery,
             max_batch,
             max_delay,
+            auto,
         } = spec;
         let plan = match text {
             QueryText::Plan(plan) => plan,
@@ -405,7 +461,11 @@ impl ShardedEngine {
                     // retired with a client session, so a spec that asks
                     // for query-only features must fail loudly instead
                     // of dropping them.
-                    if delivery == Delivery::Push || max_batch.is_some() || max_delay.is_some() {
+                    if delivery == Delivery::Push
+                        || max_batch.is_some()
+                        || max_delay.is_some()
+                        || auto
+                    {
                         return Err(AspenError::InvalidArgument(format!(
                             "view '{}' cannot take push delivery or micro-batch knobs; \
                              they apply to continuous queries only",
@@ -416,7 +476,7 @@ impl ShardedEngine {
                 }
             },
         };
-        let handle = self.place_query(plan, session, delivery, max_batch, max_delay)?;
+        let handle = self.place_query(plan, session, delivery, max_batch, max_delay, auto)?;
         Ok(Registration::Query(handle))
     }
 
@@ -430,6 +490,7 @@ impl ShardedEngine {
         delivery: Delivery,
         max_batch: Option<usize>,
         max_delay: Option<SimDuration>,
+        auto: bool,
     ) -> Result<QueryHandle> {
         let mut pipeline = Pipeline::compile(&plan)?;
         if delivery == Delivery::Push {
@@ -455,6 +516,7 @@ impl ShardedEngine {
         // state now so a push subscription is immediately consistent
         // with a snapshot poll.
         sink.flush_push(self.now, true);
+        let seeded_deltas = sink.deltas_applied;
         {
             let mut shard = self.shards[shard_idx].lock();
             shard.attach(qid, &sources, needs_clock);
@@ -475,6 +537,8 @@ impl ShardedEngine {
                 max_batch,
                 max_delay,
                 push: delivery == Delivery::Push,
+                auto,
+                tune_mark: (seeded_deltas, self.boundaries, self.now),
             },
         );
         self.order.push(qid);
@@ -688,6 +752,7 @@ impl ShardedEngine {
         if sink.push_queue().is_some() {
             shard.mark_push(q.0);
         }
+        let replayed_deltas = sink.deltas_applied;
         shard.queries.insert(q.0, QueryRuntime { pipeline, sink });
         drop(shard);
 
@@ -695,6 +760,9 @@ impl ShardedEngine {
         meta.paused = false;
         meta.needs_clock = needs_clock;
         meta.sources = sources;
+        // The rebuilt sink restarts its delta counter at the replayed
+        // state; restart the knob-tuning measurement window with it.
+        meta.tune_mark = (replayed_deltas, self.boundaries, self.now);
         self.add_routes(q.0);
         Ok(())
     }
@@ -737,6 +805,166 @@ impl ShardedEngine {
         self.queries.get_mut(&q.0).expect("meta checked").push = true;
         self.add_routes(q.0);
         Ok(ResultSubscription { queue, query: q.0 })
+    }
+
+    // -----------------------------------------------------------------
+    // Migration, rebalancing, knob tuning
+    // -----------------------------------------------------------------
+
+    /// Live-migrate a query's runtime to another shard.
+    ///
+    /// This is the resume attach path with the *running* runtime carried
+    /// over instead of rebuilt: the pipeline state (window contents,
+    /// join/aggregate state), the sink, and any push subscription move
+    /// intact, so snapshots, push accumulation, and the ops total are
+    /// exactly what they would have been without the move — no replay,
+    /// no divergence (property-tested in `tests/sharding.rs`). All
+    /// fallible work (validation) happens before any mutation. Session
+    /// membership and every other coordinator record are untouched;
+    /// only the shard assignment and the routing slices change.
+    pub fn migrate(&mut self, q: QueryHandle, to: usize) -> Result<()> {
+        let meta = self.meta(q)?;
+        if to >= self.shards.len() {
+            return Err(AspenError::InvalidArgument(format!(
+                "shard {to} out of range (engine has {})",
+                self.shards.len()
+            )));
+        }
+        let (from, sources, needs_clock, paused) = (
+            meta.shard,
+            meta.sources.clone(),
+            meta.needs_clock,
+            meta.paused,
+        );
+        if from == to {
+            return Ok(());
+        }
+        let rt = {
+            let mut shard = self.shards[from].lock();
+            shard.detach(q.0, &sources);
+            shard
+                .queries
+                .remove(&q.0)
+                .expect("registered query keeps a runtime")
+        };
+        {
+            let mut shard = self.shards[to].lock();
+            if !paused {
+                // A paused query stays out of routing; resume reattaches
+                // it on whatever shard it lives on then.
+                shard.attach(q.0, &sources, needs_clock);
+                if rt.sink.push_queue().is_some() {
+                    shard.mark_push(q.0);
+                }
+            }
+            shard.queries.insert(q.0, rt);
+        }
+        self.queries.get_mut(&q.0).expect("meta checked").shard = to;
+        self.migrations += 1;
+        self.rebuild_routes();
+        Ok(())
+    }
+
+    /// Take one telemetry observation, feed the rebalance controller,
+    /// and apply the migrations it plans. Returns how many queries
+    /// moved. No-op (0) when the engine was built without
+    /// [`EngineConfig::rebalance`]. Runs automatically every
+    /// `interval_boundaries` batch boundaries; exposed for benches and
+    /// tests that want to force an observation.
+    pub fn rebalance_now(&mut self) -> usize {
+        let Some(mut ctrl) = self.rebalancer.take() else {
+            return 0;
+        };
+        let report = self.telemetry();
+        let moves = ctrl.observe(&report);
+        let mut applied = 0;
+        for m in &moves {
+            // Plans are advisory: a query retired between observation
+            // and application is simply skipped.
+            if self.migrate(QueryHandle(m.query), m.to).is_ok() {
+                applied += 1;
+            }
+        }
+        self.rebalancer = Some(ctrl);
+        applied
+    }
+
+    /// Every ingest and heartbeat ends here: count the boundary, flush
+    /// push subscriptions, and give the rebalancer its periodic look.
+    fn finish_boundary(&mut self) -> Result<()> {
+        self.boundaries += 1;
+        self.flush_push()?;
+        if let Some(ctrl) = &self.rebalancer {
+            if self
+                .boundaries
+                .is_multiple_of(ctrl.config().interval_boundaries.max(1))
+            {
+                self.rebalance_now();
+            }
+        }
+        Ok(())
+    }
+
+    /// Retune a query's micro-batch knobs at runtime. Applies to the
+    /// live push state immediately and to the stored meta, so later
+    /// subscribe / pause / resume cycles keep the new knobs.
+    pub fn tune_query(
+        &mut self,
+        q: QueryHandle,
+        max_batch: Option<usize>,
+        max_delay: Option<SimDuration>,
+    ) -> Result<()> {
+        let meta = self
+            .queries
+            .get_mut(&q.0)
+            .ok_or_else(|| AspenError::InvalidArgument(format!("unknown query {}", q.0)))?;
+        meta.max_batch = max_batch.map(|n| n.max(1));
+        meta.max_delay = max_delay;
+        let (shard, mb, md) = (meta.shard, meta.max_batch, meta.max_delay);
+        let mut shard = self.shards[shard].lock();
+        if let Some(rt) = shard.queries.get_mut(&q.0) {
+            rt.sink.set_push_knobs(mb, md);
+        }
+        Ok(())
+    }
+
+    /// Close the optimizer loop over the micro-batch knobs: for every
+    /// live query registered with [`QuerySpec::auto_knobs`], measure its
+    /// output-delta rate and the engine's batch-boundary rate since the
+    /// query's last tune, ask `chooser` (typically the optimizer's
+    /// calibrated `choose_knobs`) for `(max_batch, max_delay)`, and
+    /// apply them. Returns how many queries were retuned. Queries whose
+    /// measurement window spans no simulated time are skipped.
+    pub fn auto_tune<F>(&mut self, mut chooser: F) -> usize
+    where
+        F: FnMut(f64, f64) -> (Option<usize>, Option<SimDuration>),
+    {
+        let now = self.now;
+        let mut tuned = 0;
+        for qid in self.order.clone() {
+            let meta = &self.queries[&qid];
+            if !meta.auto || meta.paused {
+                continue;
+            }
+            let (shard, (mark_deltas, mark_bounds, mark_time)) = (meta.shard, meta.tune_mark);
+            let dt = now.since(mark_time).as_secs_f64();
+            if dt <= 0.0 {
+                continue;
+            }
+            let deltas = self.shards[shard].lock().queries[&qid].sink.deltas_applied;
+            let out_rate = deltas.saturating_sub(mark_deltas) as f64 / dt;
+            // Boundary rate over the same window — a lifetime average
+            // would be poisoned by idle prefixes or large absolute
+            // timestamp origins.
+            let boundary_hz = self.boundaries.saturating_sub(mark_bounds) as f64 / dt;
+            let (mb, md) = chooser(out_rate, boundary_hz);
+            self.tune_query(QueryHandle(qid), mb, md)
+                .expect("query exists");
+            self.queries.get_mut(&qid).expect("meta checked").tune_mark =
+                (deltas, self.boundaries, now);
+            tuned += 1;
+        }
+        tuned
     }
 
     /// Add one live query's shard to the coordinator fan-out sets
@@ -823,6 +1051,7 @@ impl ShardedEngine {
         let meta = self.catalog.source(source_name)?;
         let src = meta.id;
         self.observe_timestamps(tuples.iter().map(Tuple::timestamp));
+        *self.source_tuples.entry(src).or_insert(0) += tuples.len() as u64;
         // Retain table contents for replay.
         if matches!(meta.kind, SourceKind::Table) {
             self.table_store.entry(src).or_default().insert_all(tuples);
@@ -841,7 +1070,7 @@ impl ShardedEngine {
             let deltas = DeltaBatch::inserts(tuples.iter().cloned());
             self.apply_base_deltas(src, &deltas)?;
         }
-        self.flush_push()
+        self.finish_boundary()
     }
 
     /// Ingest signed changes for a source (e.g. a table update/delete).
@@ -851,6 +1080,7 @@ impl ShardedEngine {
         let meta = self.catalog.source(source_name)?;
         let src = meta.id;
         self.observe_timestamps(deltas.iter().map(|d| d.tuple.timestamp()));
+        *self.source_tuples.entry(src).or_insert(0) += deltas.len() as u64;
         if matches!(meta.kind, SourceKind::Table) {
             self.table_store.entry(src).or_default().apply(deltas);
         }
@@ -865,7 +1095,7 @@ impl ShardedEngine {
         if self.view_subs.contains_key(&src) {
             self.apply_base_deltas(src, deltas)?;
         }
-        self.flush_push()
+        self.finish_boundary()
     }
 
     fn apply_base_deltas(&mut self, src: SourceId, deltas: &DeltaBatch) -> Result<()> {
@@ -926,7 +1156,7 @@ impl ShardedEngine {
         for (out_src, out) in forwarded {
             self.forward_view_deltas(out_src, &out)?;
         }
-        self.flush_push()
+        self.finish_boundary()
     }
 
     /// Deliver pending push batches on every shard with a live
@@ -1063,7 +1293,8 @@ where
     let mut guard = shard.lock();
     let start = Instant::now();
     let result = f(&mut guard);
-    guard.busy += start.elapsed();
+    guard.meters.busy += start.elapsed();
+    guard.meters.batches += 1;
     result
 }
 
@@ -1117,10 +1348,13 @@ mod tests {
                 .expect_query();
             handles.push(h);
         }
-        assert_eq!(e.shard_query_counts().iter().sum::<usize>(), 12);
+        let report = e.telemetry();
+        assert_eq!(report.shards.iter().map(|s| s.queries).sum::<usize>(), 12);
+        assert_eq!(report.queries.len(), 12);
         // Every handle resolves, and its placement matches the hash.
         for h in handles {
             assert_eq!(e.queries[&h.0].shard, e.shard_of(h.0));
+            assert_eq!(report.query(h.0).unwrap().shard, e.shard_of(h.0));
             e.snapshot(h).unwrap();
         }
     }
@@ -1145,13 +1379,19 @@ mod tests {
         e.on_batch("Readings", &[reading(1, 50.0, 1)]).unwrap();
         assert_eq!(e.snapshot(q).unwrap().len(), 1);
         // Only the owning shard accumulated busy time from the ingest.
-        let busy = e.shard_busy_seconds();
+        let report = e.telemetry();
         let owner = e.queries[&q.0].shard;
-        for (i, b) in busy.iter().enumerate() {
-            if i != owner {
-                assert_eq!(*b, 0.0, "shard {i} should never have been touched");
+        for s in &report.shards {
+            if s.shard != owner {
+                assert_eq!(
+                    s.busy_seconds, 0.0,
+                    "shard {} should never have been touched",
+                    s.shard
+                );
+                assert_eq!(s.tuples_in, 0);
             }
         }
+        assert_eq!(report.shards[owner].tuples_in, 1);
     }
 
     #[test]
@@ -1223,7 +1463,14 @@ mod tests {
         e.deregister(drop).unwrap();
         assert_eq!(e.subscriber_count(src), 1);
         assert_eq!(e.query_count(), 1);
-        assert_eq!(e.shard_query_counts().iter().sum::<usize>(), 1);
+        assert_eq!(
+            e.telemetry()
+                .shards
+                .iter()
+                .map(|s| s.queries)
+                .sum::<usize>(),
+            1
+        );
         assert!(e.snapshot(drop).is_err(), "handle is dead");
         assert!(e.deregister(drop).is_err(), "double deregister errors");
         // The survivor still works, and re-registration gets a fresh id.
@@ -1268,5 +1515,160 @@ mod tests {
     fn unknown_query_handle_errors() {
         let e = ShardedEngine::new(catalog(), 1);
         assert!(e.snapshot(QueryHandle(QueryId(42))).is_err());
+    }
+
+    #[test]
+    fn migration_moves_runtime_and_preserves_results() {
+        let mut e = ShardedEngine::new(catalog(), 4);
+        let q = e
+            .register_sql("select r.sensor, avg(r.value) from Readings r group by r.sensor")
+            .unwrap()
+            .expect_query();
+        let sub = e.subscribe(q).unwrap();
+        e.on_batch("Readings", &[reading(1, 40.0, 1), reading(2, 60.0, 1)])
+            .unwrap();
+        let before = e.snapshot(q).unwrap();
+        let ops_before = e.total_ops_invoked();
+
+        let from = e.queries[&q.0].shard;
+        let to = (from + 1) % 4;
+        e.migrate(q, to).unwrap();
+        assert_eq!(e.migration_count(), 1);
+        assert_eq!(e.queries[&q.0].shard, to);
+        assert_eq!(e.telemetry().query(q.0).unwrap().shard, to);
+        // No replay happened: snapshot and ops total are untouched, and
+        // the window state survived (the next reading still averages
+        // with the pre-migration one).
+        assert_eq!(e.snapshot(q).unwrap(), before);
+        assert_eq!(e.total_ops_invoked(), ops_before);
+        e.on_batch("Readings", &[reading(1, 60.0, 2)]).unwrap();
+        let snap = e.snapshot(q).unwrap();
+        let avg1 = snap
+            .iter()
+            .find(|t| t.values()[0] == Value::Int(1))
+            .unwrap();
+        assert_eq!(avg1.values()[1], Value::Float(50.0), "window state moved");
+        // The push subscription moved with the sink: accumulating every
+        // delta delivered across the migration reconstructs the snapshot.
+        let mut accum: std::collections::HashMap<Tuple, i64> = std::collections::HashMap::new();
+        for b in sub.drain() {
+            for d in &b {
+                let c = accum.entry(d.tuple.clone()).or_insert(0);
+                *c += d.sign;
+                if *c == 0 {
+                    accum.remove(&d.tuple);
+                }
+            }
+        }
+        let mut polled: std::collections::HashMap<Tuple, i64> = std::collections::HashMap::new();
+        for t in snap {
+            *polled.entry(t).or_insert(0) += 1;
+        }
+        assert_eq!(accum, polled, "push accumulation diverged across migration");
+        // Migrating to the same shard or out of range behaves sanely.
+        e.migrate(q, to).unwrap();
+        assert_eq!(e.migration_count(), 1, "same-shard move is a no-op");
+        assert!(e.migrate(q, 9).is_err());
+    }
+
+    #[test]
+    fn paused_query_migrates_without_entering_routing() {
+        let mut e = ShardedEngine::new(catalog(), 2);
+        let src = e.catalog().source("Readings").unwrap().id;
+        let q = e
+            .register_sql("select r.value from Readings r")
+            .unwrap()
+            .expect_query();
+        e.on_batch("Readings", &[reading(1, 10.0, 1)]).unwrap();
+        e.pause(q).unwrap();
+        let frozen = e.snapshot(q).unwrap();
+        let to = (e.queries[&q.0].shard + 1) % 2;
+        e.migrate(q, to).unwrap();
+        assert_eq!(e.subscriber_count(src), 0, "paused stays out of routing");
+        assert_eq!(e.snapshot(q).unwrap(), frozen, "frozen sink moved intact");
+        e.resume(q).unwrap();
+        assert_eq!(e.subscriber_count(src), 1);
+        e.on_batch("Readings", &[reading(1, 20.0, 2)]).unwrap();
+        assert_eq!(e.snapshot(q).unwrap().len(), 1, "resumed on the new shard");
+    }
+
+    #[test]
+    fn auto_rebalance_drains_a_hot_shard() {
+        use crate::rebalance::RebalanceConfig;
+        // Engine with an eager controller: observe every boundary, act
+        // on the first skewed window.
+        let mut e = ShardedEngine::with_config(
+            catalog(),
+            EngineConfig::new().shards(2).rebalance(RebalanceConfig {
+                threshold: 1.05,
+                patience: 1,
+                max_moves: 4,
+                interval_boundaries: 1,
+            }),
+        );
+        // Force skew: pile every query onto shard 0.
+        let mut handles = Vec::new();
+        for i in 0..6 {
+            let h = e
+                .register_sql(&format!(
+                    "select r.sensor, avg(r.value) from Readings r where r.sensor < {} \
+                     group by r.sensor",
+                    8 - i
+                ))
+                .unwrap()
+                .expect_query();
+            e.migrate(h, 0).unwrap();
+            handles.push(h);
+        }
+        let forced = e.migration_count();
+        for i in 0..40u64 {
+            e.on_batch("Readings", &[reading((i % 8) as i64, i as f64, i)])
+                .unwrap();
+        }
+        assert!(
+            e.migration_count() > forced,
+            "controller never moved a query off the hot shard"
+        );
+        let report = e.telemetry();
+        assert!(
+            report.shards.iter().all(|s| s.queries > 0),
+            "both shards should hold queries after rebalancing: {report:?}"
+        );
+    }
+
+    #[test]
+    fn tune_query_updates_live_push_knobs() {
+        let mut e = ShardedEngine::new(catalog(), 1);
+        let q = e
+            .register(
+                QuerySpec::sql("select r.value from Readings r")
+                    .push()
+                    .auto_knobs(),
+            )
+            .unwrap()
+            .expect_query();
+        let sub = e.subscribe(q).unwrap();
+        // Hold deliveries for 1000 s of simulated time.
+        e.tune_query(q, None, Some(SimDuration::from_secs(1000)))
+            .unwrap();
+        e.on_batch("Readings", &[reading(1, 10.0, 1)]).unwrap();
+        assert_eq!(sub.pending_batches(), 0, "held by the retuned max_delay");
+        // Retune back to eager: the held deltas release at the next
+        // boundary.
+        e.tune_query(q, None, None).unwrap();
+        e.on_batch("Readings", &[reading(2, 20.0, 2)]).unwrap();
+        assert!(sub.pending_batches() > 0);
+        // Auto-tune calls the chooser with measured rates and applies.
+        let mut seen = Vec::new();
+        let tuned = e.auto_tune(|out_rate, boundary_hz| {
+            seen.push((out_rate, boundary_hz));
+            (Some(7), None)
+        });
+        assert_eq!(tuned, 1);
+        assert!(seen[0].0 > 0.0, "measured a nonzero output rate");
+        assert!(seen[0].1 > 0.0, "measured a nonzero boundary rate");
+        assert_eq!(e.queries[&q.0].max_batch, Some(7));
+        // Second pass with no elapsed sim time is skipped.
+        assert_eq!(e.auto_tune(|_, _| (None, None)), 0);
     }
 }

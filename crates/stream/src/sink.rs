@@ -151,6 +151,27 @@ impl Sink {
         self.push.as_ref().map(|p| SharedQueue::clone(&p.queue))
     }
 
+    /// Batches delivered through the attached push subscription so far
+    /// (telemetry; 0 for poll-only sinks).
+    pub fn push_batches_delivered(&self) -> u64 {
+        self.push.as_ref().map_or(0, |p| p.queue.lock().delivered)
+    }
+
+    /// Retune the micro-batch knobs on the live push state (the
+    /// optimizer-driven `auto` path). No-op without a subscription — the
+    /// engine-side query meta is the durable home of the knobs and is
+    /// re-applied at subscribe/resume time.
+    pub(crate) fn set_push_knobs(
+        &mut self,
+        max_batch: Option<usize>,
+        max_delay: Option<SimDuration>,
+    ) {
+        if let Some(p) = &mut self.push {
+            p.max_batch = max_batch;
+            p.max_delay = max_delay;
+        }
+    }
+
     /// Deliver pending output deltas through the subscription, honoring
     /// the micro-batch knobs. Called by the engine at every batch
     /// boundary; `force` bypasses the `max_delay` hold (registration

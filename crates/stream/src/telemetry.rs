@@ -1,0 +1,282 @@
+//! Runtime telemetry: the one metering surface of the sharded engine.
+//!
+//! SmartCIS's federated optimizer can only trade work between engines if
+//! the stream engine's *live* load profile is visible — the catalog's
+//! static `NetworkStats` say nothing about which standing queries are
+//! actually hot. This module defines the counters the engine maintains
+//! and the snapshot types everything above it consumes:
+//!
+//! * **Counters** are updated lock-locally by the owning shard at batch
+//!   boundaries — a query's meters live in its [`crate::pipeline::Pipeline`]
+//!   (`tuples_in`, `ops_invoked`) and [`crate::sink::Sink`]
+//!   (`deltas_applied`, push-batch count), a shard's in its
+//!   [`ShardMeters`] — so metering adds plain integer adds on paths the
+//!   shard already owns exclusively, never extra synchronization. The
+//!   E14 bench bounds the observation overhead at < 2% of E11.
+//! * **Snapshots** ([`TelemetryReport`], built by
+//!   `ShardedEngine::telemetry`) are taken by the coordinator walking
+//!   the shards once. Consumers diff successive reports to get windowed
+//!   rates: the [`crate::rebalance::RebalanceController`] watches
+//!   per-shard skew, `auto_tune` turns per-query output rates into
+//!   micro-batch knobs, and the app publishes observed source rates back
+//!   into the catalog for the optimizer.
+//!
+//! Cumulative counters travel with their query: a migrated query keeps
+//! its `ops_invoked` history because the counter lives in the pipeline
+//! that moves, which is what keeps the ops-total invariant trivially
+//! true under rebalancing.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use aspen_types::QueryId;
+
+/// Lock-local counters one worker shard maintains about its own slice of
+/// the work. Updated only while the shard mutex is held.
+#[derive(Debug, Default, Clone)]
+pub struct ShardMeters {
+    /// Tuples / signed deltas that arrived at this shard's routing slice.
+    pub tuples_in: u64,
+    /// Boundary slices processed (ingest fan-outs, heartbeats, push
+    /// flushes that touched this shard).
+    pub batches: u64,
+    /// Wall time spent inside this shard's slice of the work. `max` over
+    /// shards is the critical path an N-core deployment pays.
+    pub busy: Duration,
+}
+
+/// Snapshot of one registered query's cumulative load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryLoad {
+    pub query: QueryId,
+    /// Shard currently owning the query's runtime.
+    pub shard: usize,
+    pub paused: bool,
+    /// Tuples / deltas that entered the query's window stages.
+    pub tuples_in: u64,
+    /// Operator invocations (one unit per delta per operator) — the
+    /// CPU-cost proxy the optimizer is calibrated against.
+    pub ops_invoked: u64,
+    /// Output deltas applied to the result sink.
+    pub output_deltas: u64,
+    /// Batches delivered through the push subscription (0 when polling).
+    pub push_batches: u64,
+}
+
+/// Snapshot of one shard's cumulative load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardLoad {
+    pub shard: usize,
+    /// Queries placed on this shard (live + paused).
+    pub queries: usize,
+    /// Tuples / deltas routed to this shard.
+    pub tuples_in: u64,
+    /// Sum of the owned pipelines' operator invocations.
+    pub ops_invoked: u64,
+    /// Boundary slices this shard processed.
+    pub batches: u64,
+    /// Wall seconds spent inside this shard's slice of the work.
+    pub busy_seconds: f64,
+}
+
+/// One coherent observation of the whole engine, taken at a batch
+/// boundary. Counters are cumulative; consumers diff successive reports
+/// for windowed rates.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// Per-shard loads, indexed by shard.
+    pub shards: Vec<ShardLoad>,
+    /// Per-query loads in registration order (live and paused).
+    pub queries: Vec<QueryLoad>,
+    /// Engine-level batch boundaries observed so far (ingest calls +
+    /// heartbeats).
+    pub boundaries: u64,
+    /// Engine clock at observation time, seconds.
+    pub now_secs: f64,
+}
+
+impl TelemetryReport {
+    /// The load snapshot of one query, if registered.
+    pub fn query(&self, q: QueryId) -> Option<&QueryLoad> {
+        self.queries.iter().find(|l| l.query == q)
+    }
+
+    /// Diff this report against an earlier one into a [`LoadWindow`]:
+    /// per-query ops since `prev`, grouped per shard by *current*
+    /// residence. This is the one place windowing semantics live —
+    /// the rebalance controller and the E14 bench both judge skew
+    /// through it. Cumulative counters travel with migrating queries,
+    /// so raw shard-level diffs would credit a mid-window arrival's
+    /// whole history to its destination; the per-query diff does not.
+    /// Saturating: a pause/resume cycle rebuilds the pipeline and
+    /// restarts its counter below the mark — that window reads as
+    /// zero, not wrap-around garbage.
+    pub fn window_since(&self, prev: &TelemetryReport) -> LoadWindow {
+        self.window_since_marks(&prev.ops_marks())
+    }
+
+    /// The per-query cumulative-ops marks of this report — all that a
+    /// later [`TelemetryReport::window_since_marks`] needs, for
+    /// consumers that observe repeatedly and should not retain whole
+    /// reports.
+    pub fn ops_marks(&self) -> HashMap<QueryId, u64> {
+        self.queries
+            .iter()
+            .map(|q| (q.query, q.ops_invoked))
+            .collect()
+    }
+
+    /// [`TelemetryReport::window_since`] against retained marks instead
+    /// of a retained report.
+    pub fn window_since_marks(&self, marks: &HashMap<QueryId, u64>) -> LoadWindow {
+        let mut shard_loads = vec![0u64; self.shards.len()];
+        let queries = self
+            .queries
+            .iter()
+            .map(|q| {
+                let ops = q
+                    .ops_invoked
+                    .saturating_sub(marks.get(&q.query).copied().unwrap_or(0));
+                shard_loads[q.shard] += ops;
+                WindowedQueryLoad {
+                    query: q.query,
+                    shard: q.shard,
+                    paused: q.paused,
+                    ops,
+                }
+            })
+            .collect();
+        LoadWindow {
+            shard_loads,
+            queries,
+        }
+    }
+}
+
+/// One query's share of a [`LoadWindow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowedQueryLoad {
+    pub query: QueryId,
+    /// Current shard residence.
+    pub shard: usize,
+    pub paused: bool,
+    /// Operator invocations inside the window.
+    pub ops: u64,
+}
+
+/// Windowed load profile: one report diffed against an earlier one (see
+/// [`TelemetryReport::window_since`]).
+#[derive(Debug, Clone, Default)]
+pub struct LoadWindow {
+    /// Windowed ops per shard (queries grouped by current residence).
+    pub shard_loads: Vec<u64>,
+    /// Windowed ops per query.
+    pub queries: Vec<WindowedQueryLoad>,
+}
+
+impl LoadWindow {
+    /// Total operator invocations inside the window.
+    pub fn total_ops(&self) -> u64 {
+        self.shard_loads.iter().sum()
+    }
+
+    /// Busiest shard's windowed ops over the ideal even share (1.0 =
+    /// perfectly balanced). Deterministic — judged on ops, not wall
+    /// time — so neither tests nor the rebalancer can flake on
+    /// scheduler noise. 1.0 when nothing ran in the window.
+    pub fn balance_ratio(&self) -> f64 {
+        let total = self.total_ops();
+        if total == 0 || self.shard_loads.is_empty() {
+            return 1.0;
+        }
+        let max = self.shard_loads.iter().copied().max().unwrap_or(0);
+        max as f64 / (total as f64 / self.shard_loads.len() as f64)
+    }
+}
+
+/// Test-only report constructor from `(query id, shard, cumulative
+/// ops)` rows — shared by this module's and the rebalance module's
+/// tests so the fixture shape cannot drift between them.
+#[cfg(test)]
+pub(crate) fn report_from_rows(rows: &[(u32, usize, u64)]) -> TelemetryReport {
+    let n = rows.iter().map(|&(_, s, _)| s + 1).max().unwrap_or(1);
+    let mut shards: Vec<ShardLoad> = (0..n)
+        .map(|i| ShardLoad {
+            shard: i,
+            queries: 0,
+            tuples_in: 0,
+            ops_invoked: 0,
+            batches: 0,
+            busy_seconds: 0.0,
+        })
+        .collect();
+    let queries = rows
+        .iter()
+        .map(|&(id, shard, ops)| {
+            shards[shard].queries += 1;
+            shards[shard].ops_invoked += ops;
+            QueryLoad {
+                query: QueryId(id),
+                shard,
+                paused: false,
+                tuples_in: ops,
+                ops_invoked: ops,
+                output_deltas: 0,
+                push_batches: 0,
+            }
+        })
+        .collect();
+    TelemetryReport {
+        shards,
+        queries,
+        boundaries: 0,
+        now_secs: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use report_from_rows as report;
+
+    #[test]
+    fn window_diffs_per_query() {
+        let prev = report(&[(0, 0, 100), (1, 1, 50)]);
+        let cur = report(&[(0, 0, 400), (1, 1, 150)]);
+        let w = cur.window_since(&prev);
+        assert_eq!(w.shard_loads, vec![300, 100]);
+        assert_eq!(w.total_ops(), 400);
+        // 300 / (400 / 2) = 1.5
+        assert!((w.balance_ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_follows_migrated_queries_not_shards() {
+        // q0 did 100 ops on shard 0, migrated, then did 50 on shard 1:
+        // the window credits only the 50 to shard 1, never the history.
+        let prev = report(&[(0, 0, 100), (1, 1, 10)]);
+        let cur = report(&[(0, 1, 150), (1, 1, 10)]);
+        let w = cur.window_since(&prev);
+        assert_eq!(w.shard_loads, vec![0, 50]);
+    }
+
+    #[test]
+    fn window_saturates_on_counter_reset() {
+        // Pause/resume rebuilds the pipeline below the mark.
+        let prev = report(&[(0, 0, 5000)]);
+        let cur = report(&[(0, 0, 40)]);
+        let w = cur.window_since(&prev);
+        assert_eq!(w.shard_loads, vec![0]);
+        assert_eq!(w.queries[0].ops, 0);
+    }
+
+    #[test]
+    fn idle_window_is_balanced() {
+        let r = report(&[(0, 0, 100), (1, 1, 100)]);
+        let w = r.window_since(&r.clone());
+        assert_eq!(w.total_ops(), 0);
+        assert!((w.balance_ratio() - 1.0).abs() < 1e-12);
+        assert!((LoadWindow::default().balance_ratio() - 1.0).abs() < 1e-12);
+    }
+}

@@ -27,15 +27,15 @@ fn main() -> smartcis::types::Result<()> {
     let load_alarm = app
         .register_in(dashboard, QuerySpec::sql(queries::LOAD_ALARM))?
         .expect_query();
-    // Alarms arrive by push: the engine delivers output deltas at batch
-    // boundaries, coalesced for up to 30 s of simulated time so one
-    // delivered batch covers several epochs of churn.
+    // Alarms arrive by push. The micro-batch knobs are *optimizer-owned*
+    // (`auto_knobs`): every simulated minute the app measures this
+    // query's output rate and the engine's boundary rate, and the cost
+    // model picks `max_batch` / `max_delay` under a one-epoch latency
+    // budget — the client never tunes anything.
     let temp_alarm = app
         .register_in(
             dashboard,
-            QuerySpec::sql(queries::TEMP_ALARM)
-                .push()
-                .max_delay(smartcis::types::SimDuration::from_secs(30)),
+            QuerySpec::sql(queries::TEMP_ALARM).push().auto_knobs(),
         )?
         .expect_query();
     let alarms = app.subscribe(temp_alarm)?;
@@ -76,6 +76,20 @@ fn main() -> smartcis::types::Result<()> {
         lobby.len(),
         if lobby.len() == 1 { "y" } else { "ies" }
     );
+
+    // The engine meters itself continuously; this is the load profile
+    // the adaptive rebalancer and the knob auto-tuner consume.
+    let report = app.engine.telemetry();
+    for s in &report.shards {
+        println!(
+            "shard {}: {} queries, {} tuples in, {} ops, {:.2} ms busy",
+            s.shard,
+            s.queries,
+            s.tuples_in,
+            s.ops_invoked,
+            s.busy_seconds * 1e3
+        );
+    }
 
     // The dashboard disconnects: its whole query set is retired in one
     // call and the sensor feeds stop paying for its fan-out.
