@@ -1456,6 +1456,291 @@ pub fn e14_json() -> String {
 }
 
 // ---------------------------------------------------------------------------
+// E15 — worker-pool executor: ingest admission & sibling freshness under
+// a pathological slow query
+// ---------------------------------------------------------------------------
+
+/// One measurement of the E14 skewed fan-out under one execution mode,
+/// with or without the pathological slow query present. Three modes:
+///
+/// * `"sequential"` — inline gated fan-out (the accounting baseline:
+///   no threads, admission pays every shard's processing).
+/// * `"scoped"` — the pre-pool *scoped-thread* semantics, reproduced
+///   exactly: worker threads process the shards but admission barriers
+///   on all of them before returning (a full quiesce inside the
+///   admission window — what the old per-call `thread::scope` join
+///   did, minus the per-call spawn cost it also paid).
+/// * `"pool"` — the persistent pool with boundary-yield scheduling:
+///   admission returns at enqueue, bounded queues absorb skew.
+///
+/// * `admission_stall_ms` — total wall time ingest is blocked before
+///   the next batch can be admitted. The gated modes pay every shard's
+///   processing here; the pool pays only enqueueing plus any
+///   backpressure wait on a full bounded queue.
+/// * `sibling_freshness_ms` — total latency from handing a `Readings`
+///   batch to the engine until a cheap *sibling* query (on a different
+///   shard than the slow query) polls a snapshot reflecting it. Gated
+///   modes pay all shards (including the slow one) before the poll can
+///   even start; the pool pays only the sibling's own shard.
+#[derive(Debug, Clone)]
+pub struct E15Run {
+    pub mode: &'static str,
+    pub slow_query: bool,
+    pub wall_ms: f64,
+    pub tuples_per_sec: f64,
+    pub admission_stall_ms: f64,
+    pub sibling_freshness_ms: f64,
+    /// Deepest any shard's pending-task queue got (0 in the gated
+    /// modes; bounded by the configured queue depth in pool mode).
+    pub max_pending: usize,
+    pub workers: usize,
+}
+
+const E15_QUEUE_DEPTH: usize = 16;
+
+/// The E15 fixture: the E14 skewed 50-query fan-out over `Readings`,
+/// plus a second `SlowFeed` stream that only the pathological query
+/// scans (its per-batch drag models one expensive standing query — a
+/// slow consumer the device streams must not pause for).
+fn e15_engine(
+    threaded: bool,
+    slow: bool,
+) -> (aspen_stream::StreamEngine, Vec<aspen_stream::QueryHandle>) {
+    use aspen_catalog::{SourceKind, SourceStats};
+    use aspen_stream::{EngineConfig, Scheduling};
+    use aspen_types::{DataType, Field, Schema};
+    let cat = fanout_catalog();
+    let slow_schema = Schema::new(vec![
+        Field::new("sensor", DataType::Int),
+        Field::new("value", DataType::Float),
+    ])
+    .into_ref();
+    cat.register_source(
+        "SlowFeed",
+        slow_schema,
+        SourceKind::Stream,
+        SourceStats::stream(1.0),
+    )
+    .unwrap();
+    let config = if threaded {
+        EngineConfig::new()
+            .shards(4)
+            .scheduling(Scheduling::Pool)
+            .workers(3)
+            .queue_depth(E15_QUEUE_DEPTH)
+    } else {
+        EngineConfig::new().shards(4).parallel_ingest(false)
+    };
+    let mut engine = aspen_stream::StreamEngine::with_config(cat, config);
+    let mut handles: Vec<_> = e14_sqls(50)
+        .iter()
+        .map(|sql| engine.register_sql(sql).unwrap().expect_query())
+        .collect();
+    if slow {
+        let h = engine
+            .register_sql("select s.sensor, s.value from SlowFeed s")
+            .unwrap()
+            .expect_query();
+        // Pin the slow query to shard 0 so the sibling probe can be
+        // chosen off-shard, and give it a 3 ms/batch drag.
+        engine.migrate(h, 0).unwrap();
+        engine
+            .set_query_drag(h, Some(std::time::Duration::from_millis(3)))
+            .unwrap();
+        handles.push(h);
+    }
+    (engine, handles)
+}
+
+/// Drive the E15 workload through one engine. Every `Readings` batch is
+/// followed by a sibling snapshot poll; every third one also ingests a
+/// `SlowFeed` batch that the dragged query must chew through. Returns
+/// the run plus every query's final snapshot for the gated-vs-pool
+/// divergence check.
+fn e15_drive(mode: &'static str, slow: bool) -> (E15Run, Vec<Vec<Tuple>>) {
+    let tuples = 20_000usize;
+    let batch = 256usize;
+    let (mut engine, handles) = e15_engine(mode != "sequential", slow);
+    // The scoped-thread semantics: a full barrier inside the admission
+    // window after every boundary, exactly what the old per-call
+    // `thread::scope` join imposed.
+    let barrier = mode == "scoped";
+    // Sibling probe: the first cheap filter living on a different shard
+    // than the slow query (shard 0).
+    let report = engine.telemetry();
+    let probe = handles
+        .iter()
+        .enumerate()
+        .find(|&(i, h)| i % 3 != 0 && i < 50 && report.query(h.0).unwrap().shard != 0)
+        .map(|(_, &h)| h)
+        .expect("a filter query off shard 0");
+    let rows: Vec<Tuple> = (0..tuples).map(e11_tuple).collect();
+    let slow_rows: Vec<Tuple> = (0..24 * 16).map(e11_tuple).collect();
+    let mut slow_chunks = slow_rows.chunks(16);
+    let mut admission_ms = 0.0;
+    let mut freshness_ms = 0.0;
+    let mut max_pending = 0usize;
+    let start = Instant::now();
+    for (k, chunk) in rows.chunks(batch).enumerate() {
+        let t0 = Instant::now();
+        engine.on_batch("Readings", chunk).unwrap();
+        if barrier {
+            engine.quiesce().unwrap();
+        }
+        admission_ms += t0.elapsed().as_secs_f64() * 1e3;
+        engine.snapshot(probe).unwrap();
+        freshness_ms += t0.elapsed().as_secs_f64() * 1e3;
+        if slow && k % 3 == 0 {
+            if let Some(sc) = slow_chunks.next() {
+                let t1 = Instant::now();
+                engine.on_batch("SlowFeed", sc).unwrap();
+                if barrier {
+                    engine.quiesce().unwrap();
+                }
+                admission_ms += t1.elapsed().as_secs_f64() * 1e3;
+            }
+        }
+        max_pending = max_pending.max(
+            engine
+                .executor_stats()
+                .pending
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0),
+        );
+    }
+    engine.quiesce().unwrap();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let snapshots: Vec<Vec<Tuple>> = handles
+        .iter()
+        .map(|&h| engine.snapshot(h).unwrap())
+        .collect();
+    (
+        E15Run {
+            mode,
+            slow_query: slow,
+            wall_ms,
+            tuples_per_sec: tuples as f64 / (wall_ms / 1e3).max(1e-9),
+            admission_stall_ms: admission_ms,
+            sibling_freshness_ms: freshness_ms,
+            max_pending,
+            workers: engine.executor_stats().workers,
+        },
+        snapshots,
+    )
+}
+
+/// One sequential/scoped/pool triple at one slow-query setting, plus
+/// how many queries' final snapshots diverged from the sequential
+/// reference across the threaded modes (must be 0 — the pool reorders
+/// work across shards, never within one).
+pub fn e15_triple(slow: bool) -> (Vec<E15Run>, usize) {
+    let mut runs = Vec::new();
+    let mut snaps: Vec<Vec<Vec<Tuple>>> = Vec::new();
+    for mode in ["sequential", "scoped", "pool"] {
+        let (run, snap) = e15_drive(mode, slow);
+        runs.push(run);
+        snaps.push(snap);
+    }
+    let vals =
+        |rows: &[Tuple]| -> Vec<Vec<Value>> { rows.iter().map(|t| t.values().to_vec()).collect() };
+    let diverged = snaps[0]
+        .iter()
+        .zip(snaps[1].iter().zip(&snaps[2]))
+        .filter(|(a, (b, c))| vals(a) != vals(b) || vals(a) != vals(c))
+        .count();
+    (runs, diverged)
+}
+
+/// The E15 sweep: balanced (no slow query) and slow-query workloads,
+/// sequential vs scoped-threads vs pool.
+pub fn e15_triples() -> Vec<(Vec<E15Run>, usize)> {
+    vec![e15_triple(false), e15_triple(true)]
+}
+
+/// E15 table: the worker-pool executor against the scoped-thread
+/// semantics it replaced and the inline sequential baseline.
+pub fn e15() -> String {
+    let triples = e15_triples();
+    let mut out = String::from(
+        "E15 — worker-pool executor: ingest admission & sibling freshness\n\
+         (E14 skewed 50-query fan-out at 4 shards; slow = one SlowFeed query\n\
+         dragging 3 ms/batch; scoped = worker threads with the old per-call\n\
+         admission barrier; pool = 3 workers, queue depth 16, admission\n\
+         returns at enqueue; admission stall = wall time ingest is blocked;\n\
+         freshness = batch handed to engine -> off-shard sibling snapshot\n\
+         reflects it)\n",
+    );
+    let mut t = TableBuilder::new(&[
+        "workload",
+        "mode",
+        "wall ms",
+        "tup/s",
+        "admission stall ms",
+        "sibling freshness ms",
+        "max queue",
+        "diverged",
+    ]);
+    for (runs, diverged) in &triples {
+        for r in runs {
+            t.row(&[
+                if r.slow_query {
+                    "slow query"
+                } else {
+                    "balanced"
+                }
+                .into(),
+                r.mode.to_string(),
+                f(r.wall_ms, 1),
+                f(r.tuples_per_sec, 0),
+                f(r.admission_stall_ms, 1),
+                f(r.sibling_freshness_ms, 1),
+                r.max_pending.to_string(),
+                diverged.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// E15 results as JSON (written to `BENCH_E15.json` by CI so the perf
+/// trajectory tracks executor admission stall and isolation).
+pub fn e15_json() -> String {
+    let triples = e15_triples();
+    let mut out = String::from(
+        "{\n  \"experiment\": \"e15\",\n  \"workload\": \"E14 skewed 50-query fan-out at 4 shards, 20000 tuples, batch 256; slow = SlowFeed scan dragging 3ms/batch, 24 batches; scoped = worker threads + per-call admission barrier; pool = 3 workers, queue depth 16\",\n  \"runs\": [\n",
+    );
+    for (i, (runs, diverged)) in triples.iter().enumerate() {
+        for (j, r) in runs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"wall_ms\": {:.2}, \
+                 \"tuples_per_sec\": {:.0}, \"admission_stall_ms\": {:.2}, \
+                 \"sibling_freshness_ms\": {:.2}, \"max_pending\": {}, \"workers\": {}, \
+                 \"diverged\": {}}}{}\n",
+                if r.slow_query { "slow" } else { "balanced" },
+                r.mode,
+                r.wall_ms,
+                r.tuples_per_sec,
+                r.admission_stall_ms,
+                r.sibling_freshness_ms,
+                r.max_pending,
+                r.workers,
+                diverged,
+                if i + 1 == triples.len() && j + 1 == runs.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
 
 /// Run every experiment, concatenated (the full harness output).
 pub fn run_all() -> String {
@@ -1474,6 +1759,7 @@ pub fn run_all() -> String {
         e12(),
         e13(),
         e14(),
+        e15(),
     ];
     let mut out = String::new();
     for s in sections {
@@ -1503,6 +1789,8 @@ pub fn by_name(name: &str) -> Option<String> {
         "e13json" => e13_json(),
         "e14" => e14(),
         "e14json" => e14_json(),
+        "e15" => e15(),
+        "e15json" => e15_json(),
         "all" => run_all(),
         _ => return None,
     })
@@ -1655,6 +1943,42 @@ mod tests {
         // of ingest.
         let (_, _, pct) = e14_overhead_run();
         assert!(pct < 2.0, "telemetry observation overhead {pct:.2}%");
+    }
+
+    #[test]
+    fn e15_pool_unblocks_ingest_without_divergence() {
+        // Deterministic slice of E15 (wall-clock throughput is the
+        // bench's job): with the pathological slow query present, the
+        // pool's ingest-admission stall must be materially lower than
+        // both gated modes' — structural, not a scheduling accident:
+        // gated admission pays every shard's processing plus the whole
+        // 3 ms/batch drag inside the admission window, the pool pays
+        // enqueueing plus bounded backpressure — no query's final
+        // snapshot may change, and the bounded queues must never exceed
+        // their configured depth.
+        let (runs, diverged) = e15_triple(true);
+        let (sequential, scoped, pool) = (&runs[0], &runs[1], &runs[2]);
+        assert_eq!(diverged, 0, "executor mode changed query results");
+        for gated in [sequential, scoped] {
+            assert!(
+                pool.admission_stall_ms < gated.admission_stall_ms / 2.0,
+                "pool admission stall {:.1} ms !< half of {} {:.1} ms",
+                pool.admission_stall_ms,
+                gated.mode,
+                gated.admission_stall_ms
+            );
+        }
+        assert!(
+            pool.max_pending <= E15_QUEUE_DEPTH,
+            "queue depth bound violated: {} > {}",
+            pool.max_pending,
+            E15_QUEUE_DEPTH
+        );
+        assert!(
+            pool.max_pending > 0,
+            "the slow shard never lagged admission — the pool ran gated"
+        );
+        assert_eq!(scoped.max_pending, 0, "the admission barrier leaked work");
     }
 
     #[test]

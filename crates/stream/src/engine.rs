@@ -30,6 +30,7 @@ use aspen_sql::plan::LogicalPlan;
 use aspen_types::{Result, SimDuration, SimTime, SourceId, Tuple};
 
 use crate::delta::DeltaBatch;
+use crate::executor::ExecutorStats;
 use crate::session::{EngineConfig, QuerySpec, Registration, ResultSubscription, SessionId};
 use crate::shard::ShardedEngine;
 use crate::telemetry::TelemetryReport;
@@ -157,10 +158,33 @@ impl StreamEngine {
         self.inner.subscribe(q)
     }
 
-    /// One coherent load snapshot of the engine (per-shard and per-query
-    /// meters); see [`ShardedEngine::telemetry`].
+    /// One coherent load snapshot of the engine (per-shard, per-query,
+    /// and per-worker meters); see [`ShardedEngine::telemetry`].
     pub fn telemetry(&self) -> TelemetryReport {
         self.inner.telemetry()
+    }
+
+    /// Drain every shard's pending boundary tasks (global barrier); see
+    /// [`ShardedEngine::quiesce`].
+    pub fn quiesce(&mut self) -> Result<()> {
+        self.inner.quiesce()
+    }
+
+    /// Executor scheduling statistics (queue depths, admission stall);
+    /// see [`ShardedEngine::executor_stats`].
+    pub fn executor_stats(&self) -> ExecutorStats {
+        self.inner.executor_stats()
+    }
+
+    /// Inject an artificial per-batch drag into one query's pipeline
+    /// (slow-consumer instrumentation); see
+    /// [`ShardedEngine::set_query_drag`].
+    pub fn set_query_drag(
+        &mut self,
+        q: QueryHandle,
+        drag: Option<std::time::Duration>,
+    ) -> Result<()> {
+        self.inner.set_query_drag(q, drag)
     }
 
     /// Live-migrate a query's runtime to another shard; see

@@ -85,24 +85,46 @@
 //! one of N worker shards by `QueryId`, and each shard owns its queries
 //! plus the slice of the routing index that targets them. Ingest
 //! consults a coordinator-level `SourceId → shard` route table and fans
-//! out only to the involved shards; shards live behind the
-//! `parking_lot` shim and run on scoped worker threads or a sequential
-//! loop with identical results — the mode is fixed at construction by
-//! [`session::EngineConfig`], which also carries the shard count (there
-//! are no runtime-mutable engine toggles). The clock, the retained
-//! table store, sessions, and recursive views stay on the coordinator —
+//! out only to the involved shards. The clock, the retained table
+//! store, sessions, and recursive views stay on the ingest thread —
 //! view output deltas fan into the shards like any other source.
 //! [`StreamEngine`] is the facade (`StreamEngine::with_config` exposes
 //! sharding); `harness e12` measures the 50-query fan-out at 1/2/4/8
 //! shards against E11, and the shard-count invariance property —
-//! including under interleaved register/deregister/pause churn with
-//! push subscriptions attached — is tested in `tests/sharding.rs`.
+//! including under interleaved register/deregister/pause/migration
+//! churn with push subscriptions attached — is tested in
+//! `tests/sharding.rs`.
 //!
-//! What remains for the ROADMAP's async step: the per-shard mutexes
-//! already serialize exactly the state one worker touches, so moving
-//! `EngineShard` processing onto a task pool only needs the fan-out's
-//! scoped joins replaced with awaited tasks and the coordinator's
-//! view/table updates kept on the ingest task.
+//! ## Execution: a persistent worker pool with boundary-yield scheduling
+//!
+//! Shard work is driven by the [`executor::Executor`] the engine owns
+//! for its lifetime — no per-call thread churn. Every ingest or
+//! heartbeat **batch boundary** becomes one task per involved shard,
+//! admitted into that shard's bounded FIFO queue; per-shard order is
+//! exactly submission order (the correctness contract), while order
+//! *across* shards is unconstrained — shards share no query state, so
+//! only placement, never results, depends on it. In pool mode
+//! ([`executor::Scheduling::Pool`]) persistent workers drain the queues
+//! with batch boundaries as yield points: a worker runs one task, then
+//! returns the shard to the tail of the ready list, so a shard hosting
+//! a slow query chews through its backlog while siblings' tasks keep
+//! flowing. Ingest admission returns at *enqueue* — a device stream
+//! never pauses for a slow consumer — blocking only when a bounded
+//! queue fills (backpressure keeps memory flat under sustained skew),
+//! and the coordinator's view/table/clock updates stay on the ingest
+//! thread. Reads quiesce exactly what they touch: a snapshot waits for
+//! its own query's shard to drain, telemetry takes the one global
+//! barrier, and a migration quiesces the two affected shards' queues,
+//! not the world. Sequential mode runs the same tasks inline (identical
+//! results, no threads — the default on single-core hosts and the
+//! benches' accounting mode), and
+//! [`executor::Scheduling::Deterministic`] replays a seeded
+//! interleaving single-threaded, which is what makes the
+//! scheduling-determinism property in `tests/sharding.rs` assertable
+//! event for event. `harness e15` measures ingest-admission stall and
+//! sibling snapshot freshness under a pathological slow query, pool vs
+//! the scoped-thread semantics it replaced; per-worker busy/steal
+//! meters surface in [`telemetry::TelemetryReport::workers`].
 //!
 //! ## Telemetry and adaptive rebalancing
 //!
@@ -157,6 +179,7 @@
 pub mod delta;
 pub mod distributed;
 pub mod engine;
+pub mod executor;
 pub mod operators;
 pub mod pipeline;
 pub mod rebalance;
@@ -170,9 +193,12 @@ pub mod window;
 
 pub use delta::{Delta, DeltaBatch};
 pub use engine::{QueryHandle, StreamEngine};
+pub use executor::{ExecutorStats, Scheduling};
 pub use rebalance::{Migration, RebalanceConfig, RebalanceController};
 pub use recursive::RecursiveView;
 pub use session::{Delivery, EngineConfig, QuerySpec, Registration, ResultSubscription, SessionId};
 pub use shard::ShardedEngine;
 pub use sink::Sink;
-pub use telemetry::{LoadWindow, QueryLoad, ShardLoad, TelemetryReport, WindowedQueryLoad};
+pub use telemetry::{
+    LoadWindow, QueryLoad, ShardLoad, TelemetryReport, WindowedQueryLoad, WorkerLoad,
+};

@@ -60,6 +60,12 @@ pub struct Pipeline {
     /// (telemetry: the query's share of ingest volume). Lives here so a
     /// migrated query carries its history with it.
     pub tuples_in: u64,
+    /// Artificial per-batch processing drag (slow-consumer injection for
+    /// the scheduling tests and the E15 bench): each data push sleeps
+    /// this long first. Never set in production paths; travels with
+    /// migrations like any pipeline state, and is rebuilt away (cleared)
+    /// by a pause/resume cycle.
+    drag: Option<std::time::Duration>,
 }
 
 impl Pipeline {
@@ -100,9 +106,22 @@ impl Pipeline {
             },
             ops_invoked: 0,
             tuples_in: 0,
+            drag: None,
         };
         pipeline.build(core, None)?;
         Ok(pipeline)
+    }
+
+    /// Inject (or clear) an artificial per-batch processing drag — the
+    /// slow-operator stand-in used to prove slow-query isolation.
+    pub fn set_drag(&mut self, drag: Option<std::time::Duration>) {
+        self.drag = drag;
+    }
+
+    fn pay_drag(&self) {
+        if let Some(d) = self.drag {
+            std::thread::sleep(d);
+        }
     }
 
     pub fn sink_spec(&self) -> &SinkSpec {
@@ -231,6 +250,7 @@ impl Pipeline {
         tuples: &[Tuple],
         sink: &mut Sink,
     ) -> Result<()> {
+        self.pay_drag();
         for i in 0..self.scans.len() {
             if self.scans[i].source != source {
                 continue;
@@ -253,6 +273,7 @@ impl Pipeline {
         deltas: &DeltaBatch,
         sink: &mut Sink,
     ) -> Result<()> {
+        self.pay_drag();
         for i in 0..self.scans.len() {
             if self.scans[i].source != source {
                 continue;

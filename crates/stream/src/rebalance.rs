@@ -17,7 +17,10 @@
 //! subscription and all — between shards, so snapshots, push
 //! accumulation, and the ops total are provably unchanged (the property
 //! test in `tests/sharding.rs` interleaves forced migrations with
-//! ingest and lifecycle churn to pin this down). Windowed per-query
+//! ingest and lifecycle churn to pin this down). Under the worker-pool
+//! executor a migration quiesces only the donor and recipient shards'
+//! task queues — the rest of the engine keeps draining while a query
+//! moves. Windowed per-query
 //! loads are keyed by `QueryId`, which makes the diff robust to the
 //! migrations the controller itself caused.
 

@@ -7,8 +7,9 @@
 //! contract:
 //!
 //! * [`EngineConfig`] — construction-time engine knobs (shard count,
-//!   parallel-ingest mode). There are no runtime-mutable engine toggles;
-//!   everything is fixed when the engine is built.
+//!   executor scheduling mode, worker count, per-shard queue depth).
+//!   There are no runtime-mutable engine toggles; everything is fixed
+//!   when the engine is built.
 //! * [`QuerySpec`] — a builder carrying what to run (SQL text or a bound
 //!   [`LogicalPlan`]), how results leave the engine ([`Delivery`]), and
 //!   per-query micro-batch knobs ([`QuerySpec::max_batch`] /
@@ -31,6 +32,7 @@ use aspen_types::{QueryId, SimDuration, SourceId};
 use parking_lot::Mutex;
 
 use crate::delta::DeltaBatch;
+use crate::executor::Scheduling;
 use crate::rebalance::RebalanceConfig;
 use crate::shard::QueryHandle;
 
@@ -41,9 +43,18 @@ use crate::shard::QueryHandle;
 #[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
     shards: usize,
-    /// `None` = auto-detect (threads when shards > 1 and the host is
-    /// multicore); `Some(on)` pins the fan-out mode.
+    /// `None` = auto-detect (pool when shards > 1 and the host is
+    /// multicore); `Some(on)` pins pool (`true`) vs sequential
+    /// (`false`). An explicit [`EngineConfig::scheduling`] wins.
     parallel_ingest: Option<bool>,
+    /// Explicit executor scheduling mode; overrides `parallel_ingest`.
+    scheduling: Option<Scheduling>,
+    /// Worker threads serving the pool (`None` = min(shards, cores)).
+    workers: Option<usize>,
+    /// Bound on each shard's pending-task queue (`None` = 32). Ingest
+    /// admission blocks when a shard's queue is full — backpressure
+    /// keeps memory flat under sustained skew.
+    queue_depth: Option<usize>,
     /// Adaptive shard rebalancing: when set, the engine observes its own
     /// telemetry every `interval_boundaries` batch boundaries and
     /// live-migrates queries off sustained hot shards.
@@ -62,13 +73,44 @@ impl EngineConfig {
         self
     }
 
-    /// Pin the shard fan-out onto scoped worker threads (`true`) or the
-    /// sequential loop (`false`) — results are identical either way.
-    /// Benches pin this so per-shard busy accounting is free of
-    /// thread-scheduling noise; unset, the engine decides from the core
-    /// count.
+    /// Pin the shard fan-out onto the persistent worker pool (`true`)
+    /// or the inline sequential loop (`false`) — results are identical
+    /// either way. Benches pin this so per-shard busy accounting is
+    /// free of thread-scheduling noise; unset, the engine decides from
+    /// the core count. An explicit [`EngineConfig::scheduling`] takes
+    /// precedence.
     pub fn parallel_ingest(mut self, on: bool) -> Self {
         self.parallel_ingest = Some(on);
+        self
+    }
+
+    /// Pin the executor scheduling mode directly (sequential, pool, or
+    /// the seeded deterministic replay used by the scheduling tests).
+    pub fn scheduling(mut self, s: Scheduling) -> Self {
+        self.scheduling = Some(s);
+        self
+    }
+
+    /// Shorthand for [`Scheduling::Deterministic`]: pool semantics
+    /// (deferred, out-of-order-across-shards execution) with a fixed
+    /// seeded interleaving, replayable for tests.
+    pub fn deterministic(self, seed: u64) -> Self {
+        self.scheduling(Scheduling::Deterministic(seed))
+    }
+
+    /// Number of worker threads serving the pool (clamped to ≥ 1;
+    /// ignored outside pool mode). Default: min(shards, cores).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Bound each shard's pending-task queue at `n` boundary tasks
+    /// (clamped to ≥ 1). A producer hitting a full queue blocks until
+    /// the shard makes progress — ingest admission never runs ahead of
+    /// a slow shard by more than this many boundaries.
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = Some(n);
         self
     }
 
@@ -96,6 +138,27 @@ impl EngineConfig {
             Some(on) => on && n > 1,
             None => n > 1 && cores > 1,
         }
+    }
+
+    /// The executor mode this config resolves to on a `cores`-way host:
+    /// an explicit `scheduling` wins; otherwise the `parallel_ingest`
+    /// auto-detection picks pool or sequential.
+    pub(crate) fn resolve_scheduling(&self, cores: usize) -> Scheduling {
+        match self.scheduling {
+            Some(s) => s,
+            None if self.resolve_parallel(cores) => Scheduling::Pool,
+            None => Scheduling::Sequential,
+        }
+    }
+
+    pub(crate) fn resolve_workers(&self, cores: usize) -> usize {
+        self.workers
+            .unwrap_or_else(|| cores.min(self.shard_count()))
+            .max(1)
+    }
+
+    pub(crate) fn resolve_queue_depth(&self) -> usize {
+        self.queue_depth.unwrap_or(32).max(1)
     }
 }
 
@@ -317,6 +380,54 @@ mod tests {
         assert!(!EngineConfig::new()
             .parallel_ingest(true)
             .resolve_parallel(8));
+    }
+
+    #[test]
+    fn config_resolves_scheduling_workers_and_depth() {
+        // parallel auto-detection maps onto the executor modes.
+        assert_eq!(
+            EngineConfig::new().shards(4).resolve_scheduling(8),
+            Scheduling::Pool
+        );
+        assert_eq!(
+            EngineConfig::new().shards(4).resolve_scheduling(1),
+            Scheduling::Sequential
+        );
+        assert_eq!(
+            EngineConfig::new()
+                .shards(4)
+                .parallel_ingest(false)
+                .resolve_scheduling(8),
+            Scheduling::Sequential
+        );
+        // An explicit mode always wins, even over pinned parallel mode.
+        assert_eq!(
+            EngineConfig::new()
+                .shards(4)
+                .parallel_ingest(true)
+                .deterministic(9)
+                .resolve_scheduling(8),
+            Scheduling::Deterministic(9)
+        );
+        assert_eq!(
+            EngineConfig::new()
+                .scheduling(Scheduling::Pool)
+                .resolve_scheduling(1),
+            Scheduling::Pool
+        );
+        // Worker count defaults to min(shards, cores), clamps to >= 1.
+        assert_eq!(EngineConfig::new().shards(4).resolve_workers(8), 4);
+        assert_eq!(EngineConfig::new().shards(4).resolve_workers(2), 2);
+        assert_eq!(EngineConfig::new().shards(4).resolve_workers(0), 1);
+        assert_eq!(
+            EngineConfig::new().shards(4).workers(7).resolve_workers(1),
+            7
+        );
+        assert_eq!(EngineConfig::new().workers(0).resolve_workers(8), 1);
+        // Queue depth defaults to 32, clamps to >= 1.
+        assert_eq!(EngineConfig::new().resolve_queue_depth(), 32);
+        assert_eq!(EngineConfig::new().queue_depth(0).resolve_queue_depth(), 1);
+        assert_eq!(EngineConfig::new().queue_depth(5).resolve_queue_depth(), 5);
     }
 
     #[test]

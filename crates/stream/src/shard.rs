@@ -26,13 +26,19 @@
 //!
 //! Shards live behind the `parking_lot` shim ([`Mutex<EngineShard>`]):
 //! shard state is `Send`, cross-shard work is disjoint by construction
-//! (a query's pipeline, sink, and routing entries live on one shard),
-//! and when configured for parallel ingest the fan-out runs each shard's
-//! slice on its own scoped worker thread; otherwise it degrades to a
-//! sequential loop over the same slices — results are identical either
-//! way (shard-count invariance is property-tested in
-//! `tests/sharding.rs`, including under register/deregister/pause
-//! churn).
+//! (a query's pipeline, sink, and routing entries live on one shard).
+//! Execution goes through the persistent [`crate::executor::Executor`]:
+//! each ingest/heartbeat boundary becomes one task per involved shard,
+//! pushed onto that shard's bounded FIFO queue. In pool mode the worker
+//! threads drain the queues with batch boundaries as yield points —
+//! ingest admission and the coordinator's view/table updates return as
+//! soon as the tasks are enqueued, so a shard hosting a slow query
+//! drains its backlog without stalling its siblings; reads quiesce
+//! exactly the shards they touch. Sequential mode runs the same tasks
+//! inline with identical results (shard-count and scheduling-mode
+//! invariance are property-tested in `tests/sharding.rs`, including
+//! under register/deregister/pause/migration churn and under the seeded
+//! `Deterministic` interleavings).
 //!
 //! What stays on the coordinator: the catalog, the retained table store
 //! (replay for late-registered and resumed queries), recursive views
@@ -46,7 +52,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::Duration;
 
 use aspen_catalog::{Catalog, SourceKind, SourceStats};
 use aspen_sql::binder::BoundView;
@@ -56,6 +62,7 @@ use aspen_types::{AspenError, QueryId, Result, SimDuration, SimTime, SourceId, T
 use parking_lot::Mutex;
 
 use crate::delta::DeltaBatch;
+use crate::executor::{Boundary, Executor, ExecutorStats};
 use crate::pipeline::Pipeline;
 use crate::rebalance::RebalanceController;
 use crate::recursive::RecursiveView;
@@ -108,7 +115,9 @@ struct QueryMeta {
 /// One worker shard: a disjoint set of query runtimes plus the slice of
 /// the routing index that targets them. All indices are shard-local and
 /// keyed by the global `QueryId`, so queries can be detached without
-/// renumbering their neighbors.
+/// renumbering their neighbors. The executor's tasks mutate only the
+/// runtimes and meters; the routing slices are coordinator-owned and
+/// change only under quiescence.
 #[derive(Default)]
 pub(crate) struct EngineShard {
     queries: HashMap<QueryId, QueryRuntime>,
@@ -120,11 +129,11 @@ pub(crate) struct EngineShard {
     /// Local live queries with a push subscription attached (flush set).
     push_subs: Vec<QueryId>,
     /// Lock-local telemetry counters (tuples in, slices run, busy time).
-    meters: ShardMeters,
+    pub(crate) meters: ShardMeters,
 }
 
 impl EngineShard {
-    fn push_batch(&mut self, src: SourceId, tuples: &[Tuple]) -> Result<()> {
+    pub(crate) fn push_batch(&mut self, src: SourceId, tuples: &[Tuple]) -> Result<()> {
         if let Some(subs) = self.subs.get(&src) {
             self.meters.tuples_in += tuples.len() as u64;
             for qid in subs {
@@ -135,7 +144,7 @@ impl EngineShard {
         Ok(())
     }
 
-    fn push_deltas(&mut self, src: SourceId, deltas: &DeltaBatch) -> Result<()> {
+    pub(crate) fn push_deltas(&mut self, src: SourceId, deltas: &DeltaBatch) -> Result<()> {
         if let Some(subs) = self.subs.get(&src) {
             self.meters.tuples_in += deltas.len() as u64;
             for qid in subs {
@@ -146,7 +155,7 @@ impl EngineShard {
         Ok(())
     }
 
-    fn advance_time(&mut self, now: SimTime) -> Result<()> {
+    pub(crate) fn advance_time(&mut self, now: SimTime) -> Result<()> {
         for qid in &self.clock_subs {
             let q = self.queries.get_mut(qid).expect("clocked query is local");
             q.pipeline.advance_time(now, &mut q.sink)?;
@@ -156,7 +165,7 @@ impl EngineShard {
 
     /// Deliver pending push batches for every live subscribed sink
     /// (only queries in the push set are touched).
-    fn flush_push(&mut self, now: SimTime) {
+    pub(crate) fn flush_push(&mut self, now: SimTime) {
         for qid in &self.push_subs {
             let q = self.queries.get_mut(qid).expect("push query is local");
             q.sink.flush_push(now, false);
@@ -199,7 +208,9 @@ impl EngineShard {
 /// PC-side query engine partitioned across N worker shards.
 pub struct ShardedEngine {
     catalog: Arc<Catalog>,
-    shards: Vec<Mutex<EngineShard>>,
+    /// Boundary-task executor: owns the shard cells (and, in pool mode,
+    /// the persistent worker threads draining their queues).
+    exec: Executor,
     /// Every registered query (live and paused), by id.
     queries: HashMap<QueryId, QueryMeta>,
     /// Registration order of currently registered queries (drives
@@ -224,9 +235,6 @@ pub struct ShardedEngine {
     /// standard semantics).
     table_store: HashMap<SourceId, BagState>,
     now: SimTime,
-    /// Run involved shards on scoped worker threads (fixed at
-    /// construction by [`EngineConfig`]).
-    parallel: bool,
     /// Batch boundaries processed so far (ingest calls + heartbeats).
     boundaries: u64,
     /// Cumulative tuples/deltas ingested per source (coordinator-side;
@@ -246,14 +254,20 @@ impl ShardedEngine {
         ShardedEngine::with_config(catalog, EngineConfig::new().shards(shards))
     }
 
-    /// Engine built from an [`EngineConfig`] — shard count and fan-out
-    /// mode are fixed for the engine's lifetime.
+    /// Engine built from an [`EngineConfig`] — shard count, scheduling
+    /// mode, worker count, and queue depth are fixed for the engine's
+    /// lifetime.
     pub fn with_config(catalog: Arc<Catalog>, config: EngineConfig) -> Self {
         let n = config.shard_count();
         let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
         ShardedEngine {
             catalog,
-            shards: (0..n).map(|_| Mutex::new(EngineShard::default())).collect(),
+            exec: Executor::new(
+                n,
+                config.resolve_scheduling(cores),
+                config.resolve_workers(cores),
+                config.resolve_queue_depth(),
+            ),
             queries: HashMap::new(),
             order: Vec::new(),
             next_query: 0,
@@ -267,7 +281,6 @@ impl ShardedEngine {
             clock_views: Vec::new(),
             table_store: HashMap::new(),
             now: SimTime::ZERO,
-            parallel: config.resolve_parallel(cores),
             boundaries: 0,
             source_tuples: HashMap::new(),
             rebalancer: config.rebalance_config().map(RebalanceController::new),
@@ -284,7 +297,45 @@ impl ShardedEngine {
     }
 
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.exec.shard_count()
+    }
+
+    /// One shard's state cell. Callers that must observe every
+    /// submitted boundary quiesce first; callers reading only
+    /// coordinator-owned routing slices may lock directly.
+    fn shard(&self, i: usize) -> &Mutex<EngineShard> {
+        self.exec.shard(i)
+    }
+
+    /// Drain every shard's pending boundary tasks (a global barrier;
+    /// point reads quiesce only the shard they touch). Surfaces any
+    /// deferred task error the drain uncovered.
+    pub fn quiesce(&mut self) -> Result<()> {
+        self.exec.quiesce_all()
+    }
+
+    /// Scheduling statistics of the executor (queue depths, admission
+    /// stall, tasks executed) — the observability surface the isolation
+    /// tests and the E15 bench read.
+    pub fn executor_stats(&self) -> ExecutorStats {
+        self.exec.stats()
+    }
+
+    /// Inject an artificial per-batch processing drag into one query's
+    /// pipeline (test/bench instrumentation for slow-consumer
+    /// scenarios). `None` removes it. The drag travels with migrations
+    /// (it lives in the pipeline) but, like all pipeline state, is
+    /// rebuilt away by a pause/resume cycle.
+    pub fn set_query_drag(&mut self, q: QueryHandle, drag: Option<Duration>) -> Result<()> {
+        let shard_idx = self.meta(q)?.shard;
+        self.exec.quiesce(shard_idx)?;
+        let mut shard = self.shard(shard_idx).lock();
+        let rt = shard
+            .queries
+            .get_mut(&q.0)
+            .expect("registered query keeps a runtime");
+        rt.pipeline.set_drag(drag);
+        Ok(())
     }
 
     /// Registered queries (live + paused).
@@ -300,7 +351,11 @@ impl ShardedEngine {
     /// read it; the old `shard_busy_seconds` / `shard_ops_invoked` /
     /// `shard_query_counts` accessors folded into it.
     pub fn telemetry(&self) -> TelemetryReport {
-        let mut shards = Vec::with_capacity(self.shards.len());
+        // A coherent observation needs every submitted boundary applied:
+        // this is the one global barrier (point reads quiesce only the
+        // shard they touch).
+        self.exec.settle_all();
+        let mut shards = Vec::with_capacity(self.shard_count());
         let mut queries = vec![None; self.order.len()];
         let slot: HashMap<QueryId, usize> = self
             .order
@@ -308,8 +363,8 @@ impl ShardedEngine {
             .enumerate()
             .map(|(i, &q)| (q, i))
             .collect();
-        for (i, s) in self.shards.iter().enumerate() {
-            let shard = s.lock();
+        for i in 0..self.shard_count() {
+            let shard = self.shard(i).lock();
             let mut ops = 0u64;
             for (qid, rt) in &shard.queries {
                 ops += rt.pipeline.ops_invoked;
@@ -338,6 +393,7 @@ impl ShardedEngine {
         TelemetryReport {
             shards,
             queries: queries.into_iter().flatten().collect(),
+            workers: self.exec.worker_loads(),
             boundaries: self.boundaries,
             now_secs: self.now.as_secs_f64(),
         }
@@ -361,7 +417,7 @@ impl ShardedEngine {
         self.source_routes.get(&source).map_or(0, |shards| {
             shards
                 .iter()
-                .map(|&i| self.shards[i].lock().subs.get(&source).map_or(0, Vec::len))
+                .map(|&i| self.shard(i).lock().subs.get(&source).map_or(0, Vec::len))
                 .sum()
         })
     }
@@ -370,7 +426,7 @@ impl ShardedEngine {
     pub fn shard_of(&self, qid: QueryId) -> usize {
         let mut h = DefaultHasher::new();
         qid.0.hash(&mut h);
-        (h.finish() % self.shards.len() as u64) as usize
+        (h.finish() % self.shard_count() as u64) as usize
     }
 
     // -----------------------------------------------------------------
@@ -518,7 +574,12 @@ impl ShardedEngine {
         sink.flush_push(self.now, true);
         let seeded_deltas = sink.deltas_applied;
         {
-            let mut shard = self.shards[shard_idx].lock();
+            // Quiesce before attaching: boundaries already queued for
+            // this shard predate the registration and must not route to
+            // the freshly replayed pipeline (they would double-deliver
+            // what the replay just seeded).
+            self.exec.quiesce(shard_idx)?;
+            let mut shard = self.shard(shard_idx).lock();
             shard.attach(qid, &sources, needs_clock);
             if delivery == Delivery::Push {
                 shard.mark_push(qid);
@@ -559,7 +620,10 @@ impl ShardedEngine {
     fn remove_query_inner(&mut self, qid: QueryId, prune_order: bool) {
         let meta = self.queries.remove(&qid).expect("caller checked");
         {
-            let mut shard = self.shards[meta.shard].lock();
+            // Pending boundaries still route to this query; apply them
+            // before the runtime leaves the shard.
+            self.exec.settle(meta.shard);
+            let mut shard = self.shard(meta.shard).lock();
             shard.detach(qid, &meta.sources);
             shard.queries.remove(&qid);
         }
@@ -698,7 +762,10 @@ impl ShardedEngine {
         }
         let (shard_idx, sources) = (meta.shard, meta.sources.clone());
         {
-            let mut shard = self.shards[shard_idx].lock();
+            // The frozen sink must reflect every boundary admitted
+            // before the pause.
+            self.exec.quiesce(shard_idx)?;
+            let mut shard = self.shard(shard_idx).lock();
             shard.detach(q.0, &sources);
             if let Some(rt) = shard.queries.get_mut(&q.0) {
                 rt.sink.flush_push(self.now, true);
@@ -735,7 +802,8 @@ impl ShardedEngine {
         let sources = pipeline.sources();
         self.seed_pipeline(&mut pipeline, &sources, &mut sink)?;
 
-        let mut shard = self.shards[shard_idx].lock();
+        self.exec.quiesce(shard_idx)?;
+        let mut shard = self.shard(shard_idx).lock();
         let mut old = shard
             .queries
             .remove(&q.0)
@@ -778,7 +846,11 @@ impl ShardedEngine {
         let (shard_idx, paused) = (meta.shard, meta.paused);
         let (max_batch, max_delay) = (meta.max_batch, meta.max_delay);
         let queue = {
-            let mut shard = self.shards[shard_idx].lock();
+            // Late subscription seeds the channel from the current
+            // snapshot: pending boundaries must land first or the seeded
+            // state and the subsequent deltas would overlap.
+            self.exec.quiesce(shard_idx)?;
+            let mut shard = self.shard(shard_idx).lock();
             let rt = shard
                 .queries
                 .get_mut(&q.0)
@@ -824,10 +896,10 @@ impl ShardedEngine {
     /// only the shard assignment and the routing slices change.
     pub fn migrate(&mut self, q: QueryHandle, to: usize) -> Result<()> {
         let meta = self.meta(q)?;
-        if to >= self.shards.len() {
+        if to >= self.shard_count() {
             return Err(AspenError::InvalidArgument(format!(
                 "shard {to} out of range (engine has {})",
-                self.shards.len()
+                self.shard_count()
             )));
         }
         let (from, sources, needs_clock, paused) = (
@@ -839,8 +911,14 @@ impl ShardedEngine {
         if from == to {
             return Ok(());
         }
+        // Migration quiesces exactly the two affected shards' queues,
+        // never the world: the donor so the runtime leaves with every
+        // admitted boundary applied, the recipient so queued boundaries
+        // there cannot interleave with the attach.
+        self.exec.quiesce(from)?;
+        self.exec.quiesce(to)?;
         let rt = {
-            let mut shard = self.shards[from].lock();
+            let mut shard = self.shard(from).lock();
             shard.detach(q.0, &sources);
             shard
                 .queries
@@ -848,7 +926,7 @@ impl ShardedEngine {
                 .expect("registered query keeps a runtime")
         };
         {
-            let mut shard = self.shards[to].lock();
+            let mut shard = self.shard(to).lock();
             if !paused {
                 // A paused query stays out of routing; resume reattaches
                 // it on whatever shard it lives on then.
@@ -914,14 +992,21 @@ impl ShardedEngine {
         max_batch: Option<usize>,
         max_delay: Option<SimDuration>,
     ) -> Result<()> {
-        let meta = self
+        let shard_idx = self
             .queries
-            .get_mut(&q.0)
-            .ok_or_else(|| AspenError::InvalidArgument(format!("unknown query {}", q.0)))?;
+            .get(&q.0)
+            .ok_or_else(|| AspenError::InvalidArgument(format!("unknown query {}", q.0)))?
+            .shard;
+        // All fallible work first (a quiesce can surface a deferred
+        // task error): pending boundaries flush under the old knobs,
+        // and a failed tune leaves meta and the live sink untouched —
+        // never half-applied.
+        self.exec.quiesce(shard_idx)?;
+        let meta = self.queries.get_mut(&q.0).expect("existence checked");
         meta.max_batch = max_batch.map(|n| n.max(1));
         meta.max_delay = max_delay;
-        let (shard, mb, md) = (meta.shard, meta.max_batch, meta.max_delay);
-        let mut shard = self.shards[shard].lock();
+        let (mb, md) = (meta.max_batch, meta.max_delay);
+        let mut shard = self.shard(shard_idx).lock();
         if let Some(rt) = shard.queries.get_mut(&q.0) {
             rt.sink.set_push_knobs(mb, md);
         }
@@ -940,6 +1025,9 @@ impl ShardedEngine {
         F: FnMut(f64, f64) -> (Option<usize>, Option<SimDuration>),
     {
         let now = self.now;
+        // One barrier up front: the measured output-delta counts must
+        // include every admitted boundary.
+        self.exec.settle_all();
         let mut tuned = 0;
         for qid in self.order.clone() {
             let meta = &self.queries[&qid];
@@ -951,7 +1039,7 @@ impl ShardedEngine {
             if dt <= 0.0 {
                 continue;
             }
-            let deltas = self.shards[shard].lock().queries[&qid].sink.deltas_applied;
+            let deltas = self.shard(shard).lock().queries[&qid].sink.deltas_applied;
             let out_rate = deltas.saturating_sub(mark_deltas) as f64 / dt;
             // Boundary rate over the same window — a lifetime average
             // would be poisoned by idle prefixes or large absolute
@@ -1043,26 +1131,26 @@ impl ShardedEngine {
     }
 
     /// Ingest a batch of tuples for a named source. The route table fans
-    /// it out to exactly the shards with subscribing pipelines, then to
-    /// the recursive views, forwarding any view deltas the same way;
+    /// it out to exactly the shards with subscribing pipelines — one
+    /// boundary task per involved shard, admitted into the bounded
+    /// per-shard queues — then to the recursive views (maintained here
+    /// on the ingest thread), forwarding any view deltas the same way;
     /// finally, push subscriptions are flushed — every ingest is a batch
-    /// boundary.
+    /// boundary. Under pool scheduling this returns once every task is
+    /// *admitted*, not processed: a shard hosting a slow query drains
+    /// its backlog without gating its siblings or the next ingest.
     pub fn on_batch(&mut self, source_name: &str, tuples: &[Tuple]) -> Result<()> {
         let meta = self.catalog.source(source_name)?;
         let src = meta.id;
         self.observe_timestamps(tuples.iter().map(Tuple::timestamp));
         *self.source_tuples.entry(src).or_insert(0) += tuples.len() as u64;
-        // Retain table contents for replay.
+        // Retain table contents for replay (coordinator-side, so a late
+        // registration never races the shard queues).
         if matches!(meta.kind, SourceKind::Table) {
             self.table_store.entry(src).or_default().insert_all(tuples);
         }
         if let Some(routes) = self.source_routes.get(&src) {
-            fan_out(
-                &self.shards,
-                routes,
-                self.parallel,
-                |shard: &mut EngineShard| shard.push_batch(src, tuples),
-            )?;
+            self.exec.submit(routes, Boundary::Batch { src, tuples })?;
         }
         // Views reading this source (skip building the delta batch when
         // no view subscribes).
@@ -1085,12 +1173,7 @@ impl ShardedEngine {
             self.table_store.entry(src).or_default().apply(deltas);
         }
         if let Some(routes) = self.source_routes.get(&src) {
-            fan_out(
-                &self.shards,
-                routes,
-                self.parallel,
-                |shard: &mut EngineShard| shard.push_deltas(src, deltas),
-            )?;
+            self.exec.submit(routes, Boundary::Deltas { src, deltas })?;
         }
         if self.view_subs.contains_key(&src) {
             self.apply_base_deltas(src, deltas)?;
@@ -1118,11 +1201,12 @@ impl ShardedEngine {
 
     fn forward_view_deltas(&self, view_source: SourceId, deltas: &DeltaBatch) -> Result<()> {
         if let Some(routes) = self.source_routes.get(&view_source) {
-            fan_out(
-                &self.shards,
+            self.exec.submit(
                 routes,
-                self.parallel,
-                |shard: &mut EngineShard| shard.push_deltas(view_source, deltas),
+                Boundary::Deltas {
+                    src: view_source,
+                    deltas,
+                },
             )?;
         }
         Ok(())
@@ -1137,12 +1221,8 @@ impl ShardedEngine {
         if now > self.now {
             self.now = now;
         }
-        fan_out(
-            &self.shards,
-            &self.clock_routes,
-            self.parallel,
-            |shard: &mut EngineShard| shard.advance_time(now),
-        )?;
+        self.exec
+            .submit(&self.clock_routes, Boundary::AdvanceTime(now))?;
         // Time-windowed view state expires too, and the resulting view
         // deltas reach downstream queries like any other maintenance.
         let mut forwarded: Vec<(SourceId, DeltaBatch)> = Vec::new();
@@ -1165,16 +1245,8 @@ impl ShardedEngine {
         if self.push_routes.is_empty() {
             return Ok(());
         }
-        let now = self.now;
-        fan_out(
-            &self.shards,
-            &self.push_routes,
-            self.parallel,
-            |shard: &mut EngineShard| {
-                shard.flush_push(now);
-                Ok(())
-            },
-        )
+        self.exec
+            .submit(&self.push_routes, Boundary::FlushPush(self.now))
     }
 
     // -----------------------------------------------------------------
@@ -1183,15 +1255,19 @@ impl ShardedEngine {
 
     /// Current results of a query (ORDER BY / LIMIT applied). Works for
     /// paused queries too — the sink is frozen at the pause-time state.
+    /// Quiesces only the owning shard: a snapshot waits for *this*
+    /// query's pending boundaries, never for a slow sibling elsewhere.
     pub fn snapshot(&self, q: QueryHandle) -> Result<Vec<Tuple>> {
         let meta = self.meta(q)?;
-        self.shards[meta.shard].lock().queries[&q.0].sink.snapshot()
+        self.exec.quiesce(meta.shard)?;
+        self.shard(meta.shard).lock().queries[&q.0].sink.snapshot()
     }
 
     /// Result-churn statistic of a query's sink.
     pub fn deltas_applied(&self, q: QueryHandle) -> Result<u64> {
         let meta = self.meta(q)?;
-        Ok(self.shards[meta.shard].lock().queries[&q.0]
+        self.exec.quiesce(meta.shard)?;
+        Ok(self.shard(meta.shard).lock().queries[&q.0]
             .sink
             .deltas_applied)
     }
@@ -1199,10 +1275,11 @@ impl ShardedEngine {
     /// Total operator invocations across all registered pipelines
     /// (CPU-cost proxy; deregistered queries' work leaves the total).
     pub fn total_ops_invoked(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.lock()
+        self.exec.settle_all();
+        (0..self.shard_count())
+            .map(|i| {
+                self.shard(i)
+                    .lock()
                     .queries
                     .values()
                     .map(|q| q.pipeline.ops_invoked)
@@ -1233,10 +1310,11 @@ impl ShardedEngine {
     /// registration order (placement does not reorder displays; paused
     /// queries keep their frozen snapshot on screen).
     pub fn display_snapshot(&self, display: &str) -> Result<Vec<Vec<Tuple>>> {
+        self.exec.quiesce_all()?;
         let mut out = Vec::new();
         for qid in &self.order {
             let meta = &self.queries[qid];
-            let shard = self.shards[meta.shard].lock();
+            let shard = self.shard(meta.shard).lock();
             let q = &shard.queries[qid];
             if q.sink.display() == Some(display) {
                 out.push(q.sink.snapshot()?);
@@ -1244,58 +1322,6 @@ impl ShardedEngine {
         }
         Ok(out)
     }
-}
-
-/// Run `f` over each involved shard's slice, timing each shard's work.
-/// With `parallel`, every shard gets its own scoped worker thread (the
-/// slices are disjoint, so the only synchronization is the shard mutex);
-/// otherwise the same slices run as a sequential loop.
-fn fan_out<F>(shards: &[Mutex<EngineShard>], involved: &[usize], parallel: bool, f: F) -> Result<()>
-where
-    F: Fn(&mut EngineShard) -> Result<()> + Send + Sync,
-{
-    match involved {
-        [] => Ok(()),
-        [i] => run_shard(&shards[*i], &f),
-        _ if !parallel => involved.iter().try_for_each(|&i| run_shard(&shards[i], &f)),
-        _ => std::thread::scope(|scope| {
-            let handles: Vec<_> = involved
-                .iter()
-                .map(|&i| {
-                    let shard = &shards[i];
-                    let f = &f;
-                    scope.spawn(move || run_shard(shard, f))
-                })
-                .collect();
-            // A panicking worker becomes an Err, not a propagated panic.
-            // The parking_lot shim does not poison (matching the real
-            // crate), so the engine stays lockable afterwards — but the
-            // panicking shard's slice may be partially applied, like any
-            // mid-batch operator error.
-            let mut first_err = None;
-            for h in handles {
-                let joined = h
-                    .join()
-                    .map_err(|_| AspenError::Execution("shard worker panicked".into()));
-                if let Err(e) = joined.and_then(|r| r) {
-                    first_err.get_or_insert(e);
-                }
-            }
-            first_err.map_or(Ok(()), Err)
-        }),
-    }
-}
-
-fn run_shard<F>(shard: &Mutex<EngineShard>, f: &F) -> Result<()>
-where
-    F: Fn(&mut EngineShard) -> Result<()>,
-{
-    let mut guard = shard.lock();
-    let start = Instant::now();
-    let result = f(&mut guard);
-    guard.meters.busy += start.elapsed();
-    guard.meters.batches += 1;
-    result
 }
 
 #[cfg(test)]
@@ -1634,6 +1660,40 @@ mod tests {
             report.shards.iter().all(|s| s.queries > 0),
             "both shards should hold queries after rebalancing: {report:?}"
         );
+    }
+
+    #[test]
+    fn deferred_task_error_reaches_the_next_observer() {
+        use crate::executor::Scheduling;
+        // A boundary that fails inside a *deferred* task (here: a
+        // malformed 1-column tuple against a 2-column scan, erroring in
+        // the projection) must surface to whoever observes the engine
+        // next — the submitting ingest if the interleaving ran it
+        // inline, otherwise the first quiescing read — never be
+        // silently swallowed by a snapshot that drains the queue.
+        for scheduling in [Scheduling::Deterministic(11), Scheduling::Pool] {
+            let mut e = ShardedEngine::with_config(
+                catalog(),
+                EngineConfig::new().shards(2).scheduling(scheduling),
+            );
+            let q = e
+                .register_sql("select r.value from Readings r")
+                .unwrap()
+                .expect_query();
+            let bad = Tuple::new(vec![Value::Int(1)], SimTime::from_secs(1));
+            let observed = e
+                .on_batch("Readings", std::slice::from_ref(&bad))
+                .and_then(|()| e.quiesce())
+                .and_then(|()| e.snapshot(q).map(drop));
+            assert!(
+                observed.is_err(),
+                "deferred task error was swallowed ({scheduling:?})"
+            );
+            // The error was observed exactly once; the engine stays
+            // usable afterwards.
+            e.on_batch("Readings", &[reading(1, 5.0, 2)]).unwrap();
+            assert_eq!(e.snapshot(q).unwrap().len(), 1);
+        }
     }
 
     #[test]

@@ -63,6 +63,22 @@ pub struct QueryLoad {
     pub push_batches: u64,
 }
 
+/// Snapshot of one pool worker's cumulative load (empty outside the
+/// pool scheduling mode — the inline modes have no workers to meter).
+/// `steals` counts the times this worker picked up a shard another
+/// worker ran last — how often boundary-yield scheduling actually moved
+/// work between threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerLoad {
+    pub worker: usize,
+    /// Boundary tasks this worker executed.
+    pub tasks: u64,
+    /// Wall seconds spent executing tasks.
+    pub busy_seconds: f64,
+    /// Tasks picked up from a shard last served by a different worker.
+    pub steals: u64,
+}
+
 /// Snapshot of one shard's cumulative load.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardLoad {
@@ -88,6 +104,8 @@ pub struct TelemetryReport {
     pub shards: Vec<ShardLoad>,
     /// Per-query loads in registration order (live and paused).
     pub queries: Vec<QueryLoad>,
+    /// Per-worker loads of the executor pool (empty in inline modes).
+    pub workers: Vec<WorkerLoad>,
     /// Engine-level batch boundaries observed so far (ingest calls +
     /// heartbeats).
     pub boundaries: u64,
@@ -229,6 +247,7 @@ pub(crate) fn report_from_rows(rows: &[(u32, usize, u64)]) -> TelemetryReport {
     TelemetryReport {
         shards,
         queries,
+        workers: Vec::new(),
         boundaries: 0,
         now_secs: 0.0,
     }
@@ -269,6 +288,66 @@ mod tests {
         let w = cur.window_since(&prev);
         assert_eq!(w.shard_loads, vec![0]);
         assert_eq!(w.queries[0].ops, 0);
+    }
+
+    #[test]
+    fn window_counts_query_registered_mid_window_in_full() {
+        // A query with no mark in `prev` (registered after the previous
+        // observation) contributes its whole cumulative count — all of
+        // it happened inside the window.
+        let prev = report(&[(0, 0, 100)]);
+        let cur = report(&[(0, 0, 160), (1, 1, 90)]);
+        let w = cur.window_since(&prev);
+        assert_eq!(w.shard_loads, vec![60, 90]);
+        assert_eq!(w.queries[1].ops, 90);
+    }
+
+    #[test]
+    fn migration_landing_exactly_on_window_boundary_credits_nothing() {
+        // q0 moved shards between observations but ran no ops since the
+        // previous mark: the window credits zero to *either* shard — the
+        // move itself is not load.
+        let prev = report(&[(0, 0, 500), (1, 1, 100)]);
+        let cur = report(&[(0, 1, 500), (1, 1, 140)]);
+        let w = cur.window_since(&prev);
+        assert_eq!(w.shard_loads, vec![0, 40]);
+        assert_eq!(w.queries[0].ops, 0);
+        assert_eq!(w.queries[0].shard, 1, "residence still tracks the move");
+    }
+
+    #[test]
+    fn counter_reset_combined_with_migration_saturates_at_destination() {
+        // Pause/resume rebuilt the pipeline (counter restarted below the
+        // mark) *and* the query moved: the window must read zero at the
+        // new shard, never wrap-around garbage at either one.
+        let prev = report(&[(0, 0, 9000), (1, 1, 50)]);
+        let cur = report(&[(0, 1, 12), (1, 1, 80)]);
+        let w = cur.window_since(&prev);
+        assert_eq!(w.shard_loads, vec![0, 30]);
+        assert_eq!(w.queries[0].ops, 0);
+        assert_eq!(w.queries[0].shard, 1);
+    }
+
+    #[test]
+    fn empty_window_with_no_queries_is_balanced() {
+        // An engine whose whole query set was deregistered mid-window:
+        // the report still has shards but no queries. The window must be
+        // empty and read as perfectly balanced, and diffing an empty
+        // report against a populated one must not panic on the missing
+        // shard slots.
+        let prev = report(&[(0, 0, 100), (1, 1, 100)]);
+        let mut cur = report(&[(0, 0, 100), (1, 1, 100)]);
+        cur.queries.clear();
+        let w = cur.window_since(&prev);
+        assert_eq!(w.shard_loads, vec![0, 0]);
+        assert!(w.queries.is_empty());
+        assert_eq!(w.total_ops(), 0);
+        assert!((w.balance_ratio() - 1.0).abs() < 1e-12);
+        // The degenerate zero-shard report also stays total and balanced.
+        let empty = TelemetryReport::default();
+        let w = empty.window_since(&prev);
+        assert!(w.shard_loads.is_empty());
+        assert!((w.balance_ratio() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -11,8 +11,26 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use smartcis::catalog::{Catalog, SourceKind, SourceStats};
-use smartcis::stream::{EngineConfig, QueryHandle, QuerySpec, ShardedEngine, StreamEngine};
+use smartcis::stream::{
+    EngineConfig, QueryHandle, QuerySpec, Scheduling, ShardedEngine, StreamEngine,
+};
 use smartcis::types::{DataType, Field, Schema, SimTime, Tuple, Value};
+
+/// Base seed offset for the property tests, taken from `ASPEN_TEST_SEED`
+/// so CI can sweep a seed matrix over the same test binary (each value
+/// explores a disjoint block of workloads and interleavings).
+fn seed_base() -> u64 {
+    std::env::var("ASPEN_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// `n` workload seeds starting at this run's `ASPEN_TEST_SEED` block.
+fn seeds(n: u64) -> impl Iterator<Item = u64> {
+    let base = seed_base().wrapping_mul(0x1000);
+    (0..n).map(move |i| base.wrapping_add(i))
+}
 
 fn catalog() -> Arc<Catalog> {
     let cat = Catalog::shared();
@@ -63,7 +81,7 @@ fn shard_count_invariance_property() {
     use rand::Rng;
     use smartcis::types::rng::seeded;
 
-    for seed in 0..4u64 {
+    for seed in seeds(4) {
         let mut rng = seeded(seed);
         // Random workload: tuple batches interleaved with heartbeats,
         // timestamps nondecreasing so windows expire mid-run.
@@ -155,8 +173,12 @@ struct ClientQuery {
 
 impl Client {
     fn new(shards: usize) -> Client {
+        Client::with_engine(ShardedEngine::new(catalog(), shards))
+    }
+
+    fn with_engine(engine: ShardedEngine) -> Client {
         Client {
-            engine: ShardedEngine::new(catalog(), shards),
+            engine,
             queries: Vec::new(),
         }
     }
@@ -175,38 +197,43 @@ impl Client {
         }));
     }
 
-    /// Drain all subscriptions and fold the deltas into each query's
-    /// accumulated multiset.
-    fn drain(&mut self) {
-        for q in self.queries.iter_mut().flatten() {
-            for batch in q.sub.drain() {
-                for d in &batch {
-                    let e = q.accum.entry(d.tuple.clone()).or_insert(0);
-                    *e += d.sign;
-                    if *e == 0 {
-                        q.accum.remove(&d.tuple);
-                    }
+    /// One query's accumulated push multiset must equal its polled
+    /// snapshot multiset. The snapshot is taken *first*: polling
+    /// quiesces the owning shard, so every pending boundary's push
+    /// batches are delivered before the drain below folds them in — the
+    /// order that is sound under deferred (pool / deterministic)
+    /// scheduling as well as inline execution.
+    fn check_slot_push_matches_poll(&mut self, slot: usize, ctx: &str) {
+        let Some(handle) = self.queries[slot].as_ref().map(|q| q.handle) else {
+            return;
+        };
+        let mut snap: HashMap<Tuple, i64> = HashMap::new();
+        for t in self.engine.snapshot(handle).unwrap() {
+            *snap.entry(t).or_insert(0) += 1;
+        }
+        let q = self.queries[slot].as_mut().unwrap();
+        for batch in q.sub.drain() {
+            for d in &batch {
+                let e = q.accum.entry(d.tuple.clone()).or_insert(0);
+                *e += d.sign;
+                if *e == 0 {
+                    q.accum.remove(&d.tuple);
                 }
             }
         }
+        assert_eq!(
+            q.accum,
+            snap,
+            "push accumulation != polled snapshot (slot {slot}, {} shards, {ctx})",
+            self.engine.shard_count()
+        );
     }
 
     /// Every live/paused query's accumulated push multiset must equal
     /// its polled snapshot multiset.
     fn check_push_matches_poll(&mut self, ctx: &str) {
-        self.drain();
-        for (slot, q) in self.queries.iter().enumerate() {
-            let Some(q) = q else { continue };
-            let mut snap: HashMap<Tuple, i64> = HashMap::new();
-            for t in self.engine.snapshot(q.handle).unwrap() {
-                *snap.entry(t).or_insert(0) += 1;
-            }
-            assert_eq!(
-                q.accum,
-                snap,
-                "push accumulation != polled snapshot (slot {slot}, {} shards, {ctx})",
-                self.engine.shard_count()
-            );
+        for slot in 0..self.queries.len() {
+            self.check_slot_push_matches_poll(slot, ctx);
         }
     }
 }
@@ -220,7 +247,7 @@ fn lifecycle_churn_shard_invariance_with_push_subscriptions() {
     use rand::Rng;
     use smartcis::types::rng::seeded;
 
-    for seed in 0..3u64 {
+    for seed in seeds(3) {
         let mut rng = seeded(0xC1A0 ^ seed);
         let mut clients: Vec<Client> = [1usize, 2, 4].into_iter().map(Client::new).collect();
         // Start with the full mixed plan set live everywhere.
@@ -352,7 +379,7 @@ fn migration_churn_shard_invariance_with_push_subscriptions() {
     use rand::Rng;
     use smartcis::types::rng::seeded;
 
-    for seed in 0..3u64 {
+    for seed in seeds(3) {
         let mut rng = seeded(0x51A7 ^ seed);
         let mut clients: Vec<Client> = [1usize, 2, 4].into_iter().map(Client::new).collect();
         for sql in PLANS {
@@ -472,9 +499,279 @@ fn migration_churn_shard_invariance_with_push_subscriptions() {
     }
 }
 
-/// The threaded fan-out path (scoped worker per shard) must agree with
-/// the sequential loop — same shards, same slices, same results. The
-/// mode is fixed at construction via `EngineConfig`.
+/// Property (ISSUE 5 acceptance): scheduling determinism. Under
+/// `Deterministic(seed)` the executor defers boundary tasks in the same
+/// bounded per-shard queues the pool uses and replays a fixed seeded
+/// interleaving — work is applied out of order *across* shards and late
+/// relative to coordinator actions, exactly like the pool, but
+/// reproducibly. A workload interleaving ingest, heartbeats, register /
+/// deregister / pause / resume, and forced migrations across N ∈
+/// {1, 2, 4} shards must leave the deterministic engine event-for-event
+/// equivalent to inline sequential execution: every event's snapshot
+/// agrees, push accumulation reconstructs every poll, the ops total is
+/// invariant — across ≥ 8 seeds (offset by `ASPEN_TEST_SEED`, which CI
+/// sweeps), with zero snapshot divergence.
+#[test]
+fn deterministic_scheduling_matches_sequential_under_full_churn() {
+    use rand::Rng;
+    use smartcis::types::rng::seeded;
+
+    // Deepest any deterministic queue ever got, across the whole sweep:
+    // proof that interleavings really deferred work (the property would
+    // be vacuous if every task ran inline).
+    let mut deepest = 0usize;
+    let mut migrations = 0u64;
+    for seed in seeds(8) {
+        for shards in [1usize, 2, 4] {
+            let depth = 4usize;
+            let mut det = Client::with_engine(ShardedEngine::with_config(
+                catalog(),
+                EngineConfig::new()
+                    .shards(shards)
+                    .deterministic(seed)
+                    .queue_depth(depth),
+            ));
+            let mut seq = Client::with_engine(ShardedEngine::with_config(
+                catalog(),
+                EngineConfig::new().shards(shards).parallel_ingest(false),
+            ));
+            for sql in PLANS {
+                det.register(sql);
+                seq.register(sql);
+            }
+
+            let mut rng = seeded(0xD37E ^ seed);
+            let mut now = 0u64;
+            for step in 0..50 {
+                let ctx = format!("seed {seed}, {shards} shards, step {step}");
+                let slots: Vec<usize> = det
+                    .queries
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, q)| q.as_ref().map(|_| i))
+                    .collect();
+                match rng.gen_range(0..12u32) {
+                    // Ingest (most common).
+                    0..=4 => {
+                        let n = rng.gen_range(1..8usize);
+                        let batch: Vec<Tuple> = (0..n)
+                            .map(|_| {
+                                reading(
+                                    rng.gen_range(0..4i64),
+                                    rng.gen_range(0..100i64) as f64,
+                                    now + rng.gen_range(0..2u64),
+                                )
+                            })
+                            .collect();
+                        now += 1;
+                        det.engine.on_batch("Readings", &batch).unwrap();
+                        seq.engine.on_batch("Readings", &batch).unwrap();
+                    }
+                    // Heartbeat.
+                    5 | 6 => {
+                        now += rng.gen_range(1..15u64);
+                        det.engine.heartbeat(SimTime::from_secs(now)).unwrap();
+                        seq.engine.heartbeat(SimTime::from_secs(now)).unwrap();
+                    }
+                    // Register a fresh query from the plan set.
+                    7 => {
+                        let sql = PLANS[rng.gen_range(0..PLANS.len())];
+                        det.register(sql);
+                        seq.register(sql);
+                    }
+                    // Deregister a random live slot.
+                    8 => {
+                        if !slots.is_empty() {
+                            let slot = slots[rng.gen_range(0..slots.len())];
+                            for c in [&mut det, &mut seq] {
+                                let q = c.queries[slot].take().unwrap();
+                                c.engine.deregister(q.handle).unwrap();
+                            }
+                        }
+                    }
+                    // Toggle pause/resume on a random slot.
+                    9 => {
+                        if !slots.is_empty() {
+                            let slot = slots[rng.gen_range(0..slots.len())];
+                            for c in [&mut det, &mut seq] {
+                                let h = c.queries[slot].as_ref().unwrap().handle;
+                                if c.engine.is_paused(h).unwrap() {
+                                    c.engine.resume(h).unwrap();
+                                } else {
+                                    c.engine.pause(h).unwrap();
+                                }
+                            }
+                        }
+                    }
+                    // Forced migration (a no-op at N = 1 — migration and
+                    // its shard quiescing must be invisible).
+                    _ => {
+                        if !slots.is_empty() {
+                            let slot = slots[rng.gen_range(0..slots.len())];
+                            let target = rng.gen_range(0..4usize);
+                            for c in [&mut det, &mut seq] {
+                                let h = c.queries[slot].as_ref().unwrap().handle;
+                                c.engine
+                                    .migrate(h, target % c.engine.shard_count())
+                                    .unwrap();
+                            }
+                        }
+                    }
+                }
+
+                // Observe queue build-up *before* the checks drain it,
+                // and hold the admission bound: deferral never runs
+                // ahead of a shard by more than the configured depth.
+                let stats = det.engine.executor_stats();
+                deepest = deepest.max(stats.high_water.iter().copied().max().unwrap_or(0));
+                assert!(
+                    stats.high_water.iter().all(|&h| h <= depth),
+                    "queue depth bound violated: {:?} ({ctx})",
+                    stats.high_water
+                );
+
+                // Per-event: one randomly chosen live slot is fully
+                // checked (its snapshot quiesces only its own shard, so
+                // the other shards' queues stay deferred across events —
+                // the deep interleavings the property is about)...
+                let live: Vec<usize> = det
+                    .queries
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, q)| q.as_ref().map(|_| i))
+                    .collect();
+                if !live.is_empty() {
+                    let slot = live[rng.gen_range(0..live.len())];
+                    let (dh, sh) = (
+                        det.queries[slot].as_ref().unwrap().handle,
+                        seq.queries[slot].as_ref().unwrap().handle,
+                    );
+                    assert_eq!(
+                        value_rows(&det.engine.snapshot(dh).unwrap()),
+                        value_rows(&seq.engine.snapshot(sh).unwrap()),
+                        "slot {slot} diverged ({ctx})"
+                    );
+                    assert_eq!(
+                        det.engine.is_paused(dh).unwrap(),
+                        seq.engine.is_paused(sh).unwrap()
+                    );
+                    det.check_slot_push_matches_poll(slot, &ctx);
+                    seq.check_slot_push_matches_poll(slot, &ctx);
+                }
+                assert_eq!(det.engine.now(), seq.engine.now(), "clock diverged ({ctx})");
+
+                // ...and every 8th event everything is checked.
+                if step % 8 == 7 {
+                    det.check_push_matches_poll(&ctx);
+                    seq.check_push_matches_poll(&ctx);
+                    for (slot, (dq, sq)) in det.queries.iter().zip(&seq.queries).enumerate() {
+                        let (Some(dq), Some(sq)) = (dq, sq) else {
+                            continue;
+                        };
+                        assert_eq!(
+                            value_rows(&det.engine.snapshot(dq.handle).unwrap()),
+                            value_rows(&seq.engine.snapshot(sq.handle).unwrap()),
+                            "slot {slot} diverged at full check ({ctx})"
+                        );
+                    }
+                }
+            }
+
+            // Drain everything and hold the global invariants.
+            det.check_push_matches_poll("final");
+            seq.check_push_matches_poll("final");
+            assert_eq!(
+                det.engine.total_ops_invoked(),
+                seq.engine.total_ops_invoked(),
+                "ops total diverged (seed {seed}, {shards} shards)"
+            );
+            migrations += det.engine.migration_count();
+        }
+    }
+    assert!(
+        deepest >= 2,
+        "deterministic scheduling never deferred more than one boundary — \
+         the property ran against inline execution only"
+    );
+    assert!(migrations > 0, "forced migrations never happened");
+}
+
+/// Regression (ISSUE 5 acceptance): a pathologically slow query must
+/// not stall its siblings. Under pool scheduling, ingest admission
+/// returns once the boundary is enqueued (blocking only on the bounded
+/// queue, never on processing), sibling queries on other shards stay
+/// fresh batch-for-batch while the slow shard's backlog drains, and the
+/// backlog never exceeds the configured queue depth.
+#[test]
+fn slow_query_isolation_keeps_siblings_fresh_and_admission_bounded() {
+    use std::time::Duration;
+
+    let depth = 4usize;
+    let mut e = ShardedEngine::with_config(
+        catalog(),
+        EngineConfig::new()
+            .shards(2)
+            .scheduling(Scheduling::Pool)
+            .workers(2)
+            .queue_depth(depth),
+    );
+    let slow = e
+        .register(QuerySpec::sql(
+            "select r.sensor, r.value from Readings r where r.value >= 0",
+        ))
+        .unwrap()
+        .expect_query();
+    let fast = e
+        .register(QuerySpec::sql("select count(*) from Readings r"))
+        .unwrap()
+        .expect_query();
+    // Pin the two queries to different shards and make one pathological:
+    // every batch it processes drags 3 ms — far slower than ingest.
+    e.migrate(slow, 0).unwrap();
+    e.migrate(fast, 1).unwrap();
+    e.set_query_drag(slow, Some(Duration::from_millis(3)))
+        .unwrap();
+
+    let mut slow_shard_lagged = false;
+    for i in 0..30u64 {
+        e.on_batch("Readings", &[reading((i % 4) as i64, i as f64, 1)])
+            .unwrap();
+        slow_shard_lagged |= e.executor_stats().pending[0] > 0;
+        // Sibling freshness: the fast query's snapshot reflects every
+        // admitted batch immediately, no matter how far the slow shard
+        // is behind.
+        let snap = e.snapshot(fast).unwrap();
+        assert_eq!(
+            snap[0].values(),
+            &[Value::Int((i + 1) as i64)],
+            "sibling went stale at batch {i}"
+        );
+    }
+    assert!(
+        slow_shard_lagged,
+        "ingest admission was gated on the slow shard (its queue was \
+         always empty after on_batch returned)"
+    );
+    let stats = e.executor_stats();
+    assert!(
+        stats.high_water.iter().all(|&h| h <= depth),
+        "admission ran past the configured queue depth: {:?}",
+        stats.high_water
+    );
+    assert!(
+        stats.admission_stall_seconds > 0.0,
+        "backpressure never engaged on a 30-batch burst against a 3 ms/batch consumer"
+    );
+
+    // Drain: the slow query catches up completely, nothing was lost.
+    e.quiesce().unwrap();
+    assert_eq!(e.executor_stats().pending, vec![0, 0]);
+    assert_eq!(e.snapshot(slow).unwrap().len(), 30, "slow query lost rows");
+}
+
+/// The pool path must agree with the sequential loop — same shards,
+/// same slices, same results. The mode is fixed at construction via
+/// `EngineConfig`.
 #[test]
 fn parallel_fan_out_matches_sequential() {
     let run = |parallel: bool| -> Vec<Vec<Vec<Value>>> {
