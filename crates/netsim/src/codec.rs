@@ -89,6 +89,9 @@ pub fn encode_row(values: &[Value]) -> Bytes {
                 buf.put_u8(TAG_TIMESTAMP);
                 put_varint(&mut buf, *t);
             }
+            // Plan-template parameter markers exist only inside cached
+            // logical plans; a data row can never contain one.
+            Value::Param(..) => unreachable!("parameter marker in a data row"),
         }
     }
     buf.freeze()

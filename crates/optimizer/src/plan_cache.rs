@@ -1,0 +1,309 @@
+//! LRU-bounded plan-template cache over the parse→canonicalize→bind path.
+//!
+//! SmartCIS registrations are dominated by parameterized variants of a
+//! few templates (`temp > 20 in room 7`, `temp > 25 in room 9`, ...), so
+//! the front-end cost of a registration should be paid once per
+//! *template*, not once per query. The cache has two tiers:
+//!
+//! * **exact tier** — keyed by the raw SQL string; a hit skips parsing
+//!   entirely and replays the memoized (template, parameters) pair;
+//! * **template tier** — keyed by the [canonical key]
+//!   (aspen_sql::canon::canonicalize_select); a hit skips binding and
+//!   only pays parse + canonicalize + constant substitution.
+//!
+//! Both tiers are LRU-evicted at a fixed capacity, so a hostile or
+//! high-cardinality workload degrades to miss-path cost instead of
+//! unbounded memory. `CREATE VIEW` statements are never cached — view
+//! registration mutates the catalog and must re-bind every time.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use aspen_catalog::Catalog;
+use aspen_sql::canon::{canonicalize_select, instantiate};
+use aspen_sql::{bind, parse, BoundQuery, LogicalPlan, Statement};
+use aspen_types::Result;
+
+/// Counters describing cache effectiveness (monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Raw-SQL tier hits: parse, canonicalize, *and* bind were skipped.
+    pub exact_hits: u64,
+    /// Template tier hits: bind was skipped.
+    pub template_hits: u64,
+    /// Full misses: the statement was parsed, canonicalized, and bound.
+    pub misses: u64,
+    /// Entries dropped by LRU pressure (both tiers).
+    pub evictions: u64,
+}
+
+impl PlanCacheStats {
+    /// Fraction of `SELECT` resolutions that skipped binding.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.exact_hits + self.template_hits;
+        let total = hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of resolving one statement through the cache.
+pub enum CachedQuery {
+    /// A `SELECT`, fully instantiated and ready to compile. Shared:
+    /// every registration of the same SQL string clones one `Arc`, so
+    /// an exact-tier hit is O(1) — no plan is ever re-instantiated or
+    /// deep-cloned for a repeat.
+    Select(Arc<LogicalPlan>),
+    /// Anything else (`CREATE VIEW`), bound fresh and never cached.
+    /// Boxed: views are the rare path, and the enum's common variant
+    /// should stay pointer-sized.
+    Other(Box<BoundQuery>),
+}
+
+/// A bound template plan; parameter slots are still unfilled.
+struct Template {
+    plan: LogicalPlan,
+}
+
+/// The fully instantiated plan of one exact SQL string, shared across
+/// every registration of that string.
+struct ExactEntry {
+    plan: Arc<LogicalPlan>,
+}
+
+/// One LRU tier: a map with per-entry recency stamps. Capacities are
+/// small enough that min-stamp eviction (O(n) on overflow only) beats
+/// maintaining a linked order on every touch.
+struct Tier<V> {
+    map: HashMap<String, (u64, V)>,
+    capacity: usize,
+}
+
+impl<V> Tier<V> {
+    fn new(capacity: usize) -> Self {
+        Tier {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&mut self, key: &str, tick: u64) -> Option<&V> {
+        let slot = self.map.get_mut(key)?;
+        slot.0 = tick;
+        Some(&slot.1)
+    }
+
+    /// Insert, evicting the least-recently-used entry if at capacity.
+    /// Returns whether an eviction happened.
+    fn insert(&mut self, key: String, value: V, tick: u64) -> bool {
+        let mut evicted = false;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                evicted = true;
+            }
+        }
+        self.map.insert(key, (tick, value));
+        evicted
+    }
+}
+
+/// The two-tier cache. Owned by the engine coordinator; resolution is
+/// `&mut self` because every lookup refreshes recency.
+pub struct PlanCache {
+    exact: Tier<ExactEntry>,
+    templates: Tier<Arc<Template>>,
+    tick: u64,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// Default per-tier capacity: comfortably above the number of live
+    /// *templates* any SmartCIS scenario uses, far below the number of
+    /// query instances.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            exact: Tier::new(capacity.saturating_mul(2)),
+            templates: Tier::new(capacity),
+            tick: 0,
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Number of distinct templates currently resident.
+    pub fn template_count(&self) -> usize {
+        self.templates.map.len()
+    }
+
+    /// Resolve one SQL statement to an executable plan, consulting and
+    /// populating both tiers. Errors are never cached.
+    pub fn resolve(&mut self, sql: &str, catalog: &Catalog) -> Result<CachedQuery> {
+        self.tick += 1;
+        let tick = self.tick;
+
+        if let Some(entry) = self.exact.get(sql, tick) {
+            let plan = Arc::clone(&entry.plan);
+            self.stats.exact_hits += 1;
+            return Ok(CachedQuery::Select(plan));
+        }
+
+        let stmt = parse(sql)?;
+        let select = match stmt {
+            Statement::Select(s) => s,
+            other => return Ok(CachedQuery::Other(Box::new(bind(&other, catalog)?))),
+        };
+
+        let canon = canonicalize_select(&select);
+        let template = match self.templates.get(&canon.key, tick) {
+            Some(t) => {
+                self.stats.template_hits += 1;
+                Arc::clone(t)
+            }
+            None => {
+                self.stats.misses += 1;
+                let plan = match bind(&Statement::Select(canon.template.clone()), catalog)? {
+                    BoundQuery::Select(b) => b.plan,
+                    BoundQuery::View(_) => unreachable!("SELECT bound to a view"),
+                };
+                let t = Arc::new(Template { plan });
+                if self
+                    .templates
+                    .insert(canon.key.clone(), Arc::clone(&t), tick)
+                {
+                    self.stats.evictions += 1;
+                }
+                t
+            }
+        };
+
+        let plan = Arc::new(instantiate(&template.plan, &canon.params)?);
+        if self.exact.insert(
+            sql.to_string(),
+            ExactEntry {
+                plan: Arc::clone(&plan),
+            },
+            tick,
+        ) {
+            self.stats.evictions += 1;
+        }
+        Ok(CachedQuery::Select(plan))
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_catalog::{SourceKind, SourceStats};
+    use aspen_types::{DataType, Field, Schema};
+
+    fn catalog() -> Arc<Catalog> {
+        let cat = Catalog::shared();
+        let readings = Schema::new(vec![
+            Field::new("sensor", DataType::Int),
+            Field::new("value", DataType::Float),
+        ])
+        .into_ref();
+        cat.register_source(
+            "Readings",
+            readings,
+            SourceKind::Stream,
+            SourceStats::stream(2.0).with_distinct("sensor", 4),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn plan_of(q: CachedQuery) -> Arc<LogicalPlan> {
+        match q {
+            CachedQuery::Select(p) => p,
+            CachedQuery::Other(_) => panic!("expected SELECT"),
+        }
+    }
+
+    #[test]
+    fn tiers_hit_in_order() {
+        let cat = catalog();
+        let mut cache = PlanCache::new(8);
+        let sql_a = "select r.value from Readings r where r.value > 20 ^ r.sensor = 7";
+        let sql_b = "select r.value from Readings r where r.value > 25 ^ r.sensor = 9";
+
+        plan_of(cache.resolve(sql_a, &cat).unwrap());
+        assert_eq!(cache.stats().misses, 1);
+        // Same string: exact hit.
+        plan_of(cache.resolve(sql_a, &cat).unwrap());
+        assert_eq!(cache.stats().exact_hits, 1);
+        // Different constants: template hit, no new bind.
+        plan_of(cache.resolve(sql_b, &cat).unwrap());
+        assert_eq!(cache.stats().template_hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.template_count(), 1);
+        assert!(cache.stats().hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn cached_plan_carries_its_own_constants() {
+        let cat = catalog();
+        let mut cache = PlanCache::new(8);
+        let a = plan_of(
+            cache
+                .resolve("select r.value from Readings r where r.value > 20", &cat)
+                .unwrap(),
+        );
+        let b = plan_of(
+            cache
+                .resolve("select r.value from Readings r where r.value > 95", &cat)
+                .unwrap(),
+        );
+        // Same template, different instantiated predicates.
+        let render = |p: &LogicalPlan| format!("{p:?}");
+        assert_ne!(render(&a), render(&b));
+        assert!(render(&a).contains("20"));
+        assert!(render(&b).contains("95"));
+        assert!(!aspen_sql::canon::has_params(&a));
+        assert!(!aspen_sql::canon::has_params(&b));
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_counted() {
+        let cat = catalog();
+        let mut cache = PlanCache::new(2);
+        // Four structurally distinct templates through a capacity-2 tier.
+        for (i, op) in ["<", ">", "<=", ">="].iter().enumerate() {
+            let sql = format!("select r.value from Readings r where r.value {op} {i}");
+            plan_of(cache.resolve(&sql, &cat).unwrap());
+        }
+        assert!(cache.template_count() <= 2);
+        assert!(cache.stats().evictions >= 2);
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cat = catalog();
+        let mut cache = PlanCache::new(8);
+        assert!(cache.resolve("select nope.x from Nope n", &cat).is_err());
+        assert!(cache.resolve("select nope.x from Nope n", &cat).is_err());
+        assert_eq!(cache.template_count(), 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

@@ -1,0 +1,542 @@
+//! Query canonicalization: reduce a parsed `SELECT` to a *template* that
+//! is invariant under the cosmetic choices a client made — alias names,
+//! conjunct order, and the concrete constants in comparison predicates.
+//!
+//! SmartCIS's workload is thousands of users registering parameterized
+//! variants of the same few query shapes (`temp > 20 in room 7`,
+//! `temp > 25 in room 9`, ...). Canonicalization makes those variants
+//! collide on one cache key:
+//!
+//! 1. table aliases are renamed positionally (`t0`, `t1`, ...) and every
+//!    column qualifier is rewritten through the same map;
+//! 2. comparison constants in WHERE/HAVING whose other side references at
+//!    least one column are replaced by typed [`Value::Param`] markers and
+//!    collected as the parameter vector (constant-vs-constant predicates
+//!    like `1 = 2` are *not* parameterized — their truth value is part of
+//!    the template);
+//! 3. conjuncts are sorted by their parameter-index-blind rendering, and
+//!    parameter slots are then renumbered in the sorted order, so `a ^ b`
+//!    and `b ^ a` produce byte-identical templates.
+//!
+//! The marked template binds exactly like an ordinary statement (the
+//! binder only consults a literal's *type*, which a marker carries), and
+//! [`instantiate`] substitutes the concrete constants back into the bound
+//! [`LogicalPlan`] before it is compiled into a pipeline.
+
+use aspen_types::{AspenError, Result, Value};
+
+use crate::ast::{Expr, Projection, SelectStmt};
+use crate::expr::BoundExpr;
+use crate::plan::LogicalPlan;
+
+/// A canonicalized `SELECT`: the marked template, the cache key, and the
+/// extracted constants in slot order.
+#[derive(Debug, Clone)]
+pub struct CanonicalSelect {
+    /// The statement with aliases normalized and comparison constants
+    /// replaced by [`Value::Param`] markers.
+    pub template: SelectStmt,
+    /// Deterministic rendering of `template`; equal keys ⇔ same template.
+    pub key: String,
+    /// Extracted constants; `params[i]` fills slot `Param(i, _)`.
+    pub params: Vec<Value>,
+}
+
+/// Canonicalize one `SELECT` block (see module docs for the steps).
+pub fn canonicalize_select(stmt: &SelectStmt) -> CanonicalSelect {
+    // Freeze output column names *before* aliases are rewritten: the
+    // binder names an unaliased projection after its rendering, and that
+    // rendering must keep the user's qualifiers (`AVG(r.value)`, not
+    // `AVG(t0.value)`). The explicit alias becomes part of the key, so
+    // two spellings that would display differently cache separately.
+    let mut frozen = stmt.clone();
+    for p in &mut frozen.projections {
+        if let Projection::Expr { expr, alias } = p {
+            if alias.is_none() {
+                *alias = Some(match expr {
+                    Expr::Column { name, .. } => name.clone(),
+                    other => other.render(),
+                });
+            }
+        }
+    }
+    let mut stmt = normalize_aliases(&frozen);
+
+    // Extract comparison constants (original conjunct order, then HAVING).
+    let mut raw: Vec<Value> = Vec::new();
+    let mut conjuncts: Vec<Expr> = stmt
+        .conjuncts
+        .iter()
+        .map(|c| mark_params(c, &mut raw))
+        .collect();
+    let having = stmt.having.as_ref().map(|h| mark_params(h, &mut raw));
+
+    // Canonical conjunct order: sort by the slot-blind rendering so the
+    // order constants were extracted in cannot influence the key. The
+    // sort is stable, so equal-rendering conjuncts keep source order and
+    // renumbering below stays deterministic.
+    conjuncts.sort_by_key(render_slot_blind);
+
+    // Renumber slots in canonical order and permute the values to match.
+    let mut params: Vec<Value> = Vec::with_capacity(raw.len());
+    let mut renumber = |e: &Expr| -> Expr {
+        transform(e, &mut |node| match node {
+            Expr::Literal(Value::Param(old, dt)) => {
+                let fresh = params.len() as u16;
+                params.push(raw[*old as usize].clone());
+                Some(Expr::Literal(Value::Param(fresh, *dt)))
+            }
+            _ => None,
+        })
+    };
+    stmt.conjuncts = conjuncts.iter().map(&mut renumber).collect();
+    stmt.having = having.as_ref().map(&mut renumber);
+
+    let key = render_statement(&stmt);
+    CanonicalSelect {
+        template: stmt,
+        key,
+        params,
+    }
+}
+
+/// Substitute the concrete constants back into a bound template plan.
+/// Errors if the plan references a slot the parameter vector lacks — that
+/// would mean a template was paired with the wrong instantiation.
+pub fn instantiate(plan: &LogicalPlan, params: &[Value]) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Scan { rel } => LogicalPlan::Scan { rel: rel.clone() },
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(instantiate(input, params)?),
+            predicate: subst(predicate, params)?,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(instantiate(input, params)?),
+            exprs: exprs
+                .iter()
+                .map(|e| subst(e, params))
+                .collect::<Result<_>>()?,
+            schema: schema.clone(),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            keys,
+            residual,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(instantiate(left, params)?),
+            right: Box::new(instantiate(right, params)?),
+            keys: keys.clone(),
+            residual: residual.as_ref().map(|r| subst(r, params)).transpose()?,
+            schema: schema.clone(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(instantiate(input, params)?),
+            group: group
+                .iter()
+                .map(|e| subst(e, params))
+                .collect::<Result<_>>()?,
+            aggs: aggs
+                .iter()
+                .map(|a| {
+                    Ok(crate::expr::BoundAgg {
+                        func: a.func,
+                        arg: a.arg.as_ref().map(|e| subst(e, params)).transpose()?,
+                        name: a.name.clone(),
+                    })
+                })
+                .collect::<Result<_>>()?,
+            schema: schema.clone(),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(instantiate(input, params)?),
+            keys: keys
+                .iter()
+                .map(|(e, asc)| Ok((subst(e, params)?, *asc)))
+                .collect::<Result<_>>()?,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(instantiate(input, params)?),
+            n: *n,
+        },
+        LogicalPlan::Union { inputs, schema } => LogicalPlan::Union {
+            inputs: inputs
+                .iter()
+                .map(|p| instantiate(p, params))
+                .collect::<Result<_>>()?,
+            schema: schema.clone(),
+        },
+        LogicalPlan::RecursiveRef { name, schema } => LogicalPlan::RecursiveRef {
+            name: name.clone(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Output { input, display } => LogicalPlan::Output {
+            input: Box::new(instantiate(input, params)?),
+            display: display.clone(),
+        },
+    })
+}
+
+/// Whether a bound plan still contains any unfilled parameter slot.
+pub fn has_params(plan: &LogicalPlan) -> bool {
+    fn expr_has(e: &BoundExpr) -> bool {
+        match e {
+            BoundExpr::Lit(Value::Param(..)) => true,
+            BoundExpr::Col { .. } | BoundExpr::Lit(_) => false,
+            BoundExpr::Cmp { left, right, .. }
+            | BoundExpr::Like { left, right }
+            | BoundExpr::Arith { left, right, .. } => expr_has(left) || expr_has(right),
+            BoundExpr::And(l, r) | BoundExpr::Or(l, r) => expr_has(l) || expr_has(r),
+            BoundExpr::Not(i) => expr_has(i),
+            BoundExpr::Func { args, .. } => args.iter().any(expr_has),
+        }
+    }
+    let own = match plan {
+        LogicalPlan::Filter { predicate, .. } => expr_has(predicate),
+        LogicalPlan::Project { exprs, .. } => exprs.iter().any(expr_has),
+        LogicalPlan::Join { residual, .. } => residual.as_ref().is_some_and(expr_has),
+        LogicalPlan::Aggregate { group, aggs, .. } => {
+            group.iter().any(expr_has) || aggs.iter().any(|a| a.arg.as_ref().is_some_and(expr_has))
+        }
+        LogicalPlan::Sort { keys, .. } => keys.iter().any(|(e, _)| expr_has(e)),
+        _ => false,
+    };
+    own || plan.children().iter().any(|c| has_params(c))
+}
+
+fn subst(e: &BoundExpr, params: &[Value]) -> Result<BoundExpr> {
+    Ok(match e {
+        BoundExpr::Lit(Value::Param(i, _)) => {
+            BoundExpr::Lit(params.get(*i as usize).cloned().ok_or_else(|| {
+                AspenError::Execution(format!(
+                    "template references parameter slot {i} but only {} value(s) supplied",
+                    params.len()
+                ))
+            })?)
+        }
+        BoundExpr::Col { .. } | BoundExpr::Lit(_) => e.clone(),
+        BoundExpr::Cmp { op, left, right } => BoundExpr::Cmp {
+            op: *op,
+            left: Box::new(subst(left, params)?),
+            right: Box::new(subst(right, params)?),
+        },
+        BoundExpr::Like { left, right } => BoundExpr::Like {
+            left: Box::new(subst(left, params)?),
+            right: Box::new(subst(right, params)?),
+        },
+        BoundExpr::Arith { op, left, right } => BoundExpr::Arith {
+            op: *op,
+            left: Box::new(subst(left, params)?),
+            right: Box::new(subst(right, params)?),
+        },
+        BoundExpr::And(l, r) => {
+            BoundExpr::And(Box::new(subst(l, params)?), Box::new(subst(r, params)?))
+        }
+        BoundExpr::Or(l, r) => {
+            BoundExpr::Or(Box::new(subst(l, params)?), Box::new(subst(r, params)?))
+        }
+        BoundExpr::Not(i) => BoundExpr::Not(Box::new(subst(i, params)?)),
+        BoundExpr::Func { func, args } => BoundExpr::Func {
+            func: *func,
+            args: args
+                .iter()
+                .map(|a| subst(a, params))
+                .collect::<Result<_>>()?,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Alias normalization
+// ---------------------------------------------------------------------------
+
+fn normalize_aliases(stmt: &SelectStmt) -> SelectStmt {
+    let map: Vec<(String, String)> = stmt
+        .from
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.binding().to_string(), format!("t{i}")))
+        .collect();
+    let requal = |e: &Expr| -> Expr {
+        transform(e, &mut |node| match node {
+            Expr::Column {
+                qualifier: Some(q),
+                name,
+            } => map
+                .iter()
+                .find(|(old, _)| old == q)
+                .map(|(_, new)| Expr::Column {
+                    qualifier: Some(new.clone()),
+                    name: name.clone(),
+                }),
+            _ => None,
+        })
+    };
+    let mut out = stmt.clone();
+    for (i, t) in out.from.iter_mut().enumerate() {
+        t.alias = Some(format!("t{i}"));
+    }
+    out.projections = stmt
+        .projections
+        .iter()
+        .map(|p| match p {
+            Projection::Wildcard => Projection::Wildcard,
+            Projection::Expr { expr, alias } => Projection::Expr {
+                expr: requal(expr),
+                alias: alias.clone(),
+            },
+        })
+        .collect();
+    out.conjuncts = stmt.conjuncts.iter().map(&requal).collect();
+    out.group_by = stmt.group_by.iter().map(&requal).collect();
+    out.having = stmt.having.as_ref().map(&requal);
+    out.order_by = stmt
+        .order_by
+        .iter()
+        .map(|(e, asc)| (requal(e), *asc))
+        .collect();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parameter extraction
+// ---------------------------------------------------------------------------
+
+/// Replace extractable comparison constants in one predicate with
+/// [`Value::Param`] markers, appending their values to `params`. Only
+/// literals sitting directly on one side of a comparison whose *other*
+/// side references a column are extracted; literals inside arithmetic or
+/// function calls, and constant-vs-constant comparisons, stay literal.
+fn mark_params(e: &Expr, params: &mut Vec<Value>) -> Expr {
+    match e {
+        Expr::Cmp { op, left, right } => Expr::Cmp {
+            op: *op,
+            left: mark_side(left, right, params),
+            right: mark_side(right, left, params),
+        },
+        Expr::And(l, r) => Expr::And(
+            Box::new(mark_params(l, params)),
+            Box::new(mark_params(r, params)),
+        ),
+        Expr::Or(l, r) => Expr::Or(
+            Box::new(mark_params(l, params)),
+            Box::new(mark_params(r, params)),
+        ),
+        Expr::Not(i) => Expr::Not(Box::new(mark_params(i, params))),
+        other => other.clone(),
+    }
+}
+
+fn mark_side(side: &Expr, other: &Expr, params: &mut Vec<Value>) -> Box<Expr> {
+    if let Expr::Literal(v) = side {
+        if !other.columns().is_empty() {
+            if let Some(dt) = v.data_type() {
+                let slot = params.len() as u16;
+                params.push(v.clone());
+                return Box::new(Expr::Literal(Value::Param(slot, dt)));
+            }
+        }
+        Box::new(side.clone())
+    } else {
+        Box::new(mark_params(side, params))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Conjunct rendering with every parameter slot index erased, used only
+/// as the sort key so extraction order cannot leak into conjunct order.
+fn render_slot_blind(e: &Expr) -> String {
+    transform(e, &mut |node| match node {
+        Expr::Literal(Value::Param(_, dt)) => Some(Expr::Literal(Value::Param(0, *dt))),
+        _ => None,
+    })
+    .render()
+}
+
+/// Deterministic full rendering of a (marked) statement — the cache key.
+fn render_statement(stmt: &SelectStmt) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(128);
+    s.push_str("SELECT ");
+    let projs: Vec<String> = stmt
+        .projections
+        .iter()
+        .map(|p| match p {
+            Projection::Wildcard => "*".to_string(),
+            Projection::Expr { expr, alias } => match alias {
+                Some(a) => format!("{} AS {a}", expr.render()),
+                None => expr.render(),
+            },
+        })
+        .collect();
+    s.push_str(&projs.join(", "));
+    s.push_str(" FROM ");
+    let tables: Vec<String> = stmt
+        .from
+        .iter()
+        .map(|t| {
+            let mut r = t.name.clone();
+            if let Some(a) = &t.alias {
+                let _ = write!(r, " {a}");
+            }
+            if let Some(w) = &t.window {
+                let _ = write!(r, " {}", w.render());
+            }
+            r
+        })
+        .collect();
+    s.push_str(&tables.join(", "));
+    if !stmt.conjuncts.is_empty() {
+        let cs: Vec<String> = stmt.conjuncts.iter().map(Expr::render).collect();
+        let _ = write!(s, " WHERE {}", cs.join(" AND "));
+    }
+    if !stmt.group_by.is_empty() {
+        let gs: Vec<String> = stmt.group_by.iter().map(Expr::render).collect();
+        let _ = write!(s, " GROUP BY {}", gs.join(", "));
+    }
+    if let Some(h) = &stmt.having {
+        let _ = write!(s, " HAVING {}", h.render());
+    }
+    if !stmt.order_by.is_empty() {
+        let os: Vec<String> = stmt
+            .order_by
+            .iter()
+            .map(|(e, asc)| format!("{} {}", e.render(), if *asc { "ASC" } else { "DESC" }))
+            .collect();
+        let _ = write!(s, " ORDER BY {}", os.join(", "));
+    }
+    if let Some(n) = stmt.limit {
+        let _ = write!(s, " LIMIT {n}");
+    }
+    if let Some(d) = &stmt.output_display {
+        let _ = write!(s, " OUTPUT TO DISPLAY '{d}'");
+    }
+    if let Some(p) = &stmt.sample_every {
+        let _ = write!(s, " SAMPLE EVERY {p}");
+    }
+    s
+}
+
+/// Bottom-up rewrite: `f` returns `Some(replacement)` to substitute a
+/// node, `None` to recurse into it (mirror of the binder's rewriter).
+fn transform(e: &Expr, f: &mut dyn FnMut(&Expr) -> Option<Expr>) -> Expr {
+    if let Some(rep) = f(e) {
+        return rep;
+    }
+    match e {
+        Expr::Column { .. } | Expr::Literal(_) => e.clone(),
+        Expr::Cmp { op, left, right } => Expr::Cmp {
+            op: *op,
+            left: Box::new(transform(left, f)),
+            right: Box::new(transform(right, f)),
+        },
+        Expr::Like { left, right } => Expr::Like {
+            left: Box::new(transform(left, f)),
+            right: Box::new(transform(right, f)),
+        },
+        Expr::Arith { op, left, right } => Expr::Arith {
+            op: *op,
+            left: Box::new(transform(left, f)),
+            right: Box::new(transform(right, f)),
+        },
+        Expr::And(l, r) => Expr::And(Box::new(transform(l, f)), Box::new(transform(r, f))),
+        Expr::Or(l, r) => Expr::Or(Box::new(transform(l, f)), Box::new(transform(r, f))),
+        Expr::Not(inner) => Expr::Not(Box::new(transform(inner, f))),
+        Expr::Agg { func, arg } => Expr::Agg {
+            func: func.clone(),
+            arg: arg.as_ref().map(|a| Box::new(transform(a, f))),
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(|a| transform(a, f)).collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use aspen_types::DataType;
+
+    fn select(sql: &str) -> SelectStmt {
+        match parse(sql).unwrap() {
+            crate::ast::Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parameterized_variants_share_a_key() {
+        let a = canonicalize_select(&select(
+            "select r.sensor, r.value from Readings r where r.value > 20 ^ r.sensor = 7",
+        ));
+        let b = canonicalize_select(&select(
+            "select x.sensor, x.value from Readings x where x.value > 25 ^ x.sensor = 9",
+        ));
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.params.len(), 2);
+        assert_ne!(a.params, b.params);
+    }
+
+    #[test]
+    fn conjunct_order_and_alias_do_not_matter() {
+        let a = canonicalize_select(&select(
+            "select r.value from Readings r where r.sensor = 1 ^ r.value > 40",
+        ));
+        let b = canonicalize_select(&select(
+            "select q.value from Readings q where q.value > 99 ^ q.sensor = 3",
+        ));
+        assert_eq!(a.key, b.key);
+        // Slots are renumbered in canonical (sorted) order, so the value
+        // vectors line up slot-for-slot across the two phrasings.
+        assert_eq!(a.params.len(), b.params.len());
+    }
+
+    #[test]
+    fn structurally_different_queries_do_not_collide() {
+        let a = canonicalize_select(&select("select r.value from Readings r where r.value > 1"));
+        let b = canonicalize_select(&select("select r.value from Readings r where r.value < 1"));
+        let c = canonicalize_select(&select("select r.value from Readings r [rows 5]"));
+        assert_ne!(a.key, b.key);
+        assert_ne!(a.key, c.key);
+    }
+
+    #[test]
+    fn constant_only_comparisons_stay_literal() {
+        let a = canonicalize_select(&select("select r.value from Readings r where 1 = 2"));
+        let b = canonicalize_select(&select("select r.value from Readings r where 1 = 1"));
+        assert!(a.params.is_empty());
+        assert_ne!(a.key, b.key, "constant predicates are part of the template");
+    }
+
+    #[test]
+    fn markers_carry_the_literal_type() {
+        let c = canonicalize_select(&select(
+            "select r.value from Readings r where r.value > 20.5",
+        ));
+        assert_eq!(c.params, vec![Value::Float(20.5)]);
+        let marked = &c.template.conjuncts[0];
+        let mut saw = false;
+        marked.walk(&mut |e| {
+            if let Expr::Literal(Value::Param(0, dt)) = e {
+                assert_eq!(*dt, DataType::Float);
+                saw = true;
+            }
+        });
+        assert!(saw);
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod ast;
 pub mod binder;
+pub mod canon;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
@@ -42,6 +43,7 @@ pub mod printer;
 
 pub use ast::{Expr, SelectStmt, Statement};
 pub use binder::{bind, BoundQuery};
+pub use canon::{canonicalize_select, instantiate, CanonicalSelect};
 pub use expr::{AggFunc, BoundAgg, BoundExpr};
 pub use lexer::{lex, Token};
 pub use parser::parse;

@@ -59,6 +59,8 @@ pub fn tuple_lan_bytes(t: &Tuple) -> u64 {
             Value::Bool(_) => 1,
             Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 8,
             Value::Text(s) => 2 + s.len() as u64,
+            // Plan-template parameter markers never appear in data rows.
+            Value::Param(..) => 0,
         };
     }
     sz

@@ -249,6 +249,18 @@ impl StreamEngine {
         self.inner.total_ops_invoked()
     }
 
+    /// Resident operator-state census (shared chains counted once); see
+    /// [`ShardedEngine::resident_state`].
+    pub fn resident_state(&self) -> crate::shard::ResidentState {
+        self.inner.resident_state()
+    }
+
+    /// Plan-cache effectiveness counters, `None` when disabled; see
+    /// [`ShardedEngine::plan_cache_stats`].
+    pub fn plan_cache_stats(&self) -> Option<aspen_optimizer::PlanCacheStats> {
+        self.inner.plan_cache_stats()
+    }
+
     /// Current materialization of a named view.
     pub fn view_snapshot(&self, name: &str) -> Result<Vec<Tuple>> {
         self.inner.view_snapshot(name)

@@ -35,6 +35,56 @@
 //! delta per operator, so the optimizer's calibration is unchanged by
 //! batching — consolidation only ever lowers it.
 //!
+//! ## Shared-subplan execution: templates, chains, and fan-out taps
+//!
+//! SmartCIS workloads are dominated by parameterized variants of a few
+//! query shapes — `temp > 20 in room 7`, `temp > 25 in room 9` — so the
+//! engine dedups both the *front-end* and the *runtime* of repeats:
+//!
+//! * **Plan-template cache** — SQL registrations resolve through
+//!   `aspen-optimizer`'s `PlanCache`: the statement is canonicalized
+//!   (`aspen-sql`'s `canon` module normalizes alias names and conjunct
+//!   order and lifts comparison constants into parameter slots), so
+//!   every variant of a template hashes to one cache key. A repeat of
+//!   the exact SQL string skips parse *and* bind; a new variant of a
+//!   known template skips bind and pays only parse + constant
+//!   substitution. Both tiers are LRU-bounded; `CREATE VIEW` always
+//!   re-binds (it mutates the catalog). On by default; opt out with
+//!   [`session::EngineConfig::plan_cache`].
+//!
+//! * **Shared scan+window chains** — at placement, a single-scan query
+//!   over a live stream whose `(source, window spec)` prefix already
+//!   runs on its shard splices onto that chain through a **fan-out
+//!   tap** instead of instantiating its own window: one copy of window
+//!   state serves every tap, and only the *residual* operators (filter,
+//!   project, aggregate) and the sink stay per-query. A late tap
+//!   records the chain's live tuples as *debt* and suppresses exactly
+//!   their retractions, which makes it behave precisely like a fresh
+//!   private window (streams are never replayed). The tap list is the
+//!   refcount: deregister/pause drop one tap without disturbing
+//!   siblings, the last tap out frees the chain, and migration first
+//!   *demotes* the query to a private window (the chain window forked
+//!   minus the debt) so the runtime moves with its exact live multiset.
+//!   Results are bit-identical to private execution — per-event
+//!   shared-vs-unshared equivalence under full lifecycle churn is
+//!   property-tested in `tests/sharding.rs` — and telemetry attribution
+//!   is unchanged: chain work meters once on the shard, while each
+//!   query's `tuples_in`/`ops_invoked` count what a private run would
+//!   have counted. On by default; opt out with
+//!   [`session::EngineConfig::shared_subplans`].
+//!
+//! ```text
+//!                         ┌─ tap(q1: debt∅) ──▶ Filter(>20) ▶ Sink q1
+//! batch ─▶ Scan ▶ Window ─┼─ tap(q2: debt∅) ──▶ Filter(>25) ▶ Sink q2
+//!           (one copy)    └─ tap(q3: debt W) ─▶ Agg        ▶ Sink q3
+//! ```
+//!
+//! `harness e16` registers 10 000 parameterized variants and measures
+//! registration throughput and resident window state, cache+sharing on
+//! vs off; [`shard::ShardedEngine::resident_state`] and
+//! [`shard::ShardedEngine::plan_cache_stats`] are the observability
+//! surface it reads.
+//!
 //! ## Sessions, registration, and the query lifecycle
 //!
 //! The engine is a *service*: clients open a [`session::SessionId`],
@@ -197,7 +247,7 @@ pub use executor::{ExecutorStats, Scheduling};
 pub use rebalance::{Migration, RebalanceConfig, RebalanceController};
 pub use recursive::RecursiveView;
 pub use session::{Delivery, EngineConfig, QuerySpec, Registration, ResultSubscription, SessionId};
-pub use shard::ShardedEngine;
+pub use shard::{ResidentState, ShardedEngine};
 pub use sink::Sink;
 pub use telemetry::{
     LoadWindow, QueryLoad, ShardLoad, TelemetryReport, WindowedQueryLoad, WorkerLoad,

@@ -264,6 +264,60 @@ impl Pipeline {
         Ok(())
     }
 
+    /// Feed one pre-windowed delta batch from a shared scan+window chain
+    /// into the scan bound to `source`, bypassing this pipeline's own
+    /// window stage (which stays empty while the query is tapped).
+    /// `charge` is the raw source-batch size to account to `tuples_in` —
+    /// the same number `push_source` would have charged — and 0 for
+    /// clock-driven expiry fans, which `advance_time` never meters or
+    /// slows with drag either.
+    pub fn push_tap(
+        &mut self,
+        source: SourceId,
+        deltas: &DeltaBatch,
+        charge: u64,
+        sink: &mut Sink,
+    ) -> Result<()> {
+        if charge > 0 {
+            self.pay_drag();
+        }
+        for i in 0..self.scans.len() {
+            if self.scans[i].source != source {
+                continue;
+            }
+            self.tuples_in += charge;
+            let attach = self.scans[i].attach;
+            self.propagate(attach, deltas.clone(), sink)?;
+        }
+        Ok(())
+    }
+
+    /// Replace the window stage of the scan bound to `source` — the
+    /// shared-subplan demotion path installs the chain window forked
+    /// minus the tap's debt, so the query carries its exact live
+    /// multiset into private execution. Only single-scan pipelines are
+    /// ever tapped, so at most one scan matches.
+    pub(crate) fn install_window(&mut self, source: SourceId, window: crate::window::WindowOp) {
+        for s in &mut self.scans {
+            if s.source == source {
+                s.window = window;
+                return;
+            }
+        }
+    }
+
+    /// Operator node instances owned by this pipeline (resident-state
+    /// accounting; scans/windows are counted separately).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tuples buffered across this pipeline's own window stages. Zero
+    /// for a tapped query — its windowing happens on the shared chain.
+    pub fn buffered_window_tuples(&self) -> usize {
+        self.scans.iter().map(|s| s.window.live()).sum()
+    }
+
     /// Feed a signed batch (view maintenance output, table updates) from
     /// `source`. Retractions bypass window buffering — view sources are
     /// unbounded.

@@ -59,6 +59,13 @@ pub struct EngineConfig {
     /// telemetry every `interval_boundaries` batch boundaries and
     /// live-migrates queries off sustained hot shards.
     rebalance: Option<RebalanceConfig>,
+    /// Shared-subplan execution (`None` = on): single-scan stream
+    /// queries with the same (source, window) prefix on a shard share
+    /// one window instance behind fan-out taps.
+    shared_subplans: Option<bool>,
+    /// Plan-template caching of SQL registrations (`None` = on):
+    /// canonicalized templates skip parse/bind on repeat registrations.
+    plan_cache: Option<bool>,
 }
 
 impl EngineConfig {
@@ -124,6 +131,26 @@ impl EngineConfig {
         self
     }
 
+    /// Toggle shared-subplan execution (default on). When on, queries
+    /// whose canonical plans share a scan+window prefix on the same
+    /// shard splice onto one shared operator chain through fan-out taps
+    /// — one copy of window state, per-query residual operators — with
+    /// results identical to private execution (property-tested in
+    /// `tests/sharding.rs`). Off pins every query to a private chain;
+    /// the E16 bench uses this as its unshared baseline.
+    pub fn shared_subplans(mut self, on: bool) -> Self {
+        self.shared_subplans = Some(on);
+        self
+    }
+
+    /// Toggle the canonicalized plan-template cache on the SQL
+    /// registration path (default on). Off forces every registration
+    /// through parse + bind — the E16 baseline.
+    pub fn plan_cache(mut self, on: bool) -> Self {
+        self.plan_cache = Some(on);
+        self
+    }
+
     pub(crate) fn shard_count(&self) -> usize {
         self.shards.max(1)
     }
@@ -159,6 +186,14 @@ impl EngineConfig {
 
     pub(crate) fn resolve_queue_depth(&self) -> usize {
         self.queue_depth.unwrap_or(32).max(1)
+    }
+
+    pub(crate) fn resolve_shared_subplans(&self) -> bool {
+        self.shared_subplans.unwrap_or(true)
+    }
+
+    pub(crate) fn resolve_plan_cache(&self) -> bool {
+        self.plan_cache.unwrap_or(true)
     }
 }
 
@@ -428,6 +463,16 @@ mod tests {
         assert_eq!(EngineConfig::new().resolve_queue_depth(), 32);
         assert_eq!(EngineConfig::new().queue_depth(0).resolve_queue_depth(), 1);
         assert_eq!(EngineConfig::new().queue_depth(5).resolve_queue_depth(), 5);
+    }
+
+    #[test]
+    fn sharing_and_plan_cache_default_on() {
+        assert!(EngineConfig::new().resolve_shared_subplans());
+        assert!(EngineConfig::new().resolve_plan_cache());
+        assert!(!EngineConfig::new()
+            .shared_subplans(false)
+            .resolve_shared_subplans());
+        assert!(!EngineConfig::new().plan_cache(false).resolve_plan_cache());
     }
 
     #[test]

@@ -55,10 +55,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aspen_catalog::{Catalog, SourceKind, SourceStats};
+use aspen_optimizer::{CachedQuery, PlanCache, PlanCacheStats};
 use aspen_sql::binder::BoundView;
 use aspen_sql::plan::LogicalPlan;
 use aspen_sql::{bind, parse, BoundQuery};
-use aspen_types::{AspenError, QueryId, Result, SimDuration, SimTime, SourceId, Tuple};
+use aspen_types::{AspenError, QueryId, Result, SimDuration, SimTime, SourceId, Tuple, WindowSpec};
 use parking_lot::Mutex;
 
 use crate::delta::DeltaBatch;
@@ -73,10 +74,27 @@ use crate::session::{
 use crate::sink::Sink;
 use crate::state::BagState;
 use crate::telemetry::{QueryLoad, ShardLoad, ShardMeters, TelemetryReport};
+use crate::window::WindowOp;
 
 /// Handle to a registered continuous query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryHandle(pub QueryId);
+
+/// Resident operator-state census across the engine — what the E16
+/// bench compares between shared and private execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidentState {
+    /// Operator node instances across all registered pipelines.
+    pub operators: usize,
+    /// Tuples buffered in window stages: private scan windows plus each
+    /// shared chain's window counted once (a tapped query's own window
+    /// stays empty).
+    pub window_tuples: usize,
+    /// Shared scan+window chains across all shards.
+    pub shared_chains: usize,
+    /// Queries currently fed through a chain tap.
+    pub shared_taps: usize,
+}
 
 /// One placed continuous query: its operator pipeline plus result sink.
 pub(crate) struct QueryRuntime {
@@ -98,7 +116,7 @@ struct QueryMeta {
     needs_clock: bool,
     paused: bool,
     /// The bound plan, kept for the resume replay path.
-    plan: LogicalPlan,
+    plan: Arc<LogicalPlan>,
     session: Option<SessionId>,
     max_batch: Option<usize>,
     max_delay: Option<SimDuration>,
@@ -112,18 +130,76 @@ struct QueryMeta {
     tune_mark: (u64, u64, SimTime),
 }
 
+/// Key of a shareable scan+window prefix: every single-scan stream
+/// query over the same source and window spec computes an identical
+/// prefix, so one window instance can serve all of them.
+type ChainKey = (SourceId, WindowSpec);
+
+/// One query spliced onto a shared chain. `debt` is the multiset of
+/// tuples that were live in the chain window when the tap attached:
+/// their eventual retractions belong to taps that saw the matching
+/// insertions, so this tap suppresses them — making a late tap behave
+/// exactly like a freshly registered private window (streams are never
+/// replayed, so a fresh window starts empty).
+struct Tap {
+    qid: QueryId,
+    debt: HashMap<Tuple, i64>,
+}
+
+impl Tap {
+    /// Filter one chain output batch for this tap: insertions pass,
+    /// retractions of owed tuples are consumed against the debt. The
+    /// window evicts oldest-first and owed instances predate everything
+    /// this tap was shown, so a surviving retraction always refers to a
+    /// tuple the tap saw inserted.
+    fn filter(&mut self, batch: &DeltaBatch) -> DeltaBatch {
+        if self.debt.is_empty() {
+            return batch.clone();
+        }
+        let mut out = DeltaBatch::with_capacity(batch.len());
+        for d in batch {
+            if d.sign < 0 {
+                if let Some(c) = self.debt.get_mut(&d.tuple) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.debt.remove(&d.tuple);
+                    }
+                    continue;
+                }
+            }
+            out.push(d.clone());
+        }
+        out
+    }
+}
+
+/// One shared scan+window prefix on a shard: a single window instance
+/// whose output fans out — debt-filtered — to every tapped query's
+/// residual operators. Refcounting is the tap list itself: the last tap
+/// out frees the chain and its buffered state.
+struct SharedChain {
+    window: WindowOp,
+    taps: Vec<Tap>,
+}
+
 /// One worker shard: a disjoint set of query runtimes plus the slice of
 /// the routing index that targets them. All indices are shard-local and
 /// keyed by the global `QueryId`, so queries can be detached without
 /// renumbering their neighbors. The executor's tasks mutate only the
-/// runtimes and meters; the routing slices are coordinator-owned and
-/// change only under quiescence.
+/// runtimes, chains, and meters; the routing slices are
+/// coordinator-owned and change only under quiescence.
 #[derive(Default)]
 pub(crate) struct EngineShard {
     queries: HashMap<QueryId, QueryRuntime>,
     /// Routing-index slice: source → local queries scanning it, in
-    /// registration order.
+    /// registration order. Tapped queries stay in here — the slice is
+    /// the authority on who is live — but ingest feeds them through
+    /// their chain instead of their own window.
     subs: HashMap<SourceId, Vec<QueryId>>,
+    /// Shared scan+window prefixes maintained on this shard.
+    chains: HashMap<ChainKey, SharedChain>,
+    /// Which chain feeds each tapped query.
+    tapped: HashMap<QueryId, ChainKey>,
     /// Local queries whose windows react to the clock.
     clock_subs: Vec<QueryId>,
     /// Local live queries with a push subscription attached (flush set).
@@ -134,11 +210,40 @@ pub(crate) struct EngineShard {
 
 impl EngineShard {
     pub(crate) fn push_batch(&mut self, src: SourceId, tuples: &[Tuple]) -> Result<()> {
-        if let Some(subs) = self.subs.get(&src) {
-            self.meters.tuples_in += tuples.len() as u64;
+        let EngineShard {
+            queries,
+            subs,
+            chains,
+            tapped,
+            meters,
+            ..
+        } = self;
+        if let Some(subs) = subs.get(&src) {
+            // One meter hit per shard per source batch: shared-prefix
+            // work is charged once, never once per tap.
+            meters.tuples_in += tuples.len() as u64;
             for qid in subs {
-                let q = self.queries.get_mut(qid).expect("routed query is local");
+                if tapped.contains_key(qid) {
+                    // Fed below through its chain.
+                    continue;
+                }
+                let q = queries.get_mut(qid).expect("routed query is local");
                 q.pipeline.push_source(src, tuples, &mut q.sink)?;
+            }
+            for (key, chain) in chains.iter_mut() {
+                if key.0 != src {
+                    continue;
+                }
+                // The chain window ingests the batch exactly once; each
+                // tap sees its debt-filtered view of the output.
+                let mut batch = DeltaBatch::with_capacity(tuples.len());
+                chain.window.insert_batch(tuples, &mut batch);
+                for tap in &mut chain.taps {
+                    let filtered = tap.filter(&batch);
+                    let q = queries.get_mut(&tap.qid).expect("tapped query is local");
+                    q.pipeline
+                        .push_tap(src, &filtered, tuples.len() as u64, &mut q.sink)?;
+                }
             }
         }
         Ok(())
@@ -156,9 +261,33 @@ impl EngineShard {
     }
 
     pub(crate) fn advance_time(&mut self, now: SimTime) -> Result<()> {
-        for qid in &self.clock_subs {
-            let q = self.queries.get_mut(qid).expect("clocked query is local");
+        let EngineShard {
+            queries,
+            chains,
+            tapped,
+            clock_subs,
+            ..
+        } = self;
+        for qid in clock_subs.iter() {
+            if tapped.contains_key(qid) {
+                // A tapped query has exactly one scan, and its window
+                // lives on the chain — expired below.
+                continue;
+            }
+            let q = queries.get_mut(qid).expect("clocked query is local");
             q.pipeline.advance_time(now, &mut q.sink)?;
+        }
+        for (key, chain) in chains.iter_mut() {
+            let mut batch = DeltaBatch::new();
+            chain.window.advance(now, &mut batch);
+            if batch.is_empty() {
+                continue;
+            }
+            for tap in &mut chain.taps {
+                let filtered = tap.filter(&batch);
+                let q = queries.get_mut(&tap.qid).expect("tapped query is local");
+                q.pipeline.push_tap(key.0, &filtered, 0, &mut q.sink)?;
+            }
         }
         Ok(())
     }
@@ -203,6 +332,69 @@ impl EngineShard {
         self.clock_subs.retain(|&q| q != qid);
         self.push_subs.retain(|&q| q != qid);
     }
+
+    /// Splice a query onto the shared chain for `key`, creating the
+    /// chain if this is the first tap. The new tap's debt records the
+    /// chain window's current live multiset — the tuples whose future
+    /// retractions belong to older taps.
+    fn attach_tap(&mut self, qid: QueryId, key: ChainKey) {
+        let chain = self.chains.entry(key).or_insert_with(|| SharedChain {
+            window: WindowOp::new(key.1),
+            taps: Vec::new(),
+        });
+        let mut debt: HashMap<Tuple, i64> = HashMap::new();
+        for t in chain.window.buffered() {
+            *debt.entry(t.clone()).or_insert(0) += 1;
+        }
+        chain.taps.push(Tap { qid, debt });
+        self.tapped.insert(qid, key);
+    }
+
+    /// Unwind a query's tap, if any. The last tap out frees the chain —
+    /// window buffer included — so shared state never outlives its
+    /// subscribers. No-op for private queries.
+    fn detach_tap(&mut self, qid: QueryId) {
+        let Some(key) = self.tapped.remove(&qid) else {
+            return;
+        };
+        let chain = self.chains.get_mut(&key).expect("tapped query has a chain");
+        chain.taps.retain(|t| t.qid != qid);
+        if chain.taps.is_empty() {
+            self.chains.remove(&key);
+        }
+    }
+
+    /// Convert a tapped query back to private execution (the migration
+    /// donor path): fork the chain window minus the tap's debt into the
+    /// query's own scan, then drop the tap. The forked window will emit
+    /// exactly the retractions the chain would have fed through the tap,
+    /// so snapshots and the ops total are provably untouched.
+    fn demote(&mut self, qid: QueryId) {
+        let Some(key) = self.tapped.remove(&qid) else {
+            return;
+        };
+        let chain = self.chains.get_mut(&key).expect("tapped query has a chain");
+        let pos = chain
+            .taps
+            .iter()
+            .position(|t| t.qid == qid)
+            .expect("tap is registered");
+        let tap = chain.taps.remove(pos);
+        let private = chain.window.fork_without(&tap.debt);
+        if chain.taps.is_empty() {
+            self.chains.remove(&key);
+        }
+        let rt = self.queries.get_mut(&qid).expect("tapped query is local");
+        rt.pipeline.install_window(key.0, private);
+    }
+
+    /// (chains, taps) resident on this shard.
+    fn sharing_counts(&self) -> (usize, usize) {
+        (
+            self.chains.len(),
+            self.chains.values().map(|c| c.taps.len()).sum(),
+        )
+    }
 }
 
 /// PC-side query engine partitioned across N worker shards.
@@ -244,6 +436,12 @@ pub struct ShardedEngine {
     rebalancer: Option<RebalanceController>,
     /// Queries live-migrated between shards so far.
     migrations: u64,
+    /// Whether new single-scan stream queries splice onto shared
+    /// scan+window chains ([`EngineConfig::shared_subplans`]).
+    shared_subplans: bool,
+    /// Canonicalized plan-template cache over SQL registrations; `None`
+    /// when disabled by [`EngineConfig::plan_cache`].
+    plan_cache: Option<PlanCache>,
 }
 
 impl ShardedEngine {
@@ -285,6 +483,8 @@ impl ShardedEngine {
             source_tuples: HashMap::new(),
             rebalancer: config.rebalance_config().map(RebalanceController::new),
             migrations: 0,
+            shared_subplans: config.resolve_shared_subplans(),
+            plan_cache: config.resolve_plan_cache().then(PlanCache::default),
         }
     }
 
@@ -378,9 +578,11 @@ impl ShardedEngine {
                         ops_invoked: rt.pipeline.ops_invoked,
                         output_deltas: rt.sink.deltas_applied,
                         push_batches: rt.sink.push_batches_delivered(),
+                        shared: shard.tapped.contains_key(qid),
                     });
                 }
             }
+            let (shared_chains, shared_taps) = shard.sharing_counts();
             shards.push(ShardLoad {
                 shard: i,
                 queries: shard.queries.len(),
@@ -388,6 +590,8 @@ impl ShardedEngine {
                 ops_invoked: ops,
                 batches: shard.meters.batches,
                 busy_seconds: shard.meters.busy.as_secs_f64(),
+                shared_chains,
+                shared_taps,
             });
         }
         TelemetryReport {
@@ -508,32 +712,47 @@ impl ShardedEngine {
             auto,
         } = spec;
         let plan = match text {
-            QueryText::Plan(plan) => plan,
-            QueryText::Sql(sql) => match bind(&parse(&sql)?, &self.catalog)? {
-                BoundQuery::Select(b) => b.plan,
-                BoundQuery::View(v) => {
-                    // Views are shared, catalog-named infrastructure —
-                    // they have no sink to subscribe to and are not
-                    // retired with a client session, so a spec that asks
-                    // for query-only features must fail loudly instead
-                    // of dropping them.
-                    if delivery == Delivery::Push
-                        || max_batch.is_some()
-                        || max_delay.is_some()
-                        || auto
-                    {
-                        return Err(AspenError::InvalidArgument(format!(
-                            "view '{}' cannot take push delivery or micro-batch knobs; \
+            QueryText::Plan(plan) => Arc::new(plan),
+            QueryText::Sql(sql) => match self.resolve_sql(&sql)? {
+                CachedQuery::Select(plan) => plan,
+                CachedQuery::Other(other) => match *other {
+                    BoundQuery::Select(b) => Arc::new(b.plan),
+                    BoundQuery::View(v) => {
+                        // Views are shared, catalog-named infrastructure —
+                        // they have no sink to subscribe to and are not
+                        // retired with a client session, so a spec that asks
+                        // for query-only features must fail loudly instead
+                        // of dropping them.
+                        if delivery == Delivery::Push
+                            || max_batch.is_some()
+                            || max_delay.is_some()
+                            || auto
+                        {
+                            return Err(AspenError::InvalidArgument(format!(
+                                "view '{}' cannot take push delivery or micro-batch knobs; \
                              they apply to continuous queries only",
-                            v.name
-                        )));
+                                v.name
+                            )));
+                        }
+                        return Ok(Registration::View(self.register_view(&v)?));
                     }
-                    return Ok(Registration::View(self.register_view(&v)?));
-                }
+                },
             },
         };
         let handle = self.place_query(plan, session, delivery, max_batch, max_delay, auto)?;
         Ok(Registration::Query(handle))
+    }
+
+    /// Resolve SQL through the plan-template cache when enabled: a
+    /// repeat of a known template (same canonical shape, any constants)
+    /// skips parse/bind entirely or pays only parse + substitution.
+    /// With the cache off, every statement takes the full front-end.
+    fn resolve_sql(&mut self, sql: &str) -> Result<CachedQuery> {
+        let catalog = Arc::clone(&self.catalog);
+        match self.plan_cache.as_mut() {
+            Some(cache) => cache.resolve(sql, &catalog),
+            None => Ok(CachedQuery::Other(Box::new(bind(&parse(sql)?, &catalog)?))),
+        }
     }
 
     /// Compile a plan, replay retained state, place the runtime on
@@ -541,7 +760,7 @@ impl ShardedEngine {
     /// route table + the owning shard's slice) before it goes live.
     fn place_query(
         &mut self,
-        plan: LogicalPlan,
+        plan: Arc<LogicalPlan>,
         session: Option<SessionId>,
         delivery: Delivery,
         max_batch: Option<usize>,
@@ -568,6 +787,7 @@ impl ShardedEngine {
         self.next_query += 1;
         let shard_idx = self.shard_of(qid);
         let needs_clock = pipeline.needs_clock();
+        let share_key = self.share_candidate(&plan);
         // Registration itself is a batch boundary: deliver the replayed
         // state now so a push subscription is immediately consistent
         // with a snapshot poll.
@@ -585,6 +805,9 @@ impl ShardedEngine {
                 shard.mark_push(qid);
             }
             shard.queries.insert(qid, QueryRuntime { pipeline, sink });
+            if let Some(key) = share_key {
+                shard.attach_tap(qid, key);
+            }
         }
         self.queries.insert(
             qid,
@@ -624,6 +847,7 @@ impl ShardedEngine {
             // before the runtime leaves the shard.
             self.exec.settle(meta.shard);
             let mut shard = self.shard(meta.shard).lock();
+            shard.detach_tap(qid);
             shard.detach(qid, &meta.sources);
             shard.queries.remove(&qid);
         }
@@ -654,6 +878,27 @@ impl ShardedEngine {
             ));
         }
         Ok(())
+    }
+
+    /// Whether a plan's scan+window prefix can splice onto a shared
+    /// chain: sharing must be on, and the plan must have exactly one
+    /// scan over a live stream-kind source. Tables and views replay
+    /// retained state into each new registration — state a shared
+    /// window must not absorb — so they always run private; multi-scan
+    /// plans (joins, unions, self-joins) keep private windows because
+    /// their prefixes are not chain-shaped.
+    fn share_candidate(&self, plan: &LogicalPlan) -> Option<ChainKey> {
+        if !self.shared_subplans {
+            return None;
+        }
+        let scans = plan.scans();
+        let [rel] = scans.as_slice() else {
+            return None;
+        };
+        match rel.meta.kind {
+            SourceKind::Device(_) | SourceKind::Stream => Some((rel.meta.id, rel.window)),
+            _ => None,
+        }
     }
 
     /// Replay retained table contents and current view materializations
@@ -766,6 +1011,11 @@ impl ShardedEngine {
             // before the pause.
             self.exec.quiesce(shard_idx)?;
             let mut shard = self.shard(shard_idx).lock();
+            // The tap goes with the routing entry — a paused query
+            // receives nothing, and resume re-splices it fresh (stream
+            // windows restart empty on resume, which is exactly what a
+            // new tap's debt filtering provides).
+            shard.detach_tap(q.0);
             shard.detach(q.0, &sources);
             if let Some(rt) = shard.queries.get_mut(&q.0) {
                 rt.sink.flush_push(self.now, true);
@@ -822,6 +1072,9 @@ impl ShardedEngine {
         }
         let replayed_deltas = sink.deltas_applied;
         shard.queries.insert(q.0, QueryRuntime { pipeline, sink });
+        if let Some(key) = self.share_candidate(&plan) {
+            shard.attach_tap(q.0, key);
+        }
         drop(shard);
 
         let meta = self.queries.get_mut(&q.0).expect("meta checked");
@@ -919,6 +1172,13 @@ impl ShardedEngine {
         self.exec.quiesce(to)?;
         let rt = {
             let mut shard = self.shard(from).lock();
+            // A tapped query demotes to private execution first: the
+            // chain window (minus the tap's debt) forks into its own
+            // scan, so the runtime leaves carrying its exact live
+            // multiset — snapshots and the ops total are unchanged by
+            // the move, and sibling taps on the donor are undisturbed.
+            // The migrated query stays private on the recipient.
+            shard.demote(q.0);
             shard.detach(q.0, &sources);
             shard
                 .queries
@@ -1286,6 +1546,35 @@ impl ShardedEngine {
                     .sum::<u64>()
             })
             .sum()
+    }
+
+    /// Census of resident operator state: per-pipeline node instances
+    /// and buffered window tuples, with shared chains counted exactly
+    /// once. The E16 bench derives its state-reduction factor from the
+    /// shared-vs-private ratio of `window_tuples`.
+    pub fn resident_state(&self) -> ResidentState {
+        self.exec.settle_all();
+        let mut out = ResidentState::default();
+        for i in 0..self.shard_count() {
+            let shard = self.shard(i).lock();
+            for rt in shard.queries.values() {
+                out.operators += rt.pipeline.node_count();
+                out.window_tuples += rt.pipeline.buffered_window_tuples();
+            }
+            for chain in shard.chains.values() {
+                out.window_tuples += chain.window.live();
+            }
+            let (chains, taps) = shard.sharing_counts();
+            out.shared_chains += chains;
+            out.shared_taps += taps;
+        }
+        out
+    }
+
+    /// Plan-cache effectiveness counters, or `None` when the cache is
+    /// disabled ([`EngineConfig::plan_cache`]).
+    pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        self.plan_cache.as_ref().map(PlanCache::stats)
     }
 
     /// Current materialization of a named view.
@@ -1730,5 +2019,267 @@ mod tests {
         assert_eq!(e.queries[&q.0].max_batch, Some(7));
         // Second pass with no elapsed sim time is skipped.
         assert_eq!(e.auto_tune(|_, _| (None, None)), 0);
+    }
+
+    #[test]
+    fn shared_chain_refcount_unwinds_tap_by_tap() {
+        let mut e = ShardedEngine::new(catalog(), 1);
+        let src = e.catalog().source("Readings").unwrap().id;
+        let q1 = e
+            .register_sql("select r.value from Readings r where r.value > 5")
+            .unwrap()
+            .expect_query();
+        let q2 = e
+            .register_sql("select r.sensor from Readings r where r.value > 15")
+            .unwrap()
+            .expect_query();
+        let q3 = e
+            .register_sql("select count(*) from Readings r")
+            .unwrap()
+            .expect_query();
+        // All three share the Readings + RANGE 10s prefix: one chain,
+        // three taps, and routing sees the taps as ordinary subscribers.
+        let rs = e.resident_state();
+        assert_eq!((rs.shared_chains, rs.shared_taps), (1, 3));
+        assert_eq!(e.subscriber_count(src), 3);
+        e.on_batch("Readings", &[reading(1, 10.0, 1), reading(2, 20.0, 1)])
+            .unwrap();
+        assert_eq!(e.snapshot(q1).unwrap().len(), 2);
+        assert_eq!(e.snapshot(q2).unwrap().len(), 1);
+        // Deregistering one tap leaves the siblings' state undisturbed.
+        e.deregister(q2).unwrap();
+        let rs = e.resident_state();
+        assert_eq!((rs.shared_chains, rs.shared_taps), (1, 2));
+        assert_eq!(e.subscriber_count(src), 2);
+        assert_eq!(e.snapshot(q1).unwrap().len(), 2);
+        e.on_batch("Readings", &[reading(3, 30.0, 2)]).unwrap();
+        assert_eq!(e.snapshot(q1).unwrap().len(), 3, "survivors keep flowing");
+        // Last tap out frees the chain and its buffered window state.
+        e.deregister(q1).unwrap();
+        e.deregister(q3).unwrap();
+        let rs = e.resident_state();
+        assert_eq!((rs.shared_chains, rs.shared_taps), (0, 0));
+        assert_eq!(rs.window_tuples, 0, "chain window state was freed");
+        assert_eq!(e.subscriber_count(src), 0);
+    }
+
+    #[test]
+    fn late_tap_debt_hides_pre_attach_state() {
+        let mut e = ShardedEngine::new(catalog(), 1);
+        let q1 = e
+            .register_sql("select r.value from Readings r")
+            .unwrap()
+            .expect_query();
+        e.on_batch("Readings", &[reading(1, 10.0, 1), reading(2, 20.0, 2)])
+            .unwrap();
+        // A late tap starts from an empty window, exactly like a fresh
+        // private registration: streams are never replayed.
+        let q2 = e
+            .register_sql("select r.value from Readings r where r.value > 0")
+            .unwrap()
+            .expect_query();
+        assert_eq!(e.resident_state().shared_taps, 2);
+        assert!(e.snapshot(q2).unwrap().is_empty());
+        e.on_batch("Readings", &[reading(3, 30.0, 3)]).unwrap();
+        assert_eq!(e.snapshot(q1).unwrap().len(), 3);
+        assert_eq!(
+            e.snapshot(q2).unwrap(),
+            vec![Tuple::new(vec![Value::Float(30.0)], SimTime::from_secs(3))],
+            "only post-attach data reaches the late tap"
+        );
+        // Expiring the pre-attach tuples (RANGE 10s, ts 1 and 2 fall out
+        // at t=12) retracts them from q1 but is absorbed by q2's debt.
+        e.heartbeat(SimTime::from_secs(12)).unwrap();
+        assert_eq!(e.snapshot(q1).unwrap().len(), 1);
+        assert_eq!(e.snapshot(q2).unwrap().len(), 1, "debt absorbed expiry");
+    }
+
+    #[test]
+    fn pause_resume_recycles_the_tap() {
+        let mut e = ShardedEngine::new(catalog(), 1);
+        let q1 = e
+            .register_sql("select r.value from Readings r")
+            .unwrap()
+            .expect_query();
+        let q2 = e
+            .register_sql("select r.sensor from Readings r")
+            .unwrap()
+            .expect_query();
+        e.on_batch("Readings", &[reading(1, 10.0, 1)]).unwrap();
+        e.pause(q2).unwrap();
+        assert_eq!(e.resident_state().shared_taps, 1, "pause drops the tap");
+        let frozen = e.snapshot(q2).unwrap();
+        e.on_batch("Readings", &[reading(2, 20.0, 2)]).unwrap();
+        assert_eq!(e.snapshot(q2).unwrap(), frozen, "paused sink is frozen");
+        assert_eq!(e.snapshot(q1).unwrap().len(), 2);
+        // Resume re-splices a fresh tap: debt makes it behave like a new
+        // registration, seeing only post-resume data.
+        e.resume(q2).unwrap();
+        assert_eq!(e.resident_state().shared_taps, 2);
+        e.on_batch("Readings", &[reading(3, 30.0, 3)]).unwrap();
+        assert_eq!(e.snapshot(q2).unwrap().len(), 1);
+        assert_eq!(e.snapshot(q1).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn migrate_demotes_shared_tap_to_private_window() {
+        let mut e = ShardedEngine::new(catalog(), 2);
+        let early = e
+            .register_sql("select r.value from Readings r")
+            .unwrap()
+            .expect_query();
+        let home = e.queries[&early.0].shard;
+        e.on_batch("Readings", &[reading(1, 10.0, 1), reading(2, 20.0, 2)])
+            .unwrap();
+        // Land a late tap on the same shard (placement is hash-driven,
+        // so keep registering variants until one arrives with debt).
+        let mut late = None;
+        for i in 0..32 {
+            let h = e
+                .register_sql(&format!(
+                    "select r.value from Readings r where r.value > {i}"
+                ))
+                .unwrap()
+                .expect_query();
+            if e.queries[&h.0].shard == home {
+                late = Some(h);
+                break;
+            }
+        }
+        let late = late.expect("some late variant lands on the early query's shard");
+        e.on_batch("Readings", &[reading(1, 100.0, 3)]).unwrap();
+        let before = e.snapshot(late).unwrap();
+        assert_eq!(before.len(), 1, "late tap saw only the post-attach row");
+        let ops_before = e.total_ops_invoked();
+        // Migration demotes: the chain window forks minus the tap's debt
+        // into a private window that moves with the runtime.
+        let taps_before = e.resident_state().shared_taps;
+        e.migrate(late, (home + 1) % 2).unwrap();
+        assert_eq!(e.resident_state().shared_taps, taps_before - 1);
+        assert_eq!(e.snapshot(late).unwrap(), before, "no replay on migrate");
+        assert_eq!(e.total_ops_invoked(), ops_before);
+        // The forked private window holds only post-attach tuples: the
+        // pre-attach expiry retracts from `early` alone, and both keep
+        // ingesting.
+        e.heartbeat(SimTime::from_secs(12)).unwrap();
+        assert_eq!(e.snapshot(late).unwrap(), before);
+        assert_eq!(e.snapshot(early).unwrap().len(), 1);
+        e.on_batch("Readings", &[reading(1, 200.0, 13)]).unwrap();
+        assert_eq!(e.snapshot(late).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn telemetry_attribution_matches_private_execution() {
+        // The rebalancer must see identical per-query load shared or
+        // private — sharing saves real work without creating phantom or
+        // vanishing attribution.
+        let run = |shared: bool| {
+            let mut e = ShardedEngine::with_config(
+                catalog(),
+                EngineConfig::new().shards(1).shared_subplans(shared),
+            );
+            let mut handles = Vec::new();
+            for i in 0..3 {
+                handles.push(
+                    e.register_sql(&format!(
+                        "select r.sensor, avg(r.value) from Readings r \
+                         where r.sensor < {} group by r.sensor",
+                        8 - i
+                    ))
+                    .unwrap()
+                    .expect_query(),
+                );
+            }
+            for i in 0..20u64 {
+                e.on_batch("Readings", &[reading((i % 8) as i64, i as f64, i)])
+                    .unwrap();
+            }
+            e.heartbeat(SimTime::from_secs(40)).unwrap();
+            let shared_taps = e.resident_state().shared_taps;
+            let report = e.telemetry();
+            let loads: Vec<_> = handles
+                .iter()
+                .map(|h| {
+                    let q = report.query(h.0).unwrap();
+                    (q.tuples_in, q.ops_invoked, q.output_deltas)
+                })
+                .collect();
+            (shared_taps, report.shards[0].tuples_in, loads)
+        };
+        let (taps_on, shard_on, loads_on) = run(true);
+        let (taps_off, shard_off, loads_off) = run(false);
+        assert_eq!(taps_on, 3, "sharing actually engaged");
+        assert_eq!(taps_off, 0);
+        assert_eq!(shard_on, shard_off, "shard ingest metered once either way");
+        assert_eq!(loads_on, loads_off, "per-query attribution diverged");
+    }
+
+    #[test]
+    fn telemetry_flags_shared_queries_and_chains() {
+        let mut e = ShardedEngine::new(catalog(), 1);
+        let shared_q = e
+            .register_sql("select r.value from Readings r")
+            .unwrap()
+            .expect_query();
+        let private_q = e
+            .register_sql("select e.src from Edge e")
+            .unwrap()
+            .expect_query();
+        let report = e.telemetry();
+        assert!(report.query(shared_q.0).unwrap().shared);
+        assert!(!report.query(private_q.0).unwrap().shared);
+        assert_eq!(report.shards[0].shared_chains, 1);
+        assert_eq!(report.shards[0].shared_taps, 1);
+    }
+
+    #[test]
+    fn plan_cache_serves_repeats_and_templates() {
+        let mut e = ShardedEngine::new(catalog(), 1);
+        e.register_sql("select r.value from Readings r where r.value > 10")
+            .unwrap()
+            .expect_query();
+        // Identical SQL: the exact tier skips parse and bind.
+        e.register_sql("select r.value from Readings r where r.value > 10")
+            .unwrap()
+            .expect_query();
+        // A parameter variant of the same template: bind is skipped.
+        e.register_sql("select r.value from Readings r where r.value > 99")
+            .unwrap()
+            .expect_query();
+        let stats = e.plan_cache_stats().unwrap();
+        assert_eq!(stats.exact_hits, 1);
+        assert_eq!(stats.template_hits, 1);
+        assert_eq!(stats.misses, 1);
+        // All three are live, independent queries despite the shared plan.
+        assert_eq!(e.query_count(), 3);
+    }
+
+    #[test]
+    fn sharing_and_cache_can_be_disabled() {
+        let mut e = ShardedEngine::with_config(
+            catalog(),
+            EngineConfig::new()
+                .shards(1)
+                .shared_subplans(false)
+                .plan_cache(false),
+        );
+        assert!(e.plan_cache_stats().is_none());
+        let q1 = e
+            .register_sql("select r.value from Readings r")
+            .unwrap()
+            .expect_query();
+        let q2 = e
+            .register_sql("select r.sensor from Readings r")
+            .unwrap()
+            .expect_query();
+        let rs = e.resident_state();
+        assert_eq!((rs.shared_chains, rs.shared_taps), (0, 0));
+        e.on_batch("Readings", &[reading(1, 10.0, 1)]).unwrap();
+        assert_eq!(e.snapshot(q1).unwrap().len(), 1);
+        assert_eq!(e.snapshot(q2).unwrap().len(), 1);
+        assert_eq!(
+            rs.window_tuples, 0,
+            "resident census still works without chains"
+        );
     }
 }

@@ -61,6 +61,12 @@ pub struct QueryLoad {
     pub output_deltas: u64,
     /// Batches delivered through the push subscription (0 when polling).
     pub push_batches: u64,
+    /// Whether the query currently rides a shared scan+window chain.
+    /// Attribution is unchanged by sharing: `tuples_in` still counts the
+    /// source batches routed to the query and `ops_invoked` counts its
+    /// residual operators downstream of the tap — so the rebalancer sees
+    /// the same per-query load shared or private, never phantom work.
+    pub shared: bool,
 }
 
 /// Snapshot of one pool worker's cumulative load (empty outside the
@@ -93,6 +99,12 @@ pub struct ShardLoad {
     pub batches: u64,
     /// Wall seconds spent inside this shard's slice of the work.
     pub busy_seconds: f64,
+    /// Shared scan+window chains maintained on this shard. Chain work
+    /// (window insert/expiry) is metered once here — in `tuples_in` and
+    /// `busy_seconds` — not once per tapped query.
+    pub shared_chains: usize,
+    /// Queries on this shard currently fed through a chain tap.
+    pub shared_taps: usize,
 }
 
 /// One coherent observation of the whole engine, taken at a batch
@@ -226,6 +238,8 @@ pub(crate) fn report_from_rows(rows: &[(u32, usize, u64)]) -> TelemetryReport {
             ops_invoked: 0,
             batches: 0,
             busy_seconds: 0.0,
+            shared_chains: 0,
+            shared_taps: 0,
         })
         .collect();
     let queries = rows
@@ -241,6 +255,7 @@ pub(crate) fn report_from_rows(rows: &[(u32, usize, u64)]) -> TelemetryReport {
                 ops_invoked: ops,
                 output_deltas: 0,
                 push_batches: 0,
+                shared: false,
             }
         })
         .collect();

@@ -7,7 +7,7 @@
 //! overflow instead. Ingest is batch-oriented: a whole source batch is
 //! folded into one output [`DeltaBatch`] before anything propagates.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use aspen_types::{SimTime, Tuple, WindowSpec};
 
@@ -40,6 +40,37 @@ impl WindowOp {
     /// Number of live (buffered) tuples.
     pub fn live(&self) -> usize {
         self.buffer.len()
+    }
+
+    /// The live tuples in arrival order. A shared-subplan tap records
+    /// this multiset as its *debt* at attach time: retractions of these
+    /// tuples belong to taps that saw the matching insertions.
+    pub fn buffered(&self) -> impl Iterator<Item = &Tuple> {
+        self.buffer.iter()
+    }
+
+    /// Fork this window minus a debt multiset: the private window a tap
+    /// demotes to (e.g. before migration). Arrival order, the tumbling
+    /// pane, and the spec are preserved; each debt count removes that
+    /// many *oldest* instances of the tuple — exactly the instances
+    /// whose retractions the tap would have suppressed.
+    pub fn fork_without(&self, debt: &HashMap<Tuple, i64>) -> WindowOp {
+        let mut owed = debt.clone();
+        let mut buffer = VecDeque::with_capacity(self.buffer.len());
+        for t in &self.buffer {
+            if let Some(c) = owed.get_mut(t) {
+                if *c > 0 {
+                    *c -= 1;
+                    continue;
+                }
+            }
+            buffer.push_back(t.clone());
+        }
+        WindowOp {
+            spec: self.spec,
+            buffer,
+            pane: self.pane,
+        }
     }
 
     /// Whether this window reacts to the passage of time (i.e. whether
@@ -212,6 +243,29 @@ mod tests {
         assert!(WindowOp::new(WindowSpec::Tumbling(SimDuration::from_secs(1))).needs_clock());
         assert!(!WindowOp::new(WindowSpec::Rows(3)).needs_clock());
         assert!(!WindowOp::new(WindowSpec::Unbounded).needs_clock());
+    }
+
+    #[test]
+    fn fork_without_drops_oldest_debt_instances() {
+        let mut w = WindowOp::new(WindowSpec::Range(SimDuration::from_secs(100)));
+        let mut out = DeltaBatch::new();
+        // Two identical instances of t(1, 0) plus one t(2, 1).
+        w.insert_batch(&[t(1, 0), t(1, 0), t(2, 1)], &mut out);
+        let mut debt = HashMap::new();
+        debt.insert(t(1, 0), 1i64);
+        let forked = w.fork_without(&debt);
+        assert_eq!(forked.live(), 2, "one owed instance removed");
+        let kept: Vec<Tuple> = forked.buffered().cloned().collect();
+        assert_eq!(kept, vec![t(1, 0), t(2, 1)]);
+        assert_eq!(w.live(), 3, "the source window is untouched");
+        // A forked window expires exactly what it kept.
+        let mut forked = forked;
+        out.clear();
+        forked.advance(SimTime::from_secs(100), &mut out);
+        assert_eq!(out.len(), 1, "only the kept ts=0 instance expires");
+        out.clear();
+        forked.advance(SimTime::from_secs(101), &mut out);
+        assert_eq!(out.len(), 1, "then the ts=1 tuple");
     }
 
     #[test]

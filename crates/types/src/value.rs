@@ -68,6 +68,13 @@ pub enum Value {
     Float(f64),
     Text(String),
     Timestamp(u64),
+    /// Placeholder slot in a *canonicalized* query template: the i-th
+    /// extracted comparison constant, carrying the type of the literal it
+    /// replaced. Never observable at execution time — the plan cache
+    /// substitutes the concrete literal back before a plan is compiled
+    /// into a pipeline. Accessors (`as_int` etc.) reject it like any
+    /// other type mismatch, so a leaked marker fails loudly.
+    Param(u16, DataType),
 }
 
 impl Value {
@@ -81,6 +88,7 @@ impl Value {
             Value::Float(_) => Some(DataType::Float),
             Value::Text(_) => Some(DataType::Text),
             Value::Timestamp(_) => Some(DataType::Timestamp),
+            Value::Param(_, dt) => Some(*dt),
         }
     }
 
@@ -175,10 +183,12 @@ impl Value {
                 Value::Float(_) => 3,
                 Value::Text(_) => 4,
                 Value::Timestamp(_) => 5,
+                Value::Param(..) => 6,
             }
         }
         match (self, other) {
             (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Param(a, _), Value::Param(b, _)) => a.cmp(b),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
@@ -251,6 +261,7 @@ impl Value {
             }
             Value::Text(s) => s.clone(),
             Value::Timestamp(t) => format!("t+{}us", t),
+            Value::Param(i, dt) => format!("?{i}:{dt}"),
         }
     }
 }
@@ -316,6 +327,11 @@ impl std::hash::Hash for Value {
             Value::Timestamp(t) => {
                 5u8.hash(state);
                 t.hash(state);
+            }
+            Value::Param(i, dt) => {
+                6u8.hash(state);
+                i.hash(state);
+                dt.hash(state);
             }
         }
     }

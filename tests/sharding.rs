@@ -769,6 +769,186 @@ fn slow_query_isolation_keeps_siblings_fresh_and_admission_bounded() {
     assert_eq!(e.snapshot(slow).unwrap().len(), 30, "slow query lost rows");
 }
 
+/// Property (ISSUE 6 acceptance): shared-subplan execution is invisible.
+/// Single-scan queries over the same (source, window) prefix ride one
+/// shared chain per shard, yet every engine must stay observationally
+/// identical to private execution under full lifecycle churn — register
+/// / deregister / pause / resume / *forced migration* (which demotes a
+/// tap back to a private window) — for N ∈ {1, 2, 4} shards: per-event
+/// snapshots agree slot-for-slot with the sharing-off baseline, every
+/// push subscription's accumulated deltas reconstruct the polled
+/// snapshot, and the ops total is invariant (chain work is attributed
+/// exactly as private execution would attribute it). The run also
+/// proves sharing *actually engaged* — a vacuously-private run passing
+/// the equivalence would prove nothing.
+#[test]
+fn shared_subplan_churn_matches_private_execution() {
+    use rand::Rng;
+    use smartcis::types::rng::seeded;
+
+    for seed in seeds(3) {
+        let mut rng = seeded(0x5A7E ^ seed);
+        // Baseline: sharing off, one shard. Under test: sharing on at
+        // N ∈ {1, 2, 4}. (The plan cache stays on everywhere — cached
+        // plans must not change results either.)
+        let mut baseline = Client::with_engine(ShardedEngine::with_config(
+            catalog(),
+            EngineConfig::new().shards(1).shared_subplans(false),
+        ));
+        let mut clients: Vec<Client> = [1usize, 2, 4]
+            .into_iter()
+            .map(|n| {
+                Client::with_engine(ShardedEngine::with_config(
+                    catalog(),
+                    EngineConfig::new().shards(n).shared_subplans(true),
+                ))
+            })
+            .collect();
+        for sql in PLANS {
+            baseline.register(sql);
+            for c in &mut clients {
+                c.register(sql);
+            }
+        }
+
+        let mut max_taps = 0usize;
+        let mut now = 0u64;
+        for step in 0..60 {
+            let ctx = format!("seed {seed}, step {step}");
+            let slots: Vec<usize> = baseline
+                .queries
+                .iter()
+                .enumerate()
+                .filter_map(|(i, q)| q.as_ref().map(|_| i))
+                .collect();
+            match rng.gen_range(0..12u32) {
+                // Ingest (most common).
+                0..=4 => {
+                    let n = rng.gen_range(1..8usize);
+                    let batch: Vec<Tuple> = (0..n)
+                        .map(|_| {
+                            reading(
+                                rng.gen_range(0..4i64),
+                                rng.gen_range(0..100i64) as f64,
+                                now + rng.gen_range(0..2u64),
+                            )
+                        })
+                        .collect();
+                    now += 1;
+                    baseline.engine.on_batch("Readings", &batch).unwrap();
+                    for c in &mut clients {
+                        c.engine.on_batch("Readings", &batch).unwrap();
+                    }
+                }
+                // Heartbeat: expiry retractions flow through the chains
+                // and must be debt-filtered per tap.
+                5 | 6 => {
+                    now += rng.gen_range(1..15u64);
+                    baseline.engine.heartbeat(SimTime::from_secs(now)).unwrap();
+                    for c in &mut clients {
+                        c.engine.heartbeat(SimTime::from_secs(now)).unwrap();
+                    }
+                }
+                // Register a fresh query — a *late tap* when its prefix
+                // already runs: it must see none of the pre-attach state.
+                7 => {
+                    let sql = PLANS[rng.gen_range(0..PLANS.len())];
+                    baseline.register(sql);
+                    for c in &mut clients {
+                        c.register(sql);
+                    }
+                }
+                // Deregister: drops exactly one tap; the last tap out
+                // frees the chain.
+                8 => {
+                    if !slots.is_empty() {
+                        let slot = slots[rng.gen_range(0..slots.len())];
+                        for c in std::iter::once(&mut baseline).chain(&mut clients) {
+                            let q = c.queries[slot].take().unwrap();
+                            c.engine.deregister(q.handle).unwrap();
+                        }
+                    }
+                }
+                // Toggle pause/resume: pause detaches the tap, resume
+                // re-splices a fresh one.
+                9 => {
+                    if !slots.is_empty() {
+                        let slot = slots[rng.gen_range(0..slots.len())];
+                        for c in std::iter::once(&mut baseline).chain(&mut clients) {
+                            let h = c.queries[slot].as_ref().unwrap().handle;
+                            if c.engine.is_paused(h).unwrap() {
+                                c.engine.resume(h).unwrap();
+                            } else {
+                                c.engine.pause(h).unwrap();
+                            }
+                        }
+                    }
+                }
+                // Forced migration: demotes the tap to a private window
+                // forked minus its debt (a no-op at N = 1).
+                _ => {
+                    if !slots.is_empty() {
+                        let slot = slots[rng.gen_range(0..slots.len())];
+                        let target = rng.gen_range(0..4usize);
+                        for c in std::iter::once(&mut baseline).chain(&mut clients) {
+                            let h = c.queries[slot].as_ref().unwrap().handle;
+                            c.engine
+                                .migrate(h, target % c.engine.shard_count())
+                                .unwrap();
+                        }
+                    }
+                }
+            }
+
+            // Invariants after every event.
+            baseline.check_push_matches_poll(&ctx);
+            for c in &mut clients {
+                c.check_push_matches_poll(&ctx);
+            }
+            for c in &clients {
+                max_taps = max_taps.max(c.engine.resident_state().shared_taps);
+                assert_eq!(
+                    c.engine.now(),
+                    baseline.engine.now(),
+                    "clock diverged ({ctx})"
+                );
+                for (slot, (bq, cq)) in baseline.queries.iter().zip(&c.queries).enumerate() {
+                    let (Some(bq), Some(cq)) = (bq, cq) else {
+                        continue;
+                    };
+                    assert_eq!(
+                        value_rows(&c.engine.snapshot(cq.handle).unwrap()),
+                        value_rows(&baseline.engine.snapshot(bq.handle).unwrap()),
+                        "slot {slot} diverged from private execution at {} shards ({ctx})",
+                        c.engine.shard_count(),
+                    );
+                }
+            }
+            assert_eq!(
+                baseline.engine.resident_state().shared_taps,
+                0,
+                "sharing-off engine grew a tap ({ctx})"
+            );
+        }
+        // Sharing saves state, never work: ops totals match private
+        // execution exactly.
+        let base_ops = baseline.engine.total_ops_invoked();
+        for c in &clients {
+            assert_eq!(
+                c.engine.total_ops_invoked(),
+                base_ops,
+                "ops diverged from private execution at {} shards (seed {seed})",
+                c.engine.shard_count()
+            );
+        }
+        // The equivalence is non-vacuous: chains really carried taps.
+        assert!(
+            max_taps >= 2,
+            "sharing never engaged over the whole run (seed {seed})"
+        );
+    }
+}
+
 /// The pool path must agree with the sequential loop — same shards,
 /// same slices, same results. The mode is fixed at construction via
 /// `EngineConfig`.
