@@ -1252,6 +1252,7 @@ fn e14_rebalance_config() -> aspen_stream::RebalanceConfig {
         patience: 1,
         max_moves: 8,
         interval_boundaries: 8,
+        ..Default::default()
     }
 }
 
@@ -2051,6 +2052,281 @@ pub fn e16_json() -> String {
 }
 
 // ---------------------------------------------------------------------------
+// E17 — source-sharded ingest plane: throughput under continuous telemetry
+// ---------------------------------------------------------------------------
+
+/// One E17 measurement at a fixed shard count. Ingest drives a 512-query
+/// fan-out spread over the first 512 sources of a million-source route
+/// table while a monitoring loop polls `telemetry_at(Cut)` continuously —
+/// the barrier-free read the sharded ingest plane exists to make cheap.
+/// `critical_path_ms` / `scaled_tuples_per_sec` follow the E12
+/// convention (busiest shard's processing time, i.e. what an N-core
+/// deployment pays). The consistency columns come from a deterministic
+/// churn phase: `churn_max_lag` is the deepest watermark lag a cut poll
+/// observed on deferred queues, and `diverged` counts cut snapshots that
+/// failed to match the barrier snapshot taken at the same instant.
+#[derive(Debug, Clone)]
+pub struct E17Run {
+    pub shards: usize,
+    pub sources: usize,
+    pub queries: usize,
+    pub tuples: usize,
+    pub wall_ms: f64,
+    pub critical_path_ms: f64,
+    pub scaled_tuples_per_sec: f64,
+    /// Cut-telemetry polls interleaved with ingest.
+    pub polls: u64,
+    /// Max watermark lag any poll saw during the (inline) ingest phase.
+    pub poll_max_lag: u64,
+    /// Max watermark lag a cut poll observed during deterministic churn.
+    pub churn_max_lag: u64,
+    /// Cut-vs-barrier snapshot mismatches across the churn seeds.
+    pub diverged: usize,
+}
+
+const E17_SOURCES: usize = 1_000_000;
+const E17_QUERIES: usize = 512;
+const E17_BATCHES: usize = 4_096;
+const E17_BATCH: usize = 64;
+
+/// A route table worth the name: `sources` stream sources (`s0`…) on one
+/// shared schema. Built once and shared across the shard sweep — the
+/// engine's per-source state is allocated lazily on admission, so the
+/// catalog is the only O(sources) cost.
+fn e17_catalog(sources: usize) -> std::sync::Arc<aspen_catalog::Catalog> {
+    use aspen_catalog::{Catalog, SourceKind, SourceStats};
+    use aspen_types::{DataType, Field, Schema};
+    let cat = Catalog::shared();
+    let schema = Schema::new(vec![
+        Field::new("sensor", DataType::Int),
+        Field::new("value", DataType::Float),
+    ])
+    .into_ref();
+    for i in 0..sources {
+        cat.register_source(
+            &format!("s{i}"),
+            schema.clone(),
+            SourceKind::Stream,
+            SourceStats::stream(2.0),
+        )
+        .unwrap();
+    }
+    cat
+}
+
+/// The standing query for hot source `i` (four shapes, cycled).
+fn e17_sql(i: usize) -> String {
+    match i % 4 {
+        0 => format!(
+            "select r.sensor, r.value from s{i} r where r.value > {}",
+            (i % 10) * 10
+        ),
+        1 => format!("select r.sensor, avg(r.value) from s{i} r group by r.sensor"),
+        2 => format!("select count(*) from s{i} r"),
+        _ => format!("select r.value from s{i} r where r.sensor = {}", i % 32),
+    }
+}
+
+fn e17_tuple(i: usize, sec: u64) -> Tuple {
+    Tuple::new(
+        vec![
+            Value::Int((i % 32) as i64),
+            Value::Float((i % 97) as f64 + (i % 7) as f64 * 0.5),
+        ],
+        SimTime::from_secs(sec),
+    )
+}
+
+/// Deterministic churn on a deferred-queue engine: ingest, heartbeats,
+/// pause/resume flips, and cut-telemetry polls, with every event closing
+/// on a barrier snapshot followed by a cut snapshot of the same query.
+/// Returns (diverged cut snapshots, max watermark lag a poll observed).
+fn e17_churn(shards: usize, seed: u64) -> (usize, u64) {
+    use aspen_stream::{Consistency, EngineConfig};
+    let mut e = aspen_stream::StreamEngine::with_config(
+        e17_catalog(256),
+        EngineConfig::new()
+            .shards(shards)
+            .deterministic(seed)
+            .queue_depth(4),
+    );
+    let handles: Vec<aspen_stream::QueryHandle> = (0..48)
+        .map(|i| e.register_sql(&e17_sql(i)).unwrap().expect_query())
+        .collect();
+    let mut rng = seeded(0xE17 ^ seed);
+    let (mut diverged, mut max_lag) = (0usize, 0u64);
+    let mut now = 0u64;
+    for step in 0..160usize {
+        match rng.gen_range(0..8u32) {
+            0..=4 => {
+                let src = format!("s{}", rng.gen_range(0..48usize));
+                let batch: Vec<Tuple> = (0..16).map(|j| e17_tuple(step * 16 + j, now)).collect();
+                e.on_batch(&src, &batch).unwrap();
+            }
+            5 => {
+                now += rng.gen_range(1..10u64);
+                e.heartbeat(SimTime::from_secs(now)).unwrap();
+            }
+            6 => {
+                let h = handles[rng.gen_range(0..handles.len())];
+                if e.is_paused(h).unwrap() {
+                    e.resume(h).unwrap();
+                } else {
+                    e.pause(h).unwrap();
+                }
+            }
+            _ => max_lag = max_lag.max(e.telemetry_at(Consistency::Cut).max_lag()),
+        }
+        let h = handles[rng.gen_range(0..handles.len())];
+        if !e.is_paused(h).unwrap() {
+            let fresh = e.snapshot(h).unwrap();
+            let cut = e.snapshot_at(h, Consistency::Cut).unwrap();
+            if fresh
+                .iter()
+                .map(|t| t.values())
+                .ne(cut.iter().map(|t| t.values()))
+            {
+                diverged += 1;
+            }
+        }
+    }
+    (diverged, max_lag)
+}
+
+/// One shard count: drive the full ingest phase with a cut-telemetry
+/// poll every 8 batches, then the deterministic churn phase over three
+/// seeds. `catalog` is the shared million-source route table.
+pub fn e17_run(shards: usize, catalog: std::sync::Arc<aspen_catalog::Catalog>) -> E17Run {
+    use aspen_stream::{Consistency, EngineConfig};
+    let mut engine = aspen_stream::StreamEngine::with_config(
+        catalog,
+        EngineConfig::new().shards(shards).parallel_ingest(false),
+    );
+    for i in 0..E17_QUERIES {
+        engine.register_sql(&e17_sql(i)).unwrap().expect_query();
+    }
+    let (mut polls, mut poll_max_lag) = (0u64, 0u64);
+    let start = Instant::now();
+    for b in 0..E17_BATCHES {
+        let src = format!("s{}", b % E17_QUERIES);
+        let batch: Vec<Tuple> = (0..E17_BATCH)
+            .map(|j| e17_tuple(b * E17_BATCH + j, (b / 64) as u64))
+            .collect();
+        engine.on_batch(&src, &batch).unwrap();
+        if b % 8 == 0 {
+            let cut = engine.telemetry_at(Consistency::Cut);
+            polls += 1;
+            poll_max_lag = poll_max_lag.max(cut.max_lag());
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let report = engine.telemetry_at(Consistency::Fresh);
+    let busy: Vec<f64> = report.shards.iter().map(|s| s.busy_seconds).collect();
+    let critical_path = busy.iter().cloned().fold(0.0f64, f64::max);
+    let (mut diverged, mut churn_max_lag) = (0usize, 0u64);
+    for seed in 0..3u64 {
+        let (d, lag) = e17_churn(shards, seed);
+        diverged += d;
+        churn_max_lag = churn_max_lag.max(lag);
+    }
+    E17Run {
+        shards,
+        sources: E17_SOURCES,
+        queries: E17_QUERIES,
+        tuples: E17_BATCHES * E17_BATCH,
+        wall_ms,
+        critical_path_ms: critical_path * 1e3,
+        scaled_tuples_per_sec: (E17_BATCHES * E17_BATCH) as f64 / critical_path.max(1e-9),
+        polls,
+        poll_max_lag,
+        churn_max_lag,
+        diverged,
+    }
+}
+
+/// The E17 sweep: 1/2/4/8 shards over one shared million-source catalog.
+pub fn e17_runs() -> Vec<E17Run> {
+    let catalog = e17_catalog(E17_SOURCES);
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|shards| e17_run(shards, catalog.clone()))
+        .collect()
+}
+
+/// E17 table: the sharded ingest plane under continuous monitoring.
+pub fn e17() -> String {
+    let runs = e17_runs();
+    let base = runs[0].critical_path_ms;
+    let mut out = String::from(
+        "E17 — source-sharded ingest plane: 1M-source route table, 512-query\n\
+         fan-out, cut-telemetry poll every 8 batches (barrier-free reads at\n\
+         the per-shard applied watermarks; critical path = busiest shard's\n\
+         processing time; churn columns from a deferred-queue deterministic\n\
+         engine — diverged counts cut snapshots that mismatched the barrier\n\
+         snapshot taken at the same event)\n",
+    );
+    let mut t = TableBuilder::new(&[
+        "shards",
+        "tuples",
+        "wall ms",
+        "critical-path ms",
+        "scaled tup/s",
+        "speedup vs 1",
+        "polls",
+        "churn max lag",
+        "diverged",
+    ]);
+    for r in &runs {
+        t.row(&[
+            r.shards.to_string(),
+            r.tuples.to_string(),
+            f(r.wall_ms, 1),
+            f(r.critical_path_ms, 1),
+            f(r.scaled_tuples_per_sec, 0),
+            format!("{:.2}x", base / r.critical_path_ms.max(1e-9)),
+            r.polls.to_string(),
+            r.churn_max_lag.to_string(),
+            r.diverged.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// E17 results as JSON (written to `BENCH_E17.json` by CI; the workflow
+/// hard-asserts `speedup_vs_one_shard >= 2` at 4 shards and a zero
+/// `diverged` total).
+pub fn e17_json() -> String {
+    let runs = e17_runs();
+    let base = runs[0].critical_path_ms;
+    let mut out = String::from(
+        "{\n  \"experiment\": \"e17\",\n  \"workload\": \"1M-source route table, 512-query \
+         fan-out, 262144 tuples, cut-telemetry poll every 8 batches; churn = deterministic \
+         deferred-queue engine, 3 seeds, cut vs barrier snapshot at every event\",\n  \
+         \"runs\": [\n",
+    );
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"wall_ms\": {:.2}, \"critical_path_ms\": {:.2}, \
+             \"scaled_tuples_per_sec\": {:.0}, \"speedup_vs_one_shard\": {:.3}, \
+             \"polls\": {}, \"poll_max_lag\": {}, \"churn_max_lag\": {}, \"diverged\": {}}}{}\n",
+            r.shards,
+            r.wall_ms,
+            r.critical_path_ms,
+            r.scaled_tuples_per_sec,
+            base / r.critical_path_ms.max(1e-9),
+            r.polls,
+            r.poll_max_lag,
+            r.churn_max_lag,
+            r.diverged,
+            if i + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
 
 /// Run every experiment, concatenated (the full harness output).
 pub fn run_all() -> String {
@@ -2071,6 +2347,7 @@ pub fn run_all() -> String {
         e14(),
         e15(),
         e16(),
+        e17(),
     ];
     let mut out = String::new();
     for s in sections {
@@ -2104,6 +2381,8 @@ pub fn by_name(name: &str) -> Option<String> {
         "e15json" => e15_json(),
         "e16" => e16(),
         "e16json" => e16_json(),
+        "e17" => e17(),
+        "e17json" => e17_json(),
         "all" => run_all(),
         _ => return None,
     })
@@ -2296,6 +2575,24 @@ mod tests {
             r.window_factor
         );
         assert_eq!(r.diverged, 0, "shared vs private snapshots diverged");
+    }
+
+    #[test]
+    fn e17_cut_reads_never_diverge_and_churn_defers() {
+        // Deterministic slice of E17 (the 1M-source throughput sweep is
+        // the release harness's job): the deferred-queue churn phase
+        // must produce zero cut-vs-barrier snapshot mismatches at the
+        // headline shard count while actually observing lag — a zero
+        // max lag would mean the polls never caught a deferred queue
+        // and the consistency property was tested vacuously.
+        let (mut diverged, mut max_lag) = (0usize, 0u64);
+        for seed in 0..3u64 {
+            let (d, lag) = e17_churn(4, seed);
+            diverged += d;
+            max_lag = max_lag.max(lag);
+        }
+        assert_eq!(diverged, 0, "cut snapshot diverged from barrier");
+        assert!(max_lag > 0, "cut polls never observed a deferred queue");
     }
 
     #[test]

@@ -31,7 +31,9 @@ use aspen_types::{Result, SimDuration, SimTime, SourceId, Tuple};
 
 use crate::delta::DeltaBatch;
 use crate::executor::ExecutorStats;
-use crate::session::{EngineConfig, QuerySpec, Registration, ResultSubscription, SessionId};
+use crate::session::{
+    Consistency, EngineConfig, QuerySpec, Registration, ResultSubscription, SessionId,
+};
 use crate::shard::ShardedEngine;
 use crate::telemetry::TelemetryReport;
 
@@ -164,6 +166,14 @@ impl StreamEngine {
         self.inner.telemetry()
     }
 
+    /// Telemetry at an explicit consistency level: `Fresh` drains every
+    /// shard first; `Cut` reads each shard at its published applied
+    /// watermark without stalling ingest. See
+    /// [`ShardedEngine::telemetry_at`].
+    pub fn telemetry_at(&self, consistency: Consistency) -> TelemetryReport {
+        self.inner.telemetry_at(consistency)
+    }
+
     /// Drain every shard's pending boundary tasks (global barrier); see
     /// [`ShardedEngine::quiesce`].
     pub fn quiesce(&mut self) -> Result<()> {
@@ -237,6 +247,12 @@ impl StreamEngine {
     /// Current results of a query (ORDER BY / LIMIT applied).
     pub fn snapshot(&self, q: QueryHandle) -> Result<Vec<Tuple>> {
         self.inner.snapshot(q)
+    }
+
+    /// Query snapshot at an explicit consistency level; see
+    /// [`ShardedEngine::snapshot_at`].
+    pub fn snapshot_at(&self, q: QueryHandle, consistency: Consistency) -> Result<Vec<Tuple>> {
+        self.inner.snapshot_at(q, consistency)
     }
 
     /// Result-churn statistic of a query's sink (deltas applied so far).

@@ -55,7 +55,7 @@ use aspen_types::{AspenError, Result, SimTime, SourceId, Tuple};
 use parking_lot::Mutex;
 
 use crate::delta::DeltaBatch;
-use crate::shard::EngineShard;
+use crate::shard::{EngineShard, ViewCtx};
 use crate::telemetry::WorkerLoad;
 
 /// How the engine schedules per-shard boundary tasks. Fixed at
@@ -94,10 +94,35 @@ pub(crate) enum Task {
     },
     AdvanceTime(SimTime),
     FlushPush(SimTime),
+    /// Base-relation changes for the view shard: maintain every view
+    /// reading `src`, then forward the net view deltas to the query
+    /// shards named by the admission-time route snapshot in `ctx` (as
+    /// follow-up tasks on their queues).
+    ViewDeltas {
+        src: SourceId,
+        deltas: Arc<DeltaBatch>,
+        ctx: Arc<ViewCtx>,
+    },
+    /// Heartbeat for the view shard: expire time-windowed view state
+    /// (grouped per base source + window spec) and forward the deltas.
+    ViewAdvance {
+        now: SimTime,
+        ctx: Arc<ViewCtx>,
+    },
+}
+
+/// Work a task generated while running: follow-up tasks for other
+/// shards, enqueued by the executor after the generating task completes
+/// (outside its state lock). This is how the view shard forwards net
+/// deltas to query shards through the same bounded-queue task path —
+/// a worker never re-enters `submit` or locks a sibling shard itself.
+pub(crate) struct FollowUp {
+    pub(crate) shards: Vec<usize>,
+    pub(crate) task: Task,
 }
 
 impl Task {
-    fn run(&self, shard: &mut EngineShard) -> Result<()> {
+    fn run(&self, shard: &mut EngineShard, out: &mut Vec<FollowUp>) -> Result<()> {
         match self {
             Task::Batch { src, tuples } => shard.push_batch(*src, tuples),
             Task::Deltas { src, deltas } => shard.push_deltas(*src, deltas),
@@ -106,6 +131,8 @@ impl Task {
                 shard.flush_push(*now);
                 Ok(())
             }
+            Task::ViewDeltas { src, deltas, ctx } => shard.views.on_base(*src, deltas, ctx, out),
+            Task::ViewAdvance { now, ctx } => shard.views.advance(*now, ctx, out),
         }
     }
 }
@@ -125,10 +152,21 @@ pub(crate) enum Boundary<'a> {
     },
     AdvanceTime(SimTime),
     FlushPush(SimTime),
+    /// View-shard maintenance; the payload and route snapshot are built
+    /// owned at admission, so the deferred conversion is an `Arc` clone.
+    ViewDeltas {
+        src: SourceId,
+        deltas: Arc<DeltaBatch>,
+        ctx: Arc<ViewCtx>,
+    },
+    ViewAdvance {
+        now: SimTime,
+        ctx: Arc<ViewCtx>,
+    },
 }
 
 impl Boundary<'_> {
-    fn run(&self, shard: &mut EngineShard) -> Result<()> {
+    fn run(&self, shard: &mut EngineShard, out: &mut Vec<FollowUp>) -> Result<()> {
         match self {
             Boundary::Batch { src, tuples } => shard.push_batch(*src, tuples),
             Boundary::Deltas { src, deltas } => shard.push_deltas(*src, deltas),
@@ -137,6 +175,10 @@ impl Boundary<'_> {
                 shard.flush_push(*now);
                 Ok(())
             }
+            Boundary::ViewDeltas { src, deltas, ctx } => {
+                shard.views.on_base(*src, deltas, ctx, out)
+            }
+            Boundary::ViewAdvance { now, ctx } => shard.views.advance(*now, ctx, out),
         }
     }
 
@@ -152,6 +194,15 @@ impl Boundary<'_> {
             },
             Boundary::AdvanceTime(now) => Task::AdvanceTime(*now),
             Boundary::FlushPush(now) => Task::FlushPush(*now),
+            Boundary::ViewDeltas { src, deltas, ctx } => Task::ViewDeltas {
+                src: *src,
+                deltas: Arc::clone(deltas),
+                ctx: Arc::clone(ctx),
+            },
+            Boundary::ViewAdvance { now, ctx } => Task::ViewAdvance {
+                now: *now,
+                ctx: Arc::clone(ctx),
+            },
         }
     }
 }
@@ -161,19 +212,25 @@ impl Boundary<'_> {
 /// time, and a shard appears on the ready list at most once).
 #[derive(Default)]
 struct ShardQueue {
-    tasks: VecDeque<Task>,
+    /// Pending tasks, each stamped with the boundary sequence number it
+    /// belongs to (the shard's applied watermark advances to it once the
+    /// task completes).
+    tasks: VecDeque<(u64, Task)>,
     /// A worker is executing a task for this shard right now.
     running: bool,
     /// The shard is on the pool's ready list.
     enlisted: bool,
     /// Worker that last ran this shard (steal accounting).
     last_worker: Option<usize>,
-    /// Deepest the queue has ever been (must stay ≤ `queue_depth`).
+    /// Deepest the queue has ever been at *admission* (stays ≤
+    /// `queue_depth`; internal follow-up forwards are depth-exempt and
+    /// not recorded here — see [`PoolCore::enqueue_internal`]).
     high_water: usize,
 }
 
 /// One shard's cell: engine state behind the `parking_lot` shim plus the
-/// scheduling queue and its condition variables.
+/// scheduling queue, its condition variables, and the pair of watermark
+/// counters the barrier-free read paths consume.
 pub(crate) struct ShardCell {
     pub(crate) state: Mutex<EngineShard>,
     queue: StdMutex<ShardQueue>,
@@ -181,6 +238,12 @@ pub(crate) struct ShardCell {
     idle_cv: Condvar,
     /// Signaled when a queue slot frees (backpressure wait).
     space_cv: Condvar,
+    /// Highest boundary sequence number submitted to this shard.
+    submitted: AtomicU64,
+    /// Highest boundary sequence number fully applied on this shard —
+    /// the shard's watermark. Monotone (`fetch_max`), published at batch
+    /// boundaries; `submitted - applied` is the shard's staleness lag.
+    applied: AtomicU64,
 }
 
 impl ShardCell {
@@ -190,6 +253,8 @@ impl ShardCell {
             queue: StdMutex::new(ShardQueue::default()),
             idle_cv: Condvar::new(),
             space_cv: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
         }
     }
 }
@@ -216,6 +281,9 @@ struct PoolCore {
     /// Total producer time spent blocked on full queues.
     stall_nanos: AtomicU64,
     tasks_executed: AtomicU64,
+    /// Global boundary sequence: one tick per submission, carried by
+    /// every task of that boundary into the per-shard watermarks.
+    seq: AtomicU64,
 }
 
 impl PoolCore {
@@ -228,11 +296,12 @@ impl PoolCore {
     fn run_metered(
         &self,
         shard: usize,
-        run: impl FnOnce(&mut EngineShard) -> Result<()>,
+        out: &mut Vec<FollowUp>,
+        run: impl FnOnce(&mut EngineShard, &mut Vec<FollowUp>) -> Result<()>,
     ) -> (Result<()>, Duration) {
         let mut state = self.cells[shard].state.lock();
         let start = Instant::now();
-        let result = run(&mut state);
+        let result = run(&mut state, out);
         let elapsed = start.elapsed();
         state.meters.busy += elapsed;
         state.meters.batches += 1;
@@ -243,17 +312,59 @@ impl PoolCore {
     /// Run one deferred task, converting a panic into an `Err` so the
     /// worker (or draining thread) survives it — the panicking task's
     /// slice may be partially applied and its meters unrecorded, like
-    /// any mid-batch operator failure.
-    fn execute(&self, shard: usize, task: &Task) -> (Result<()>, Duration) {
-        catch_unwind(AssertUnwindSafe(|| {
-            self.run_metered(shard, |s| task.run(s))
+    /// any mid-batch operator failure. Publishes the shard's applied
+    /// watermark and returns any follow-up work the task generated
+    /// (dropped on error — a failed boundary forwards nothing).
+    fn execute(
+        &self,
+        shard: usize,
+        seq: u64,
+        task: &Task,
+    ) -> (Result<()>, Duration, Vec<FollowUp>) {
+        let mut out = Vec::new();
+        let (result, busy) = catch_unwind(AssertUnwindSafe(|| {
+            self.run_metered(shard, &mut out, |s, o| task.run(s, o))
         }))
         .unwrap_or_else(|_| {
             (
                 Err(AspenError::Execution("shard worker panicked".into())),
                 Duration::ZERO,
             )
-        })
+        });
+        self.cells[shard].applied.fetch_max(seq, Ordering::Relaxed);
+        if result.is_err() {
+            out.clear();
+        }
+        (result, busy, out)
+    }
+
+    /// Enqueue internally-generated follow-up work (view-shard output
+    /// forwarding) for a shard. Never blocks and is exempt from the
+    /// admission depth bound: the enqueuing thread may *be* the only
+    /// worker, and blocking it on its own backlog would deadlock the
+    /// pool. Bounded anyway — each admitted view task forwards at most
+    /// one batch per view output, and admission of view tasks is itself
+    /// depth-bounded.
+    fn enqueue_internal(&self, i: usize, seq: u64, task: Task) {
+        let cell = &self.cells[i];
+        cell.submitted.fetch_max(seq, Ordering::Relaxed);
+        let mut q = cell.queue.lock().unwrap();
+        q.tasks.push_back((seq, task));
+        if !q.enlisted && !q.running {
+            q.enlisted = true;
+            drop(q);
+            self.ready.lock().unwrap().push_back(i);
+            self.work_cv.notify_one();
+        }
+    }
+
+    /// Fan follow-up tasks out to their target shards' queues.
+    fn dispatch(&self, seq: u64, followups: Vec<FollowUp>) {
+        for f in followups {
+            for &i in &f.shards {
+                self.enqueue_internal(i, seq, f.task.clone());
+            }
+        }
     }
 
     fn record_error(&self, result: Result<()>) {
@@ -313,8 +424,9 @@ enum Mode {
 pub struct ExecutorStats {
     /// Tasks currently queued per shard (excludes the one mid-flight).
     pub pending: Vec<usize>,
-    /// Deepest each shard's queue has ever been — bounded by the
-    /// configured queue depth, by construction.
+    /// Deepest each shard's queue has ever been at admission — bounded
+    /// by the configured queue depth, by construction (internal view
+    /// follow-up forwards are depth-exempt and not recorded).
     pub high_water: Vec<usize>,
     /// Total producer time spent blocked on full queues (backpressure).
     pub admission_stall_seconds: f64,
@@ -349,6 +461,7 @@ impl Executor {
             },
             stall_nanos: AtomicU64::new(0),
             tasks_executed: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
         });
         let (mode, handles) = match scheduling {
             Scheduling::Sequential => (Mode::Sequential, Vec::new()),
@@ -376,10 +489,6 @@ impl Executor {
         }
     }
 
-    pub(crate) fn shard_count(&self) -> usize {
-        self.core.cells.len()
-    }
-
     /// The engine state of one shard. Callers that need the state to
     /// reflect every submitted boundary must [`Executor::quiesce`] the
     /// shard first; callers reading coordinator-owned fields (routing
@@ -391,12 +500,20 @@ impl Executor {
     /// Submit one boundary's work to the involved shards. `Sequential`
     /// runs it inline (first error returned immediately, like the old
     /// fan-out loop); the deferred modes enqueue with backpressure and
-    /// surface any *earlier* deferred error.
+    /// surface any *earlier* deferred error. Every submission ticks the
+    /// global boundary sequence and advances the involved shards'
+    /// `submitted` watermarks.
     pub(crate) fn submit(&self, involved: &[usize], item: Boundary<'_>) -> Result<()> {
+        let seq = self.core.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        for &i in involved {
+            self.core.cells[i]
+                .submitted
+                .fetch_max(seq, Ordering::Relaxed);
+        }
         match &self.mode {
             Mode::Sequential => {
                 for &i in involved {
-                    self.run_inline(i, &item)?;
+                    self.run_inline(i, seq, &item)?;
                 }
                 Ok(())
             }
@@ -404,7 +521,7 @@ impl Executor {
                 if !involved.is_empty() {
                     let task = item.to_task();
                     for &i in involved {
-                        self.enqueue_pool(i, task.clone());
+                        self.enqueue_pool(i, seq, task.clone());
                     }
                 }
                 self.core.take_error().map_or(Ok(()), Err)
@@ -414,7 +531,7 @@ impl Executor {
                 if !involved.is_empty() {
                     let task = item.to_task();
                     for &i in involved {
-                        self.enqueue_det(i, task.clone());
+                        self.enqueue_det(i, seq, task.clone());
                     }
                 }
                 // Replay a seeded amount of deferred work, drawn shard by
@@ -427,13 +544,41 @@ impl Executor {
 
     /// Sequential fast path: run the borrowed boundary directly against
     /// the shard state — no allocation, no Arc, panics propagate on the
-    /// submitting thread like the old inline loop.
-    fn run_inline(&self, i: usize, item: &Boundary<'_>) -> Result<()> {
-        self.core.run_metered(i, |state| item.run(state)).0
+    /// submitting thread like the old inline loop. Follow-up tasks the
+    /// boundary generated (view forwarding) run inline right after it,
+    /// in order.
+    fn run_inline(&self, i: usize, seq: u64, item: &Boundary<'_>) -> Result<()> {
+        let mut out = Vec::new();
+        let result = self
+            .core
+            .run_metered(i, &mut out, |state, o| item.run(state, o))
+            .0;
+        self.core.cells[i].applied.fetch_max(seq, Ordering::Relaxed);
+        result?;
+        self.run_followups_inline(seq, out)
+    }
+
+    fn run_followups_inline(&self, seq: u64, followups: Vec<FollowUp>) -> Result<()> {
+        for f in followups {
+            for &i in &f.shards {
+                self.core.cells[i]
+                    .submitted
+                    .fetch_max(seq, Ordering::Relaxed);
+                let mut nested = Vec::new();
+                let result = self
+                    .core
+                    .run_metered(i, &mut nested, |state, o| f.task.run(state, o))
+                    .0;
+                self.core.cells[i].applied.fetch_max(seq, Ordering::Relaxed);
+                result?;
+                self.run_followups_inline(seq, nested)?;
+            }
+        }
+        Ok(())
     }
 
     /// Enqueue with backpressure: block while the shard's queue is full.
-    fn enqueue_pool(&self, i: usize, task: Task) {
+    fn enqueue_pool(&self, i: usize, seq: u64, task: Task) {
         let cell = &self.core.cells[i];
         let mut q = cell.queue.lock().unwrap();
         while q.tasks.len() >= self.core.queue_depth {
@@ -443,7 +588,7 @@ impl Executor {
                 .stall_nanos
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
-        q.tasks.push_back(task);
+        q.tasks.push_back((seq, task));
         q.high_water = q.high_water.max(q.tasks.len());
         if !q.enlisted && !q.running {
             q.enlisted = true;
@@ -457,12 +602,12 @@ impl Executor {
     /// shard's oldest tasks inline until a slot frees — the
     /// single-threaded equivalent of blocking on the worker's progress,
     /// so the depth bound holds identically in both deferred modes.
-    fn enqueue_det(&self, i: usize, task: Task) {
+    fn enqueue_det(&self, i: usize, seq: u64, task: Task) {
         loop {
             {
                 let mut q = self.core.cells[i].queue.lock().unwrap();
                 if q.tasks.len() < self.core.queue_depth {
-                    q.tasks.push_back(task);
+                    q.tasks.push_back((seq, task));
                     q.high_water = q.high_water.max(q.tasks.len());
                     return;
                 }
@@ -474,15 +619,16 @@ impl Executor {
     /// Execute the oldest pending task of one shard (deferred modes on
     /// the submitting thread). Returns false if the queue was empty.
     fn run_head(&self, i: usize) -> bool {
-        let task = {
+        let (seq, task) = {
             let mut q = self.core.cells[i].queue.lock().unwrap();
             match q.tasks.pop_front() {
                 Some(t) => t,
                 None => return false,
             }
         };
-        let (result, _) = self.core.execute(i, &task);
+        let (result, _, followups) = self.core.execute(i, seq, &task);
         self.core.record_error(result);
+        self.core.dispatch(seq, followups);
         true
     }
 
@@ -520,11 +666,38 @@ impl Executor {
     }
 
     /// Settle every shard without consuming deferred errors — the
-    /// global barrier for infallible coherent snapshots (telemetry).
+    /// global barrier for infallible coherent snapshots
+    /// ([`crate::session::Consistency::Fresh`] reads). A settled shard's
+    /// tasks may have enqueued follow-up work on shards swept earlier
+    /// (view output forwarding), so sweep until a full pass finds every
+    /// queue drained — follow-ups generate no further follow-ups, so two
+    /// passes bound it.
     pub(crate) fn settle_all(&self) {
-        for i in 0..self.core.cells.len() {
-            self.settle(i);
+        loop {
+            for i in 0..self.core.cells.len() {
+                self.settle(i);
+            }
+            let drained = (0..self.core.cells.len()).all(|i| {
+                let q = self.core.cells[i].queue.lock().unwrap();
+                q.tasks.is_empty() && !q.running
+            });
+            if drained {
+                return;
+            }
         }
+    }
+
+    /// One shard's `(submitted, applied)` boundary watermarks. `applied`
+    /// is published at batch boundaries as tasks complete; the
+    /// difference is the shard's staleness lag, and `min(applied)` over
+    /// a set of shards is the consistent cut the barrier-free read
+    /// paths expose.
+    pub(crate) fn watermark(&self, i: usize) -> (u64, u64) {
+        let cell = &self.core.cells[i];
+        (
+            cell.submitted.load(Ordering::Relaxed),
+            cell.applied.load(Ordering::Relaxed),
+        )
     }
 
     /// [`Executor::settle`], then surface any deferred task error the
@@ -616,7 +789,7 @@ fn worker_loop(core: Arc<PoolCore>, w: usize) {
             }
         };
         let cell = &core.cells[shard];
-        let task = {
+        let (seq, task) = {
             let mut q = cell.queue.lock().unwrap();
             q.enlisted = false;
             match q.tasks.pop_front() {
@@ -638,12 +811,13 @@ fn worker_loop(core: Arc<PoolCore>, w: usize) {
 
         // Busy time comes from inside the state lock (run_metered), so a
         // worker blocked behind a coordinator read is idle, not busy.
-        let (result, busy) = core.execute(shard, &task);
+        let (result, busy, followups) = core.execute(shard, seq, &task);
         core.workers[w]
             .busy_nanos
             .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
         core.workers[w].tasks.fetch_add(1, Ordering::Relaxed);
         core.record_error(result);
+        core.dispatch(seq, followups);
 
         // Boundary yield: release the shard; re-enlist it at the back of
         // the ready list if more boundaries are pending, or wake any

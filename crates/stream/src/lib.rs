@@ -132,15 +132,23 @@
 //!
 //! Since the sharding refactor that index and the pipeline set are
 //! *partitioned*: [`shard::ShardedEngine`] hash-places every query on
-//! one of N worker shards by `QueryId`, and each shard owns its queries
-//! plus the slice of the routing index that targets them. Ingest
-//! consults a coordinator-level `SourceId → shard` route table and fans
-//! out only to the involved shards. The clock, the retained table
-//! store, sessions, and recursive views stay on the ingest thread —
-//! view output deltas fan into the shards like any other source.
-//! [`StreamEngine`] is the facade (`StreamEngine::with_config` exposes
-//! sharding); `harness e12` measures the 50-query fan-out at 1/2/4/8
-//! shards against E11, and the shard-count invariance property —
+//! one of N worker shards by `QueryId`, and each shard owns its
+//! queries' runtimes. The ingest plane is sharded the same way: the
+//! routing index, the retained table store, and the per-source meters
+//! live in per-shard **ingest slices** (`SourceId`-hashed), each behind
+//! its own lock and holding per-shard subscriber *refcounts* that every
+//! lifecycle transition adjusts incrementally — admission touches
+//! exactly one slice and fans out only to shards whose refcount is
+//! live, so batches for different sources contend only when they hash
+//! to the same slice, and no transition ever rebuilds the route table.
+//! Recursive views run on a dedicated **view shard** (one extra
+//! executor cell): base deltas are forwarded to it as ordinary tasks,
+//! and its output deltas fan back into the query shards like any other
+//! source's. [`StreamEngine`] is the facade
+//! (`StreamEngine::with_config` exposes sharding); `harness e12`
+//! measures the 50-query fan-out at 1/2/4/8 shards against E11,
+//! `harness e17` drives a million-source route table under continuous
+//! telemetry polling, and the shard-count invariance property —
 //! including under interleaved register/deregister/pause/migration
 //! churn with push subscriptions attached — is tested in
 //! `tests/sharding.rs`.
@@ -161,11 +169,21 @@
 //! flowing. Ingest admission returns at *enqueue* — a device stream
 //! never pauses for a slow consumer — blocking only when a bounded
 //! queue fills (backpressure keeps memory flat under sustained skew),
-//! and the coordinator's view/table/clock updates stay on the ingest
-//! thread. Reads quiesce exactly what they touch: a snapshot waits for
-//! its own query's shard to drain, telemetry takes the one global
-//! barrier, and a migration quiesces the two affected shards' queues,
-//! not the world. Sequential mode runs the same tasks inline (identical
+//! while the clock and session bookkeeping stay on the ingest thread
+//! and table retention rides the owning ingest slice. Every executor
+//! cell publishes a `(submitted, applied)` **watermark** pair, and
+//! reads pick a consistency level ([`session::Consistency`]): a `Fresh`
+//! read quiesces exactly what it touches — a snapshot drains its own
+//! query's shard (view shard first when views feed it), a migration
+//! quiesces the two affected shards' queues, not the world — while a
+//! `Cut` read (the `telemetry` default) takes no barrier at all: it
+//! reads each shard's state at its applied watermark under the shard
+//! lock and reports the submitted-minus-applied backlog as per-shard
+//! lag, so a monitoring loop polling telemetry never stalls ingest.
+//! Immediately after a `Fresh` drain the two levels agree byte for byte
+//! (property-tested under full churn in `tests/sharding.rs`; `harness
+//! e17` asserts zero divergence while measuring the polled ingest
+//! path). Sequential mode runs the same tasks inline (identical
 //! results, no threads — the default on single-core hosts and the
 //! benches' accounting mode), and
 //! [`executor::Scheduling::Deterministic`] replays a seeded
@@ -246,7 +264,9 @@ pub use engine::{QueryHandle, StreamEngine};
 pub use executor::{ExecutorStats, Scheduling};
 pub use rebalance::{Migration, RebalanceConfig, RebalanceController};
 pub use recursive::RecursiveView;
-pub use session::{Delivery, EngineConfig, QuerySpec, Registration, ResultSubscription, SessionId};
+pub use session::{
+    Consistency, Delivery, EngineConfig, QuerySpec, Registration, ResultSubscription, SessionId,
+};
 pub use shard::{ResidentState, ShardedEngine};
 pub use sink::Sink;
 pub use telemetry::{

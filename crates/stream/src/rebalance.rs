@@ -45,6 +45,14 @@ pub struct RebalanceConfig {
     /// When auto-rebalancing is enabled on the engine, observe every
     /// this many batch boundaries.
     pub interval_boundaries: u64,
+    /// Most submitted-but-unapplied boundaries any shard may carry
+    /// before an observation is considered too stale to plan from
+    /// (barrier-free `Cut` telemetry reads shards at their applied
+    /// watermarks — a deeply backlogged shard's meters lag reality, and
+    /// migrating on them would chase load that already moved). A stale
+    /// observation is skipped entirely: it neither grows nor resets the
+    /// skew streak.
+    pub max_lag: u64,
 }
 
 impl Default for RebalanceConfig {
@@ -54,6 +62,7 @@ impl Default for RebalanceConfig {
             patience: 2,
             max_moves: 4,
             interval_boundaries: 32,
+            max_lag: 64,
         }
     }
 }
@@ -96,6 +105,13 @@ impl RebalanceController {
     /// (empty while balanced, inside the patience window, or before the
     /// first diffable window exists).
     pub fn observe(&mut self, report: &TelemetryReport) -> Vec<Migration> {
+        if report.max_lag() > self.config.max_lag {
+            // Too stale to judge: applied watermarks trail submissions
+            // by more than the configured bound, so per-shard meters
+            // misattribute in-flight load. Skip the whole observation —
+            // marks, streak, and plan — and wait for a fresher cut.
+            return Vec::new();
+        }
         let prev = self.last.replace(report.ops_marks());
         let Some(prev) = prev else {
             // First observation: no window to judge yet.
@@ -176,6 +192,7 @@ mod tests {
             patience: 1,
             max_moves: 4,
             interval_boundaries: 1,
+            ..Default::default()
         })
     }
 
@@ -211,6 +228,7 @@ mod tests {
             patience: 2,
             max_moves: 4,
             interval_boundaries: 1,
+            ..Default::default()
         });
         c.observe(&report(&[(0, 0, 0), (1, 0, 0), (2, 0, 0), (3, 1, 0)]));
         // Skewed once (streak 1 of 2): no action yet.
@@ -270,6 +288,28 @@ mod tests {
         let mut c = eager();
         c.observe(&report(&[(0, 0, 0)]));
         assert!(c.observe(&report(&[(0, 0, 1000)])).is_empty());
+    }
+
+    #[test]
+    fn stale_observation_is_skipped_without_touching_streak_or_marks() {
+        let mut c = eager();
+        c.observe(&report(&[(0, 0, 0), (1, 0, 0), (2, 1, 0)]));
+        // A laggy (stale) observation: skipped entirely, no plan.
+        let mut stale = report(&[(0, 0, 600), (1, 0, 300), (2, 1, 100)]);
+        stale.shards[0].lag = c.config().max_lag + 1;
+        assert!(c.observe(&stale).is_empty());
+        // The same loads arriving fresh still diff against the original
+        // marks (the stale report must not have advanced them) and plan
+        // the move the skew deserves.
+        let moves = c.observe(&report(&[(0, 0, 600), (1, 0, 300), (2, 1, 100)]));
+        assert_eq!(
+            moves,
+            vec![Migration {
+                query: QueryId(1),
+                from: 0,
+                to: 1
+            }]
+        );
     }
 
     #[test]

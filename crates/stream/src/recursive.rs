@@ -200,49 +200,79 @@ impl RecursiveView {
     /// downstream.
     pub fn advance_time(&mut self, now: SimTime) -> Result<DeltaBatch> {
         let mut out = DeltaBatch::new();
-        let clocked: Vec<(SourceId, WindowSpec)> = self
-            .windows
+        for (src, _) in self.clocked_windows() {
+            out.extend(self.advance_source(src, now)?);
+        }
+        Ok(out)
+    }
+
+    /// The clock-sensitive base scans of this view: `(source, window
+    /// spec)` pairs whose state `advance_source` can expire. The view
+    /// shard groups views sharing a base source and spec through this,
+    /// so a heartbeat pays one expiry check per *group*, not per view.
+    pub fn clocked_windows(&self) -> Vec<(SourceId, WindowSpec)> {
+        self.windows
             .iter()
             .filter(|(_, w)| Self::clock_sensitive(**w))
             .map(|(s, w)| (*s, *w))
-            .collect();
-        for (src, spec) in clocked {
-            match spec {
-                WindowSpec::Tumbling(_) => {
-                    let (Some(now_pane), Some(&current)) =
-                        (spec.pane_of(now), self.panes.get(&src))
-                    else {
-                        continue;
-                    };
-                    if now_pane > current {
-                        self.panes.insert(src, now_pane);
-                        out.extend(
-                            self.expire_where(src, |ts| spec.pane_of(ts) != Some(now_pane))?,
-                        );
-                    }
+            .collect()
+    }
+
+    /// Oldest live base-fact timestamp of a range-windowed base scan
+    /// (`None` when nothing is buffered) — the O(1) bound the grouped
+    /// heartbeat check compares against the window edge.
+    pub fn source_oldest(&self, src: SourceId) -> Option<SimTime> {
+        self.oldest.get(&src).copied()
+    }
+
+    /// Current pane of a tumbling-windowed base scan (`None` until the
+    /// first insert establishes one).
+    pub fn source_pane(&self, src: SourceId) -> Option<u64> {
+        self.panes.get(&src).copied()
+    }
+
+    /// Advance the clock for **one** base scan only — the per-source arm
+    /// of [`RecursiveView::advance_time`], split out so the engine's
+    /// view shard can advance exactly the `(source, spec)` groups whose
+    /// shared bound says something may expire. No-op (empty batch) for
+    /// sources this view does not scan under a time window.
+    pub fn advance_source(&mut self, src: SourceId, now: SimTime) -> Result<DeltaBatch> {
+        let mut out = DeltaBatch::new();
+        let Some(spec) = self.windows.get(&src).copied() else {
+            return Ok(out);
+        };
+        match spec {
+            WindowSpec::Tumbling(_) => {
+                let (Some(now_pane), Some(&current)) = (spec.pane_of(now), self.panes.get(&src))
+                else {
+                    return Ok(out);
+                };
+                if now_pane > current {
+                    self.panes.insert(src, now_pane);
+                    out.extend(self.expire_where(src, |ts| spec.pane_of(ts) != Some(now_pane))?);
                 }
-                WindowSpec::Range(_) => {
-                    // O(1) fast path: if the oldest live fact is still in
-                    // the window, so is everything else.
-                    let Some(&oldest) = self.oldest.get(&src) else {
-                        continue;
-                    };
-                    if spec.contains(oldest, now) {
-                        continue;
-                    }
-                    out.extend(self.expire_where(src, |ts| !spec.contains(ts, now))?);
-                    match self.base_states[&src]
-                        .facts
-                        .keys()
-                        .map(Tuple::timestamp)
-                        .min()
-                    {
-                        Some(min_ts) => self.oldest.insert(src, min_ts),
-                        None => self.oldest.remove(&src),
-                    };
-                }
-                _ => {}
             }
+            WindowSpec::Range(_) => {
+                // O(1) fast path: if the oldest live fact is still in
+                // the window, so is everything else.
+                let Some(&oldest) = self.oldest.get(&src) else {
+                    return Ok(out);
+                };
+                if spec.contains(oldest, now) {
+                    return Ok(out);
+                }
+                out.extend(self.expire_where(src, |ts| !spec.contains(ts, now))?);
+                match self.base_states[&src]
+                    .facts
+                    .keys()
+                    .map(Tuple::timestamp)
+                    .min()
+                {
+                    Some(min_ts) => self.oldest.insert(src, min_ts),
+                    None => self.oldest.remove(&src),
+                };
+            }
+            _ => {}
         }
         Ok(out)
     }

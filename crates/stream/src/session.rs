@@ -208,6 +208,28 @@ impl std::fmt::Display for SessionId {
     }
 }
 
+/// Consistency level of an engine read (`telemetry_at`, `snapshot_at`).
+///
+/// `Fresh` is the old quiesce-the-world behavior: drain every pending
+/// boundary the read depends on before looking, so the observation
+/// reflects everything ever submitted. `Cut` reads a watermark-
+/// consistent cut instead: each shard is observed at its own applied
+/// boundary watermark — a prefix of its submitted boundaries, published
+/// at batch boundaries — without draining any queue, so a continuous
+/// poller never stops admission. Under `Sequential` scheduling the two
+/// are identical (nothing is ever deferred).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Consistency {
+    /// Barrier read: settle the involved shards first (the pre-watermark
+    /// behavior, kept for tests and coherent global accounting).
+    Fresh,
+    /// Barrier-free read at the per-shard applied watermarks (the
+    /// default for telemetry). Staleness is visible as per-shard `lag`
+    /// in the report, never as blocking.
+    #[default]
+    Cut,
+}
+
 /// How a query's results leave the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Delivery {

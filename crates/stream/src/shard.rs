@@ -1,20 +1,39 @@
 //! Sharded pipeline execution: the engine core partitioned across
-//! worker shards, with full query lifecycle.
+//! worker shards, with full query lifecycle and a source-sharded,
+//! barrier-free ingest plane.
 //!
 //! [`ShardedEngine`] lifts the per-operator partitioning idea of
 //! [`crate::distributed::PartitionedJoin`] to *whole pipelines*: every
 //! registered continuous query is placed on exactly one of N worker
 //! shards by hashing its [`QueryId`], and each shard owns the disjoint
 //! set of [`QueryRuntime`]s placed on it **plus the slice of the
-//! `SourceId → subscriber` routing index that targets them**. Ingest
-//! (`on_batch` / `on_deltas`) and heartbeats consult a coordinator-level
-//! `SourceId → shard` route table and fan out to the involved shards
-//! only; each shard then walks its local subscriber list exactly like
-//! the unsharded engine did.
+//! `SourceId → subscriber` routing index that targets them**.
+//!
+//! The coordinator's side of routing is itself partitioned: sources hash
+//! across per-shard [`IngestSlice`]s, each owning — behind its own lock —
+//! the refcounted `source → shard` fan-out counts, the retained Table
+//! contents (replay for late-registered and resumed queries), and the
+//! per-source ingest counters of *its* sources. Ingest (`on_batch` /
+//! `on_deltas`) admission touches exactly one slice, then fans the batch
+//! out to the shards whose count is positive; there is no global route
+//! table and no whole-table rebuild anywhere — registration,
+//! deregistration, pause, and migration adjust only the refcounts of the
+//! affected query's sources (the order-independence of the resulting
+//! fan-out sets is pinned by a unit test below).
+//!
+//! Recursive views live on a **dedicated view shard**: executor cell
+//! `nshards`, scheduled exactly like a query shard. Ingest admits one
+//! maintenance task onto its FIFO queue per boundary that feeds a view;
+//! the task carries an admission-time routing snapshot ([`ViewCtx`]) and
+//! forwards net output deltas (DRed-style deletions included — the
+//! deltas carry signs) to the subscribed query shards as follow-up tasks
+//! through the same bounded queues. Heartbeats advance views through
+//! per-`(base, window spec)` groups, so many views sharing a windowed
+//! base pay one expiry bound check, not one scan each.
 //!
 //! Queries are *not* permanent: [`ShardedEngine::deregister`] unwinds a
 //! query's runtime from its shard, its entries in the sharded routing
-//! slices, the coordinator route table, and the clock-sensitive sets, so
+//! slices, the route refcounts, and the clock-sensitive sets, so
 //! per-source ingest cost always tracks **live** fan-out.
 //! [`ShardedEngine::pause`] detaches a query from routing while keeping
 //! its sink readable (frozen); [`ShardedEngine::resume`] rebuilds the
@@ -31,20 +50,26 @@
 //! each ingest/heartbeat boundary becomes one task per involved shard,
 //! pushed onto that shard's bounded FIFO queue. In pool mode the worker
 //! threads drain the queues with batch boundaries as yield points —
-//! ingest admission and the coordinator's view/table updates return as
-//! soon as the tasks are enqueued, so a shard hosting a slow query
-//! drains its backlog without stalling its siblings; reads quiesce
-//! exactly the shards they touch. Sequential mode runs the same tasks
-//! inline with identical results (shard-count and scheduling-mode
-//! invariance are property-tested in `tests/sharding.rs`, including
-//! under register/deregister/pause/migration churn and under the seeded
-//! `Deterministic` interleavings).
+//! ingest admission returns as soon as the tasks are enqueued, so a
+//! shard hosting a slow query drains its backlog without stalling its
+//! siblings; reads quiesce exactly the shards they touch. Sequential
+//! mode runs the same tasks inline with identical results (shard-count
+//! and scheduling-mode invariance are property-tested in
+//! `tests/sharding.rs`, including under register/deregister/pause/
+//! migration churn and under the seeded `Deterministic` interleavings).
 //!
-//! What stays on the coordinator: the catalog, the retained table store
-//! (replay for late-registered and resumed queries), recursive views
-//! (their outputs fan *into* shards like any other source), sessions,
-//! and the engine clock. The per-shard `busy` accounting measures the
-//! wall time each shard spends inside its slice of the work; the E12
+//! Reads come in two consistency levels
+//! ([`crate::session::Consistency`]): `Fresh` drains the involved shards
+//! first (the barrier), while `Cut` reads each shard's state at its
+//! published **applied watermark** — a boundary-consistent past state,
+//! lock-only, taken without stalling ingest. [`ShardedEngine::telemetry`]
+//! defaults to `Cut` and reports each shard's watermark and staleness
+//! lag, which the rebalance controller uses to skip observations too
+//! stale to judge.
+//!
+//! What stays on the coordinator: the catalog, sessions, the query
+//! metas, and the engine clock. The per-shard `busy` accounting measures
+//! the wall time each shard spends inside its slice of the work; the E12
 //! bench derives critical-path (max-shard) throughput from it — the
 //! number an N-core deployment would see.
 
@@ -63,13 +88,13 @@ use aspen_types::{AspenError, QueryId, Result, SimDuration, SimTime, SourceId, T
 use parking_lot::Mutex;
 
 use crate::delta::DeltaBatch;
-use crate::executor::{Boundary, Executor, ExecutorStats};
+use crate::executor::{Boundary, Executor, ExecutorStats, FollowUp, Task};
 use crate::pipeline::Pipeline;
 use crate::rebalance::RebalanceController;
 use crate::recursive::RecursiveView;
 use crate::session::{
-    Delivery, EngineConfig, QuerySpec, QueryText, Registration, ResultSubscription, SessionId,
-    SharedQueue, SubscriptionQueue,
+    Consistency, Delivery, EngineConfig, QuerySpec, QueryText, Registration, ResultSubscription,
+    SessionId, SharedQueue, SubscriptionQueue,
 };
 use crate::sink::Sink;
 use crate::state::BagState;
@@ -105,6 +130,284 @@ pub(crate) struct QueryRuntime {
 pub(crate) struct ViewRuntime {
     pub(crate) view: RecursiveView,
     pub(crate) out_source: SourceId,
+}
+
+/// One slice of the partitioned ingest plane. Sources hash across the
+/// slices; each slice owns — behind its own lock — the route refcounts,
+/// retained Table contents, and ingest counters of *its* sources, so
+/// admission for sources in different slices never contends, and
+/// registration churn touches only the slices its sources hash to.
+/// Slice locks are coordinator-side: shard workers never take them, so
+/// ingest admission stays independent of a backlogged shard's progress.
+#[derive(Default)]
+struct IngestSlice {
+    /// Source → per-shard count of live subscribed queries. The fan-out
+    /// set of a source is "shards with count > 0", read in ascending
+    /// shard order — a pure function of the live subscriber multiset,
+    /// independent of registration and removal order.
+    routes: HashMap<SourceId, Vec<u32>>,
+    /// Retained contents of Table sources so late-registered (and
+    /// resumed) queries and views can replay them (streams are not
+    /// replayed — standard semantics).
+    tables: HashMap<SourceId, BagState>,
+    /// Cumulative tuples/deltas ingested per source.
+    tuples_in: HashMap<SourceId, u64>,
+}
+
+impl IngestSlice {
+    fn add_route(&mut self, src: SourceId, shard: usize, nshards: usize) {
+        let counts = self.routes.entry(src).or_insert_with(|| vec![0; nshards]);
+        counts[shard] += 1;
+    }
+
+    fn remove_route(&mut self, src: SourceId, shard: usize) {
+        if let Some(counts) = self.routes.get_mut(&src) {
+            counts[shard] = counts[shard].saturating_sub(1);
+            if counts.iter().all(|&c| c == 0) {
+                self.routes.remove(&src);
+            }
+        }
+    }
+
+    /// Shards with at least one live subscriber of `src`, ascending.
+    fn fanout(&self, src: SourceId) -> Vec<usize> {
+        self.routes.get(&src).map_or_else(Vec::new, |counts| {
+            counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, _)| i)
+                .collect()
+        })
+    }
+
+    /// Total live subscribers of `src` across all shards.
+    fn subscribers(&self, src: SourceId) -> usize {
+        self.routes
+            .get(&src)
+            .map_or(0, |counts| counts.iter().map(|&c| c as usize).sum())
+    }
+}
+
+/// Admission-time routing snapshot carried by a view-shard boundary
+/// task: where each view's output deltas go, and which shards to flush
+/// afterwards. Built by the coordinator while admitting the boundary, so
+/// the view shard never reads live coordinator routing state and never
+/// re-enters the executor's submission path — its forwards ride the
+/// follow-up mechanism ([`FollowUp`]) instead.
+pub(crate) struct ViewCtx {
+    /// View output source → query shards subscribed to it.
+    pub(crate) routes: Vec<(SourceId, Vec<usize>)>,
+    /// Query shards with ≥ 1 live push subscription at admission.
+    pub(crate) flush: Vec<usize>,
+    /// Engine clock at admission (stamps the follow-up push flush).
+    pub(crate) now: SimTime,
+}
+
+/// Key of a heartbeat-dedupe group: views scanning the same base source
+/// under the same clock-sensitive window spec expire in lockstep, so one
+/// bound check covers all of them.
+type GroupKey = (SourceId, WindowSpec);
+
+/// One heartbeat-dedupe group: the views sharing a `(base, spec)` scan,
+/// plus the group-wide expiry bounds — min oldest live timestamp for
+/// range windows, min current pane for tumbling ones (the member closest
+/// to expiring governs). A heartbeat pays one O(1) check per group; only
+/// a firing group walks its members.
+#[derive(Default)]
+struct AdvanceGroup {
+    members: Vec<usize>,
+    oldest: Option<SimTime>,
+    pane: Option<u64>,
+}
+
+/// The recursive views of the engine, resident on the dedicated view
+/// shard (executor cell `nshards`). Maintenance runs as ordinary
+/// boundary tasks on that cell's FIFO queue; net output deltas travel to
+/// the subscribed query shards as follow-up tasks through the same
+/// bounded queues — DRed-style deletions included, since the net deltas
+/// carry signs.
+#[derive(Default)]
+pub(crate) struct ViewSet {
+    views: Vec<ViewRuntime>,
+    /// Base source → views scanning it.
+    subs: HashMap<SourceId, Vec<usize>>,
+    /// Heartbeat-dedupe groups over clock-sensitive base scans.
+    groups: HashMap<GroupKey, AdvanceGroup>,
+}
+
+impl ViewSet {
+    /// Install a view (registration order = index, mirrored by the
+    /// coordinator's `view_outs`).
+    fn install(&mut self, view: RecursiveView, out_source: SourceId) {
+        let idx = self.views.len();
+        for src in view.base_sources() {
+            self.subs.entry(src).or_default().push(idx);
+        }
+        let clocked = view.clocked_windows();
+        for &key in &clocked {
+            self.groups.entry(key).or_default().members.push(idx);
+        }
+        self.views.push(ViewRuntime { view, out_source });
+        for key in clocked {
+            self.refresh_group(key);
+        }
+    }
+
+    /// Base-relation changes: maintain every view scanning `src`, then
+    /// forward each view's net deltas to the query shards named by the
+    /// admission-time snapshot, plus one push flush if anything flowed.
+    pub(crate) fn on_base(
+        &mut self,
+        src: SourceId,
+        deltas: &DeltaBatch,
+        ctx: &ViewCtx,
+        out: &mut Vec<FollowUp>,
+    ) -> Result<()> {
+        let Some(idxs) = self.subs.get(&src).cloned() else {
+            return Ok(());
+        };
+        let mut emitted = false;
+        for i in idxs {
+            let vr = &mut self.views[i];
+            let got = vr.view.on_base_deltas(src, deltas)?;
+            emitted |= Self::forward(vr.out_source, got, ctx, out);
+        }
+        // Inserts may have rolled tumbling panes or lowered range oldest
+        // bounds eagerly; refresh the groups this base participates in.
+        self.refresh_groups_of(src);
+        if emitted {
+            Self::push_flush(ctx, out);
+        }
+        Ok(())
+    }
+
+    /// Heartbeat: advance clock-sensitive view state. One O(1) bound
+    /// check per `(base, spec)` group decides whether its members can
+    /// have anything to expire; only firing groups pay the per-view
+    /// expiry walk — views sharing a windowed base do not multiply the
+    /// heartbeat cost (pinned by a regression test against per-view
+    /// advancement).
+    pub(crate) fn advance(
+        &mut self,
+        now: SimTime,
+        ctx: &ViewCtx,
+        out: &mut Vec<FollowUp>,
+    ) -> Result<()> {
+        let mut emitted = false;
+        let keys: Vec<GroupKey> = self.groups.keys().copied().collect();
+        for key in keys {
+            if !self.group_fires(key, now) {
+                continue;
+            }
+            let members = self.groups[&key].members.clone();
+            for i in members {
+                let vr = &mut self.views[i];
+                let got = vr.view.advance_source(key.0, now)?;
+                emitted |= Self::forward(vr.out_source, got, ctx, out);
+            }
+            self.refresh_group(key);
+        }
+        if emitted {
+            Self::push_flush(ctx, out);
+        }
+        Ok(())
+    }
+
+    /// Queue one view's net output deltas toward its subscribed query
+    /// shards. Returns whether anything was actually forwarded.
+    fn forward(
+        out_source: SourceId,
+        got: DeltaBatch,
+        ctx: &ViewCtx,
+        out: &mut Vec<FollowUp>,
+    ) -> bool {
+        if got.is_empty() {
+            return false;
+        }
+        let Some((_, shards)) = ctx.routes.iter().find(|(s, _)| *s == out_source) else {
+            return false;
+        };
+        if shards.is_empty() {
+            return false;
+        }
+        out.push(FollowUp {
+            shards: shards.clone(),
+            task: Task::Deltas {
+                src: out_source,
+                deltas: Arc::new(got),
+            },
+        });
+        true
+    }
+
+    /// Queue a push flush behind the forwarded deltas, so subscriptions
+    /// see view-derived changes at the boundary that produced them (the
+    /// flush lands *after* the deltas in each target shard's FIFO).
+    fn push_flush(ctx: &ViewCtx, out: &mut Vec<FollowUp>) {
+        if !ctx.flush.is_empty() {
+            out.push(FollowUp {
+                shards: ctx.flush.clone(),
+                task: Task::FlushPush(ctx.now),
+            });
+        }
+    }
+
+    /// Whether a group's shared bound says some member may expire state
+    /// at `now`. A member whose own bound is tighter re-checks inside
+    /// `advance_source`, so firing a group is always safe — the check is
+    /// purely a dedupe.
+    fn group_fires(&self, key: GroupKey, now: SimTime) -> bool {
+        let g = &self.groups[&key];
+        match key.1 {
+            WindowSpec::Range(_) => g.oldest.is_some_and(|o| !key.1.contains(o, now)),
+            WindowSpec::Tumbling(_) => match (key.1.pane_of(now), g.pane) {
+                (Some(np), Some(p)) => np > p,
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Recompute a group's shared bounds from its members.
+    fn refresh_group(&mut self, key: GroupKey) {
+        let members = match self.groups.get(&key) {
+            Some(g) => g.members.clone(),
+            None => return,
+        };
+        let mut oldest: Option<SimTime> = None;
+        let mut pane: Option<u64> = None;
+        for i in members {
+            let v = &self.views[i].view;
+            if let Some(o) = v.source_oldest(key.0) {
+                oldest = Some(oldest.map_or(o, |x| x.min(o)));
+            }
+            if let Some(p) = v.source_pane(key.0) {
+                pane = Some(pane.map_or(p, |x| x.min(p)));
+            }
+        }
+        let g = self.groups.get_mut(&key).expect("group exists");
+        g.oldest = oldest;
+        g.pane = pane;
+    }
+
+    fn refresh_groups_of(&mut self, src: SourceId) {
+        let keys: Vec<GroupKey> = self.groups.keys().filter(|k| k.0 == src).copied().collect();
+        for key in keys {
+            self.refresh_group(key);
+        }
+    }
+
+    /// Current materialization of the view at registration index `idx`.
+    fn snapshot_of(&self, idx: usize) -> Vec<Tuple> {
+        self.views[idx].view.snapshot()
+    }
+
+    fn by_name(&self, name: &str) -> Option<&ViewRuntime> {
+        self.views
+            .iter()
+            .find(|v| v.view.name().eq_ignore_ascii_case(name))
+    }
 }
 
 /// Coordinator-side record of one registered query: where it lives, what
@@ -204,6 +507,9 @@ pub(crate) struct EngineShard {
     clock_subs: Vec<QueryId>,
     /// Local live queries with a push subscription attached (flush set).
     push_subs: Vec<QueryId>,
+    /// The engine's recursive views — populated only on the dedicated
+    /// view cell (executor cell `nshards`); empty on query shards.
+    pub(crate) views: ViewSet,
     /// Lock-local telemetry counters (tuples in, slices run, busy time).
     pub(crate) meters: ShardMeters,
 }
@@ -411,27 +717,31 @@ pub struct ShardedEngine {
     next_query: u32,
     sessions: HashMap<SessionId, Vec<QueryId>>,
     next_session: u32,
-    /// Coordinator route table: source → shards with ≥ 1 live subscriber.
-    source_routes: HashMap<SourceId, Vec<usize>>,
-    /// Shards with ≥ 1 live clock-sensitive query (heartbeat fan-out set).
-    clock_routes: Vec<usize>,
-    /// Shards with ≥ 1 live push-subscribed query (flush fan-out set).
-    push_routes: Vec<usize>,
-    views: Vec<ViewRuntime>,
-    /// Routing index: source → views that read it as a base relation.
+    /// Query-shard count; the executor owns one extra cell (`nshards`) —
+    /// the dedicated view shard.
+    nshards: usize,
+    /// The partitioned ingest plane: `hash(SourceId) % slices.len()`
+    /// slices, each owning its sources' route refcounts, retained
+    /// tables, and ingest counters behind its own lock.
+    slices: Vec<Mutex<IngestSlice>>,
+    /// Per-shard count of live clock-sensitive queries (heartbeat
+    /// fan-out = shards with count > 0).
+    clock_counts: Vec<u32>,
+    /// Per-shard count of live push-subscribed queries (flush fan-out).
+    push_counts: Vec<u32>,
+    /// Output source of each registered view, in registration order
+    /// (aligned with the view shard's [`ViewSet`] indices).
+    view_outs: Vec<SourceId>,
+    /// Admission-side mirror: source → views that read it as a base
+    /// relation (decides whether an ingest boundary needs a view-shard
+    /// task at all).
     view_subs: HashMap<SourceId, Vec<usize>>,
-    /// Views with clock-sensitive (time-windowed) base scans.
-    clock_views: Vec<usize>,
-    /// Retained contents of Table sources so late-registered (and
-    /// resumed) queries can replay them (streams are not replayed —
-    /// standard semantics).
-    table_store: HashMap<SourceId, BagState>,
+    /// Views with clock-sensitive (time-windowed) base scans; heartbeats
+    /// skip the view shard entirely while this is zero.
+    clocked_views: usize,
     now: SimTime,
     /// Batch boundaries processed so far (ingest calls + heartbeats).
     boundaries: u64,
-    /// Cumulative tuples/deltas ingested per source (coordinator-side;
-    /// the app publishes these as observed rates into the catalog).
-    source_tuples: HashMap<SourceId, u64>,
     /// Adaptive rebalancing, when enabled by [`EngineConfig::rebalance`].
     rebalancer: Option<RebalanceController>,
     /// Queries live-migrated between shards so far.
@@ -460,8 +770,9 @@ impl ShardedEngine {
         let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
         ShardedEngine {
             catalog,
+            // One cell per query shard plus the dedicated view shard.
             exec: Executor::new(
-                n,
+                n + 1,
                 config.resolve_scheduling(cores),
                 config.resolve_workers(cores),
                 config.resolve_queue_depth(),
@@ -471,16 +782,15 @@ impl ShardedEngine {
             next_query: 0,
             sessions: HashMap::new(),
             next_session: 0,
-            source_routes: HashMap::new(),
-            clock_routes: Vec::new(),
-            push_routes: Vec::new(),
-            views: Vec::new(),
+            nshards: n,
+            slices: (0..n).map(|_| Mutex::new(IngestSlice::default())).collect(),
+            clock_counts: vec![0; n],
+            push_counts: vec![0; n],
+            view_outs: Vec::new(),
             view_subs: HashMap::new(),
-            clock_views: Vec::new(),
-            table_store: HashMap::new(),
+            clocked_views: 0,
             now: SimTime::ZERO,
             boundaries: 0,
-            source_tuples: HashMap::new(),
             rebalancer: config.rebalance_config().map(RebalanceController::new),
             migrations: 0,
             shared_subplans: config.resolve_shared_subplans(),
@@ -496,8 +806,22 @@ impl ShardedEngine {
         self.now
     }
 
+    /// Query-shard count (the executor owns one further cell — the
+    /// dedicated view shard — which is not a placement target).
     pub fn shard_count(&self) -> usize {
-        self.exec.shard_count()
+        self.nshards
+    }
+
+    /// Executor cell of the dedicated view shard.
+    fn view_cell(&self) -> usize {
+        self.nshards
+    }
+
+    /// Which ingest slice a source's routing and retained state live in.
+    fn slice_of(&self, src: SourceId) -> usize {
+        let mut h = DefaultHasher::new();
+        src.hash(&mut h);
+        (h.finish() % self.slices.len() as u64) as usize
     }
 
     /// One shard's state cell. Callers that must observe every
@@ -505,6 +829,25 @@ impl ShardedEngine {
     /// coordinator-owned routing slices may lock directly.
     fn shard(&self, i: usize) -> &Mutex<EngineShard> {
         self.exec.shard(i)
+    }
+
+    /// Drain the view shard (if any views exist), so its forwarded net
+    /// deltas are enqueued on the query shards, then drain one query
+    /// shard — the `Fresh` barrier for a point read.
+    fn settle_with_views(&self, shard: usize) {
+        if !self.view_outs.is_empty() {
+            self.exec.settle(self.view_cell());
+        }
+        self.exec.settle(shard);
+    }
+
+    /// [`ShardedEngine::settle_with_views`] surfacing any deferred task
+    /// error the drain uncovered.
+    fn quiesce_with_views(&self, shard: usize) -> Result<()> {
+        if !self.view_outs.is_empty() {
+            self.exec.quiesce(self.view_cell())?;
+        }
+        self.exec.quiesce(shard)
     }
 
     /// Drain every shard's pending boundary tasks (a global barrier;
@@ -528,7 +871,7 @@ impl ShardedEngine {
     /// rebuilt away by a pause/resume cycle.
     pub fn set_query_drag(&mut self, q: QueryHandle, drag: Option<Duration>) -> Result<()> {
         let shard_idx = self.meta(q)?.shard;
-        self.exec.quiesce(shard_idx)?;
+        self.quiesce_with_views(shard_idx)?;
         let mut shard = self.shard(shard_idx).lock();
         let rt = shard
             .queries
@@ -551,10 +894,19 @@ impl ShardedEngine {
     /// read it; the old `shard_busy_seconds` / `shard_ops_invoked` /
     /// `shard_query_counts` accessors folded into it.
     pub fn telemetry(&self) -> TelemetryReport {
-        // A coherent observation needs every submitted boundary applied:
-        // this is the one global barrier (point reads quiesce only the
-        // shard they touch).
-        self.exec.settle_all();
+        self.telemetry_at(Consistency::default())
+    }
+
+    /// [`ShardedEngine::telemetry`] at an explicit consistency level.
+    /// `Fresh` drains every shard first (the old global barrier); `Cut`
+    /// locks each shard as-is and reads the state at its published
+    /// applied watermark — a boundary-consistent past cut, taken without
+    /// stalling ingest. Each [`ShardLoad`] reports that watermark and
+    /// its lag behind submissions.
+    pub fn telemetry_at(&self, consistency: Consistency) -> TelemetryReport {
+        if consistency == Consistency::Fresh {
+            self.exec.settle_all();
+        }
         let mut shards = Vec::with_capacity(self.shard_count());
         let mut queries = vec![None; self.order.len()];
         let slot: HashMap<QueryId, usize> = self
@@ -564,6 +916,10 @@ impl ShardedEngine {
             .map(|(i, &q)| (q, i))
             .collect();
         for i in 0..self.shard_count() {
+            // Read the watermark pair *before* locking: once the lock is
+            // held the applied counter cannot move, so the state read is
+            // at least as fresh as the published watermark.
+            let (submitted, applied) = self.exec.watermark(i);
             let shard = self.shard(i).lock();
             let mut ops = 0u64;
             for (qid, rt) in &shard.queries {
@@ -592,6 +948,8 @@ impl ShardedEngine {
                 busy_seconds: shard.meters.busy.as_secs_f64(),
                 shared_chains,
                 shared_taps,
+                watermark: applied,
+                lag: submitted.saturating_sub(applied),
             });
         }
         TelemetryReport {
@@ -611,19 +969,21 @@ impl ShardedEngine {
     /// Cumulative tuples/deltas ingested for a source — the measured
     /// counterpart of the catalog's declared `rate_hz`.
     pub fn source_tuples_in(&self, src: SourceId) -> u64 {
-        self.source_tuples.get(&src).copied().unwrap_or(0)
+        self.slices[self.slice_of(src)]
+            .lock()
+            .tuples_in
+            .get(&src)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Number of *live* queries subscribed to a source across all shards
-    /// (routing-index fan-out; paused and deregistered queries do not
-    /// count — exposed for tests and the fan-out benches).
+    /// (routing-slice refcount fan-out; paused and deregistered queries
+    /// do not count — exposed for tests and the fan-out benches).
     pub fn subscriber_count(&self, source: SourceId) -> usize {
-        self.source_routes.get(&source).map_or(0, |shards| {
-            shards
-                .iter()
-                .map(|&i| self.shard(i).lock().subs.get(&source).map_or(0, Vec::len))
-                .sum()
-        })
+        self.slices[self.slice_of(source)]
+            .lock()
+            .subscribers(source)
     }
 
     /// Which shard a query id hashes to.
@@ -663,10 +1023,9 @@ impl ShardedEngine {
                 removed.push(qid);
             }
         }
-        // One order prune and one route rebuild for the whole batch, not
-        // one per query.
+        // One order prune for the whole batch, not one per query (route
+        // refcounts were already unwound per query).
         self.order.retain(|q| !removed.contains(q));
-        self.rebuild_routes();
         Ok(removed.len())
     }
 
@@ -836,16 +1195,22 @@ impl ShardedEngine {
         Ok(QueryHandle(qid))
     }
 
-    /// Unwind one query everywhere except the coordinator route tables
-    /// and (optionally) the registration-order list — callers batch
-    /// those: `deregister` prunes and rebuilds once per call,
-    /// `close_session` once per batch.
+    /// Unwind one query everywhere — route refcounts in the ingest
+    /// slices included — except (optionally) the registration-order
+    /// list, which `close_session` prunes once per batch. Route removal
+    /// is incremental: only the refcounts of this query's sources move,
+    /// never a whole-table rebuild.
     fn remove_query_inner(&mut self, qid: QueryId, prune_order: bool) {
+        if !self.queries[&qid].paused {
+            // A paused query already left the routing slices.
+            self.remove_routes(qid);
+        }
         let meta = self.queries.remove(&qid).expect("caller checked");
         {
             // Pending boundaries still route to this query; apply them
-            // before the runtime leaves the shard.
-            self.exec.settle(meta.shard);
+            // before the runtime leaves the shard (the view cell drains
+            // first so forwarded view deltas are included).
+            self.settle_with_views(meta.shard);
             let mut shard = self.shard(meta.shard).lock();
             shard.detach_tap(qid);
             shard.detach(qid, &meta.sources);
@@ -913,20 +1278,30 @@ impl ShardedEngine {
         sink: &mut Sink,
     ) -> Result<()> {
         for &src in sources {
-            if let Some(rows) = self.table_store.get(&src) {
-                let rows = rows.snapshot();
+            let rows = self.slices[self.slice_of(src)]
+                .lock()
+                .tables
+                .get(&src)
+                .map(BagState::snapshot);
+            if let Some(rows) = rows {
                 pipeline.push_source(src, &rows, sink)?;
             }
-            if let Some(vr) = self.views.iter().find(|v| v.out_source == src) {
-                let snapshot = vr.view.snapshot();
+            if let Some(idx) = self.view_outs.iter().position(|&o| o == src) {
+                // Views live on the dedicated view cell; drain it so the
+                // replayed materialization includes every admitted base
+                // boundary.
+                self.exec.settle(self.view_cell());
+                let snapshot = self.shard(self.view_cell()).lock().views.snapshot_of(idx);
                 pipeline.push_source(src, &snapshot, sink)?;
             }
         }
         Ok(())
     }
 
-    /// Materialize a bound view. Views stay on the coordinator: their
-    /// output deltas fan into the shards like any other source.
+    /// Materialize a bound view on the dedicated view shard: its
+    /// maintenance runs as queued tasks on executor cell `nshards`, and
+    /// its output deltas fan into the query shards like any other
+    /// source.
     pub fn register_view(&mut self, bound: &BoundView) -> Result<SourceId> {
         let out_source = self.catalog.register_source(
             &bound.name,
@@ -936,23 +1311,38 @@ impl ShardedEngine {
         )?;
         let mut view = RecursiveView::new(bound)?;
 
-        // Seed the view from any already-retained table contents.
+        // Seed the view from any already-retained table contents. Table
+        // bases are retained at admission time, so the seed also covers
+        // boundaries still queued on the view cell.
         let mut emitted = DeltaBatch::new();
         for src in view.base_sources() {
-            if let Some(rows) = self.table_store.get(&src) {
-                let deltas = DeltaBatch::inserts(rows.snapshot());
-                emitted.extend(view.on_base_deltas(src, &deltas)?);
+            let rows = self.slices[self.slice_of(src)]
+                .lock()
+                .tables
+                .get(&src)
+                .map(BagState::snapshot);
+            if let Some(rows) = rows {
+                emitted.extend(view.on_base_deltas(src, &DeltaBatch::inserts(rows))?);
             }
         }
 
-        let idx = self.views.len();
+        let idx = self.view_outs.len();
         for src in view.base_sources() {
             self.view_subs.entry(src).or_default().push(idx);
         }
         if view.needs_clock() {
-            self.clock_views.push(idx);
+            self.clocked_views += 1;
         }
-        self.views.push(ViewRuntime { view, out_source });
+        self.view_outs.push(out_source);
+        // Settle-then-install: base boundaries already queued on the
+        // view cell predate this view (the retained seed above covers
+        // their table effects); draining first means the installed view
+        // never double-counts one of them.
+        self.exec.quiesce(self.view_cell())?;
+        self.shard(self.view_cell())
+            .lock()
+            .views
+            .install(view, out_source);
         if !emitted.is_empty() {
             self.forward_view_deltas(out_source, &emitted)?;
         }
@@ -988,7 +1378,6 @@ impl ShardedEngine {
             )));
         }
         self.remove_query_inner(q.0, true);
-        self.rebuild_routes();
         Ok(())
     }
 
@@ -1008,8 +1397,8 @@ impl ShardedEngine {
         let (shard_idx, sources) = (meta.shard, meta.sources.clone());
         {
             // The frozen sink must reflect every boundary admitted
-            // before the pause.
-            self.exec.quiesce(shard_idx)?;
+            // before the pause — view-forwarded deltas included.
+            self.quiesce_with_views(shard_idx)?;
             let mut shard = self.shard(shard_idx).lock();
             // The tap goes with the routing entry — a paused query
             // receives nothing, and resume re-splices it fresh (stream
@@ -1021,8 +1410,11 @@ impl ShardedEngine {
                 rt.sink.flush_push(self.now, true);
             }
         }
+        // Routes come out while the meta still reads live (remove_routes
+        // consults it) and only after the quiesce succeeded, so a
+        // surfaced deferred error leaves the routing slices intact.
+        self.remove_routes(q.0);
         self.queries.get_mut(&q.0).expect("meta checked").paused = true;
-        self.rebuild_routes();
         Ok(())
     }
 
@@ -1052,7 +1444,7 @@ impl ShardedEngine {
         let sources = pipeline.sources();
         self.seed_pipeline(&mut pipeline, &sources, &mut sink)?;
 
-        self.exec.quiesce(shard_idx)?;
+        self.quiesce_with_views(shard_idx)?;
         let mut shard = self.shard(shard_idx).lock();
         let mut old = shard
             .queries
@@ -1098,11 +1490,13 @@ impl ShardedEngine {
         let meta = self.meta(q)?;
         let (shard_idx, paused) = (meta.shard, meta.paused);
         let (max_batch, max_delay) = (meta.max_batch, meta.max_delay);
+        let was_push = meta.push;
         let queue = {
             // Late subscription seeds the channel from the current
-            // snapshot: pending boundaries must land first or the seeded
-            // state and the subsequent deltas would overlap.
-            self.exec.quiesce(shard_idx)?;
+            // snapshot: pending boundaries must land first (view-
+            // forwarded deltas included) or the seeded state and the
+            // subsequent deltas would overlap.
+            self.quiesce_with_views(shard_idx)?;
             let mut shard = self.shard(shard_idx).lock();
             let rt = shard
                 .queries
@@ -1128,7 +1522,11 @@ impl ShardedEngine {
             queue
         };
         self.queries.get_mut(&q.0).expect("meta checked").push = true;
-        self.add_routes(q.0);
+        if !was_push && !paused {
+            // The query newly entered its shard's push-flush set; a
+            // paused query enters it at resume through add_routes.
+            self.push_counts[shard_idx] += 1;
+        }
         Ok(ResultSubscription { queue, query: q.0 })
     }
 
@@ -1164,10 +1562,15 @@ impl ShardedEngine {
         if from == to {
             return Ok(());
         }
-        // Migration quiesces exactly the two affected shards' queues,
-        // never the world: the donor so the runtime leaves with every
-        // admitted boundary applied, the recipient so queued boundaries
-        // there cannot interleave with the attach.
+        // Migration quiesces exactly the two affected shards' queues
+        // (plus the view cell when views exist, so forwarded deltas are
+        // enqueued where they belong), never the world: the donor so the
+        // runtime leaves with every admitted boundary applied, the
+        // recipient so queued boundaries there cannot interleave with
+        // the attach.
+        if !self.view_outs.is_empty() {
+            self.exec.quiesce(self.view_cell())?;
+        }
         self.exec.quiesce(from)?;
         self.exec.quiesce(to)?;
         let rt = {
@@ -1197,9 +1600,17 @@ impl ShardedEngine {
             }
             shard.queries.insert(q.0, rt);
         }
+        // Incremental route move: drop the donor-shard refcounts while
+        // the meta still points at `from`, flip the shard, re-add on the
+        // recipient. Paused queries carry no routes either side.
+        if !paused {
+            self.remove_routes(q.0);
+        }
         self.queries.get_mut(&q.0).expect("meta checked").shard = to;
+        if !paused {
+            self.add_routes(q.0);
+        }
         self.migrations += 1;
-        self.rebuild_routes();
         Ok(())
     }
 
@@ -1261,7 +1672,7 @@ impl ShardedEngine {
         // task error): pending boundaries flush under the old knobs,
         // and a failed tune leaves meta and the live sink untouched —
         // never half-applied.
-        self.exec.quiesce(shard_idx)?;
+        self.quiesce_with_views(shard_idx)?;
         let meta = self.queries.get_mut(&q.0).expect("existence checked");
         meta.max_batch = max_batch.map(|n| n.max(1));
         meta.max_delay = max_delay;
@@ -1315,11 +1726,12 @@ impl ShardedEngine {
         tuned
     }
 
-    /// Add one live query's shard to the coordinator fan-out sets
-    /// (source routes, clock routes, push-flush routes). Additions are
-    /// incremental — a new query can only ever *add* its own shard to a
-    /// route — so registration, subscription, and resume stay O(this
-    /// query), not O(all queries).
+    /// Count one live query into the routing refcounts: per source, the
+    /// owning ingest slice's `source → shard` count; plus the clock and
+    /// push-flush shard counts. O(this query's sources) — never a
+    /// whole-table walk — and commutative with [`Self::remove_routes`],
+    /// so the resulting fan-out sets are independent of the order
+    /// queries came and went (pinned by a unit test below).
     fn add_routes(&mut self, qid: QueryId) {
         let meta = &self.queries[&qid];
         if meta.paused {
@@ -1333,45 +1745,43 @@ impl ShardedEngine {
             meta.needs_clock,
             meta.push,
         );
+        let nshards = self.nshards;
         for src in sources {
-            let routes = self.source_routes.entry(src).or_default();
-            if !routes.contains(&shard) {
-                routes.push(shard);
-            }
+            self.slices[self.slice_of(src)]
+                .lock()
+                .add_route(src, shard, nshards);
         }
-        if needs_clock && !self.clock_routes.contains(&shard) {
-            self.clock_routes.push(shard);
+        if needs_clock {
+            self.clock_counts[shard] += 1;
         }
-        if push && !self.push_routes.contains(&shard) {
-            self.push_routes.push(shard);
+        if push {
+            self.push_counts[shard] += 1;
         }
     }
 
-    /// Recompute the coordinator fan-out sets from the live query metas.
-    /// Needed after removals (deregister, pause) — dropping a query may
-    /// empty a route no remaining query justifies. Iteration follows
-    /// registration order so the rebuilt route vectors are deterministic.
-    fn rebuild_routes(&mut self) {
-        self.source_routes.clear();
-        self.clock_routes.clear();
-        self.push_routes.clear();
-        for qid in &self.order {
-            let meta = &self.queries[qid];
-            if meta.paused {
-                continue;
-            }
-            for &src in &meta.sources {
-                let routes = self.source_routes.entry(src).or_default();
-                if !routes.contains(&meta.shard) {
-                    routes.push(meta.shard);
-                }
-            }
-            if meta.needs_clock && !self.clock_routes.contains(&meta.shard) {
-                self.clock_routes.push(meta.shard);
-            }
-            if meta.push && !self.push_routes.contains(&meta.shard) {
-                self.push_routes.push(meta.shard);
-            }
+    /// Uncount one live query from the routing refcounts — the exact
+    /// inverse of [`Self::add_routes`]. A count reaching zero drops the
+    /// shard from that source's fan-out; the last subscriber of a source
+    /// removes its slice entry entirely. The caller guarantees the meta
+    /// still describes the counted state (live, old shard).
+    fn remove_routes(&mut self, qid: QueryId) {
+        let meta = &self.queries[&qid];
+        let (shard, sources, needs_clock, push) = (
+            meta.shard,
+            meta.sources.clone(),
+            meta.needs_clock,
+            meta.push,
+        );
+        for src in sources {
+            self.slices[self.slice_of(src)]
+                .lock()
+                .remove_route(src, shard);
+        }
+        if needs_clock {
+            self.clock_counts[shard] -= 1;
+        }
+        if push {
+            self.push_counts[shard] -= 1;
         }
     }
 
@@ -1390,12 +1800,14 @@ impl ShardedEngine {
         }
     }
 
-    /// Ingest a batch of tuples for a named source. The route table fans
-    /// it out to exactly the shards with subscribing pipelines — one
-    /// boundary task per involved shard, admitted into the bounded
-    /// per-shard queues — then to the recursive views (maintained here
-    /// on the ingest thread), forwarding any view deltas the same way;
-    /// finally, push subscriptions are flushed — every ingest is a batch
+    /// Ingest a batch of tuples for a named source. Admission touches
+    /// exactly one ingest slice — the one owning the source: its meter,
+    /// its retained table contents, and its fan-out counts — then
+    /// submits one boundary task per subscribing shard into the bounded
+    /// per-shard queues. A boundary feeding a view additionally admits
+    /// one maintenance task onto the dedicated view cell; the resulting
+    /// net deltas reach downstream query shards as follow-up tasks.
+    /// Finally, push subscriptions are flushed — every ingest is a batch
     /// boundary. Under pool scheduling this returns once every task is
     /// *admitted*, not processed: a shard hosting a slow query drains
     /// its backlog without gating its siblings or the next ingest.
@@ -1403,20 +1815,24 @@ impl ShardedEngine {
         let meta = self.catalog.source(source_name)?;
         let src = meta.id;
         self.observe_timestamps(tuples.iter().map(Tuple::timestamp));
-        *self.source_tuples.entry(src).or_insert(0) += tuples.len() as u64;
-        // Retain table contents for replay (coordinator-side, so a late
-        // registration never races the shard queues).
-        if matches!(meta.kind, SourceKind::Table) {
-            self.table_store.entry(src).or_default().insert_all(tuples);
-        }
-        if let Some(routes) = self.source_routes.get(&src) {
-            self.exec.submit(routes, Boundary::Batch { src, tuples })?;
+        let routes = {
+            let mut slice = self.slices[self.slice_of(src)].lock();
+            *slice.tuples_in.entry(src).or_insert(0) += tuples.len() as u64;
+            // Retain table contents for replay at admission time, so a
+            // late registration never races the shard queues.
+            if matches!(meta.kind, SourceKind::Table) {
+                slice.tables.entry(src).or_default().insert_all(tuples);
+            }
+            slice.fanout(src)
+        };
+        if !routes.is_empty() {
+            self.exec.submit(&routes, Boundary::Batch { src, tuples })?;
         }
         // Views reading this source (skip building the delta batch when
         // no view subscribes).
         if self.view_subs.contains_key(&src) {
-            let deltas = DeltaBatch::inserts(tuples.iter().cloned());
-            self.apply_base_deltas(src, &deltas)?;
+            let deltas = Arc::new(DeltaBatch::inserts(tuples.iter().cloned()));
+            self.submit_view_deltas(src, deltas)?;
         }
         self.finish_boundary()
     }
@@ -1428,41 +1844,64 @@ impl ShardedEngine {
         let meta = self.catalog.source(source_name)?;
         let src = meta.id;
         self.observe_timestamps(deltas.iter().map(|d| d.tuple.timestamp()));
-        *self.source_tuples.entry(src).or_insert(0) += deltas.len() as u64;
-        if matches!(meta.kind, SourceKind::Table) {
-            self.table_store.entry(src).or_default().apply(deltas);
-        }
-        if let Some(routes) = self.source_routes.get(&src) {
-            self.exec.submit(routes, Boundary::Deltas { src, deltas })?;
+        let routes = {
+            let mut slice = self.slices[self.slice_of(src)].lock();
+            *slice.tuples_in.entry(src).or_insert(0) += deltas.len() as u64;
+            if matches!(meta.kind, SourceKind::Table) {
+                slice.tables.entry(src).or_default().apply(deltas);
+            }
+            slice.fanout(src)
+        };
+        if !routes.is_empty() {
+            self.exec
+                .submit(&routes, Boundary::Deltas { src, deltas })?;
         }
         if self.view_subs.contains_key(&src) {
-            self.apply_base_deltas(src, deltas)?;
+            self.submit_view_deltas(src, Arc::new(deltas.clone()))?;
         }
         self.finish_boundary()
     }
 
-    fn apply_base_deltas(&mut self, src: SourceId, deltas: &DeltaBatch) -> Result<()> {
-        let Some(view_idxs) = self.view_subs.get(&src) else {
-            return Ok(());
-        };
-        let mut forwarded: Vec<(SourceId, DeltaBatch)> = Vec::new();
-        for &i in view_idxs {
-            let vr = &mut self.views[i];
-            let out = vr.view.on_base_deltas(src, deltas)?;
-            if !out.is_empty() {
-                forwarded.push((vr.out_source, out));
-            }
-        }
-        for (out_src, out) in forwarded {
-            self.forward_view_deltas(out_src, &out)?;
-        }
-        Ok(())
+    /// Admit one view-maintenance task onto the dedicated view cell,
+    /// carrying an admission-time routing snapshot so the task can fan
+    /// its net output deltas out to the right query shards without ever
+    /// re-entering the coordinator.
+    fn submit_view_deltas(&self, src: SourceId, deltas: Arc<DeltaBatch>) -> Result<()> {
+        let ctx = self.view_ctx();
+        self.exec.submit(
+            &[self.view_cell()],
+            Boundary::ViewDeltas { src, deltas, ctx },
+        )
     }
 
+    /// Routing snapshot handed to a queued view task: where each view's
+    /// output currently fans out, and which shards need a push flush
+    /// once forwarded deltas land.
+    fn view_ctx(&self) -> Arc<ViewCtx> {
+        let routes = self
+            .view_outs
+            .iter()
+            .map(|&out| (out, self.slices[self.slice_of(out)].lock().fanout(out)))
+            .collect();
+        let flush = (0..self.nshards)
+            .filter(|&i| self.push_counts[i] > 0)
+            .collect();
+        Arc::new(ViewCtx {
+            routes,
+            flush,
+            now: self.now,
+        })
+    }
+
+    /// Forward already-materialized view output deltas (the
+    /// registration-time seed) to the subscribing query shards.
     fn forward_view_deltas(&self, view_source: SourceId, deltas: &DeltaBatch) -> Result<()> {
-        if let Some(routes) = self.source_routes.get(&view_source) {
+        let routes = self.slices[self.slice_of(view_source)]
+            .lock()
+            .fanout(view_source);
+        if !routes.is_empty() {
             self.exec.submit(
-                routes,
+                &routes,
                 Boundary::Deltas {
                     src: view_source,
                     deltas,
@@ -1481,20 +1920,18 @@ impl ShardedEngine {
         if now > self.now {
             self.now = now;
         }
+        let clock_routes: Vec<usize> = (0..self.nshards)
+            .filter(|&i| self.clock_counts[i] > 0)
+            .collect();
         self.exec
-            .submit(&self.clock_routes, Boundary::AdvanceTime(now))?;
-        // Time-windowed view state expires too, and the resulting view
-        // deltas reach downstream queries like any other maintenance.
-        let mut forwarded: Vec<(SourceId, DeltaBatch)> = Vec::new();
-        for &i in &self.clock_views {
-            let vr = &mut self.views[i];
-            let out = vr.view.advance_time(now)?;
-            if !out.is_empty() {
-                forwarded.push((vr.out_source, out));
-            }
-        }
-        for (out_src, out) in forwarded {
-            self.forward_view_deltas(out_src, &out)?;
+            .submit(&clock_routes, Boundary::AdvanceTime(now))?;
+        // Time-windowed view state expires on the view cell too, and the
+        // resulting deltas reach downstream queries like any other
+        // maintenance.
+        if self.clocked_views > 0 {
+            let ctx = self.view_ctx();
+            self.exec
+                .submit(&[self.view_cell()], Boundary::ViewAdvance { now, ctx })?;
         }
         self.finish_boundary()
     }
@@ -1502,31 +1939,48 @@ impl ShardedEngine {
     /// Deliver pending push batches on every shard with a live
     /// subscribed query (no-op when nothing is subscribed).
     fn flush_push(&mut self) -> Result<()> {
-        if self.push_routes.is_empty() {
+        let push_routes: Vec<usize> = (0..self.nshards)
+            .filter(|&i| self.push_counts[i] > 0)
+            .collect();
+        if push_routes.is_empty() {
             return Ok(());
         }
         self.exec
-            .submit(&self.push_routes, Boundary::FlushPush(self.now))
+            .submit(&push_routes, Boundary::FlushPush(self.now))
     }
 
     // -----------------------------------------------------------------
     // Introspection
     // -----------------------------------------------------------------
 
-    /// Current results of a query (ORDER BY / LIMIT applied). Works for
-    /// paused queries too — the sink is frozen at the pause-time state.
-    /// Quiesces only the owning shard: a snapshot waits for *this*
-    /// query's pending boundaries, never for a slow sibling elsewhere.
+    /// Current results of a query (ORDER BY / LIMIT applied), `Fresh`.
+    /// Works for paused queries too — the sink is frozen at the
+    /// pause-time state. Quiesces only the owning shard (and the view
+    /// cell feeding it): a snapshot waits for *this* query's pending
+    /// boundaries, never for a slow sibling elsewhere.
     pub fn snapshot(&self, q: QueryHandle) -> Result<Vec<Tuple>> {
+        self.snapshot_at(q, Consistency::Fresh)
+    }
+
+    /// [`ShardedEngine::snapshot`] at an explicit consistency level.
+    /// `Cut` skips the drain and reads the sink at the shard's applied
+    /// watermark — a boundary-consistent past state (every boundary is
+    /// applied atomically under the shard lock, and one query's
+    /// boundaries are FIFO on its one shard), taken without stalling
+    /// ingest. After a drain the two levels return identical bytes —
+    /// the churn property test pins that at every event.
+    pub fn snapshot_at(&self, q: QueryHandle, consistency: Consistency) -> Result<Vec<Tuple>> {
         let meta = self.meta(q)?;
-        self.exec.quiesce(meta.shard)?;
+        if consistency == Consistency::Fresh {
+            self.quiesce_with_views(meta.shard)?;
+        }
         self.shard(meta.shard).lock().queries[&q.0].sink.snapshot()
     }
 
     /// Result-churn statistic of a query's sink.
     pub fn deltas_applied(&self, q: QueryHandle) -> Result<u64> {
         let meta = self.meta(q)?;
-        self.exec.quiesce(meta.shard)?;
+        self.quiesce_with_views(meta.shard)?;
         Ok(self.shard(meta.shard).lock().queries[&q.0]
             .sink
             .deltas_applied)
@@ -1577,20 +2031,25 @@ impl ShardedEngine {
         self.plan_cache.as_ref().map(PlanCache::stats)
     }
 
-    /// Current materialization of a named view.
+    /// Current materialization of a named view (drains the view cell
+    /// first, so every admitted base boundary is reflected).
     pub fn view_snapshot(&self, name: &str) -> Result<Vec<Tuple>> {
-        self.views
-            .iter()
-            .find(|v| v.view.name().eq_ignore_ascii_case(name))
+        self.exec.settle(self.view_cell());
+        self.shard(self.view_cell())
+            .lock()
+            .views
+            .by_name(name)
             .map(|v| v.view.snapshot())
             .ok_or_else(|| AspenError::Unresolved(format!("no materialized view '{name}'")))
     }
 
     /// Maintenance statistics of a named view.
     pub fn view_stats(&self, name: &str) -> Result<crate::recursive::ViewStats> {
-        self.views
-            .iter()
-            .find(|v| v.view.name().eq_ignore_ascii_case(name))
+        self.exec.settle(self.view_cell());
+        self.shard(self.view_cell())
+            .lock()
+            .views
+            .by_name(name)
             .map(|v| v.view.stats.clone())
             .ok_or_else(|| AspenError::Unresolved(format!("no materialized view '{name}'")))
     }
@@ -1919,6 +2378,7 @@ mod tests {
                 patience: 1,
                 max_moves: 4,
                 interval_boundaries: 1,
+                ..Default::default()
             }),
         );
         // Force skew: pile every query onto shard 0.
@@ -2280,6 +2740,156 @@ mod tests {
         assert_eq!(
             rs.window_tuples, 0,
             "resident census still works without chains"
+        );
+    }
+
+    #[test]
+    fn incremental_routes_are_order_independent() {
+        // Routing is pure refcounting: the fan-out sets an engine ends
+        // up with must depend only on which queries survive, never on
+        // the order registrations, removals, pauses, and subscriptions
+        // happened — there is no global rebuild whose iteration order
+        // could leak into the result.
+        let sqls = [
+            "select r.value from Readings r",
+            "select r.sensor, avg(r.value) from Readings r group by r.sensor",
+            "select e.src from Edge e",
+            "select count(*) from Readings r",
+            "select e.dst from Edge e",
+            "select r.value from Readings r where r.value > 50",
+        ];
+        let build = || {
+            let mut e = ShardedEngine::new(catalog(), 4);
+            let hs: Vec<QueryHandle> = sqls
+                .iter()
+                .map(|s| e.register_sql(s).unwrap().expect_query())
+                .collect();
+            (e, hs)
+        };
+        let routing_state = |e: &ShardedEngine| {
+            // One slice lock at a time — both sources may share a slice.
+            let fan = |src: SourceId| e.slices[e.slice_of(src)].lock().fanout(src);
+            let readings = fan(e.catalog().source("Readings").unwrap().id);
+            let edge = fan(e.catalog().source("Edge").unwrap().id);
+            (
+                readings,
+                edge,
+                e.clock_counts.clone(),
+                e.push_counts.clone(),
+            )
+        };
+        let (mut a, ha) = build();
+        let (mut b, hb) = build();
+        // The same churn multiset applied in two different orders.
+        a.subscribe(ha[1]).unwrap();
+        a.deregister(ha[0]).unwrap();
+        a.pause(ha[3]).unwrap();
+        a.deregister(ha[4]).unwrap();
+        a.resume(ha[3]).unwrap();
+        b.pause(hb[3]).unwrap();
+        b.deregister(hb[4]).unwrap();
+        b.resume(hb[3]).unwrap();
+        b.deregister(hb[0]).unwrap();
+        b.subscribe(hb[1]).unwrap();
+        assert_eq!(routing_state(&a), routing_state(&b));
+        // Both agree with a recompute from the surviving metas — the
+        // oracle the old whole-table rebuild produced.
+        let readings = a.catalog().source("Readings").unwrap().id;
+        let mut expected: Vec<usize> = a
+            .queries
+            .values()
+            .filter(|m| !m.paused && m.sources.contains(&readings))
+            .map(|m| m.shard)
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(routing_state(&a).0, expected);
+        // Both engines still route ingest correctly after the churn.
+        a.on_batch("Readings", &[reading(1, 60.0, 1)]).unwrap();
+        b.on_batch("Readings", &[reading(1, 60.0, 1)]).unwrap();
+        assert_eq!(
+            a.snapshot(ha[5]).unwrap(),
+            b.snapshot(hb[5]).unwrap(),
+            "surviving queries agree after order-reversed churn"
+        );
+    }
+
+    #[test]
+    fn views_sharing_a_windowed_base_advance_as_one_group() {
+        // Two recursive views over the same `Edge [range 10 seconds]`
+        // base must coalesce into one heartbeat group — one expiry-bound
+        // check per clock tick, not one scan per view — while their net
+        // deltas stay exactly what each view would emit alone.
+        let view_sql = |name: &str| {
+            format!(
+                "create recursive view {name} as ( \
+                   select e.src, e.dst from Edge e [range 10 seconds] \
+                   union \
+                   select v.src, e.dst from {name} v, Edge e [range 10 seconds] \
+                   where v.dst = e.src )"
+            )
+        };
+        let edge_at = |a: &str, b: &str, sec: u64| {
+            Tuple::new(
+                vec![Value::Text(a.into()), Value::Text(b.into())],
+                SimTime::from_secs(sec),
+            )
+        };
+        let mut e = ShardedEngine::new(catalog(), 2);
+        e.register_sql(&view_sql("Reach")).unwrap();
+        e.register_sql(&view_sql("Hops")).unwrap();
+        let qr = e
+            .register_sql("select v.src, v.dst from Reach v")
+            .unwrap()
+            .expect_query();
+        let qh = e
+            .register_sql("select v.src, v.dst from Hops v")
+            .unwrap()
+            .expect_query();
+        // One oracle engine per view, registered alone: the per-view
+        // ground truth the shared group must not disturb.
+        let mut solo = ShardedEngine::new(catalog(), 2);
+        solo.register_sql(&view_sql("Reach")).unwrap();
+        let qs = solo
+            .register_sql("select v.src, v.dst from Reach v")
+            .unwrap()
+            .expect_query();
+        {
+            let cell = e.shard(e.view_cell()).lock();
+            assert_eq!(cell.views.groups.len(), 1, "one (base, window) group");
+            assert_eq!(cell.views.groups.values().next().unwrap().members.len(), 2);
+        }
+        for eng in [&mut e, &mut solo] {
+            eng.on_batch("Edge", &[edge_at("a", "b", 1), edge_at("b", "c", 8)])
+                .unwrap();
+        }
+        assert_eq!(e.snapshot(qr).unwrap().len(), 3); // ab, bc, ac
+        assert_eq!(e.snapshot(qh).unwrap().len(), 3);
+        // t=5: inside the window — the group check must fire nothing.
+        for eng in [&mut e, &mut solo] {
+            eng.heartbeat(SimTime::from_secs(5)).unwrap();
+        }
+        assert_eq!(
+            e.deltas_applied(qr).unwrap(),
+            solo.deltas_applied(qs).unwrap()
+        );
+        // t=12: the ts-1 edge expires; a→b and the derived a→c retract
+        // from BOTH views, each exactly once.
+        for eng in [&mut e, &mut solo] {
+            eng.heartbeat(SimTime::from_secs(12)).unwrap();
+        }
+        let expect = solo.snapshot(qs).unwrap();
+        assert_eq!(expect.len(), 1, "only b→c survives");
+        assert_eq!(e.snapshot(qr).unwrap(), expect);
+        assert_eq!(e.snapshot(qh).unwrap(), expect);
+        assert_eq!(
+            e.deltas_applied(qr).unwrap(),
+            solo.deltas_applied(qs).unwrap(),
+            "grouped advance emitted the same net deltas as a solo view"
+        );
+        assert_eq!(
+            e.deltas_applied(qh).unwrap(),
+            solo.deltas_applied(qs).unwrap()
         );
     }
 }

@@ -105,6 +105,15 @@ pub struct ShardLoad {
     pub shared_chains: usize,
     /// Queries on this shard currently fed through a chain tap.
     pub shared_taps: usize,
+    /// Highest boundary sequence number this shard has fully applied —
+    /// its watermark, published at batch boundaries. The cut a
+    /// barrier-free (`Consistency::Cut`) observation read this shard at.
+    pub watermark: u64,
+    /// Boundaries submitted to this shard but not yet applied when the
+    /// observation was taken — the shard's staleness. Always 0 under a
+    /// `Fresh` (barrier) observation and under sequential scheduling;
+    /// the rebalancer uses it to skip planning over stale meters.
+    pub lag: u64,
 }
 
 /// One coherent observation of the whole engine, taken at a batch
@@ -129,6 +138,15 @@ impl TelemetryReport {
     /// The load snapshot of one query, if registered.
     pub fn query(&self, q: QueryId) -> Option<&QueryLoad> {
         self.queries.iter().find(|l| l.query == q)
+    }
+
+    /// Worst per-shard staleness in this observation: the most
+    /// boundaries any shard still has submitted-but-unapplied. 0 under
+    /// a `Fresh` (barrier) read and under sequential scheduling. The
+    /// rebalance controller refuses to plan over observations whose lag
+    /// exceeds its configured bound — stale meters misattribute load.
+    pub fn max_lag(&self) -> u64 {
+        self.shards.iter().map(|s| s.lag).max().unwrap_or(0)
     }
 
     /// Diff this report against an earlier one into a [`LoadWindow`]:
@@ -240,6 +258,8 @@ pub(crate) fn report_from_rows(rows: &[(u32, usize, u64)]) -> TelemetryReport {
             busy_seconds: 0.0,
             shared_chains: 0,
             shared_taps: 0,
+            watermark: 0,
+            lag: 0,
         })
         .collect();
     let queries = rows
