@@ -2327,6 +2327,327 @@ pub fn e17_json() -> String {
 }
 
 // ---------------------------------------------------------------------------
+// E18 — multi-node cluster: scaling over simulated links + live migration
+// ---------------------------------------------------------------------------
+
+/// One E18 measurement at a fixed node count. A cluster of real
+/// single-shard engines over netsim links runs a 64-query fan-out whose
+/// sources home round-robin across the nodes, plus one hash-partitioned
+/// join whose keyed shares cross the wire. `critical_path_ms` is the
+/// busiest *node's* processing time (what an N-machine deployment
+/// pays); the wire columns are real encoded-frame accounting off the
+/// links; the churn columns come from a deterministic cluster-vs-oracle
+/// phase with forced cross-node live migrations.
+#[derive(Debug, Clone)]
+pub struct E18Run {
+    pub nodes: usize,
+    pub queries: usize,
+    pub tuples: usize,
+    pub wall_ms: f64,
+    pub critical_path_ms: f64,
+    pub scaled_tuples_per_sec: f64,
+    /// Encoded frames / bytes shipped over the data links.
+    pub wire_frames: u64,
+    pub wire_bytes: u64,
+    /// Tuples serialized onto links == tuples decoded off them.
+    pub exchange_out: u64,
+    pub exchange_in: u64,
+    /// Cross-node live migrations performed during the churn phase.
+    pub migrations: u64,
+    /// Cluster snapshots that mismatched the single-node oracle across
+    /// the churn seeds (must be 0: migration never replays or drops).
+    pub diverged: usize,
+}
+
+const E18_SOURCES: usize = 64;
+const E18_BATCHES: usize = 4_096;
+const E18_BATCH: usize = 32;
+
+/// `E18_SOURCES` stream sources `c0`… plus the two join legs `jl`/`jr`,
+/// one shared schema. Registration order fixes the source ids, so the
+/// default cluster homes (`id % nodes`) spread `c*` round-robin.
+fn e18_catalog() -> std::sync::Arc<aspen_catalog::Catalog> {
+    use aspen_catalog::{Catalog, SourceKind, SourceStats};
+    use aspen_types::{DataType, Field, Schema};
+    let cat = Catalog::shared();
+    let schema = Schema::new(vec![
+        Field::new("sensor", DataType::Int),
+        Field::new("value", DataType::Float),
+    ])
+    .into_ref();
+    for i in 0..E18_SOURCES {
+        cat.register_source(
+            &format!("c{i}"),
+            schema.clone(),
+            SourceKind::Stream,
+            SourceStats::stream(2.0),
+        )
+        .unwrap();
+    }
+    for leg in ["jl", "jr"] {
+        cat.register_source(
+            leg,
+            schema.clone(),
+            SourceKind::Stream,
+            SourceStats::stream(2.0).with_distinct("sensor", 64),
+        )
+        .unwrap();
+    }
+    cat
+}
+
+/// The standing query for hot source `i` (four shapes, cycled).
+fn e18_sql(i: usize) -> String {
+    match i % 4 {
+        0 => format!(
+            "select r.sensor, r.value from c{i} r where r.value > {}",
+            (i % 10) * 10
+        ),
+        1 => format!("select r.sensor, avg(r.value) from c{i} r group by r.sensor"),
+        2 => format!("select count(*) from c{i} r"),
+        _ => format!("select r.value from c{i} r where r.sensor = {}", i % 32),
+    }
+}
+
+fn e18_tuple(i: usize, sec: u64) -> Tuple {
+    Tuple::new(
+        vec![
+            Value::Int((i % 64) as i64),
+            Value::Float((i % 97) as f64 + (i % 7) as f64 * 0.5),
+        ],
+        SimTime::from_secs(sec),
+    )
+}
+
+/// Deterministic churn: an `nodes`-node cluster against a single-node
+/// oracle under interleaved ingest, heartbeats, and forced cross-node
+/// live migrations, with every event closed by a full snapshot sweep.
+/// Returns (diverged snapshots, migrations performed).
+fn e18_churn(nodes: usize, seed: u64) -> (usize, u64) {
+    use aspen_stream::{Cluster, ClusterConfig, EngineConfig};
+    let node_cfg = EngineConfig::new().shards(1).parallel_ingest(false);
+    let mut oracle = aspen_stream::ShardedEngine::with_config(e18_catalog(), node_cfg.clone());
+    let mut cluster = Cluster::new(
+        e18_catalog(),
+        ClusterConfig::new().nodes(nodes).node_config(node_cfg),
+    );
+    let handles: Vec<(aspen_stream::QueryHandle, aspen_stream::QueryHandle)> = (0..12)
+        .map(|i| {
+            let sql = e18_sql(i);
+            (
+                oracle.register_sql(&sql).unwrap().expect_query(),
+                cluster.register_sql(&sql).unwrap().expect_query(),
+            )
+        })
+        .collect();
+    let mut rng = seeded(0xE18 ^ seed);
+    let mut diverged = 0usize;
+    let mut now = 0u64;
+    for step in 0..80usize {
+        match rng.gen_range(0..8u32) {
+            0..=4 => {
+                let src = format!("c{}", rng.gen_range(0..12usize));
+                let batch: Vec<Tuple> = (0..16).map(|j| e18_tuple(step * 16 + j, now)).collect();
+                oracle.on_batch(&src, &batch).unwrap();
+                cluster.on_batch(&src, &batch).unwrap();
+            }
+            5 => {
+                now += rng.gen_range(1..10u64);
+                oracle.heartbeat(SimTime::from_secs(now)).unwrap();
+                cluster.heartbeat(SimTime::from_secs(now)).unwrap();
+            }
+            // Forced cross-node live migration of a random query.
+            _ => {
+                let (_, ch) = handles[rng.gen_range(0..handles.len())];
+                cluster.migrate(ch, rng.gen_range(0..nodes)).unwrap();
+            }
+        }
+        for (oh, ch) in &handles {
+            let want = oracle.snapshot(*oh).unwrap();
+            let got = cluster.snapshot(*ch).unwrap();
+            if want
+                .iter()
+                .map(|t| t.values())
+                .ne(got.iter().map(|t| t.values()))
+            {
+                diverged += 1;
+            }
+        }
+    }
+    if oracle.total_ops_invoked() != cluster.total_ops_invoked() {
+        // A migration that replayed (or dropped) work shows up here even
+        // when the snapshots happen to agree.
+        diverged += 1;
+    }
+    (diverged, cluster.migration_count())
+}
+
+/// One node count: place the 64-query fan-out by source home, spread
+/// one hash-partitioned join over every node, drive the full ingest
+/// phase, then the deterministic churn phase over three seeds.
+pub fn e18_run(nodes: usize) -> E18Run {
+    use aspen_stream::{Cluster, ClusterConfig, EngineConfig};
+    let mut cluster = Cluster::new(
+        e18_catalog(),
+        ClusterConfig::new()
+            .nodes(nodes)
+            .node_config(EngineConfig::new().shards(1).parallel_ingest(false)),
+    );
+    for i in 0..E18_SOURCES {
+        cluster.register_sql(&e18_sql(i)).unwrap().expect_query();
+    }
+    cluster
+        .register_hash_partitioned(
+            "select l.value, r.value from jl l, jr r where l.sensor = r.sensor",
+            &[("jl", vec![0]), ("jr", vec![0])],
+        )
+        .unwrap();
+    let mut tuples = 0usize;
+    let start = Instant::now();
+    for b in 0..E18_BATCHES {
+        let src = format!("c{}", b % E18_SOURCES);
+        let batch: Vec<Tuple> = (0..E18_BATCH)
+            .map(|j| e18_tuple(b * E18_BATCH + j, (b / 64) as u64))
+            .collect();
+        tuples += batch.len();
+        cluster.on_batch(&src, &batch).unwrap();
+        if b % 16 == 0 {
+            // Feed the repartitioned join: shares hash-exchange across
+            // the nodes (real frames on real links at N > 1).
+            let leg: Vec<Tuple> = (0..8)
+                .map(|j| e18_tuple(b + j * 131, (b / 64) as u64))
+                .collect();
+            tuples += 2 * leg.len();
+            cluster.on_batch("jl", &leg).unwrap();
+            cluster.on_batch("jr", &leg).unwrap();
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    // Critical path = the busiest node: each node is its own machine,
+    // so the deployment finishes when the slowest one does.
+    let node_busy = |i: usize| -> f64 {
+        cluster
+            .node(i)
+            .telemetry()
+            .shards
+            .iter()
+            .map(|s| s.busy_seconds)
+            .sum()
+    };
+    let critical_path = (0..nodes).map(node_busy).fold(0.0f64, f64::max);
+    let wire = cluster.wire_stats();
+    let (exchange_out, exchange_in) = cluster.exchange_tuples();
+    let (mut diverged, mut migrations) = (0usize, 0u64);
+    for seed in 0..3u64 {
+        let (d, m) = e18_churn(nodes.max(2), seed);
+        diverged += d;
+        migrations += m;
+    }
+    E18Run {
+        nodes,
+        queries: E18_SOURCES + 1,
+        tuples,
+        wall_ms,
+        critical_path_ms: critical_path * 1e3,
+        scaled_tuples_per_sec: tuples as f64 / critical_path.max(1e-9),
+        wire_frames: wire.frames,
+        wire_bytes: wire.bytes,
+        exchange_out,
+        exchange_in,
+        migrations,
+        diverged,
+    }
+}
+
+/// The E18 sweep: 1/2/4-node clusters over the same workload.
+pub fn e18_runs() -> Vec<E18Run> {
+    [1usize, 2, 4].into_iter().map(e18_run).collect()
+}
+
+/// E18 table: multi-node cluster scaling and live migration.
+pub fn e18() -> String {
+    let runs = e18_runs();
+    let base = runs[0].critical_path_ms;
+    let mut out = String::from(
+        "E18 — multi-node cluster: 64-query fan-out homed round-robin over\n\
+         real single-shard engine nodes joined by netsim links, plus one\n\
+         hash-partitioned join exchanged across every node (critical path =\n\
+         busiest node's processing time; wire columns = encoded frames off\n\
+         the links; churn columns from a deterministic cluster-vs-oracle\n\
+         phase with forced cross-node live migrations — diverged counts\n\
+         cluster snapshots that mismatched the single-node oracle)\n",
+    );
+    let mut t = TableBuilder::new(&[
+        "nodes",
+        "tuples",
+        "wall ms",
+        "critical-path ms",
+        "scaled tup/s",
+        "speedup vs 1",
+        "wire frames",
+        "wire KB",
+        "exchange out/in",
+        "migrations",
+        "diverged",
+    ]);
+    for r in &runs {
+        t.row(&[
+            r.nodes.to_string(),
+            r.tuples.to_string(),
+            f(r.wall_ms, 1),
+            f(r.critical_path_ms, 1),
+            f(r.scaled_tuples_per_sec, 0),
+            format!("{:.2}x", base / r.critical_path_ms.max(1e-9)),
+            r.wire_frames.to_string(),
+            f(r.wire_bytes as f64 / 1024.0, 1),
+            format!("{}/{}", r.exchange_out, r.exchange_in),
+            r.migrations.to_string(),
+            r.diverged.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// E18 results as JSON (written to `BENCH_E18.json` by CI; the workflow
+/// hard-asserts `speedup_vs_one_node >= 2` at 4 nodes, a zero
+/// `diverged` total, real wire traffic at N > 1, and exact exchange
+/// conservation).
+pub fn e18_json() -> String {
+    let runs = e18_runs();
+    let base = runs[0].critical_path_ms;
+    let mut out = String::from(
+        "{\n  \"experiment\": \"e18\",\n  \"workload\": \"64-query fan-out homed round-robin \
+         over 1/2/4 real single-shard engine nodes joined by netsim links, plus one \
+         hash-partitioned join exchanged across every node; churn = deterministic \
+         cluster-vs-oracle phase, 3 seeds, forced cross-node live migrations, full \
+         snapshot sweep at every event\",\n  \"runs\": [\n",
+    );
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"wall_ms\": {:.2}, \"critical_path_ms\": {:.2}, \
+             \"scaled_tuples_per_sec\": {:.0}, \"speedup_vs_one_node\": {:.3}, \
+             \"wire_frames\": {}, \"wire_bytes\": {}, \"exchange_out\": {}, \
+             \"exchange_in\": {}, \"migrations\": {}, \"diverged\": {}}}{}\n",
+            r.nodes,
+            r.wall_ms,
+            r.critical_path_ms,
+            r.scaled_tuples_per_sec,
+            base / r.critical_path_ms.max(1e-9),
+            r.wire_frames,
+            r.wire_bytes,
+            r.exchange_out,
+            r.exchange_in,
+            r.migrations,
+            r.diverged,
+            if i + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
 
 /// Run every experiment, concatenated (the full harness output).
 pub fn run_all() -> String {
@@ -2348,6 +2669,7 @@ pub fn run_all() -> String {
         e15(),
         e16(),
         e17(),
+        e18(),
     ];
     let mut out = String::new();
     for s in sections {
@@ -2383,6 +2705,8 @@ pub fn by_name(name: &str) -> Option<String> {
         "e16json" => e16_json(),
         "e17" => e17(),
         "e17json" => e17_json(),
+        "e18" => e18(),
+        "e18json" => e18_json(),
         "all" => run_all(),
         _ => return None,
     })
@@ -2593,6 +2917,31 @@ mod tests {
         }
         assert_eq!(diverged, 0, "cut snapshot diverged from barrier");
         assert!(max_lag > 0, "cut polls never observed a deferred queue");
+    }
+
+    #[test]
+    fn e18_cluster_churn_never_diverges_and_really_migrates() {
+        // Deterministic slice of E18 (the scaling sweep is the release
+        // harness's job): the cluster-vs-oracle churn phase must
+        // produce zero snapshot mismatches at the headline node counts
+        // while actually performing cross-node live migrations — zero
+        // moves would test the no-replay property vacuously.
+        for nodes in [2usize, 4] {
+            let (mut diverged, mut migrations) = (0usize, 0u64);
+            for seed in 0..3u64 {
+                let (d, m) = e18_churn(nodes, seed);
+                diverged += d;
+                migrations += m;
+            }
+            assert_eq!(
+                diverged, 0,
+                "cluster snapshot diverged from the single-node oracle at {nodes} nodes"
+            );
+            assert!(
+                migrations > 0,
+                "churn never performed a cross-node migration at {nodes} nodes"
+            );
+        }
     }
 
     #[test]

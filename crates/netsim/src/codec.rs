@@ -23,7 +23,7 @@ const TAG_TEXT: u8 = 5;
 const TAG_TIMESTAMP: u8 = 6;
 
 /// Encode a varint (LEB128, unsigned).
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -35,7 +35,7 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64> {
+pub(crate) fn get_varint(buf: &mut Bytes) -> Result<u64> {
     let mut out: u64 = 0;
     let mut shift = 0u32;
     loop {
@@ -55,12 +55,74 @@ fn get_varint(buf: &mut Bytes) -> Result<u64> {
 }
 
 /// ZigZag encoding maps signed to unsigned so small negatives stay small.
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append one tagged value to a buffer (the streaming primitive both
+/// [`encode_row`] and the cluster wire frames build on).
+pub(crate) fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+        Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            put_varint(buf, zigzag(*i));
+        }
+        Value::Float(f) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64(*f);
+        }
+        Value::Text(s) => {
+            buf.put_u8(TAG_TEXT);
+            put_varint(buf, s.len() as u64);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Timestamp(t) => {
+            buf.put_u8(TAG_TIMESTAMP);
+            put_varint(buf, *t);
+        }
+        // Plan-template parameter markers exist only inside cached
+        // logical plans; a data row can never contain one.
+        Value::Param(..) => unreachable!("parameter marker in a data row"),
+    }
+}
+
+/// Decode one tagged value from the front of a buffer.
+pub(crate) fn get_value(buf: &mut Bytes) -> Result<Value> {
+    if !buf.has_remaining() {
+        return Err(AspenError::Execution("truncated row".into()));
+    }
+    let tag = buf.get_u8();
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL_FALSE => Value::Bool(false),
+        TAG_BOOL_TRUE => Value::Bool(true),
+        TAG_INT => Value::Int(unzigzag(get_varint(buf)?)),
+        TAG_FLOAT => {
+            if buf.remaining() < 8 {
+                return Err(AspenError::Execution("truncated float".into()));
+            }
+            Value::Float(buf.get_f64())
+        }
+        TAG_TEXT => {
+            let len = get_varint(buf)? as usize;
+            if buf.remaining() < len {
+                return Err(AspenError::Execution("truncated text".into()));
+            }
+            let bytes = buf.copy_to_bytes(len);
+            let s = std::str::from_utf8(&bytes)
+                .map_err(|_| AspenError::Execution("invalid utf8 in text".into()))?;
+            Value::Text(s.to_string())
+        }
+        TAG_TIMESTAMP => Value::Timestamp(get_varint(buf)?),
+        other => return Err(AspenError::Execution(format!("unknown value tag {other}"))),
+    })
 }
 
 /// Encode a row of values into a fresh buffer.
@@ -68,31 +130,7 @@ pub fn encode_row(values: &[Value]) -> Bytes {
     let mut buf = BytesMut::with_capacity(values.len() * 4 + 2);
     put_varint(&mut buf, values.len() as u64);
     for v in values {
-        match v {
-            Value::Null => buf.put_u8(TAG_NULL),
-            Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
-            Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
-            Value::Int(i) => {
-                buf.put_u8(TAG_INT);
-                put_varint(&mut buf, zigzag(*i));
-            }
-            Value::Float(f) => {
-                buf.put_u8(TAG_FLOAT);
-                buf.put_f64(*f);
-            }
-            Value::Text(s) => {
-                buf.put_u8(TAG_TEXT);
-                put_varint(&mut buf, s.len() as u64);
-                buf.put_slice(s.as_bytes());
-            }
-            Value::Timestamp(t) => {
-                buf.put_u8(TAG_TIMESTAMP);
-                put_varint(&mut buf, *t);
-            }
-            // Plan-template parameter markers exist only inside cached
-            // logical plans; a data row can never contain one.
-            Value::Param(..) => unreachable!("parameter marker in a data row"),
-        }
+        put_value(&mut buf, v);
     }
     buf.freeze()
 }
@@ -105,35 +143,7 @@ pub fn decode_row(mut buf: Bytes) -> Result<Vec<Value>> {
     }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        if !buf.has_remaining() {
-            return Err(AspenError::Execution("truncated row".into()));
-        }
-        let tag = buf.get_u8();
-        let v = match tag {
-            TAG_NULL => Value::Null,
-            TAG_BOOL_FALSE => Value::Bool(false),
-            TAG_BOOL_TRUE => Value::Bool(true),
-            TAG_INT => Value::Int(unzigzag(get_varint(&mut buf)?)),
-            TAG_FLOAT => {
-                if buf.remaining() < 8 {
-                    return Err(AspenError::Execution("truncated float".into()));
-                }
-                Value::Float(buf.get_f64())
-            }
-            TAG_TEXT => {
-                let len = get_varint(&mut buf)? as usize;
-                if buf.remaining() < len {
-                    return Err(AspenError::Execution("truncated text".into()));
-                }
-                let bytes = buf.copy_to_bytes(len);
-                let s = std::str::from_utf8(&bytes)
-                    .map_err(|_| AspenError::Execution("invalid utf8 in text".into()))?;
-                Value::Text(s.to_string())
-            }
-            TAG_TIMESTAMP => Value::Timestamp(get_varint(&mut buf)?),
-            other => return Err(AspenError::Execution(format!("unknown value tag {other}"))),
-        };
-        out.push(v);
+        out.push(get_value(&mut buf)?);
     }
     Ok(out)
 }

@@ -26,12 +26,14 @@
 
 pub mod codec;
 pub mod event;
+pub mod frames;
 pub mod radio;
 pub mod sim;
 pub mod stats;
 pub mod topology;
 
 pub use event::{Action, Ctx, NodeApp, Payload};
+pub use frames::{decode_frame, encode_frame, WireDelta, WireFrame};
 pub use radio::RadioModel;
 pub use sim::Simulator;
 pub use stats::{NetStats, NodeStats};

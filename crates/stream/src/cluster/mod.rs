@@ -1,0 +1,1207 @@
+//! Multi-node cluster execution: real engine instances over simulated
+//! links.
+//!
+//! Where [`crate::distributed`] *prices* placement against one local
+//! pipeline, this module actually runs N independent
+//! [`ShardedEngine`] nodes — each with its own executor, shards,
+//! ingest slices, and query runtimes — joined by `aspen-netsim`
+//! simulated LAN links. Everything that crosses a node boundary goes
+//! through the netsim codec as an encoded
+//! [`WireFrame`](aspen_netsim::frames::WireFrame): data batches are
+//! serialized by the [`exchange`] egress operator, charged against the
+//! directed link's [`WireStats`] under the [`LanModel`], decoded on
+//! the far side, and re-admitted through the remote node's *normal*
+//! `on_deltas` ingest path. There is no cluster-private fast path —
+//! remote deltas are indistinguishable from local ones once past the
+//! link, so retained-table replay, push accumulation, watermarks, and
+//! shared-chain taps all behave identically on every node.
+//!
+//! ## Coordinator and placement
+//!
+//! [`Cluster`] is the coordinator: it owns the global catalog, the
+//! source→home map, and the global query table, and speaks the same
+//! [`QuerySpec`]/[`Registration`] front-end as a single engine. Query
+//! handles returned here live in the *cluster's* id namespace; the
+//! coordinator maps them to `(node, local handle)` pairs. A
+//! registration binds SQL at the coordinator and places the bound plan
+//! on the node hinted by [`QuerySpec::on_node`], else on the node
+//! homing the most of its scanned stream sources (view-scanning
+//! queries are pinned to node 0, where view runtimes live).
+//!
+//! ## Ingest routing
+//!
+//! A source batch enters at its home node. Table-kind batches
+//! broadcast to every node so each node's retained-table replay stays
+//! complete (late registration and resume work anywhere); stream-kind
+//! batches ship only to nodes with live subscribers of that source.
+//! [`Cluster::register_hash_partitioned`] installs the same plan on
+//! every node and marks its sources *exchanged*: their batches are
+//! hash-scattered by key columns ([`exchange::partition`], the same
+//! `DefaultHasher` routing `PartitionedJoin` uses for workers), so
+//! equal join keys always meet on one node and the merged member
+//! snapshots equal the monolithic result.
+//!
+//! ## Cross-node live migration
+//!
+//! [`Cluster::migrate`] generalizes intra-engine shard migration
+//! across nodes: the donor engine *extracts* the live runtime —
+//! window state, sink ledger, push subscription, shared-chain debt
+//! already demoted to a private window — and the recipient installs
+//! it through the same attach path a resume uses, with no replay and
+//! no snapshot discontinuity. The handoff is charged as a control
+//! frame on the donor→recipient link. A cluster-level
+//! [`RebalanceController`] can drive this automatically from the
+//! per-node [`TelemetryReport`] assembled by
+//! [`Cluster::cluster_report`].
+
+pub mod exchange;
+pub mod link;
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use aspen_catalog::{Catalog, SourceKind};
+use aspen_netsim::frames::{decode_frame, encode_frame, WireFrame};
+use aspen_sql::{bind, parse, BoundQuery};
+use aspen_types::{AspenError, QueryId, Result, SimTime, SourceId, Tuple};
+
+use crate::delta::DeltaBatch;
+use crate::rebalance::{RebalanceConfig, RebalanceController};
+use crate::session::{
+    Consistency, Delivery, EngineConfig, QuerySpec, QueryText, Registration, ResultSubscription,
+    SessionId,
+};
+use crate::shard::{QueryHandle, ShardedEngine};
+use crate::telemetry::TelemetryReport;
+
+pub use link::{LanModel, WireStats};
+
+/// Control-frame opcode: a live query runtime moved between nodes.
+const CTRL_MIGRATE: u8 = 1;
+
+/// How a shipped frame re-enters the receiving node: as a source batch
+/// (windowed at the remote scan, like `on_batch` at the home) or as a
+/// signed delta ingest (window-bypassing, like `on_deltas`). Carried
+/// out-of-band by [`Cluster::ship`] so the remote admission path always
+/// mirrors the home's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Admission {
+    Batch,
+    Deltas,
+}
+
+/// Construction-time shape of a [`Cluster`]: node count, the config
+/// every node engine is built from, the link model, and (optionally)
+/// the cluster-level rebalance policy.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    nodes: usize,
+    node_config: EngineConfig,
+    lan: LanModel,
+    rebalance: Option<RebalanceConfig>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 1,
+            node_config: EngineConfig::new(),
+            lan: LanModel::default(),
+            rebalance: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    pub fn new() -> Self {
+        ClusterConfig::default()
+    }
+
+    /// Number of engine nodes (clamped to ≥ 1).
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n.max(1);
+        self
+    }
+
+    /// The [`EngineConfig`] every node is built from (shards per node,
+    /// scheduling mode, per-node auto-rebalance, ...).
+    pub fn node_config(mut self, config: EngineConfig) -> Self {
+        self.node_config = config;
+        self
+    }
+
+    /// LAN parameters of every inter-node link.
+    pub fn lan(mut self, lan: LanModel) -> Self {
+        self.lan = lan;
+        self
+    }
+
+    /// Enable the cluster-level rebalancer: observe the merged
+    /// per-node report every `interval_boundaries` cluster boundaries
+    /// and migrate queries across *nodes* on sustained skew.
+    pub fn rebalance(mut self, config: RebalanceConfig) -> Self {
+        self.rebalance = Some(config);
+        self
+    }
+}
+
+/// Coordinator-side record of one registered query.
+struct ClusterQuery {
+    /// Node currently owning the runtime.
+    node: usize,
+    /// Handle in that node's local id namespace.
+    local: QueryHandle,
+    /// Every source the plan scans (dedup'd, scan order).
+    sources: Vec<SourceId>,
+    /// Hash-partitioned group membership; `Some` pins the query.
+    group: Option<usize>,
+    session: Option<SessionId>,
+}
+
+/// One hash-partitioned registration: the same plan live on every
+/// node, fed disjoint key ranges of its exchanged sources.
+struct HashGroup {
+    /// Member handle on each node, indexed by node.
+    members: Vec<QueryHandle>,
+    /// Exchange key columns per scanned source.
+    keys: HashMap<SourceId, Vec<usize>>,
+}
+
+/// N real [`ShardedEngine`] nodes behind one coordinator — global
+/// catalog, placement, wire-framed exchange, and cross-node live
+/// migration. See the module docs for the execution model.
+pub struct Cluster {
+    catalog: Arc<Catalog>,
+    lan: LanModel,
+    nodes: Vec<ShardedEngine>,
+    /// Directed data links; `links[from][to]` meters encoded frames.
+    links: Vec<Vec<WireStats>>,
+    /// Control-plane accounting (heartbeats, migration handoffs).
+    control: WireStats,
+    /// Source → home-node overrides; unmapped sources default to
+    /// `id % nodes`.
+    homes: HashMap<SourceId, usize>,
+    queries: HashMap<QueryId, ClusterQuery>,
+    /// Global registration order (snapshot/report stability).
+    order: Vec<QueryId>,
+    next_query: u32,
+    sessions: HashMap<SessionId, Vec<QueryId>>,
+    next_session: u32,
+    groups: HashMap<usize, HashGroup>,
+    next_group: usize,
+    /// Sources whose ingest is hash-scattered, and to which group.
+    exchanged: HashMap<SourceId, usize>,
+    rebalancer: Option<RebalanceController>,
+    boundaries: u64,
+    migrations: u64,
+    /// Tuples serialized onto links / decoded off links. Equal by
+    /// construction (the codec is lossless); the churn property and
+    /// E18 assert the conservation.
+    exchange_tuples_out: u64,
+    exchange_tuples_in: u64,
+    /// Recursive views registered (all live on node 0).
+    views: usize,
+}
+
+impl Cluster {
+    pub fn new(catalog: Arc<Catalog>, config: ClusterConfig) -> Self {
+        let n = config.nodes;
+        Cluster {
+            nodes: (0..n)
+                .map(|_| {
+                    ShardedEngine::with_config(Arc::clone(&catalog), config.node_config.clone())
+                })
+                .collect(),
+            links: (0..n).map(|_| vec![WireStats::default(); n]).collect(),
+            control: WireStats::default(),
+            catalog,
+            lan: config.lan,
+            homes: HashMap::new(),
+            queries: HashMap::new(),
+            order: Vec::new(),
+            next_query: 0,
+            sessions: HashMap::new(),
+            next_session: 0,
+            groups: HashMap::new(),
+            next_group: 0,
+            exchanged: HashMap::new(),
+            rebalancer: config.rebalance.map(RebalanceController::new),
+            boundaries: 0,
+            migrations: 0,
+            exchange_tuples_out: 0,
+            exchange_tuples_in: 0,
+            views: 0,
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node-level introspection (telemetry, resident state, ...).
+    pub fn node(&self, i: usize) -> &ShardedEngine {
+        &self.nodes[i]
+    }
+
+    /// Pin a source's wrapper to a node. Must happen before any query
+    /// scans it and before any of its batches arrive — the home is
+    /// where ingest enters and where link charges originate.
+    pub fn home_source(&mut self, name: &str, node: usize) -> Result<()> {
+        let meta = self.catalog.source(name)?;
+        if node >= self.nodes.len() {
+            return Err(AspenError::InvalidArgument(format!(
+                "node {node} out of range (cluster has {})",
+                self.nodes.len()
+            )));
+        }
+        self.homes.insert(meta.id, node);
+        Ok(())
+    }
+
+    fn home_of(&self, src: SourceId) -> usize {
+        self.homes
+            .get(&src)
+            .copied()
+            .unwrap_or(src.0 as usize % self.nodes.len())
+    }
+
+    // -----------------------------------------------------------------
+    // Registration and lifecycle
+    // -----------------------------------------------------------------
+
+    pub fn open_session(&mut self) -> SessionId {
+        let sid = SessionId(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(sid, Vec::new());
+        sid
+    }
+
+    /// Retire every query the session still owns; returns how many.
+    pub fn close_session(&mut self, session: SessionId) -> Result<usize> {
+        let qids = self
+            .sessions
+            .remove(&session)
+            .ok_or_else(|| AspenError::InvalidArgument(format!("unknown session {session}")))?;
+        let n = qids.len();
+        for qid in qids {
+            self.deregister(QueryHandle(qid))?;
+        }
+        Ok(n)
+    }
+
+    pub fn register(&mut self, spec: QuerySpec) -> Result<Registration> {
+        self.do_register(None, spec)
+    }
+
+    pub fn register_in(&mut self, session: SessionId, spec: QuerySpec) -> Result<Registration> {
+        if !self.sessions.contains_key(&session) {
+            return Err(AspenError::InvalidArgument(format!(
+                "unknown session {session}"
+            )));
+        }
+        self.do_register(Some(session), spec)
+    }
+
+    pub fn register_sql(&mut self, sql: &str) -> Result<Registration> {
+        self.register(QuerySpec::sql(sql))
+    }
+
+    fn do_register(&mut self, session: Option<SessionId>, spec: QuerySpec) -> Result<Registration> {
+        let QuerySpec {
+            text,
+            delivery,
+            max_batch,
+            max_delay,
+            auto,
+            node,
+        } = spec;
+        // Bind at the coordinator: the catalog is global, so the plan
+        // is the same wherever the runtime lands.
+        let plan = match text {
+            QueryText::Plan(plan) => plan,
+            QueryText::Sql(sql) => match bind(&parse(&sql)?, &self.catalog)? {
+                BoundQuery::Select(b) => b.plan,
+                BoundQuery::View(v) => {
+                    if delivery == Delivery::Push
+                        || max_batch.is_some()
+                        || max_delay.is_some()
+                        || auto
+                    {
+                        return Err(AspenError::InvalidArgument(format!(
+                            "view '{}' cannot take push delivery or micro-batch knobs; \
+                             they apply to continuous queries only",
+                            v.name
+                        )));
+                    }
+                    // Views are shared infrastructure: their runtime
+                    // lives on node 0 and their output deltas fan out
+                    // from there. All ingest routes to node 0 while
+                    // any view is live (see `ingest_targets`).
+                    let src = self.nodes[0].register_view(&v)?;
+                    self.views += 1;
+                    return Ok(Registration::View(src));
+                }
+            },
+        };
+
+        let mut sources = Vec::new();
+        let mut stream_sources = Vec::new();
+        let mut scans_view = false;
+        for rel in plan.scans() {
+            if self.exchanged.contains_key(&rel.meta.id) {
+                return Err(AspenError::InvalidArgument(format!(
+                    "source '{}' is hash-exchanged across the cluster; only its \
+                     partitioned group may scan it",
+                    rel.meta.name
+                )));
+            }
+            scans_view |= rel.meta.kind == SourceKind::View;
+            if !sources.contains(&rel.meta.id) {
+                sources.push(rel.meta.id);
+                if rel.meta.kind.is_stream_like() {
+                    stream_sources.push(rel.meta.id);
+                }
+            }
+        }
+
+        let target = match node {
+            Some(n) if n >= self.nodes.len() => {
+                return Err(AspenError::InvalidArgument(format!(
+                    "placement hint node {n} out of range (cluster has {})",
+                    self.nodes.len()
+                )));
+            }
+            // View outputs only materialize on node 0; an explicit
+            // hint elsewhere would register a query that never sees
+            // its input.
+            Some(n) if scans_view && n != 0 => {
+                return Err(AspenError::InvalidArgument(
+                    "queries scanning a view run on node 0".into(),
+                ));
+            }
+            Some(n) => n,
+            None if scans_view => 0,
+            // Majority-home placement: the node where most of the
+            // scanned stream data originates pays the fewest hops.
+            // Tables are broadcast everywhere, so they don't vote.
+            None => {
+                let mut votes = vec![0usize; self.nodes.len()];
+                for &src in &stream_sources {
+                    votes[self.home_of(src)] += 1;
+                }
+                votes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(i, v)| (*v, std::cmp::Reverse(i)))
+                    .map_or(0, |(i, _)| i)
+            }
+        };
+
+        let mut node_spec = QuerySpec::plan(plan);
+        node_spec.delivery = delivery;
+        node_spec.max_batch = max_batch;
+        node_spec.max_delay = max_delay;
+        node_spec.auto = auto;
+        let local = self.nodes[target].register(node_spec)?.expect_query();
+
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+        self.queries.insert(
+            qid,
+            ClusterQuery {
+                node: target,
+                local,
+                sources,
+                group: None,
+                session,
+            },
+        );
+        self.order.push(qid);
+        if let Some(sid) = session {
+            self.sessions
+                .get_mut(&sid)
+                .expect("session validated by caller")
+                .push(qid);
+        }
+        Ok(Registration::Query(QueryHandle(qid)))
+    }
+
+    /// Register the same continuous plan on *every* node, fed by
+    /// hash-exchange: each keyed source's batches are scattered by the
+    /// given key columns, so equal keys meet on exactly one node and
+    /// the union of member results equals the monolithic result. This
+    /// is how a repartitioned `PartitionedJoin` runs cluster-wide.
+    ///
+    /// `keys` maps each scanned source name to the columns whose hash
+    /// routes its tuples; every source the plan scans must be keyed, be
+    /// stream-like, and have no other live subscriber anywhere (a late
+    /// split would divide a history other queries already saw whole).
+    /// Group members are pinned: no pause, migrate, or subscribe; the
+    /// group snapshot is the canonically sorted merged multiset.
+    pub fn register_hash_partitioned(
+        &mut self,
+        sql: &str,
+        keys: &[(&str, Vec<usize>)],
+    ) -> Result<QueryHandle> {
+        let BoundQuery::Select(b) = bind(&parse(sql)?, &self.catalog)? else {
+            return Err(AspenError::InvalidArgument(
+                "hash-partitioned registration takes a continuous SELECT".into(),
+            ));
+        };
+        let plan = b.plan;
+        let mut key_map: HashMap<SourceId, Vec<usize>> = HashMap::new();
+        for (name, cols) in keys {
+            let meta = self.catalog.source(name)?;
+            if !meta.kind.is_stream_like() {
+                return Err(AspenError::InvalidArgument(format!(
+                    "source '{name}' is not a stream; only live streams can be hash-exchanged"
+                )));
+            }
+            if cols.is_empty() {
+                return Err(AspenError::InvalidArgument(format!(
+                    "source '{name}' needs at least one exchange key column"
+                )));
+            }
+            key_map.insert(meta.id, cols.clone());
+        }
+        let mut sources = Vec::new();
+        for rel in plan.scans() {
+            let sid = rel.meta.id;
+            if !key_map.contains_key(&sid) {
+                return Err(AspenError::InvalidArgument(format!(
+                    "scanned source '{}' has no exchange keys; every input of a \
+                     partitioned plan must be keyed",
+                    rel.meta.name
+                )));
+            }
+            if self.exchanged.contains_key(&sid) {
+                return Err(AspenError::InvalidArgument(format!(
+                    "source '{}' is already hash-exchanged",
+                    rel.meta.name
+                )));
+            }
+            if self.nodes.iter().any(|n| n.subscriber_count(sid) > 0) {
+                return Err(AspenError::InvalidArgument(format!(
+                    "source '{}' has live subscribers; it cannot be split mid-stream",
+                    rel.meta.name
+                )));
+            }
+            if !sources.contains(&sid) {
+                sources.push(sid);
+            }
+        }
+
+        let mut members = Vec::with_capacity(self.nodes.len());
+        for node in &mut self.nodes {
+            members.push(node.register(QuerySpec::plan(plan.clone()))?.expect_query());
+        }
+        let gid = self.next_group;
+        self.next_group += 1;
+        for &sid in &sources {
+            self.exchanged.insert(sid, gid);
+        }
+        self.groups.insert(
+            gid,
+            HashGroup {
+                members: members.clone(),
+                keys: key_map,
+            },
+        );
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+        self.queries.insert(
+            qid,
+            ClusterQuery {
+                node: 0,
+                local: members[0],
+                sources,
+                group: Some(gid),
+                session: None,
+            },
+        );
+        self.order.push(qid);
+        Ok(QueryHandle(qid))
+    }
+
+    fn cluster_query(&self, q: QueryHandle) -> Result<&ClusterQuery> {
+        self.queries
+            .get(&q.0)
+            .ok_or_else(|| AspenError::InvalidArgument(format!("unknown query {}", q.0)))
+    }
+
+    fn unpinned(&self, q: QueryHandle, op: &str) -> Result<&ClusterQuery> {
+        let cq = self.cluster_query(q)?;
+        if cq.group.is_some() {
+            return Err(AspenError::InvalidArgument(format!(
+                "query {} is a hash-partitioned group member; {op} is not supported",
+                q.0
+            )));
+        }
+        Ok(cq)
+    }
+
+    pub fn deregister(&mut self, q: QueryHandle) -> Result<()> {
+        let cq = self
+            .queries
+            .remove(&q.0)
+            .ok_or_else(|| AspenError::InvalidArgument(format!("unknown query {}", q.0)))?;
+        self.order.retain(|&qid| qid != q.0);
+        if let Some(sid) = cq.session {
+            if let Some(qids) = self.sessions.get_mut(&sid) {
+                qids.retain(|&qid| qid != q.0);
+            }
+        }
+        match cq.group {
+            None => self.nodes[cq.node].deregister(cq.local),
+            Some(gid) => {
+                let group = self.groups.remove(&gid).expect("group outlives its query");
+                for (node, local) in group.members.into_iter().enumerate() {
+                    self.nodes[node].deregister(local)?;
+                }
+                self.exchanged.retain(|_, g| *g != gid);
+                Ok(())
+            }
+        }
+    }
+
+    pub fn pause(&mut self, q: QueryHandle) -> Result<()> {
+        let cq = self.unpinned(q, "pause")?;
+        let (node, local) = (cq.node, cq.local);
+        self.nodes[node].pause(local)
+    }
+
+    pub fn resume(&mut self, q: QueryHandle) -> Result<()> {
+        let cq = self.unpinned(q, "resume")?;
+        let (node, local) = (cq.node, cq.local);
+        self.nodes[node].resume(local)
+    }
+
+    /// Attach push delivery; the subscription rides the sink and so
+    /// survives cross-node migration untouched.
+    pub fn subscribe(&mut self, q: QueryHandle) -> Result<ResultSubscription> {
+        let cq = self.unpinned(q, "subscribe")?;
+        let (node, local) = (cq.node, cq.local);
+        self.nodes[node].subscribe(local)
+    }
+
+    // -----------------------------------------------------------------
+    // Reads
+    // -----------------------------------------------------------------
+
+    pub fn snapshot(&self, q: QueryHandle) -> Result<Vec<Tuple>> {
+        self.snapshot_at(q, Consistency::Fresh)
+    }
+
+    /// Poll a query's maintained result. For a hash-partitioned group
+    /// this merges every member's multiset, canonically sorted by
+    /// (values, timestamp) — exchange partitioning makes the members
+    /// disjoint, so the merge *is* the monolithic result (ORDER BY /
+    /// LIMIT plans are not meaningful across members and should not be
+    /// registered partitioned).
+    pub fn snapshot_at(&self, q: QueryHandle, consistency: Consistency) -> Result<Vec<Tuple>> {
+        let cq = self.cluster_query(q)?;
+        match cq.group {
+            None => self.nodes[cq.node].snapshot_at(cq.local, consistency),
+            Some(gid) => {
+                let group = &self.groups[&gid];
+                let mut out = Vec::new();
+                for (node, &local) in group.members.iter().enumerate() {
+                    out.extend(self.nodes[node].snapshot_at(local, consistency)?);
+                }
+                out.sort_by(|a, b| {
+                    a.values()
+                        .cmp(b.values())
+                        .then(a.timestamp().cmp(&b.timestamp()))
+                });
+                Ok(out)
+            }
+        }
+    }
+
+    /// One merged observation of the whole cluster: each node's report
+    /// collapsed to one [`ShardLoad`](crate::telemetry::ShardLoad) row
+    /// (indexed by node), and per-query loads remapped into the global
+    /// id namespace with `shard` = owning node. Hash-group members are
+    /// omitted from the query list (they are pinned, so the rebalancer
+    /// must not plan them), but their work still shows in node loads.
+    pub fn cluster_report(&self) -> TelemetryReport {
+        let reports: Vec<TelemetryReport> = self.nodes.iter().map(|n| n.telemetry()).collect();
+        let mut shards = Vec::with_capacity(reports.len());
+        let mut now_secs = 0.0f64;
+        for (i, r) in reports.iter().enumerate() {
+            shards.push(r.as_node_load(i));
+            now_secs = now_secs.max(r.now_secs);
+        }
+        let mut queries = Vec::new();
+        for &qid in &self.order {
+            let cq = &self.queries[&qid];
+            if cq.group.is_some() {
+                continue;
+            }
+            if let Some(local) = reports[cq.node].query(cq.local.0) {
+                let mut load = local.clone();
+                load.query = qid;
+                load.shard = cq.node;
+                queries.push(load);
+            }
+        }
+        TelemetryReport {
+            shards,
+            queries,
+            workers: Vec::new(),
+            boundaries: self.boundaries,
+            now_secs,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Cross-node migration
+    // -----------------------------------------------------------------
+
+    /// Move a live query between nodes with no replay: the donor
+    /// extracts the runtime (demoting any shared-chain tap to a
+    /// private window first, exactly as intra-engine migration does),
+    /// the recipient installs it through the resume-attach path, and
+    /// the handoff is charged as a control frame on the link. Window
+    /// contents, the sink's result ledger, and an attached push
+    /// subscription move wholesale — snapshots, push accumulation,
+    /// and total ops are unchanged by the move.
+    pub fn migrate(&mut self, q: QueryHandle, to: usize) -> Result<()> {
+        if to >= self.nodes.len() {
+            return Err(AspenError::InvalidArgument(format!(
+                "node {to} out of range (cluster has {})",
+                self.nodes.len()
+            )));
+        }
+        let cq = self.unpinned(q, "cross-node migration")?;
+        let (from, local) = (cq.node, cq.local);
+        if from == to {
+            return Ok(());
+        }
+        let detached = self.nodes[from].extract_query(local)?;
+        let new_local = self.nodes[to].install_query(detached)?;
+        let frame = WireFrame::Control {
+            op: CTRL_MIGRATE,
+            args: vec![u64::from(q.0 .0), from as u64, to as u64],
+        };
+        let bytes = encode_frame(&frame).len() as u64;
+        self.links[from][to].charge(&self.lan, bytes, 0);
+        let cq = self.queries.get_mut(&q.0).expect("checked above");
+        cq.node = to;
+        cq.local = new_local;
+        self.migrations += 1;
+        Ok(())
+    }
+
+    /// Feed the merged report to the cluster rebalancer and apply the
+    /// planned cross-node moves now; returns how many were applied.
+    pub fn rebalance_now(&mut self) -> usize {
+        let Some(mut ctrl) = self.rebalancer.take() else {
+            return 0;
+        };
+        let moves = ctrl.observe(&self.cluster_report());
+        let mut applied = 0;
+        for m in moves {
+            // The report omits pinned queries, but a plan can still be
+            // stale (the query deregistered since); skip, don't fail.
+            if self.migrate(QueryHandle(m.query), m.to).is_ok() {
+                applied += 1;
+            }
+        }
+        self.rebalancer = Some(ctrl);
+        applied
+    }
+
+    // -----------------------------------------------------------------
+    // Ingest
+    // -----------------------------------------------------------------
+
+    /// Admit one source batch at its home node and route it: local
+    /// delivery at the home, wire-framed exchange to every other node
+    /// that needs it (see the module docs for the routing policy).
+    pub fn on_batch(&mut self, source_name: &str, tuples: &[Tuple]) -> Result<()> {
+        let meta = self.catalog.source(source_name)?;
+        if let Some(&gid) = self.exchanged.get(&meta.id) {
+            let keys = self.groups[&gid].keys[&meta.id].clone();
+            let home = self.home_of(meta.id);
+            let shares = exchange::partition(tuples, &keys, self.nodes.len());
+            for (to, share) in shares.iter().enumerate() {
+                if share.is_empty() {
+                    continue;
+                }
+                if to == home {
+                    self.nodes[home].on_batch(source_name, share)?;
+                } else {
+                    self.ship(
+                        source_name,
+                        home,
+                        to,
+                        exchange::egress_batch(meta.id, share),
+                        Admission::Batch,
+                    )?;
+                }
+            }
+            return self.finish_boundary();
+        }
+        let home = self.home_of(meta.id);
+        for to in self.ingest_targets(meta.id, &meta.kind, home) {
+            if to == home {
+                self.nodes[home].on_batch(source_name, tuples)?;
+            } else {
+                self.ship(
+                    source_name,
+                    home,
+                    to,
+                    exchange::egress_batch(meta.id, tuples),
+                    Admission::Batch,
+                )?;
+            }
+        }
+        self.finish_boundary()
+    }
+
+    /// Signed-delta ingest (the retraction-capable path), routed the
+    /// same way as [`Cluster::on_batch`].
+    pub fn on_deltas(&mut self, source_name: &str, deltas: &DeltaBatch) -> Result<()> {
+        let meta = self.catalog.source(source_name)?;
+        if let Some(&gid) = self.exchanged.get(&meta.id) {
+            let keys = self.groups[&gid].keys[&meta.id].clone();
+            let home = self.home_of(meta.id);
+            let mut shares: Vec<DeltaBatch> = vec![DeltaBatch::new(); self.nodes.len()];
+            for d in deltas {
+                shares[exchange::node_of(&d.tuple, &keys, self.nodes.len())].push(d.clone());
+            }
+            for (to, share) in shares.iter().enumerate() {
+                if share.is_empty() {
+                    continue;
+                }
+                if to == home {
+                    self.nodes[home].on_deltas(source_name, share)?;
+                } else {
+                    self.ship(
+                        source_name,
+                        home,
+                        to,
+                        exchange::egress_deltas(meta.id, share),
+                        Admission::Deltas,
+                    )?;
+                }
+            }
+            return self.finish_boundary();
+        }
+        let home = self.home_of(meta.id);
+        for to in self.ingest_targets(meta.id, &meta.kind, home) {
+            if to == home {
+                self.nodes[home].on_deltas(source_name, deltas)?;
+            } else {
+                self.ship(
+                    source_name,
+                    home,
+                    to,
+                    exchange::egress_deltas(meta.id, deltas),
+                    Admission::Deltas,
+                )?;
+            }
+        }
+        self.finish_boundary()
+    }
+
+    /// Advance every node's clock; the tick crosses each link as one
+    /// heartbeat frame charged to the control plane.
+    pub fn heartbeat(&mut self, now: SimTime) -> Result<()> {
+        let frame = WireFrame::Heartbeat {
+            now_us: now.as_micros(),
+        };
+        let bytes = encode_frame(&frame).len() as u64;
+        for node in &mut self.nodes {
+            self.control.charge(&self.lan, bytes, 0);
+            node.heartbeat(now)?;
+        }
+        self.finish_boundary()
+    }
+
+    /// The nodes one non-exchanged batch must reach. Tables broadcast
+    /// (every node's retained replay store must stay complete); streams
+    /// go to the home plus nodes with live subscribers; node 0 is
+    /// always included while recursive views are live (view runtimes
+    /// are homed there).
+    fn ingest_targets(&self, src: SourceId, kind: &SourceKind, home: usize) -> BTreeSet<usize> {
+        let mut targets = BTreeSet::new();
+        targets.insert(home);
+        if *kind == SourceKind::Table {
+            targets.extend(0..self.nodes.len());
+            return targets;
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.subscriber_count(src) > 0 {
+                targets.insert(i);
+            }
+        }
+        if self.views > 0 {
+            targets.insert(0);
+        }
+        targets
+    }
+
+    /// One cross-node hop, for real: encode the frame through the
+    /// netsim codec, charge the encoded length against the directed
+    /// link, decode on the far side, and re-admit the decoded deltas
+    /// through the recipient's normal ingest.
+    ///
+    /// Re-admission preserves the sender's admission path
+    /// ([`Admission::Batch`] for a source batch, [`Admission::Deltas`]
+    /// for a signed ingest): a shipped source batch re-enters through
+    /// `on_batch`, so the remote scan's *window stage* buffers and
+    /// later expires the tuples exactly as the home node's does, while
+    /// signed frames re-enter through `on_deltas`, which bypasses
+    /// windowing — the same semantics the local signed ingest had at
+    /// the home. Without this split a shipped stream batch would never
+    /// leave its remote windows, and a cluster snapshot would diverge
+    /// from the single-node result as soon as a window rolled over.
+    fn ship(
+        &mut self,
+        source_name: &str,
+        from: usize,
+        to: usize,
+        frame: WireFrame,
+        admit: Admission,
+    ) -> Result<()> {
+        let carried = match &frame {
+            WireFrame::Deltas { deltas, .. } => deltas.len() as u64,
+            _ => 0,
+        };
+        let wire = encode_frame(&frame);
+        self.links[from][to].charge(&self.lan, wire.len() as u64, carried);
+        self.exchange_tuples_out += carried;
+        let (_, batch) = exchange::ingress(decode_frame(wire)?)?;
+        self.exchange_tuples_in += batch.len() as u64;
+        match admit {
+            Admission::Batch => {
+                debug_assert!(batch.iter().all(|d| d.sign == 1));
+                let tuples: Vec<Tuple> = batch.iter().map(|d| d.tuple.clone()).collect();
+                self.nodes[to].on_batch(source_name, &tuples)
+            }
+            Admission::Deltas => self.nodes[to].on_deltas(source_name, &batch),
+        }
+    }
+
+    fn finish_boundary(&mut self) -> Result<()> {
+        self.boundaries += 1;
+        if let Some(ctrl) = &self.rebalancer {
+            let every = ctrl.config().interval_boundaries;
+            if every > 0 && self.boundaries.is_multiple_of(every) {
+                self.rebalance_now();
+            }
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Accounting
+    // -----------------------------------------------------------------
+
+    /// Aggregate wire accounting across every directed data link.
+    pub fn wire_stats(&self) -> WireStats {
+        let mut total = WireStats::default();
+        for row in &self.links {
+            for link in row {
+                total.absorb(link);
+            }
+        }
+        total
+    }
+
+    /// One directed data link's accounting.
+    pub fn link_stats(&self, from: usize, to: usize) -> &WireStats {
+        &self.links[from][to]
+    }
+
+    /// Control-plane accounting (heartbeats and migration handoffs).
+    pub fn control_stats(&self) -> &WireStats {
+        &self.control
+    }
+
+    /// Cross-node migrations executed (manual and rebalancer-driven).
+    pub fn migration_count(&self) -> u64 {
+        self.migrations
+    }
+
+    /// `(serialized onto links, decoded off links)` data tuples —
+    /// equal by construction; asserted by the churn property and E18.
+    pub fn exchange_tuples(&self) -> (u64, u64) {
+        (self.exchange_tuples_out, self.exchange_tuples_in)
+    }
+
+    /// Cluster-level batch boundaries (ingest calls + heartbeats).
+    pub fn boundaries(&self) -> u64 {
+        self.boundaries
+    }
+
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Node currently owning a query's runtime.
+    pub fn node_of_query(&self, q: QueryHandle) -> Result<usize> {
+        Ok(self.cluster_query(q)?.node)
+    }
+
+    /// The sources a query's plan scans (dedup'd, scan order).
+    pub fn query_sources(&self, q: QueryHandle) -> Result<&[SourceId]> {
+        Ok(&self.cluster_query(q)?.sources)
+    }
+
+    /// Sum of operator invocations across every node — the cluster's
+    /// total work, invariant under cross-node migration (the no-replay
+    /// property: moving a runtime never re-runs its history).
+    pub fn total_ops_invoked(&self) -> u64 {
+        self.nodes.iter().map(|n| n.total_ops_invoked()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aspen_catalog::{Catalog, SourceStats};
+    use aspen_types::{DataType, Field, Schema, SchemaRef, Value};
+
+    fn schema(cols: &[&str]) -> SchemaRef {
+        Schema::new(cols.iter().map(|c| Field::new(*c, DataType::Int)).collect()).into_ref()
+    }
+
+    fn catalog() -> Arc<Catalog> {
+        let cat = Catalog::shared();
+        cat.register_source(
+            "Readings",
+            schema(&["room", "value"]),
+            SourceKind::Stream,
+            SourceStats::stream(1.0),
+        )
+        .unwrap();
+        cat.register_source(
+            "Extra",
+            schema(&["room", "value"]),
+            SourceKind::Stream,
+            SourceStats::stream(1.0),
+        )
+        .unwrap();
+        cat.register_source(
+            "Rooms",
+            schema(&["room", "floor"]),
+            SourceKind::Table,
+            SourceStats::table(8),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn t(vals: &[i64], us: u64) -> Tuple {
+        Tuple::new(
+            vals.iter().map(|&v| Value::Int(v)).collect(),
+            SimTime::from_micros(us),
+        )
+    }
+
+    fn two_nodes() -> Cluster {
+        Cluster::new(
+            catalog(),
+            ClusterConfig::new()
+                .nodes(2)
+                .node_config(EngineConfig::new().shards(1)),
+        )
+    }
+
+    #[test]
+    fn placement_follows_source_home() {
+        let mut c = two_nodes();
+        c.home_source("Readings", 1).unwrap();
+        let q = c
+            .register_sql("select r.value from Readings r")
+            .unwrap()
+            .expect_query();
+        assert_eq!(c.node_of_query(q).unwrap(), 1);
+        // Explicit hint wins over majority-home.
+        let q0 = c
+            .register(QuerySpec::sql("select r.value from Readings r").on_node(0))
+            .unwrap()
+            .expect_query();
+        assert_eq!(c.node_of_query(q0).unwrap(), 0);
+    }
+
+    #[test]
+    fn remote_ingest_crosses_the_wire_and_matches_local() {
+        let mut c = two_nodes();
+        c.home_source("Readings", 0).unwrap();
+        // One subscriber on each node: node 0 reads locally, node 1
+        // over the link.
+        let q0 = c
+            .register(QuerySpec::sql("select r.value from Readings r where r.room = 1").on_node(0))
+            .unwrap()
+            .expect_query();
+        let q1 = c
+            .register(QuerySpec::sql("select r.value from Readings r where r.room = 1").on_node(1))
+            .unwrap()
+            .expect_query();
+        c.on_batch(
+            "Readings",
+            &[t(&[1, 10], 1), t(&[2, 20], 2), t(&[1, 30], 3)],
+        )
+        .unwrap();
+        let s0 = c.snapshot(q0).unwrap();
+        let s1 = c.snapshot(q1).unwrap();
+        assert_eq!(s0.len(), 2);
+        assert_eq!(s0, s1);
+        let wire = c.wire_stats();
+        assert_eq!(wire.frames, 1);
+        assert_eq!(wire.tuples, 3);
+        assert!(wire.bytes > 0);
+        let (out, inn) = c.exchange_tuples();
+        assert_eq!(out, inn);
+        assert_eq!(out, 3);
+    }
+
+    #[test]
+    fn tables_broadcast_so_late_remote_queries_replay() {
+        let mut c = two_nodes();
+        c.home_source("Rooms", 0).unwrap();
+        c.on_batch("Rooms", &[t(&[1, 3], 0), t(&[2, 4], 0)])
+            .unwrap();
+        // Registered *after* the table batch, on the non-home node:
+        // replay must come from node 1's own retained copy.
+        let q = c
+            .register(QuerySpec::sql("select r.floor from Rooms r").on_node(1))
+            .unwrap()
+            .expect_query();
+        assert_eq!(c.snapshot(q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn cross_node_migration_preserves_state_and_push() {
+        let mut c = two_nodes();
+        c.home_source("Readings", 0).unwrap();
+        let q = c
+            .register(QuerySpec::sql("select r.value from Readings r").on_node(0))
+            .unwrap()
+            .expect_query();
+        let sub = c.subscribe(q).unwrap();
+        c.on_batch("Readings", &[t(&[1, 10], 1), t(&[2, 20], 2)])
+            .unwrap();
+        let before = c.snapshot(q).unwrap();
+        let ops_before = c.total_ops_invoked();
+
+        c.migrate(q, 1).unwrap();
+        assert_eq!(c.node_of_query(q).unwrap(), 1);
+        assert_eq!(c.migration_count(), 1);
+        // No replay: same snapshot, same total work.
+        assert_eq!(c.snapshot(q).unwrap(), before);
+        assert_eq!(c.total_ops_invoked(), ops_before);
+        // The migration handoff crossed the donor→recipient link.
+        assert_eq!(c.link_stats(0, 1).frames > 0, true);
+
+        // The push subscription moved with the sink: post-migration
+        // deltas keep flowing to the same handle.
+        c.on_batch("Readings", &[t(&[3, 30], 3)]).unwrap();
+        let drained: usize = sub.drain().iter().map(DeltaBatch::len).sum();
+        assert!(drained >= 3);
+        assert_eq!(c.snapshot(q).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn hash_partitioned_join_matches_single_node() {
+        let sql = "select l.value, r.value from Readings l, Extra r \
+                   where l.room = r.room";
+        // Oracle: one node, everything local.
+        let shared = catalog();
+        let mut oracle = ShardedEngine::with_config(Arc::clone(&shared), EngineConfig::new());
+        let oq = oracle.register_sql(sql).unwrap().expect_query();
+
+        let mut c = Cluster::new(
+            Arc::clone(&shared),
+            ClusterConfig::new()
+                .nodes(4)
+                .node_config(EngineConfig::new().shards(1)),
+        );
+        let q = c
+            .register_hash_partitioned(sql, &[("Readings", vec![0]), ("Extra", vec![0])])
+            .unwrap();
+
+        for i in 0..40i64 {
+            let left = [t(&[i % 5, i], i as u64)];
+            let right = [t(&[i % 5, 100 + i], i as u64)];
+            c.on_batch("Readings", &left).unwrap();
+            c.on_batch("Extra", &right).unwrap();
+            oracle.on_batch("Readings", &left).unwrap();
+            oracle.on_batch("Extra", &right).unwrap();
+        }
+        let mut want = oracle.snapshot(oq).unwrap();
+        want.sort_by(|a, b| {
+            a.values()
+                .cmp(b.values())
+                .then(a.timestamp().cmp(&b.timestamp()))
+        });
+        assert_eq!(c.snapshot(q).unwrap(), want);
+        assert!(!want.is_empty());
+        // The exchange genuinely shipped shares.
+        let (out, inn) = c.exchange_tuples();
+        assert_eq!(out, inn);
+        assert!(out > 0);
+        // Members are pinned.
+        assert!(c.migrate(q, 1).is_err());
+        assert!(c.pause(q).is_err());
+        // Exchanged sources reject outside subscribers.
+        assert!(c.register_sql("select r.value from Readings r").is_err());
+        // Deregistration frees the sources again.
+        c.deregister(q).unwrap();
+        assert!(c.register_sql("select r.value from Readings r").is_ok());
+    }
+
+    #[test]
+    fn cluster_rebalancer_moves_load_between_nodes() {
+        let mut c = Cluster::new(
+            catalog(),
+            ClusterConfig::new()
+                .nodes(2)
+                .node_config(EngineConfig::new().shards(1))
+                .rebalance(RebalanceConfig {
+                    threshold: 1.05,
+                    patience: 1,
+                    max_moves: 4,
+                    interval_boundaries: 1,
+                    max_lag: 64,
+                }),
+        );
+        c.home_source("Readings", 0).unwrap();
+        // Both queries land on node 0 (majority home) — all load on
+        // one node, nothing on the other.
+        let a = c
+            .register_sql("select r.value from Readings r")
+            .unwrap()
+            .expect_query();
+        let b = c
+            .register_sql("select r.value from Readings r where r.room = 1")
+            .unwrap()
+            .expect_query();
+        for i in 0..30i64 {
+            c.on_batch("Readings", &[t(&[1, i], i as u64)]).unwrap();
+        }
+        assert!(c.migration_count() > 0, "rebalancer never moved a query");
+        let nodes = [c.node_of_query(a).unwrap(), c.node_of_query(b).unwrap()];
+        assert!(nodes.contains(&0) && nodes.contains(&1));
+        // The moved query kept its full history.
+        assert_eq!(c.snapshot(a).unwrap().len(), 30);
+    }
+
+    #[test]
+    fn sessions_retire_their_queries() {
+        let mut c = two_nodes();
+        let s = c.open_session();
+        let q = c
+            .register_in(s, QuerySpec::sql("select r.value from Readings r"))
+            .unwrap()
+            .expect_query();
+        assert_eq!(c.query_count(), 1);
+        assert_eq!(c.close_session(s).unwrap(), 1);
+        assert_eq!(c.query_count(), 0);
+        assert!(c.snapshot(q).is_err());
+    }
+}

@@ -1,82 +1,35 @@
-//! Distributed execution model: stage placement and LAN accounting.
+//! Single-process distributed *cost model*: stage placement and LAN
+//! accounting, plus hash-partitioned parallel join execution.
 //!
 //! The paper's stream engine runs "over PC-style servers and
-//! workstations". We model that as a set of named PC nodes joined by a
-//! LAN: each scan is homed on the node that hosts its wrapper, joins and
-//! aggregation run on an execution node, and the sink lives on the
-//! display's node. [`DistributedQuery`] tracks bytes and per-batch
-//! latency across those hops — the calibration source for the federated
-//! optimizer's stream-side cost model (E5) — while delegating actual
-//! delta processing to the local [`Pipeline`].
+//! workstations". [`DistributedQuery`] models that as *placement over
+//! one local pipeline*: each scan is homed on a named node, and every
+//! batch pushed from a remote home is charged a LAN hop — the
+//! calibration source for the federated optimizer's stream-side cost
+//! model (E5). Actual multi-engine execution lives in
+//! [`crate::cluster`]: real `ShardedEngine` nodes joined by encoded
+//! wire frames, which absorbed this module's LAN types
+//! ([`LanModel`], [`LanStats`], [`tuple_lan_bytes`] are re-exported
+//! from [`crate::cluster::link`] here for compatibility).
 //!
-//! `PartitionedJoin` additionally demonstrates hash-partitioned parallel
-//! join execution across N workers, used by the scaling bench.
+//! `PartitionedJoin` demonstrates hash-partitioned parallel join
+//! execution across N workers — the same key-hash routing the
+//! cluster's hash exchange uses across nodes — used by the scaling
+//! bench.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use aspen_sql::plan::LogicalPlan;
-use aspen_types::{Result, SimDuration, SourceId, Tuple, Value};
+use aspen_types::{Result, SimDuration, SourceId, Tuple};
 
 use crate::delta::{Delta, DeltaBatch};
 use crate::operators::{DeltaOp, JoinOp};
 use crate::pipeline::Pipeline;
 use crate::sink::Sink;
 
-/// LAN link parameters between PC nodes.
-#[derive(Debug, Clone)]
-pub struct LanModel {
-    /// One-way per-message latency, microseconds.
-    pub latency_us: u64,
-    /// Throughput, bytes per microsecond (1 Gbps ≈ 125 B/µs).
-    pub bytes_per_us: f64,
-}
-
-impl Default for LanModel {
-    fn default() -> Self {
-        LanModel {
-            latency_us: 200,
-            bytes_per_us: 125.0,
-        }
-    }
-}
-
-impl LanModel {
-    /// Latency to ship a batch of the given size over one hop.
-    pub fn batch_latency(&self, bytes: u64) -> SimDuration {
-        SimDuration::from_micros(self.latency_us + (bytes as f64 / self.bytes_per_us) as u64)
-    }
-}
-
-/// Rough wire size of a tuple on the LAN (binary encoding estimate:
-/// 1-byte tag + payload per value).
-pub fn tuple_lan_bytes(t: &Tuple) -> u64 {
-    let mut sz = 8u64; // batch framing share + timestamp
-    for v in t.values() {
-        sz += 1 + match v {
-            Value::Null => 0,
-            Value::Bool(_) => 1,
-            Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 8,
-            Value::Text(s) => 2 + s.len() as u64,
-            // Plan-template parameter markers never appear in data rows.
-            Value::Param(..) => 0,
-        };
-    }
-    sz
-}
-
-/// Network accounting for one distributed query.
-#[derive(Debug, Clone, Default)]
-pub struct LanStats {
-    pub batches: u64,
-    pub tuples: u64,
-    pub bytes: u64,
-    /// Sum of per-batch shipping latencies (the queueing-free total).
-    pub total_latency: SimDuration,
-    /// Worst single-batch latency.
-    pub max_batch_latency: SimDuration,
-}
+pub use crate::cluster::link::{tuple_lan_bytes, LanModel, LanStats};
 
 /// A continuous query whose scans are homed on remote PC nodes.
 ///
@@ -231,28 +184,10 @@ mod tests {
     use super::*;
     use aspen_types::SimTime;
 
+    use aspen_types::Value;
+
     fn t(k: i64, v: i64) -> Tuple {
         Tuple::new(vec![Value::Int(k), Value::Int(v)], SimTime::ZERO)
-    }
-
-    #[test]
-    fn lan_model_latency() {
-        let lan = LanModel::default();
-        let small = lan.batch_latency(125);
-        let big = lan.batch_latency(125_000);
-        assert_eq!(small, SimDuration::from_micros(201));
-        assert!(big > small);
-    }
-
-    #[test]
-    fn tuple_bytes_accounts_text() {
-        let a = tuple_lan_bytes(&t(1, 2));
-        let b = tuple_lan_bytes(&Tuple::new(
-            vec![Value::Text("a-long-room-name".into())],
-            SimTime::ZERO,
-        ));
-        assert!(a >= 18);
-        assert!(b > 16);
     }
 
     #[test]

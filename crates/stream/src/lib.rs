@@ -238,12 +238,45 @@
 //! the deleted base facts, then rederive). Experiment E6 measures exactly
 //! this machinery against full recomputation.
 //!
-//! ## Distribution
+//! ## Distribution: the cluster layer
 //!
-//! [`distributed`] partitions a plan across simulated PC nodes joined by
-//! a LAN model and accounts bytes and latency per stage — the numbers the
-//! federated optimizer's stream-side cost model is calibrated against.
+//! Everything above describes *one node*. The [`cluster`] module runs
+//! **N of them**: independent [`shard::ShardedEngine`] instances —
+//! each with its own executor, shards, ingest slices, and query
+//! runtimes — joined by `aspen-netsim` simulated LAN links behind one
+//! coordinator ([`cluster::Cluster`]) that owns the global catalog,
+//! the source→home map, and placement, and speaks the same
+//! [`session::QuerySpec`] front-end. Every cross-node byte is real in
+//! the simulation's terms: a shipped batch is serialized by the
+//! exchange egress operator into a netsim wire frame, charged against
+//! the directed link's [`cluster::WireStats`] under the
+//! [`cluster::LanModel`], decoded on the far side, and re-admitted
+//! through the remote node's ordinary `on_deltas` ingest — so
+//! retained-table replay, push accumulation, watermark consistency,
+//! and shared-chain taps hold unchanged clusterwide. Hash-exchange
+//! ([`cluster::Cluster::register_hash_partitioned`]) scatters keyed
+//! sources across all nodes with the same key hashing
+//! `distributed::PartitionedJoin` uses for workers, so a repartitioned
+//! join's members compute disjoint key ranges whose merged snapshots
+//! equal the monolithic result. Live migration generalizes across
+//! nodes: the donor engine extracts a query's runtime (window state,
+//! sink ledger, push subscription, chain debt demoted) and the
+//! recipient installs it with **no replay** — same snapshot, same ops
+//! total — driven manually or by a cluster-level
+//! [`rebalance::RebalanceController`] consuming the merged per-node
+//! telemetry of [`cluster::Cluster::cluster_report`]. The churn
+//! property in `tests/cluster.rs` pins 1/2/4-node clusters against a
+//! single-node oracle event for event; `harness e18` measures the
+//! 4-node vs 1-node scaling of a source-partitioned fan-out with one
+//! repartitioned join.
+//!
+//! [`distributed`] remains the *single-process cost model* of that
+//! picture: stage placement over one pipeline with LAN hops charged
+//! per batch — the calibration source for the federated optimizer's
+//! stream-side cost estimates — plus the intra-node
+//! `PartitionedJoin`.
 
+pub mod cluster;
 pub mod delta;
 pub mod distributed;
 pub mod engine;
@@ -259,6 +292,7 @@ pub mod state;
 pub mod telemetry;
 pub mod window;
 
+pub use cluster::{Cluster, ClusterConfig, LanModel, WireStats};
 pub use delta::{Delta, DeltaBatch};
 pub use engine::{QueryHandle, StreamEngine};
 pub use executor::{ExecutorStats, Scheduling};

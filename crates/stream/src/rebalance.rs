@@ -28,7 +28,7 @@ use std::collections::HashMap;
 
 use aspen_types::QueryId;
 
-use crate::telemetry::TelemetryReport;
+use crate::telemetry::{LoadWindow, TelemetryReport};
 
 /// Tuning knobs of the skew detector. The defaults favor stability:
 /// act only on sustained, clearly-skewed load.
@@ -46,12 +46,14 @@ pub struct RebalanceConfig {
     /// this many batch boundaries.
     pub interval_boundaries: u64,
     /// Most submitted-but-unapplied boundaries any shard may carry
-    /// before an observation is considered too stale to plan from
-    /// (barrier-free `Cut` telemetry reads shards at their applied
-    /// watermarks — a deeply backlogged shard's meters lag reality, and
-    /// migrating on them would chase load that already moved). A stale
-    /// observation is skipped entirely: it neither grows nor resets the
-    /// skew streak.
+    /// before its meters are considered stale (barrier-free `Cut`
+    /// telemetry reads shards at their applied watermarks — a deeply
+    /// backlogged shard's meters lag reality, and trusting them would
+    /// chase load that already moved). A stale shard's windowed load is
+    /// *aged* — decayed halfway toward the report's mean shard load —
+    /// rather than trusted verbatim or discarded, so a persistently
+    /// lagging shard still participates in (and can still trigger)
+    /// rebalancing instead of starving the controller forever.
     pub max_lag: u64,
 }
 
@@ -105,13 +107,6 @@ impl RebalanceController {
     /// (empty while balanced, inside the patience window, or before the
     /// first diffable window exists).
     pub fn observe(&mut self, report: &TelemetryReport) -> Vec<Migration> {
-        if report.max_lag() > self.config.max_lag {
-            // Too stale to judge: applied watermarks trail submissions
-            // by more than the configured bound, so per-shard meters
-            // misattribute in-flight load. Skip the whole observation —
-            // marks, streak, and plan — and wait for a fresher cut.
-            return Vec::new();
-        }
         let prev = self.last.replace(report.ops_marks());
         let Some(prev) = prev else {
             // First observation: no window to judge yet.
@@ -124,8 +119,9 @@ impl RebalanceController {
         }
         // One windowing implementation for every skew judge: the shared
         // per-query diff (migration-aware, saturating on counter
-        // resets).
-        let window = report.window_since_marks(&prev);
+        // resets). Stale shards' loads are aged before judging.
+        let mut window = report.window_since_marks(&prev);
+        self.age_stale_shards(report, &mut window);
         if window.total_ops() == 0 {
             self.skewed_streak = 0;
             return Vec::new();
@@ -177,6 +173,43 @@ impl RebalanceController {
         }
         self.migrations_planned += moves.len() as u64;
         moves
+    }
+
+    /// Age the windowed loads of shards whose applied watermark trails
+    /// submissions by more than [`RebalanceConfig::max_lag`] boundaries.
+    /// Such meters misattribute in-flight load, but discarding the whole
+    /// observation starves a permanently backlogged engine of
+    /// rebalancing — exactly the state that needs it most. Instead the
+    /// stale shard's windowed load decays halfway toward the report's
+    /// mean shard load: a persistently hot-and-lagging shard still
+    /// crosses the threshold (the skew streak keeps counting), and a
+    /// lagging *idle* shard — whose backlog hides unmetered work — is
+    /// lifted off the "coolest recipient" slot. Resident queries are
+    /// scaled proportionally so the per-query loads the greedy planner
+    /// moves stay consistent with the shard totals it judges.
+    fn age_stale_shards(&self, report: &TelemetryReport, window: &mut LoadWindow) {
+        let n = window.shard_loads.len();
+        if n == 0 {
+            return;
+        }
+        let mean = window.total_ops() / n as u64;
+        for s in &report.shards {
+            if s.lag <= self.config.max_lag || s.shard >= n {
+                continue;
+            }
+            let old = window.shard_loads[s.shard];
+            let aged = (old + mean) / 2;
+            if old == 0 {
+                window.shard_loads[s.shard] = aged;
+                continue;
+            }
+            let mut sum = 0u64;
+            for q in window.queries.iter_mut().filter(|q| q.shard == s.shard) {
+                q.ops = (q.ops as u128 * aged as u128 / old as u128) as u64;
+                sum += q.ops;
+            }
+            window.shard_loads[s.shard] = sum;
+        }
     }
 }
 
@@ -291,23 +324,79 @@ mod tests {
     }
 
     #[test]
-    fn stale_observation_is_skipped_without_touching_streak_or_marks() {
+    fn stale_shard_loads_age_toward_the_mean() {
         let mut c = eager();
         c.observe(&report(&[(0, 0, 0), (1, 0, 0), (2, 1, 0)]));
-        // A laggy (stale) observation: skipped entirely, no plan.
+        // Window: shard 0 carries 900 (q0 = 600, q1 = 300), shard 1
+        // carries 100. Shard 0 is stale, so its load ages halfway to
+        // the mean (500): 900 → 700, residents scaled to 466/233
+        // (699 total). Still clearly skewed — the planner moves the
+        // heaviest query fitting half the 599 gap: q1 at 233.
         let mut stale = report(&[(0, 0, 600), (1, 0, 300), (2, 1, 100)]);
         stale.shards[0].lag = c.config().max_lag + 1;
-        assert!(c.observe(&stale).is_empty());
-        // The same loads arriving fresh still diff against the original
-        // marks (the stale report must not have advanced them) and plan
-        // the move the skew deserves.
-        let moves = c.observe(&report(&[(0, 0, 600), (1, 0, 300), (2, 1, 100)]));
+        let moves = c.observe(&stale);
         assert_eq!(
             moves,
             vec![Migration {
                 query: QueryId(1),
                 from: 0,
                 to: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn persistently_lagging_shard_still_gets_rebalanced() {
+        // A shard that never catches up (every report shows it over
+        // max_lag) must not starve the controller forever: aged loads
+        // still cross the threshold, the streak still counts, and the
+        // planner still acts once patience is exhausted.
+        let mut c = RebalanceController::new(RebalanceConfig {
+            threshold: 1.05,
+            patience: 2,
+            max_moves: 4,
+            interval_boundaries: 1,
+            ..Default::default()
+        });
+        let lag = c.config().max_lag + 1;
+        let mut first = report(&[(0, 0, 0), (1, 0, 0), (2, 1, 0)]);
+        first.shards[0].lag = lag;
+        c.observe(&first);
+        // Skewed once (streak 1 of 2), shard 0 still lagging.
+        let mut second = report(&[(0, 0, 600), (1, 0, 300), (2, 1, 100)]);
+        second.shards[0].lag = lag;
+        assert!(c.observe(&second).is_empty());
+        // Skewed again, still lagging: patience exhausted, plan fires.
+        let mut third = report(&[(0, 0, 1200), (1, 0, 600), (2, 1, 200)]);
+        third.shards[0].lag = lag;
+        let moves = c.observe(&third);
+        assert_eq!(
+            moves,
+            vec![Migration {
+                query: QueryId(1),
+                from: 0,
+                to: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn stale_idle_shard_is_not_picked_as_recipient() {
+        let mut c = eager();
+        c.observe(&report(&[(0, 0, 0), (1, 0, 0), (2, 1, 0), (3, 2, 0)]));
+        // Shard 1 measured zero ops but is deeply backlogged — its
+        // window hides unmetered work. Aging lifts it from 0 to half
+        // the mean (1100 / 3 / 2 = 183), so the planner sends q1 to
+        // the genuinely cool shard 2 instead.
+        let mut stale = report(&[(0, 0, 600), (1, 0, 400), (2, 1, 0), (3, 2, 100)]);
+        stale.shards[1].lag = c.config().max_lag + 1;
+        let moves = c.observe(&stale);
+        assert_eq!(
+            moves,
+            vec![Migration {
+                query: QueryId(1),
+                from: 0,
+                to: 2
             }]
         );
     }

@@ -259,6 +259,9 @@ pub struct QuerySpec {
     /// Optimizer-driven knob mode: when set, the engine's `auto_tune`
     /// pass may overwrite `max_batch` / `max_delay` from measured rates.
     pub(crate) auto: bool,
+    /// Cluster placement hint ([`QuerySpec::on_node`]); single-node
+    /// engines ignore it.
+    pub(crate) node: Option<usize>,
 }
 
 impl QuerySpec {
@@ -270,6 +273,7 @@ impl QuerySpec {
             max_batch: None,
             max_delay: None,
             auto: false,
+            node: None,
         }
     }
 
@@ -282,6 +286,7 @@ impl QuerySpec {
             max_batch: None,
             max_delay: None,
             auto: false,
+            node: None,
         }
     }
 
@@ -317,6 +322,15 @@ impl QuerySpec {
     /// first measurement window closes.
     pub fn auto_knobs(mut self) -> Self {
         self.auto = true;
+        self
+    }
+
+    /// Pin this query to cluster node `n` instead of the coordinator's
+    /// default placement (the majority home of the plan's sources).
+    /// Consumed by [`crate::cluster::Cluster::register`]; registering
+    /// the spec on a plain single-node engine ignores the hint.
+    pub fn on_node(mut self, n: usize) -> Self {
+        self.node = Some(n);
         self
     }
 }

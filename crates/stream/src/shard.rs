@@ -127,6 +127,24 @@ pub(crate) struct QueryRuntime {
     pub(crate) sink: Sink,
 }
 
+/// A query runtime lifted out of one engine, in flight to another —
+/// the carrier of a cross-node live migration. Holds the running
+/// [`QueryRuntime`] (window state, sink ledger, push subscription)
+/// plus the coordinator metadata [`ShardedEngine::install_query`]
+/// needs to re-home it. Opaque by design: there is nothing useful a
+/// caller can do with one except install it somewhere.
+pub struct DetachedQuery {
+    runtime: QueryRuntime,
+    plan: Arc<LogicalPlan>,
+    sources: Vec<SourceId>,
+    needs_clock: bool,
+    paused: bool,
+    max_batch: Option<usize>,
+    max_delay: Option<SimDuration>,
+    push: bool,
+    auto: bool,
+}
+
 pub(crate) struct ViewRuntime {
     pub(crate) view: RecursiveView,
     pub(crate) out_source: SourceId,
@@ -1069,6 +1087,9 @@ impl ShardedEngine {
             max_batch,
             max_delay,
             auto,
+            // Cluster placement hint — meaningless inside one node; the
+            // cluster coordinator consumed it before the spec got here.
+            node: _,
         } = spec;
         let plan = match text {
             QueryText::Plan(plan) => Arc::new(plan),
@@ -1612,6 +1633,127 @@ impl ShardedEngine {
         }
         self.migrations += 1;
         Ok(())
+    }
+
+    /// Lift a registered query *out* of this engine for cross-node
+    /// migration: the live runtime (pipeline state, sink ledger, push
+    /// subscription) plus the coordinator metadata needed to
+    /// [`ShardedEngine::install_query`] it into another engine. The
+    /// donor side of the [`ShardedEngine::migrate`] path generalized
+    /// across engines — the same quiesce/demote/detach sequence, the
+    /// same no-replay invariants — except the query also leaves this
+    /// engine's coordinator records (meta, order, session, routes)
+    /// entirely.
+    pub fn extract_query(&mut self, q: QueryHandle) -> Result<DetachedQuery> {
+        let meta = self.meta(q)?;
+        let (shard_idx, sources, paused) = (meta.shard, meta.sources.clone(), meta.paused);
+        // Quiesce exactly what the donor path touches: the view cell
+        // (so forwarded view deltas are enqueued where they belong) and
+        // the owning shard (so the runtime leaves with every admitted
+        // boundary applied).
+        if !self.view_outs.is_empty() {
+            self.exec.quiesce(self.view_cell())?;
+        }
+        self.exec.quiesce(shard_idx)?;
+        let runtime = {
+            let mut shard = self.shard(shard_idx).lock();
+            // A tapped query demotes to private execution first (chain
+            // window minus tap debt forks into its own scan), so the
+            // runtime leaves carrying its exact live multiset.
+            shard.demote(q.0);
+            shard.detach(q.0, &sources);
+            shard
+                .queries
+                .remove(&q.0)
+                .expect("registered query keeps a runtime")
+        };
+        if !paused {
+            // While the meta still describes the counted state.
+            self.remove_routes(q.0);
+        }
+        let meta = self.queries.remove(&q.0).expect("meta checked");
+        self.order.retain(|&qid| qid != q.0);
+        if let Some(sid) = meta.session {
+            if let Some(qids) = self.sessions.get_mut(&sid) {
+                qids.retain(|&qid| qid != q.0);
+            }
+        }
+        Ok(DetachedQuery {
+            runtime,
+            plan: meta.plan,
+            sources: meta.sources,
+            needs_clock: meta.needs_clock,
+            paused: meta.paused,
+            max_batch: meta.max_batch,
+            max_delay: meta.max_delay,
+            push: meta.push,
+            auto: meta.auto,
+        })
+    }
+
+    /// Install a query lifted out of another engine by
+    /// [`ShardedEngine::extract_query`] — the recipient side of a
+    /// cross-node migration. The runtime is adopted intact (no replay:
+    /// window contents, sink ledger, and any push subscription arrive
+    /// exactly as they left the donor) under a locally assigned id;
+    /// session membership does not cross engines. Returns the new local
+    /// handle.
+    pub fn install_query(&mut self, d: DetachedQuery) -> Result<QueryHandle> {
+        let DetachedQuery {
+            runtime,
+            plan,
+            sources,
+            needs_clock,
+            paused,
+            max_batch,
+            max_delay,
+            push,
+            auto,
+        } = d;
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+        let shard_idx = self.shard_of(qid);
+        if !self.view_outs.is_empty() {
+            self.exec.quiesce(self.view_cell())?;
+        }
+        self.exec.quiesce(shard_idx)?;
+        let applied = runtime.sink.deltas_applied;
+        {
+            let mut shard = self.shard(shard_idx).lock();
+            if !paused {
+                // A paused query stays out of routing; resume reattaches
+                // it here like anywhere else.
+                shard.attach(qid, &sources, needs_clock);
+                if runtime.sink.push_queue().is_some() {
+                    shard.mark_push(qid);
+                }
+            }
+            shard.queries.insert(qid, runtime);
+        }
+        self.queries.insert(
+            qid,
+            QueryMeta {
+                shard: shard_idx,
+                sources,
+                needs_clock,
+                paused,
+                plan,
+                session: None,
+                max_batch,
+                max_delay,
+                push,
+                auto,
+                // The sink's delta counter travelled with the runtime;
+                // restart the knob-tuning window against this engine's
+                // clock and boundary count.
+                tune_mark: (applied, self.boundaries, self.now),
+            },
+        );
+        self.order.push(qid);
+        if !paused {
+            self.add_routes(qid);
+        }
+        Ok(QueryHandle(qid))
     }
 
     /// Take one telemetry observation, feed the rebalance controller,

@@ -143,10 +143,43 @@ impl TelemetryReport {
     /// Worst per-shard staleness in this observation: the most
     /// boundaries any shard still has submitted-but-unapplied. 0 under
     /// a `Fresh` (barrier) read and under sequential scheduling. The
-    /// rebalance controller refuses to plan over observations whose lag
-    /// exceeds its configured bound — stale meters misattribute load.
+    /// rebalance controller *ages* the loads of shards whose lag
+    /// exceeds its configured bound — stale meters misattribute load,
+    /// so they are decayed toward the mean rather than trusted.
     pub fn max_lag(&self) -> u64 {
         self.shards.iter().map(|s| s.lag).max().unwrap_or(0)
+    }
+
+    /// Collapse this report's per-shard loads into one [`ShardLoad`]
+    /// occupying `slot` — how the cluster layer presents each node
+    /// engine to the cross-node rebalancer: a node is "one shard" of
+    /// the cluster, its load the sum of its internal shards, its
+    /// staleness their worst lag.
+    pub fn as_node_load(&self, slot: usize) -> ShardLoad {
+        let mut out = ShardLoad {
+            shard: slot,
+            queries: 0,
+            tuples_in: 0,
+            ops_invoked: 0,
+            batches: 0,
+            busy_seconds: 0.0,
+            shared_chains: 0,
+            shared_taps: 0,
+            watermark: 0,
+            lag: 0,
+        };
+        for s in &self.shards {
+            out.queries += s.queries;
+            out.tuples_in += s.tuples_in;
+            out.ops_invoked += s.ops_invoked;
+            out.batches += s.batches;
+            out.busy_seconds += s.busy_seconds;
+            out.shared_chains += s.shared_chains;
+            out.shared_taps += s.shared_taps;
+            out.watermark = out.watermark.max(s.watermark);
+            out.lag = out.lag.max(s.lag);
+        }
+        out
     }
 
     /// Diff this report against an earlier one into a [`LoadWindow`]:
