@@ -2648,6 +2648,341 @@ pub fn e18_json() -> String {
 }
 
 // ---------------------------------------------------------------------------
+// E19 — trace plane: tracing overhead, end-to-end latency, cross-node spans
+// ---------------------------------------------------------------------------
+
+/// One E19 measurement. Phase A is a tracing on/off A/B over the
+/// E17-style single-engine ingest (min-of-3 walls each way) — the trace
+/// plane's overhead budget. Phase B is a 4-node cluster under the E18
+/// churn workload (forced cross-node live migrations against a
+/// single-node oracle) with tracing on: the per-node ingest→sink-apply
+/// histograms merge over the control link into cluster-wide
+/// percentiles, shipped batches charge their simulated wire hop into
+/// the receiving node's histogram, and the span journal's Ship/Arrive
+/// counts prove trace conservation across the exchange.
+#[derive(Debug, Clone)]
+pub struct E19Run {
+    /// Min-of-3 ingest wall with tracing off / on, and the relative
+    /// overhead the trace plane costs (negative = within noise).
+    pub untraced_ms: f64,
+    pub traced_ms: f64,
+    pub overhead_pct: f64,
+    /// Single-engine end-to-end ingest latency (traced run).
+    pub ingest_p50_us: u64,
+    pub ingest_p99_us: u64,
+    /// Measured operator throughput from the traced run's op profile.
+    pub ops_per_sec_observed: f64,
+    /// Cluster phase: nodes and merged ingest→apply percentiles
+    /// (shipped batches include their simulated wire hop).
+    pub nodes: usize,
+    pub batches: u64,
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+    /// Cluster-wide queue-wait p99 (time a task sat in a shard queue).
+    pub queue_p99_us: u64,
+    /// Ship spans recorded at egress == Arrive spans at ingress.
+    pub spans_out: u64,
+    pub spans_in: u64,
+    pub migrations: u64,
+    /// Cluster snapshots that mismatched the oracle (must be 0: the
+    /// trace plane never perturbs results).
+    pub diverged: usize,
+}
+
+const E19_BATCHES: usize = 2_048;
+const E19_QUERIES: usize = 64;
+
+/// One E17-style ingest wall at a fixed tracing setting, plus the
+/// run's telemetry (histograms + op profile).
+fn e19_ingest_once(
+    catalog: std::sync::Arc<aspen_catalog::Catalog>,
+    tracing: bool,
+) -> (f64, aspen_stream::TelemetryReport) {
+    use aspen_stream::{Consistency, EngineConfig};
+    let mut engine = aspen_stream::StreamEngine::with_config(
+        catalog,
+        EngineConfig::new()
+            .shards(4)
+            .parallel_ingest(false)
+            .tracing(tracing),
+    );
+    for i in 0..E19_QUERIES {
+        engine.register_sql(&e17_sql(i)).unwrap().expect_query();
+    }
+    let start = Instant::now();
+    for b in 0..E19_BATCHES {
+        let src = format!("s{}", b % E19_QUERIES);
+        let batch: Vec<Tuple> = (0..E17_BATCH)
+            .map(|j| e17_tuple(b * E17_BATCH + j, (b / 64) as u64))
+            .collect();
+        engine.on_batch(&src, &batch).unwrap();
+    }
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    (wall, engine.telemetry_at(Consistency::Fresh))
+}
+
+/// Per-seed cluster trace harvest off the E18 churn workload.
+struct E19Cluster {
+    merged: aspen_stream::LatencyHistogram,
+    queue: aspen_stream::LatencyHistogram,
+    spans_out: u64,
+    spans_in: u64,
+    migrations: u64,
+    diverged: usize,
+}
+
+/// The E18 churn phase (4-node cluster vs single-node oracle, forced
+/// cross-node migrations, full snapshot sweep at every event) with the
+/// trace plane harvested at the end: merged latency histogram over the
+/// control link, cluster-wide queue waits, and the span journal's
+/// Ship/Arrive conservation counts.
+fn e19_cluster(nodes: usize, seed: u64) -> E19Cluster {
+    use aspen_stream::{Cluster, ClusterConfig, EngineConfig, SpanKind};
+    let node_cfg = EngineConfig::new()
+        .shards(1)
+        .parallel_ingest(false)
+        .tracing(true);
+    let mut oracle = aspen_stream::ShardedEngine::with_config(e18_catalog(), node_cfg.clone());
+    let mut cluster = Cluster::new(
+        e18_catalog(),
+        ClusterConfig::new().nodes(nodes).node_config(node_cfg),
+    );
+    let handles: Vec<(aspen_stream::QueryHandle, aspen_stream::QueryHandle)> = (0..12)
+        .map(|i| {
+            let sql = e18_sql(i);
+            (
+                oracle.register_sql(&sql).unwrap().expect_query(),
+                cluster.register_sql(&sql).unwrap().expect_query(),
+            )
+        })
+        .collect();
+    let mut rng = seeded(0xE19 ^ seed);
+    let mut diverged = 0usize;
+    let mut now = 0u64;
+    for step in 0..80usize {
+        match rng.gen_range(0..8u32) {
+            0..=4 => {
+                let src = format!("c{}", rng.gen_range(0..12usize));
+                let batch: Vec<Tuple> = (0..16).map(|j| e18_tuple(step * 16 + j, now)).collect();
+                oracle.on_batch(&src, &batch).unwrap();
+                cluster.on_batch(&src, &batch).unwrap();
+            }
+            5 => {
+                now += rng.gen_range(1..10u64);
+                oracle.heartbeat(SimTime::from_secs(now)).unwrap();
+                cluster.heartbeat(SimTime::from_secs(now)).unwrap();
+            }
+            // Forced cross-node live migration: once a query leaves its
+            // source's home node, its batches ship — and trace.
+            _ => {
+                let (_, ch) = handles[rng.gen_range(0..handles.len())];
+                cluster.migrate(ch, rng.gen_range(0..nodes)).unwrap();
+            }
+        }
+        for (oh, ch) in &handles {
+            let want = oracle.snapshot(*oh).unwrap();
+            let got = cluster.snapshot(*ch).unwrap();
+            if want
+                .iter()
+                .map(|t| t.values())
+                .ne(got.iter().map(|t| t.values()))
+            {
+                diverged += 1;
+            }
+        }
+    }
+    if oracle.total_ops_invoked() != cluster.total_ops_invoked() {
+        diverged += 1;
+    }
+    let report = cluster.cluster_report();
+    let merged = cluster.merged_latency().unwrap();
+    let journal = cluster.journal();
+    E19Cluster {
+        merged,
+        queue: report.queue_wait(),
+        spans_out: journal.count_kind(SpanKind::Ship) as u64,
+        spans_in: journal.count_kind(SpanKind::Arrive) as u64,
+        migrations: cluster.migration_count(),
+        diverged,
+    }
+}
+
+/// The full E19 measurement: tracing A/B, then three churn seeds on a
+/// 4-node cluster with every seed's histograms merged.
+pub fn e19_run() -> E19Run {
+    let catalog = e17_catalog(E19_QUERIES);
+    // One discarded warm-up run, then interleaved off/on pairs with a
+    // min-of-3 per arm — alternation cancels the slow drift (allocator
+    // and cache warm-up, frequency scaling) that a sequential A-then-B
+    // comparison would misread as tracing cost.
+    let _ = e19_ingest_once(catalog.clone(), false);
+    let mut untraced_ms = f64::INFINITY;
+    let mut traced_ms = f64::INFINITY;
+    let mut traced = None;
+    for _ in 0..3 {
+        untraced_ms = untraced_ms.min(e19_ingest_once(catalog.clone(), false).0);
+        let (wall, report) = e19_ingest_once(catalog.clone(), true);
+        traced_ms = traced_ms.min(wall);
+        traced = Some(report);
+    }
+    let traced = traced.unwrap();
+    let ingest = traced.ingest_latency();
+    let nodes = 4usize;
+    let mut merged = aspen_stream::LatencyHistogram::new();
+    let mut queue = aspen_stream::LatencyHistogram::new();
+    let (mut spans_out, mut spans_in, mut migrations) = (0u64, 0u64, 0u64);
+    let mut diverged = 0usize;
+    for seed in 0..3u64 {
+        let c = e19_cluster(nodes, seed);
+        merged.merge(&c.merged);
+        queue.merge(&c.queue);
+        spans_out += c.spans_out;
+        spans_in += c.spans_in;
+        migrations += c.migrations;
+        diverged += c.diverged;
+    }
+    E19Run {
+        untraced_ms,
+        traced_ms,
+        overhead_pct: (traced_ms - untraced_ms) / untraced_ms.max(1e-9) * 100.0,
+        ingest_p50_us: ingest.p50_us(),
+        ingest_p99_us: ingest.p99_us(),
+        ops_per_sec_observed: traced.ops_per_sec_observed().unwrap_or(0.0),
+        nodes,
+        batches: merged.count(),
+        p50_us: merged.p50_us(),
+        p90_us: merged.p90_us(),
+        p99_us: merged.p99_us(),
+        max_us: merged.max_us(),
+        queue_p99_us: queue.p99_us(),
+        spans_out,
+        spans_in,
+        migrations,
+        diverged,
+    }
+}
+
+/// E19 table: the end-to-end trace plane.
+pub fn e19() -> String {
+    let r = e19_run();
+    let mut out = String::from(
+        "E19 — trace plane: tracing on/off A/B over the E17-style ingest\n\
+         (min-of-3 walls; overhead = what latency histograms, queue-wait\n\
+         stamping, span journaling, and per-operator timing cost), then a\n\
+         4-node cluster under the E18 churn workload with tracing on —\n\
+         per-node histograms merge over the control link, shipped batches\n\
+         charge their simulated wire hop into the receiving node's\n\
+         histogram, and Ship/Arrive span counts prove trace conservation\n",
+    );
+    let mut t = TableBuilder::new(&["metric", "value"]);
+    t.row(&[
+        "ingest wall, tracing off".into(),
+        format!("{} ms", f(r.untraced_ms, 1)),
+    ]);
+    t.row(&[
+        "ingest wall, tracing on".into(),
+        format!("{} ms", f(r.traced_ms, 1)),
+    ]);
+    t.row(&[
+        "tracing overhead".into(),
+        format!("{}%", f(r.overhead_pct, 2)),
+    ]);
+    t.row(&[
+        "single-engine ingest p50/p99".into(),
+        format!("{}/{} us", r.ingest_p50_us, r.ingest_p99_us),
+    ]);
+    t.row(&[
+        "measured operator rate".into(),
+        format!("{} ops/s", f(r.ops_per_sec_observed, 0)),
+    ]);
+    t.row(&["cluster nodes".into(), r.nodes.to_string()]);
+    t.row(&["cluster batches traced".into(), r.batches.to_string()]);
+    t.row(&[
+        "cluster latency p50/p90/p99/max".into(),
+        format!("{}/{}/{}/{} us", r.p50_us, r.p90_us, r.p99_us, r.max_us),
+    ]);
+    t.row(&[
+        "cluster queue-wait p99".into(),
+        format!("{} us", r.queue_p99_us),
+    ]);
+    t.row(&[
+        "spans out/in (Ship/Arrive)".into(),
+        format!("{}/{}", r.spans_out, r.spans_in),
+    ]);
+    t.row(&["forced migrations".into(), r.migrations.to_string()]);
+    t.row(&["diverged snapshots".into(), r.diverged.to_string()]);
+    out.push_str(&t.render());
+    out
+}
+
+/// E19 results as JSON (written to `BENCH_E19.json` by CI; the workflow
+/// hard-asserts `overhead_pct < 2`, a positive cluster `p99_us`, span
+/// conservation (`spans_out == spans_in`), and zero `diverged`).
+pub fn e19_json() -> String {
+    let r = e19_run();
+    format!(
+        "{{\n  \"experiment\": \"e19\",\n  \"workload\": \"tracing on/off A/B over the \
+         E17-style single-engine ingest (min-of-3 walls), then a 4-node cluster under \
+         the E18 churn workload with tracing on: 3 seeds, forced cross-node live \
+         migrations vs a single-node oracle, per-node latency histograms merged over \
+         the control link\",\n  \
+         \"untraced_ms\": {:.2},\n  \"traced_ms\": {:.2},\n  \"overhead_pct\": {:.3},\n  \
+         \"ingest_p50_us\": {},\n  \"ingest_p99_us\": {},\n  \
+         \"ops_per_sec_observed\": {:.0},\n  \"nodes\": {},\n  \"batches\": {},\n  \
+         \"p50_us\": {},\n  \"p90_us\": {},\n  \"p99_us\": {},\n  \"max_us\": {},\n  \
+         \"queue_p99_us\": {},\n  \"spans_out\": {},\n  \"spans_in\": {},\n  \
+         \"migrations\": {},\n  \"diverged\": {}\n}}\n",
+        r.untraced_ms,
+        r.traced_ms,
+        r.overhead_pct,
+        r.ingest_p50_us,
+        r.ingest_p99_us,
+        r.ops_per_sec_observed,
+        r.nodes,
+        r.batches,
+        r.p50_us,
+        r.p90_us,
+        r.p99_us,
+        r.max_us,
+        r.queue_p99_us,
+        r.spans_out,
+        r.spans_in,
+        r.migrations,
+        r.diverged,
+    )
+}
+
+/// `harness metrics` — the metrics export surface: a live engine's
+/// [`aspen_stream::TelemetryReport`] rendered as Prometheus text
+/// exposition and as JSON (what an operator would scrape).
+pub fn metrics() -> String {
+    use aspen_stream::{Consistency, EngineConfig};
+    let mut engine = aspen_stream::StreamEngine::with_config(
+        e17_catalog(8),
+        EngineConfig::new().shards(2).parallel_ingest(false),
+    );
+    for i in 0..8 {
+        engine.register_sql(&e17_sql(i)).unwrap().expect_query();
+    }
+    for b in 0..256usize {
+        let src = format!("s{}", b % 8);
+        let batch: Vec<Tuple> = (0..16)
+            .map(|j| e17_tuple(b * 16 + j, (b / 32) as u64))
+            .collect();
+        engine.on_batch(&src, &batch).unwrap();
+    }
+    engine.heartbeat(SimTime::from_secs(16)).unwrap();
+    let report = engine.telemetry_at(Consistency::Fresh);
+    format!(
+        "metrics — Prometheus text exposition\n\n{}\nmetrics — JSON\n\n{}",
+        aspen_stream::render_prometheus(&report),
+        aspen_stream::render_json(&report),
+    )
+}
+
+// ---------------------------------------------------------------------------
 
 /// Run every experiment, concatenated (the full harness output).
 pub fn run_all() -> String {
@@ -2670,6 +3005,7 @@ pub fn run_all() -> String {
         e16(),
         e17(),
         e18(),
+        e19(),
     ];
     let mut out = String::new();
     for s in sections {
@@ -2707,6 +3043,9 @@ pub fn by_name(name: &str) -> Option<String> {
         "e17json" => e17_json(),
         "e18" => e18(),
         "e18json" => e18_json(),
+        "e19" => e19(),
+        "e19json" => e19_json(),
+        "metrics" => metrics(),
         "all" => run_all(),
         _ => return None,
     })

@@ -47,6 +47,9 @@ struct Inner {
     cost_params: CostModelParams,
     next_source: u32,
     next_display: u32,
+    /// Telemetry-measured operator throughput (deltas/sec across all
+    /// operator kinds), published by the engine's trace plane.
+    observed_ops_per_sec: Option<f64>,
 }
 
 /// Thread-safe catalog of sources, views, displays, and statistics.
@@ -232,6 +235,21 @@ impl Catalog {
             }
             None => Err(AspenError::Unresolved(format!("unknown source id {id}"))),
         }
+    }
+
+    /// Publish a telemetry-measured operator throughput (deltas/sec).
+    /// The cost model blends it into plan estimation the same way an
+    /// observed source rate overrides the declared `rate_hz`: measured
+    /// beats assumed. Non-finite or non-positive rates are ignored.
+    pub fn record_observed_op_rate(&self, ops_per_sec: f64) {
+        if ops_per_sec.is_finite() && ops_per_sec > 0.0 {
+            self.inner.write().observed_ops_per_sec = Some(ops_per_sec);
+        }
+    }
+
+    /// The last published measured operator throughput, if any.
+    pub fn observed_op_rate(&self) -> Option<f64> {
+        self.inner.read().observed_ops_per_sec
     }
 
     /// Update a source's statistics in place (wrappers refresh rates).

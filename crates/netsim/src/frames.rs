@@ -13,9 +13,16 @@
 //! * `Deltas` — source id, delta count, then per delta: zigzag-varint
 //!   weight (retractions and multiplicities ship as negative / >1
 //!   weights), varint timestamp (µs), value count, tagged values.
+//! * `TracedDeltas` — a `Deltas` payload prefixed by the batch's trace
+//!   context (origin node, admission sequence, admission tick in µs),
+//!   so an exchange hop carries end-to-end latency provenance on the
+//!   wire instead of in a side channel.
 //! * `Heartbeat` — the clock advance (µs) the coordinator broadcasts.
 //! * `Control` — an opcode plus varint arguments (migration handoffs,
 //!   lifecycle notices); the cluster layer owns the opcode namespace.
+//! * `Histogram` — one node's log-bucketed latency histogram (sparse
+//!   `(bucket, count)` pairs plus max/sum), shipped to the coordinator
+//!   when cluster-wide percentiles are merged.
 //!
 //! Decoding is strict: trailing bytes after the announced payload are an
 //! error, so a round-tripped frame is bit-identical to its source.
@@ -29,6 +36,8 @@ use crate::codec::{get_value, get_varint, put_value, put_varint, unzigzag, zigza
 const FRAME_DELTAS: u8 = 0xD0;
 const FRAME_HEARTBEAT: u8 = 0xD1;
 const FRAME_CONTROL: u8 = 0xD2;
+const FRAME_TRACED_DELTAS: u8 = 0xD3;
+const FRAME_HISTOGRAM: u8 = 0xD4;
 
 /// One signed tuple change on the wire: the row's values, its event
 /// timestamp, and the signed weight (+1 insert, -1 retract, |w| > 1
@@ -46,10 +55,75 @@ pub enum WireFrame {
     /// A batch of signed deltas for one source (the exchange-operator
     /// payload).
     Deltas { source: u32, deltas: Vec<WireDelta> },
+    /// A `Deltas` payload carrying its trace context: the node that
+    /// admitted the batch, its admission sequence there, and the
+    /// admission tick (µs) — back-dated by the receiver to charge the
+    /// wire hop into its end-to-end latency.
+    TracedDeltas {
+        source: u32,
+        origin: u32,
+        batch: u64,
+        admit_us: u64,
+        deltas: Vec<WireDelta>,
+    },
     /// Coordinator clock broadcast.
     Heartbeat { now_us: u64 },
     /// Control-plane message: opcode + varint arguments.
     Control { op: u8, args: Vec<u64> },
+    /// One node's log-bucketed latency histogram, sparsely encoded as
+    /// `(bucket index, count)` pairs plus the exact max and sum (µs).
+    Histogram {
+        node: u32,
+        max_us: u64,
+        sum_us: u64,
+        buckets: Vec<(u32, u64)>,
+    },
+}
+
+fn put_deltas(buf: &mut BytesMut, deltas: &[WireDelta]) {
+    put_varint(buf, deltas.len() as u64);
+    for d in deltas {
+        put_varint(buf, zigzag(d.weight));
+        put_varint(buf, d.timestamp_us);
+        put_varint(buf, d.values.len() as u64);
+        for v in &d.values {
+            put_value(buf, v);
+        }
+    }
+}
+
+fn get_deltas(buf: &mut Bytes) -> Result<Vec<WireDelta>> {
+    let n = get_varint(buf)? as usize;
+    if n > 1 << 24 {
+        return Err(AspenError::Execution(format!("absurd delta count {n}")));
+    }
+    let mut deltas = Vec::with_capacity(n);
+    for _ in 0..n {
+        let weight = unzigzag(get_varint(buf)?);
+        let timestamp_us = get_varint(buf)?;
+        let arity = get_varint(buf)? as usize;
+        if arity > 1 << 20 {
+            return Err(AspenError::Execution(format!("absurd row arity {arity}")));
+        }
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(get_value(buf)?);
+        }
+        deltas.push(WireDelta {
+            values,
+            timestamp_us,
+            weight,
+        });
+    }
+    Ok(deltas)
+}
+
+fn get_u32_field(buf: &mut Bytes, what: &str) -> Result<u32> {
+    let v = get_varint(buf)?;
+    if v > u64::from(u32::MAX) {
+        return Err(AspenError::Execution(format!("{what} overflow")));
+    }
+    Ok(v as u32)
 }
 
 /// Encode one frame into a fresh buffer.
@@ -59,15 +133,21 @@ pub fn encode_frame(frame: &WireFrame) -> Bytes {
         WireFrame::Deltas { source, deltas } => {
             buf.put_u8(FRAME_DELTAS);
             put_varint(&mut buf, u64::from(*source));
-            put_varint(&mut buf, deltas.len() as u64);
-            for d in deltas {
-                put_varint(&mut buf, zigzag(d.weight));
-                put_varint(&mut buf, d.timestamp_us);
-                put_varint(&mut buf, d.values.len() as u64);
-                for v in &d.values {
-                    put_value(&mut buf, v);
-                }
-            }
+            put_deltas(&mut buf, deltas);
+        }
+        WireFrame::TracedDeltas {
+            source,
+            origin,
+            batch,
+            admit_us,
+            deltas,
+        } => {
+            buf.put_u8(FRAME_TRACED_DELTAS);
+            put_varint(&mut buf, u64::from(*source));
+            put_varint(&mut buf, u64::from(*origin));
+            put_varint(&mut buf, *batch);
+            put_varint(&mut buf, *admit_us);
+            put_deltas(&mut buf, deltas);
         }
         WireFrame::Heartbeat { now_us } => {
             buf.put_u8(FRAME_HEARTBEAT);
@@ -79,6 +159,22 @@ pub fn encode_frame(frame: &WireFrame) -> Bytes {
             put_varint(&mut buf, args.len() as u64);
             for a in args {
                 put_varint(&mut buf, *a);
+            }
+        }
+        WireFrame::Histogram {
+            node,
+            max_us,
+            sum_us,
+            buckets,
+        } => {
+            buf.put_u8(FRAME_HISTOGRAM);
+            put_varint(&mut buf, u64::from(*node));
+            put_varint(&mut buf, *max_us);
+            put_varint(&mut buf, *sum_us);
+            put_varint(&mut buf, buckets.len() as u64);
+            for (b, c) in buckets {
+                put_varint(&mut buf, u64::from(*b));
+                put_varint(&mut buf, *c);
             }
         }
     }
@@ -93,35 +189,43 @@ pub fn decode_frame(mut buf: Bytes) -> Result<WireFrame> {
     }
     let frame = match buf.get_u8() {
         FRAME_DELTAS => {
-            let source = get_varint(&mut buf)?;
-            if source > u64::from(u32::MAX) {
-                return Err(AspenError::Execution("source id overflow".into()));
-            }
-            let n = get_varint(&mut buf)? as usize;
-            if n > 1 << 24 {
-                return Err(AspenError::Execution(format!("absurd delta count {n}")));
-            }
-            let mut deltas = Vec::with_capacity(n);
-            for _ in 0..n {
-                let weight = unzigzag(get_varint(&mut buf)?);
-                let timestamp_us = get_varint(&mut buf)?;
-                let arity = get_varint(&mut buf)? as usize;
-                if arity > 1 << 20 {
-                    return Err(AspenError::Execution(format!("absurd row arity {arity}")));
-                }
-                let mut values = Vec::with_capacity(arity);
-                for _ in 0..arity {
-                    values.push(get_value(&mut buf)?);
-                }
-                deltas.push(WireDelta {
-                    values,
-                    timestamp_us,
-                    weight,
-                });
-            }
+            let source = get_u32_field(&mut buf, "source id")?;
             WireFrame::Deltas {
-                source: source as u32,
-                deltas,
+                source,
+                deltas: get_deltas(&mut buf)?,
+            }
+        }
+        FRAME_TRACED_DELTAS => {
+            let source = get_u32_field(&mut buf, "source id")?;
+            let origin = get_u32_field(&mut buf, "origin node")?;
+            let batch = get_varint(&mut buf)?;
+            let admit_us = get_varint(&mut buf)?;
+            WireFrame::TracedDeltas {
+                source,
+                origin,
+                batch,
+                admit_us,
+                deltas: get_deltas(&mut buf)?,
+            }
+        }
+        FRAME_HISTOGRAM => {
+            let node = get_u32_field(&mut buf, "node id")?;
+            let max_us = get_varint(&mut buf)?;
+            let sum_us = get_varint(&mut buf)?;
+            let n = get_varint(&mut buf)? as usize;
+            if n > 1 << 8 {
+                return Err(AspenError::Execution(format!("absurd bucket count {n}")));
+            }
+            let mut buckets = Vec::with_capacity(n);
+            for _ in 0..n {
+                let b = get_u32_field(&mut buf, "bucket index")?;
+                buckets.push((b, get_varint(&mut buf)?));
+            }
+            WireFrame::Histogram {
+                node,
+                max_us,
+                sum_us,
+                buckets,
             }
         }
         FRAME_HEARTBEAT => WireFrame::Heartbeat {
@@ -188,28 +292,45 @@ mod tests {
         }
     }
 
-    fn random_frame(rng: &mut StdRng) -> WireFrame {
-        match rng.gen_range(0..4u32) {
-            0 | 1 => {
-                let n = rng.gen_range(0..32usize);
-                WireFrame::Deltas {
-                    source: rng.gen_range(0..=u32::MAX),
-                    deltas: (0..n)
-                        .map(|_| {
-                            let arity = rng.gen_range(0..8usize);
-                            WireDelta {
-                                values: (0..arity).map(|_| random_value(rng)).collect(),
-                                timestamp_us: rng.gen_range(0..=u64::MAX / 2),
-                                // Negative and multi-count weights ship
-                                // too (retractions, consolidated rows).
-                                weight: rng.gen_range(-1_000i64..=1_000),
-                            }
-                        })
-                        .collect(),
+    fn random_deltas(rng: &mut StdRng) -> Vec<WireDelta> {
+        let n = rng.gen_range(0..32usize);
+        (0..n)
+            .map(|_| {
+                let arity = rng.gen_range(0..8usize);
+                WireDelta {
+                    values: (0..arity).map(|_| random_value(rng)).collect(),
+                    timestamp_us: rng.gen_range(0..=u64::MAX / 2),
+                    // Negative and multi-count weights ship
+                    // too (retractions, consolidated rows).
+                    weight: rng.gen_range(-1_000i64..=1_000),
                 }
-            }
+            })
+            .collect()
+    }
+
+    fn random_frame(rng: &mut StdRng) -> WireFrame {
+        match rng.gen_range(0..6u32) {
+            0 | 1 => WireFrame::Deltas {
+                source: rng.gen_range(0..=u32::MAX),
+                deltas: random_deltas(rng),
+            },
             2 => WireFrame::Heartbeat {
                 now_us: rng.gen_range(0..=u64::MAX / 2),
+            },
+            3 => WireFrame::TracedDeltas {
+                source: rng.gen_range(0..=u32::MAX),
+                origin: rng.gen_range(0..=u32::MAX),
+                batch: rng.gen_range(0..=u64::MAX / 2),
+                admit_us: rng.gen_range(0..=u64::MAX / 2),
+                deltas: random_deltas(rng),
+            },
+            4 => WireFrame::Histogram {
+                node: rng.gen_range(0..=u32::MAX),
+                max_us: rng.gen_range(0..=u64::MAX / 2),
+                sum_us: rng.gen_range(0..=u64::MAX / 2),
+                buckets: (0..rng.gen_range(0..40usize))
+                    .map(|_| (rng.gen_range(0..64u32), rng.gen_range(0..=u64::MAX / 2)))
+                    .collect(),
             },
             _ => WireFrame::Control {
                 op: rng.gen_range(0..=255u32) as u8,
@@ -259,6 +380,40 @@ mod tests {
                     weight: i64::MAX,
                 },
             ],
+        });
+    }
+
+    #[test]
+    fn traced_deltas_and_histogram_round_trip() {
+        round_trip(WireFrame::TracedDeltas {
+            source: 3,
+            origin: 2,
+            batch: u64::MAX / 2,
+            admit_us: 123_456_789,
+            deltas: vec![WireDelta {
+                values: vec![Value::Int(-5), Value::Text("m".into())],
+                timestamp_us: 17,
+                weight: -2,
+            }],
+        });
+        round_trip(WireFrame::TracedDeltas {
+            source: 0,
+            origin: 0,
+            batch: 0,
+            admit_us: 0,
+            deltas: vec![],
+        });
+        round_trip(WireFrame::Histogram {
+            node: 1,
+            max_us: 0,
+            sum_us: 0,
+            buckets: vec![],
+        });
+        round_trip(WireFrame::Histogram {
+            node: u32::MAX,
+            max_us: u64::MAX / 2,
+            sum_us: u64::MAX / 2,
+            buckets: vec![(0, 1), (39, u64::MAX / 2), (63, 7)],
         });
     }
 

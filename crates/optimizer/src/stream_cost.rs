@@ -221,7 +221,25 @@ fn predicate_selectivity(p: &BoundExpr) -> f64 {
 }
 
 /// Cost a stream-side plan: work per epoch, LAN traffic, latency.
+/// Uses the static [`CPU_OPS_PER_SEC`] calibration; see
+/// [`estimate_plan_with_rate`] for the measured-rate variant.
 pub fn estimate_plan(plan: &LogicalPlan) -> StreamCost {
+    estimate_plan_with_rate(plan, CPU_OPS_PER_SEC)
+}
+
+/// [`estimate_plan`] with an explicit CPU throughput, in operator
+/// invocations per second. The trace plane's measured-cost profiling
+/// (`TelemetryReport::ops_per_sec_observed`, published to the catalog
+/// via `Catalog::record_observed_op_rate`) feeds this: a host slower or
+/// faster than the static 50 M ops/s calibration shifts the CPU share
+/// of `latency_sec` proportionally, so plan choices that trade LAN hops
+/// against local work re-rank on the machine actually running them.
+pub fn estimate_plan_with_rate(plan: &LogicalPlan, cpu_ops_per_sec: f64) -> StreamCost {
+    let rate = if cpu_ops_per_sec.is_finite() && cpu_ops_per_sec > 0.0 {
+        cpu_ops_per_sec
+    } else {
+        CPU_OPS_PER_SEC
+    };
     let mut cost = StreamCost::default();
     accumulate(plan, &mut cost);
     cost.out_card = estimate_cardinality(plan);
@@ -229,8 +247,20 @@ pub fn estimate_plan(plan: &LogicalPlan) -> StreamCost {
     // ship in parallel, so we charge the max — approximated by one hop)
     // plus CPU time for the per-epoch work.
     let scans = plan.scans().len().max(1) as f64;
-    cost.latency_sec = LAN_HOP_SEC * scans.log2().max(1.0) + cost.cpu_ops / CPU_OPS_PER_SEC;
+    cost.latency_sec = LAN_HOP_SEC * scans.log2().max(1.0) + cost.cpu_ops / rate;
     cost
+}
+
+/// [`estimate_plan`] calibrated by the catalog: when a measured
+/// operator rate has been published (`Catalog::record_observed_op_rate`
+/// from the trace plane's `OpProfile` timings), it replaces the static
+/// [`CPU_OPS_PER_SEC`] constant; otherwise the static calibration
+/// applies unchanged.
+pub fn estimate_plan_calibrated(
+    plan: &LogicalPlan,
+    catalog: &aspen_catalog::Catalog,
+) -> StreamCost {
+    estimate_plan_with_rate(plan, catalog.observed_op_rate().unwrap_or(CPU_OPS_PER_SEC))
 }
 
 /// Estimated output-delta rate of a plan: the total stream-scan arrival
@@ -400,6 +430,34 @@ mod tests {
         assert!(joined.cpu_ops > single.cpu_ops);
         assert!(joined.latency_sec > 0.0);
         assert!(joined.lan_bytes >= single.lan_bytes);
+    }
+
+    #[test]
+    fn measured_op_rate_shifts_cpu_latency_share() {
+        let cat = catalog();
+        let p = plan_on(
+            &cat,
+            "select m.software from Temps t, Machines m where t.desk = m.desk",
+        );
+        // No measured rate published yet: calibrated == static.
+        let fixed = estimate_plan(&p);
+        assert_eq!(estimate_plan_calibrated(&p, &cat), fixed);
+        // A host measured 10× slower than the 50 M ops/s calibration
+        // grows the CPU share of latency by exactly 10× (the LAN-hop
+        // share is rate-independent) and leaves work/traffic unchanged.
+        cat.record_observed_op_rate(5_000_000.0);
+        let slow = estimate_plan_calibrated(&p, &cat);
+        assert_eq!(slow.cpu_ops, fixed.cpu_ops);
+        assert_eq!(slow.lan_bytes, fixed.lan_bytes);
+        assert!(slow.latency_sec > fixed.latency_sec);
+        let scans = p.scans().len().max(1) as f64;
+        let hop = LAN_HOP_SEC * scans.log2().max(1.0);
+        let fixed_cpu = fixed.latency_sec - hop;
+        let slow_cpu = slow.latency_sec - hop;
+        assert!((slow_cpu - 10.0 * fixed_cpu).abs() < 1e-12);
+        // Degenerate published rates fall back to the static constant.
+        assert_eq!(estimate_plan_with_rate(&p, 0.0), fixed);
+        assert_eq!(estimate_plan_with_rate(&p, f64::NAN), fixed);
     }
 
     #[test]

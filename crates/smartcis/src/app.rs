@@ -627,9 +627,31 @@ impl SmartCis {
         let report = self.engine.telemetry();
         for shard in &report.shards {
             s.details.push(format!(
-                "shard {}: {} queries, {} tuples in, {} ops",
-                shard.shard, shard.queries, shard.tuples_in, shard.ops_invoked
+                "shard {}: {} queries, {} tuples in, {} ops, wm {} (lag {}), queue p99 {} us",
+                shard.shard,
+                shard.queries,
+                shard.tuples_in,
+                shard.ops_invoked,
+                shard.watermark,
+                shard.lag,
+                shard.queue_wait.p99_us()
             ));
+        }
+        // The trace plane's end-to-end view: ingest→sink-apply latency
+        // percentiles merged over every query, and the measured
+        // operator rate the cost model calibrates against.
+        let latency = report.ingest_latency();
+        if !latency.is_empty() {
+            s.details.push(format!(
+                "latency p50/p99/max: {}/{}/{} us over {} batches",
+                latency.p50_us(),
+                latency.p99_us(),
+                latency.max_us(),
+                latency.count()
+            ));
+        }
+        if let Some(rate) = report.ops_per_sec_observed() {
+            s.details.push(format!("measured op rate: {rate:.0} ops/s"));
         }
         s
     }
@@ -738,6 +760,10 @@ mod tests {
     #[test]
     fn gui_state_reflects_simulation() {
         let mut a = app();
+        // A standing query gives the trace plane something to measure.
+        a.register_query("select t.room, t.desk, t.temp from TempSensors t where t.temp > 60")
+            .unwrap()
+            .expect_query();
         for _ in 0..2 {
             a.tick().unwrap();
         }
@@ -746,9 +772,19 @@ mod tests {
         assert_eq!(s.lab_open.len(), 3);
         assert_eq!(s.desk_free.len(), 18);
         assert!(s.visitor.is_some());
-        // The details panel shows the engine's per-shard load meters.
+        // The details panel shows the engine's per-shard load meters,
+        // including each shard's applied watermark...
         assert!(
-            s.details.iter().any(|l| l.starts_with("shard 0:")),
+            s.details
+                .iter()
+                .any(|l| l.starts_with("shard 0:") && l.contains("wm ")),
+            "{:?}",
+            s.details
+        );
+        // ...and the trace plane's end-to-end latency percentiles
+        // (tracing defaults on).
+        assert!(
+            s.details.iter().any(|l| l.starts_with("latency p50/p99/")),
             "{:?}",
             s.details
         );

@@ -22,6 +22,7 @@ use aspen_netsim::frames::{WireDelta, WireFrame};
 use aspen_types::{AspenError, Result, SimTime, SourceId, Tuple};
 
 use crate::delta::{Delta, DeltaBatch};
+use crate::trace::TraceCtx;
 
 /// Serialize a raw tuple batch into one `Deltas` frame (weight +1 per
 /// tuple — plain insertions).
@@ -55,6 +56,22 @@ pub fn egress_deltas(src: SourceId, deltas: &DeltaBatch) -> WireFrame {
     }
 }
 
+/// Attach a trace context to an egress `Deltas` frame, lifting it to
+/// `TracedDeltas` — the context travels inside the encoded frame, so
+/// wire accounting covers it. Non-delta frames pass through untouched.
+pub fn with_trace(frame: WireFrame, ctx: &TraceCtx) -> WireFrame {
+    match frame {
+        WireFrame::Deltas { source, deltas } => WireFrame::TracedDeltas {
+            source,
+            origin: ctx.origin,
+            batch: ctx.batch,
+            admit_us: ctx.admit_us,
+            deltas,
+        },
+        other => other,
+    }
+}
+
 /// Decode a received `Deltas` frame back into its source and signed
 /// batch, ready for re-admission through the remote node's ingest.
 pub fn ingress(frame: WireFrame) -> Result<(SourceId, DeltaBatch)> {
@@ -63,6 +80,36 @@ pub fn ingress(frame: WireFrame) -> Result<(SourceId, DeltaBatch)> {
             "exchange ingress expects a Deltas frame".into(),
         ));
     };
+    Ok((SourceId(source), rebuild(deltas)))
+}
+
+/// [`ingress`] accepting both plain and traced delta frames; a traced
+/// frame additionally yields the trace context it carried.
+pub fn ingress_traced(frame: WireFrame) -> Result<(SourceId, DeltaBatch, Option<TraceCtx>)> {
+    match frame {
+        WireFrame::Deltas { source, deltas } => Ok((SourceId(source), rebuild(deltas), None)),
+        WireFrame::TracedDeltas {
+            source,
+            origin,
+            batch,
+            admit_us,
+            deltas,
+        } => Ok((
+            SourceId(source),
+            rebuild(deltas),
+            Some(TraceCtx {
+                origin,
+                batch,
+                admit_us,
+            }),
+        )),
+        _ => Err(AspenError::Execution(
+            "exchange ingress expects a Deltas or TracedDeltas frame".into(),
+        )),
+    }
+}
+
+fn rebuild(deltas: Vec<WireDelta>) -> DeltaBatch {
     let mut batch = DeltaBatch::with_capacity(deltas.len());
     for d in deltas {
         batch.push(Delta {
@@ -70,7 +117,7 @@ pub fn ingress(frame: WireFrame) -> Result<(SourceId, DeltaBatch)> {
             sign: d.weight,
         });
     }
-    Ok((SourceId(source), batch))
+    batch
 }
 
 /// Which node a tuple's key columns hash to — the cross-node
@@ -139,6 +186,31 @@ mod tests {
     #[test]
     fn ingress_rejects_non_delta_frames() {
         assert!(ingress(WireFrame::Heartbeat { now_us: 1 }).is_err());
+        assert!(ingress_traced(WireFrame::Heartbeat { now_us: 1 }).is_err());
+    }
+
+    #[test]
+    fn trace_context_rides_the_frame_through_bytes() {
+        let ctx = TraceCtx {
+            origin: 2,
+            batch: 41,
+            admit_us: 9_000,
+        };
+        let mut batch = DeltaBatch::new();
+        batch.push_insert(t(1, 10, 5));
+        batch.push_retract(t(2, 20, 7));
+        let wire = encode_frame(&with_trace(egress_deltas(SourceId(6), &batch), &ctx));
+        let (src, got, carried) = ingress_traced(decode_frame(wire).unwrap()).unwrap();
+        assert_eq!(src, SourceId(6));
+        assert_eq!(got.as_slice(), batch.as_slice());
+        assert_eq!(carried, Some(ctx));
+        // A plain frame decodes with no context; the strict `ingress`
+        // refuses a traced frame (callers opt in explicitly).
+        let plain = encode_frame(&egress_deltas(SourceId(6), &batch));
+        let (_, _, none) = ingress_traced(decode_frame(plain).unwrap()).unwrap();
+        assert!(none.is_none());
+        let traced = encode_frame(&with_trace(egress_deltas(SourceId(6), &batch), &ctx));
+        assert!(ingress(decode_frame(traced).unwrap()).is_err());
     }
 
     #[test]

@@ -73,6 +73,7 @@ use crate::session::{
 };
 use crate::shard::{QueryHandle, ShardedEngine};
 use crate::telemetry::TelemetryReport;
+use crate::trace::{now_us, LatencyHistogram, OpProfile, Span, SpanJournal, SpanKind, TraceCtx};
 
 pub use link::{LanModel, WireStats};
 
@@ -201,17 +202,33 @@ pub struct Cluster {
     exchange_tuples_in: u64,
     /// Recursive views registered (all live on node 0).
     views: usize,
+    /// End-to-end tracing, inherited from the node config: exchange
+    /// frames carry trace contexts and hop latency is charged into the
+    /// receiving node's histograms.
+    tracing: bool,
+    /// Admission sequence for trace contexts created at cluster ingest.
+    next_batch: u64,
+    /// Cluster-level span journal: ships, arrivals, cross-node
+    /// migrations, rebalance decisions.
+    journal: SpanJournal,
 }
 
 impl Cluster {
     pub fn new(catalog: Arc<Catalog>, config: ClusterConfig) -> Self {
         let n = config.nodes;
+        let nodes: Vec<ShardedEngine> = (0..n)
+            .map(|i| {
+                let mut node =
+                    ShardedEngine::with_config(Arc::clone(&catalog), config.node_config.clone());
+                // Trace contexts created on this node carry its id as
+                // the origin.
+                node.set_node_id(i as u32);
+                node
+            })
+            .collect();
+        let tracing = nodes.first().is_some_and(ShardedEngine::tracing_enabled);
         Cluster {
-            nodes: (0..n)
-                .map(|_| {
-                    ShardedEngine::with_config(Arc::clone(&catalog), config.node_config.clone())
-                })
-                .collect(),
+            nodes,
             links: (0..n).map(|_| vec![WireStats::default(); n]).collect(),
             control: WireStats::default(),
             catalog,
@@ -231,7 +248,27 @@ impl Cluster {
             exchange_tuples_out: 0,
             exchange_tuples_in: 0,
             views: 0,
+            tracing,
+            next_batch: 0,
+            journal: SpanJournal::default(),
         }
+    }
+
+    /// Trace context for one cluster-admitted batch entering at `home`,
+    /// or `None` with tracing off.
+    fn make_ctx(&mut self, home: usize) -> Option<TraceCtx> {
+        if !self.tracing {
+            return None;
+        }
+        let ctx = TraceCtx::new(home as u32, self.next_batch);
+        self.next_batch += 1;
+        Some(ctx)
+    }
+
+    /// The cluster-level span journal (ships, arrivals, cross-node
+    /// migrations, rebalance decisions).
+    pub fn journal(&self) -> &SpanJournal {
+        &self.journal
     }
 
     pub fn node_count(&self) -> usize {
@@ -628,9 +665,11 @@ impl Cluster {
         let reports: Vec<TelemetryReport> = self.nodes.iter().map(|n| n.telemetry()).collect();
         let mut shards = Vec::with_capacity(reports.len());
         let mut now_secs = 0.0f64;
+        let mut profile = OpProfile::default();
         for (i, r) in reports.iter().enumerate() {
             shards.push(r.as_node_load(i));
             now_secs = now_secs.max(r.now_secs);
+            profile.merge(&r.profile);
         }
         let mut queries = Vec::new();
         for &qid in &self.order {
@@ -651,7 +690,41 @@ impl Cluster {
             workers: Vec::new(),
             boundaries: self.boundaries,
             now_secs,
+            profile,
         }
+    }
+
+    /// Cluster-wide ingest→apply latency: every node's histogram is
+    /// shipped to the coordinator as an encoded [`WireFrame::Histogram`]
+    /// (charged to the control plane) and merged — the mergeability the
+    /// log-bucketed representation exists for. Exchange hops are already
+    /// inside each node's histogram via hop back-dating.
+    pub fn merged_latency(&mut self) -> Result<LatencyHistogram> {
+        let mut out = LatencyHistogram::new();
+        for i in 0..self.nodes.len() {
+            let h = self.nodes[i].telemetry().ingest_latency();
+            let frame = WireFrame::Histogram {
+                node: i as u32,
+                max_us: h.max_us(),
+                sum_us: h.sum_us(),
+                buckets: h.bucket_counts(),
+            };
+            let wire = encode_frame(&frame);
+            self.control.charge(&self.lan, wire.len() as u64, 0);
+            let WireFrame::Histogram {
+                max_us,
+                sum_us,
+                buckets,
+                ..
+            } = decode_frame(wire)?
+            else {
+                return Err(AspenError::Execution(
+                    "histogram frame decoded as a different variant".into(),
+                ));
+            };
+            out.merge(&LatencyHistogram::from_parts(max_us, sum_us, &buckets));
+        }
+        Ok(out)
     }
 
     // -----------------------------------------------------------------
@@ -690,6 +763,15 @@ impl Cluster {
         cq.node = to;
         cq.local = new_local;
         self.migrations += 1;
+        if self.tracing {
+            self.journal.record(Span {
+                at_us: now_us(),
+                node: from as u32,
+                batch: u64::from(q.0 .0),
+                kind: SpanKind::Migrate,
+                detail: to as u64,
+            });
+        }
         Ok(())
     }
 
@@ -701,6 +783,7 @@ impl Cluster {
         };
         let moves = ctrl.observe(&self.cluster_report());
         let mut applied = 0;
+        let planned = moves.len();
         for m in moves {
             // The report omits pinned queries, but a plan can still be
             // stale (the query deregistered since); skip, don't fail.
@@ -709,6 +792,15 @@ impl Cluster {
             }
         }
         self.rebalancer = Some(ctrl);
+        if self.tracing && planned > 0 {
+            self.journal.record(Span {
+                at_us: now_us(),
+                node: 0,
+                batch: 0,
+                kind: SpanKind::Rebalance,
+                detail: applied as u64,
+            });
+        }
         applied
     }
 
@@ -724,13 +816,14 @@ impl Cluster {
         if let Some(&gid) = self.exchanged.get(&meta.id) {
             let keys = self.groups[&gid].keys[&meta.id].clone();
             let home = self.home_of(meta.id);
+            let trace = self.make_ctx(home);
             let shares = exchange::partition(tuples, &keys, self.nodes.len());
             for (to, share) in shares.iter().enumerate() {
                 if share.is_empty() {
                     continue;
                 }
                 if to == home {
-                    self.nodes[home].on_batch(source_name, share)?;
+                    self.nodes[home].on_batch_traced(source_name, share, trace)?;
                 } else {
                     self.ship(
                         source_name,
@@ -738,15 +831,17 @@ impl Cluster {
                         to,
                         exchange::egress_batch(meta.id, share),
                         Admission::Batch,
+                        trace,
                     )?;
                 }
             }
             return self.finish_boundary();
         }
         let home = self.home_of(meta.id);
+        let trace = self.make_ctx(home);
         for to in self.ingest_targets(meta.id, &meta.kind, home) {
             if to == home {
-                self.nodes[home].on_batch(source_name, tuples)?;
+                self.nodes[home].on_batch_traced(source_name, tuples, trace)?;
             } else {
                 self.ship(
                     source_name,
@@ -754,6 +849,7 @@ impl Cluster {
                     to,
                     exchange::egress_batch(meta.id, tuples),
                     Admission::Batch,
+                    trace,
                 )?;
             }
         }
@@ -767,6 +863,7 @@ impl Cluster {
         if let Some(&gid) = self.exchanged.get(&meta.id) {
             let keys = self.groups[&gid].keys[&meta.id].clone();
             let home = self.home_of(meta.id);
+            let trace = self.make_ctx(home);
             let mut shares: Vec<DeltaBatch> = vec![DeltaBatch::new(); self.nodes.len()];
             for d in deltas {
                 shares[exchange::node_of(&d.tuple, &keys, self.nodes.len())].push(d.clone());
@@ -776,7 +873,7 @@ impl Cluster {
                     continue;
                 }
                 if to == home {
-                    self.nodes[home].on_deltas(source_name, share)?;
+                    self.nodes[home].on_deltas_traced(source_name, share, trace)?;
                 } else {
                     self.ship(
                         source_name,
@@ -784,15 +881,17 @@ impl Cluster {
                         to,
                         exchange::egress_deltas(meta.id, share),
                         Admission::Deltas,
+                        trace,
                     )?;
                 }
             }
             return self.finish_boundary();
         }
         let home = self.home_of(meta.id);
+        let trace = self.make_ctx(home);
         for to in self.ingest_targets(meta.id, &meta.kind, home) {
             if to == home {
-                self.nodes[home].on_deltas(source_name, deltas)?;
+                self.nodes[home].on_deltas_traced(source_name, deltas, trace)?;
             } else {
                 self.ship(
                     source_name,
@@ -800,6 +899,7 @@ impl Cluster {
                     to,
                     exchange::egress_deltas(meta.id, deltas),
                     Admission::Deltas,
+                    trace,
                 )?;
             }
         }
@@ -865,23 +965,50 @@ impl Cluster {
         to: usize,
         frame: WireFrame,
         admit: Admission,
+        trace: Option<TraceCtx>,
     ) -> Result<()> {
         let carried = match &frame {
             WireFrame::Deltas { deltas, .. } => deltas.len() as u64,
             _ => 0,
         };
+        // A trace context travels *inside* the frame, so its bytes are
+        // charged against the link like any other payload.
+        let frame = match &trace {
+            Some(ctx) => exchange::with_trace(frame, ctx),
+            None => frame,
+        };
         let wire = encode_frame(&frame);
-        self.links[from][to].charge(&self.lan, wire.len() as u64, carried);
+        let hop = self.links[from][to].charge(&self.lan, wire.len() as u64, carried);
         self.exchange_tuples_out += carried;
-        let (_, batch) = exchange::ingress(decode_frame(wire)?)?;
+        let (_, batch, mut ctx) = exchange::ingress_traced(decode_frame(wire)?)?;
         self.exchange_tuples_in += batch.len() as u64;
+        if let Some(ctx) = &mut ctx {
+            // The simulated hop took no wall time; back-date the
+            // admission so the receiving node's end-to-end histogram
+            // still includes it.
+            ctx.charge_hop(hop.as_micros());
+            self.journal.record(Span {
+                at_us: now_us(),
+                node: from as u32,
+                batch: ctx.batch,
+                kind: SpanKind::Ship,
+                detail: to as u64,
+            });
+            self.journal.record(Span {
+                at_us: now_us(),
+                node: to as u32,
+                batch: ctx.batch,
+                kind: SpanKind::Arrive,
+                detail: from as u64,
+            });
+        }
         match admit {
             Admission::Batch => {
                 debug_assert!(batch.iter().all(|d| d.sign == 1));
                 let tuples: Vec<Tuple> = batch.iter().map(|d| d.tuple.clone()).collect();
-                self.nodes[to].on_batch(source_name, &tuples)
+                self.nodes[to].on_batch_traced(source_name, &tuples, ctx)
             }
-            Admission::Deltas => self.nodes[to].on_deltas(source_name, &batch),
+            Admission::Deltas => self.nodes[to].on_deltas_traced(source_name, &batch, ctx),
         }
     }
 
@@ -1096,7 +1223,7 @@ mod tests {
         assert_eq!(c.snapshot(q).unwrap(), before);
         assert_eq!(c.total_ops_invoked(), ops_before);
         // The migration handoff crossed the donor→recipient link.
-        assert_eq!(c.link_stats(0, 1).frames > 0, true);
+        assert!(c.link_stats(0, 1).frames > 0);
 
         // The push subscription moved with the sink: post-migration
         // deltas keep flowing to the same handle.

@@ -57,6 +57,7 @@ use parking_lot::Mutex;
 use crate::delta::DeltaBatch;
 use crate::shard::{EngineShard, ViewCtx};
 use crate::telemetry::WorkerLoad;
+use crate::trace::{now_us, TraceCtx};
 
 /// How the engine schedules per-shard boundary tasks. Fixed at
 /// construction via [`crate::session::EngineConfig::scheduling`].
@@ -87,10 +88,12 @@ pub(crate) enum Task {
     Batch {
         src: SourceId,
         tuples: Arc<Vec<Tuple>>,
+        trace: Option<TraceCtx>,
     },
     Deltas {
         src: SourceId,
         deltas: Arc<DeltaBatch>,
+        trace: Option<TraceCtx>,
     },
     AdvanceTime(SimTime),
     FlushPush(SimTime),
@@ -124,8 +127,8 @@ pub(crate) struct FollowUp {
 impl Task {
     fn run(&self, shard: &mut EngineShard, out: &mut Vec<FollowUp>) -> Result<()> {
         match self {
-            Task::Batch { src, tuples } => shard.push_batch(*src, tuples),
-            Task::Deltas { src, deltas } => shard.push_deltas(*src, deltas),
+            Task::Batch { src, tuples, trace } => shard.push_batch(*src, tuples, *trace),
+            Task::Deltas { src, deltas, trace } => shard.push_deltas(*src, deltas, *trace),
             Task::AdvanceTime(now) => shard.advance_time(*now),
             Task::FlushPush(now) => {
                 shard.flush_push(*now);
@@ -145,10 +148,12 @@ pub(crate) enum Boundary<'a> {
     Batch {
         src: SourceId,
         tuples: &'a [Tuple],
+        trace: Option<TraceCtx>,
     },
     Deltas {
         src: SourceId,
         deltas: &'a DeltaBatch,
+        trace: Option<TraceCtx>,
     },
     AdvanceTime(SimTime),
     FlushPush(SimTime),
@@ -168,8 +173,8 @@ pub(crate) enum Boundary<'a> {
 impl Boundary<'_> {
     fn run(&self, shard: &mut EngineShard, out: &mut Vec<FollowUp>) -> Result<()> {
         match self {
-            Boundary::Batch { src, tuples } => shard.push_batch(*src, tuples),
-            Boundary::Deltas { src, deltas } => shard.push_deltas(*src, deltas),
+            Boundary::Batch { src, tuples, trace } => shard.push_batch(*src, tuples, *trace),
+            Boundary::Deltas { src, deltas, trace } => shard.push_deltas(*src, deltas, *trace),
             Boundary::AdvanceTime(now) => shard.advance_time(*now),
             Boundary::FlushPush(now) => {
                 shard.flush_push(*now);
@@ -184,13 +189,15 @@ impl Boundary<'_> {
 
     fn to_task(&self) -> Task {
         match self {
-            Boundary::Batch { src, tuples } => Task::Batch {
+            Boundary::Batch { src, tuples, trace } => Task::Batch {
                 src: *src,
                 tuples: Arc::new(tuples.to_vec()),
+                trace: *trace,
             },
-            Boundary::Deltas { src, deltas } => Task::Deltas {
+            Boundary::Deltas { src, deltas, trace } => Task::Deltas {
                 src: *src,
                 deltas: Arc::new((*deltas).clone()),
+                trace: *trace,
             },
             Boundary::AdvanceTime(now) => Task::AdvanceTime(*now),
             Boundary::FlushPush(now) => Task::FlushPush(*now),
@@ -214,8 +221,9 @@ impl Boundary<'_> {
 struct ShardQueue {
     /// Pending tasks, each stamped with the boundary sequence number it
     /// belongs to (the shard's applied watermark advances to it once the
-    /// task completes).
-    tasks: VecDeque<(u64, Task)>,
+    /// task completes) and its admission tick ([`now_us`]) — the
+    /// queue-wait histogram resolves against that stamp at execution.
+    tasks: VecDeque<(u64, Task, u64)>,
     /// A worker is executing a task for this shard right now.
     running: bool,
     /// The shard is on the pool's ready list.
@@ -284,6 +292,10 @@ struct PoolCore {
     /// Global boundary sequence: one tick per submission, carried by
     /// every task of that boundary into the per-shard watermarks.
     seq: AtomicU64,
+    /// Whether the trace plane is on: queue-wait latencies are recorded
+    /// into the shard meters at execution (fixed at engine construction,
+    /// like every other engine toggle).
+    traced: bool,
 }
 
 impl PoolCore {
@@ -296,10 +308,17 @@ impl PoolCore {
     fn run_metered(
         &self,
         shard: usize,
+        enq_us: u64,
         out: &mut Vec<FollowUp>,
         run: impl FnOnce(&mut EngineShard, &mut Vec<FollowUp>) -> Result<()>,
     ) -> (Result<()>, Duration) {
         let mut state = self.cells[shard].state.lock();
+        if self.traced {
+            state
+                .meters
+                .queue_wait
+                .record_us(now_us().saturating_sub(enq_us));
+        }
         let start = Instant::now();
         let result = run(&mut state, out);
         let elapsed = start.elapsed();
@@ -320,10 +339,11 @@ impl PoolCore {
         shard: usize,
         seq: u64,
         task: &Task,
+        enq_us: u64,
     ) -> (Result<()>, Duration, Vec<FollowUp>) {
         let mut out = Vec::new();
         let (result, busy) = catch_unwind(AssertUnwindSafe(|| {
-            self.run_metered(shard, &mut out, |s, o| task.run(s, o))
+            self.run_metered(shard, enq_us, &mut out, |s, o| task.run(s, o))
         }))
         .unwrap_or_else(|_| {
             (
@@ -349,7 +369,7 @@ impl PoolCore {
         let cell = &self.cells[i];
         cell.submitted.fetch_max(seq, Ordering::Relaxed);
         let mut q = cell.queue.lock().unwrap();
-        q.tasks.push_back((seq, task));
+        q.tasks.push_back((seq, task, now_us()));
         if !q.enlisted && !q.running {
             q.enlisted = true;
             drop(q);
@@ -445,7 +465,13 @@ pub(crate) struct Executor {
 }
 
 impl Executor {
-    pub(crate) fn new(shards: usize, scheduling: Scheduling, workers: usize, depth: usize) -> Self {
+    pub(crate) fn new(
+        shards: usize,
+        scheduling: Scheduling,
+        workers: usize,
+        depth: usize,
+        traced: bool,
+    ) -> Self {
         let core = Arc::new(PoolCore {
             cells: (0..shards.max(1)).map(|_| ShardCell::new()).collect(),
             ready: StdMutex::new(VecDeque::new()),
@@ -462,6 +488,7 @@ impl Executor {
             stall_nanos: AtomicU64::new(0),
             tasks_executed: AtomicU64::new(0),
             seq: AtomicU64::new(0),
+            traced,
         });
         let (mode, handles) = match scheduling {
             Scheduling::Sequential => (Mode::Sequential, Vec::new()),
@@ -551,7 +578,7 @@ impl Executor {
         let mut out = Vec::new();
         let result = self
             .core
-            .run_metered(i, &mut out, |state, o| item.run(state, o))
+            .run_metered(i, now_us(), &mut out, |state, o| item.run(state, o))
             .0;
         self.core.cells[i].applied.fetch_max(seq, Ordering::Relaxed);
         result?;
@@ -567,7 +594,7 @@ impl Executor {
                 let mut nested = Vec::new();
                 let result = self
                     .core
-                    .run_metered(i, &mut nested, |state, o| f.task.run(state, o))
+                    .run_metered(i, now_us(), &mut nested, |state, o| f.task.run(state, o))
                     .0;
                 self.core.cells[i].applied.fetch_max(seq, Ordering::Relaxed);
                 result?;
@@ -588,7 +615,7 @@ impl Executor {
                 .stall_nanos
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
-        q.tasks.push_back((seq, task));
+        q.tasks.push_back((seq, task, now_us()));
         q.high_water = q.high_water.max(q.tasks.len());
         if !q.enlisted && !q.running {
             q.enlisted = true;
@@ -607,7 +634,7 @@ impl Executor {
             {
                 let mut q = self.core.cells[i].queue.lock().unwrap();
                 if q.tasks.len() < self.core.queue_depth {
-                    q.tasks.push_back((seq, task));
+                    q.tasks.push_back((seq, task, now_us()));
                     q.high_water = q.high_water.max(q.tasks.len());
                     return;
                 }
@@ -619,14 +646,14 @@ impl Executor {
     /// Execute the oldest pending task of one shard (deferred modes on
     /// the submitting thread). Returns false if the queue was empty.
     fn run_head(&self, i: usize) -> bool {
-        let (seq, task) = {
+        let (seq, task, enq_us) = {
             let mut q = self.core.cells[i].queue.lock().unwrap();
             match q.tasks.pop_front() {
                 Some(t) => t,
                 None => return false,
             }
         };
-        let (result, _, followups) = self.core.execute(i, seq, &task);
+        let (result, _, followups) = self.core.execute(i, seq, &task, enq_us);
         self.core.record_error(result);
         self.core.dispatch(seq, followups);
         true
@@ -789,7 +816,7 @@ fn worker_loop(core: Arc<PoolCore>, w: usize) {
             }
         };
         let cell = &core.cells[shard];
-        let (seq, task) = {
+        let (seq, task, enq_us) = {
             let mut q = cell.queue.lock().unwrap();
             q.enlisted = false;
             match q.tasks.pop_front() {
@@ -811,7 +838,7 @@ fn worker_loop(core: Arc<PoolCore>, w: usize) {
 
         // Busy time comes from inside the state lock (run_metered), so a
         // worker blocked behind a coordinator read is idle, not busy.
-        let (result, busy, followups) = core.execute(shard, seq, &task);
+        let (result, busy, followups) = core.execute(shard, seq, &task, enq_us);
         core.workers[w]
             .busy_nanos
             .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
@@ -867,7 +894,7 @@ mod tests {
             Scheduling::Pool,
             Scheduling::Deterministic(3),
         ] {
-            let e = Executor::new(2, scheduling, 2, 4);
+            let e = Executor::new(2, scheduling, 2, 4, true);
             e.quiesce_all().unwrap();
             let stats = e.stats();
             assert_eq!(stats.pending, vec![0, 0]);

@@ -13,6 +13,7 @@ use aspen_types::{AspenError, Result, SchemaRef, SimTime, SourceId, Tuple};
 use crate::delta::DeltaBatch;
 use crate::operators::{AggregateOp, DeltaOp, FilterOp, JoinOp, ProjectOp, UnionOp};
 use crate::sink::Sink;
+use crate::trace::{OpKind, OpProfile};
 use crate::window::WindowOp;
 
 /// Where an operator sends its output: another operator's input port, or
@@ -22,11 +23,13 @@ type Attach = Option<(usize, usize)>;
 struct NodeEntry {
     op: Box<dyn DeltaOp + Send>,
     parent: Attach,
+    /// Operator kind, for the per-kind profile.
+    kind: OpKind,
 }
 
 impl std::fmt::Debug for NodeEntry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "NodeEntry(parent={:?})", self.parent)
+        write!(f, "NodeEntry({:?}, parent={:?})", self.kind, self.parent)
     }
 }
 
@@ -60,6 +63,15 @@ pub struct Pipeline {
     /// (telemetry: the query's share of ingest volume). Lives here so a
     /// migrated query carries its history with it.
     pub tuples_in: u64,
+    /// Measured per-operator-kind busy timings (and delta counts).
+    /// Lives here like the counters, so a migrated query keeps its
+    /// profile; busy time only accumulates while `timed` is set.
+    pub profile: OpProfile,
+    /// Whether `propagate` wall-clocks each operator invocation into
+    /// `profile` — set from the engine's tracing config at placement;
+    /// off, the profile still counts invocations/deltas (integer adds)
+    /// but never reads the clock.
+    pub timed: bool,
     /// Artificial per-batch processing drag (slow-consumer injection for
     /// the scheduling tests and the E15 bench): each data push sleeps
     /// this long first. Never set in production paths; travels with
@@ -106,6 +118,8 @@ impl Pipeline {
             },
             ops_invoked: 0,
             tuples_in: 0,
+            profile: OpProfile::default(),
+            timed: false,
             drag: None,
         };
         pipeline.build(core, None)?;
@@ -171,6 +185,7 @@ impl Pipeline {
                         predicate: predicate.clone(),
                     }),
                     parent,
+                    OpKind::Filter,
                 );
                 self.build(input, Some((idx, 0)))
             }
@@ -180,6 +195,7 @@ impl Pipeline {
                         exprs: exprs.clone(),
                     }),
                     parent,
+                    OpKind::Project,
                 );
                 self.build(input, Some((idx, 0)))
             }
@@ -193,6 +209,7 @@ impl Pipeline {
                 let idx = self.push_node(
                     Box::new(JoinOp::new(keys.clone(), residual.clone())),
                     parent,
+                    OpKind::Join,
                 );
                 self.build(left, Some((idx, 0)))?;
                 self.build(right, Some((idx, 1)))
@@ -203,11 +220,12 @@ impl Pipeline {
                 let idx = self.push_node(
                     Box::new(AggregateOp::new(group.clone(), aggs.clone())),
                     parent,
+                    OpKind::Aggregate,
                 );
                 self.build(input, Some((idx, 0)))
             }
             LogicalPlan::Union { inputs, .. } => {
-                let idx = self.push_node(Box::new(UnionOp), parent);
+                let idx = self.push_node(Box::new(UnionOp), parent, OpKind::Union);
                 for (port, i) in inputs.iter().enumerate() {
                     self.build(i, Some((idx, port)))?;
                 }
@@ -225,8 +243,8 @@ impl Pipeline {
         }
     }
 
-    fn push_node(&mut self, op: Box<dyn DeltaOp + Send>, parent: Attach) -> usize {
-        self.nodes.push(NodeEntry { op, parent });
+    fn push_node(&mut self, op: Box<dyn DeltaOp + Send>, parent: Attach, kind: OpKind) -> usize {
+        self.nodes.push(NodeEntry { op, parent, kind });
         self.nodes.len() - 1
     }
 
@@ -374,8 +392,21 @@ impl Pipeline {
                     return Ok(());
                 }
                 Some((idx, port)) => {
-                    self.ops_invoked += batch.len() as u64;
-                    batch = self.nodes[idx].op.process_batch(port, &batch)?;
+                    let deltas = batch.len() as u64;
+                    self.ops_invoked += deltas;
+                    if self.timed {
+                        let t0 = std::time::Instant::now();
+                        batch = self.nodes[idx].op.process_batch(port, &batch)?;
+                        self.profile
+                            .record(self.nodes[idx].kind, deltas, t0.elapsed());
+                    } else {
+                        batch = self.nodes[idx].op.process_batch(port, &batch)?;
+                        self.profile.record(
+                            self.nodes[idx].kind,
+                            deltas,
+                            std::time::Duration::ZERO,
+                        );
+                    }
                     attach = self.nodes[idx].parent;
                 }
             }

@@ -66,6 +66,10 @@ pub struct EngineConfig {
     /// Plan-template caching of SQL registrations (`None` = on):
     /// canonicalized templates skip parse/bind on repeat registrations.
     plan_cache: Option<bool>,
+    /// End-to-end tracing (`None` = on): ingest batches carry trace
+    /// contexts, pipelines clock per-operator busy time, the executor
+    /// records queue waits.
+    tracing: Option<bool>,
 }
 
 impl EngineConfig {
@@ -151,6 +155,15 @@ impl EngineConfig {
         self
     }
 
+    /// Toggle the end-to-end trace plane (default on): ingest→apply
+    /// latency histograms, per-shard queue-wait histograms, per-operator
+    /// busy timings, and the sampled span journal. Off skips every clock
+    /// read on the hot path — the E19 overhead baseline.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = Some(on);
+        self
+    }
+
     pub(crate) fn shard_count(&self) -> usize {
         self.shards.max(1)
     }
@@ -194,6 +207,10 @@ impl EngineConfig {
 
     pub(crate) fn resolve_plan_cache(&self) -> bool {
         self.plan_cache.unwrap_or(true)
+    }
+
+    pub(crate) fn resolve_tracing(&self) -> bool {
+        self.tracing.unwrap_or(true)
     }
 }
 
@@ -509,6 +526,8 @@ mod tests {
             .shared_subplans(false)
             .resolve_shared_subplans());
         assert!(!EngineConfig::new().plan_cache(false).resolve_plan_cache());
+        assert!(EngineConfig::new().resolve_tracing());
+        assert!(!EngineConfig::new().tracing(false).resolve_tracing());
     }
 
     #[test]

@@ -99,6 +99,7 @@ use crate::session::{
 use crate::sink::Sink;
 use crate::state::BagState;
 use crate::telemetry::{QueryLoad, ShardLoad, ShardMeters, TelemetryReport};
+use crate::trace::{now_us, OpProfile, Span, SpanJournal, SpanKind, TraceCtx};
 use crate::window::WindowOp;
 
 /// Handle to a registered continuous query.
@@ -354,6 +355,7 @@ impl ViewSet {
             task: Task::Deltas {
                 src: out_source,
                 deltas: Arc::new(got),
+                trace: None,
             },
         });
         true
@@ -533,7 +535,12 @@ pub(crate) struct EngineShard {
 }
 
 impl EngineShard {
-    pub(crate) fn push_batch(&mut self, src: SourceId, tuples: &[Tuple]) -> Result<()> {
+    pub(crate) fn push_batch(
+        &mut self,
+        src: SourceId,
+        tuples: &[Tuple],
+        trace: Option<TraceCtx>,
+    ) -> Result<()> {
         let EngineShard {
             queries,
             subs,
@@ -553,6 +560,9 @@ impl EngineShard {
                 }
                 let q = queries.get_mut(qid).expect("routed query is local");
                 q.pipeline.push_source(src, tuples, &mut q.sink)?;
+                if let Some(ctx) = &trace {
+                    q.sink.latency.record_us(ctx.elapsed_us());
+                }
             }
             for (key, chain) in chains.iter_mut() {
                 if key.0 != src {
@@ -567,18 +577,29 @@ impl EngineShard {
                     let q = queries.get_mut(&tap.qid).expect("tapped query is local");
                     q.pipeline
                         .push_tap(src, &filtered, tuples.len() as u64, &mut q.sink)?;
+                    if let Some(ctx) = &trace {
+                        q.sink.latency.record_us(ctx.elapsed_us());
+                    }
                 }
             }
         }
         Ok(())
     }
 
-    pub(crate) fn push_deltas(&mut self, src: SourceId, deltas: &DeltaBatch) -> Result<()> {
+    pub(crate) fn push_deltas(
+        &mut self,
+        src: SourceId,
+        deltas: &DeltaBatch,
+        trace: Option<TraceCtx>,
+    ) -> Result<()> {
         if let Some(subs) = self.subs.get(&src) {
             self.meters.tuples_in += deltas.len() as u64;
             for qid in subs {
                 let q = self.queries.get_mut(qid).expect("routed query is local");
                 q.pipeline.push_deltas(src, deltas, &mut q.sink)?;
+                if let Some(ctx) = &trace {
+                    q.sink.latency.record_us(ctx.elapsed_us());
+                }
             }
         }
         Ok(())
@@ -770,6 +791,18 @@ pub struct ShardedEngine {
     /// Canonicalized plan-template cache over SQL registrations; `None`
     /// when disabled by [`EngineConfig::plan_cache`].
     plan_cache: Option<PlanCache>,
+    /// End-to-end tracing ([`EngineConfig::tracing`]): ingest batches
+    /// carry a [`TraceCtx`], pipelines clock per-operator busy time,
+    /// and the executor records queue waits.
+    tracing: bool,
+    /// This engine's node id in a cluster — stamped as the origin into
+    /// every trace context created here; 0 standalone.
+    node_id: u32,
+    /// Admission sequence for trace contexts.
+    next_batch: u64,
+    /// Sampled span journal: admissions (1-in-16), migrations,
+    /// rebalance decisions, knob retunes.
+    journal: SpanJournal,
 }
 
 impl ShardedEngine {
@@ -794,6 +827,7 @@ impl ShardedEngine {
                 config.resolve_scheduling(cores),
                 config.resolve_workers(cores),
                 config.resolve_queue_depth(),
+                config.resolve_tracing(),
             ),
             queries: HashMap::new(),
             order: Vec::new(),
@@ -813,11 +847,69 @@ impl ShardedEngine {
             migrations: 0,
             shared_subplans: config.resolve_shared_subplans(),
             plan_cache: config.resolve_plan_cache().then(PlanCache::default),
+            tracing: config.resolve_tracing(),
+            node_id: 0,
+            next_batch: 0,
+            journal: SpanJournal::default(),
         }
+    }
+
+    /// Set this engine's node id — the cluster constructor calls this so
+    /// trace contexts created here carry the right origin.
+    pub fn set_node_id(&mut self, node: u32) {
+        self.node_id = node;
+    }
+
+    /// This engine's node id (0 standalone).
+    pub fn node_id(&self) -> u32 {
+        self.node_id
+    }
+
+    /// Whether end-to-end tracing is on for this engine.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing
+    }
+
+    /// The engine's span journal (sampled admissions, migrations,
+    /// rebalance decisions, knob retunes).
+    pub fn journal(&self) -> &SpanJournal {
+        &self.journal
+    }
+
+    /// Trace context for one admitted batch, or `None` with tracing
+    /// off. Samples an admission span into the journal.
+    fn make_ctx(&mut self) -> Option<TraceCtx> {
+        if !self.tracing {
+            return None;
+        }
+        let ctx = TraceCtx::new(self.node_id, self.next_batch);
+        self.next_batch += 1;
+        if SpanJournal::sample_admit(ctx.batch) {
+            self.journal.record(Span {
+                at_us: ctx.admit_us,
+                node: self.node_id,
+                batch: ctx.batch,
+                kind: SpanKind::Admit,
+                detail: 0,
+            });
+        }
+        Some(ctx)
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
         &self.catalog
+    }
+
+    /// Publish the trace plane's measured operator throughput to the
+    /// catalog, where the optimizer's
+    /// `stream_cost::estimate_plan_calibrated` blends it into the cost
+    /// model in place of the static CPU calibration. Returns the rate
+    /// published, or `None` when too little timed work has run (or
+    /// tracing is off) to measure one.
+    pub fn publish_observed_op_rate(&self) -> Option<f64> {
+        let rate = self.telemetry().ops_per_sec_observed()?;
+        self.catalog.record_observed_op_rate(rate);
+        Some(rate)
     }
 
     pub fn now(&self) -> SimTime {
@@ -933,6 +1025,7 @@ impl ShardedEngine {
             .enumerate()
             .map(|(i, &q)| (q, i))
             .collect();
+        let mut profile = OpProfile::default();
         for i in 0..self.shard_count() {
             // Read the watermark pair *before* locking: once the lock is
             // held the applied counter cannot move, so the state read is
@@ -942,6 +1035,7 @@ impl ShardedEngine {
             let mut ops = 0u64;
             for (qid, rt) in &shard.queries {
                 ops += rt.pipeline.ops_invoked;
+                profile.merge(&rt.pipeline.profile);
                 if let Some(&j) = slot.get(qid) {
                     let meta = &self.queries[qid];
                     queries[j] = Some(QueryLoad {
@@ -953,6 +1047,7 @@ impl ShardedEngine {
                         output_deltas: rt.sink.deltas_applied,
                         push_batches: rt.sink.push_batches_delivered(),
                         shared: shard.tapped.contains_key(qid),
+                        latency: rt.sink.latency.clone(),
                     });
                 }
             }
@@ -968,6 +1063,7 @@ impl ShardedEngine {
                 shared_taps,
                 watermark: applied,
                 lag: submitted.saturating_sub(applied),
+                queue_wait: shard.meters.queue_wait.clone(),
             });
         }
         TelemetryReport {
@@ -976,6 +1072,7 @@ impl ShardedEngine {
             workers: self.exec.worker_loads(),
             boundaries: self.boundaries,
             now_secs: self.now.as_secs_f64(),
+            profile,
         }
     }
 
@@ -1148,6 +1245,7 @@ impl ShardedEngine {
         auto: bool,
     ) -> Result<QueryHandle> {
         let mut pipeline = Pipeline::compile(&plan)?;
+        pipeline.timed = self.tracing;
         if delivery == Delivery::Push {
             Self::check_push_compatible(&pipeline)?;
         }
@@ -1460,6 +1558,7 @@ impl ShardedEngine {
         // failed resume (compile/replay error) leaves the query paused
         // and fully intact rather than half-rebuilt.
         let mut pipeline = Pipeline::compile(&plan)?;
+        pipeline.timed = self.tracing;
         let mut sink = pipeline.make_sink();
         pipeline.start(&mut sink)?;
         let sources = pipeline.sources();
@@ -1632,6 +1731,15 @@ impl ShardedEngine {
             self.add_routes(q.0);
         }
         self.migrations += 1;
+        if self.tracing {
+            self.journal.record(Span {
+                at_us: now_us(),
+                node: self.node_id,
+                batch: q.0 .0 as u64,
+                kind: SpanKind::Migrate,
+                detail: to as u64,
+            });
+        }
         Ok(())
     }
 
@@ -1700,7 +1808,7 @@ impl ShardedEngine {
     /// handle.
     pub fn install_query(&mut self, d: DetachedQuery) -> Result<QueryHandle> {
         let DetachedQuery {
-            runtime,
+            mut runtime,
             plan,
             sources,
             needs_clock,
@@ -1717,6 +1825,9 @@ impl ShardedEngine {
             self.exec.quiesce(self.view_cell())?;
         }
         self.exec.quiesce(shard_idx)?;
+        // The histogram and op profile travel with the runtime; only the
+        // clocking policy follows the recipient's config.
+        runtime.pipeline.timed = self.tracing;
         let applied = runtime.sink.deltas_applied;
         {
             let mut shard = self.shard(shard_idx).lock();
@@ -1777,6 +1888,15 @@ impl ShardedEngine {
             }
         }
         self.rebalancer = Some(ctrl);
+        if self.tracing && !moves.is_empty() {
+            self.journal.record(Span {
+                at_us: now_us(),
+                node: self.node_id,
+                batch: 0,
+                kind: SpanKind::Rebalance,
+                detail: applied as u64,
+            });
+        }
         applied
     }
 
@@ -1864,6 +1984,15 @@ impl ShardedEngine {
             self.queries.get_mut(&qid).expect("meta checked").tune_mark =
                 (deltas, self.boundaries, now);
             tuned += 1;
+        }
+        if self.tracing && tuned > 0 {
+            self.journal.record(Span {
+                at_us: now_us(),
+                node: self.node_id,
+                batch: 0,
+                kind: SpanKind::Retune,
+                detail: tuned as u64,
+            });
         }
         tuned
     }
@@ -1954,6 +2083,19 @@ impl ShardedEngine {
     /// *admitted*, not processed: a shard hosting a slow query drains
     /// its backlog without gating its siblings or the next ingest.
     pub fn on_batch(&mut self, source_name: &str, tuples: &[Tuple]) -> Result<()> {
+        let trace = self.make_ctx();
+        self.on_batch_traced(source_name, tuples, trace)
+    }
+
+    /// [`ShardedEngine::on_batch`] with an explicit trace context — the
+    /// cluster re-admission path, where the context was created on the
+    /// origin node and already carries the wire hop.
+    pub fn on_batch_traced(
+        &mut self,
+        source_name: &str,
+        tuples: &[Tuple],
+        trace: Option<TraceCtx>,
+    ) -> Result<()> {
         let meta = self.catalog.source(source_name)?;
         let src = meta.id;
         self.observe_timestamps(tuples.iter().map(Tuple::timestamp));
@@ -1968,7 +2110,8 @@ impl ShardedEngine {
             slice.fanout(src)
         };
         if !routes.is_empty() {
-            self.exec.submit(&routes, Boundary::Batch { src, tuples })?;
+            self.exec
+                .submit(&routes, Boundary::Batch { src, tuples, trace })?;
         }
         // Views reading this source (skip building the delta batch when
         // no view subscribes).
@@ -1983,6 +2126,18 @@ impl ShardedEngine {
     /// Advances the clock exactly like `on_batch` — delta-only ingest
     /// must not leave the engine clock stale.
     pub fn on_deltas(&mut self, source_name: &str, deltas: &DeltaBatch) -> Result<()> {
+        let trace = self.make_ctx();
+        self.on_deltas_traced(source_name, deltas, trace)
+    }
+
+    /// [`ShardedEngine::on_deltas`] with an explicit trace context — the
+    /// cluster re-admission path.
+    pub fn on_deltas_traced(
+        &mut self,
+        source_name: &str,
+        deltas: &DeltaBatch,
+        trace: Option<TraceCtx>,
+    ) -> Result<()> {
         let meta = self.catalog.source(source_name)?;
         let src = meta.id;
         self.observe_timestamps(deltas.iter().map(|d| d.tuple.timestamp()));
@@ -1996,7 +2151,7 @@ impl ShardedEngine {
         };
         if !routes.is_empty() {
             self.exec
-                .submit(&routes, Boundary::Deltas { src, deltas })?;
+                .submit(&routes, Boundary::Deltas { src, deltas, trace })?;
         }
         if self.view_subs.contains_key(&src) {
             self.submit_view_deltas(src, Arc::new(deltas.clone()))?;
@@ -2047,6 +2202,7 @@ impl ShardedEngine {
                 Boundary::Deltas {
                     src: view_source,
                     deltas,
+                    trace: None,
                 },
             )?;
         }

@@ -48,6 +48,10 @@ pub struct Sink {
     /// Monotone count of deltas applied — the "result churn" statistic
     /// used by the end-to-end experiment.
     pub deltas_applied: u64,
+    /// End-to-end ingest→apply latency histogram for this query, in
+    /// microseconds. Recorded by the engine at apply time from the
+    /// batch's trace context; travels with the sink through migration.
+    pub latency: crate::trace::LatencyHistogram,
 }
 
 impl Sink {
@@ -65,6 +69,7 @@ impl Sink {
             state: HashMap::new(),
             push: None,
             deltas_applied: 0,
+            latency: crate::trace::LatencyHistogram::new(),
         }
     }
 

@@ -31,6 +31,8 @@ use std::time::Duration;
 
 use aspen_types::QueryId;
 
+use crate::trace::{LatencyHistogram, OpProfile};
+
 /// Lock-local counters one worker shard maintains about its own slice of
 /// the work. Updated only while the shard mutex is held.
 #[derive(Debug, Default, Clone)]
@@ -43,6 +45,10 @@ pub struct ShardMeters {
     /// Wall time spent inside this shard's slice of the work. `max` over
     /// shards is the critical path an N-core deployment pays.
     pub busy: Duration,
+    /// Distribution of admission→execution queue wait per task, recorded
+    /// by the executor as it takes the shard lock (empty with tracing
+    /// off).
+    pub queue_wait: LatencyHistogram,
 }
 
 /// Snapshot of one registered query's cumulative load.
@@ -67,6 +73,10 @@ pub struct QueryLoad {
     /// residual operators downstream of the tap — so the rebalancer sees
     /// the same per-query load shared or private, never phantom work.
     pub shared: bool,
+    /// Distribution of ingest→sink-apply latency for batches that
+    /// reached this query's sink (empty with tracing off). Lives in the
+    /// sink, so it migrates with the query like the counters do.
+    pub latency: LatencyHistogram,
 }
 
 /// Snapshot of one pool worker's cumulative load (empty outside the
@@ -114,6 +124,9 @@ pub struct ShardLoad {
     /// `Fresh` (barrier) observation and under sequential scheduling;
     /// the rebalancer uses it to skip planning over stale meters.
     pub lag: u64,
+    /// Distribution of admission→execution queue wait on this shard
+    /// (empty with tracing off).
+    pub queue_wait: LatencyHistogram,
 }
 
 /// One coherent observation of the whole engine, taken at a batch
@@ -132,6 +145,10 @@ pub struct TelemetryReport {
     pub boundaries: u64,
     /// Engine clock at observation time, seconds.
     pub now_secs: f64,
+    /// Per-operator-kind measured busy timings, merged over every live
+    /// pipeline. [`OpProfile::ops_per_sec_observed`] is the rate the
+    /// catalog publishes back to the optimizer's cost model.
+    pub profile: OpProfile,
 }
 
 impl TelemetryReport {
@@ -148,6 +165,34 @@ impl TelemetryReport {
     /// so they are decayed toward the mean rather than trusted.
     pub fn max_lag(&self) -> u64 {
         self.shards.iter().map(|s| s.lag).max().unwrap_or(0)
+    }
+
+    /// Engine-wide ingest→sink-apply latency: every query's histogram
+    /// merged (merging answers the same percentiles as recording all
+    /// samples into one histogram). Empty with tracing off.
+    pub fn ingest_latency(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for q in &self.queries {
+            out.merge(&q.latency);
+        }
+        out
+    }
+
+    /// Engine-wide admission→execution queue wait: every shard's
+    /// histogram merged. Empty with tracing off.
+    pub fn queue_wait(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for s in &self.shards {
+            out.merge(&s.queue_wait);
+        }
+        out
+    }
+
+    /// The measured operator rate, if enough busy time accumulated —
+    /// shorthand for [`OpProfile::ops_per_sec_observed`] on
+    /// [`TelemetryReport::profile`].
+    pub fn ops_per_sec_observed(&self) -> Option<f64> {
+        self.profile.ops_per_sec_observed()
     }
 
     /// Collapse this report's per-shard loads into one [`ShardLoad`]
@@ -167,6 +212,7 @@ impl TelemetryReport {
             shared_taps: 0,
             watermark: 0,
             lag: 0,
+            queue_wait: LatencyHistogram::new(),
         };
         for s in &self.shards {
             out.queries += s.queries;
@@ -178,6 +224,7 @@ impl TelemetryReport {
             out.shared_taps += s.shared_taps;
             out.watermark = out.watermark.max(s.watermark);
             out.lag = out.lag.max(s.lag);
+            out.queue_wait.merge(&s.queue_wait);
         }
         out
     }
@@ -231,6 +278,86 @@ impl TelemetryReport {
             shard_loads,
             queries,
         }
+    }
+}
+
+impl std::fmt::Display for QueryLoad {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "query {} @ shard {}{}{}: {} tuples in, {} ops, {} out deltas",
+            self.query.0,
+            self.shard,
+            if self.paused { " (paused)" } else { "" },
+            if self.shared { " (shared)" } else { "" },
+            self.tuples_in,
+            self.ops_invoked,
+            self.output_deltas,
+        )?;
+        if !self.latency.is_empty() {
+            write!(
+                f,
+                ", latency p50/p99/max {}/{}/{} us",
+                self.latency.p50_us(),
+                self.latency.p99_us(),
+                self.latency.max_us()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for ShardLoad {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {}: {} queries, {} tuples in, {} ops, {} batches, \
+             {:.3}s busy, watermark {} (lag {})",
+            self.shard,
+            self.queries,
+            self.tuples_in,
+            self.ops_invoked,
+            self.batches,
+            self.busy_seconds,
+            self.watermark,
+            self.lag,
+        )?;
+        if !self.queue_wait.is_empty() {
+            write!(f, ", queue wait p99 {} us", self.queue_wait.p99_us())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for TelemetryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "telemetry @ {:.1}s: {} boundaries, {} queries, max lag {}",
+            self.now_secs,
+            self.boundaries,
+            self.queries.len(),
+            self.max_lag()
+        )?;
+        for s in &self.shards {
+            writeln!(f, "  {s}")?;
+        }
+        let latency = self.ingest_latency();
+        if !latency.is_empty() {
+            writeln!(
+                f,
+                "  ingest latency p50/p90/p99/max {}/{}/{}/{} us over {} batches",
+                latency.p50_us(),
+                latency.p90_us(),
+                latency.p99_us(),
+                latency.max_us(),
+                latency.count()
+            )?;
+        }
+        if let Some(rate) = self.ops_per_sec_observed() {
+            writeln!(f, "  measured operator rate: {rate:.0} ops/s")?;
+        }
+        Ok(())
     }
 }
 
@@ -293,6 +420,7 @@ pub(crate) fn report_from_rows(rows: &[(u32, usize, u64)]) -> TelemetryReport {
             shared_taps: 0,
             watermark: 0,
             lag: 0,
+            queue_wait: LatencyHistogram::new(),
         })
         .collect();
     let queries = rows
@@ -309,6 +437,7 @@ pub(crate) fn report_from_rows(rows: &[(u32, usize, u64)]) -> TelemetryReport {
                 output_deltas: 0,
                 push_batches: 0,
                 shared: false,
+                latency: LatencyHistogram::new(),
             }
         })
         .collect();
@@ -318,6 +447,7 @@ pub(crate) fn report_from_rows(rows: &[(u32, usize, u64)]) -> TelemetryReport {
         workers: Vec::new(),
         boundaries: 0,
         now_secs: 0.0,
+        profile: OpProfile::default(),
     }
 }
 
@@ -416,6 +546,24 @@ mod tests {
         let w = empty.window_since(&prev);
         assert!(w.shard_loads.is_empty());
         assert!((w.balance_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_merges_histograms_and_displays_them() {
+        let mut r = report(&[(0, 0, 10), (1, 1, 20)]);
+        r.queries[0].latency.record_us(100);
+        r.queries[1].latency.record_us(1000);
+        r.shards[0].queue_wait.record_us(5);
+        assert_eq!(r.ingest_latency().count(), 2);
+        assert_eq!(r.queue_wait().count(), 1);
+        // Collapsing to a node load carries the merged queue-wait along.
+        assert_eq!(r.as_node_load(3).queue_wait.count(), 1);
+        // Display surfaces watermark/lag and the new percentiles.
+        let text = r.to_string();
+        assert!(text.contains("watermark"), "{text}");
+        assert!(text.contains("ingest latency p50/p90/p99/max"), "{text}");
+        assert!(r.shards[0].to_string().contains("queue wait p99"));
+        assert!(r.queries[0].to_string().contains("latency p50/p99/max"));
     }
 
     #[test]

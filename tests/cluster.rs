@@ -573,3 +573,86 @@ fn hash_partitioned_join_tracks_oracle_under_interleaved_ingest() {
         }
     }
 }
+
+/// The trace plane across the wire (PR 9): a batch admitted on a
+/// source's home node and shipped to a migrated query carries its trace
+/// context inside the encoded frame. Conservation: every Ship span in
+/// the cluster journal has a matching Arrive span; every forced
+/// cross-node migration left a Migrate span; the nodes a query migrated
+/// *to* record non-empty ingest→apply histograms whose samples include
+/// the simulated wire hop (≥ the 200 µs default LAN latency); and the
+/// cluster-merged histogram — itself shipped node-by-node over the
+/// control link as encoded `Histogram` frames — accounts for exactly
+/// the per-node sample totals.
+#[test]
+fn cross_node_traces_conserve_spans_and_charge_remote_histograms() {
+    use smartcis::stream::SpanKind;
+
+    let nodes = 3usize;
+    let mut c = Cluster::new(
+        catalog(),
+        ClusterConfig::new()
+            .nodes(nodes)
+            .node_config(EngineConfig::new().shards(1).parallel_ingest(false)),
+    );
+    // Two PowerA queries (home node 0) and two PowerB queries (home
+    // node 1): registration order over the catalog fixes the homes.
+    let qs: Vec<QueryHandle> = PLANS[..4]
+        .iter()
+        .map(|sql| c.register_sql(sql).unwrap().expect_query())
+        .collect();
+    let feed = |c: &mut Cluster, base: i64, sec: u64| {
+        let batch: Vec<Tuple> = (0..4)
+            .map(|i| power(base + i, 50.0 + i as f64, sec))
+            .collect();
+        c.on_batch("PowerA", &batch).unwrap();
+        c.on_batch("PowerB", &batch).unwrap();
+    };
+    // Baseline: home-local applies only — nothing ships, nothing
+    // arrives, and the trace stays on the home nodes.
+    feed(&mut c, 0, 1);
+    assert_eq!(c.journal().count_kind(SpanKind::Ship), 0);
+    assert_eq!(c.journal().count_kind(SpanKind::Arrive), 0);
+    // Force every query off its home: PowerA's to node 1, PowerB's to
+    // node 2. From here each ingest must ship home → host, traced.
+    c.migrate(qs[0], 1).unwrap();
+    c.migrate(qs[1], 1).unwrap();
+    c.migrate(qs[2], 2).unwrap();
+    c.migrate(qs[3], 2).unwrap();
+    for step in 0..8u64 {
+        feed(&mut c, step as i64, 2 + step);
+    }
+    c.heartbeat(SimTime::from_secs(20)).unwrap();
+
+    // Span conservation: ship == arrive (> 0), one Migrate span per
+    // forced move.
+    let ships = c.journal().count_kind(SpanKind::Ship);
+    assert!(ships > 0, "forced off-home queries but nothing shipped");
+    assert_eq!(ships, c.journal().count_kind(SpanKind::Arrive));
+    assert_eq!(c.journal().count_kind(SpanKind::Migrate), 4);
+    assert_eq!(c.migration_count(), 4);
+
+    // The receiving nodes' histograms are non-empty, and their maxima
+    // carry the simulated wire hop the shipped batches were charged.
+    for host in [1usize, 2] {
+        let h = c.node(host).telemetry().ingest_latency();
+        assert!(
+            !h.is_empty(),
+            "node {host} hosts migrated queries but recorded nothing"
+        );
+        assert!(
+            h.max_us() >= 200,
+            "node {host} max {} us lacks the wire hop",
+            h.max_us()
+        );
+    }
+    // The merged histogram (shipped over the control link as encoded
+    // frames) conserves every per-node sample.
+    let per_node: u64 = (0..nodes)
+        .map(|i| c.node(i).telemetry().ingest_latency().count())
+        .sum();
+    let merged = c.merged_latency().unwrap();
+    assert_eq!(merged.count(), per_node);
+    assert!(merged.p99_us() >= 200, "merged p99 lost the shipped tail");
+    assert!(c.wire_stats().bytes > 0);
+}

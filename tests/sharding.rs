@@ -520,6 +520,29 @@ fn migration_churn_shard_invariance_with_push_subscriptions() {
                 c.engine.shard_count()
             );
         }
+        // The trace plane's state travels with migration: each query's
+        // latency histogram rides its sink and each pipeline's op
+        // profile rides its nodes through extract/install, so the
+        // merged ingest→apply sample count and the profiled delta count
+        // are nonzero and identical across shard counts — a migration
+        // that dropped or re-recorded either would break equality here.
+        let latency_counts: Vec<u64> = clients
+            .iter()
+            .map(|c| c.engine.telemetry().ingest_latency().count())
+            .collect();
+        assert!(latency_counts[0] > 0, "no latencies recorded (seed {seed})");
+        assert!(
+            latency_counts.windows(2).all(|w| w[0] == w[1]),
+            "latency samples diverged across shard counts: {latency_counts:?} (seed {seed})"
+        );
+        let profiled: Vec<u64> = clients
+            .iter()
+            .map(|c| c.engine.telemetry().profile.total_deltas())
+            .collect();
+        assert!(
+            profiled.windows(2).all(|w| w[0] == w[1]),
+            "op-profile deltas diverged across shard counts: {profiled:?} (seed {seed})"
+        );
     }
 }
 
