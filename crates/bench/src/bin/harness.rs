@@ -23,7 +23,7 @@ fn main() {
                     "unknown experiment '{name}' — expected one of: \
                      f1 f2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e12json e13 e13json \
                      e14 e14json e15 e15json e16 e16json e17 e17json \
-                     e18 e18json e19 e19json metrics all"
+                     e18 e18json e19 e19json e20 e20json metrics all"
                 );
                 std::process::exit(2);
             }

@@ -1245,13 +1245,18 @@ fn e14_sqls(n: usize) -> Vec<String> {
 }
 
 /// Eager controller for the bench: observe often, act on the first
-/// clearly-skewed window, move up to 8 queries per round.
+/// clearly-skewed window, move up to 8 queries per round. E14 isolates
+/// CPU-based planning, so the state-bytes term is switched off — this
+/// workload's queries hold near-uniform state, and blending bytes in
+/// would dilute exactly the ops skew the bench measures (the bytes
+/// term is exercised by the rebalance unit tests and E20).
 fn e14_rebalance_config() -> aspen_stream::RebalanceConfig {
     aspen_stream::RebalanceConfig {
         threshold: 1.05,
         patience: 1,
         max_moves: 8,
         interval_boundaries: 8,
+        bytes_weight: 0.0,
         ..Default::default()
     }
 }
@@ -2954,6 +2959,241 @@ pub fn e19_json() -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// E20 — columnar operator state: resident bytes, throughput, spill tier
+// ---------------------------------------------------------------------------
+
+/// Row-vs-columnar state layout on a large-window 50-query fan-out, plus
+/// a columnar engine with the spill tier forced on. All three ingest the
+/// same workload in lockstep; snapshots are compared at every
+/// checkpoint, so the byte/throughput numbers come with a correctness
+/// proof attached.
+#[derive(Debug, Clone)]
+pub struct E20Run {
+    pub queries: usize,
+    pub batches: usize,
+    pub tuples: usize,
+    /// Ingest walls (whole workload, per engine).
+    pub row_wall_ms: f64,
+    pub col_wall_ms: f64,
+    pub spill_wall_ms: f64,
+    pub row_tuples_per_sec: f64,
+    pub col_tuples_per_sec: f64,
+    /// End-of-run resident operator-state bytes (measured for columnar,
+    /// estimated for row) and the headline reduction factor.
+    pub row_bytes: usize,
+    pub col_bytes: usize,
+    pub byte_reduction: f64,
+    /// Live window tuples at end of run (identical across engines).
+    pub window_tuples: usize,
+    /// Row-vs-columnar snapshot mismatches across all checkpoints
+    /// (must be 0).
+    pub diverged: usize,
+    /// Columnar-vs-columnar+spill snapshot mismatches (must be 0: the
+    /// spill tier pages bytes, never changes results).
+    pub spill_diverged: usize,
+    /// Bytes the spill engine had paged out at end of run (must be > 0
+    /// or the spill arm proved nothing).
+    pub spilled_bytes: usize,
+}
+
+const E20_QUERIES: usize = 50;
+const E20_BATCHES: usize = 384;
+const E20_BATCH: usize = 32;
+const E20_CHECK_EVERY: usize = 64;
+
+/// Query `i` of the fan-out: a large-window shape. Window sizes differ
+/// per query, so no two queries share a scan+window chain — all 50
+/// carry their own retained state.
+fn e20_sql(i: usize) -> String {
+    match i % 3 {
+        0 => format!("select r.sensor, r.value from s0 r [rows {}]", 200 + i),
+        1 => format!(
+            "select r.sensor, avg(r.value) from s0 r [range {} seconds] group by r.sensor",
+            40 + i
+        ),
+        _ => format!(
+            "select r.sensor, r.value from s0 r [rows {}] where r.value > {}",
+            150 + i,
+            (i % 10) * 10
+        ),
+    }
+}
+
+fn e20_engine(
+    layout: aspen_stream::StateLayout,
+    spill: Option<(usize, std::path::PathBuf)>,
+) -> (aspen_stream::ShardedEngine, Vec<aspen_stream::QueryHandle>) {
+    use aspen_stream::{EngineConfig, ShardedEngine};
+    let mut cfg = EngineConfig::new().shards(2).state_layout(layout);
+    if let Some((threshold, dir)) = spill {
+        cfg = cfg.spill(threshold, dir);
+    }
+    let mut e = ShardedEngine::with_config(e17_catalog(1), cfg);
+    let handles = (0..E20_QUERIES)
+        .map(|i| e.register_sql(&e20_sql(i)).unwrap().expect_query())
+        .collect();
+    (e, handles)
+}
+
+pub fn e20_run() -> E20Run {
+    use aspen_stream::StateLayout;
+    let spill_dir = std::env::temp_dir().join(format!("aspen-e20-spill-{}", std::process::id()));
+    let (mut row, row_h) = e20_engine(StateLayout::Row, None);
+    let (mut col, col_h) = e20_engine(StateLayout::Columnar, None);
+    // An 8 KB per-structure threshold forces every large window to page
+    // cold segments while its live tail stays resident.
+    let (mut spill, spill_h) =
+        e20_engine(StateLayout::Columnar, Some((8 * 1024, spill_dir.clone())));
+
+    let value_rows = |rows: Vec<Tuple>| -> Vec<Vec<Value>> {
+        rows.into_iter().map(|t| t.values().to_vec()).collect()
+    };
+    let (mut row_wall, mut col_wall, mut spill_wall) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut diverged, mut spill_diverged) = (0usize, 0usize);
+    for b in 0..E20_BATCHES {
+        let batch: Vec<Tuple> = (0..E20_BATCH)
+            .map(|j| e17_tuple(b * E20_BATCH + j, b as u64))
+            .collect();
+        let t0 = Instant::now();
+        row.on_batch("s0", &batch).unwrap();
+        row_wall += t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        col.on_batch("s0", &batch).unwrap();
+        col_wall += t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        spill.on_batch("s0", &batch).unwrap();
+        spill_wall += t0.elapsed().as_secs_f64();
+
+        if (b + 1) % E20_CHECK_EVERY == 0 {
+            for ((&rh, &ch), &sh) in row_h.iter().zip(&col_h).zip(&spill_h) {
+                let r = value_rows(row.snapshot(rh).unwrap());
+                let c = value_rows(col.snapshot(ch).unwrap());
+                let s = value_rows(spill.snapshot(sh).unwrap());
+                if r != c {
+                    diverged += 1;
+                }
+                if c != s {
+                    spill_diverged += 1;
+                }
+            }
+        }
+    }
+    let row_state = row.resident_state();
+    let col_state = col.resident_state();
+    let spill_state = spill.resident_state();
+    std::fs::remove_dir_all(&spill_dir).ok();
+    let tuples = E20_BATCHES * E20_BATCH;
+    E20Run {
+        queries: E20_QUERIES,
+        batches: E20_BATCHES,
+        tuples,
+        row_wall_ms: row_wall * 1e3,
+        col_wall_ms: col_wall * 1e3,
+        spill_wall_ms: spill_wall * 1e3,
+        row_tuples_per_sec: tuples as f64 / row_wall.max(1e-9),
+        col_tuples_per_sec: tuples as f64 / col_wall.max(1e-9),
+        row_bytes: row_state.state_bytes,
+        col_bytes: col_state.state_bytes,
+        byte_reduction: row_state.state_bytes as f64 / (col_state.state_bytes.max(1)) as f64,
+        window_tuples: col_state.window_tuples,
+        diverged,
+        spill_diverged,
+        spilled_bytes: spill_state.spilled_bytes,
+    }
+}
+
+/// E20 table: columnar operator state + spill tier.
+pub fn e20() -> String {
+    let r = e20_run();
+    let mut out = String::from(
+        "E20 — columnar operator state: row vs columnar layout on a\n\
+         large-window 50-query fan-out (every query its own multi-hundred\n\
+         row window), lockstep ingest with per-checkpoint snapshot\n\
+         equality, plus a columnar engine with an 8 KB spill threshold —\n\
+         resident bytes are measured (columnar) vs estimated (row), and\n\
+         the spill tier must page state out without changing one result\n",
+    );
+    let mut t = TableBuilder::new(&["metric", "value"]);
+    t.row(&[
+        "fan-out".into(),
+        format!("{} queries, {} tuples", r.queries, r.tuples),
+    ]);
+    t.row(&[
+        "ingest wall row/columnar/spill".into(),
+        format!(
+            "{}/{}/{} ms",
+            f(r.row_wall_ms, 1),
+            f(r.col_wall_ms, 1),
+            f(r.spill_wall_ms, 1)
+        ),
+    ]);
+    t.row(&[
+        "scan throughput row/columnar".into(),
+        format!(
+            "{}/{} tuples/s",
+            f(r.row_tuples_per_sec, 0),
+            f(r.col_tuples_per_sec, 0)
+        ),
+    ]);
+    t.row(&[
+        "resident state row/columnar".into(),
+        format!("{}/{} bytes", r.row_bytes, r.col_bytes),
+    ]);
+    t.row(&[
+        "resident-byte reduction".into(),
+        format!("{}x", f(r.byte_reduction, 2)),
+    ]);
+    t.row(&["live window tuples".into(), r.window_tuples.to_string()]);
+    t.row(&[
+        "diverged snapshots (row vs col)".into(),
+        r.diverged.to_string(),
+    ]);
+    t.row(&[
+        "diverged snapshots (col vs spill)".into(),
+        r.spill_diverged.to_string(),
+    ]);
+    t.row(&["spilled bytes at end".into(), r.spilled_bytes.to_string()]);
+    out.push_str(&t.render());
+    out
+}
+
+/// E20 results as JSON (written to `BENCH_E20.json` by CI; the workflow
+/// hard-asserts `byte_reduction >= 2`, zero `diverged`, zero
+/// `spill_diverged`, and `spilled_bytes > 0`).
+pub fn e20_json() -> String {
+    let r = e20_run();
+    format!(
+        "{{\n  \"experiment\": \"e20\",\n  \"workload\": \"row vs columnar operator-state \
+         layout on a large-window 50-query fan-out ({} batches x {} tuples, lockstep \
+         ingest, snapshot equality checked every {} batches), plus a columnar engine \
+         with an 8 KB per-structure spill threshold\",\n  \
+         \"queries\": {},\n  \"tuples\": {},\n  \
+         \"row_wall_ms\": {:.2},\n  \"col_wall_ms\": {:.2},\n  \"spill_wall_ms\": {:.2},\n  \
+         \"row_tuples_per_sec\": {:.0},\n  \"col_tuples_per_sec\": {:.0},\n  \
+         \"row_bytes\": {},\n  \"col_bytes\": {},\n  \"byte_reduction\": {:.3},\n  \
+         \"window_tuples\": {},\n  \"diverged\": {},\n  \"spill_diverged\": {},\n  \
+         \"spilled_bytes\": {}\n}}\n",
+        E20_BATCHES,
+        E20_BATCH,
+        E20_CHECK_EVERY,
+        r.queries,
+        r.tuples,
+        r.row_wall_ms,
+        r.col_wall_ms,
+        r.spill_wall_ms,
+        r.row_tuples_per_sec,
+        r.col_tuples_per_sec,
+        r.row_bytes,
+        r.col_bytes,
+        r.byte_reduction,
+        r.window_tuples,
+        r.diverged,
+        r.spill_diverged,
+        r.spilled_bytes,
+    )
+}
+
 /// `harness metrics` — the metrics export surface: a live engine's
 /// [`aspen_stream::TelemetryReport`] rendered as Prometheus text
 /// exposition and as JSON (what an operator would scrape).
@@ -3006,6 +3246,7 @@ pub fn run_all() -> String {
         e17(),
         e18(),
         e19(),
+        e20(),
     ];
     let mut out = String::new();
     for s in sections {
@@ -3045,6 +3286,8 @@ pub fn by_name(name: &str) -> Option<String> {
         "e18json" => e18_json(),
         "e19" => e19(),
         "e19json" => e19_json(),
+        "e20" => e20(),
+        "e20json" => e20_json(),
         "metrics" => metrics(),
         "all" => run_all(),
         _ => return None,

@@ -1295,6 +1295,7 @@ mod tests {
                     max_moves: 4,
                     interval_boundaries: 1,
                     max_lag: 64,
+                    ..Default::default()
                 }),
         );
         c.home_source("Readings", 0).unwrap();

@@ -209,7 +209,10 @@
 //!
 //! * **Placement** — hash placement spreads query counts, not cost.
 //!   [`rebalance::RebalanceController`] diffs successive reports into
-//!   windowed per-query loads and, on sustained skew, plans greedy
+//!   windowed per-query loads, blends them with each query's
+//!   resident-state bytes gauge ([`rebalance::RebalanceConfig`]'s
+//!   `bytes_weight` — a memory-fat shard drains even when operator
+//!   counts are balanced), and, on sustained skew, plans greedy
 //!   migrations; [`shard::ShardedEngine::migrate`] executes them by
 //!   *moving the live runtime* (pipeline state, sink, push subscription)
 //!   between shards — the resume attach path with the runtime carried
@@ -228,6 +231,38 @@
 //!   The app layer also publishes measured per-source ingest rates back
 //!   into the catalog, so the optimizer's cardinality estimates track
 //!   observed reality instead of registration-time guesses.
+//!
+//! ## Columnar operator state and the spill tier
+//!
+//! Hot operator state — window buffers, retained-table
+//! [`state::BagState`]s, join/aggregate [`state::KeyedState`] — is laid
+//! out **columnar** by default: tuples are shredded into per-column
+//! primitive vectors (dictionary-encoded text, run-length-encoded
+//! constant runs) in segment files managed by the vendored
+//! `columnar` shim, with per-tuple multisets replaced by a hash index
+//! over row ids. Row-major `VecDeque`/`HashMap` layouts remain available
+//! via [`session::EngineConfig::state_layout`] and every state structure
+//! is property-tested to behave *identically* under both layouts —
+//! exact retraction multiplicities, per-occurrence arrival-order
+//! replay, debt healing, oldest-first eviction.
+//!
+//! Two things fall out of the columnar re-lay:
+//!
+//! * **Byte-accounted state** — every operator reports measured
+//!   `state_bytes` (and `spilled_bytes`) through
+//!   [`shard::ResidentState`] and [`telemetry::TelemetryReport`];
+//!   columnar segments report their actual encoded footprint, row
+//!   layouts a heap estimate. Those gauges feed the rebalancer's
+//!   blended score above and the E20 bench, which pins the columnar
+//!   layout at ≥ 2× fewer resident bytes on the large-window fan-out.
+//! * **Spill tier** — [`session::EngineConfig::spill`] sets a
+//!   per-structure resident-byte threshold: cold *segments* (oldest
+//!   first) page to disk and fault back transparently on access, while
+//!   timestamps, liveness, and weights stay resident so window expiry
+//!   scans never touch spilled files. Live migration — including
+//!   cross-node — snapshots through the same tuple-level API, so moved
+//!   state re-lands columnar (respilling under the recipient's config)
+//!   with the existing no-replay invariants untouched.
 //!
 //! ## Recursive views
 //!
@@ -345,6 +380,7 @@ pub use session::{
 };
 pub use shard::{ResidentState, ShardedEngine};
 pub use sink::Sink;
+pub use state::{SpillConfig, StateLayout, StateOptions};
 pub use telemetry::{
     LoadWindow, QueryLoad, ShardLoad, TelemetryReport, WindowedQueryLoad, WorkerLoad,
 };

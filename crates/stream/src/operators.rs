@@ -14,7 +14,7 @@ use aspen_sql::expr::{AggAccumulator, BoundAgg, BoundExpr};
 use aspen_types::{Result, SimTime, Tuple, Value};
 
 use crate::delta::{Delta, DeltaBatch};
-use crate::state::KeyedState;
+use crate::state::{tuple_heap_bytes, KeyedState, StateOptions};
 
 /// A delta-batch processor. `port` distinguishes the inputs of binary
 /// operators (0 = left, 1 = right).
@@ -28,6 +28,17 @@ pub trait DeltaOp: std::fmt::Debug {
     /// their empty-input row here).
     fn initial(&mut self) -> DeltaBatch {
         DeltaBatch::new()
+    }
+
+    /// Resident bytes held by this operator's state (0 for stateless
+    /// operators).
+    fn state_bytes(&self) -> usize {
+        0
+    }
+
+    /// Bytes this operator has paged out to the spill tier.
+    fn spilled_bytes(&self) -> usize {
+        0
     }
 
     /// Single-delta convenience over [`DeltaOp::process_batch`], for
@@ -100,12 +111,21 @@ pub struct JoinOp {
 }
 
 impl JoinOp {
+    /// Columnar-layout join state (the engine default).
     pub fn new(keys: Vec<(usize, usize)>, residual: Option<BoundExpr>) -> Self {
+        JoinOp::with_options(keys, residual, &StateOptions::default())
+    }
+
+    pub fn with_options(
+        keys: Vec<(usize, usize)>,
+        residual: Option<BoundExpr>,
+        opts: &StateOptions,
+    ) -> Self {
         JoinOp {
             keys,
             residual,
-            left: KeyedState::new(),
-            right: KeyedState::new(),
+            left: KeyedState::with_options(opts),
+            right: KeyedState::with_options(opts),
         }
     }
 
@@ -141,7 +161,7 @@ impl DeltaOp for JoinOp {
             let other = if is_left { &self.right } else { &self.left };
             for (match_tuple, mult) in other.get(&key) {
                 let joined = if is_left {
-                    delta.tuple.join(match_tuple)
+                    delta.tuple.join(&match_tuple)
                 } else {
                     match_tuple.join(&delta.tuple)
                 };
@@ -157,6 +177,14 @@ impl DeltaOp for JoinOp {
             }
         }
         Ok(out)
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.left.state_bytes() + self.right.state_bytes()
+    }
+
+    fn spilled_bytes(&self) -> usize {
+        self.left.spilled_bytes() + self.right.spilled_bytes()
     }
 }
 
@@ -334,6 +362,28 @@ impl DeltaOp for AggregateOp {
             },
         );
         DeltaBatch::from(vec![Delta::insert(tuple)])
+    }
+
+    fn state_bytes(&self) -> usize {
+        // Walked on demand (telemetry cadence), not per delta: group
+        // count is bounded by distinct keys, not input volume.
+        self.groups
+            .iter()
+            .map(|(key, state)| {
+                let mut b = 48; // map entry + GroupState header
+                b += std::mem::size_of::<Value>() * key.len();
+                for v in key {
+                    if let Value::Text(s) = v {
+                        b += s.len();
+                    }
+                }
+                b += std::mem::size_of::<AggAccumulator>() * state.accs.len();
+                if let Some(t) = &state.last_output {
+                    b += tuple_heap_bytes(t);
+                }
+                b
+            })
+            .sum()
     }
 }
 

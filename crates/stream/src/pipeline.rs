@@ -13,6 +13,7 @@ use aspen_types::{AspenError, Result, SchemaRef, SimTime, SourceId, Tuple};
 use crate::delta::DeltaBatch;
 use crate::operators::{AggregateOp, DeltaOp, FilterOp, JoinOp, ProjectOp, UnionOp};
 use crate::sink::Sink;
+use crate::state::StateOptions;
 use crate::trace::{OpKind, OpProfile};
 use crate::window::WindowOp;
 
@@ -81,10 +82,17 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
+    /// Compile a plan with default (columnar) state options.
+    pub fn compile(plan: &LogicalPlan) -> Result<Pipeline> {
+        Pipeline::compile_with(plan, &StateOptions::default())
+    }
+
     /// Compile a plan. Sort/Limit/Output must appear only at the top
     /// (which is how the binder builds plans); RecursiveRef is rejected —
     /// recursive views compile through `recursive::RecursiveView` instead.
-    pub fn compile(plan: &LogicalPlan) -> Result<Pipeline> {
+    /// `opts` selects the physical layout (and spill policy) of every
+    /// stateful operator — window buffers and join state.
+    pub fn compile_with(plan: &LogicalPlan, opts: &StateOptions) -> Result<Pipeline> {
         // Peel presentation operators off the top.
         let mut sort_keys = Vec::new();
         let mut limit = None;
@@ -122,7 +130,7 @@ impl Pipeline {
             timed: false,
             drag: None,
         };
-        pipeline.build(core, None)?;
+        pipeline.build(core, None, opts)?;
         Ok(pipeline)
     }
 
@@ -169,12 +177,12 @@ impl Pipeline {
         self.scans.iter().any(|s| s.window.needs_clock())
     }
 
-    fn build(&mut self, plan: &LogicalPlan, parent: Attach) -> Result<()> {
+    fn build(&mut self, plan: &LogicalPlan, parent: Attach, opts: &StateOptions) -> Result<()> {
         match plan {
             LogicalPlan::Scan { rel } => {
                 self.scans.push(ScanEntry {
                     source: rel.meta.id,
-                    window: WindowOp::new(rel.window),
+                    window: WindowOp::with_options(rel.window, opts),
                     attach: parent,
                 });
                 Ok(())
@@ -187,7 +195,7 @@ impl Pipeline {
                     parent,
                     OpKind::Filter,
                 );
-                self.build(input, Some((idx, 0)))
+                self.build(input, Some((idx, 0)), opts)
             }
             LogicalPlan::Project { input, exprs, .. } => {
                 let idx = self.push_node(
@@ -197,7 +205,7 @@ impl Pipeline {
                     parent,
                     OpKind::Project,
                 );
-                self.build(input, Some((idx, 0)))
+                self.build(input, Some((idx, 0)), opts)
             }
             LogicalPlan::Join {
                 left,
@@ -207,12 +215,12 @@ impl Pipeline {
                 ..
             } => {
                 let idx = self.push_node(
-                    Box::new(JoinOp::new(keys.clone(), residual.clone())),
+                    Box::new(JoinOp::with_options(keys.clone(), residual.clone(), opts)),
                     parent,
                     OpKind::Join,
                 );
-                self.build(left, Some((idx, 0)))?;
-                self.build(right, Some((idx, 1)))
+                self.build(left, Some((idx, 0)), opts)?;
+                self.build(right, Some((idx, 1)), opts)
             }
             LogicalPlan::Aggregate {
                 input, group, aggs, ..
@@ -222,12 +230,12 @@ impl Pipeline {
                     parent,
                     OpKind::Aggregate,
                 );
-                self.build(input, Some((idx, 0)))
+                self.build(input, Some((idx, 0)), opts)
             }
             LogicalPlan::Union { inputs, .. } => {
                 let idx = self.push_node(Box::new(UnionOp), parent, OpKind::Union);
                 for (port, i) in inputs.iter().enumerate() {
-                    self.build(i, Some((idx, port)))?;
+                    self.build(i, Some((idx, port)), opts)?;
                 }
                 Ok(())
             }
@@ -334,6 +342,23 @@ impl Pipeline {
     /// for a tapped query — its windowing happens on the shared chain.
     pub fn buffered_window_tuples(&self) -> usize {
         self.scans.iter().map(|s| s.window.live()).sum()
+    }
+
+    /// Resident bytes held by this pipeline's stateful stages: window
+    /// buffers plus every operator's private state (join sides,
+    /// aggregate groups). Measured for columnar state, estimated for
+    /// row state.
+    pub fn state_bytes(&self) -> usize {
+        let windows: usize = self.scans.iter().map(|s| s.window.state_bytes()).sum();
+        let ops: usize = self.nodes.iter().map(|n| n.op.state_bytes()).sum();
+        windows + ops
+    }
+
+    /// Bytes this pipeline has paged out to the spill tier.
+    pub fn spilled_bytes(&self) -> usize {
+        let windows: usize = self.scans.iter().map(|s| s.window.spilled_bytes()).sum();
+        let ops: usize = self.nodes.iter().map(|n| n.op.spilled_bytes()).sum();
+        windows + ops
     }
 
     /// Feed a signed batch (view maintenance output, table updates) from

@@ -6,11 +6,15 @@
 //! the standard fan-out, and a deliberately skewed workload is worse.
 //! The [`RebalanceController`] watches successive [`TelemetryReport`]s,
 //! diffs per-query `ops_invoked` into a *windowed* load (so a query
-//! that was hot an hour ago but is idle now carries no weight), and
-//! when the windowed balance ratio stays above the threshold for
-//! `patience` consecutive observations it plans greedy migrations:
-//! repeatedly move the heaviest movable query from the hottest shard to
-//! the coolest one, as long as the move shrinks the hot/cool gap.
+//! that was hot an hour ago but is idle now carries no weight), blends
+//! it with each shard's resident-state *bytes* gauge (weighted by
+//! [`RebalanceConfig::bytes_weight`]), and when the blended balance
+//! ratio stays above the threshold for `patience` consecutive
+//! observations it plans greedy migrations: repeatedly move the
+//! heaviest movable query from the hottest shard to the coolest one,
+//! as long as the move shrinks the hot/cool gap. The bytes term means
+//! a memory-fat shard drains even when operator counts are balanced —
+//! state size is a first-class placement signal, not just CPU.
 //!
 //! The controller only *plans*; `ShardedEngine::migrate` executes. A
 //! migration moves the live `QueryRuntime` — pipeline state, sink, push
@@ -55,6 +59,14 @@ pub struct RebalanceConfig {
     /// lagging shard still participates in (and can still trigger)
     /// rebalancing instead of starving the controller forever.
     pub max_lag: u64,
+    /// Weight of resident-state bytes in the blended per-shard score.
+    /// Each shard (and each query) scores `ops_fraction + bytes_weight ×
+    /// bytes_fraction`, both fractions of the engine-wide totals, so the
+    /// weight is scale-free: 1.0 values a shard holding all the bytes
+    /// exactly like one doing all the CPU work, and a memory-fat shard
+    /// drains even when operator counts are perfectly balanced. 0.0
+    /// restores pure CPU-based planning.
+    pub bytes_weight: f64,
 }
 
 impl Default for RebalanceConfig {
@@ -65,6 +77,7 @@ impl Default for RebalanceConfig {
             max_moves: 4,
             interval_boundaries: 32,
             max_lag: 64,
+            bytes_weight: 1.0,
         }
     }
 }
@@ -122,11 +135,43 @@ impl RebalanceController {
         // resets). Stale shards' loads are aged before judging.
         let mut window = report.window_since_marks(&prev);
         self.age_stale_shards(report, &mut window);
-        if window.total_ops() == 0 {
+        // Blended load: each shard (and query) scores its *fraction* of
+        // the engine's windowed ops plus `bytes_weight` times its
+        // fraction of the engine's resident-state bytes. Bytes are
+        // gauges, not windowed counters, so they are read straight off
+        // the report — a shard fat with retained window/join state
+        // scores hot even when per-batch operator counts are perfectly
+        // even, which is exactly the shard an OOM kills first. With
+        // zero bytes everywhere the score degenerates to pure ops
+        // fractions, i.e. the classic CPU-only planner.
+        let total_ops = window.total_ops();
+        let total_bytes: u64 = window.shard_bytes.iter().sum();
+        if total_ops == 0 && total_bytes == 0 {
             self.skewed_streak = 0;
             return Vec::new();
         }
-        if window.balance_ratio() <= self.config.threshold {
+        let bytes_weight = self.config.bytes_weight.max(0.0);
+        let score = |ops: u64, bytes: u64| -> f64 {
+            let mut s = 0.0;
+            if total_ops > 0 {
+                s += ops as f64 / total_ops as f64;
+            }
+            if total_bytes > 0 {
+                s += bytes_weight * (bytes as f64 / total_bytes as f64);
+            }
+            s
+        };
+        let mut loads: Vec<f64> = (0..n)
+            .map(|i| score(window.shard_loads[i], window.shard_bytes[i]))
+            .collect();
+        let total_score: f64 = loads.iter().sum();
+        let hottest = loads.iter().copied().fold(0.0_f64, f64::max);
+        let ratio = if total_score > 0.0 {
+            hottest / (total_score / n as f64)
+        } else {
+            1.0
+        };
+        if ratio <= self.config.threshold {
             self.skewed_streak = 0;
             return Vec::new();
         }
@@ -139,18 +184,22 @@ impl RebalanceController {
         // Greedy planning: heaviest movable query off the hottest shard
         // onto the coolest, while each move strictly shrinks the
         // hot/cool gap. Paused queries carry no load and stay put.
-        let mut loads = window.shard_loads.clone();
-        let mut movable: Vec<(QueryId, usize, u64)> = window
+        let mut movable: Vec<(QueryId, usize, f64)> = window
             .queries
             .iter()
-            .filter(|q| !q.paused && q.ops > 0)
-            .map(|q| (q.query, q.shard, q.ops))
+            .filter(|q| !q.paused)
+            .map(|q| (q.query, q.shard, score(q.ops, q.bytes)))
+            .filter(|&(_, _, w)| w > 0.0)
             .collect();
-        movable.sort_by(|a, b| b.2.cmp(&a.2).then(a.0 .0.cmp(&b.0 .0)));
+        movable.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0 .0.cmp(&b.0 .0)));
         let mut moves = Vec::new();
         for _ in 0..self.config.max_moves {
-            let hot = (0..n).max_by_key(|&i| loads[i]).expect("n >= 2");
-            let cool = (0..n).min_by_key(|&i| loads[i]).expect("n >= 2");
+            let hot = (0..n)
+                .max_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+                .expect("n >= 2");
+            let cool = (0..n)
+                .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+                .expect("n >= 2");
             let gap = loads[hot] - loads[cool];
             // Only moves of at most half the gap are taken: the donor
             // stays at least as loaded as the recipient, so the gap
@@ -158,7 +207,7 @@ impl RebalanceController {
             // query between two shards.
             let Some(pick) = movable
                 .iter_mut()
-                .find(|(_, shard, w)| *shard == hot && *w * 2 <= gap)
+                .find(|(_, shard, w)| *shard == hot && *w * 2.0 <= gap)
             else {
                 break;
             };
@@ -397,6 +446,90 @@ mod tests {
                 query: QueryId(1),
                 from: 0,
                 to: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn memory_fat_shard_drains_despite_balanced_ops() {
+        use crate::telemetry::report_from_rows_bytes as report_bytes;
+        // Ops are perfectly even (300 per shard) — a CPU-only planner
+        // sees ratio 1.0 and never acts. But shard 0 holds 6 MB of
+        // resident state against 2 MB elsewhere, so the blended score
+        // makes it hot: 300/900 + 6/10 ≈ 0.93 vs 0.53, ratio 1.4.
+        let rows = [
+            (0u32, 0usize, 50u64, 1_000_000u64),
+            (1, 0, 50, 1_000_000),
+            (2, 0, 50, 1_000_000),
+            (3, 0, 50, 1_000_000),
+            (4, 0, 50, 1_000_000),
+            (5, 0, 50, 1_000_000),
+            (6, 1, 300, 2_000_000),
+            (7, 2, 300, 2_000_000),
+        ];
+        let zeros: Vec<_> = rows.iter().map(|&(q, s, _, b)| (q, s, 0, b)).collect();
+        let mut c = eager();
+        c.observe(&report_bytes(&zeros));
+        let moves = c.observe(&report_bytes(&rows));
+        // Each shard-0 query scores 50/900 + 1/10 ≈ 0.156; twice that
+        // fits the 0.4 gap, so the planner drains one (lowest id wins
+        // the tie) onto a cool shard — the memory-fat shard sheds both
+        // ops and bytes.
+        assert_eq!(
+            moves,
+            vec![Migration {
+                query: QueryId(0),
+                from: 0,
+                to: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn zero_bytes_weight_restores_cpu_only_planning() {
+        use crate::telemetry::report_from_rows_bytes as report_bytes;
+        let mut c = RebalanceController::new(RebalanceConfig {
+            threshold: 1.05,
+            patience: 1,
+            max_moves: 4,
+            interval_boundaries: 1,
+            bytes_weight: 0.0,
+            ..Default::default()
+        });
+        // Same byte-skewed, ops-balanced fixture: with the bytes term
+        // switched off the blended ratio collapses to the ops ratio
+        // (1.0), so no move is planned.
+        let rows = [
+            (0u32, 0usize, 300u64, 6_000_000u64),
+            (1, 1, 300, 2_000_000),
+            (2, 2, 300, 2_000_000),
+        ];
+        let zeros: Vec<_> = rows.iter().map(|&(q, s, _, b)| (q, s, 0, b)).collect();
+        c.observe(&report_bytes(&zeros));
+        let moves = c.observe(&report_bytes(&rows));
+        assert!(moves.is_empty(), "{moves:?}");
+    }
+
+    #[test]
+    fn idle_engine_with_byte_skew_still_rebalances() {
+        use crate::telemetry::report_from_rows_bytes as report_bytes;
+        // No windowed ops at all — only retained state. Bytes are a
+        // gauge, so pressure alone (4 MB + 1 MB vs 1 MB) justifies
+        // draining the fat shard; the 1 MB query fits half the gap.
+        let rows = [
+            (0u32, 0usize, 0u64, 4_000_000u64),
+            (1, 0, 0, 1_000_000),
+            (2, 1, 0, 1_000_000),
+        ];
+        let mut c = eager();
+        c.observe(&report_bytes(&rows));
+        let moves = c.observe(&report_bytes(&rows));
+        assert_eq!(
+            moves,
+            vec![Migration {
+                query: QueryId(1),
+                from: 0,
+                to: 1
             }]
         );
     }

@@ -35,6 +35,7 @@ use crate::delta::DeltaBatch;
 use crate::executor::Scheduling;
 use crate::rebalance::RebalanceConfig;
 use crate::shard::QueryHandle;
+use crate::state::{SpillConfig, StateLayout, StateOptions};
 
 /// Construction-time engine configuration. Replaces the old pattern of
 /// building an engine and then mutating toggles (`set_parallel_ingest`)
@@ -70,6 +71,12 @@ pub struct EngineConfig {
     /// contexts, pipelines clock per-operator busy time, the executor
     /// records queue waits.
     tracing: Option<bool>,
+    /// Physical layout of operator state (`None` = columnar): window
+    /// buffers, join sides, and retained tables.
+    state_layout: Option<StateLayout>,
+    /// Spill tier for columnar state (`None` = stay resident): cold
+    /// sealed segments page to disk past the threshold.
+    spill: Option<SpillConfig>,
 }
 
 impl EngineConfig {
@@ -162,6 +169,31 @@ impl EngineConfig {
     pub fn tracing(mut self, on: bool) -> Self {
         self.tracing = Some(on);
         self
+    }
+
+    /// Pin the physical layout of operator state (default columnar).
+    /// `StateLayout::Row` restores the pre-columnar HashMap layout —
+    /// the E20 bench's baseline and the reference in the row-vs-columnar
+    /// equivalence properties.
+    pub fn state_layout(mut self, layout: StateLayout) -> Self {
+        self.state_layout = Some(layout);
+        self
+    }
+
+    /// Enable the spill tier: columnar state pages cold sealed segments
+    /// to files under `dir` whenever a store's resident bytes exceed
+    /// `threshold_bytes`. Reads fault segments in transiently; results
+    /// are unchanged. Ignored under `StateLayout::Row`.
+    pub fn spill(mut self, threshold_bytes: usize, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.spill = Some(SpillConfig::new(threshold_bytes, dir));
+        self
+    }
+
+    pub(crate) fn resolve_state_options(&self) -> StateOptions {
+        StateOptions {
+            layout: self.state_layout.unwrap_or_default(),
+            spill: self.spill.clone(),
+        }
     }
 
     pub(crate) fn shard_count(&self) -> usize {

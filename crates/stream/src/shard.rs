@@ -97,7 +97,7 @@ use crate::session::{
     SessionId, SharedQueue, SubscriptionQueue,
 };
 use crate::sink::Sink;
-use crate::state::BagState;
+use crate::state::{BagState, StateOptions};
 use crate::telemetry::{QueryLoad, ShardLoad, ShardMeters, TelemetryReport};
 use crate::trace::{now_us, OpProfile, Span, SpanJournal, SpanKind, TraceCtx};
 use crate::window::WindowOp;
@@ -120,6 +120,14 @@ pub struct ResidentState {
     pub shared_chains: usize,
     /// Queries currently fed through a chain tap.
     pub shared_taps: usize,
+    /// Resident operator-state bytes across the engine: pipeline state
+    /// (windows, join sides, aggregate groups), shared chain windows,
+    /// and the retained table store. Measured for columnar state,
+    /// estimated for row state — the E20 bench's reduction metric.
+    pub state_bytes: usize,
+    /// Bytes currently paged out to the spill tier (disjoint from
+    /// `state_bytes`).
+    pub spilled_bytes: usize,
 }
 
 /// One placed continuous query: its operator pipeline plus result sink.
@@ -682,9 +690,9 @@ impl EngineShard {
     /// chain if this is the first tap. The new tap's debt records the
     /// chain window's current live multiset — the tuples whose future
     /// retractions belong to older taps.
-    fn attach_tap(&mut self, qid: QueryId, key: ChainKey) {
+    fn attach_tap(&mut self, qid: QueryId, key: ChainKey, opts: &StateOptions) {
         let chain = self.chains.entry(key).or_insert_with(|| SharedChain {
-            window: WindowOp::new(key.1),
+            window: WindowOp::with_options(key.1, opts),
             taps: Vec::new(),
         });
         let mut debt: HashMap<Tuple, i64> = HashMap::new();
@@ -803,6 +811,9 @@ pub struct ShardedEngine {
     /// Sampled span journal: admissions (1-in-16), migrations,
     /// rebalance decisions, knob retunes.
     journal: SpanJournal,
+    /// Physical layout + spill policy for every stateful operator
+    /// ([`EngineConfig::state_layout`] / [`EngineConfig::spill`]).
+    state_opts: StateOptions,
 }
 
 impl ShardedEngine {
@@ -851,6 +862,7 @@ impl ShardedEngine {
             node_id: 0,
             next_batch: 0,
             journal: SpanJournal::default(),
+            state_opts: config.resolve_state_options(),
         }
     }
 
@@ -1033,8 +1045,13 @@ impl ShardedEngine {
             let (submitted, applied) = self.exec.watermark(i);
             let shard = self.shard(i).lock();
             let mut ops = 0u64;
+            let mut state_bytes = 0u64;
+            let mut spilled_bytes = 0u64;
             for (qid, rt) in &shard.queries {
                 ops += rt.pipeline.ops_invoked;
+                let q_bytes = rt.pipeline.state_bytes() as u64;
+                state_bytes += q_bytes;
+                spilled_bytes += rt.pipeline.spilled_bytes() as u64;
                 profile.merge(&rt.pipeline.profile);
                 if let Some(&j) = slot.get(qid) {
                     let meta = &self.queries[qid];
@@ -1048,8 +1065,15 @@ impl ShardedEngine {
                         push_batches: rt.sink.push_batches_delivered(),
                         shared: shard.tapped.contains_key(qid),
                         latency: rt.sink.latency.clone(),
+                        state_bytes: q_bytes,
                     });
                 }
+            }
+            for chain in shard.chains.values() {
+                // Shared window state is shard residency, charged once —
+                // never once per tap (mirrors the ops attribution rule).
+                state_bytes += chain.window.state_bytes() as u64;
+                spilled_bytes += chain.window.spilled_bytes() as u64;
             }
             let (shared_chains, shared_taps) = shard.sharing_counts();
             shards.push(ShardLoad {
@@ -1064,6 +1088,8 @@ impl ShardedEngine {
                 watermark: applied,
                 lag: submitted.saturating_sub(applied),
                 queue_wait: shard.meters.queue_wait.clone(),
+                state_bytes,
+                spilled_bytes,
             });
         }
         TelemetryReport {
@@ -1244,7 +1270,7 @@ impl ShardedEngine {
         max_delay: Option<SimDuration>,
         auto: bool,
     ) -> Result<QueryHandle> {
-        let mut pipeline = Pipeline::compile(&plan)?;
+        let mut pipeline = Pipeline::compile_with(&plan, &self.state_opts)?;
         pipeline.timed = self.tracing;
         if delivery == Delivery::Push {
             Self::check_push_compatible(&pipeline)?;
@@ -1284,7 +1310,7 @@ impl ShardedEngine {
             }
             shard.queries.insert(qid, QueryRuntime { pipeline, sink });
             if let Some(key) = share_key {
-                shard.attach_tap(qid, key);
+                shard.attach_tap(qid, key, &self.state_opts);
             }
         }
         self.queries.insert(
@@ -1557,7 +1583,7 @@ impl ShardedEngine {
         // All fallible work happens before the shard is touched, so a
         // failed resume (compile/replay error) leaves the query paused
         // and fully intact rather than half-rebuilt.
-        let mut pipeline = Pipeline::compile(&plan)?;
+        let mut pipeline = Pipeline::compile_with(&plan, &self.state_opts)?;
         pipeline.timed = self.tracing;
         let mut sink = pipeline.make_sink();
         pipeline.start(&mut sink)?;
@@ -1585,7 +1611,7 @@ impl ShardedEngine {
         let replayed_deltas = sink.deltas_applied;
         shard.queries.insert(q.0, QueryRuntime { pipeline, sink });
         if let Some(key) = self.share_candidate(&plan) {
-            shard.attach_tap(q.0, key);
+            shard.attach_tap(q.0, key, &self.state_opts);
         }
         drop(shard);
 
@@ -2105,7 +2131,11 @@ impl ShardedEngine {
             // Retain table contents for replay at admission time, so a
             // late registration never races the shard queues.
             if matches!(meta.kind, SourceKind::Table) {
-                slice.tables.entry(src).or_default().insert_all(tuples);
+                slice
+                    .tables
+                    .entry(src)
+                    .or_insert_with(|| BagState::with_options(&self.state_opts))
+                    .insert_all(tuples);
             }
             slice.fanout(src)
         };
@@ -2145,7 +2175,11 @@ impl ShardedEngine {
             let mut slice = self.slices[self.slice_of(src)].lock();
             *slice.tuples_in.entry(src).or_insert(0) += deltas.len() as u64;
             if matches!(meta.kind, SourceKind::Table) {
-                slice.tables.entry(src).or_default().apply(deltas);
+                slice
+                    .tables
+                    .entry(src)
+                    .or_insert_with(|| BagState::with_options(&self.state_opts))
+                    .apply(deltas);
             }
             slice.fanout(src)
         };
@@ -2312,13 +2346,24 @@ impl ShardedEngine {
             for rt in shard.queries.values() {
                 out.operators += rt.pipeline.node_count();
                 out.window_tuples += rt.pipeline.buffered_window_tuples();
+                out.state_bytes += rt.pipeline.state_bytes();
+                out.spilled_bytes += rt.pipeline.spilled_bytes();
             }
             for chain in shard.chains.values() {
                 out.window_tuples += chain.window.live();
+                out.state_bytes += chain.window.state_bytes();
+                out.spilled_bytes += chain.window.spilled_bytes();
             }
             let (chains, taps) = shard.sharing_counts();
             out.shared_chains += chains;
             out.shared_taps += taps;
+        }
+        for slice in &self.slices {
+            let slice = slice.lock();
+            for table in slice.tables.values() {
+                out.state_bytes += table.state_bytes();
+                out.spilled_bytes += table.spilled_bytes();
+            }
         }
         out
     }

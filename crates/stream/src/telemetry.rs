@@ -77,6 +77,11 @@ pub struct QueryLoad {
     /// reached this query's sink (empty with tracing off). Lives in the
     /// sink, so it migrates with the query like the counters do.
     pub latency: LatencyHistogram,
+    /// Resident bytes of this query's own operator state (window
+    /// buffers, join sides, aggregate groups) — a gauge, not a counter.
+    /// Measured for columnar state, estimated for row state; a tapped
+    /// query's shared window is accounted to the shard, not here.
+    pub state_bytes: u64,
 }
 
 /// Snapshot of one pool worker's cumulative load (empty outside the
@@ -127,6 +132,12 @@ pub struct ShardLoad {
     /// Distribution of admission→execution queue wait on this shard
     /// (empty with tracing off).
     pub queue_wait: LatencyHistogram,
+    /// Resident operator-state bytes on this shard: every owned query's
+    /// state plus each shared chain's window, counted once. A gauge.
+    pub state_bytes: u64,
+    /// Bytes this shard's columnar state has paged out to the spill
+    /// tier (also a gauge; disjoint from `state_bytes`).
+    pub spilled_bytes: u64,
 }
 
 /// One coherent observation of the whole engine, taken at a batch
@@ -213,6 +224,8 @@ impl TelemetryReport {
             watermark: 0,
             lag: 0,
             queue_wait: LatencyHistogram::new(),
+            state_bytes: 0,
+            spilled_bytes: 0,
         };
         for s in &self.shards {
             out.queries += s.queries;
@@ -225,6 +238,8 @@ impl TelemetryReport {
             out.watermark = out.watermark.max(s.watermark);
             out.lag = out.lag.max(s.lag);
             out.queue_wait.merge(&s.queue_wait);
+            out.state_bytes += s.state_bytes;
+            out.spilled_bytes += s.spilled_bytes;
         }
         out
     }
@@ -258,6 +273,7 @@ impl TelemetryReport {
     /// of a retained report.
     pub fn window_since_marks(&self, marks: &HashMap<QueryId, u64>) -> LoadWindow {
         let mut shard_loads = vec![0u64; self.shards.len()];
+        let mut shard_bytes = vec![0u64; self.shards.len()];
         let queries = self
             .queries
             .iter()
@@ -266,16 +282,22 @@ impl TelemetryReport {
                     .ops_invoked
                     .saturating_sub(marks.get(&q.query).copied().unwrap_or(0));
                 shard_loads[q.shard] += ops;
+                // Bytes are a gauge, not a counter: current residency is
+                // what a rebalance decision would actually move, so it is
+                // never diffed against the mark.
+                shard_bytes[q.shard] += q.state_bytes;
                 WindowedQueryLoad {
                     query: q.query,
                     shard: q.shard,
                     paused: q.paused,
                     ops,
+                    bytes: q.state_bytes,
                 }
             })
             .collect();
         LoadWindow {
             shard_loads,
+            shard_bytes,
             queries,
         }
     }
@@ -312,7 +334,7 @@ impl std::fmt::Display for ShardLoad {
         write!(
             f,
             "shard {}: {} queries, {} tuples in, {} ops, {} batches, \
-             {:.3}s busy, watermark {} (lag {})",
+             {:.3}s busy, watermark {} (lag {}), {} state bytes",
             self.shard,
             self.queries,
             self.tuples_in,
@@ -321,7 +343,11 @@ impl std::fmt::Display for ShardLoad {
             self.busy_seconds,
             self.watermark,
             self.lag,
+            self.state_bytes,
         )?;
+        if self.spilled_bytes > 0 {
+            write!(f, " (+{} spilled)", self.spilled_bytes)?;
+        }
         if !self.queue_wait.is_empty() {
             write!(f, ", queue wait p99 {} us", self.queue_wait.p99_us())?;
         }
@@ -370,6 +396,9 @@ pub struct WindowedQueryLoad {
     pub paused: bool,
     /// Operator invocations inside the window.
     pub ops: u64,
+    /// Resident state bytes at observation time (a gauge — the cost of
+    /// moving or keeping this query, not a rate).
+    pub bytes: u64,
 }
 
 /// Windowed load profile: one report diffed against an earlier one (see
@@ -378,6 +407,9 @@ pub struct WindowedQueryLoad {
 pub struct LoadWindow {
     /// Windowed ops per shard (queries grouped by current residence).
     pub shard_loads: Vec<u64>,
+    /// Resident state bytes per shard at observation time (gauges,
+    /// grouped by current residence like `shard_loads`).
+    pub shard_bytes: Vec<u64>,
     /// Windowed ops per query.
     pub queries: Vec<WindowedQueryLoad>,
 }
@@ -407,7 +439,16 @@ impl LoadWindow {
 /// tests so the fixture shape cannot drift between them.
 #[cfg(test)]
 pub(crate) fn report_from_rows(rows: &[(u32, usize, u64)]) -> TelemetryReport {
-    let n = rows.iter().map(|&(_, s, _)| s + 1).max().unwrap_or(1);
+    let with_bytes: Vec<(u32, usize, u64, u64)> =
+        rows.iter().map(|&(id, s, ops)| (id, s, ops, 0)).collect();
+    report_from_rows_bytes(&with_bytes)
+}
+
+/// [`report_from_rows`] with per-query resident-state bytes — the
+/// fixture for byte-aware rebalance tests.
+#[cfg(test)]
+pub(crate) fn report_from_rows_bytes(rows: &[(u32, usize, u64, u64)]) -> TelemetryReport {
+    let n = rows.iter().map(|&(_, s, _, _)| s + 1).max().unwrap_or(1);
     let mut shards: Vec<ShardLoad> = (0..n)
         .map(|i| ShardLoad {
             shard: i,
@@ -421,13 +462,16 @@ pub(crate) fn report_from_rows(rows: &[(u32, usize, u64)]) -> TelemetryReport {
             watermark: 0,
             lag: 0,
             queue_wait: LatencyHistogram::new(),
+            state_bytes: 0,
+            spilled_bytes: 0,
         })
         .collect();
     let queries = rows
         .iter()
-        .map(|&(id, shard, ops)| {
+        .map(|&(id, shard, ops, bytes)| {
             shards[shard].queries += 1;
             shards[shard].ops_invoked += ops;
+            shards[shard].state_bytes += bytes;
             QueryLoad {
                 query: QueryId(id),
                 shard,
@@ -438,6 +482,7 @@ pub(crate) fn report_from_rows(rows: &[(u32, usize, u64)]) -> TelemetryReport {
                 push_batches: 0,
                 shared: false,
                 latency: LatencyHistogram::new(),
+                state_bytes: bytes,
             }
         })
         .collect();

@@ -6,12 +6,78 @@
 //! view of "the window as of now". `ROWS n` windows retract eagerly on
 //! overflow instead. Ingest is batch-oriented: a whole source batch is
 //! folded into one output [`DeltaBatch`] before anything propagates.
+//!
+//! The buffer is layout-dual: engine-built windows default to a
+//! [`ColumnarDeque`] (per-column storage, measured bytes, optional
+//! spill of cold segments), while `WindowOp::new` keeps the row
+//! `VecDeque` for direct construction. Expiry checks only touch the
+//! always-resident timestamp column, so a spilled window never faults
+//! segments in just to discover nothing expired.
 
 use std::collections::{HashMap, VecDeque};
 
 use aspen_types::{SimTime, Tuple, WindowSpec};
 
 use crate::delta::DeltaBatch;
+use crate::state::{ColumnarDeque, StateLayout, StateOptions};
+
+/// Layout-dual arrival-ordered tuple buffer.
+#[derive(Debug)]
+enum Buffer {
+    Row(VecDeque<Tuple>),
+    Col(ColumnarDeque),
+}
+
+impl Buffer {
+    fn len(&self) -> usize {
+        match self {
+            Buffer::Row(b) => b.len(),
+            Buffer::Col(c) => c.len(),
+        }
+    }
+
+    fn push_back(&mut self, tuple: Tuple) {
+        match self {
+            Buffer::Row(b) => b.push_back(tuple),
+            Buffer::Col(c) => c.push_back(&tuple),
+        }
+    }
+
+    fn pop_front(&mut self) -> Option<Tuple> {
+        match self {
+            Buffer::Row(b) => b.pop_front(),
+            Buffer::Col(c) => c.pop_front(),
+        }
+    }
+
+    fn front_ts(&self) -> Option<SimTime> {
+        match self {
+            Buffer::Row(b) => b.front().map(|t| t.timestamp()),
+            Buffer::Col(c) => c.front_ts(),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<Tuple> {
+        match self {
+            Buffer::Row(b) => b.iter().cloned().collect(),
+            Buffer::Col(c) => c.snapshot(),
+        }
+    }
+
+    fn drain_all(&mut self) -> Vec<Tuple> {
+        match self {
+            Buffer::Row(b) => b.drain(..).collect(),
+            Buffer::Col(c) => c.drain(),
+        }
+    }
+
+    fn empty_like(&self) -> Buffer {
+        match self {
+            Buffer::Row(_) => Buffer::Row(VecDeque::new()),
+            Buffer::Col(c) => Buffer::Col(ColumnarDeque::new(c.spill_config())),
+        }
+    }
+}
 
 /// Stateful window maintenance for one scan.
 #[derive(Debug)]
@@ -19,16 +85,25 @@ pub struct WindowOp {
     spec: WindowSpec,
     /// Live tuples in arrival order (timestamps are nondecreasing per
     /// source, enforced by the engine).
-    buffer: VecDeque<Tuple>,
+    buffer: Buffer,
     /// Current pane index for tumbling windows.
     pane: Option<u64>,
 }
 
 impl WindowOp {
+    /// Row-layout window (the legacy default for direct construction).
     pub fn new(spec: WindowSpec) -> Self {
+        WindowOp::with_options(spec, &StateOptions::row())
+    }
+
+    pub fn with_options(spec: WindowSpec, opts: &StateOptions) -> Self {
+        let buffer = match opts.layout {
+            StateLayout::Row => Buffer::Row(VecDeque::new()),
+            StateLayout::Columnar => Buffer::Col(ColumnarDeque::new(opts.spill.clone())),
+        };
         WindowOp {
             spec,
-            buffer: VecDeque::new(),
+            buffer,
             pane: None,
         }
     }
@@ -42,29 +117,47 @@ impl WindowOp {
         self.buffer.len()
     }
 
+    /// Resident bytes held by the buffer (measured for the columnar
+    /// layout, estimated for the row layout).
+    pub fn state_bytes(&self) -> usize {
+        match &self.buffer {
+            Buffer::Row(b) => b.iter().map(crate::state::tuple_heap_bytes).sum(),
+            Buffer::Col(c) => c.state_bytes(),
+        }
+    }
+
+    /// Bytes paged out to the spill tier.
+    pub fn spilled_bytes(&self) -> usize {
+        match &self.buffer {
+            Buffer::Row(_) => 0,
+            Buffer::Col(c) => c.spilled_bytes(),
+        }
+    }
+
     /// The live tuples in arrival order. A shared-subplan tap records
     /// this multiset as its *debt* at attach time: retractions of these
     /// tuples belong to taps that saw the matching insertions.
-    pub fn buffered(&self) -> impl Iterator<Item = &Tuple> {
-        self.buffer.iter()
+    pub fn buffered(&self) -> Vec<Tuple> {
+        self.buffer.snapshot()
     }
 
     /// Fork this window minus a debt multiset: the private window a tap
     /// demotes to (e.g. before migration). Arrival order, the tumbling
-    /// pane, and the spec are preserved; each debt count removes that
-    /// many *oldest* instances of the tuple — exactly the instances
-    /// whose retractions the tap would have suppressed.
+    /// pane, the spec, *and the layout* (including any spill config) are
+    /// preserved; each debt count removes that many *oldest* instances
+    /// of the tuple — exactly the instances whose retractions the tap
+    /// would have suppressed.
     pub fn fork_without(&self, debt: &HashMap<Tuple, i64>) -> WindowOp {
         let mut owed = debt.clone();
-        let mut buffer = VecDeque::with_capacity(self.buffer.len());
-        for t in &self.buffer {
-            if let Some(c) = owed.get_mut(t) {
+        let mut buffer = self.buffer.empty_like();
+        for t in self.buffer.snapshot() {
+            if let Some(c) = owed.get_mut(&t) {
                 if *c > 0 {
                     *c -= 1;
                     continue;
                 }
             }
-            buffer.push_back(t.clone());
+            buffer.push_back(t);
         }
         WindowOp {
             spec: self.spec,
@@ -116,7 +209,7 @@ impl WindowOp {
                 if let Some(current) = self.pane {
                     if pane != current {
                         // Pane rollover: retract the entire previous pane.
-                        while let Some(old) = self.buffer.pop_front() {
+                        for old in self.buffer.drain_all() {
                             out.push_retract(old);
                         }
                     }
@@ -133,8 +226,8 @@ impl WindowOp {
     pub fn advance(&mut self, now: SimTime, out: &mut DeltaBatch) {
         match self.spec {
             WindowSpec::Range(_) => {
-                while let Some(front) = self.buffer.front() {
-                    if self.spec.contains(front.timestamp(), now) {
+                while let Some(front_ts) = self.buffer.front_ts() {
+                    if self.spec.contains(front_ts, now) {
                         break;
                     }
                     let expired = self.buffer.pop_front().expect("nonempty");
@@ -148,7 +241,7 @@ impl WindowOp {
                 let now_pane = now.as_micros() / w.as_micros();
                 if let Some(current) = self.pane {
                     if now_pane > current {
-                        while let Some(old) = self.buffer.pop_front() {
+                        for old in self.buffer.drain_all() {
                             out.push_retract(old);
                         }
                         self.pane = Some(now_pane);
@@ -245,9 +338,8 @@ mod tests {
         assert!(!WindowOp::new(WindowSpec::Unbounded).needs_clock());
     }
 
-    #[test]
-    fn fork_without_drops_oldest_debt_instances() {
-        let mut w = WindowOp::new(WindowSpec::Range(SimDuration::from_secs(100)));
+    fn fork_without_drops_oldest_debt_instances_impl(opts: &StateOptions) {
+        let mut w = WindowOp::with_options(WindowSpec::Range(SimDuration::from_secs(100)), opts);
         let mut out = DeltaBatch::new();
         // Two identical instances of t(1, 0) plus one t(2, 1).
         w.insert_batch(&[t(1, 0), t(1, 0), t(2, 1)], &mut out);
@@ -255,8 +347,7 @@ mod tests {
         debt.insert(t(1, 0), 1i64);
         let forked = w.fork_without(&debt);
         assert_eq!(forked.live(), 2, "one owed instance removed");
-        let kept: Vec<Tuple> = forked.buffered().cloned().collect();
-        assert_eq!(kept, vec![t(1, 0), t(2, 1)]);
+        assert_eq!(forked.buffered(), vec![t(1, 0), t(2, 1)]);
         assert_eq!(w.live(), 3, "the source window is untouched");
         // A forked window expires exactly what it kept.
         let mut forked = forked;
@@ -266,6 +357,47 @@ mod tests {
         out.clear();
         forked.advance(SimTime::from_secs(101), &mut out);
         assert_eq!(out.len(), 1, "then the ts=1 tuple");
+    }
+
+    #[test]
+    fn fork_without_drops_oldest_debt_instances() {
+        fork_without_drops_oldest_debt_instances_impl(&StateOptions::row());
+    }
+
+    #[test]
+    fn fork_without_drops_oldest_debt_instances_columnar() {
+        // The columnar buffer must honor the same debt semantics: the
+        // oldest live row of the owed tuple is skipped, arrival order of
+        // the rest is preserved, and the fork keeps the columnar layout.
+        fork_without_drops_oldest_debt_instances_impl(&StateOptions::columnar());
+    }
+
+    #[test]
+    fn columnar_window_tracks_row_window_through_churn() {
+        let opts = StateOptions::columnar();
+        for spec in [
+            WindowSpec::Rows(3),
+            WindowSpec::Range(SimDuration::from_secs(7)),
+            WindowSpec::Tumbling(SimDuration::from_secs(5)),
+        ] {
+            let mut row = WindowOp::new(spec);
+            let mut col = WindowOp::with_options(spec, &opts);
+            for i in 0..64u64 {
+                let mut ro = DeltaBatch::new();
+                let mut co = DeltaBatch::new();
+                row.insert(t(i as i64 % 6, i), &mut ro);
+                col.insert(t(i as i64 % 6, i), &mut co);
+                assert_eq!(ro.as_slice(), co.as_slice(), "{spec:?} insert {i}");
+                if i % 4 == 3 {
+                    ro.clear();
+                    co.clear();
+                    row.advance(SimTime::from_secs(i + 1), &mut ro);
+                    col.advance(SimTime::from_secs(i + 1), &mut co);
+                    assert_eq!(ro.as_slice(), co.as_slice(), "{spec:?} advance {i}");
+                }
+                assert_eq!(row.buffered(), col.buffered(), "{spec:?} buffer {i}");
+            }
+        }
     }
 
     #[test]

@@ -520,6 +520,18 @@ fn migration_churn_shard_invariance_with_push_subscriptions() {
                 c.engine.shard_count()
             );
         }
+        // Deterministic coda: an unlucky churn can deregister every
+        // query before any batch reaches a sink, leaving zero latency
+        // samples to compare. A fresh probe query plus one batch
+        // guarantees at least one ingest→apply sample on every engine
+        // without disturbing cross-engine equality.
+        for c in &mut clients {
+            c.register(PLANS[0]);
+        }
+        let probe: Vec<Tuple> = (0..4i64).map(|j| reading(j, j as f64, now)).collect();
+        for c in &mut clients {
+            c.engine.on_batch("Readings", &probe).unwrap();
+        }
         // The trace plane's state travels with migration: each query's
         // latency histogram rides its sink and each pipeline's op
         // profile rides its nodes through extract/install, so the
@@ -1107,4 +1119,334 @@ fn parallel_fan_out_matches_sequential() {
             .collect()
     };
     assert_eq!(run(false), run(true));
+}
+
+/// The big-state plan mix for the columnar-layout properties: wide ROWS
+/// and RANGE windows, an unbounded self-join (both KeyedState sides
+/// grow), and aggregates — the structures the columnar re-lay touches.
+const BIG_STATE_PLANS: &[&str] = &[
+    "select r.sensor, r.value from Readings r [rows 40]",
+    "select r.sensor, avg(r.value) from Readings r [range 30 seconds] group by r.sensor",
+    "select a.value, b.value from Readings a, Readings b \
+     where a.sensor = b.sensor ^ a.value < b.value",
+    "select sum(r.value) from Readings r [tumbling 20 seconds]",
+    "select r.sensor, count(*) from Readings r group by r.sensor",
+];
+
+/// Property (ISSUE 10 acceptance): the columnar state layout — and the
+/// columnar layout with an aggressive spill tier — is observationally
+/// identical to the row layout on a big-state workload under full
+/// lifecycle churn (ingest, heartbeats, register / deregister, forced
+/// migrations). Snapshots agree per event per slot, push accumulation
+/// reconstructs every poll, and the spill engine really pages state out
+/// (a run with zero spilled bytes would prove nothing).
+#[test]
+fn columnar_layout_matches_row_layout_under_churn() {
+    use rand::Rng;
+    use smartcis::stream::StateLayout;
+    use smartcis::types::rng::seeded;
+
+    for seed in seeds(2) {
+        let spill_dir = std::env::temp_dir().join(format!(
+            "aspen-sharding-spill-{}-{seed}",
+            std::process::id()
+        ));
+        // Operator stores seal a segment every 32 rows; a 256-byte
+        // threshold then forces cold segments to page out.
+        let configs = [
+            EngineConfig::new().shards(2).state_layout(StateLayout::Row),
+            EngineConfig::new()
+                .shards(2)
+                .state_layout(StateLayout::Columnar),
+            EngineConfig::new()
+                .shards(2)
+                .state_layout(StateLayout::Columnar)
+                .spill(256, &spill_dir),
+        ];
+        let mut clients: Vec<Client> = configs
+            .into_iter()
+            .map(|cfg| Client::with_engine(ShardedEngine::with_config(catalog(), cfg)))
+            .collect();
+        for sql in BIG_STATE_PLANS {
+            for c in &mut clients {
+                c.register(sql);
+            }
+        }
+
+        let mut rng = seeded(0xC07 ^ seed);
+        let mut now = 0u64;
+        let mut max_spilled = 0usize;
+        for step in 0..50 {
+            let ctx = format!("seed {seed}, step {step}");
+            let slots: Vec<usize> = clients[0]
+                .queries
+                .iter()
+                .enumerate()
+                .filter_map(|(i, q)| q.as_ref().map(|_| i))
+                .collect();
+            match rng.gen_range(0..10u32) {
+                0..=4 => {
+                    let n = rng.gen_range(1..8usize);
+                    let batch: Vec<Tuple> = (0..n)
+                        .map(|_| {
+                            reading(
+                                rng.gen_range(0..4i64),
+                                rng.gen_range(0..100i64) as f64,
+                                now + rng.gen_range(0..2u64),
+                            )
+                        })
+                        .collect();
+                    now += 1;
+                    for c in &mut clients {
+                        c.engine.on_batch("Readings", &batch).unwrap();
+                    }
+                }
+                5 | 6 => {
+                    now += rng.gen_range(1..15u64);
+                    for c in &mut clients {
+                        c.engine.heartbeat(SimTime::from_secs(now)).unwrap();
+                    }
+                }
+                7 => {
+                    let sql = BIG_STATE_PLANS[rng.gen_range(0..BIG_STATE_PLANS.len())];
+                    for c in &mut clients {
+                        c.register(sql);
+                    }
+                }
+                8 => {
+                    if !slots.is_empty() {
+                        let slot = slots[rng.gen_range(0..slots.len())];
+                        for c in &mut clients {
+                            let q = c.queries[slot].take().unwrap();
+                            c.engine.deregister(q.handle).unwrap();
+                        }
+                    }
+                }
+                _ => {
+                    if !slots.is_empty() {
+                        let slot = slots[rng.gen_range(0..slots.len())];
+                        let target = rng.gen_range(0..2usize);
+                        for c in &mut clients {
+                            let h = c.queries[slot].as_ref().unwrap().handle;
+                            c.engine.migrate(h, target).unwrap();
+                        }
+                    }
+                }
+            }
+
+            for c in &mut clients {
+                c.check_push_matches_poll(&ctx);
+            }
+            max_spilled = max_spilled.max(clients[2].engine.resident_state().spilled_bytes);
+            let (row, rest) = clients.split_first().expect("three clients");
+            for (which, c) in rest.iter().enumerate() {
+                for (slot, (rq, cq)) in row.queries.iter().zip(&c.queries).enumerate() {
+                    let (Some(rq), Some(cq)) = (rq, cq) else {
+                        continue;
+                    };
+                    assert_eq!(
+                        value_rows(&c.engine.snapshot(cq.handle).unwrap()),
+                        value_rows(&row.engine.snapshot(rq.handle).unwrap()),
+                        "columnar{} slot {slot} diverged from row layout ({ctx})",
+                        if which == 1 { "+spill" } else { "" },
+                    );
+                }
+            }
+        }
+        // Layout changes bytes, never work: ops totals agree, and the
+        // byte gauges actually measure something on live state.
+        let totals: Vec<u64> = clients
+            .iter()
+            .map(|c| c.engine.total_ops_invoked())
+            .collect();
+        assert!(
+            totals.windows(2).all(|w| w[0] == w[1]),
+            "ops diverged across layouts: {totals:?} (seed {seed})"
+        );
+        // Deterministic spill-engagement coda: churn at an unlucky seed
+        // can deregister state before any 32-row segment seals, so force
+        // the condition — a fresh wide window plus a 3-segment burst
+        // seals cold segments past the 256-byte threshold regardless of
+        // what the churn left behind. Snapshots must still agree.
+        for c in &mut clients {
+            c.register(BIG_STATE_PLANS[0]);
+        }
+        for b in 0..4u64 {
+            let burst: Vec<Tuple> = (0..24i64)
+                .map(|j| reading(j % 4, (b as i64 * 24 + j) as f64, now))
+                .collect();
+            now += 1;
+            for c in &mut clients {
+                c.engine.on_batch("Readings", &burst).unwrap();
+            }
+            max_spilled = max_spilled.max(clients[2].engine.resident_state().spilled_bytes);
+        }
+        let (row, rest) = clients.split_first().expect("three clients");
+        for c in rest {
+            for (rq, cq) in row.queries.iter().zip(&c.queries) {
+                let (Some(rq), Some(cq)) = (rq, cq) else {
+                    continue;
+                };
+                assert_eq!(
+                    value_rows(&c.engine.snapshot(cq.handle).unwrap()),
+                    value_rows(&row.engine.snapshot(rq.handle).unwrap()),
+                    "post-burst snapshot diverged from row layout (seed {seed})",
+                );
+            }
+        }
+        assert!(
+            max_spilled > 0,
+            "spill tier never engaged over the whole run (seed {seed})"
+        );
+        std::fs::remove_dir_all(&spill_dir).ok();
+    }
+}
+
+/// ISSUE 10 acceptance: `state_bytes` is conserved across migration.
+/// The byte gauge follows the query to its new shard — per-query value
+/// unchanged, donor shard's total drops, recipient's rises, engine
+/// total invariant — and the snapshot is untouched.
+#[test]
+fn state_bytes_travel_with_migration() {
+    let mut e = ShardedEngine::with_config(
+        catalog(),
+        EngineConfig::new().shards(2).shared_subplans(false),
+    );
+    let fat = e
+        .register_sql("select r.sensor, r.value from Readings r [rows 100]")
+        .unwrap()
+        .expect_query();
+    let _cheap = e
+        .register_sql("select r.sensor, r.value from Readings r where r.value > 40")
+        .unwrap()
+        .expect_query();
+    // 60 tuples — inside the ROWS capacity, so every row stays live.
+    for i in 0..60u64 {
+        e.on_batch(
+            "Readings",
+            &[reading((i % 4) as i64, (i * 7 % 100) as f64, i / 4)],
+        )
+        .unwrap();
+    }
+    let snap_before = value_rows(&e.snapshot(fat).unwrap());
+
+    let tel = e.telemetry();
+    let q = tel.queries.iter().find(|q| q.query == fat.0).unwrap();
+    let (from, bytes) = (q.shard, q.state_bytes);
+    assert!(bytes > 0, "window query reports no state bytes");
+    let shard_bytes_before: Vec<u64> = tel.shards.iter().map(|s| s.state_bytes).collect();
+    let engine_bytes_before = e.resident_state().state_bytes;
+
+    let to = 1 - from;
+    e.migrate(fat, to).unwrap();
+
+    let tel = e.telemetry();
+    let q = tel.queries.iter().find(|q| q.query == fat.0).unwrap();
+    assert_eq!(q.shard, to, "query did not move");
+    assert_eq!(q.state_bytes, bytes, "state_bytes changed in flight");
+    let shard_bytes_after: Vec<u64> = tel.shards.iter().map(|s| s.state_bytes).collect();
+    assert_eq!(
+        shard_bytes_before[from] - bytes,
+        shard_bytes_after[from],
+        "donor shard kept the moved bytes"
+    );
+    assert_eq!(
+        shard_bytes_before[to] + bytes,
+        shard_bytes_after[to],
+        "recipient shard did not gain the moved bytes"
+    );
+    assert_eq!(
+        engine_bytes_before,
+        e.resident_state().state_bytes,
+        "engine-wide bytes not conserved"
+    );
+    assert_eq!(
+        snap_before,
+        value_rows(&e.snapshot(fat).unwrap()),
+        "snapshot changed across migration"
+    );
+}
+
+/// ISSUE 10 acceptance (non-vacuity): the byte term really plans moves.
+/// Three memory-fat window queries sit on shard 0 and two tiny-window
+/// queries on shard 1. Every query does the same per-tuple work, so a
+/// CPU-only planner sees five equal-weight queries split 3–2 — no move
+/// shrinks that gap, and it holds still. The byte gauges are wildly
+/// uneven (64-row windows vs 2-row), so the blended score finds an
+/// improving move and drains the memory-hot shard.
+#[test]
+fn byte_aware_rebalancer_drains_memory_fat_shard() {
+    use smartcis::stream::RebalanceConfig;
+
+    let mut e = ShardedEngine::with_config(
+        catalog(),
+        EngineConfig::new()
+            .shards(2)
+            .shared_subplans(false)
+            .rebalance(RebalanceConfig {
+                threshold: 1.05,
+                patience: 1,
+                max_moves: 1,
+                interval_boundaries: 1,
+                bytes_weight: 1000.0,
+                ..Default::default()
+            }),
+    );
+    let register_window = |e: &mut ShardedEngine, w: &str| -> QueryHandle {
+        e.register_sql(&format!("select r.sensor, r.value from Readings r {w}"))
+            .unwrap()
+            .expect_query()
+    };
+    let fats: Vec<QueryHandle> = ["[rows 64]", "[rows 65]", "[rows 66]"]
+        .iter()
+        .map(|w| register_window(&mut e, w))
+        .collect();
+    let cheaps: Vec<QueryHandle> = ["[rows 2]", "[rows 3]"]
+        .iter()
+        .map(|w| register_window(&mut e, w))
+        .collect();
+    // Deliberate imbalance: all the retained state on shard 0.
+    for h in &fats {
+        e.migrate(*h, 0).unwrap();
+    }
+    for h in &cheaps {
+        e.migrate(*h, 1).unwrap();
+    }
+    let manual_moves = e.migration_count();
+
+    // Each batch boundary is a rebalance observation (interval 1,
+    // patience 1): the first sets marks, a later one plans the drain
+    // once the fat windows have outgrown the tiny ones (whose dead
+    // segments are reclaimed as they seal every 32 rows).
+    for i in 0..60u64 {
+        let batch: Vec<Tuple> = (0..4)
+            .map(|j| reading(j as i64, (i * 4 + j) as f64, i))
+            .collect();
+        e.on_batch("Readings", &batch).unwrap();
+    }
+
+    let tel = e.telemetry();
+    let fat_shards: Vec<usize> = fats
+        .iter()
+        .map(|h| {
+            tel.queries
+                .iter()
+                .find(|q| q.query == h.0)
+                .expect("fat query in telemetry")
+                .shard
+        })
+        .collect();
+    assert!(
+        e.migration_count() > manual_moves,
+        "byte-aware controller never planned a move"
+    );
+    assert!(
+        fat_shards.iter().any(|&s| s != 0),
+        "memory-fat shard never drained: fat queries still at {fat_shards:?}"
+    );
+    let shard_bytes: Vec<u64> = tel.shards.iter().map(|s| s.state_bytes).collect();
+    assert!(
+        shard_bytes.iter().all(|&b| b > 0),
+        "bytes did not spread across shards: {shard_bytes:?}"
+    );
 }
